@@ -1,0 +1,19 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper (or one
+ablation from DESIGN.md), prints the same rows/series the paper
+reports, and asserts the qualitative *shape* — who wins, growth
+trends, crossovers — rather than absolute numbers (our substrate is a
+simulator, not the authors' testbed).
+
+Run with ``pytest benchmarks/ --benchmark-only`` (add ``-s`` to see the
+rendered tables; EXPERIMENTS.md quotes them).
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn):
+    """Benchmark a long-running experiment exactly once and return its
+    result object."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

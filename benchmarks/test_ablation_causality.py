@@ -1,0 +1,33 @@
+"""Ablation 4 — causality interpretation (DESIGN.md §5.4).
+
+Application-declared dependencies (Definition 3.1, the urcgc way) vs
+the conservative every-reception policy vs CBCAST's temporal (vector
+clock) causality.  A lossy observer misses some of sender p1's
+messages; sender p2's traffic is causally unrelated.  Temporal
+causality makes p2's messages wait on p1's losses — and with CBCAST's
+lack of history recovery the blocking is permanent.
+"""
+
+from conftest import run_once
+
+from repro.harness.ablations import ablate_causality
+
+
+def test_ablation_causality(benchmark):
+    result = run_once(benchmark, lambda: ablate_causality(slow_sender_drop=0.3))
+    print()
+    print(result.render(title="Ablation: causality interpretation"))
+
+    rows = {row[0]: row for row in result.rows}
+    columns = ["flavour", *result.metrics]
+    never = columns.index("never completed")
+    waiting = columns.index("peak waiting")
+
+    # urcgc (either dependency policy) completes every message thanks
+    # to history recovery; CBCAST permanently blocks unrelated traffic.
+    assert rows["urcgc-declared"][never] == 0
+    assert rows["urcgc-conservative"][never] == 0
+    assert rows["cbcast-temporal"][never] > 0
+
+    # Temporal causality parks far more messages than declared deps.
+    assert rows["cbcast-temporal"][waiting] > rows["urcgc-declared"][waiting]

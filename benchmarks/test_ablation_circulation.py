@@ -1,0 +1,28 @@
+"""Ablation 1 — decision circulation (DESIGN.md §5.1).
+
+Requests forward the most recent decision so every coordinator starts
+from the chain's head.  With circulation disabled, coordinators that
+missed the previous decision broadcast compute from stale state and
+fork the chain; the forked decisions are rejected by the group (the
+consistency guard), wasting subruns.
+"""
+
+from conftest import run_once
+
+from repro.harness.ablations import ablate_circulation
+
+
+def test_ablation_circulation(benchmark):
+    result = run_once(benchmark, lambda: ablate_circulation(n=8, K=3, one_in=10))
+    print()
+    print(result.render(title="Ablation: decision circulation under omission 1/10"))
+
+    with_circulation = result.where(circulate=True)[0]
+    without = result.where(circulate=False)[0]
+    columns = ["circulate", *result.metrics]
+    forked = columns.index("forked decisions")
+
+    # Circulation keeps the chain intact: no decision is ever rejected
+    # as a fork.  Without it, forks appear.
+    assert with_circulation[forked] == 0
+    assert without[forked] > 0

@@ -1,0 +1,30 @@
+"""Ablation — buffer-bounding styles: urcgc throttling vs Psync drops.
+
+Section 6's closing comparison: urcgc's distributed flow control
+pauses *generation* when histories grow (no message is ever lost),
+while "Psync also uses some flow control ... It consists in the
+deletion of the messages exceeding a given upper bound, thus
+increasing the rate of omission failures".
+"""
+
+from conftest import run_once
+
+from repro.harness.ablations import ablate_flow_control_style
+
+
+def test_ablation_flow_control_style(benchmark):
+    result = run_once(benchmark, ablate_flow_control_style)
+    print()
+    print(result.render(title="Ablation: flow-control style (bounded buffers)"))
+
+    rows = {row[0]: row for row in result.rows}
+    columns = ["style", *result.metrics]
+    lost = columns.index("lost deliveries")
+    peak = columns.index("peak buffer")
+
+    # urcgc never loses a delivery; Psync's drops become omissions.
+    assert rows["urcgc-throttle"][lost] == 0
+    assert rows["psync-drop"][lost] > 0
+    # Both styles do bound their buffers.
+    assert rows["urcgc-throttle"][peak] <= 2 * 6 + 2 * 6  # threshold + slack
+    assert rows["psync-drop"][peak] <= 2 * 6

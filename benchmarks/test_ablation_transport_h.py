@@ -1,0 +1,33 @@
+"""Ablation 5 — the transport h parameter (DESIGN.md §5.5).
+
+The paper simulates h=1 (raw datagram: losses handled by urcgc's
+history recovery).  With h = n-1 the transport itself acknowledges and
+retransmits, which the paper predicts gives "a different location of
+the retransmission function and ... a reduced use of the recovery from
+history".
+"""
+
+from conftest import run_once
+
+from repro.harness.ablations import ablate_transport_h
+
+
+def test_ablation_transport_h(benchmark):
+    n = 6
+    result = run_once(benchmark, lambda: ablate_transport_h(n=n))
+    print()
+    print(result.render(title=f"Ablation: transport h (n={n}, omission 1/25)"))
+
+    columns = ["h", *result.metrics]
+    recoveries = columns.index("recovery rqs")
+    acks = columns.index("transport acks")
+
+    h1 = result.where(h=1)[0]
+    full = result.where(h=n - 1)[0]
+
+    # h=1: zero transport overhead, recovery does all repair.
+    assert h1[acks] == 0
+    assert h1[recoveries] > 0
+    # h=n-1: the transport pays acks and shrinks history recoveries.
+    assert full[acks] > 0
+    assert full[recoveries] < h1[recoveries] * 1.5

@@ -1,0 +1,44 @@
+"""Head-to-head benchmark: urcgc vs CBCAST on identical scenarios.
+
+Condenses the cross-protocol claims of Section 6 into one table per
+scenario and asserts the qualitative winners.
+"""
+
+from conftest import run_once
+
+from repro.harness.compare import compare_protocols
+
+
+def test_compare_protocols(benchmark):
+    def run_all():
+        return {
+            scenario: compare_protocols(scenario=scenario, n=8, total_messages=64)
+            for scenario in ("reliable", "crash", "omission-1/50")
+        }
+
+    reports = run_once(benchmark, run_all)
+    print()
+    for report in reports.values():
+        print(report.render())
+        print()
+
+    reliable = reports["reliable"]
+    crash = reports["crash"]
+    lossy = reports["omission-1/50"]
+
+    # Reliable: both deliver everything at the floor delay; CBCAST's
+    # control traffic is lighter (Table 1).
+    assert reliable.urcgc.mean_delay == reliable.cbcast.mean_delay == 0.5
+    assert reliable.urcgc.incomplete == reliable.cbcast.incomplete == 0
+    assert reliable.cbcast.control_bytes < reliable.urcgc.control_bytes
+
+    # Crash: urcgc never blocks; CBCAST's flush does (Figure 5).
+    assert crash.urcgc.blocked_rounds == 0
+    assert crash.cbcast.blocked_rounds > 0
+    assert crash.urcgc.mean_delay == 0.5  # recovery concurrent with service
+    assert crash.urcgc.incomplete == 0
+
+    # Lossy subnet: urcgc heals everything from history; CBCAST (which
+    # the paper says "needs an underlying reliable transport") loses.
+    assert lossy.urcgc.incomplete == 0
+    assert lossy.cbcast.incomplete > 0

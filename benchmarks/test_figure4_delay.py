@@ -1,0 +1,46 @@
+"""Figure 4 — mean end-to-end delay D vs offered load.
+
+Paper's claims checked here:
+
+* ``D >= 1/2 rtd`` always; exactly ½ rtd under reliable conditions.
+* The reliable and crash curves coincide ("the observed values of D
+  are the same under both reliable and crash conditions") — urcgc does
+  not suspend processing while handling crashes.
+* Omission failures raise D (waiting for history recovery), and the
+  1/100 curve dominates the 1/500 curve on average.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import FIGURE4_SCENARIOS, figure4_delay
+
+
+def test_figure4_delay(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: figure4_delay(
+            n=10,
+            K=3,
+            send_probabilities=(0.05, 0.1, 0.2, 0.4, 0.7, 1.0),
+            duration_rounds=60,
+        ),
+    )
+    print()
+    print(result.render())
+
+    reliable = [d for _, d in result.curves["reliable"]]
+    crash = [d for _, d in result.curves["crash"]]
+    om500 = [d for _, d in result.curves["omission-1/500"]]
+    om100 = [d for _, d in result.curves["omission-1/100"]]
+
+    # D >= 1/2 rtd everywhere; the reliable floor is exactly 1/2.
+    for curve in (reliable, crash, om500, om100):
+        assert all(d >= 0.5 for d in curve)
+    assert all(d == 0.5 for d in reliable)
+
+    # Crashes do not move the delay curve.
+    assert crash == reliable
+
+    # Omissions raise the mean delay; the heavier rate hurts more.
+    assert sum(om500) / len(om500) >= 0.5
+    assert sum(om100) / len(om100) > sum(om500) / len(om500)

@@ -1,0 +1,47 @@
+"""Figure 6a — history length over time, no flow control.
+
+Paper's setup: n=40, 480 messages, K in {2,3,4}, failures (1 crash +
+1/500 omissions) during the first 5 rtd; reliable runs terminate in
+~15 rtd and keep at most 2n messages in the history; faulty history
+growth depends on K and stays under the ``2(2K+f)n`` bound.
+"""
+
+from conftest import run_once
+
+from repro.analysis.cost_models import urcgc_history_bound
+from repro.analysis.report import render_series
+from repro.harness.experiments import figure6_history
+
+
+def test_figure6a_history(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: figure6_history(
+            n=40, total_messages=480, K_values=(2, 3, 4), flow_threshold=0
+        ),
+    )
+    print()
+    print(result.render())
+    for label, (series, _, _) in result.runs.items():
+        print(render_series(label, series, max_points=20))
+
+    n = result.n
+    peaks = {label: peak for label, (_, _, peak) in result.runs.items()}
+    done = {label: t for label, (_, t, _) in result.runs.items()}
+
+    for K in (2, 3, 4):
+        reliable = f"K={K}, reliable"
+        faulty = f"K={K}, general-omission"
+        # "Without failures, no more than 2n messages are stored."
+        assert peaks[reliable] <= 2 * n
+        # Failures grow the history beyond the reliable plateau but
+        # within the paper's bound (f <= 1 in this scenario).
+        assert peaks[faulty] > peaks[reliable]
+        assert peaks[faulty] <= urcgc_history_bound(n, K=K, f=1)
+        # Everything terminates (the paper's ~15 rtd ballpark).
+        assert done[reliable] is not None and done[reliable] <= 20
+        assert done[faulty] is not None
+
+    # "Under general omission failure conditions the history length
+    # depends on K": larger K, larger faulty peak.
+    assert peaks["K=4, general-omission"] >= peaks["K=2, general-omission"]

@@ -1,0 +1,103 @@
+"""Empirical check of the paper's Lemma 4.1 / 4.2 bounds.
+
+Lemma 4.1: if some process holds messages of p_k that p_j misses, then
+within ``2K + f`` subruns p_j learns the omission (or a crash, or
+leaves).  Lemma 4.2: within ``2K + f + R`` subruns p_j additionally
+*recovers* the messages.
+
+The benchmark constructs the adversarial situation from the proofs:
+p_k's broadcast reaches only one holder, and that holder then fails to
+reach the coordinators for ``K - 1`` consecutive subruns before its
+knowledge finally lands.  Measured learning/recovery latencies must
+respect the bounds (for ``f = 0``).
+"""
+
+from conftest import run_once
+
+from repro.core.config import UrcgcConfig
+from repro.harness.cluster import SimCluster
+from repro.net.faults import FaultPlan
+from repro.types import ProcessId
+from repro.workloads.generators import ScriptedWorkload
+
+
+def lemma_scenario(K: int):
+    """Returns (learning latency, recovery latency) in subruns for the
+    adversarial single-holder scenario."""
+    n = 5
+    # The holder is p3 so it does not take the coordinator role during
+    # the blocking window (a coordinator's own state needs no request).
+    holder, source, victim = ProcessId(3), ProcessId(4), ProcessId(0)
+    faults = FaultPlan()
+
+    # The source's broadcast at round 0 reaches only the holder, and
+    # the source itself crashes right after (so only the holder can
+    # ever serve it).
+    def receive_filter(packet, dst, now):
+        if packet.src == source and packet.kind == "data" and dst != holder:
+            return True
+        return False
+
+    # The source's request never leaves (its knowledge dies with it),
+    # and the holder cannot reach the coordinators for exactly K-1
+    # subruns (one more and it would be declared crashed) — so the
+    # holder's report is the group's only path to the message.
+    def send_filter(packet, now):
+        if packet.src == source and packet.kind == "ctrl-request":
+            return True
+        if packet.src != holder:
+            return False
+        if packet.kind == "ctrl-request" and now < (K - 1) - 0.1:
+            return True
+        return False
+
+    faults.custom_receive_filter = receive_filter
+    faults.custom_send_filter = send_filter
+    faults.crashes.crash(source, 0.6)
+
+    cluster = SimCluster(
+        UrcgcConfig(n=n, K=K, R=2 * K + 2),
+        workload=ScriptedWorkload({0: [(source, b"orphan-candidate")]}),
+        faults=faults,
+        max_rounds=200,
+    )
+
+    learned_at = [None]
+    recovered_at = [None]
+
+    def probe(round_no):
+        member = cluster.members[victim]
+        if (
+            learned_at[0] is None
+            and member.latest_decision.max_processed[source] >= 1
+        ):
+            learned_at[0] = cluster.kernel.now
+        if recovered_at[0] is None and member.tracker.last_processed(source) >= 1:
+            recovered_at[0] = cluster.kernel.now
+
+    cluster.scheduler.subscribe(probe)
+    cluster.kernel.run(stop_when=lambda: recovered_at[0] is not None)
+    return learned_at[0], recovered_at[0]
+
+
+def test_lemma_41_and_42_bounds(benchmark):
+    def run_all():
+        return {K: lemma_scenario(K) for K in (1, 2, 3)}
+
+    results = run_once(benchmark, run_all)
+    print()
+    print("Lemma bounds (f=0): learning <= 2K, recovery <= 2K + R")
+    for K, (learned, recovered) in sorted(results.items()):
+        bound_learn = 2 * K
+        bound_recover = 2 * K + (2 * K + 2)
+        print(
+            f"  K={K}: learned at {learned} rtd (bound {bound_learn}), "
+            f"recovered at {recovered} rtd (bound {bound_recover})"
+        )
+        assert learned is not None, f"K={K}: victim never learned"
+        assert recovered is not None, f"K={K}: victim never recovered"
+        # +1 subrun of slack: the bounds count from the subrun of the
+        # send; our clock counts from t=0.
+        assert learned <= bound_learn + 1
+        assert recovered <= bound_recover + 1
+        assert recovered >= learned

@@ -1,0 +1,83 @@
+"""Micro-benchmarks of the hot paths.
+
+Not figures from the paper — these guard the implementation's own
+performance: wire codec throughput, causal-delivery processing rate,
+decision computation, and end-to-end simulated rounds per second.
+"""
+
+import random
+
+from repro.core.config import UrcgcConfig
+from repro.core.decision import RequestInfo, compute_decision, initial_decision
+from repro.core.member import Member
+from repro.core.message import DecisionMessage, UserMessage
+from repro.core.mid import Mid
+from repro.harness.cluster import SimCluster
+from repro.net.wire import decode_message, encode_message
+from repro.types import ProcessId, SeqNo, SubrunNo
+from repro.workloads.generators import BernoulliWorkload
+
+
+def test_bench_wire_roundtrip(benchmark):
+    message = DecisionMessage(initial_decision(40))
+
+    def roundtrip():
+        return decode_message(encode_message(message))
+
+    result = benchmark(roundtrip)
+    assert result == message
+
+
+def test_bench_member_processing_rate(benchmark):
+    """Messages processed per engine invocation, in-order stream."""
+    n = 8
+
+    def process_stream():
+        member = Member(ProcessId(0), UrcgcConfig(n=n, flow_threshold=0))
+        for seq in range(1, 201):
+            for origin in range(1, 4):
+                deps = (
+                    (Mid(ProcessId(origin), SeqNo(seq - 1)),) if seq > 1 else ()
+                )
+                member.on_message(
+                    UserMessage(Mid(ProcessId(origin), SeqNo(seq)), deps)
+                )
+        return member.processed_count
+
+    assert benchmark(process_stream) == 600
+
+
+def test_bench_decision_computation(benchmark):
+    n = 40
+    prev = initial_decision(n)
+    rng = random.Random(0)
+    requests = {
+        ProcessId(i): RequestInfo(
+            tuple(SeqNo(rng.randint(0, 100)) for _ in range(n)),
+            tuple(SeqNo(0) for _ in range(n)),
+        )
+        for i in range(n)
+    }
+
+    def compute():
+        return compute_decision(SubrunNo(1), ProcessId(0), prev, requests, K=3)
+
+    decision = benchmark(compute)
+    assert decision.full_group
+
+
+def test_bench_simulated_rounds_per_second(benchmark):
+    """Full-stack simulation throughput: n=10 group, live workload."""
+
+    def simulate():
+        pids = [ProcessId(i) for i in range(10)]
+        cluster = SimCluster(
+            UrcgcConfig(n=10),
+            workload=BernoulliWorkload(pids, 0.5, rng=random.Random(1)),
+            max_rounds=100,
+            trace=False,
+        )
+        cluster.run()
+        return cluster.scheduler.current_round
+
+    assert benchmark(simulate) == 100

@@ -1,0 +1,67 @@
+"""Table 1 — amount and size of control messages, urcgc vs CBCAST.
+
+Paper's claims checked here:
+
+* urcgc always pays ``2(n-1)`` control messages per subrun — the
+  agreement runs even when nothing fails — while CBCAST's steady-state
+  control traffic is smaller (piggyback + occasional stability gossip).
+* urcgc's control-message *size* is O(n) and unchanged by crashes; a
+  group of 15 fits a 576-byte IP datagram and a group of 40 fits an
+  Ethernet frame.
+* Under crashes the relation flips: urcgc keeps the same per-subrun
+  cost, while CBCAST adds view-change/flush traffic.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import table1_traffic
+from repro.net.wire import encode_message
+from repro.core.decision import RequestInfo, initial_decision
+from repro.core.message import RequestMessage
+from repro.types import ProcessId, SeqNo, SubrunNo
+
+
+def _request_size(n: int) -> int:
+    info = RequestInfo(
+        tuple(SeqNo(0) for _ in range(n)), tuple(SeqNo(0) for _ in range(n))
+    )
+    return len(
+        encode_message(RequestMessage(ProcessId(0), SubrunNo(0), info, initial_decision(n)))
+    )
+
+
+def test_table1_control_traffic(benchmark):
+    result = run_once(benchmark, lambda: table1_traffic(ns=(5, 10, 15, 40), K=3))
+    print()
+    print(result.render())
+
+    by_key = {
+        (n, condition, protocol): (msgs, paper_msgs, size, paper_size)
+        for n, condition, protocol, msgs, paper_msgs, size, paper_size in result.rows
+    }
+
+    for n in (5, 10, 15, 40):
+        urcgc_rel = by_key[(n, "reliable", "urcgc")]
+        cbcast_rel = by_key[(n, "reliable", "cbcast")]
+        # urcgc: exactly 2(n-1) control messages per subrun, reliable.
+        assert urcgc_rel[0] == 2 * (n - 1)
+        # Reliable CBCAST control traffic is lighter than urcgc's.
+        assert cbcast_rel[0] < urcgc_rel[0]
+        # CBCAST control messages are shorter (4-byte vector entries).
+        assert cbcast_rel[2] < urcgc_rel[2]
+
+        # Crash condition: urcgc message size unchanged; CBCAST now
+        # pays more control messages than in its reliable steady state.
+        urcgc_crash = by_key[(n, "crash", "urcgc")]
+        cbcast_crash = by_key[(n, "crash", "cbcast")]
+        assert abs(urcgc_crash[2] - urcgc_rel[2]) / urcgc_rel[2] < 0.1
+        assert cbcast_crash[0] > cbcast_rel[0]
+
+    # Size boundaries the paper quotes.
+    assert _request_size(15) <= 576
+    assert _request_size(40) <= 1500
+
+    # urcgc control size grows linearly in n.
+    sizes = {n: by_key[(n, "reliable", "urcgc")][2] for n in (5, 10, 40)}
+    assert sizes[10] > sizes[5]
+    assert sizes[40] > 3 * sizes[10] / 2

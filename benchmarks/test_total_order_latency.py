@@ -1,0 +1,77 @@
+"""The price of total order: release latency vs causal delivery.
+
+The paper's Section 2 contrast between the causal service (urcgc) and
+its totally ordered sibling (urgc/ABCAST-style), measured: the total
+order derived from stability decisions releases messages about one
+agreement behind causal processing.
+"""
+
+from conftest import run_once
+
+from repro.analysis.report import render_table
+from repro.core.config import UrcgcConfig
+from repro.core.total_order import attach_total_order
+from repro.harness.cluster import SimCluster
+from repro.types import ProcessId
+from repro.workloads.generators import FixedBudgetWorkload
+
+
+def measure(n: int, total: int):
+    pids = [ProcessId(i) for i in range(n)]
+    cluster = SimCluster(
+        UrcgcConfig(n=n),
+        workload=FixedBudgetWorkload(pids, total=total),
+        max_rounds=200,
+    )
+    release_times: dict = {}
+
+    views = attach_total_order(cluster)
+    # Record release instants by sampling after each round.
+    released_counts = [0] * n
+
+    def probe(round_no):
+        now = cluster.kernel.now
+        for i, view in enumerate(views):
+            while released_counts[i] < len(view.ordered):
+                message = view.ordered[released_counts[i]]
+                release_times.setdefault(message.mid, {})[i] = now
+                released_counts[i] += 1
+
+    cluster.scheduler.subscribe(probe)
+    cluster.run_until_quiescent(drain_subruns=4)
+
+    causal = cluster.delay_report().mean_delay
+    log = cluster.delivery_log
+    total_delays = []
+    for mid, start in log.generated_at.items():
+        per_member = release_times.get(mid, {})
+        if len(per_member) == n:
+            total_delays.append(max(per_member.values()) - start)
+    ordered_delay = sum(total_delays) / len(total_delays)
+    return causal, ordered_delay, len(total_delays)
+
+
+def test_total_order_latency(benchmark):
+    def run_all():
+        return {n: measure(n, total=4 * n) for n in (4, 8, 16)}
+
+    results = run_once(benchmark, run_all)
+    rows = []
+    for n, (causal, ordered, count) in sorted(results.items()):
+        rows.append([n, causal, ordered, ordered - causal, count])
+    print()
+    print(
+        render_table(
+            ["n", "causal D (rtd)", "total-order D (rtd)", "lag (rtd)", "msgs"],
+            rows,
+            title="Total order vs causal delivery latency (reliable)",
+        )
+    )
+
+    for n, (causal, ordered, count) in results.items():
+        assert count == 4 * n  # every message was released everywhere
+        assert causal == 0.5
+        # Release waits for the stabilizing full-group decision:
+        # roughly one to two subruns behind causal processing.
+        assert ordered > causal
+        assert ordered <= causal + 3.0

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Live asyncio group: the same engines outside the simulator.
+
+Runs a four-node urcgc group on real asyncio tasks over an in-memory
+lossy datagram fabric — the stand-in for the paper's "prototype over
+an Ethernet LAN".  Each node ticks protocol rounds on the wall clock;
+5% of datagram copies are dropped and healed by history recovery.
+
+Run:  python examples/live_group_asyncio.py
+"""
+
+import asyncio
+import time
+
+from repro import UrcgcConfig
+from repro.runtime import AsyncGroup, AsyncLan
+from repro.types import ProcessId
+
+
+async def main() -> None:
+    n = 4
+    lan = AsyncLan(loss=0.05, seed=11)
+    indications: list[tuple[int, str]] = []
+    group = AsyncGroup(
+        UrcgcConfig(n=n),
+        lan=lan,
+        round_interval=0.01,  # 10 ms per round -> 20 ms per subrun
+        on_indication=lambda pid, m: indications.append(
+            (int(pid), m.payload.decode())
+        ),
+    )
+    group.start()
+    started = time.perf_counter()
+    try:
+        submissions = [
+            (ProcessId(i % n), f"event-{i:02d} from p{i % n}".encode())
+            for i in range(24)
+        ]
+        await group.run_workload(submissions, timeout=30)
+    finally:
+        elapsed = time.perf_counter() - started
+        await group.stop()
+
+    print(f"24 messages agreed across {n} live nodes in {elapsed:.2f}s "
+          f"(rounds ticked: {[node.current_round for node in group.nodes]})")
+    print(f"datagram copies dropped by the lossy fabric: {lan.dropped_count}")
+    per_node = {pid: 0 for pid in range(n)}
+    for pid, _ in indications:
+        per_node[pid] += 1
+    print(f"indications per node: {per_node}")
+    vectors = {node.member.last_processed_vector() for node in group.nodes}
+    print(f"all nodes converged on the same processed set: {len(vectors) == 1}")
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

@@ -1,0 +1,48 @@
+"""repro — reproduction of *Causal Ordering in Reliable Group
+Communications* (Aiello, Pagani, Rossi; SIGCOMM 1993).
+
+The package implements the paper's **urcgc** algorithm — uniform
+reliable causal group communication with a rotating coordinator,
+history-buffer recovery, and embedded crash handling — together with
+the substrates its evaluation needs: a deterministic discrete-event
+simulator, a datagram LAN with general-omission fault injection, the
+CBCAST and Psync baselines, workload generators, and an experiment
+harness regenerating every table and figure of the paper.
+
+Quickstart::
+
+    from repro import SimCluster, UrcgcConfig
+    from repro.workloads import FixedBudgetWorkload
+    from repro.types import ProcessId
+
+    config = UrcgcConfig(n=5, K=3)
+    pids = [ProcessId(i) for i in range(config.n)]
+    cluster = SimCluster(config, workload=FixedBudgetWorkload(pids, total=20))
+    cluster.run_until_quiescent(drain_subruns=2)
+    print(cluster.delay_report().mean_delay)  # D, in rtd units
+"""
+
+from .core import (
+    LeaveRule,
+    Member,
+    Mid,
+    UrcgcConfig,
+    UrcgcService,
+    UserMessage,
+)
+from .harness import SimCluster
+from .sim import Kernel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LeaveRule",
+    "Member",
+    "Mid",
+    "UrcgcConfig",
+    "UrcgcService",
+    "UserMessage",
+    "SimCluster",
+    "Kernel",
+    "__version__",
+]

@@ -1,0 +1,14 @@
+"""``python -m repro`` — run the paper's experiments from the shell.
+
+Delegates to :mod:`repro.harness.runner`:
+
+    python -m repro list
+    python -m repro run figure4
+"""
+
+import sys
+
+from .harness.runner import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""Analysis: delay statistics, invariant checkers, analytic cost
+models, and report rendering."""
+
+from .causal_graph import CausalGraph, build_causal_graph
+from .checkers import (
+    CheckResult,
+    Violation,
+    check_local_causal_order,
+    check_uniform_atomicity,
+    check_uniform_ordering,
+)
+from .cost_models import (
+    ControlTraffic,
+    cbcast_agreement_time,
+    cbcast_control_traffic,
+    urcgc_agreement_time,
+    urcgc_control_traffic,
+    urcgc_history_bound,
+)
+from .delay import DelayReport, DeliveryLog
+from .report import format_value, render_series, render_table
+from .timeline import SubrunSummary, Timeline, build_timeline
+
+__all__ = [
+    "CausalGraph",
+    "build_causal_graph",
+    "CheckResult",
+    "Violation",
+    "check_local_causal_order",
+    "check_uniform_atomicity",
+    "check_uniform_ordering",
+    "ControlTraffic",
+    "cbcast_agreement_time",
+    "cbcast_control_traffic",
+    "urcgc_agreement_time",
+    "urcgc_control_traffic",
+    "urcgc_history_bound",
+    "DelayReport",
+    "DeliveryLog",
+    "format_value",
+    "render_series",
+    "render_table",
+    "SubrunSummary",
+    "Timeline",
+    "build_timeline",
+]

@@ -1,0 +1,102 @@
+"""Causal-dependency graph extraction and DOT export.
+
+Builds the run's message DAG (nodes = mids, edges = declared causal
+dependencies) from any collection of delivered messages — a service's
+``delivered`` list, a :class:`~repro.net.capture.PacketCapture`, or a
+recovery dump — and renders it as Graphviz DOT text for offline
+visualization.  No external dependencies: the DOT is plain text.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..core.message import UserMessage
+from ..core.mid import Mid
+from ..types import ProcessId
+
+__all__ = ["CausalGraph", "build_causal_graph"]
+
+
+@dataclass
+class CausalGraph:
+    """The run's message DAG."""
+
+    #: mid -> declared dependencies.
+    edges: dict[Mid, tuple[Mid, ...]] = field(default_factory=dict)
+    #: mid -> payload size (for node annotations).
+    sizes: dict[Mid, int] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+    def add(self, message: UserMessage) -> None:
+        self.edges.setdefault(message.mid, message.deps)
+        self.sizes.setdefault(message.mid, len(message.payload))
+
+    def origins(self) -> list[ProcessId]:
+        return sorted({mid.origin for mid in self.edges})
+
+    def roots(self) -> list[Mid]:
+        """Messages with no dependencies (sequence roots)."""
+        return sorted(mid for mid, deps in self.edges.items() if not deps)
+
+    def dependents_of(self, target: Mid) -> list[Mid]:
+        """Messages that directly depend on ``target``."""
+        return sorted(
+            mid for mid, deps in self.edges.items() if target in deps
+        )
+
+    def depth_of(self, mid: Mid) -> int:
+        """Length of the longest dependency chain below ``mid``."""
+        depth = 0
+        frontier = deque([(mid, 0)])
+        seen = set()
+        while frontier:
+            current, d = frontier.popleft()
+            depth = max(depth, d)
+            for dep in self.edges.get(current, ()):
+                if (dep, d + 1) not in seen:
+                    seen.add((dep, d + 1))
+                    frontier.append((dep, d + 1))
+        return depth
+
+    def concurrency_width(self) -> int:
+        """Messages with identical depth can be processed concurrently;
+        the maximum such bucket is the DAG's width."""
+        buckets: dict[int, int] = {}
+        for mid in self.edges:
+            buckets[self.depth_of(mid)] = buckets.get(self.depth_of(mid), 0) + 1
+        return max(buckets.values(), default=0)
+
+    def to_dot(self, *, title: str = "causal graph") -> str:
+        """Render as Graphviz DOT, clustered by origin."""
+        lines = [
+            f'digraph "{title}" {{',
+            "  rankdir=BT;",
+            '  node [shape=box, fontname="monospace"];',
+        ]
+        for origin in self.origins():
+            lines.append(f"  subgraph cluster_p{origin} {{")
+            lines.append(f'    label="p{origin}";')
+            for mid in sorted(self.edges):
+                if mid.origin == origin:
+                    lines.append(
+                        f'    "{mid}" [label="{mid}\\n{self.sizes.get(mid, 0)}B"];'
+                    )
+            lines.append("  }")
+        for mid in sorted(self.edges):
+            for dep in self.edges[mid]:
+                lines.append(f'  "{mid}" -> "{dep}";')
+        lines.append("}")
+        return "\n".join(lines)
+
+
+def build_causal_graph(messages: Iterable[UserMessage]) -> CausalGraph:
+    """Build the DAG from any iterable of delivered messages."""
+    graph = CausalGraph()
+    for message in messages:
+        graph.add(message)
+    return graph

@@ -1,0 +1,120 @@
+"""Closed-form cost models from the paper (Table 1 and Figure 5).
+
+These are the analytic expressions the paper states for the two
+protocols; the benchmarks print them next to the values *measured* on
+our implementations so the reader can check both the paper's algebra
+and our reproduction at once.
+
+Table 1 (control messages per subrun and their sizes in bytes):
+
+====================  =======================  ==========================
+                      reliable                 crash (f coordinator
+                                               crashes, K retries)
+====================  =======================  ==========================
+urcgc   messages      ``2(n-1)``               ``2(2K+f)(n-1)``
+urcgc   size          ``O(n)`` constant        same, unchanged
+CBCAST  messages      ``n+1``                  ``K((f+1)(2n-3)+1)``
+CBCAST  size          ``4(n+1)``               up to ``4(n-1)`` flushes
+====================  =======================  ==========================
+
+Figure 5 (time ``T``, in rtd, to agree on group composition and
+message stability after ``f`` consecutive coordinator crashes):
+
+* urcgc:   ``T = 2K + f``
+* CBCAST:  ``T = K(5f + 6)``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+__all__ = [
+    "ControlTraffic",
+    "urcgc_control_traffic",
+    "cbcast_control_traffic",
+    "urcgc_agreement_time",
+    "cbcast_agreement_time",
+    "urcgc_history_bound",
+]
+
+
+def _check(n: int, K: int = 1, f: int = 0) -> None:
+    if n < 2:
+        raise ConfigError(f"n must be >= 2, got {n}")
+    if K < 1:
+        raise ConfigError(f"K must be >= 1, got {K}")
+    if f < 0:
+        raise ConfigError(f"f must be >= 0, got {f}")
+
+
+@dataclass(frozen=True)
+class ControlTraffic:
+    """Control-message count and per-message size, per Table 1 row."""
+
+    messages: int
+    message_size_bytes: float
+
+    @property
+    def total_bytes(self) -> float:
+        return self.messages * self.message_size_bytes
+
+
+#: Bytes per vector entry in the urcgc request/decision encoding used
+#: for the Table 1 size column (Table 1's per-member constant; the
+#: paper's garbled "n(36 + 1/4)" expression is O(n) with a per-member
+#: constant of a few tens of bytes — ours is measured from the codec).
+URCGC_BYTES_PER_MEMBER = 36
+
+
+def urcgc_control_traffic(n: int, *, K: int = 1, f: int = 0, crash: bool = False) -> ControlTraffic:
+    """Table 1, urcgc rows.
+
+    Per subrun urcgc always exchanges ``2(n-1)`` control messages
+    (``n-1`` requests + ``n-1`` decision unicasts); under crashes the
+    agreement spans ``2K+f`` subruns, so the total message count grows
+    by that factor while the message *size* is unchanged — the paper's
+    headline contrast with CBCAST.
+    """
+    _check(n, K, f)
+    size = float(URCGC_BYTES_PER_MEMBER * n)
+    if crash:
+        return ControlTraffic(2 * (2 * K + f) * (n - 1), size)
+    return ControlTraffic(2 * (n - 1), size)
+
+
+def cbcast_control_traffic(n: int, *, K: int = 1, f: int = 0, crash: bool = False) -> ControlTraffic:
+    """Table 1, CBCAST rows.
+
+    Reliable: ``n+1`` messages of ``4(n+1)`` bytes (piggyback or
+    stability traffic).  Under crashes: ``K((f+1)(2n-3)+1)`` messages,
+    with flush messages of ``4(n-1)`` bytes.
+    """
+    _check(n, K, f)
+    if crash:
+        return ControlTraffic(K * ((f + 1) * (2 * n - 3) + 1), float(4 * (n - 1)))
+    return ControlTraffic(n + 1, float(4 * (n + 1)))
+
+
+def urcgc_agreement_time(K: int, f: int) -> float:
+    """Figure 5, urcgc curve: ``T = (2K + f)`` rtd."""
+    _check(2, K, f)
+    return float(2 * K + f)
+
+
+def cbcast_agreement_time(K: int, f: int) -> float:
+    """Figure 5, CBCAST curve: ``T = K(5f + 6)`` rtd."""
+    _check(2, K, f)
+    return float(K * (5 * f + 6))
+
+
+def urcgc_history_bound(n: int, *, K: int, f: int = 0) -> int:
+    """Worst-case history growth between cleanings (Section 6).
+
+    Agreement takes at most ``2K + f`` rtd, during which at most
+    ``2(2K+f)n`` messages can enter the history (up to one per process
+    per round, two rounds per rtd).
+    """
+    _check(n, K, f)
+    return 2 * (2 * K + f) * n

@@ -1,0 +1,77 @@
+"""ASCII rendering of tables and figure series.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep that output aligned and diff-friendly so
+EXPERIMENTS.md can quote it verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["render_table", "render_series", "format_value"]
+
+
+def format_value(value: object, *, precision: int = 3) -> str:
+    """Compact numeric formatting: ints stay ints, floats get a fixed
+    number of decimals, everything else str()s."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+    precision: int = 3,
+) -> str:
+    """Render an aligned ASCII table."""
+    formatted = [[format_value(cell, precision=precision) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in formatted:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in formatted:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_series(
+    name: str,
+    points: Iterable[tuple[float, float]],
+    *,
+    max_points: int = 40,
+    precision: int = 2,
+) -> str:
+    """Render a (time, value) series as a one-line-per-sample sparkline
+    table, thinning to at most ``max_points`` evenly spaced samples."""
+    data = list(points)
+    if len(data) > max_points:
+        step = len(data) / max_points
+        data = [data[int(i * step)] for i in range(max_points)]
+    peak = max((v for _, v in data), default=0.0)
+    scale = 30.0 / peak if peak > 0 else 0.0
+    lines = [name]
+    for t, v in data:
+        bar = "#" * int(round(v * scale))
+        lines.append(f"  t={format_value(t, precision=precision):>8}  "
+                     f"{format_value(v, precision=precision):>10}  {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,119 @@
+"""Protocol timeline reconstruction from a simulation trace.
+
+Turns a finished :class:`~repro.harness.cluster.SimCluster` run into a
+per-subrun narrative: who coordinated, whether a decision was made and
+over which membership, losses, discards, member departures, and
+quiescence.  Intended for debugging and for the observability story a
+production group service owes its operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..sim.trace import Trace
+from ..types import Time, subrun_of_round
+
+__all__ = ["SubrunSummary", "Timeline", "build_timeline"]
+
+
+@dataclass
+class SubrunSummary:
+    """Everything that happened during one subrun."""
+
+    subrun: int
+    coordinator: int | None = None
+    decision_number: int | None = None
+    decision_full_group: bool = False
+    decision_alive: int | None = None
+    drops: int = 0
+    departures: list[tuple[int, str]] = field(default_factory=list)
+    discards: int = 0
+    confirms: int = 0
+
+    def describe(self) -> str:
+        parts = [f"subrun {self.subrun}:"]
+        if self.decision_number is not None:
+            scope = "full-group" if self.decision_full_group else "partial"
+            parts.append(
+                f"decision #{self.decision_number} by p{self.coordinator} "
+                f"({scope}, {self.decision_alive} alive)"
+            )
+        else:
+            parts.append("no decision (coordinator silent or crashed)")
+        if self.confirms:
+            parts.append(f"{self.confirms} msg(s) generated")
+        if self.drops:
+            parts.append(f"{self.drops} packet(s) lost")
+        if self.discards:
+            parts.append(f"{self.discards} orphan(s) discarded")
+        for pid, reason in self.departures:
+            parts.append(f"p{pid} left ({reason})")
+        return "  ".join(parts)
+
+
+@dataclass
+class Timeline:
+    """The full run, subrun by subrun."""
+
+    subruns: list[SubrunSummary]
+    quiescent_at: Time | None = None
+
+    def decisionless_subruns(self) -> list[int]:
+        return [s.subrun for s in self.subruns if s.decision_number is None]
+
+    def full_group_count(self) -> int:
+        return sum(1 for s in self.subruns if s.decision_full_group)
+
+    def render(self) -> str:
+        lines = [s.describe() for s in self.subruns]
+        if self.quiescent_at is not None:
+            lines.append(f"quiescent at t={self.quiescent_at} rtd")
+        return "\n".join(lines)
+
+
+def _subrun_of_time(time: Time) -> int:
+    return subrun_of_round(int(time / 0.5))
+
+
+def build_timeline(trace: Trace, *, through: Time | None = None) -> Timeline:
+    """Reconstruct the protocol timeline from a cluster trace.
+
+    Requires the cluster to have run with tracing enabled.
+    """
+    summaries: dict[int, SubrunSummary] = {}
+
+    def summary(time: Time) -> SubrunSummary:
+        subrun = _subrun_of_time(time)
+        entry = summaries.get(subrun)
+        if entry is None:
+            entry = summaries[subrun] = SubrunSummary(subrun)
+        return entry
+
+    quiescent_at: Time | None = None
+    for record in trace:
+        if through is not None and record.time > through:
+            continue
+        if record.kind == "decision.broadcast":
+            entry = summary(record.time)
+            entry.coordinator = record.actor
+            entry.decision_number = record["number"]
+            entry.decision_full_group = record["full_group"]
+            entry.decision_alive = record["alive"]
+        elif record.kind == "net.drop":
+            summary(record.time).drops += 1
+        elif record.kind == "member.left":
+            summary(record.time).departures.append(
+                (record.actor or -1, record["reason"])
+            )
+        elif record.kind == "member.discarded":
+            summary(record.time).discards += record["count"]
+        elif record.kind == "member.confirm":
+            summary(record.time).confirms += 1
+        elif record.kind == "cluster.quiescent":
+            quiescent_at = record.time
+    if not summaries:
+        return Timeline([], quiescent_at)
+    last = max(summaries)
+    ordered = [summaries.get(s, SubrunSummary(s)) for s in range(last + 1)]
+    return Timeline(ordered, quiescent_at)

@@ -1,0 +1,1 @@
+"""Baseline protocols the paper compares urcgc against."""

@@ -1,0 +1,32 @@
+"""CBCAST baseline [BSS91]: vector-clock causal multicast with
+piggyback stability and a blocking view-change flush protocol."""
+
+from .delivery import CausalDeliveryQueue
+from .messages import (
+    KIND_CBCAST_DATA,
+    KIND_CBCAST_FLUSH,
+    KIND_CBCAST_STABILITY,
+    KIND_CBCAST_VIEW,
+    CbcastData,
+    Flush,
+    StabilityGossip,
+    ViewChange,
+)
+from .protocol import CbcastEngine
+from .stability import StabilityTracker
+from .vector_clock import VectorClock
+
+__all__ = [
+    "CausalDeliveryQueue",
+    "KIND_CBCAST_DATA",
+    "KIND_CBCAST_FLUSH",
+    "KIND_CBCAST_STABILITY",
+    "KIND_CBCAST_VIEW",
+    "CbcastData",
+    "Flush",
+    "StabilityGossip",
+    "ViewChange",
+    "CbcastEngine",
+    "StabilityTracker",
+    "VectorClock",
+]

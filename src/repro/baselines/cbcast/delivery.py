@@ -1,0 +1,72 @@
+"""CBCAST causal delivery queue.
+
+Implements the BSS91 delivery rule over vector timestamps: a message
+from ``j`` is delivered when it is the next one from ``j`` and every
+message it causally follows has been delivered locally; otherwise it
+waits in the delay queue.
+"""
+
+from __future__ import annotations
+
+from ...types import ProcessId
+from .messages import CbcastData
+from .vector_clock import VectorClock
+
+__all__ = ["CausalDeliveryQueue"]
+
+
+class CausalDeliveryQueue:
+    """Delay queue + local delivery vector for one CBCAST process."""
+
+    def __init__(self, pid: ProcessId, n: int) -> None:
+        self.pid = pid
+        self.local = VectorClock(n)
+        self._delayed: list[CbcastData] = []
+        self._seen: set[tuple[ProcessId, int]] = set()
+
+    @property
+    def delayed_count(self) -> int:
+        return len(self._delayed)
+
+    def delivered_count_from(self, sender: ProcessId) -> int:
+        return self.local[sender]
+
+    def receive(self, message: CbcastData) -> list[CbcastData]:
+        """Accept a received message; return everything newly
+        deliverable, in delivery order (the message itself may or may
+        not be included)."""
+        key = (message.sender, message.vt[message.sender])
+        if key in self._seen or message.vt[message.sender] <= self.local[message.sender]:
+            return []  # duplicate or already delivered
+        self._seen.add(key)
+        self._delayed.append(message)
+        return self._drain()
+
+    def _drain(self) -> list[CbcastData]:
+        delivered: list[CbcastData] = []
+        progress = True
+        while progress:
+            progress = False
+            # Deterministic scan order: by (sender, seq).
+            self._delayed.sort(key=lambda m: (m.sender, m.vt[m.sender]))
+            for message in self._delayed:
+                if message.vt.deliverable_from(message.sender, self.local):
+                    self.local.merge(message.vt)
+                    delivered.append(message)
+                    self._delayed.remove(message)
+                    progress = True
+                    break
+        return delivered
+
+    def missing_from(self, sender: ProcessId) -> int | None:
+        """Sequence number of the first undelivered message from
+        ``sender`` that some delayed message is waiting on, if any."""
+        needed = None
+        for message in self._delayed:
+            want = message.vt[sender]
+            if message.sender == sender:
+                want = message.vt[sender] - 1
+            if want > self.local[sender]:
+                first = self.local[sender] + 1
+                needed = first if needed is None else min(needed, first)
+        return needed

@@ -1,0 +1,150 @@
+"""CBCAST protocol data units.
+
+Four PDUs, sized to match the paper's Table 1 accounting:
+
+* :class:`CbcastData` — an application multicast carrying the sender's
+  vector timestamp (4 bytes per component, the "4(n+1) bytes" row) and
+  a piggybacked delivery vector used for stability tracking.
+* :class:`StabilityGossip` — an explicit stability message, sent only
+  when a process has been silent too long for piggybacking to work.
+* :class:`ViewChange` — the manager's proposal to install a new view
+  (the blocking phase starts here).
+* :class:`Flush` — a member's "all my unstable messages forwarded"
+  token, "of size 4(n-1) bytes" per the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...net.wire import Reader, Writer, global_registry
+from ...types import ProcessId
+from .vector_clock import VectorClock
+
+__all__ = [
+    "CbcastData",
+    "StabilityGossip",
+    "ViewChange",
+    "Flush",
+    "KIND_CBCAST_DATA",
+    "KIND_CBCAST_STABILITY",
+    "KIND_CBCAST_VIEW",
+    "KIND_CBCAST_FLUSH",
+]
+
+KIND_CBCAST_DATA = "data"
+KIND_CBCAST_STABILITY = "ctrl-stability"
+KIND_CBCAST_VIEW = "ctrl-viewchange"
+KIND_CBCAST_FLUSH = "ctrl-flush"
+
+_TAG_DATA = 30
+_TAG_STABILITY = 31
+_TAG_VIEW = 32
+_TAG_FLUSH = 33
+
+
+def _write_vt(writer: Writer, vt: VectorClock) -> None:
+    writer.u32_list(vt.as_tuple())
+
+
+def _read_vt(reader: Reader) -> VectorClock:
+    return VectorClock(reader.u32_list())
+
+
+@dataclass(frozen=True)
+class CbcastData:
+    """An application multicast with vector timestamp and piggyback."""
+
+    sender: ProcessId
+    vt: VectorClock
+    delivered: VectorClock  # piggybacked stability information
+    payload: bytes = b""
+    retransmission: bool = False
+
+    def encode_fields(self, writer: Writer) -> None:
+        writer.u16(self.sender)
+        _write_vt(writer, self.vt)
+        _write_vt(writer, self.delivered)
+        writer.boolean(self.retransmission)
+        writer.bytes_field(self.payload)
+
+    @classmethod
+    def decode_fields(cls, reader: Reader) -> "CbcastData":
+        sender = ProcessId(reader.u16())
+        vt = _read_vt(reader)
+        delivered = _read_vt(reader)
+        retransmission = reader.boolean()
+        payload = reader.bytes_field()
+        return cls(sender, vt, delivered, payload, retransmission)
+
+
+@dataclass(frozen=True)
+class StabilityGossip:
+    """Explicit stability exchange (used when piggybacking starves)."""
+
+    sender: ProcessId
+    delivered: VectorClock
+
+    def encode_fields(self, writer: Writer) -> None:
+        writer.u16(self.sender)
+        _write_vt(writer, self.delivered)
+
+    @classmethod
+    def decode_fields(cls, reader: Reader) -> "StabilityGossip":
+        return cls(ProcessId(reader.u16()), _read_vt(reader))
+
+
+@dataclass(frozen=True)
+class ViewChange:
+    """Manager's view-change message.
+
+    ``commit=False`` is the proposal that starts the blocking flush
+    phase; ``commit=True`` installs the new view and unblocks.
+    """
+
+    manager: ProcessId
+    view_id: int
+    alive: tuple[bool, ...]
+    commit: bool = False
+
+    def encode_fields(self, writer: Writer) -> None:
+        writer.u16(self.manager)
+        writer.u32(self.view_id)
+        writer.boolean(self.commit)
+        writer.u16(len(self.alive))
+        for flag in self.alive:
+            writer.boolean(flag)
+
+    @classmethod
+    def decode_fields(cls, reader: Reader) -> "ViewChange":
+        manager = ProcessId(reader.u16())
+        view_id = reader.u32()
+        commit = reader.boolean()
+        alive = tuple(reader.boolean() for _ in range(reader.u16()))
+        return cls(manager, view_id, alive, commit)
+
+
+@dataclass(frozen=True)
+class Flush:
+    """A member's flush token for ``view_id`` (its unstable messages
+    were already retransmitted as CbcastData).  Carries the member's
+    delivery vector — the paper's 4(n-1)-byte flush payload."""
+
+    sender: ProcessId
+    view_id: int
+    delivered: VectorClock
+
+    def encode_fields(self, writer: Writer) -> None:
+        writer.u16(self.sender)
+        writer.u32(self.view_id)
+        _write_vt(writer, self.delivered)
+
+    @classmethod
+    def decode_fields(cls, reader: Reader) -> "Flush":
+        return cls(ProcessId(reader.u16()), reader.u32(), _read_vt(reader))
+
+
+global_registry.register(_TAG_DATA, CbcastData, CbcastData.decode_fields)
+global_registry.register(_TAG_STABILITY, StabilityGossip, StabilityGossip.decode_fields)
+global_registry.register(_TAG_VIEW, ViewChange, ViewChange.decode_fields)
+global_registry.register(_TAG_FLUSH, Flush, Flush.decode_fields)

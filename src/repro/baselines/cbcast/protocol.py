@@ -1,0 +1,320 @@
+"""The CBCAST engine: causal multicast with a blocking flush protocol.
+
+Normal operation (BSS91): application multicasts carry vector
+timestamps and are delivered by the causal delivery rule; stability is
+tracked by piggybacked delivery vectors (explicit gossip when idle)
+and stable messages leave the retransmission buffer.
+
+Failure handling is what the paper contrasts urcgc against: on a
+failure suspicion the view *manager* (lowest-pid live member) runs a
+flush protocol —
+
+1. manager multicasts a ViewChange proposal; every member **stops
+   sending application messages**;
+2. each member retransmits its unstable messages to the group, then
+   sends a Flush token to the manager;
+3. when the manager holds a Flush from every surviving member it
+   multicasts the ViewChange commit, installing the view and
+   unblocking the application.
+
+If the manager crashes mid-protocol, the next manager "has to be
+started all over again" (Section 4 of the paper) — the measured
+blocked time therefore grows much faster with consecutive manager
+crashes than urcgc's embedded recovery (Figure 5).
+
+Failure *detection* is delegated to the driver, which calls
+:meth:`CbcastEngine.suspect` — mirroring how the urcgc experiments
+control detection latency through ``K``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ...core.effects import Confirm, Deliver, Effect, Send
+from ...core.mid import Mid
+from ...errors import ConfigError, MemberLeftError
+from ...net.addressing import BROADCAST_GROUP, GroupAddress, UnicastAddress
+from ...types import ProcessId, SeqNo
+from .delivery import CausalDeliveryQueue
+from .messages import (
+    KIND_CBCAST_DATA,
+    KIND_CBCAST_FLUSH,
+    KIND_CBCAST_STABILITY,
+    KIND_CBCAST_VIEW,
+    CbcastData,
+    Flush,
+    StabilityGossip,
+    ViewChange,
+)
+from .stability import StabilityTracker
+from .vector_clock import VectorClock
+
+__all__ = ["CbcastEngine"]
+
+
+class CbcastEngine:
+    """One CBCAST process (sans-IO, driven like a urcgc Member)."""
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        n: int,
+        *,
+        group: GroupAddress = BROADCAST_GROUP,
+        gossip_when_idle: bool = True,
+    ) -> None:
+        if not 0 <= pid < n:
+            raise ConfigError(f"pid {pid} outside group of size {n}")
+        self.pid = pid
+        self.n = n
+        self.group = group
+        self.gossip_when_idle = gossip_when_idle
+        self.queue = CausalDeliveryQueue(pid, n)
+        self.stability = StabilityTracker(n)
+        self.alive = [True] * n
+        self.view_id = 0
+        self._outbox: deque[bytes] = deque()
+        self._crashed = False
+
+        # Flush-protocol state.
+        self.blocked = False
+        self._pending_view: ViewChange | None = None
+        self._flushes: set[ProcessId] = set()
+        self._suspected: set[ProcessId] = set()
+        self.blocked_rounds = 0
+        self.view_changes_started = 0
+        #: Last delivery vector unicast to each peer in reply to its
+        #: gossip (suppresses reply loops).
+        self._gossip_replies: dict[ProcessId, tuple[int, ...]] = {}
+
+    # ------------------------------------------------------------------
+    # application interface
+    # ------------------------------------------------------------------
+
+    def submit(self, payload: bytes) -> None:
+        if self._crashed:
+            raise MemberLeftError(f"p{self.pid} has crashed")
+        self._outbox.append(payload)
+
+    @property
+    def pending_submissions(self) -> int:
+        return len(self._outbox)
+
+    @property
+    def unstable_count(self) -> int:
+        return self.stability.buffered_count
+
+    @property
+    def manager(self) -> ProcessId:
+        """The view manager: lowest-pid member this process trusts."""
+        for pid in range(self.n):
+            if self.alive[pid] and pid not in self._suspected:
+                return ProcessId(pid)
+        raise MemberLeftError("no live manager candidate")
+
+    # ------------------------------------------------------------------
+    # failure detection input (driven by the harness)
+    # ------------------------------------------------------------------
+
+    def suspect(self, pid: ProcessId) -> list[Effect]:
+        """The failure detector reports ``pid`` as crashed."""
+        if self._crashed or pid == self.pid or pid in self._suspected:
+            return []
+        self._suspected.add(pid)
+        effects: list[Effect] = []
+        # A suspicion invalidates any in-progress flush run by the
+        # suspect: the protocol restarts under the next manager.
+        if self._pending_view is not None and self._pending_view.manager == pid:
+            self._pending_view = None
+            self._flushes.clear()
+        if self.manager == self.pid:
+            self._start_view_change(effects)
+        return effects
+
+    # ------------------------------------------------------------------
+    # driver interface
+    # ------------------------------------------------------------------
+
+    def on_round(self, round_no: int) -> list[Effect]:
+        if self._crashed:
+            return []
+        effects: list[Effect] = []
+        if self.blocked:
+            self.blocked_rounds += 1
+            # The manager keeps re-proposing in case the proposal or a
+            # flush was lost; progress resumes when flushes arrive.
+            if (
+                self._pending_view is not None
+                and self._pending_view.manager == self.pid
+                and round_no % 2 == 1
+            ):
+                effects.append(Send(self.group, self._pending_view, KIND_CBCAST_VIEW))
+            return effects
+        # A manager with outstanding suspicions starts the flush.
+        if self._suspected and self.manager == self.pid and self._pending_view is None:
+            self._start_view_change(effects)
+            return effects
+        if self._outbox:
+            payload = self._outbox.popleft()
+            self.queue.local.tick(self.pid)
+            message = CbcastData(
+                self.pid,
+                self.queue.local.copy(),
+                self.queue.local.copy(),
+                payload,
+            )
+            self.stability.buffer(message)
+            self.stability.note_report(self.pid, self.queue.local)
+            effects.append(Send(self.group, message, KIND_CBCAST_DATA))
+            effects.append(Deliver(message))
+            # CBCAST has no explicit mids; (sender, own-clock) is the
+            # equivalent unique id.
+            effects.append(Confirm(Mid(self.pid, SeqNo(self.queue.local[self.pid]))))
+        elif (
+            self.gossip_when_idle
+            and round_no % 2 == 1
+            and self.stability.buffered_count > 0
+        ):
+            # Idle with unstable messages buffered: piggybacking has
+            # starved, so send an explicit stability message ("if
+            # needed" — the paper's CBCAST row).  Once everything is
+            # stable the protocol goes silent.
+            gossip = StabilityGossip(self.pid, self.queue.local.copy())
+            effects.append(Send(self.group, gossip, KIND_CBCAST_STABILITY))
+        self.stability.collect_garbage(self.alive)
+        return effects
+
+    def on_message(self, message: object) -> list[Effect]:
+        if self._crashed:
+            return []
+        effects: list[Effect] = []
+        if isinstance(message, CbcastData):
+            self._handle_data(message, effects)
+        elif isinstance(message, StabilityGossip):
+            self.stability.note_report(message.sender, message.delivered)
+            self.stability.collect_garbage(self.alive)
+            # Answer with our own vector (once per state change per
+            # peer) so the gossiper's buffer can drain — without this,
+            # a process whose own buffer emptied first would never
+            # report and the gossiper would starve.  A process that
+            # still holds unstable messages skips the unicast reply:
+            # its own multicast gossip (next subrun) carries the same
+            # vector to everyone, avoiding an O(n^2) reply wave.
+            snapshot = self.queue.local.as_tuple()
+            if (
+                self.stability.buffered_count == 0
+                and self._gossip_replies.get(message.sender) != snapshot
+            ):
+                self._gossip_replies[message.sender] = snapshot
+                reply = StabilityGossip(self.pid, self.queue.local.copy())
+                effects.append(
+                    Send(
+                        UnicastAddress(message.sender), reply, KIND_CBCAST_STABILITY
+                    )
+                )
+        elif isinstance(message, ViewChange):
+            self._handle_view_change(message, effects)
+        elif isinstance(message, Flush):
+            self._handle_flush(message, effects)
+        else:
+            raise TypeError(f"unexpected message type {type(message).__name__}")
+        return effects
+
+    def crash(self) -> None:
+        """Driver notification: this process fail-stopped."""
+        self._crashed = True
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _handle_data(self, message: CbcastData, effects: list[Effect]) -> None:
+        self.stability.note_report(message.sender, message.delivered)
+        for delivered in self.queue.receive(message):
+            self.stability.buffer(delivered)
+            effects.append(Deliver(delivered))
+        self.stability.note_report(self.pid, self.queue.local)
+        self.stability.collect_garbage(self.alive)
+
+    def _start_view_change(self, effects: list[Effect]) -> None:
+        new_alive = tuple(
+            self.alive[i] and ProcessId(i) not in self._suspected
+            for i in range(self.n)
+        )
+        self.view_id += 1
+        self.view_changes_started += 1
+        proposal = ViewChange(self.pid, self.view_id, new_alive, commit=False)
+        self._pending_view = proposal
+        self._flushes = set()
+        effects.append(Send(self.group, proposal, KIND_CBCAST_VIEW))
+        # The manager flushes its own buffer and counts itself.
+        self.blocked = True
+        self._retransmit_unstable(effects)
+        self._flushes.add(self.pid)
+        self._maybe_install(effects)
+
+    def _handle_view_change(self, message: ViewChange, effects: list[Effect]) -> None:
+        if message.view_id < self.view_id and not message.commit:
+            return
+        if message.commit:
+            if message.view_id < self.view_id and self._pending_view is None:
+                return
+            self.view_id = message.view_id
+            self.alive = list(message.alive)
+            self.blocked = False
+            self._pending_view = None
+            self._flushes.clear()
+            self._suspected = {
+                pid for pid in self._suspected if self.alive[pid]
+            }
+            return
+        # Proposal: adopt the manager's suspicions (so a restart under
+        # a new manager still excludes them), block, flush unstable
+        # messages, send the token.
+        for i, flag in enumerate(message.alive):
+            if not flag and self.alive[i]:
+                self._suspected.add(ProcessId(i))
+        self.view_id = message.view_id
+        self.blocked = True
+        self._pending_view = message
+        self._retransmit_unstable(effects)
+        flush = Flush(self.pid, message.view_id, self.queue.local.copy())
+        effects.append(Send(UnicastAddress(message.manager), flush, KIND_CBCAST_FLUSH))
+
+    def _handle_flush(self, message: Flush, effects: list[Effect]) -> None:
+        if self._pending_view is None or self._pending_view.manager != self.pid:
+            return
+        if message.view_id != self._pending_view.view_id:
+            return
+        self.stability.note_report(message.sender, message.delivered)
+        self._flushes.add(message.sender)
+        self._maybe_install(effects)
+
+    def _maybe_install(self, effects: list[Effect]) -> None:
+        assert self._pending_view is not None
+        needed = {
+            ProcessId(i) for i, alive in enumerate(self._pending_view.alive) if alive
+        }
+        if not needed <= self._flushes:
+            return
+        commit = ViewChange(
+            self.pid, self._pending_view.view_id, self._pending_view.alive, commit=True
+        )
+        effects.append(Send(self.group, commit, KIND_CBCAST_VIEW))
+        self.alive = list(commit.alive)
+        self.blocked = False
+        self._pending_view = None
+        self._flushes.clear()
+        self._suspected = {pid for pid in self._suspected if self.alive[pid]}
+
+    def _retransmit_unstable(self, effects: list[Effect]) -> None:
+        for message in self.stability.unstable_messages():
+            retransmission = CbcastData(
+                message.sender,
+                message.vt,
+                self.queue.local.copy(),
+                message.payload,
+                retransmission=True,
+            )
+            effects.append(Send(self.group, retransmission, KIND_CBCAST_DATA))

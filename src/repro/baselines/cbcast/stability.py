@@ -1,0 +1,64 @@
+"""CBCAST message stability via piggybacked delivery vectors.
+
+Every CBCAST data message piggybacks the sender's delivery vector;
+idle processes fall back to explicit stability gossip.  A message
+``(origin, seq)`` is *stable* once every view member's reported
+delivery vector covers it, at which point it can leave the
+retransmission buffer.
+"""
+
+from __future__ import annotations
+
+from ...types import ProcessId
+from .messages import CbcastData
+from .vector_clock import VectorClock
+
+__all__ = ["StabilityTracker"]
+
+
+class StabilityTracker:
+    """Per-member delivery knowledge and the unstable-message buffer."""
+
+    def __init__(self, n: int) -> None:
+        self._n = n
+        self._reported = [VectorClock(n) for _ in range(n)]
+        #: (origin, seq) -> buffered message awaiting stability.
+        self._buffer: dict[tuple[ProcessId, int], CbcastData] = {}
+
+    @property
+    def buffered_count(self) -> int:
+        return len(self._buffer)
+
+    def buffer(self, message: CbcastData) -> None:
+        """Retain a delivered message until it becomes stable."""
+        key = (message.sender, message.vt[message.sender])
+        self._buffer.setdefault(key, message)
+
+    def note_report(self, member: ProcessId, delivered: VectorClock) -> None:
+        """Fold a piggybacked/gossiped/flushed delivery vector."""
+        self._reported[member].merge(delivered)
+
+    def stable_vector(self, alive: list[bool]) -> VectorClock:
+        """Componentwise minimum over the alive members' reports."""
+        stable = [0] * self._n
+        rows = [self._reported[i] for i in range(self._n) if alive[i]]
+        if not rows:
+            return VectorClock(self._n)
+        for k in range(self._n):
+            stable[k] = min(row[k] for row in rows)
+        return VectorClock(stable)
+
+    def collect_garbage(self, alive: list[bool]) -> int:
+        """Drop stable messages from the buffer; returns count dropped."""
+        stable = self.stable_vector(alive)
+        victims = [
+            key for key in self._buffer if key[1] <= stable[key[0]]
+        ]
+        for key in victims:
+            del self._buffer[key]
+        return len(victims)
+
+    def unstable_messages(self) -> list[CbcastData]:
+        """Everything still buffered, in (origin, seq) order — this is
+        what a member retransmits during a flush."""
+        return [self._buffer[key] for key in sorted(self._buffer)]

@@ -1,0 +1,13 @@
+"""Psync baseline [PBS89]: context-graph conversations with mask_out."""
+
+from .context_graph import ContextGraph, GraphNode, MessageId
+from .protocol import KIND_PSYNC_DATA, PsyncData, PsyncEngine
+
+__all__ = [
+    "ContextGraph",
+    "GraphNode",
+    "MessageId",
+    "KIND_PSYNC_DATA",
+    "PsyncData",
+    "PsyncEngine",
+]

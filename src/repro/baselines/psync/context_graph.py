@@ -1,0 +1,135 @@
+"""The Psync context graph [PBS89].
+
+Psync models a *conversation* as a directed acyclic graph of messages:
+each message's *context* is the set of messages the sender had received
+when it sent — the current leaves of its local graph.  A received
+message can be attached (and delivered) only when its whole context is
+present; otherwise it waits in a bounded pending buffer, whose
+overflow policy is Psync's flow control ("deletion of the messages
+exceeding a given upper bound, thus increasing the rate of omission
+failures" — Section 6 of the reproduced paper).
+"""
+
+from __future__ import annotations
+
+from ...errors import DuplicateMidError
+from ...types import ProcessId
+
+__all__ = ["MessageId", "GraphNode", "ContextGraph"]
+
+#: Psync message ids: (sender, per-sender sequence).
+MessageId = tuple[ProcessId, int]
+
+
+class GraphNode:
+    """One vertex of the context graph."""
+
+    __slots__ = ("mid", "preds", "payload")
+
+    def __init__(self, mid: MessageId, preds: tuple[MessageId, ...], payload: bytes) -> None:
+        self.mid = mid
+        self.preds = preds
+        self.payload = payload
+
+
+class ContextGraph:
+    """One participant's view of the conversation.
+
+    Parameters
+    ----------
+    pending_bound:
+        Maximum messages parked waiting for context; beyond it the
+        *newest* arrival is dropped (counted as an induced omission).
+        ``None`` disables the bound.
+    """
+
+    def __init__(self, *, pending_bound: int | None = None) -> None:
+        self._nodes: dict[MessageId, GraphNode] = {}
+        self._leaves: set[MessageId] = set()
+        self._pending: dict[MessageId, GraphNode] = {}
+        self._masked: set[ProcessId] = set()
+        self.pending_bound = pending_bound
+        self.induced_omissions = 0
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def contains(self, mid: MessageId) -> bool:
+        return mid in self._nodes
+
+    def leaves(self) -> tuple[MessageId, ...]:
+        """The current context: messages with no successors yet."""
+        return tuple(sorted(self._leaves))
+
+    def node(self, mid: MessageId) -> GraphNode | None:
+        return self._nodes.get(mid)
+
+    def mask_out(self, pid: ProcessId) -> list[GraphNode]:
+        """Remove a failed participant from the conversation.
+
+        Pending messages *from* ``pid`` are dropped, and contexts that
+        reference ``pid``'s unreceived messages are waived, releasing
+        whatever they blocked.  Returns the released nodes, in
+        conversation order.
+        """
+        self._masked.add(pid)
+        for mid in [m for m in self._pending if m[0] == pid]:
+            del self._pending[mid]
+        return self._drain()
+
+    def masked(self) -> frozenset[ProcessId]:
+        return frozenset(self._masked)
+
+    def _context_satisfied(self, node: GraphNode) -> bool:
+        return all(
+            pred in self._nodes or pred[0] in self._masked for pred in node.preds
+        )
+
+    def attach(self, node: GraphNode) -> list[GraphNode]:
+        """Insert a (local or received) message.
+
+        Returns the messages that became attachable, in conversation
+        order (the given node first if its context was complete).
+        """
+        if node.mid in self._nodes or node.mid in self._pending:
+            raise DuplicateMidError(f"message {node.mid} already in the graph")
+        if node.mid[0] in self._masked:
+            self.induced_omissions += 1
+            return []
+        if not self._context_satisfied(node):
+            if (
+                self.pending_bound is not None
+                and len(self._pending) >= self.pending_bound
+            ):
+                # Flow control: drop the arrival, inducing an omission.
+                self.induced_omissions += 1
+                return []
+            self._pending[node.mid] = node
+            return []
+        self._insert(node)
+        return [node] + self._drain()
+
+    def _insert(self, node: GraphNode) -> None:
+        self._nodes[node.mid] = node
+        for pred in node.preds:
+            self._leaves.discard(pred)
+        self._leaves.add(node.mid)
+
+    def _drain(self) -> list[GraphNode]:
+        released: list[GraphNode] = []
+        progress = True
+        while progress:
+            progress = False
+            for mid in sorted(self._pending):
+                node = self._pending[mid]
+                if self._context_satisfied(node):
+                    del self._pending[mid]
+                    self._insert(node)
+                    released.append(node)
+                    progress = True
+                    break
+        return released

@@ -1,0 +1,151 @@
+"""The Psync conversation engine.
+
+A thin sans-IO engine over the context graph: sending attaches the
+current leaves as the message's context; receiving attaches/delivers
+in context order; ``mask_out`` (Psync's specialized failure operation)
+removes a crashed participant and unblocks whatever waited on it.
+
+The reproduced paper uses Psync only where "the comparison is
+possible": it shares urcgc's causal-delivery semantics but handles
+failures with a specialized blocking operation and controls buffering
+by *dropping* messages, which is what the Figure 6 discussion
+contrasts with urcgc's generation-throttling flow control.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from ...core.effects import Confirm, Deliver, Effect, Send
+from ...core.mid import Mid
+from ...errors import ConfigError, MemberLeftError
+from ...net.addressing import BROADCAST_GROUP, GroupAddress
+from ...net.wire import Reader, Writer, global_registry
+from ...types import ProcessId, SeqNo
+from .context_graph import ContextGraph, GraphNode, MessageId
+
+__all__ = ["PsyncData", "PsyncEngine", "KIND_PSYNC_DATA"]
+
+KIND_PSYNC_DATA = "data"
+_TAG_PSYNC = 40
+
+
+@dataclass(frozen=True)
+class PsyncData:
+    """A conversation message: id, context (predecessor ids), payload."""
+
+    sender: ProcessId
+    seq: int
+    preds: tuple[MessageId, ...]
+    payload: bytes = b""
+
+    @property
+    def mid(self) -> MessageId:
+        return (self.sender, self.seq)
+
+    def encode_fields(self, writer: Writer) -> None:
+        writer.u16(self.sender)
+        writer.u32(self.seq)
+        writer.u16(len(self.preds))
+        for pid, seq in self.preds:
+            writer.u16(pid)
+            writer.u32(seq)
+        writer.bytes_field(self.payload)
+
+    @classmethod
+    def decode_fields(cls, reader: Reader) -> "PsyncData":
+        sender = ProcessId(reader.u16())
+        seq = reader.u32()
+        preds = tuple(
+            (ProcessId(reader.u16()), reader.u32()) for _ in range(reader.u16())
+        )
+        payload = reader.bytes_field()
+        return cls(sender, seq, preds, payload)
+
+
+global_registry.register(_TAG_PSYNC, PsyncData, PsyncData.decode_fields)
+
+
+class PsyncEngine:
+    """One Psync conversation participant."""
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        n: int,
+        *,
+        group: GroupAddress = BROADCAST_GROUP,
+        pending_bound: int | None = None,
+    ) -> None:
+        if not 0 <= pid < n:
+            raise ConfigError(f"pid {pid} outside group of size {n}")
+        self.pid = pid
+        self.n = n
+        self.group = group
+        self.graph = ContextGraph(pending_bound=pending_bound)
+        self._outbox: deque[bytes] = deque()
+        self._seq = 0
+        self._crashed = False
+
+    # ------------------------------------------------------------------
+
+    def submit(self, payload: bytes) -> None:
+        if self._crashed:
+            raise MemberLeftError(f"p{self.pid} has crashed")
+        self._outbox.append(payload)
+
+    @property
+    def pending_submissions(self) -> int:
+        return len(self._outbox)
+
+    @property
+    def delivered_count(self) -> int:
+        return len(self.graph)
+
+    def mask_out(self, pid: ProcessId) -> list[Effect]:
+        """Psync's failure operation: drop ``pid`` from the conversation
+        and deliver whatever its removal unblocks."""
+        if self._crashed:
+            return []
+        return [Deliver(self._as_delivery(node)) for node in self.graph.mask_out(pid)]
+
+    def crash(self) -> None:
+        self._crashed = True
+
+    # ------------------------------------------------------------------
+
+    def on_round(self, round_no: int) -> list[Effect]:
+        if self._crashed or not self._outbox:
+            return []
+        effects: list[Effect] = []
+        payload = self._outbox.popleft()
+        self._seq += 1
+        message = PsyncData(self.pid, self._seq, self.graph.leaves(), payload)
+        node = GraphNode(message.mid, message.preds, message.payload)
+        for attached in self.graph.attach(node):
+            effects.append(Deliver(self._as_delivery(attached)))
+        effects.append(Send(self.group, message, KIND_PSYNC_DATA))
+        effects.append(Confirm(Mid(self.pid, SeqNo(self._seq))))
+        return effects
+
+    def on_message(self, message: object) -> list[Effect]:
+        if self._crashed:
+            return []
+        if not isinstance(message, PsyncData):
+            raise TypeError(f"unexpected message type {type(message).__name__}")
+        if self.graph.contains(message.mid):
+            return []
+        effects: list[Effect] = []
+        node = GraphNode(message.mid, message.preds, message.payload)
+        try:
+            attached = self.graph.attach(node)
+        except Exception:
+            return []
+        for released in attached:
+            effects.append(Deliver(self._as_delivery(released)))
+        return effects
+
+    @staticmethod
+    def _as_delivery(node: GraphNode) -> PsyncData:
+        return PsyncData(node.mid[0], node.mid[1], node.preds, node.payload)

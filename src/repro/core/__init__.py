@@ -1,0 +1,94 @@
+"""The urcgc protocol core — the paper's primary contribution.
+
+Sans-IO implementation of the Uniform Reliable Causal Group
+Communication algorithm: application-declared causal dependencies,
+rotating-coordinator decisions, history buffers with agreed cleaning,
+point-to-point recovery, orphan-sequence discard, and the distributed
+flow control of Section 6.
+"""
+
+from .causality import (
+    CausalContext,
+    ContiguousDependencyTracker,
+    FullCausalContext,
+    SetDependencyTracker,
+    validate_deps,
+)
+from .config import LeaveRule, UrcgcConfig
+from .decision import Decision, RequestInfo, compute_decision, initial_decision
+from .deliverer import CausalDeliverer
+from .effects import Confirm, Deliver, Discarded, Effect, Left, Send
+from .group_view import GroupView
+from .groups import (
+    CallHandle,
+    ClientServerGroup,
+    DiffusionGroup,
+    Role,
+    first_reply,
+    majority_vote,
+)
+from .history import History
+from .member import Member
+from .message import (
+    KIND_DATA,
+    KIND_DECISION,
+    KIND_RECOVERY_RQ,
+    KIND_RECOVERY_RSP,
+    KIND_REQUEST,
+    DecisionMessage,
+    RecoveryRequest,
+    RecoveryResponse,
+    RequestMessage,
+    UserMessage,
+)
+from .mid import Mid, NO_MESSAGE
+from .service import RequestHandle, UrcgcService
+from .total_order import TotalOrderView, attach_total_order
+from .waiting import WaitingList
+
+__all__ = [
+    "CausalContext",
+    "ContiguousDependencyTracker",
+    "FullCausalContext",
+    "SetDependencyTracker",
+    "validate_deps",
+    "LeaveRule",
+    "UrcgcConfig",
+    "Decision",
+    "RequestInfo",
+    "compute_decision",
+    "initial_decision",
+    "CausalDeliverer",
+    "Confirm",
+    "Deliver",
+    "Discarded",
+    "Effect",
+    "Left",
+    "Send",
+    "GroupView",
+    "CallHandle",
+    "ClientServerGroup",
+    "DiffusionGroup",
+    "Role",
+    "first_reply",
+    "majority_vote",
+    "History",
+    "Member",
+    "KIND_DATA",
+    "KIND_DECISION",
+    "KIND_RECOVERY_RQ",
+    "KIND_RECOVERY_RSP",
+    "KIND_REQUEST",
+    "DecisionMessage",
+    "RecoveryRequest",
+    "RecoveryResponse",
+    "RequestMessage",
+    "UserMessage",
+    "Mid",
+    "NO_MESSAGE",
+    "RequestHandle",
+    "UrcgcService",
+    "TotalOrderView",
+    "attach_total_order",
+    "WaitingList",
+]

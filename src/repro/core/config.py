@@ -1,0 +1,131 @@
+"""Configuration for the urcgc protocol.
+
+Collects every tunable the paper names — group cardinality ``n``, the
+crash-detection retry budget ``K``, the recovery budget ``R``
+(constrained to ``R > 2K``, since the paper requires ``R > 2K + f``),
+the resilience degree ``t = (n-1)/2``, and the flow-control threshold
+(``8n`` in the paper's simulations) — and validates the whole set
+eagerly so a bad experiment fails at construction, not mid-run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..errors import ConfigError
+
+__all__ = ["LeaveRule", "UrcgcConfig"]
+
+
+class LeaveRule(Enum):
+    """How a member decides it is receive-omitting and must leave.
+
+    ``CONFIRMED``
+        Count only decisions *known to have been made* (decision chains
+        carry a monotone counter; a gap in the chain proves missed
+        decisions).  Consecutive coordinator crashes produce no
+        decisions, so they are never mis-counted — this is the reading
+        of "fails to receive from K consecutive coordinators" that
+        keeps the group alive through ``f >= K`` coordinator crashes
+        (Figure 5 sweeps exactly that).
+    ``STRICT``
+        Count every subrun without a received decision, excusing only
+        coordinators already marked crashed in the local view.  This is
+        the literal Lemma 4.1 behaviour and additionally bounds the
+        damage of a process that can receive *nothing at all* (which
+        the CONFIRMED rule cannot detect locally).
+    ``NONE``
+        Never leave on missed decisions (for controlled experiments).
+    """
+
+    CONFIRMED = "confirmed"
+    STRICT = "strict"
+    NONE = "none"
+
+
+@dataclass(frozen=True)
+class UrcgcConfig:
+    """Immutable parameter set for one urcgc group.
+
+    Parameters
+    ----------
+    n:
+        Group cardinality (fixed at start; the paper's membership only
+        shrinks as crashes are detected).
+    K:
+        Subruns/retries before a silent process is declared crashed and
+        removed, and before a member applying ``LeaveRule`` gives up.
+    R:
+        Unsuccessful history-recovery attempts before a member leaves.
+        Defaults to ``2K + 2`` which satisfies the paper's ``R > 2K + f``
+        for ``f <= 1``; experiments with more coordinator crashes pass
+        a larger value explicitly.
+    flow_threshold:
+        History length at which a process refrains from generating new
+        messages; ``None`` computes the paper's ``8n``; 0 disables flow
+        control.
+    max_history:
+        Optional hard cap on history length; exceeding it raises
+        :class:`~repro.errors.HistoryOverflowError`.  Only meaningful
+        with flow control disabled.
+    leave_rule:
+        See :class:`LeaveRule`.
+    circulate_decisions:
+        The decision-circulation mechanism (each request forwards the
+        most recent decision).  Disabling it is an *ablation only*: it
+        breaks the paper's consistency argument under coordinator
+        crashes and slows history cleaning.
+    auto_significant:
+        When True (default) every processed message of a peer becomes a
+        causal dependency of the next generated message — the
+        conservative policy the paper simulates.  When False the
+        application declares significance explicitly through
+        :meth:`~repro.core.member.Member.mark_significant`, realizing
+        the concurrency the paper's Definition 3.1 permits.
+    """
+
+    n: int
+    K: int = 3
+    R: int | None = None
+    flow_threshold: int | None = None
+    max_history: int | None = None
+    leave_rule: LeaveRule = LeaveRule.CONFIRMED
+    circulate_decisions: bool = True
+    auto_significant: bool = True
+    #: Resilience degree: computed, not settable.
+    t: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise ConfigError(f"a group needs at least 2 processes, got n={self.n}")
+        if self.K < 1:
+            raise ConfigError(f"K must be >= 1, got {self.K}")
+        if self.R is not None and self.R <= 2 * self.K:
+            raise ConfigError(
+                f"R must exceed 2K (paper: R > 2K + f); got R={self.R}, K={self.K}"
+            )
+        if self.flow_threshold is not None and self.flow_threshold < 0:
+            raise ConfigError(f"flow_threshold must be >= 0, got {self.flow_threshold}")
+        if self.max_history is not None and self.max_history < 1:
+            raise ConfigError(f"max_history must be >= 1, got {self.max_history}")
+        object.__setattr__(self, "t", (self.n - 1) // 2)
+
+    @property
+    def recovery_budget(self) -> int:
+        """Effective R: explicit value or the paper-safe default."""
+        return self.R if self.R is not None else 2 * self.K + 2
+
+    @property
+    def effective_flow_threshold(self) -> int:
+        """Effective history threshold: explicit, or the paper's 8n.
+
+        A value of 0 disables flow control.
+        """
+        if self.flow_threshold is None:
+            return 8 * self.n
+        return self.flow_threshold
+
+    @property
+    def flow_control_enabled(self) -> bool:
+        return self.effective_flow_threshold > 0

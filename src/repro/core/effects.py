@@ -1,0 +1,94 @@
+"""Effects emitted by the sans-IO protocol engines.
+
+Engines never touch a socket or a clock: handlers return a list of
+effects which the driver (simulator or asyncio runtime) executes.
+This keeps every protocol state machine directly unit-testable and
+host-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..net.addressing import Address
+from .mid import Mid
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .message import UserMessage
+
+__all__ = [
+    "Effect",
+    "Send",
+    "Deliver",
+    "Confirm",
+    "Left",
+    "Discarded",
+    "MembershipChange",
+]
+
+
+class Effect:
+    """Marker base class for engine effects."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Send(Effect):
+    """Transmit ``message`` (a wire-encodable PDU) to ``dst``."""
+
+    dst: Address
+    message: object
+    kind: str
+
+
+@dataclass(frozen=True)
+class Deliver(Effect):
+    """A user message was processed: hand it to the application.
+
+    This is the urcgc.data.Ind primitive of the service interface.
+    """
+
+    message: "UserMessage"
+
+
+@dataclass(frozen=True)
+class Confirm(Effect):
+    """The local entity processed the application's own message.
+
+    This is the urcgc.data.Conf primitive: the submitting user entity
+    unblocks when it arrives.
+    """
+
+    mid: Mid
+
+
+@dataclass(frozen=True)
+class Left(Effect):
+    """The engine left the group (suicide, missed decisions, or
+    exhausted recovery budget)."""
+
+    reason: str
+
+
+@dataclass(frozen=True)
+class Discarded(Effect):
+    """Waiting messages were destroyed by the orphan-discard rule."""
+
+    lost: Mid
+    discarded: tuple[Mid, ...]
+
+
+@dataclass(frozen=True)
+class MembershipChange(Effect):
+    """The local group view removed crashed/left processes.
+
+    Emitted when applying a decision shrinks the view; ``removed``
+    lists the newly-excluded pids and ``alive`` is the resulting
+    membership vector.  Applications use this for the view-change
+    notifications a group service conventionally provides.
+    """
+
+    removed: tuple[int, ...]
+    alive: tuple[bool, ...]

@@ -1,0 +1,87 @@
+"""The local group view and the rotating-coordinator rule.
+
+"A local group view describes the knowledge that each process has
+acquired about the whole system of processes" (Section 4).  Views only
+shrink: a process removed as crashed never rejoins (the paper does not
+define joins).  All view updates flow through coordinator decisions,
+so every process applies the same removals — possibly at different
+times, which the protocol tolerates.
+
+The coordinator of subrun ``s`` is the process at position ``s mod n``
+in the original ordering, skipping processes the local view marks
+crashed (the rotation is over *active* processes).  While views agree
+this is deterministic and identical everywhere.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError, NotInGroupError
+from ..types import ProcessId, SubrunNo
+
+__all__ = ["GroupView"]
+
+
+class GroupView:
+    """Membership knowledge of one process."""
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ConfigError(f"group size must be >= 1, got {n}")
+        self._alive = [True] * n
+
+    @property
+    def n(self) -> int:
+        """Original cardinality (including removed processes)."""
+        return len(self._alive)
+
+    def is_alive(self, pid: ProcessId) -> bool:
+        self._check(pid)
+        return self._alive[pid]
+
+    def remove(self, pid: ProcessId) -> None:
+        """Mark ``pid`` crashed/left (idempotent)."""
+        self._check(pid)
+        self._alive[pid] = False
+
+    def alive_set(self) -> frozenset[ProcessId]:
+        return frozenset(
+            ProcessId(pid) for pid, alive in enumerate(self._alive) if alive
+        )
+
+    def alive_count(self) -> int:
+        return sum(self._alive)
+
+    def alive_vector(self) -> list[bool]:
+        """Copy of the per-process alive flags, index = pid."""
+        return list(self._alive)
+
+    def apply_vector(self, alive: list[bool]) -> list[ProcessId]:
+        """Adopt a decision's membership vector; returns newly-removed
+        pids.  Membership is monotone — a decision can never resurrect
+        a process this view already removed."""
+        if len(alive) != len(self._alive):
+            raise ConfigError(
+                f"membership vector length {len(alive)} != group size {len(self._alive)}"
+            )
+        removed: list[ProcessId] = []
+        for pid, flag in enumerate(alive):
+            if not flag and self._alive[pid]:
+                self._alive[pid] = False
+                removed.append(ProcessId(pid))
+        return removed
+
+    def coordinator_of(self, subrun: SubrunNo) -> ProcessId:
+        """Rotating coordinator: position ``subrun mod n``, skipping
+        processes this view marks crashed."""
+        n = len(self._alive)
+        if not any(self._alive):
+            raise NotInGroupError("every process has left the group")
+        for offset in range(n):
+            candidate = (subrun + offset) % n
+            if self._alive[candidate]:
+                return ProcessId(candidate)
+        raise AssertionError("unreachable: alive process exists")
+
+    def _check(self, pid: ProcessId) -> None:
+        if not 0 <= pid < len(self._alive):
+            raise NotInGroupError(f"pid {pid} outside group of size {len(self._alive)}")

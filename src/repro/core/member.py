@@ -1,0 +1,495 @@
+"""The urcgc member engine — one process of the group.
+
+This is the paper's Section 4 algorithm as a sans-IO state machine.
+The driver calls :meth:`Member.on_round` at every round boundary and
+:meth:`Member.on_message` for every received PDU; both return effects
+(:mod:`repro.core.effects`) the driver executes.
+
+Per subrun ``s`` (rounds ``2s`` and ``2s+1``):
+
+* **First round** — if the application queued a payload and flow
+  control permits, allocate the next mid, fill the dependency list,
+  broadcast the :class:`~repro.core.message.UserMessage` to the group
+  and process it locally.  Then send the coordinator a
+  :class:`~repro.core.message.RequestMessage` with ``last_processed``,
+  the oldest waiting mid per sequence, and the latest received
+  decision (decision circulation).
+* **Second round** — the subrun's coordinator folds the requests that
+  arrived (plus its own state) into a new decision via
+  :func:`~repro.core.decision.compute_decision` and broadcasts it.
+
+Applying a decision drives every embedded fault-handling mechanism:
+membership updates and suicide, history cleaning (only on
+``full_group`` decisions), orphan-sequence discard, recovery requests
+to the ``most_updated`` process, the ``R``-attempt recovery budget,
+and the leave-on-missed-decisions rule.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..errors import MemberLeftError, NotInGroupError
+from ..net.addressing import BROADCAST_GROUP, GroupAddress, UnicastAddress
+from ..types import ProcessId, SeqNo, SubrunNo
+from .causality import CausalContext, ContiguousDependencyTracker
+from .config import LeaveRule, UrcgcConfig
+from .decision import Decision, RequestInfo, compute_decision, initial_decision
+from .effects import (
+    Confirm,
+    Deliver,
+    Discarded,
+    Effect,
+    Left,
+    MembershipChange,
+    Send,
+)
+from .group_view import GroupView
+from .history import History
+from .message import (
+    KIND_DATA,
+    KIND_DECISION,
+    KIND_RECOVERY_RQ,
+    KIND_RECOVERY_RSP,
+    KIND_REQUEST,
+    DecisionMessage,
+    RecoveryRequest,
+    RecoveryResponse,
+    RequestMessage,
+    UserMessage,
+)
+from .mid import Mid, NO_MESSAGE
+from .waiting import WaitingList
+
+__all__ = ["Member"]
+
+
+class Member:
+    """One urcgc protocol engine.
+
+    Parameters
+    ----------
+    pid:
+        This process's id, ``0 <= pid < config.n``.
+    config:
+        Group-wide parameter set (identical at every member).
+    group:
+        Multicast address of the peer group.
+    """
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        config: UrcgcConfig,
+        *,
+        group: GroupAddress = BROADCAST_GROUP,
+    ) -> None:
+        if not 0 <= pid < config.n:
+            raise NotInGroupError(f"pid {pid} outside group of size {config.n}")
+        self.pid = pid
+        self.config = config
+        self.group = group
+        self.view = GroupView(config.n)
+        self.context = CausalContext(pid, auto_significant=config.auto_significant)
+        self.tracker = ContiguousDependencyTracker()
+        self.history = History(max_length=config.max_history)
+        self.waiting = WaitingList()
+        self.latest_decision: Decision = initial_decision(config.n)
+
+        self._outbox: deque[bytes] = deque()
+        self._subrun: SubrunNo = SubrunNo(0)
+        self._requests: dict[ProcessId, RequestInfo] = {}
+        self._requests_subrun: SubrunNo = SubrunNo(-1)
+        self._left_reason: str | None = None
+
+        # Leave-rule state.
+        self._strict_misses = 0
+        self._decision_seen_for: SubrunNo = SubrunNo(-1)
+
+        # Recovery state: per-origin attempt counters and the
+        # last_processed value observed when the last attempt was made.
+        self._recovery_attempts: dict[ProcessId, int] = {}
+        self._recovery_baseline: dict[ProcessId, SeqNo] = {}
+
+        # Orphan-discard marks: origin -> first discarded seq.
+        self._discarded_from: dict[ProcessId, SeqNo] = {}
+
+        # Introspection counters (read by the harness and tests).
+        self.generated_count = 0
+        self.processed_count = 0
+        self.duplicate_count = 0
+        self.flow_blocked_rounds = 0
+        self.forked_decisions_rejected = 0
+        self.full_group_decisions_seen = 0
+
+    # ------------------------------------------------------------------
+    # public state
+    # ------------------------------------------------------------------
+
+    @property
+    def has_left(self) -> bool:
+        return self._left_reason is not None
+
+    @property
+    def left_reason(self) -> str | None:
+        return self._left_reason
+
+    @property
+    def history_length(self) -> int:
+        return len(self.history)
+
+    @property
+    def waiting_length(self) -> int:
+        return len(self.waiting)
+
+    @property
+    def pending_submissions(self) -> int:
+        return len(self._outbox)
+
+    def last_processed_vector(self) -> tuple[SeqNo, ...]:
+        """``last_processed[j]`` for every ``j`` (Section 4's request field)."""
+        return tuple(
+            self.tracker.last_processed(ProcessId(k)) for k in range(self.config.n)
+        )
+
+    # ------------------------------------------------------------------
+    # application interface (used by the service layer)
+    # ------------------------------------------------------------------
+
+    def submit(self, payload: bytes) -> None:
+        """Queue a payload; it is broadcast at the next permitted round.
+
+        One message is generated per round (the paper's maximum service
+        rate); extra submissions queue behind it.
+        """
+        if self.has_left:
+            raise MemberLeftError(f"p{self.pid} left the group: {self._left_reason}")
+        self._outbox.append(payload)
+
+    def mark_significant(self, origin: ProcessId) -> None:
+        """Declare a causal dependency on ``origin``'s latest processed
+        message for this process's next generated message."""
+        self.context.mark_significant(origin)
+
+    # ------------------------------------------------------------------
+    # driver interface
+    # ------------------------------------------------------------------
+
+    def on_round(self, round_no: int) -> list[Effect]:
+        """Handle a round boundary; returns the effects to execute."""
+        if self.has_left:
+            return []
+        effects: list[Effect] = []
+        subrun = SubrunNo(round_no // 2)
+        self._subrun = subrun
+        if round_no % 2 == 0:
+            self._first_round(subrun, effects)
+        else:
+            self._second_round(subrun, effects)
+        return effects
+
+    def on_message(self, message: object) -> list[Effect]:
+        """Handle a received PDU; returns the effects to execute."""
+        if self.has_left:
+            return []
+        effects: list[Effect] = []
+        if isinstance(message, UserMessage):
+            self._handle_user_message(message, effects)
+        elif isinstance(message, RequestMessage):
+            self._handle_request(message, effects)
+        elif isinstance(message, DecisionMessage):
+            self._apply_decision(message.decision, effects)
+        elif isinstance(message, RecoveryRequest):
+            self._handle_recovery_request(message, effects)
+        elif isinstance(message, RecoveryResponse):
+            for user_message in message.messages:
+                if self.has_left:
+                    break
+                self._handle_user_message(user_message, effects)
+        else:
+            raise TypeError(f"unexpected message type {type(message).__name__}")
+        return effects
+
+    # ------------------------------------------------------------------
+    # round handlers
+    # ------------------------------------------------------------------
+
+    def _first_round(self, subrun: SubrunNo, effects: list[Effect]) -> None:
+        self._account_missed_decision(subrun, effects)
+        if self.has_left:
+            return
+        self._maybe_generate(effects)
+        coordinator = self.view.coordinator_of(subrun)
+        info = RequestInfo(self.last_processed_vector(), self._waiting_vector())
+        if coordinator == self.pid:
+            # The coordinator's own state counts as a request; no
+            # network traffic for it (Table 1: 2(n-1) control messages).
+            self._stash_request(subrun, self.pid, info)
+        else:
+            # Decision circulation: forward the most recent decision so
+            # the next coordinator can continue the chain.  The
+            # ablation variant ships the initial decision instead,
+            # which carries no knowledge.
+            circulated = (
+                self.latest_decision
+                if self.config.circulate_decisions
+                else initial_decision(self.config.n)
+            )
+            request = RequestMessage(self.pid, subrun, info, circulated)
+            effects.append(Send(UnicastAddress(coordinator), request, KIND_REQUEST))
+
+    def _second_round(self, subrun: SubrunNo, effects: list[Effect]) -> None:
+        if self.view.coordinator_of(subrun) != self.pid:
+            return
+        if self._requests_subrun != subrun:
+            self._requests = {}
+        decision = compute_decision(
+            subrun, self.pid, self.latest_decision, self._requests, self.config.K
+        )
+        self._requests = {}
+        effects.append(Send(self.group, DecisionMessage(decision), KIND_DECISION))
+        self._apply_decision(decision, effects)
+
+    def _maybe_generate(self, effects: list[Effect]) -> None:
+        if not self._outbox:
+            return
+        if (
+            self.config.flow_control_enabled
+            and len(self.history) >= self.config.effective_flow_threshold
+        ):
+            # Distributed flow control (Section 6): refrain from
+            # generating until the history drains below the threshold.
+            self.flow_blocked_rounds += 1
+            return
+        payload = self._outbox.popleft()
+        mid, deps = self.context.next_message()
+        message = UserMessage(mid, deps, payload)
+        self.generated_count += 1
+        effects.append(Send(self.group, message, KIND_DATA))
+        self._process(message, effects)
+        effects.append(Confirm(mid))
+
+    # ------------------------------------------------------------------
+    # message processing (GMT sublayer: process / wait / history)
+    # ------------------------------------------------------------------
+
+    def _handle_user_message(self, message: UserMessage, effects: list[Effect]) -> None:
+        mid = message.mid
+        if self._is_discarded(mid) or any(self._is_discarded(d) for d in message.deps):
+            return
+        if self.tracker.is_processed(mid) or mid in self.waiting:
+            self.duplicate_count += 1
+            return
+        missing = {dep for dep in message.deps if not self.tracker.is_processed(dep)}
+        predecessor = mid.predecessor
+        if predecessor is not None and not self.tracker.is_processed(predecessor):
+            # Sequence contiguity is an implicit dependency even if the
+            # sender omitted it from the explicit list.
+            missing.add(predecessor)
+        if missing:
+            self.waiting.add(message, missing)
+        else:
+            self._process(message, effects)
+
+    def _process(self, message: UserMessage, effects: list[Effect]) -> None:
+        """Process a message whose causal cut is complete, then drain
+        every waiting message this releases (in causal order)."""
+        queue = deque([message])
+        while queue:
+            current = queue.popleft()
+            self.tracker.mark_processed(current.mid)
+            self.context.note_processed(current.mid)
+            self.history.store(current)
+            self.processed_count += 1
+            # Progress on this origin resets its recovery budget.
+            self._recovery_attempts.pop(current.mid.origin, None)
+            self._recovery_baseline.pop(current.mid.origin, None)
+            effects.append(Deliver(current))
+            queue.extend(self.waiting.notify_processed(current.mid))
+
+    def _is_discarded(self, mid: Mid) -> bool:
+        mark = self._discarded_from.get(mid.origin)
+        return mark is not None and mid.seq >= mark
+
+    def _waiting_vector(self) -> tuple[SeqNo, ...]:
+        oldest = self.waiting.oldest_waiting()
+        return tuple(
+            oldest.get(ProcessId(k), NO_MESSAGE) for k in range(self.config.n)
+        )
+
+    # ------------------------------------------------------------------
+    # coordination (GC sublayer: requests and decisions)
+    # ------------------------------------------------------------------
+
+    def _stash_request(
+        self, subrun: SubrunNo, sender: ProcessId, info: RequestInfo
+    ) -> None:
+        if self._requests_subrun != subrun:
+            self._requests = {}
+            self._requests_subrun = subrun
+        self._requests[sender] = info
+
+    def _handle_request(self, request: RequestMessage, effects: list[Effect]) -> None:
+        # Adopt a newer circulated decision regardless of whether we
+        # are the coordinator the sender believes in.
+        self._apply_decision(request.decision, effects)
+        if self.has_left:
+            return
+        if self.view.coordinator_of(request.subrun) != self.pid:
+            return
+        if request.subrun < self._subrun:
+            return  # stale request from a past subrun
+        self._stash_request(request.subrun, request.sender, request.info)
+
+    def _apply_decision(self, decision: Decision, effects: list[Effect]) -> None:
+        if not decision.is_newer_than(self.latest_decision):
+            return
+        if decision.chain <= self.latest_decision.chain:
+            # A later-numbered decision with a shorter (or equal) chain
+            # did not descend from the decision we already hold: its
+            # coordinator was cut off from the circulation (e.g. a
+            # totally receive-omitting process).  The paper's
+            # consistency argument ("coordinator c knows the decision
+            # of coordinator c-1") only covers decisions extending the
+            # chain, so a forked decision is discarded.
+            self.forked_decisions_rejected += 1
+            return
+        chain_gap = decision.chain - self.latest_decision.chain - 1
+        if (
+            self.config.leave_rule is LeaveRule.CONFIRMED
+            and chain_gap >= self.config.K
+        ):
+            # We provably failed to receive from K consecutive
+            # (decision-producing) coordinators.
+            self._leave(f"missed {chain_gap} consecutive decisions", effects)
+            return
+        self.latest_decision = decision
+        self._decision_seen_for = max(self._decision_seen_for, decision.number)
+        self._strict_misses = 0
+
+        removed = self.view.apply_vector(list(decision.alive))
+        if removed:
+            effects.append(
+                MembershipChange(
+                    tuple(int(pid) for pid in removed),
+                    tuple(self.view.alive_vector()),
+                )
+            )
+        if not self.view.is_alive(self.pid):
+            # "When an alive process notices it is supposed dead, it
+            # commits suicide."
+            self._leave("suicide: presumed crashed by the group", effects)
+            return
+
+        if decision.full_group:
+            self.full_group_decisions_seen += 1
+            self.history.clean_vector(
+                {
+                    ProcessId(k): decision.stable[k]
+                    for k in range(decision.n)
+                }
+            )
+            self._orphan_discard(decision, effects)
+        self._plan_recovery(decision, effects)
+
+    def _orphan_discard(self, decision: Decision, effects: list[Effect]) -> None:
+        """Destroy waiting messages whose causal predecessor is lost.
+
+        Fires only on full-group decisions, where ``max_processed`` is
+        exact over the active group: if the oldest waiting message of a
+        *crashed* origin leaves a gap above ``max_processed``, every
+        holder of the gap message crashed and the tail of the sequence
+        is unrecoverable.
+        """
+        for k in range(decision.n):
+            if decision.alive[k]:
+                continue
+            origin = ProcessId(k)
+            min_waiting = decision.min_waiting[k]
+            max_processed = decision.max_processed[k]
+            if min_waiting == NO_MESSAGE or min_waiting <= max_processed + 1:
+                continue
+            lost = Mid(origin, SeqNo(max_processed + 1))
+            mark = SeqNo(max_processed + 1)
+            current = self._discarded_from.get(origin)
+            if current is not None and current <= mark:
+                continue
+            self._discarded_from[origin] = mark
+            discarded = self.waiting.discard_dependent(lost)
+            effects.append(Discarded(lost, tuple(discarded)))
+
+    def _plan_recovery(self, decision: Decision, effects: list[Effect]) -> None:
+        """Ask the most-updated process for the messages we miss."""
+        ranges_by_holder: dict[ProcessId, list[tuple[ProcessId, SeqNo, SeqNo]]] = {}
+        for k in range(decision.n):
+            origin = ProcessId(k)
+            mine = self.tracker.last_processed(origin)
+            target = decision.max_processed[k]
+            discarded = self._discarded_from.get(origin)
+            if discarded is not None:
+                target = min(target, SeqNo(discarded - 1))
+            if target <= mine:
+                continue
+            holder = decision.most_updated[k]
+            if holder == self.pid or not self.view.is_alive(holder):
+                continue
+            baseline = self._recovery_baseline.get(origin)
+            if baseline is not None and baseline >= mine:
+                # No progress since the previous attempt.
+                attempts = self._recovery_attempts.get(origin, 0) + 1
+            else:
+                attempts = 1
+            self._recovery_attempts[origin] = attempts
+            self._recovery_baseline[origin] = mine
+            if attempts > self.config.recovery_budget:
+                self._leave(
+                    f"recovery of origin {origin} exhausted after {attempts - 1} attempts",
+                    effects,
+                )
+                return
+            first = SeqNo(mine + 1)
+            ranges_by_holder.setdefault(holder, []).append((origin, first, target))
+        for holder, ranges in sorted(ranges_by_holder.items()):
+            request = RecoveryRequest(self.pid, tuple(ranges))
+            effects.append(Send(UnicastAddress(holder), request, KIND_RECOVERY_RQ))
+
+    def _handle_recovery_request(
+        self, request: RecoveryRequest, effects: list[Effect]
+    ) -> None:
+        messages: list[UserMessage] = []
+        for origin, first, last in request.ranges:
+            messages.extend(self.history.fetch_range(origin, first, last))
+        response = RecoveryResponse(self.pid, tuple(messages))
+        effects.append(Send(UnicastAddress(request.sender), response, KIND_RECOVERY_RSP))
+
+    # ------------------------------------------------------------------
+    # leave rules
+    # ------------------------------------------------------------------
+
+    def _account_missed_decision(self, subrun: SubrunNo, effects: list[Effect]) -> None:
+        """At the start of subrun ``s`` check whether subrun ``s-1``
+        produced a decision we received (STRICT rule only)."""
+        if self.config.leave_rule is not LeaveRule.STRICT or subrun == 0:
+            return
+        previous = SubrunNo(subrun - 1)
+        if self._decision_seen_for >= previous:
+            return
+        try:
+            coordinator = self.view.coordinator_of(previous)
+        except NotInGroupError:
+            return
+        if not self.view.is_alive(coordinator):
+            return  # excused: the local view already knows it crashed
+        self._strict_misses += 1
+        if self._strict_misses >= self.config.K:
+            self._leave(
+                f"missed decisions from {self._strict_misses} consecutive coordinators",
+                effects,
+            )
+
+    def _leave(self, reason: str, effects: list[Effect]) -> None:
+        if self.has_left:
+            return
+        self._left_reason = reason
+        self.view.remove(self.pid)
+        effects.append(Left(reason))

@@ -1,0 +1,48 @@
+"""Message identifiers.
+
+Every urcgc message carries a *mid* that uniquely identifies it: the
+generating process and the progressive order the process assigned
+(Section 4: "it assigns to msg a progressive order").  Under the
+paper's intermediate causality interpretation each process roots one
+sequence, so ``(origin, seq)`` totally orders messages within an
+origin, and ``seq`` starts at 1 (0 is the "nothing yet" sentinel used
+in ``last_processed``-style vectors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CausalityViolationError
+from ..types import ProcessId, SeqNo
+
+__all__ = ["Mid", "NO_MESSAGE"]
+
+#: Sentinel sequence number meaning "no message of this origin yet".
+NO_MESSAGE: SeqNo = SeqNo(0)
+
+
+@dataclass(frozen=True, order=True)
+class Mid:
+    """Unique message id: ``(origin process, progressive order)``."""
+
+    origin: ProcessId
+    seq: SeqNo
+
+    def __post_init__(self) -> None:
+        if self.seq < 1:
+            raise CausalityViolationError(
+                f"message sequence numbers start at 1, got {self.seq}"
+            )
+        if self.origin < 0:
+            raise CausalityViolationError(f"negative origin {self.origin}")
+
+    @property
+    def predecessor(self) -> "Mid | None":
+        """The previous message of the same sequence (None for the root)."""
+        if self.seq == 1:
+            return None
+        return Mid(self.origin, SeqNo(self.seq - 1))
+
+    def __str__(self) -> str:
+        return f"m({self.origin},{self.seq})"

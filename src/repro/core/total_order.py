@@ -1,0 +1,163 @@
+"""Total ordering on top of urcgc — the paper's sibling *urgc* service.
+
+The paper positions urcgc next to its earlier total-order algorithm
+([APR93], "urgc"): same uniform reliability, but "all the members of G
+consistently decide on the same progressive order to process
+messages" — the service replicated-data applications need (Section 2's
+ABCAST analogy).
+
+This layer derives that order from machinery urcgc already has.  Every
+**full-group decision** fixes a *stabilization batch*: the messages its
+``stable`` vector newly covers.  All members that observe the same
+decision compute the identical batch, and within a batch the rank is
+the deterministic ``(origin, seq)`` sort — so the concatenation of
+batches is one total order, and it extends the causal order (a
+dependency is always covered no later than its dependent).
+
+Batch boundaries are only known to members that see *every* full-group
+decision.  Decisions therefore carry a ``full_group_count``; a member
+that skips one (receive omission swallowing a decision broadcast)
+detects the jump and flags itself **desynchronized** instead of
+silently releasing a differently-interleaved order — fail-notify, the
+honest semantic for a total-order view without a batch-replay protocol.
+
+The price of total order is latency: release waits for stability,
+about one subrun behind urcgc's causal delivery — exactly the
+ABCAST-vs-CBCAST trade the paper sketches in Section 2.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..types import ProcessId, SeqNo
+from .decision import Decision
+from .effects import Deliver, Effect, Send
+from .member import Member
+from .message import UserMessage
+from .mid import Mid
+
+__all__ = ["TotalOrderView", "attach_total_order"]
+
+TotalOrderHandler = Callable[[UserMessage], None]
+
+
+class TotalOrderView:
+    """Totally ordered delivery derived from one member's decisions.
+
+    Wrap a :class:`Member` and route its effects through
+    :meth:`process_effects`; the ``on_total_order`` callback then fires
+    for every message, in the group-wide total order.
+    """
+
+    def __init__(
+        self,
+        member: Member,
+        *,
+        on_total_order: TotalOrderHandler | None = None,
+    ) -> None:
+        self.member = member
+        self._on_total_order = on_total_order
+        #: Causally delivered, not yet released in total order.
+        self._pending: dict[Mid, UserMessage] = {}
+        #: Batch frontier: stable vector of the last absorbed batch.
+        self._released_stable = [0] * member.config.n
+        #: Mids sequenced (batch boundaries fixed) but not yet released
+        #: because their causal delivery has not happened here yet.
+        self._release_queue: list[Mid] = []
+        self._last_decision_number = -1
+        self._last_full_group_count = 0
+        #: True once a stabilization batch was provably missed: ranks
+        #: can no longer be computed consistently.
+        self.desynchronized = False
+        #: The totally ordered output, in release order.
+        self.ordered: list[UserMessage] = []
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    @property
+    def sequenced_unreleased(self) -> int:
+        return len(self._release_queue)
+
+    def process_effects(self, effects: list[Effect]) -> list[Send]:
+        """Feed the member's effects; returns the Sends for the driver."""
+        sends: list[Send] = []
+        for effect in effects:
+            if isinstance(effect, Send):
+                sends.append(effect)
+            elif isinstance(effect, Deliver):
+                self._pending[effect.message.mid] = effect.message
+        # Decision adoption happened inside the member while producing
+        # these effects; observe the result.
+        self._absorb_decision(self.member.latest_decision)
+        self._drain()
+        return sends
+
+    # ------------------------------------------------------------------
+
+    def _absorb_decision(self, decision: Decision) -> None:
+        if (
+            self.desynchronized
+            or not decision.full_group
+            or decision.number <= self._last_decision_number
+        ):
+            return
+        self._last_decision_number = decision.number
+        if decision.full_group_count != self._last_full_group_count + 1:
+            # A stabilization batch was missed: its internal boundaries
+            # are unknowable here, so ranks would diverge from the rest
+            # of the group.  Fail-notify instead.
+            self.desynchronized = True
+            return
+        self._last_full_group_count = decision.full_group_count
+        batch: list[Mid] = []
+        for origin in range(decision.n):
+            for seq in range(
+                self._released_stable[origin] + 1, decision.stable[origin] + 1
+            ):
+                batch.append(Mid(ProcessId(origin), SeqNo(seq)))
+            self._released_stable[origin] = max(
+                self._released_stable[origin], decision.stable[origin]
+            )
+        batch.sort(key=lambda mid: (mid.origin, mid.seq))
+        self._release_queue.extend(batch)
+
+    def _drain(self) -> None:
+        while self._release_queue:
+            head = self._release_queue[0]
+            message = self._pending.pop(head, None)
+            if message is None:
+                return  # causal delivery of the head hasn't happened yet
+            self._release_queue.pop(0)
+            self.ordered.append(message)
+            if self._on_total_order is not None:
+                self._on_total_order(message)
+
+    def order_rank(self, mid: Mid) -> int | None:
+        """Position of ``mid`` in the released total order, if any."""
+        for index, message in enumerate(self.ordered):
+            if message.mid == mid:
+                return index
+        return None
+
+
+def attach_total_order(cluster, *, handlers=None) -> list["TotalOrderView"]:
+    """Wrap every member of a SimCluster with a :class:`TotalOrderView`,
+    splicing into each service's dispatch.  Returns the views,
+    index-aligned with the cluster's members."""
+    views = []
+    for i, service in enumerate(cluster.services):
+        handler = handlers[i] if handlers else None
+        view = TotalOrderView(cluster.members[i], on_total_order=handler)
+        original_dispatch = service.dispatch
+
+        def dispatch(effects, view=view, original=original_dispatch):
+            sends = original(effects)
+            view.process_effects(effects)
+            return sends
+
+        service.dispatch = dispatch  # type: ignore[method-assign]
+        views.append(view)
+    return views

@@ -1,0 +1,124 @@
+"""The waiting list.
+
+A received message whose causal predecessors have not all been
+processed "is temporarily entered a waiting list waiting for the
+missing messages" (Section 4).  The list indexes waiting messages by
+the mids they block on, so processing one message releases exactly the
+messages it unblocks; it also answers the two queries the protocol
+needs: the oldest waiting mid per sequence (sent to the coordinator in
+requests) and transitive discard of messages depending on a lost one.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..errors import DuplicateMidError
+from ..types import ProcessId, SeqNo
+from .mid import Mid
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .message import UserMessage
+
+__all__ = ["WaitingList"]
+
+
+class WaitingList:
+    """Messages received but not yet processable, indexed by blocker."""
+
+    def __init__(self) -> None:
+        #: mid -> (message, set of mids still missing)
+        self._waiting: dict[Mid, tuple["UserMessage", set[Mid]]] = {}
+        #: missing mid -> set of waiting mids blocked on it
+        self._blocked_on: dict[Mid, set[Mid]] = {}
+
+    def __len__(self) -> int:
+        return len(self._waiting)
+
+    def __contains__(self, mid: Mid) -> bool:
+        return mid in self._waiting
+
+    def add(self, message: "UserMessage", missing: set[Mid]) -> None:
+        """Park ``message`` until every mid in ``missing`` is processed."""
+        if not missing:
+            raise ValueError(f"{message.mid} has no missing deps; process it instead")
+        if message.mid in self._waiting:
+            raise DuplicateMidError(f"{message.mid} already waiting")
+        self._waiting[message.mid] = (message, set(missing))
+        for blocker in missing:
+            self._blocked_on.setdefault(blocker, set()).add(message.mid)
+
+    def get(self, mid: Mid) -> "UserMessage | None":
+        entry = self._waiting.get(mid)
+        return entry[0] if entry else None
+
+    def notify_processed(self, mid: Mid) -> list["UserMessage"]:
+        """Record that ``mid`` was processed; return newly-released
+        messages (every dependency satisfied), in mid order."""
+        blocked = self._blocked_on.pop(mid, None)
+        if not blocked:
+            return []
+        released: list["UserMessage"] = []
+        for waiting_mid in sorted(blocked):
+            message, missing = self._waiting[waiting_mid]
+            missing.discard(mid)
+            if not missing:
+                del self._waiting[waiting_mid]
+                released.append(message)
+        return released
+
+    def oldest_waiting(self) -> dict[ProcessId, SeqNo]:
+        """Oldest waiting seq per origin (the request's ``waiting`` field)."""
+        oldest: dict[ProcessId, SeqNo] = {}
+        for mid in self._waiting:
+            current = oldest.get(mid.origin)
+            if current is None or mid.seq < current:
+                oldest[mid.origin] = mid.seq
+        return oldest
+
+    def missing_for(self, mid: Mid) -> set[Mid]:
+        """The mids ``mid`` is still blocked on (empty if not waiting)."""
+        entry = self._waiting.get(mid)
+        return set(entry[1]) if entry else set()
+
+    def all_missing(self) -> set[Mid]:
+        """Every mid some waiting message is blocked on."""
+        return set(self._blocked_on)
+
+    def discard_dependent(self, lost: Mid) -> list[Mid]:
+        """Drop every waiting message that transitively depends on
+        ``lost`` (the orphan-discard rule) and return their mids.
+
+        A waiting message depends on ``lost`` if ``lost`` is among its
+        missing mids, if it belongs to the same origin with a later
+        seq (sequence contiguity), or if it depends on another
+        discarded message.
+        """
+        discarded: list[Mid] = []
+        frontier = {lost}
+        while frontier:
+            target = frontier.pop()
+            victims = set()
+            for waiting_mid, (message, missing) in self._waiting.items():
+                if target in missing or target in message.deps:
+                    victims.add(waiting_mid)
+                elif waiting_mid.origin == target.origin and waiting_mid.seq > target.seq:
+                    victims.add(waiting_mid)
+            for victim in victims:
+                self._remove(victim)
+                discarded.append(victim)
+                frontier.add(victim)
+        return sorted(discarded)
+
+    def _remove(self, mid: Mid) -> None:
+        _, missing = self._waiting.pop(mid)
+        for blocker in missing:
+            parked = self._blocked_on.get(blocker)
+            if parked is not None:
+                parked.discard(mid)
+                if not parked:
+                    del self._blocked_on[blocker]
+
+    def messages(self) -> list["UserMessage"]:
+        """All waiting messages, in mid order."""
+        return [self._waiting[m][0] for m in sorted(self._waiting)]

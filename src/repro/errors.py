@@ -1,0 +1,121 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch everything originating here with a single ``except`` clause.
+The hierarchy mirrors the package layout: simulation-kernel errors,
+network-substrate errors, protocol errors, and configuration errors.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "SimulationError",
+    "ScheduleInPastError",
+    "KernelStoppedError",
+    "NetworkError",
+    "UnknownAddressError",
+    "WireFormatError",
+    "PacketTooLargeError",
+    "ProtocolError",
+    "NotInGroupError",
+    "DuplicateMidError",
+    "UnknownMidError",
+    "CausalityViolationError",
+    "HistoryOverflowError",
+    "FlowControlBlocked",
+    "MemberLeftError",
+    "RuntimeTransportError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the repro library."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A configuration value is invalid or inconsistent.
+
+    Raised eagerly at construction time (e.g. ``K <= 0`` or a
+    flow-control threshold that cannot hold one subrun of messages) so
+    misconfiguration never surfaces as a confusing mid-run failure.
+    """
+
+
+class SimulationError(ReproError):
+    """Base class for discrete-event kernel errors."""
+
+
+class ScheduleInPastError(SimulationError):
+    """An event was scheduled before the kernel's current time."""
+
+
+class KernelStoppedError(SimulationError):
+    """An operation requires a running kernel but it has stopped."""
+
+
+class NetworkError(ReproError):
+    """Base class for network-substrate errors."""
+
+
+class UnknownAddressError(NetworkError, KeyError):
+    """A packet was addressed to an endpoint the network does not know."""
+
+
+class WireFormatError(NetworkError, ValueError):
+    """A byte string could not be decoded as a protocol message."""
+
+
+class PacketTooLargeError(NetworkError, ValueError):
+    """An encoded packet exceeds the network's MTU."""
+
+
+class ProtocolError(ReproError):
+    """Base class for urcgc/baseline protocol-state errors."""
+
+
+class NotInGroupError(ProtocolError):
+    """An operation referenced a process that is not a group member."""
+
+
+class DuplicateMidError(ProtocolError):
+    """A message id was generated or inserted twice."""
+
+
+class UnknownMidError(ProtocolError, KeyError):
+    """A message id was referenced but never seen."""
+
+
+class CausalityViolationError(ProtocolError):
+    """A declared dependency set is cyclic or otherwise ill-formed."""
+
+
+class HistoryOverflowError(ProtocolError):
+    """The history buffer exceeded its hard capacity.
+
+    Only raised when flow control is disabled and a hard cap is set;
+    with the paper's distributed flow control the history is bounded
+    and this error cannot occur.
+    """
+
+
+class FlowControlBlocked(ProtocolError):
+    """A send was refused because flow control is engaged.
+
+    The caller should retry after the history drains; the service layer
+    turns this into a deferred confirm rather than an exception.
+    """
+
+
+class MemberLeftError(ProtocolError):
+    """An operation was attempted on an engine that left the group.
+
+    A member leaves after ``K`` missed coordinator decisions, after
+    ``R`` failed recovery attempts, or by suicide when it learns the
+    group presumed it crashed (Section 4 of the paper).
+    """
+
+
+class RuntimeTransportError(ReproError):
+    """The asyncio runtime transport failed (closed socket, bad peer)."""

@@ -1,0 +1,8 @@
+"""Experiment harness: simulation drivers, per-figure experiments,
+parameter sweeps, and the experiment registry."""
+
+from .cbcast_cluster import CbcastCluster
+from .cluster import SimCluster
+from .sweep import SweepResult, sweep
+
+__all__ = ["CbcastCluster", "SimCluster", "SweepResult", "sweep"]

@@ -1,0 +1,163 @@
+"""Simulation driver for the CBCAST baseline.
+
+Mirrors :class:`~repro.harness.cluster.SimCluster` so the two protocols
+run over the identical network substrate, workloads, and fault plans —
+the comparison in Figure 5 and Table 1 is therefore apples-to-apples.
+
+CBCAST (as modelled in the paper) has no embedded failure detection;
+the driver provides one with the same latency urcgc pays: a crash is
+reported to the survivors ``K`` subruns after it happens (urcgc needs
+``K`` missed requests to declare a crash).
+"""
+
+from __future__ import annotations
+
+from ..analysis.delay import DeliveryLog
+from ..baselines.cbcast.messages import CbcastData
+from ..baselines.cbcast.protocol import CbcastEngine
+from ..core.effects import Deliver, Effect, Send
+from ..errors import ConfigError
+from ..net.addressing import BROADCAST_GROUP
+from ..net.faults import FaultPlan
+from ..net.network import DatagramNetwork
+from ..net.wire import decode_message, encode_message
+from ..core.mid import Mid
+from ..sim.kernel import Kernel
+from ..sim.rounds import RoundScheduler
+from ..types import ProcessId, SeqNo, Time
+from ..workloads.generators import NullWorkload, Workload
+
+__all__ = ["CbcastCluster"]
+
+
+class CbcastCluster:
+    """One simulated CBCAST group."""
+
+    def __init__(
+        self,
+        n: int,
+        *,
+        K: int = 3,
+        workload: Workload | None = None,
+        faults: FaultPlan | None = None,
+        max_rounds: int = 200,
+        seed: int = 0,
+        trace: bool = True,
+        gossip_when_idle: bool = True,
+    ) -> None:
+        if n < 2:
+            raise ConfigError(f"a group needs at least 2 processes, got n={n}")
+        self.n = n
+        self.K = K
+        self.kernel = Kernel(seed=seed, trace=trace)
+        self.network = DatagramNetwork(self.kernel, faults=faults)
+        self.workload: Workload = workload or NullWorkload()
+        self.scheduler = RoundScheduler(self.kernel, max_rounds=max_rounds)
+        self.delivery_log = DeliveryLog()
+        self.engines: list[CbcastEngine] = []
+        self._detected: set[ProcessId] = set()
+
+        for i in range(n):
+            pid = ProcessId(i)
+            engine = CbcastEngine(pid, n, gossip_when_idle=gossip_when_idle)
+            self.network.attach(pid, lambda packet, pid=pid: self._on_packet(pid, packet))
+            self.network.join(BROADCAST_GROUP, pid)
+            self.engines.append(engine)
+
+        self.scheduler.subscribe(self._on_round)
+        self.scheduler.start()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> Time:
+        return self.kernel.now
+
+    def is_active(self, pid: ProcessId) -> bool:
+        return not self.network.faults.is_crashed(pid, self.kernel.now)
+
+    def active_pids(self) -> list[ProcessId]:
+        return [ProcessId(i) for i in range(self.n) if self.is_active(ProcessId(i))]
+
+    def blocked_pids(self) -> list[ProcessId]:
+        return [
+            ProcessId(i)
+            for i in range(self.n)
+            if self.is_active(ProcessId(i)) and self.engines[i].blocked
+        ]
+
+    def delay_report(self):
+        return self.delivery_log.report(set(self.active_pids()))
+
+    def run(self, **kwargs) -> None:
+        self.kernel.run(**kwargs)
+
+    # ------------------------------------------------------------------
+
+    def _on_round(self, round_no: int) -> None:
+        now = self.kernel.now
+        self._detect_failures(now)
+        for pid, payload in self.workload.submissions(round_no):
+            if self.is_active(pid) and not self.engines[pid].blocked:
+                self.engines[pid].submit(payload)
+        for i in range(self.n):
+            pid = ProcessId(i)
+            if not self.is_active(pid):
+                self.engines[i].crash()
+                continue
+            self._execute(pid, self.engines[i].on_round(round_no))
+        blocked = len(self.blocked_pids())
+        self.kernel.metrics.sample("cbcast.blocked", now, blocked)
+        self.kernel.metrics.sample(
+            "cbcast.unstable.max",
+            now,
+            max(
+                (self.engines[p].unstable_count for p in self.active_pids()),
+                default=0,
+            ),
+        )
+
+    def _detect_failures(self, now: Time) -> None:
+        """Report each crash to survivors K subruns after it happened."""
+        for i in range(self.n):
+            pid = ProcessId(i)
+            if pid in self._detected:
+                continue
+            crash_time = self.network.faults.crashes.crash_time(pid)
+            if crash_time is None or now < crash_time + self.K:
+                continue
+            self._detected.add(pid)
+            self.kernel.trace.emit(now, "cbcast.suspect", None, suspect=pid)
+            for j in range(self.n):
+                target = ProcessId(j)
+                if target != pid and self.is_active(target):
+                    self._execute(target, self.engines[j].suspect(pid))
+
+    def _on_packet(self, pid: ProcessId, packet) -> None:
+        if not self.is_active(pid):
+            return
+        message = decode_message(packet.payload)
+        self._execute(pid, self.engines[pid].on_message(message))
+
+    def _execute(self, pid: ProcessId, effects: list[Effect]) -> None:
+        now = self.kernel.now
+        for effect in effects:
+            if isinstance(effect, Send):
+                message = effect.message
+                if (
+                    isinstance(message, CbcastData)
+                    and message.sender == pid
+                    and not message.retransmission
+                ):
+                    self.delivery_log.on_generated(self._mid_of(message), now)
+                from ..net.packet import Packet
+
+                self.network.send(
+                    Packet(pid, effect.dst, encode_message(message), kind=effect.kind)
+                )
+            elif isinstance(effect, Deliver):
+                self.delivery_log.on_processed(self._mid_of(effect.message), pid, now)
+
+    @staticmethod
+    def _mid_of(message: CbcastData) -> Mid:
+        return Mid(message.sender, SeqNo(message.vt[message.sender]))

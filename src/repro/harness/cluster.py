@@ -1,0 +1,270 @@
+"""The simulation driver: a full urcgc group over the simulated LAN.
+
+:class:`SimCluster` instantiates one :class:`~repro.core.member.Member`
+per process, attaches each to the datagram network through its own
+:class:`~repro.net.transport.MulticastTransport` entity (the Section 5
+stack: urcgc entity over a t-SAP), drives rounds with the
+:class:`~repro.sim.rounds.RoundScheduler`, executes engine effects, and
+collects every metric the paper's evaluation reports — end-to-end
+delays, control traffic, history and waiting-list occupancy.
+"""
+
+from __future__ import annotations
+
+from ..analysis.delay import DeliveryLog
+from ..core.config import UrcgcConfig
+from ..core.effects import Confirm, Deliver, Discarded, Effect, Left, Send
+from ..core.member import Member
+from ..core.message import DecisionMessage, UserMessage
+from ..core.service import UrcgcService
+from ..net.addressing import BROADCAST_GROUP
+from ..net.faults import FaultPlan
+from ..net.network import DatagramNetwork
+from ..net.transport import MulticastTransport
+from ..net.wire import decode_message, encode_message
+from ..sim.kernel import Kernel
+from ..sim.rounds import RoundScheduler
+from ..types import ProcessId, Time
+from ..workloads.generators import NullWorkload, Workload
+
+__all__ = ["SimCluster"]
+
+
+class SimCluster:
+    """One simulated urcgc group.
+
+    Parameters
+    ----------
+    config:
+        Protocol parameters shared by every member.
+    workload:
+        Submission source queried at every round.
+    faults:
+        Fault plan (defaults to a reliable network).
+    h:
+        Transport-level required replies; the paper simulates ``h = 1``
+        (raw datagram, recovery handled by urcgc's history).
+    mtu:
+        Optional transport MTU: frames above it go through the
+        fragmentation sublayer.
+    max_rounds:
+        Hard stop for the round scheduler.
+    seed, trace:
+        Kernel determinism and tracing controls.
+    """
+
+    def __init__(
+        self,
+        config: UrcgcConfig,
+        *,
+        workload: Workload | None = None,
+        faults: FaultPlan | None = None,
+        h: int = 1,
+        mtu: int | None = None,
+        max_rounds: int = 200,
+        seed: int = 0,
+        trace: bool = True,
+        one_way_delay: Time = 0.5,
+        medium=None,
+    ) -> None:
+        self.config = config
+        self.kernel = Kernel(seed=seed, trace=trace)
+        self.network = DatagramNetwork(
+            self.kernel, faults=faults, one_way_delay=one_way_delay, medium=medium
+        )
+        self.workload: Workload = workload or NullWorkload()
+        self.scheduler = RoundScheduler(self.kernel, max_rounds=max_rounds)
+        self.delivery_log = DeliveryLog()
+        self.members: list[Member] = []
+        self.services: list[UrcgcService] = []
+        self.transports: list[MulticastTransport] = []
+        self._quiescent_at: Time | None = None
+
+        for i in range(config.n):
+            pid = ProcessId(i)
+            member = Member(pid, config)
+            service = UrcgcService(member)
+            transport = MulticastTransport(
+                self.kernel,
+                self.network,
+                pid,
+                on_data=lambda src, data, pid=pid: self._on_data(pid, src, data),
+                h=h,
+                mtu=mtu,
+            )
+            self.network.join(BROADCAST_GROUP, pid)
+            self.members.append(member)
+            self.services.append(service)
+            self.transports.append(transport)
+
+        self.scheduler.subscribe(self._on_round)
+        self.scheduler.start()
+
+    # ------------------------------------------------------------------
+    # observation
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> Time:
+        return self.kernel.now
+
+    def is_active(self, pid: ProcessId) -> bool:
+        """Active = not crashed and not left (the paper's group)."""
+        return not self.network.faults.is_crashed(
+            pid, self.kernel.now
+        ) and not self.members[pid].has_left
+
+    def active_pids(self) -> list[ProcessId]:
+        return [ProcessId(i) for i in range(self.config.n) if self.is_active(ProcessId(i))]
+
+    def quiescent(self) -> bool:
+        """All active members agree on what was processed, have no
+        pending submissions or waiting messages, and the workload has
+        nothing more to submit."""
+        finished = getattr(self.workload, "finished", None)
+        if finished is not None and not finished(self.scheduler.current_round):
+            return False
+        active = self.active_pids()
+        if not active:
+            return True
+        vectors = set()
+        for pid in active:
+            member = self.members[pid]
+            if member.pending_submissions or member.waiting_length:
+                return False
+            vectors.add(member.last_processed_vector())
+        return len(vectors) == 1
+
+    @property
+    def quiescent_at(self) -> Time | None:
+        """First time quiescence was observed at a round boundary."""
+        return self._quiescent_at
+
+    def delay_report(self):
+        """Delay statistics over the final active membership."""
+        return self.delivery_log.report(set(self.active_pids()))
+
+    def history_series(self, pid: ProcessId):
+        return self.kernel.metrics.series_for(f"history.p{pid}")
+
+    def max_history_series(self):
+        """Per-round maximum history length over active members."""
+        return self.kernel.metrics.series_for("history.max")
+
+    # ------------------------------------------------------------------
+    # driving
+    # ------------------------------------------------------------------
+
+    def run(self, *, max_events: int | None = None) -> None:
+        """Run to completion (queue drained or max_rounds reached)."""
+        self.kernel.run(max_events=max_events)
+
+    def run_until_quiescent(self, *, drain_subruns: int = 0) -> Time | None:
+        """Run until the group goes *stably* quiescent, then optionally
+        keep running ``drain_subruns`` more subruns (history cleaning
+        trails quiescence by up to a subrun under reliable conditions).
+
+        A workload may submit again after a momentarily-quiet round, so
+        quiescence is re-checked after the drain window; if new work
+        arrived, the run continues until the group is quiet again.
+        Returns the (final) quiescence time, or None if max_rounds was
+        reached first.
+        """
+        while True:
+            self.kernel.run(stop_when=lambda: self._quiescent_at is not None)
+            if self._quiescent_at is None:
+                return None  # max_rounds exhausted without quiescence
+            if drain_subruns:
+                horizon = self._quiescent_at + 2 * drain_subruns
+                self.kernel.run(until=horizon)
+            if self.quiescent():
+                break
+            # More submissions landed after the quiet instant: unlatch
+            # and keep running.
+            self._quiescent_at = None
+        self.scheduler.stop()
+        self.kernel.run()
+        return self._quiescent_at
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _on_round(self, round_no: int) -> None:
+        now = self.kernel.now
+        for pid, payload in self.workload.submissions(round_no):
+            if self.is_active(pid):
+                self.services[pid].data_rq(payload)
+        for i in range(self.config.n):
+            pid = ProcessId(i)
+            if not self.is_active(pid):
+                continue
+            effects = self.members[i].on_round(round_no)
+            self._execute(pid, effects)
+        self._sample_metrics(now, round_no)
+        if self._quiescent_at is None and round_no > 0 and self.quiescent():
+            has_pending = any(
+                self.members[pid].pending_submissions for pid in self.active_pids()
+            )
+            if not has_pending:
+                self._quiescent_at = now
+                self.kernel.trace.emit(now, "cluster.quiescent", None, round=round_no)
+
+    def _sample_metrics(self, now: Time, round_no: int) -> None:
+        metrics = self.kernel.metrics
+        max_history = 0
+        max_waiting = 0
+        for i in range(self.config.n):
+            pid = ProcessId(i)
+            if not self.is_active(pid):
+                continue
+            member = self.members[i]
+            metrics.sample(f"history.p{pid}", now, member.history_length)
+            max_history = max(max_history, member.history_length)
+            max_waiting = max(max_waiting, member.waiting_length)
+        metrics.sample("history.max", now, max_history)
+        metrics.sample("waiting.max", now, max_waiting)
+
+    def _on_data(self, pid: ProcessId, src: ProcessId, data: bytes) -> None:
+        if not self.is_active(pid):
+            return
+        message = decode_message(data)
+        effects = self.members[pid].on_message(message)
+        self._execute(pid, effects)
+
+    def _execute(self, pid: ProcessId, effects: list[Effect]) -> None:
+        now = self.kernel.now
+        sends = self.services[pid].dispatch(effects)
+        for effect in effects:
+            if isinstance(effect, Deliver):
+                self.delivery_log.on_processed(effect.message.mid, pid, now)
+            elif isinstance(effect, Discarded):
+                # The lost message is destroyed along with its
+                # dependents: the "or none of them" branch of atomicity.
+                self.delivery_log.on_discarded((effect.lost, *effect.discarded))
+                self.kernel.trace.emit(
+                    now, "member.discarded", pid,
+                    lost=effect.lost, count=len(effect.discarded),
+                )
+            elif isinstance(effect, Left):
+                self.kernel.trace.emit(now, "member.left", pid, reason=effect.reason)
+            elif isinstance(effect, Confirm):
+                self.kernel.trace.emit(now, "member.confirm", pid, mid=effect.mid)
+        for send in sends:
+            message = send.message
+            if isinstance(message, UserMessage) and message.mid.origin == pid:
+                self.delivery_log.on_generated(message.mid, now)
+            elif isinstance(message, DecisionMessage):
+                decision = message.decision
+                self.kernel.trace.emit(
+                    now,
+                    "decision.broadcast",
+                    pid,
+                    number=int(decision.number),
+                    chain=decision.chain,
+                    full_group=decision.full_group,
+                    alive=sum(decision.alive),
+                )
+            self.transports[pid].t_data_rq(
+                send.dst, encode_message(message), kind=send.kind
+            )

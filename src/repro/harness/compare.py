@@ -1,0 +1,184 @@
+"""Head-to-head comparison: urcgc vs CBCAST on identical conditions.
+
+Section 6 of the paper in one function call: both protocols run the
+same workload over the same fault plan (same seeds), and the report
+collects what the paper argues about — delay, blocked time, control
+traffic, losses — side by side.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..analysis.report import render_table
+from ..core.config import UrcgcConfig
+from ..types import ProcessId, Time
+from ..workloads.generators import FixedBudgetWorkload
+from ..workloads.scenarios import crashes, omission, reliable
+from .cbcast_cluster import CbcastCluster
+from .cluster import SimCluster
+
+__all__ = ["ProtocolOutcome", "ComparisonReport", "compare_protocols"]
+
+
+@dataclass(frozen=True)
+class ProtocolOutcome:
+    """One protocol's results on the shared scenario."""
+
+    protocol: str
+    mean_delay: float
+    complete: int
+    incomplete: int
+    blocked_rounds: int
+    control_messages: int
+    control_bytes: int
+    quiesced_at: Time | None
+
+
+@dataclass(frozen=True)
+class ComparisonReport:
+    """Both outcomes plus the scenario parameters."""
+
+    scenario: str
+    n: int
+    K: int
+    total_messages: int
+    urcgc: ProtocolOutcome
+    cbcast: ProtocolOutcome
+
+    def render(self) -> str:
+        rows = []
+        for outcome in (self.urcgc, self.cbcast):
+            rows.append(
+                [
+                    outcome.protocol,
+                    outcome.mean_delay,
+                    outcome.complete,
+                    outcome.incomplete,
+                    outcome.blocked_rounds,
+                    outcome.control_messages,
+                    outcome.control_bytes,
+                    outcome.quiesced_at
+                    if outcome.quiesced_at is not None
+                    else float("nan"),
+                ]
+            )
+        return render_table(
+            [
+                "protocol",
+                "D (rtd)",
+                "complete",
+                "lost",
+                "blocked rounds",
+                "ctrl msgs",
+                "ctrl bytes",
+                "quiesce (rtd)",
+            ],
+            rows,
+            title=(
+                f"urcgc vs CBCAST — {self.scenario}; n={self.n}, K={self.K}, "
+                f"{self.total_messages} messages"
+            ),
+        )
+
+    def as_dict(self) -> dict:
+        def outcome_dict(o: ProtocolOutcome) -> dict:
+            return {
+                "mean_delay": o.mean_delay,
+                "complete": o.complete,
+                "incomplete": o.incomplete,
+                "blocked_rounds": o.blocked_rounds,
+                "control_messages": o.control_messages,
+                "control_bytes": o.control_bytes,
+                "quiesced_at": o.quiesced_at,
+            }
+
+        return {
+            "experiment": "compare",
+            "scenario": self.scenario,
+            "n": self.n,
+            "K": self.K,
+            "total_messages": self.total_messages,
+            "urcgc": outcome_dict(self.urcgc),
+            "cbcast": outcome_dict(self.cbcast),
+        }
+
+
+def _fault_plan(scenario: str, n: int, seed: int):
+    pids = [ProcessId(i) for i in range(n)]
+    if scenario == "reliable":
+        return reliable()
+    if scenario == "crash":
+        return crashes({ProcessId(n - 1): 2.0}, rng=random.Random(seed))
+    if scenario.startswith("omission"):
+        one_in = int(scenario.split("-1/")[1])
+        return omission(pids, one_in, rng=random.Random(seed))
+    raise ValueError(
+        f"unknown scenario {scenario!r}; use reliable, crash, or omission-1/<N>"
+    )
+
+
+def compare_protocols(
+    *,
+    scenario: str = "crash",
+    n: int = 8,
+    K: int = 3,
+    total_messages: int = 64,
+    seed: int = 1,
+    max_rounds: int = 600,
+) -> ComparisonReport:
+    """Run both protocols on the identical scenario and report."""
+    pids = [ProcessId(i) for i in range(n)]
+
+    urcgc_cluster = SimCluster(
+        UrcgcConfig(n=n, K=K),
+        workload=FixedBudgetWorkload(pids, total=total_messages),
+        faults=_fault_plan(scenario, n, seed),
+        max_rounds=max_rounds,
+        seed=seed,
+        trace=False,
+    )
+    quiesced = urcgc_cluster.run_until_quiescent(drain_subruns=2 * K)
+    urcgc_report = urcgc_cluster.delay_report()
+    urcgc_control = urcgc_cluster.network.stats.total(control_only=True)
+    urcgc_outcome = ProtocolOutcome(
+        "urcgc",
+        urcgc_report.mean_delay,
+        urcgc_report.complete_messages,
+        urcgc_report.incomplete_messages + urcgc_report.discarded_messages,
+        0,  # urcgc never blocks the application for agreement
+        urcgc_control.delivered,
+        urcgc_control.delivered_bytes,
+        quiesced,
+    )
+
+    cbcast_cluster = CbcastCluster(
+        n,
+        K=K,
+        workload=FixedBudgetWorkload(pids, total=total_messages),
+        faults=_fault_plan(scenario, n, seed),
+        max_rounds=max_rounds,
+        seed=seed,
+        trace=False,
+    )
+    cbcast_cluster.run()
+    cbcast_report = cbcast_cluster.delay_report()
+    cbcast_control = cbcast_cluster.network.stats.total(control_only=True)
+    cbcast_outcome = ProtocolOutcome(
+        "cbcast",
+        cbcast_report.mean_delay,
+        cbcast_report.complete_messages,
+        cbcast_report.incomplete_messages,
+        sum(
+            cbcast_cluster.engines[p].blocked_rounds
+            for p in cbcast_cluster.active_pids()
+        ),
+        cbcast_control.delivered,
+        cbcast_control.delivered_bytes,
+        None,
+    )
+
+    return ComparisonReport(
+        scenario, n, K, total_messages, urcgc_outcome, cbcast_outcome
+    )

@@ -1,0 +1,133 @@
+"""Simulation driver for the Psync baseline.
+
+Same substrate as the urcgc and CBCAST drivers.  Psync's failure
+handling is the ``mask_out`` operation (driven, like CBCAST's
+suspicions, by a detector with urcgc-equivalent latency of ``K``
+subruns) and its flow control is a *bounded pending buffer that drops
+overflow* — "thus increasing the rate of omission failures", the
+behaviour Figure 6's discussion contrasts with urcgc's throttling.
+"""
+
+from __future__ import annotations
+
+from ..baselines.psync.protocol import PsyncData, PsyncEngine
+from ..core.effects import Deliver, Effect, Send
+from ..errors import ConfigError
+from ..net.addressing import BROADCAST_GROUP
+from ..net.faults import FaultPlan
+from ..net.network import DatagramNetwork
+from ..net.packet import Packet
+from ..net.wire import decode_message, encode_message
+from ..sim.kernel import Kernel
+from ..sim.rounds import RoundScheduler
+from ..types import ProcessId, Time
+from ..workloads.generators import NullWorkload, Workload
+
+__all__ = ["PsyncCluster"]
+
+
+class PsyncCluster:
+    """One simulated Psync conversation."""
+
+    def __init__(
+        self,
+        n: int,
+        *,
+        K: int = 3,
+        pending_bound: int | None = None,
+        workload: Workload | None = None,
+        faults: FaultPlan | None = None,
+        max_rounds: int = 200,
+        seed: int = 0,
+        trace: bool = True,
+    ) -> None:
+        if n < 2:
+            raise ConfigError(f"a conversation needs at least 2 processes, got {n}")
+        self.n = n
+        self.K = K
+        self.kernel = Kernel(seed=seed, trace=trace)
+        self.network = DatagramNetwork(self.kernel, faults=faults)
+        self.workload: Workload = workload or NullWorkload()
+        self.scheduler = RoundScheduler(self.kernel, max_rounds=max_rounds)
+        self.engines: list[PsyncEngine] = []
+        self._detected: set[ProcessId] = set()
+        self.delivered: dict[ProcessId, list[PsyncData]] = {}
+
+        for i in range(n):
+            pid = ProcessId(i)
+            engine = PsyncEngine(pid, n, pending_bound=pending_bound)
+            self.network.attach(pid, lambda packet, pid=pid: self._on_packet(pid, packet))
+            self.network.join(BROADCAST_GROUP, pid)
+            self.engines.append(engine)
+            self.delivered[pid] = []
+
+        self.scheduler.subscribe(self._on_round)
+        self.scheduler.start()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> Time:
+        return self.kernel.now
+
+    def is_active(self, pid: ProcessId) -> bool:
+        return not self.network.faults.is_crashed(pid, self.kernel.now)
+
+    def active_pids(self) -> list[ProcessId]:
+        return [ProcessId(i) for i in range(self.n) if self.is_active(ProcessId(i))]
+
+    def induced_omissions(self) -> int:
+        """Messages Psync's flow control destroyed across the group."""
+        return sum(e.graph.induced_omissions for e in self.engines)
+
+    def run(self, **kwargs) -> None:
+        self.kernel.run(**kwargs)
+
+    # ------------------------------------------------------------------
+
+    def _on_round(self, round_no: int) -> None:
+        now = self.kernel.now
+        self._detect_failures(now)
+        for pid, payload in self.workload.submissions(round_no):
+            if self.is_active(pid):
+                self.engines[pid].submit(payload)
+        for i in range(self.n):
+            pid = ProcessId(i)
+            if not self.is_active(pid):
+                self.engines[i].crash()
+                continue
+            self._execute(pid, self.engines[i].on_round(round_no))
+        self.kernel.metrics.sample(
+            "psync.pending.max",
+            now,
+            max((e.graph.pending_count for e in self.engines), default=0),
+        )
+
+    def _detect_failures(self, now: Time) -> None:
+        for i in range(self.n):
+            pid = ProcessId(i)
+            if pid in self._detected:
+                continue
+            crash_time = self.network.faults.crashes.crash_time(pid)
+            if crash_time is None or now < crash_time + self.K:
+                continue
+            self._detected.add(pid)
+            for j in range(self.n):
+                target = ProcessId(j)
+                if target != pid and self.is_active(target):
+                    self._execute(target, self.engines[j].mask_out(pid))
+
+    def _on_packet(self, pid: ProcessId, packet) -> None:
+        if not self.is_active(pid):
+            return
+        message = decode_message(packet.payload)
+        self._execute(pid, self.engines[pid].on_message(message))
+
+    def _execute(self, pid: ProcessId, effects: list[Effect]) -> None:
+        for effect in effects:
+            if isinstance(effect, Send):
+                self.network.send(
+                    Packet(pid, effect.dst, encode_message(effect.message), kind=effect.kind)
+                )
+            elif isinstance(effect, Deliver):
+                self.delivered[pid].append(effect.message)

@@ -1,0 +1,84 @@
+"""Generic parameter sweeps over simulations.
+
+A sweep runs one factory across the cartesian product of parameter
+axes, collects a scalar (or record) per point, and renders the result
+as a table.  The ablation benchmarks are built on this.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from ..analysis.report import render_table
+
+__all__ = ["SweepResult", "sweep"]
+
+
+@dataclass
+class SweepResult:
+    """Outcome of :func:`sweep`: one row per parameter combination."""
+
+    axes: tuple[str, ...]
+    metrics: tuple[str, ...]
+    rows: list[tuple[Any, ...]] = field(default_factory=list)
+
+    def render(self, *, title: str | None = None, precision: int = 3) -> str:
+        return render_table(
+            [*self.axes, *self.metrics], self.rows, title=title, precision=precision
+        )
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one axis/metric column."""
+        names = [*self.axes, *self.metrics]
+        try:
+            index = names.index(name)
+        except ValueError:
+            raise KeyError(f"no column {name!r}; have {names}") from None
+        return [row[index] for row in self.rows]
+
+    def where(self, **criteria: Any) -> list[tuple[Any, ...]]:
+        """Rows whose axis values match all criteria."""
+        indices = {name: self.axes.index(name) for name in criteria}
+        return [
+            row
+            for row in self.rows
+            if all(row[indices[name]] == value for name, value in criteria.items())
+        ]
+
+    def as_dict(self) -> dict:
+        """JSON-friendly representation (one object per row)."""
+        names = [*self.axes, *self.metrics]
+        return {
+            "axes": list(self.axes),
+            "metrics": list(self.metrics),
+            "rows": [dict(zip(names, row)) for row in self.rows],
+        }
+
+
+def sweep(
+    axes: Mapping[str, Sequence[Any]],
+    run: Callable[..., Mapping[str, Any]],
+) -> SweepResult:
+    """Run ``run(**point)`` for every point in the axes product.
+
+    ``run`` returns a mapping of metric name to value; metric names
+    must be identical across points.
+    """
+    axis_names = tuple(axes)
+    metric_names: tuple[str, ...] | None = None
+    result_rows: list[tuple[Any, ...]] = []
+    for values in itertools.product(*(axes[name] for name in axis_names)):
+        point = dict(zip(axis_names, values))
+        metrics = run(**point)
+        if metric_names is None:
+            metric_names = tuple(metrics)
+        elif tuple(metrics) != metric_names:
+            raise ValueError(
+                f"inconsistent metrics at {point}: {tuple(metrics)} != {metric_names}"
+            )
+        result_rows.append(values + tuple(metrics[name] for name in metric_names))
+    return SweepResult(
+        axes=axis_names, metrics=metric_names or (), rows=result_rows
+    )

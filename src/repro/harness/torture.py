@@ -1,0 +1,126 @@
+"""Randomized torture runs: fuzz the protocol, check the theorems.
+
+``python -m repro`` grows a ``torture`` subcommand on top of this:
+each iteration draws a random group size, parameters, workload, crash
+schedule, and omission rates, runs the simulation, and audits the
+delivery logs with the Definition 3.2 checkers.  Any violation is
+reported with the seed that reproduces it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..analysis.checkers import (
+    check_local_causal_order,
+    check_uniform_atomicity,
+    check_uniform_ordering,
+)
+from ..core.config import UrcgcConfig
+from ..net.faults import CrashSchedule, FaultPlan, OmissionModel
+from ..types import ProcessId
+from ..workloads.generators import BernoulliWorkload
+from .cluster import SimCluster
+
+__all__ = ["TortureResult", "torture_once", "torture"]
+
+
+@dataclass(frozen=True)
+class TortureResult:
+    """Outcome of one randomized run."""
+
+    seed: int
+    n: int
+    K: int
+    crashes: int
+    omission_rate: float
+    messages: int
+    quiesced: bool
+    violations: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def describe(self) -> str:
+        status = "ok" if self.ok else f"{len(self.violations)} VIOLATIONS"
+        return (
+            f"seed={self.seed:<6d} n={self.n} K={self.K} "
+            f"crashes={self.crashes} omission={self.omission_rate:.3f} "
+            f"msgs={self.messages:<4d} "
+            f"{'quiesced' if self.quiesced else 'timed out'}  {status}"
+        )
+
+
+def torture_once(seed: int) -> TortureResult:
+    """One randomized scenario, fully checked."""
+    rng = random.Random(seed)
+    n = rng.randint(3, 9)
+    K = rng.randint(1, 4)
+    load = rng.uniform(0.1, 1.0)
+    crash_count = rng.randint(0, max(0, n - 2))
+    omission_rate = rng.choice([0.0, 0.0, 0.01, 0.02, 0.05])
+    pids = [ProcessId(i) for i in range(n)]
+
+    schedule = CrashSchedule()
+    for i in range(crash_count):
+        schedule.crash(ProcessId(n - 1 - i), rng.uniform(1.0, 10.0))
+    faults = FaultPlan(crashes=schedule, rng=random.Random(seed + 1))
+    if omission_rate:
+        for pid in pids:
+            faults.set_send_omission(pid, OmissionModel(omission_rate))
+            faults.set_receive_omission(pid, OmissionModel(omission_rate))
+
+    cluster = SimCluster(
+        UrcgcConfig(n=n, K=K, R=2 * K + 4),
+        workload=BernoulliWorkload(
+            pids, load, rng=random.Random(seed + 2), stop_after_round=24
+        ),
+        faults=faults,
+        max_rounds=500,
+        seed=seed,
+        trace=False,
+    )
+    quiesced = cluster.run_until_quiescent(drain_subruns=2 * K + 2)
+
+    violations: list[str] = []
+    active = set(cluster.active_pids())
+    streams = {pid: cluster.services[pid].delivered for pid in active}
+    for pid, stream in streams.items():
+        violations.extend(
+            str(v) for v in check_local_causal_order(pid, stream).violations
+        )
+    if active:
+        violations.extend(
+            str(v)
+            for v in check_uniform_ordering(
+                streams, converged=quiesced is not None
+            ).violations
+        )
+    if quiesced is not None and active:
+        log = cluster.delivery_log
+        violations.extend(
+            str(v)
+            for v in check_uniform_atomicity(
+                log.generated_at,
+                {mid: set(by) for mid, by in log.processed_at.items()},
+                active,
+                discarded=log.discarded,
+            ).violations
+        )
+    return TortureResult(
+        seed=seed,
+        n=n,
+        K=K,
+        crashes=crash_count,
+        omission_rate=omission_rate,
+        messages=len(cluster.delivery_log.generated_at),
+        quiesced=quiesced is not None,
+        violations=tuple(violations),
+    )
+
+
+def torture(iterations: int, *, start_seed: int = 0) -> list[TortureResult]:
+    """Run ``iterations`` randomized scenarios; returns all results."""
+    return [torture_once(start_seed + i) for i in range(iterations)]

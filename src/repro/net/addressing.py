@@ -1,0 +1,54 @@
+"""Addresses and groups for the datagram network substrate.
+
+The paper's transport primitive takes a destination ``m`` that is
+"either a multicast or unicast address"; we model both with a small
+frozen :class:`Address` type.  A :class:`GroupAddress` expands to the
+member set registered with the network (n-unicast semantics, matching
+the paper's Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..types import ProcessId
+
+__all__ = ["Address", "UnicastAddress", "GroupAddress", "BROADCAST_GROUP"]
+
+
+@dataclass(frozen=True)
+class Address:
+    """Base class for network destinations."""
+
+    def is_multicast(self) -> bool:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class UnicastAddress(Address):
+    """A single endpoint, identified by its process id."""
+
+    pid: ProcessId
+
+    def is_multicast(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return f"p{self.pid}"
+
+
+@dataclass(frozen=True)
+class GroupAddress(Address):
+    """A named multicast group resolved by the network at send time."""
+
+    name: str
+
+    def is_multicast(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"group:{self.name}"
+
+
+#: The default group every simulated process joins.
+BROADCAST_GROUP = GroupAddress("G")

@@ -1,0 +1,215 @@
+"""Packet capture: record and replay the traffic of a simulation.
+
+A :class:`PacketCapture` taps the network and appends one record per
+send/delivery/drop, with timestamps and wire bytes.  Captures can be
+saved to a compact binary format (pcap-in-spirit, not libpcap) and
+reloaded for offline analysis — decode any record back into its PDU
+with the regular wire registry, filter by kind/direction/endpoint, and
+summarize per-kind volumes.
+
+Observability is half of running a group-communication service in
+production; this is the repro's wire-level half (the protocol-level
+half is :mod:`repro.analysis.timeline`).
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import BinaryIO, Callable, Iterable
+
+from ..errors import WireFormatError
+from ..types import ProcessId, Time
+from .network import DatagramNetwork
+from .packet import Packet
+from .wire import Reader, Writer, decode_message
+
+__all__ = ["Direction", "CaptureRecord", "PacketCapture"]
+
+_MAGIC = b"RPC1"  # Repro Packet Capture, format 1
+
+
+class Direction(IntEnum):
+    """What happened to the packet at this tap point."""
+
+    SENT = 0
+    DELIVERED = 1
+    DROPPED = 2
+
+
+@dataclass(frozen=True)
+class CaptureRecord:
+    """One captured event."""
+
+    time: Time
+    direction: Direction
+    src: ProcessId
+    dst: int  # destination pid for deliveries; -1 for multicast sends
+    kind: str
+    payload: bytes
+
+    def decode(self) -> object:
+        """Decode the payload back into its PDU (skipping the
+        transport frame header if present)."""
+        # Transport frames prefix: tag u8 + transfer id u32.
+        try:
+            return decode_message(self.payload[5:])
+        except WireFormatError:
+            return decode_message(self.payload)
+
+
+class PacketCapture:
+    """Tap a :class:`DatagramNetwork` and record its traffic."""
+
+    def __init__(self) -> None:
+        self.records: list[CaptureRecord] = []
+        self._now: Callable[[], Time] | None = None
+
+    # ------------------------------------------------------------------
+    # live capture
+    # ------------------------------------------------------------------
+
+    def attach_to(self, network: DatagramNetwork, kernel) -> None:
+        """Start capturing ``network``'s traffic (send + deliver).
+
+        Wraps the network's send path and every registered handler;
+        attach *after* all endpoints registered.
+        """
+        self._now = lambda: kernel.now
+        original_send = network.send
+
+        def tapped_send(packet: Packet) -> None:
+            self.records.append(
+                CaptureRecord(
+                    kernel.now,
+                    Direction.SENT,
+                    packet.src,
+                    packet.dst.pid if not packet.dst.is_multicast() else -1,
+                    packet.kind,
+                    packet.payload,
+                )
+            )
+            original_send(packet)
+
+        network.send = tapped_send  # type: ignore[method-assign]
+        for pid in list(network.endpoints()):
+            original_handler = network._handlers[pid]
+
+            def tapped_handler(packet: Packet, pid=pid, handler=original_handler):
+                self.records.append(
+                    CaptureRecord(
+                        kernel.now,
+                        Direction.DELIVERED,
+                        packet.src,
+                        int(pid),
+                        packet.kind,
+                        packet.payload,
+                    )
+                )
+                handler(packet)
+
+            network.attach(pid, tapped_handler)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def filter(
+        self,
+        *,
+        direction: Direction | None = None,
+        kind: str | None = None,
+        src: int | None = None,
+        dst: int | None = None,
+    ) -> list[CaptureRecord]:
+        out = []
+        for record in self.records:
+            if direction is not None and record.direction != direction:
+                continue
+            if kind is not None and record.kind != kind:
+                continue
+            if src is not None and record.src != src:
+                continue
+            if dst is not None and record.dst != dst:
+                continue
+            out.append(record)
+        return out
+
+    def volume_by_kind(
+        self, direction: Direction = Direction.SENT
+    ) -> dict[str, tuple[int, int]]:
+        """kind -> (packet count, payload bytes)."""
+        out: dict[str, tuple[int, int]] = {}
+        for record in self.records:
+            if record.direction != direction:
+                continue
+            count, volume = out.get(record.kind, (0, 0))
+            out[record.kind] = (count + 1, volume + len(record.payload))
+        return out
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    def save(self, stream: BinaryIO) -> None:
+        """Write the capture in the RPC1 binary format."""
+        stream.write(_MAGIC)
+        for record in self.records:
+            writer = Writer()
+            writer.f64(record.time)
+            writer.u8(int(record.direction))
+            writer.u16(record.src)
+            writer.u16(record.dst & 0xFFFF)
+            writer.bytes_field(record.kind.encode())
+            writer.bytes_field(record.payload)
+            body = writer.getvalue()
+            header = Writer()
+            header.u32(len(body))
+            stream.write(header.getvalue())
+            stream.write(body)
+
+    @classmethod
+    def load(cls, stream: BinaryIO) -> "PacketCapture":
+        """Read a capture written by :meth:`save`."""
+        magic = stream.read(4)
+        if magic != _MAGIC:
+            raise WireFormatError(f"not a capture file (magic {magic!r})")
+        capture = cls()
+        while True:
+            raw_len = stream.read(4)
+            if not raw_len:
+                break
+            if len(raw_len) < 4:
+                raise WireFormatError("truncated capture record header")
+            body_len = Reader(raw_len).u32()
+            body = stream.read(body_len)
+            if len(body) < body_len:
+                raise WireFormatError("truncated capture record body")
+            reader = Reader(body)
+            time = reader.f64()
+            direction = Direction(reader.u8())
+            src = ProcessId(reader.u16())
+            dst = reader.u16()
+            if dst == 0xFFFF:
+                dst = -1
+            kind = reader.bytes_field().decode()
+            payload = reader.bytes_field()
+            reader.expect_end()
+            capture.records.append(
+                CaptureRecord(time, direction, src, dst, kind, payload)
+            )
+        return capture
+
+    def roundtrip_bytes(self) -> bytes:
+        """Serialize to bytes (convenience for tests and tooling)."""
+        buffer = io.BytesIO()
+        self.save(buffer)
+        return buffer.getvalue()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "PacketCapture":
+        return cls.load(io.BytesIO(data))

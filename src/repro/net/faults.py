@@ -1,0 +1,258 @@
+"""General-omission fault injection.
+
+The paper's failure model (Section 3) is *general omission*: a process
+fails by crashing (fail-stop), or by omitting to send or to receive a
+subset of the messages the protocol requires.  Subnetwork packet loss
+and local buffer overflow are expressed as omissions too, so one model
+covers everything the evaluation exercises.
+
+Components:
+
+* :class:`CrashSchedule` — fail-stop times per process, with optional
+  *partial broadcast* on the crashing send (the paper assumes ``send``
+  is not indivisible: "only a subset of the destination processes could
+  receive the message").
+* :class:`OmissionModel` — per-message send/receive omissions, either
+  random (Bernoulli with rate ``1/n``) or periodic (every ``n``-th
+  message, useful for exactly-reproducible failure patterns).
+* :class:`FaultPlan` — combines crashes, per-process omissions, and
+  uniform link loss into the single predicate the network consults.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError
+from ..types import ProcessId, Time
+from .packet import Packet
+
+__all__ = ["CrashSchedule", "OmissionModel", "FaultPlan", "DropDecision"]
+
+
+@dataclass(frozen=True)
+class DropDecision:
+    """Outcome of the fault check for one packet at one receiver."""
+
+    dropped: bool
+    reason: str = ""
+
+    def __bool__(self) -> bool:
+        return self.dropped
+
+
+_DELIVER = DropDecision(False)
+
+
+class CrashSchedule:
+    """Fail-stop schedule: each process crashes at most once."""
+
+    def __init__(self) -> None:
+        self._crash_time: dict[ProcessId, Time] = {}
+        self._partial: dict[ProcessId, int] = {}
+
+    def crash(self, pid: ProcessId, time: Time, *, partial_deliveries: int | None = None) -> None:
+        """Schedule ``pid`` to crash at ``time``.
+
+        ``partial_deliveries`` models an interrupted broadcast: of the
+        multicast the process sends *at* its crash instant, only the
+        first ``partial_deliveries`` destinations receive the packet.
+        """
+        if pid in self._crash_time:
+            raise ConfigError(f"process {pid} already has a crash scheduled")
+        if partial_deliveries is not None and partial_deliveries < 0:
+            raise ConfigError("partial_deliveries must be >= 0")
+        self._crash_time[pid] = time
+        if partial_deliveries is not None:
+            self._partial[pid] = partial_deliveries
+
+    def crash_time(self, pid: ProcessId) -> Time | None:
+        return self._crash_time.get(pid)
+
+    def is_crashed(self, pid: ProcessId, now: Time) -> bool:
+        time = self._crash_time.get(pid)
+        return time is not None and now >= time
+
+    def crashed_by(self, now: Time) -> set[ProcessId]:
+        """All processes whose crash time has passed."""
+        return {pid for pid, t in self._crash_time.items() if now >= t}
+
+    def partial_budget(self, pid: ProcessId) -> int | None:
+        """Remaining deliveries allowed for the crashing broadcast."""
+        return self._partial.get(pid)
+
+    def consume_partial(self, pid: ProcessId) -> bool:
+        """Consume one delivery slot of the crashing broadcast.
+
+        Returns True if the delivery is allowed (budget remained).
+        """
+        budget = self._partial.get(pid)
+        if budget is None:
+            return False
+        if budget <= 0:
+            return False
+        self._partial[pid] = budget - 1
+        return True
+
+    def __len__(self) -> int:
+        return len(self._crash_time)
+
+
+@dataclass
+class OmissionModel:
+    """Per-message omission process.
+
+    ``rate`` is the paper's "one omission each N messages" expressed as
+    a probability ``1/N``.  ``periodic=True`` drops exactly every Nth
+    message instead of sampling, which some regression tests rely on.
+    """
+
+    rate: float = 0.0
+    periodic: bool = False
+    _counter: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate < 1.0:
+            raise ConfigError(f"omission rate must be in [0, 1), got {self.rate}")
+        if self.periodic and self.rate > 0 and (1.0 / self.rate) != int(1.0 / self.rate):
+            raise ConfigError("periodic omission requires rate = 1/N for integer N")
+
+    def should_drop(self, rng: random.Random) -> bool:
+        if self.rate <= 0.0:
+            return False
+        if self.periodic:
+            period = round(1.0 / self.rate)
+            self._counter += 1
+            if self._counter >= period:
+                self._counter = 0
+                return True
+            return False
+        return rng.random() < self.rate
+
+
+class FaultPlan:
+    """Everything that can go wrong, queried per packet.
+
+    The network calls :meth:`check_send` once per transmission and
+    :meth:`check_receive` once per (packet, destination) pair, so a
+    send omission of a multicast drops the message for *all*
+    destinations while a receive omission is per-destination —
+    matching the general-omission model.
+    """
+
+    def __init__(
+        self,
+        *,
+        crashes: CrashSchedule | None = None,
+        link_loss: float = 0.0,
+        corruption: float = 0.0,
+        rng: random.Random | None = None,
+    ) -> None:
+        if not 0.0 <= link_loss < 1.0:
+            raise ConfigError(f"link loss must be in [0, 1), got {link_loss}")
+        if not 0.0 <= corruption < 1.0:
+            raise ConfigError(f"corruption must be in [0, 1), got {corruption}")
+        self.corruption = corruption
+        #: Optional (start, end) time window outside which the
+        #: omission models are dormant — the paper's Figure 6 scenario
+        #: confines failures to "the first 5 rtd".
+        self.omission_window: tuple[Time, Time] | None = None
+        self.crashes = crashes or CrashSchedule()
+        self.link_loss = link_loss
+        self._rng = rng or random.Random(0)
+        self._send_omission: dict[ProcessId, OmissionModel] = {}
+        self._recv_omission: dict[ProcessId, OmissionModel] = {}
+        #: Optional deterministic drop predicates for surgical failure
+        #: injection in tests: called as ``f(packet, now)`` (send side)
+        #: or ``f(packet, dst, now)`` (receive side); True drops.
+        self.custom_send_filter = None
+        self.custom_receive_filter = None
+
+    def set_send_omission(self, pid: ProcessId, model: OmissionModel) -> None:
+        self._send_omission[pid] = model
+
+    def set_receive_omission(self, pid: ProcessId, model: OmissionModel) -> None:
+        self._recv_omission[pid] = model
+
+    def set_uniform_omission(
+        self, pids: list[ProcessId], rate: float, *, periodic: bool = False
+    ) -> None:
+        """Give every listed process independent send+receive omission."""
+        for pid in pids:
+            self.set_send_omission(pid, OmissionModel(rate, periodic=periodic))
+            self.set_receive_omission(pid, OmissionModel(rate, periodic=periodic))
+
+    def set_omission_window(self, start: Time, end: Time) -> None:
+        """Confine the omission models to ``start <= now < end``."""
+        if end <= start:
+            raise ConfigError(f"empty omission window [{start}, {end})")
+        self.omission_window = (start, end)
+
+    def _omission_active(self, now: Time) -> bool:
+        if self.omission_window is None:
+            return True
+        start, end = self.omission_window
+        return start <= now < end
+
+    def is_crashed(self, pid: ProcessId, now: Time) -> bool:
+        return self.crashes.is_crashed(pid, now)
+
+    def check_send(self, packet: Packet, now: Time) -> DropDecision:
+        """Fault check on the sender side (one per transmission)."""
+        src = packet.src
+        if self.crashes.is_crashed(src, now):
+            # A crashing process may still complete part of the
+            # broadcast issued at the crash instant.
+            if self.crashes.crash_time(src) == now and self.crashes.partial_budget(src) is not None:
+                return _DELIVER  # budget consumed per-destination in check_receive
+            return DropDecision(True, "src-crashed")
+        if self.custom_send_filter is not None and self.custom_send_filter(packet, now):
+            return DropDecision(True, "custom-send")
+        model = self._send_omission.get(src)
+        if (
+            model is not None
+            and self._omission_active(now)
+            and model.should_drop(self._rng)
+        ):
+            return DropDecision(True, "send-omission")
+        return _DELIVER
+
+    def check_receive(self, packet: Packet, dst: ProcessId, now: Time) -> DropDecision:
+        """Fault check on the receiver side (one per destination)."""
+        src = packet.src
+        if self.crashes.is_crashed(src, now) and self.crashes.crash_time(src) == now:
+            if not self.crashes.consume_partial(src):
+                return DropDecision(True, "src-crashed-midsend")
+        if self.crashes.is_crashed(dst, now):
+            return DropDecision(True, "dst-crashed")
+        if self.custom_receive_filter is not None and self.custom_receive_filter(
+            packet, dst, now
+        ):
+            return DropDecision(True, "custom-receive")
+        if self.link_loss > 0.0 and self._rng.random() < self.link_loss:
+            return DropDecision(True, "link-loss")
+        model = self._recv_omission.get(dst)
+        if (
+            model is not None
+            and self._omission_active(now)
+            and model.should_drop(self._rng)
+        ):
+            return DropDecision(True, "receive-omission")
+        return _DELIVER
+
+    def maybe_corrupt(self, payload: bytes) -> bytes | None:
+        """Return a bit-flipped copy of ``payload`` with probability
+        ``corruption`` (None = deliver intact).
+
+        A corrupted datagram reaches the receiver but fails to parse —
+        the checksum-failure flavour of omission, handled by the
+        network as a drop at delivery time.
+        """
+        if self.corruption <= 0.0 or not payload:
+            return None
+        if self._rng.random() >= self.corruption:
+            return None
+        index = self._rng.randrange(len(payload))
+        flipped = payload[index] ^ (1 << self._rng.randrange(8))
+        return payload[:index] + bytes([flipped]) + payload[index + 1:]

@@ -1,0 +1,115 @@
+"""Fragmentation and reassembly of urcgc data units (Section 5).
+
+"The urcgc protocol does not require any particular service from the
+transport protocol that is useful when there is the need of
+fragmenting and assembling the urcgc data units to fit the network
+packet size."  When a PDU exceeds the payload budget of the underlying
+datagram (IP's 576-byte minimum, Ethernet's 1500), this sublayer
+splits it into numbered fragments and reassembles at the receiver.
+
+Fragment layout: ``u32 message-id | u16 index | u16 total | payload``.
+Loss of any fragment loses the whole PDU — exactly a datagram loss,
+which urcgc's history recovery already handles; the reassembler
+garbage-collects incomplete PDUs once newer ones complete.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+
+from ..errors import ConfigError, WireFormatError
+from .wire import Reader, Writer
+
+__all__ = ["FRAGMENT_HEADER_BYTES", "Fragmenter", "Reassembler"]
+
+#: u32 message id + u16 index + u16 total.
+FRAGMENT_HEADER_BYTES = 8
+
+_message_ids = count(1)
+
+
+class Fragmenter:
+    """Splits PDUs into MTU-sized fragments."""
+
+    def __init__(self, mtu: int) -> None:
+        if mtu <= FRAGMENT_HEADER_BYTES:
+            raise ConfigError(
+                f"mtu must exceed the {FRAGMENT_HEADER_BYTES}-byte fragment header"
+            )
+        self.mtu = mtu
+        self.chunk_size = mtu - FRAGMENT_HEADER_BYTES
+
+    def fragment(self, pdu: bytes) -> list[bytes]:
+        """Split ``pdu``; a PDU that fits yields a single fragment."""
+        message_id = next(_message_ids)
+        chunks = [
+            pdu[offset : offset + self.chunk_size]
+            for offset in range(0, len(pdu), self.chunk_size)
+        ] or [b""]
+        if len(chunks) > 0xFFFF:
+            raise WireFormatError(f"PDU of {len(pdu)} bytes needs too many fragments")
+        fragments = []
+        for index, chunk in enumerate(chunks):
+            writer = Writer()
+            writer.u32(message_id)
+            writer.u16(index)
+            writer.u16(len(chunks))
+            writer.raw(chunk)
+            fragments.append(writer.getvalue())
+        return fragments
+
+
+class Reassembler:
+    """Rebuilds PDUs from (possibly reordered) fragments.
+
+    Keeps at most ``max_pending`` partially reassembled PDUs per
+    source; the oldest incomplete one is evicted first (its loss is a
+    plain datagram loss to the layer above).
+    """
+
+    def __init__(self, *, max_pending: int = 64) -> None:
+        if max_pending < 1:
+            raise ConfigError(f"max_pending must be >= 1, got {max_pending}")
+        self.max_pending = max_pending
+        #: (source key, message id) -> {index: chunk}
+        self._partial: dict[tuple[object, int], dict[int, bytes]] = {}
+        self._totals: dict[tuple[object, int], int] = {}
+        self.evicted_count = 0
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._partial)
+
+    def accept(self, source: object, fragment: bytes) -> bytes | None:
+        """Feed one fragment; returns the full PDU when complete."""
+        reader = Reader(fragment)
+        message_id = reader.u32()
+        index = reader.u16()
+        total = reader.u16()
+        chunk = fragment[FRAGMENT_HEADER_BYTES:]
+        if total == 0 or index >= total:
+            raise WireFormatError(
+                f"bad fragment header: index {index} of total {total}"
+            )
+        key = (source, message_id)
+        known_total = self._totals.get(key)
+        if known_total is not None and known_total != total:
+            raise WireFormatError(
+                f"fragment total changed for {key}: {known_total} -> {total}"
+            )
+        parts = self._partial.setdefault(key, {})
+        self._totals[key] = total
+        parts[index] = chunk
+        if len(parts) == total:
+            del self._partial[key]
+            del self._totals[key]
+            return b"".join(parts[i] for i in range(total))
+        self._evict_if_needed()
+        return None
+
+    def _evict_if_needed(self) -> None:
+        while len(self._partial) > self.max_pending:
+            oldest = next(iter(self._partial))
+            del self._partial[oldest]
+            del self._totals[oldest]
+            self.evicted_count += 1

@@ -1,0 +1,200 @@
+"""The simulated datagram network.
+
+A LAN-style network: any endpoint can send a datagram to a unicast
+address or to a multicast group; multicast uses *n*-unicast semantics
+(the paper's Section 5: "the semantics of this service correspond to
+the n-unicast semantics").  Delivery takes one half round-trip delay by
+default — a packet sent at the start of round ``r`` is on the receiver
+before round ``r + 1`` fires — and every transmission passes through
+the :class:`~repro.net.faults.FaultPlan`.
+
+The network never delivers to a crashed process, never carries packets
+from a crashed process (except the partial final broadcast), and
+accounts every packet in :class:`~repro.net.stats.NetworkStats`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import (
+    ConfigError,
+    PacketTooLargeError,
+    UnknownAddressError,
+    WireFormatError,
+)
+from ..sim.events import PRIORITY_NETWORK
+from ..sim.kernel import Kernel
+from ..types import ProcessId, Time
+from .addressing import Address, GroupAddress, UnicastAddress
+from .faults import FaultPlan
+from .packet import Packet
+from .stats import NetworkStats
+
+__all__ = ["DatagramNetwork", "DEFAULT_ONE_WAY_DELAY", "ETHERNET_MTU"]
+
+#: One-way latency in rtd units: half a round trip, by definition.
+DEFAULT_ONE_WAY_DELAY: Time = 0.5
+
+#: Classic Ethernet payload budget, the paper's framing for "processes
+#: in the group become 40 if the maximum allowed data field of an
+#: Ethernet packet is considered".
+ETHERNET_MTU = 1500
+
+PacketHandler = Callable[[Packet], None]
+
+
+class DatagramNetwork:
+    """An unreliable, unordered datagram service over a LAN.
+
+    Parameters
+    ----------
+    kernel:
+        The event kernel packets are scheduled on.
+    faults:
+        Fault plan; defaults to a fault-free network.
+    one_way_delay:
+        Latency from send to delivery, in rtd units.
+    mtu:
+        Maximum packet size on the wire (payload + header); ``None``
+        disables the check.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        *,
+        faults: FaultPlan | None = None,
+        one_way_delay: Time = DEFAULT_ONE_WAY_DELAY,
+        mtu: int | None = None,
+        medium=None,
+    ) -> None:
+        if one_way_delay <= 0:
+            raise ConfigError(f"one_way_delay must be positive, got {one_way_delay}")
+        self._kernel = kernel
+        self.faults = faults or FaultPlan()
+        self.one_way_delay = one_way_delay
+        #: Timing model; anything with schedule(packet, now) -> time.
+        #: Defaults to fixed delay; pass an EthernetBus for a shared,
+        #: saturable medium.
+        self.medium = medium
+        self.mtu = mtu
+        self.stats = NetworkStats()
+        self._handlers: dict[ProcessId, PacketHandler] = {}
+        self._groups: dict[str, list[ProcessId]] = {}
+
+    # -- endpoint / group management -----------------------------------
+
+    def attach(self, pid: ProcessId, handler: PacketHandler) -> None:
+        """Register the receive handler for endpoint ``pid``."""
+        self._handlers[pid] = handler
+
+    def detach(self, pid: ProcessId) -> None:
+        """Remove an endpoint (silently ignores unknown pids)."""
+        self._handlers.pop(pid, None)
+        for members in self._groups.values():
+            if pid in members:
+                members.remove(pid)
+
+    def join(self, group: GroupAddress, pid: ProcessId) -> None:
+        """Add ``pid`` to ``group`` (idempotent)."""
+        members = self._groups.setdefault(group.name, [])
+        if pid not in members:
+            members.append(pid)
+
+    def members(self, group: GroupAddress) -> list[ProcessId]:
+        """Current members of ``group`` in join order."""
+        return list(self._groups.get(group.name, []))
+
+    def endpoints(self) -> list[ProcessId]:
+        return sorted(self._handlers)
+
+    # -- sending --------------------------------------------------------
+
+    def send(self, packet: Packet) -> None:
+        """Transmit ``packet``; delivery is scheduled asynchronously.
+
+        A multicast destination fans out to every group member except
+        the sender (protocols deliver their own messages locally).
+        """
+        if self.mtu is not None and packet.wire_size > self.mtu:
+            raise PacketTooLargeError(
+                f"{packet!r} is {packet.wire_size}B, exceeds MTU {self.mtu}"
+            )
+        self.stats.on_sent(packet)
+        now = self._kernel.now
+        decision = self.faults.check_send(packet, now)
+        destinations = self._expand(packet.dst, packet.src)
+        if decision.dropped:
+            self.stats.on_dropped(packet)
+            self._kernel.trace.emit(
+                now, "net.drop", packet.src, reason=decision.reason, uid=packet.uid
+            )
+            return
+        # One bus transmission serves every destination (broadcast
+        # medium); the fixed-delay default behaves identically.
+        if self.medium is not None:
+            deliver_at = self.medium.schedule(packet, now)
+        else:
+            deliver_at = now + self.one_way_delay
+        for dst in destinations:
+            self._transmit(packet, dst, now, deliver_at)
+
+    def _expand(self, dst: Address, src: ProcessId) -> list[ProcessId]:
+        if isinstance(dst, UnicastAddress):
+            return [dst.pid]
+        if isinstance(dst, GroupAddress):
+            members = self._groups.get(dst.name)
+            if members is None:
+                raise UnknownAddressError(dst.name)
+            return [pid for pid in members if pid != src]
+        raise UnknownAddressError(str(dst))
+
+    def _transmit(
+        self, packet: Packet, dst: ProcessId, now: Time, deliver_at: Time
+    ) -> None:
+        decision = self.faults.check_receive(packet, dst, now)
+        if decision.dropped:
+            self.stats.on_dropped(packet)
+            self._kernel.trace.emit(
+                now, "net.drop", dst, reason=decision.reason, uid=packet.uid
+            )
+            return
+        self._kernel.schedule_at(
+            deliver_at,
+            lambda packet=packet, dst=dst: self._deliver(packet, dst),
+            priority=PRIORITY_NETWORK,
+            label=f"deliver#{packet.uid}->p{dst}",
+        )
+
+    def _deliver(self, packet: Packet, dst: ProcessId) -> None:
+        now = self._kernel.now
+        # A destination that crashed while the packet was in flight
+        # never sees it.
+        if self.faults.is_crashed(dst, now):
+            self.stats.on_dropped(packet)
+            self._kernel.trace.emit(now, "net.drop", dst, reason="dst-crashed-inflight", uid=packet.uid)
+            return
+        handler = self._handlers.get(dst)
+        if handler is None:
+            self.stats.on_dropped(packet)
+            self._kernel.trace.emit(now, "net.drop", dst, reason="no-endpoint", uid=packet.uid)
+            return
+        if self.faults.maybe_corrupt(packet.payload) is not None:
+            # The datagram checksum catches the flipped bit: the packet
+            # is discarded at the receiver's network layer.
+            self.stats.on_dropped(packet)
+            self._kernel.trace.emit(
+                now, "net.drop", dst, reason="corrupt", uid=packet.uid
+            )
+            return
+        self.stats.on_delivered(packet)
+        try:
+            handler(packet)
+        except WireFormatError:
+            # Defense in depth: anything that still fails to parse is
+            # treated as a loss, never as a crash of the simulation.
+            self.stats.on_dropped(packet)
+            self._kernel.trace.emit(
+                now, "net.drop", dst, reason="unparseable", uid=packet.uid
+            )

@@ -1,0 +1,49 @@
+"""Packets carried by the simulated datagram network.
+
+A packet is a source, a destination address, an opaque payload (the
+encoded protocol message), and a ``kind`` label used only for traffic
+accounting (Table 1 distinguishes data from control traffic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+
+from ..types import ProcessId
+from .addressing import Address
+
+__all__ = ["Packet", "HEADER_OVERHEAD_BYTES"]
+
+#: Fixed per-packet header cost added to the payload when accounting
+#: bytes on the wire (src, dst, length, checksum — a UDP-like header).
+HEADER_OVERHEAD_BYTES = 8
+
+_packet_ids = count(1)
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One datagram in flight.
+
+    ``uid`` is globally unique and lets fault models and traces refer
+    to a specific transmission (a multicast expands to n unicast
+    packets that share the payload but have distinct uids).
+    """
+
+    src: ProcessId
+    dst: Address
+    payload: bytes
+    kind: str = "data"
+    uid: int = field(default_factory=lambda: next(_packet_ids))
+
+    @property
+    def wire_size(self) -> int:
+        """Bytes on the wire, including the datagram header."""
+        return len(self.payload) + HEADER_OVERHEAD_BYTES
+
+    def __repr__(self) -> str:
+        return (
+            f"Packet(#{self.uid} {self.kind} p{self.src}->{self.dst} "
+            f"{len(self.payload)}B)"
+        )

@@ -1,0 +1,109 @@
+"""Traffic accounting for the datagram network.
+
+Table 1 of the paper reports the *amount of control messages and their
+size in bytes* for urcgc and CBCAST under reliable and crash
+conditions.  :class:`NetworkStats` accumulates exactly that: per-kind
+packet counts, byte volumes, and size extrema, measured at send time
+(offered network load) and at delivery time (carried load).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .packet import Packet
+
+__all__ = ["KindStats", "NetworkStats"]
+
+
+@dataclass
+class KindStats:
+    """Counts and sizes for one packet kind."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    sent_bytes: int = 0
+    delivered_bytes: int = 0
+    max_size: int = 0
+    min_size: int | None = None
+
+    def record_sent(self, size: int) -> None:
+        self.sent += 1
+        self.sent_bytes += size
+        self.max_size = max(self.max_size, size)
+        self.min_size = size if self.min_size is None else min(self.min_size, size)
+
+    def record_delivered(self, size: int) -> None:
+        self.delivered += 1
+        self.delivered_bytes += size
+
+    def record_dropped(self) -> None:
+        self.dropped += 1
+
+    @property
+    def mean_size(self) -> float:
+        return self.sent_bytes / self.sent if self.sent else 0.0
+
+
+class NetworkStats:
+    """Aggregated per-kind traffic statistics."""
+
+    def __init__(self) -> None:
+        self._kinds: dict[str, KindStats] = {}
+
+    def _kind(self, kind: str) -> KindStats:
+        stats = self._kinds.get(kind)
+        if stats is None:
+            stats = self._kinds[kind] = KindStats()
+        return stats
+
+    def on_sent(self, packet: Packet) -> None:
+        self._kind(packet.kind).record_sent(packet.wire_size)
+
+    def on_delivered(self, packet: Packet) -> None:
+        self._kind(packet.kind).record_delivered(packet.wire_size)
+
+    def on_dropped(self, packet: Packet) -> None:
+        self._kind(packet.kind).record_dropped()
+
+    def kind(self, kind: str) -> KindStats:
+        """Stats for one kind (zeros if never seen)."""
+        return self._kinds.get(kind, KindStats())
+
+    def kinds(self) -> list[str]:
+        return sorted(self._kinds)
+
+    def total(self, *, control_only: bool = False) -> KindStats:
+        """Aggregate over kinds; ``control_only`` excludes ``data``."""
+        total = KindStats()
+        for kind, stats in self._kinds.items():
+            if control_only and kind == "data":
+                continue
+            total.sent += stats.sent
+            total.delivered += stats.delivered
+            total.dropped += stats.dropped
+            total.sent_bytes += stats.sent_bytes
+            total.delivered_bytes += stats.delivered_bytes
+            total.max_size = max(total.max_size, stats.max_size)
+            if stats.min_size is not None:
+                total.min_size = (
+                    stats.min_size
+                    if total.min_size is None
+                    else min(total.min_size, stats.min_size)
+                )
+        return total
+
+    def as_rows(self) -> list[tuple[str, int, int, int, float, int]]:
+        """Rows of (kind, sent, delivered, dropped, mean size, max size)."""
+        return [
+            (
+                kind,
+                s.sent,
+                s.delivered,
+                s.dropped,
+                s.mean_size,
+                s.max_size,
+            )
+            for kind, s in sorted(self._kinds.items())
+        ]

@@ -1,0 +1,134 @@
+"""Shared-medium (Ethernet bus) timing model.
+
+The paper's simulations sit on an Ethernet LAN.  The default network
+model delivers every packet after a fixed half-rtd; this module adds
+the shared-bus refinement: one transmission at a time, serialization
+delay proportional to packet size, and queueing when the medium is
+busy.  Under light load it degenerates to the fixed-delay model; as
+offered load approaches the bus capacity, delivery (and hence the
+paper's D) climbs — the saturation ablation exercises exactly that.
+
+A broadcast is a *single* bus transmission heard by every station —
+Ethernet's real multicast advantage over the n-unicast accounting.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from ..types import Time
+from .packet import Packet
+
+__all__ = ["EthernetBus", "FixedDelay", "JitteredDelay"]
+
+
+class FixedDelay:
+    """The default medium: constant one-way latency, infinite capacity."""
+
+    def __init__(self, delay: Time = 0.5) -> None:
+        if delay <= 0:
+            raise ConfigError(f"delay must be positive, got {delay}")
+        self.delay = delay
+
+    def schedule(self, packet: Packet, now: Time) -> Time:
+        """Return the delivery time for a packet sent at ``now``."""
+        return now + self.delay
+
+    def utilization(self, now: Time) -> float:
+        return 0.0
+
+
+class JitteredDelay:
+    """Fixed base latency plus uniform jitter.
+
+    The protocol's round schedule assumes the one-way delay fits in
+    half a subrun; real LANs jitter.  This medium delivers at
+    ``base + U(0, jitter)``: packets whose jitter pushes them past the
+    round boundary arrive a round late and are absorbed by the normal
+    recovery machinery — the asynchrony-tolerance experiment.
+    """
+
+    def __init__(
+        self,
+        base: Time = 0.35,
+        jitter: Time = 0.1,
+        *,
+        rng=None,
+    ) -> None:
+        if base <= 0:
+            raise ConfigError(f"base delay must be positive, got {base}")
+        if jitter < 0:
+            raise ConfigError(f"jitter must be >= 0, got {jitter}")
+        import random
+
+        self.base = base
+        self.jitter = jitter
+        self._rng = rng or random.Random(0)
+        self.late_count = 0
+
+    def schedule(self, packet: Packet, now: Time) -> Time:
+        delay = self.base + self._rng.uniform(0.0, self.jitter)
+        if delay > 0.5:
+            self.late_count += 1
+        return now + delay
+
+    def utilization(self, now: Time) -> float:
+        return 0.0
+
+
+class EthernetBus:
+    """A half-duplex shared bus.
+
+    Parameters
+    ----------
+    bandwidth:
+        Capacity in bytes per rtd.  With the paper's framing (one
+        subrun per rtd) a group of n processes offers roughly
+        ``n * packet_size * 2`` data bytes plus control per rtd.
+    propagation:
+        Propagation + stack latency after serialization completes.
+        The default (0.25 rtd) leaves headroom inside the half-rtd
+        round so that, at light load, serialization + propagation still
+        lands a packet before the next round boundary — the paper's
+        round-synchronous schedule assumes the one-way delay fits in
+        half a subrun.  Sustained overload pushes deliveries past the
+        boundary and the protocol visibly degrades (rising D, late
+        requests), which is exactly what the saturation ablation
+        studies.
+
+    The model is FIFO: transmissions serialize in send order, each
+    occupying the bus for ``size / bandwidth`` rtd.
+    """
+
+    def __init__(self, bandwidth: float, *, propagation: Time = 0.25) -> None:
+        if bandwidth <= 0:
+            raise ConfigError(f"bandwidth must be positive, got {bandwidth}")
+        if propagation < 0:
+            raise ConfigError(f"propagation must be >= 0, got {propagation}")
+        self.bandwidth = bandwidth
+        self.propagation = propagation
+        self._busy_until: Time = 0.0
+        self._busy_accumulated: Time = 0.0
+
+    def schedule(self, packet: Packet, now: Time) -> Time:
+        """Claim the bus for ``packet``; return its delivery time.
+
+        Queueing is implicit: if the bus is busy, serialization starts
+        when it frees up.
+        """
+        start = max(now, self._busy_until)
+        tx_time = packet.wire_size / self.bandwidth
+        self._busy_until = start + tx_time
+        self._busy_accumulated += tx_time
+        return self._busy_until + self.propagation
+
+    def utilization(self, now: Time) -> float:
+        """Fraction of elapsed time the bus spent transmitting."""
+        if now <= 0:
+            return 0.0
+        return min(self._busy_accumulated / now, 1.0)
+
+    @property
+    def backlog(self) -> Time:
+        """How far ahead of 'now' the bus is already committed (set by
+        the last schedule call)."""
+        return self._busy_until

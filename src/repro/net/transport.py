@@ -1,0 +1,277 @@
+"""The multicast transport service of Section 5.
+
+The paper describes an abstract transport whose Request is the tuple
+``(m, h, v, d)``: destinations ``m`` (unicast or multicast), required
+replies ``h``, a voting function ``v`` (unused by urcgc), and data
+``d``.  Retransmission ensures at least ``h`` destinations receive the
+data, yet "the primitive never fails, even if less than h replies are
+received".
+
+With ``h = 1`` (the paper's simulation setting) the service degenerates
+to a raw datagram: no acknowledgements, no retransmission — packet loss
+is pushed up to the urcgc layer's history recovery.  With ``h > 1`` the
+transport acknowledges and retransmits, trading extra control traffic
+for fewer recoveries upstairs.  Both modes share one PDU format, so
+the byte accounting stays honest across the ``h`` ablation.
+
+PDU layout (after the one-byte frame tag):
+
+====  =======================================================
+tag   meaning
+====  =======================================================
+0     DATA, no acknowledgement requested
+1     DATA, acknowledgement requested (carries transfer id)
+2     ACK (carries transfer id)
+3     FRAGMENT of a larger frame (see repro.net.fragmentation)
+====  =======================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Callable
+
+from ..errors import ConfigError, WireFormatError
+from ..sim.kernel import Kernel
+from ..types import ProcessId, Time
+from .addressing import Address, UnicastAddress
+from .network import DatagramNetwork
+from .packet import Packet
+from .wire import Reader, Writer
+
+__all__ = ["TransferStatus", "Transfer", "MulticastTransport"]
+
+_FRAME_DATA = 0
+_FRAME_DATA_ACKED = 1
+_FRAME_ACK = 2
+_FRAME_FRAGMENT = 3
+
+_transfer_ids = count(1)
+
+DataIndication = Callable[[ProcessId, bytes], None]
+
+
+@dataclass
+class TransferStatus:
+    """Progress of one (possibly retransmitted) transfer."""
+
+    transfer_id: int
+    required_replies: int
+    acked_by: set[ProcessId] = field(default_factory=set)
+    retries_used: int = 0
+    complete: bool = False
+
+    @property
+    def reply_count(self) -> int:
+        return len(self.acked_by)
+
+
+@dataclass
+class Transfer:
+    """Internal bookkeeping for an in-flight acked transfer."""
+
+    status: TransferStatus
+    dst: Address
+    payload: bytes
+    kind: str
+
+
+class MulticastTransport:
+    """One transport entity attached to a t-SAP.
+
+    Parameters
+    ----------
+    kernel, network:
+        Substrate the entity runs on.
+    pid:
+        The endpoint this entity serves; the transport attaches itself
+        to the network for this pid.
+    on_data:
+        Upcall ``(src, data)`` for every distinct received payload
+        (retransmissions are deduplicated for acked transfers).
+    h:
+        Default required-reply count for :meth:`t_data_rq`.
+    max_retries:
+        Retransmissions attempted before giving up (the Request still
+        "never fails" — completion is reported with however many
+        replies arrived).
+    ack_timeout:
+        Time (rtd units) to wait for acks before retransmitting.
+    mtu:
+        Optional maximum frame size.  Frames above it are split by the
+        Section 5 fragmentation sublayer and reassembled at the
+        receiver ("fragmenting and assembling the urcgc data units to
+        fit the network packet size"); losing any fragment loses the
+        whole frame, like a plain datagram loss.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        network: DatagramNetwork,
+        pid: ProcessId,
+        *,
+        on_data: DataIndication,
+        h: int = 1,
+        max_retries: int = 3,
+        ack_timeout: Time = 1.0,
+        mtu: int | None = None,
+    ) -> None:
+        if h < 1:
+            raise ConfigError(f"h must be >= 1, got {h}")
+        if max_retries < 0:
+            raise ConfigError("max_retries must be >= 0")
+        self._kernel = kernel
+        self._network = network
+        self.pid = pid
+        self._on_data = on_data
+        self.default_h = h
+        self.max_retries = max_retries
+        self.ack_timeout = ack_timeout
+        self._outgoing: dict[int, Transfer] = {}
+        self._seen_transfers: set[tuple[ProcessId, int]] = set()
+        if mtu is not None:
+            from .fragmentation import Fragmenter, Reassembler
+
+            # One byte of frame tag precedes the fragment header.
+            self._fragmenter = Fragmenter(mtu - 1)
+            self._reassembler = Reassembler()
+        else:
+            self._fragmenter = None
+            self._reassembler = None
+        self.mtu = mtu
+        network.attach(pid, self._on_packet)
+
+    # -- service interface ----------------------------------------------
+
+    def t_data_rq(
+        self,
+        dst: Address,
+        data: bytes,
+        *,
+        kind: str = "data",
+        h: int | None = None,
+    ) -> TransferStatus:
+        """The t.data.Rq primitive: send ``data`` to ``dst``.
+
+        Returns the transfer status, which completes asynchronously for
+        acked transfers.  For ``h == 1`` no acknowledgement machinery is
+        engaged and the status completes immediately.
+        """
+        replies = self.default_h if h is None else h
+        if replies < 1:
+            raise ConfigError(f"h must be >= 1, got {replies}")
+        # The paper constrains 1 <= h <= |m|: never wait for more
+        # replies than there are destinations (a unicast can yield at
+        # most one ack).
+        replies = min(replies, self._destination_count(dst))
+        transfer_id = next(_transfer_ids)
+        status = TransferStatus(transfer_id, replies)
+        if replies == 1:
+            # Raw datagram mode: mounting urcgc directly on the subnet.
+            payload = self._frame(_FRAME_DATA, transfer_id, data)
+            self._send_frame(dst, payload, kind)
+            status.complete = True
+            return status
+        transfer = Transfer(status, dst, data, kind)
+        self._outgoing[transfer_id] = transfer
+        self._transmit(transfer)
+        return status
+
+    # -- internals --------------------------------------------------------
+
+    def _destination_count(self, dst: Address) -> int:
+        """How many endpoints a send to ``dst`` can reach (sender
+        excluded for multicast, matching the network's fan-out)."""
+        if isinstance(dst, UnicastAddress):
+            return 1
+        try:
+            members = self._network.members(dst)  # type: ignore[arg-type]
+        except Exception:
+            return 1
+        count = len([pid for pid in members if pid != self.pid])
+        return max(count, 1)
+
+    @staticmethod
+    def _frame(tag: int, transfer_id: int, data: bytes = b"") -> bytes:
+        writer = Writer()
+        writer.u8(tag)
+        writer.u32(transfer_id)
+        writer.raw(data)
+        return writer.getvalue()
+
+    def _send_frame(self, dst: Address, frame: bytes, kind: str) -> None:
+        """Put one transport frame on the wire, fragmenting if needed."""
+        if self._fragmenter is None or len(frame) <= self.mtu:
+            self._network.send(Packet(self.pid, dst, frame, kind=kind))
+            return
+        for fragment in self._fragmenter.fragment(frame):
+            writer = Writer()
+            writer.u8(_FRAME_FRAGMENT)
+            writer.raw(fragment)
+            self._network.send(Packet(self.pid, dst, writer.getvalue(), kind=kind))
+
+    def _transmit(self, transfer: Transfer) -> None:
+        payload = self._frame(_FRAME_DATA_ACKED, transfer.status.transfer_id, transfer.payload)
+        self._send_frame(transfer.dst, payload, transfer.kind)
+        self._kernel.schedule(
+            self.ack_timeout,
+            lambda tid=transfer.status.transfer_id: self._on_ack_timeout(tid),
+            label=f"t-retx#{transfer.status.transfer_id}",
+        )
+
+    def _on_ack_timeout(self, transfer_id: int) -> None:
+        transfer = self._outgoing.get(transfer_id)
+        if transfer is None or transfer.status.complete:
+            return
+        status = transfer.status
+        if status.reply_count >= status.required_replies:
+            self._finish(transfer)
+            return
+        if status.retries_used >= self.max_retries:
+            # The primitive never fails: report completion regardless.
+            self._finish(transfer)
+            return
+        status.retries_used += 1
+        self._transmit(transfer)
+
+    def _finish(self, transfer: Transfer) -> None:
+        transfer.status.complete = True
+        self._outgoing.pop(transfer.status.transfer_id, None)
+
+    def _on_packet(self, packet: Packet) -> None:
+        self._on_frame(packet.src, packet.payload)
+
+    def _on_frame(self, src: ProcessId, frame: bytes) -> None:
+        reader = Reader(frame)
+        tag = reader.u8()
+        if tag == _FRAME_FRAGMENT:
+            if self._reassembler is None:
+                raise WireFormatError("fragment received but no MTU configured")
+            whole = self._reassembler.accept(src, frame[1:])
+            if whole is not None:
+                self._on_frame(src, whole)
+            return
+        transfer_id = reader.u32()
+        packet_src = src
+        if tag == _FRAME_DATA:
+            self._on_data(packet_src, frame[5:])
+        elif tag == _FRAME_DATA_ACKED:
+            ack = self._frame(_FRAME_ACK, transfer_id)
+            self._network.send(
+                Packet(self.pid, UnicastAddress(packet_src), ack, kind="t-ack")
+            )
+            key = (packet_src, transfer_id)
+            if key in self._seen_transfers:
+                return  # duplicate retransmission
+            self._seen_transfers.add(key)
+            self._on_data(packet_src, frame[5:])
+        elif tag == _FRAME_ACK:
+            transfer = self._outgoing.get(transfer_id)
+            if transfer is not None:
+                transfer.status.acked_by.add(packet_src)
+                if transfer.status.reply_count >= transfer.status.required_replies:
+                    self._finish(transfer)
+        else:
+            raise WireFormatError(f"unknown transport frame tag {tag}")

@@ -1,0 +1,220 @@
+"""Binary wire codec primitives.
+
+Table 1 of the paper compares *byte* sizes of control messages, so the
+reproduction encodes every protocol message to a real byte string
+rather than counting abstract fields.  This module provides the
+low-level encode/decode helpers (fixed-width integers, varints, length-
+prefixed collections) and a type-tag registry used by the message
+classes in :mod:`repro.core.message` and the baselines.
+
+The format is deliberately simple: network byte order, a one-byte type
+tag, then type-specific fields.  It is a faithful stand-in for the
+"fits into a single IP datagram" arithmetic in the paper.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Iterable, Protocol, Type, TypeVar
+
+from ..errors import WireFormatError
+
+__all__ = [
+    "Reader",
+    "Writer",
+    "WireMessage",
+    "CodecRegistry",
+    "encode_message",
+    "decode_message",
+    "global_registry",
+]
+
+_U8 = struct.Struct("!B")
+_U16 = struct.Struct("!H")
+_U32 = struct.Struct("!I")
+_U64 = struct.Struct("!Q")
+
+
+class Writer:
+    """Accumulates encoded fields into a byte string."""
+
+    def __init__(self) -> None:
+        self._parts: list[bytes] = []
+
+    def u8(self, value: int) -> "Writer":
+        self._parts.append(_U8.pack(value))
+        return self
+
+    def u16(self, value: int) -> "Writer":
+        self._parts.append(_U16.pack(value))
+        return self
+
+    def u32(self, value: int) -> "Writer":
+        self._parts.append(_U32.pack(value))
+        return self
+
+    def u64(self, value: int) -> "Writer":
+        self._parts.append(_U64.pack(value))
+        return self
+
+    def f64(self, value: float) -> "Writer":
+        self._parts.append(struct.pack("!d", value))
+        return self
+
+    def boolean(self, value: bool) -> "Writer":
+        return self.u8(1 if value else 0)
+
+    def raw(self, data: bytes) -> "Writer":
+        self._parts.append(data)
+        return self
+
+    def bytes_field(self, data: bytes) -> "Writer":
+        """Length-prefixed (u16) byte string."""
+        if len(data) > 0xFFFF:
+            raise WireFormatError(f"bytes field too long: {len(data)}")
+        self.u16(len(data))
+        return self.raw(data)
+
+    def u32_list(self, values: Iterable[int]) -> "Writer":
+        """Length-prefixed (u16) list of u32."""
+        vals = list(values)
+        if len(vals) > 0xFFFF:
+            raise WireFormatError(f"list too long: {len(vals)}")
+        self.u16(len(vals))
+        for v in vals:
+            self.u32(v)
+        return self
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._parts)
+
+    def __len__(self) -> int:
+        return sum(len(p) for p in self._parts)
+
+
+class Reader:
+    """Consumes fields from a byte string, raising on truncation."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    def _take(self, count: int) -> bytes:
+        end = self._pos + count
+        if end > len(self._data):
+            raise WireFormatError(
+                f"truncated message: wanted {count} bytes at offset {self._pos}, "
+                f"have {len(self._data) - self._pos}"
+            )
+        chunk = self._data[self._pos : end]
+        self._pos = end
+        return chunk
+
+    def u8(self) -> int:
+        return _U8.unpack(self._take(1))[0]
+
+    def u16(self) -> int:
+        return _U16.unpack(self._take(2))[0]
+
+    def u32(self) -> int:
+        return _U32.unpack(self._take(4))[0]
+
+    def u64(self) -> int:
+        return _U64.unpack(self._take(8))[0]
+
+    def f64(self) -> float:
+        return struct.unpack("!d", self._take(8))[0]
+
+    def boolean(self) -> bool:
+        return self.u8() != 0
+
+    def bytes_field(self) -> bytes:
+        return self._take(self.u16())
+
+    def u32_list(self) -> list[int]:
+        return [self.u32() for _ in range(self.u16())]
+
+    def expect_end(self) -> None:
+        """Raise unless the whole buffer has been consumed."""
+        if self._pos != len(self._data):
+            raise WireFormatError(
+                f"{len(self._data) - self._pos} trailing bytes after message"
+            )
+
+
+class WireMessage(Protocol):
+    """Anything encodable by a :class:`CodecRegistry`."""
+
+    def encode_fields(self, writer: Writer) -> None: ...
+
+
+M = TypeVar("M")
+
+
+class CodecRegistry:
+    """Maps one-byte type tags to message classes and decoders."""
+
+    def __init__(self) -> None:
+        self._by_tag: dict[int, tuple[type, Callable[[Reader], object]]] = {}
+        self._by_type: dict[type, int] = {}
+
+    def register(
+        self, tag: int, cls: Type[M], decoder: Callable[[Reader], M]
+    ) -> None:
+        """Register ``cls`` under ``tag`` with its field decoder."""
+        if tag in self._by_tag:
+            raise WireFormatError(f"tag {tag} already registered for {self._by_tag[tag][0]}")
+        if cls in self._by_type:
+            raise WireFormatError(f"{cls} already registered")
+        self._by_tag[tag] = (cls, decoder)
+        self._by_type[cls] = tag
+
+    def tag_of(self, cls: type) -> int:
+        try:
+            return self._by_type[cls]
+        except KeyError:
+            raise WireFormatError(f"{cls} is not a registered wire message") from None
+
+    def encode(self, message: WireMessage) -> bytes:
+        writer = Writer()
+        writer.u8(self.tag_of(type(message)))
+        message.encode_fields(writer)
+        return writer.getvalue()
+
+    def decode(self, data: bytes) -> object:
+        """Decode untrusted bytes.
+
+        Every failure — truncation, unknown tags, and any semantic
+        validation a message constructor performs (e.g. a zero
+        sequence number) — surfaces as :class:`WireFormatError`, so a
+        receiver can treat "didn't parse" uniformly as a datagram loss.
+        """
+        reader = Reader(data)
+        tag = reader.u8()
+        entry = self._by_tag.get(tag)
+        if entry is None:
+            raise WireFormatError(f"unknown message tag {tag}")
+        try:
+            message = entry[1](reader)
+        except WireFormatError:
+            raise
+        except Exception as exc:
+            raise WireFormatError(
+                f"malformed {entry[0].__name__}: {exc}"
+            ) from exc
+        reader.expect_end()
+        return message
+
+
+#: Registry shared by the urcgc core and the baselines (distinct tags).
+global_registry = CodecRegistry()
+
+
+def encode_message(message: WireMessage) -> bytes:
+    """Encode ``message`` with the global registry."""
+    return global_registry.encode(message)
+
+
+def decode_message(data: bytes) -> object:
+    """Decode a message encoded by :func:`encode_message`."""
+    return global_registry.decode(data)

@@ -1,0 +1,24 @@
+"""asyncio runtime: the paper's promised LAN prototype, in-process.
+
+The same sans-IO engines as the simulator, driven by wall-clock
+asyncio tasks over an in-memory datagram fabric (with loss injection),
+or over genuine loopback UDP sockets.  Rounds can be sized from a live
+RTT estimate ("assuming the subrun as long as the round trip delay").
+"""
+
+from .lan import AsyncEndpoint, AsyncLan, Datagram
+from .node import AsyncGroup, AsyncNode
+from .rtt import AdaptiveRoundTimer, RttEstimator
+from .udp import UdpEndpoint, UdpFabric
+
+__all__ = [
+    "AsyncEndpoint",
+    "AsyncLan",
+    "Datagram",
+    "AsyncGroup",
+    "AsyncNode",
+    "AdaptiveRoundTimer",
+    "RttEstimator",
+    "UdpEndpoint",
+    "UdpFabric",
+]

@@ -1,0 +1,119 @@
+"""An in-process asyncio "LAN" for running the sans-IO engines live.
+
+The paper closes with "a first prototype of the algorithm is currently
+under development over an Ethernet LAN".  This module is that
+prototype's stand-in: the same :class:`~repro.core.member.Member`
+engines, driven by wall-clock asyncio tasks over an in-memory datagram
+fabric with optional loss injection.  Nothing in :mod:`repro.core`
+changes — the engines cannot tell the simulator and the runtime apart.
+
+The fabric mimics a UDP socket API (``sendto`` + per-endpoint receive
+queues) so porting to real ``asyncio.DatagramProtocol`` sockets is a
+transport swap, not a redesign.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, field
+
+from ..errors import RuntimeTransportError, UnknownAddressError
+from ..net.addressing import Address, GroupAddress, UnicastAddress
+from ..types import ProcessId
+
+__all__ = ["Datagram", "AsyncLan", "AsyncEndpoint"]
+
+
+@dataclass(frozen=True)
+class Datagram:
+    """One datagram on the asyncio fabric."""
+
+    src: ProcessId
+    data: bytes
+    kind: str = "data"
+
+
+@dataclass
+class AsyncEndpoint:
+    """Receive side of one endpoint: an unbounded datagram queue."""
+
+    pid: ProcessId
+    queue: "asyncio.Queue[Datagram]" = field(default_factory=asyncio.Queue)
+
+    async def recv(self) -> Datagram:
+        return await self.queue.get()
+
+
+class AsyncLan:
+    """In-memory datagram fabric with n-unicast multicast semantics.
+
+    Parameters
+    ----------
+    loss:
+        Probability that any single datagram copy is dropped.
+    latency:
+        One-way delivery latency in seconds (0 delivers on the next
+        event-loop turn).
+    seed:
+        Seed for the loss process.
+    """
+
+    def __init__(
+        self, *, loss: float = 0.0, latency: float = 0.0, seed: int = 0
+    ) -> None:
+        if not 0.0 <= loss < 1.0:
+            raise RuntimeTransportError(f"loss must be in [0, 1), got {loss}")
+        self.loss = loss
+        self.latency = latency
+        self._rng = random.Random(seed)
+        self._endpoints: dict[ProcessId, AsyncEndpoint] = {}
+        self._groups: dict[str, list[ProcessId]] = {}
+        self._closed = False
+        self.sent_count = 0
+        self.dropped_count = 0
+
+    def attach(self, pid: ProcessId) -> AsyncEndpoint:
+        """Create (or return) the endpoint for ``pid``."""
+        endpoint = self._endpoints.get(pid)
+        if endpoint is None:
+            endpoint = self._endpoints[pid] = AsyncEndpoint(pid)
+        return endpoint
+
+    def join(self, group: GroupAddress, pid: ProcessId) -> None:
+        members = self._groups.setdefault(group.name, [])
+        if pid not in members:
+            members.append(pid)
+
+    def close(self) -> None:
+        self._closed = True
+
+    def sendto(self, src: ProcessId, dst: Address, data: bytes, *, kind: str = "data") -> None:
+        """Fire-and-forget datagram send (UDP semantics)."""
+        if self._closed:
+            raise RuntimeTransportError("LAN is closed")
+        if isinstance(dst, UnicastAddress):
+            targets = [dst.pid]
+        elif isinstance(dst, GroupAddress):
+            members = self._groups.get(dst.name)
+            if members is None:
+                raise UnknownAddressError(dst.name)
+            targets = [pid for pid in members if pid != src]
+        else:
+            raise UnknownAddressError(str(dst))
+        self.sent_count += 1
+        datagram = Datagram(src, data, kind)
+        for pid in targets:
+            if self.loss and self._rng.random() < self.loss:
+                self.dropped_count += 1
+                continue
+            endpoint = self._endpoints.get(pid)
+            if endpoint is None:
+                self.dropped_count += 1
+                continue
+            if self.latency:
+                asyncio.get_running_loop().call_later(
+                    self.latency, endpoint.queue.put_nowait, datagram
+                )
+            else:
+                endpoint.queue.put_nowait(datagram)

@@ -1,0 +1,229 @@
+"""One urcgc node on the asyncio LAN.
+
+Hosts a :class:`~repro.core.member.Member` engine: a round-ticker task
+fires the two protocol rounds per subrun at a configurable cadence and
+a receiver task feeds decoded datagrams to the engine; both execute
+the engine's effects (sends to the LAN, deliveries to the application
+callback).
+
+Use :class:`AsyncGroup` to spin up a whole group at once.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable
+
+from ..core.config import UrcgcConfig
+from ..core.effects import Confirm, Deliver, Discarded, Effect, Left, Send
+from ..core.member import Member
+from ..core.message import DecisionMessage, RequestMessage, UserMessage
+from ..net.addressing import BROADCAST_GROUP
+from ..net.wire import decode_message, encode_message
+from ..types import ProcessId
+from .lan import AsyncLan
+from .rtt import AdaptiveRoundTimer
+
+__all__ = ["AsyncNode", "AsyncGroup"]
+
+IndicationCallback = Callable[[ProcessId, UserMessage], None]
+
+
+class AsyncNode:
+    """One live group member.
+
+    Parameters
+    ----------
+    pid, config, lan:
+        Identity, protocol parameters, fabric.
+    round_interval:
+        Wall-clock seconds per protocol round (half a subrun).
+    adaptive_timer:
+        Optional :class:`~repro.runtime.rtt.AdaptiveRoundTimer`: the
+        node then sizes each round from the measured request→decision
+        round trip ("assuming the subrun as long as the round trip
+        delay"), instead of the fixed ``round_interval``.
+    on_indication:
+        Callback ``(pid, message)`` for every processed message.
+    """
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        config: UrcgcConfig,
+        lan: AsyncLan,
+        *,
+        round_interval: float = 0.02,
+        adaptive_timer: AdaptiveRoundTimer | None = None,
+        on_indication: IndicationCallback | None = None,
+    ) -> None:
+        self.pid = pid
+        self.member = Member(pid, config)
+        self._lan = lan
+        self._endpoint = lan.attach(pid)
+        lan.join(BROADCAST_GROUP, pid)
+        self.round_interval = round_interval
+        self.adaptive_timer = adaptive_timer
+        self._request_sent_at: dict[int, float] = {}
+        self._on_indication = on_indication
+        self._tasks: list[asyncio.Task] = []
+        self._round = 0
+        self.delivered: list[UserMessage] = []
+        self.confirmed_mids: list = []
+        self._stopped = asyncio.Event()
+
+    # ------------------------------------------------------------------
+
+    def submit(self, payload: bytes) -> None:
+        """urcgc.data.Rq: queue a payload for the next round."""
+        self.member.submit(payload)
+
+    @property
+    def has_left(self) -> bool:
+        return self.member.has_left
+
+    @property
+    def current_round(self) -> int:
+        return self._round
+
+    def start(self) -> None:
+        """Spawn the ticker and receiver tasks."""
+        if self._tasks:
+            raise RuntimeError("node already started")
+        self._tasks = [
+            asyncio.create_task(self._ticker(), name=f"urcgc-ticker-p{self.pid}"),
+            asyncio.create_task(self._receiver(), name=f"urcgc-recv-p{self.pid}"),
+        ]
+
+    async def stop(self) -> None:
+        """Cancel the node's tasks and wait for them to finish."""
+        self._stopped.set()
+        for task in self._tasks:
+            task.cancel()
+        await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks = []
+
+    # ------------------------------------------------------------------
+
+    async def _ticker(self) -> None:
+        while not self._stopped.is_set() and not self.member.has_left:
+            self._execute(self.member.on_round(self._round))
+            self._round += 1
+            interval = (
+                self.adaptive_timer.interval()
+                if self.adaptive_timer is not None
+                else self.round_interval
+            )
+            await asyncio.sleep(interval)
+
+    async def _receiver(self) -> None:
+        loop = asyncio.get_running_loop()
+        while not self._stopped.is_set():
+            datagram = await self._endpoint.recv()
+            if self.member.has_left:
+                continue
+            message = decode_message(datagram.data)
+            if (
+                self.adaptive_timer is not None
+                and isinstance(message, DecisionMessage)
+            ):
+                # One request->decision echo = one rtd sample.
+                sent = self._request_sent_at.pop(
+                    int(message.decision.number), None
+                )
+                if sent is not None:
+                    self.adaptive_timer.observe(loop.time() - sent)
+            self._execute(self.member.on_message(message))
+
+    def _execute(self, effects: list[Effect]) -> None:
+        for effect in effects:
+            if isinstance(effect, Send):
+                if (
+                    self.adaptive_timer is not None
+                    and isinstance(effect.message, RequestMessage)
+                ):
+                    self._request_sent_at[int(effect.message.subrun)] = (
+                        asyncio.get_running_loop().time()
+                    )
+                    # Bound the table: forget ancient unanswered probes.
+                    if len(self._request_sent_at) > 64:
+                        oldest = min(self._request_sent_at)
+                        del self._request_sent_at[oldest]
+                self._lan.sendto(
+                    self.pid, effect.dst, encode_message(effect.message), kind=effect.kind
+                )
+            elif isinstance(effect, Deliver):
+                self.delivered.append(effect.message)
+                if self._on_indication is not None:
+                    self._on_indication(self.pid, effect.message)
+            elif isinstance(effect, Confirm):
+                self.confirmed_mids.append(effect.mid)
+            elif isinstance(effect, (Left, Discarded)):
+                pass  # observable via member state
+
+
+class AsyncGroup:
+    """A whole urcgc group on one asyncio loop."""
+
+    def __init__(
+        self,
+        config: UrcgcConfig,
+        *,
+        lan: AsyncLan | None = None,
+        round_interval: float = 0.02,
+        on_indication: IndicationCallback | None = None,
+    ) -> None:
+        self.config = config
+        self.lan = lan or AsyncLan()
+        self.nodes = [
+            AsyncNode(
+                ProcessId(i),
+                config,
+                self.lan,
+                round_interval=round_interval,
+                on_indication=on_indication,
+            )
+            for i in range(config.n)
+        ]
+
+    def start(self) -> None:
+        for node in self.nodes:
+            node.start()
+
+    async def stop(self) -> None:
+        for node in self.nodes:
+            await node.stop()
+        self.lan.close()
+
+    async def wait_until(
+        self, predicate: Callable[[], bool], *, timeout: float = 10.0
+    ) -> None:
+        """Poll ``predicate`` until true (or raise TimeoutError)."""
+
+        async def poll() -> None:
+            while not predicate():
+                await asyncio.sleep(0.005)
+
+        await asyncio.wait_for(poll(), timeout)
+
+    async def run_workload(
+        self,
+        submissions: list[tuple[ProcessId, bytes]],
+        *,
+        timeout: float = 10.0,
+    ) -> None:
+        """Submit payloads, then wait until every live node processed
+        every message every live node generated."""
+        for pid, payload in submissions:
+            self.nodes[pid].submit(payload)
+
+        def complete() -> bool:
+            live = [n for n in self.nodes if not n.has_left]
+            if any(n.member.pending_submissions for n in live):
+                return False
+            if any(n.member.waiting_length for n in live):
+                return False
+            vectors = {n.member.last_processed_vector() for n in live}
+            return len(vectors) == 1
+
+        await self.wait_until(complete, timeout=timeout)

@@ -1,0 +1,192 @@
+"""Real UDP sockets for the asyncio runtime.
+
+The paper closes promising "performance measurements obtained by the
+execution of the algorithm among a group of processes being run on a
+set of Unix workstations".  This module runs the same engines over
+genuine ``asyncio`` UDP datagram endpoints (loopback by default): the
+group's multicast is emulated with n-unicast ``sendto`` — exactly the
+transport semantics of Section 5 with ``h = 1``.
+
+:class:`UdpFabric` exposes the same surface as
+:class:`~repro.runtime.lan.AsyncLan` (``attach`` / ``join`` /
+``sendto`` / ``close``), so :class:`~repro.runtime.node.AsyncNode` and
+:class:`~repro.runtime.node.AsyncGroup` run over it unchanged.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+from ..errors import RuntimeTransportError, UnknownAddressError
+from ..net.addressing import Address, GroupAddress, UnicastAddress
+from ..types import ProcessId
+from .lan import Datagram
+
+__all__ = ["UdpEndpoint", "UdpFabric"]
+
+#: One byte of pid prefix identifies the sender on the wire.
+_PID_HEADER_BYTES = 2
+
+
+class _Protocol(asyncio.DatagramProtocol):
+    """Feeds received datagrams into the endpoint queue."""
+
+    def __init__(self, endpoint: "UdpEndpoint") -> None:
+        self._endpoint = endpoint
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        if len(data) < _PID_HEADER_BYTES:
+            return  # runt datagram: drop silently, like a bad checksum
+        src = ProcessId(int.from_bytes(data[:_PID_HEADER_BYTES], "big"))
+        self._endpoint.queue.put_nowait(
+            Datagram(src, data[_PID_HEADER_BYTES:])
+        )
+
+    def error_received(self, exc: Exception) -> None:  # pragma: no cover
+        pass  # ICMP errors are datagram losses to us
+
+
+class UdpEndpoint:
+    """One node's UDP socket plus its receive queue."""
+
+    def __init__(self, pid: ProcessId) -> None:
+        self.pid = pid
+        self.queue: "asyncio.Queue[Datagram]" = asyncio.Queue()
+        self.transport: asyncio.DatagramTransport | None = None
+        self.address: tuple[str, int] | None = None
+
+    async def bind(self, host: str, port: int = 0) -> None:
+        loop = asyncio.get_running_loop()
+        self.transport, _ = await loop.create_datagram_endpoint(
+            lambda: _Protocol(self), local_addr=(host, port)
+        )
+        self.address = self.transport.get_extra_info("sockname")
+
+    async def recv(self) -> Datagram:
+        return await self.queue.get()
+
+    def close(self) -> None:
+        if self.transport is not None:
+            self.transport.close()
+            self.transport = None
+
+
+class UdpFabric:
+    """A set of UDP endpoints with n-unicast multicast emulation.
+
+    Build with :meth:`create` (socket binding is asynchronous)::
+
+        fabric = await UdpFabric.create(n=4)
+        group = AsyncGroup(config, lan=fabric)
+    """
+
+    def __init__(self, *, loss: float = 0.0, seed: int = 0) -> None:
+        if not 0.0 <= loss < 1.0:
+            raise RuntimeTransportError(f"loss must be in [0, 1), got {loss}")
+        self.loss = loss
+        self._rng = random.Random(seed)
+        self._endpoints: dict[ProcessId, UdpEndpoint] = {}
+        #: pid -> (host, port): where to send for every process,
+        #: locally bound or not.
+        self._addresses: dict[ProcessId, tuple[str, int]] = {}
+        self._groups: dict[str, list[ProcessId]] = {}
+        self._closed = False
+        self.sent_count = 0
+        self.dropped_count = 0
+
+    @classmethod
+    async def create(
+        cls,
+        n: int,
+        *,
+        host: str = "127.0.0.1",
+        loss: float = 0.0,
+        seed: int = 0,
+    ) -> "UdpFabric":
+        """Bind one loopback UDP socket per process id ``0..n-1``
+        (single-process deployment: every node in this process)."""
+        fabric = cls(loss=loss, seed=seed)
+        for i in range(n):
+            pid = ProcessId(i)
+            endpoint = UdpEndpoint(pid)
+            await endpoint.bind(host)
+            fabric._endpoints[pid] = endpoint
+            assert endpoint.address is not None
+            fabric._addresses[pid] = endpoint.address
+        return fabric
+
+    @classmethod
+    async def create_node(
+        cls,
+        pid: ProcessId,
+        n: int,
+        *,
+        host: str = "127.0.0.1",
+        base_port: int,
+        loss: float = 0.0,
+        seed: int = 0,
+    ) -> "UdpFabric":
+        """Bind only *this* process's socket (multi-process deployment).
+
+        Every group member derives its peers' addresses from the shared
+        convention ``(host, base_port + pid)`` — the paper's "group of
+        processes being run on a set of Unix workstations", one OS
+        process per member.
+        """
+        fabric = cls(loss=loss, seed=seed)
+        endpoint = UdpEndpoint(pid)
+        await endpoint.bind(host, base_port + int(pid))
+        fabric._endpoints[pid] = endpoint
+        for i in range(n):
+            fabric._addresses[ProcessId(i)] = (host, base_port + i)
+        return fabric
+
+    # -- AsyncLan-compatible surface -------------------------------------
+
+    def attach(self, pid: ProcessId) -> UdpEndpoint:
+        endpoint = self._endpoints.get(pid)
+        if endpoint is None:
+            raise RuntimeTransportError(
+                f"no UDP socket bound for p{pid}; build the fabric with create(n)"
+            )
+        return endpoint
+
+    def join(self, group: GroupAddress, pid: ProcessId) -> None:
+        members = self._groups.setdefault(group.name, [])
+        if pid not in members:
+            members.append(pid)
+
+    def close(self) -> None:
+        self._closed = True
+        for endpoint in self._endpoints.values():
+            endpoint.close()
+
+    def sendto(
+        self, src: ProcessId, dst: Address, data: bytes, *, kind: str = "data"
+    ) -> None:
+        if self._closed:
+            raise RuntimeTransportError("fabric is closed")
+        if isinstance(dst, UnicastAddress):
+            targets = [dst.pid]
+        elif isinstance(dst, GroupAddress):
+            members = self._groups.get(dst.name)
+            if members is None:
+                raise UnknownAddressError(dst.name)
+            targets = [pid for pid in members if pid != src]
+        else:
+            raise UnknownAddressError(str(dst))
+        self.sent_count += 1
+        wire = int(src).to_bytes(_PID_HEADER_BYTES, "big") + data
+        source = self._endpoints.get(src)
+        if source is None or source.transport is None:
+            raise RuntimeTransportError(f"p{src} has no bound socket")
+        for pid in targets:
+            if self.loss and self._rng.random() < self.loss:
+                self.dropped_count += 1
+                continue
+            address = self._addresses.get(pid)
+            if address is None:
+                self.dropped_count += 1
+                continue
+            source.transport.sendto(wire, address)

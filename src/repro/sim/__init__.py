@@ -1,0 +1,31 @@
+"""Discrete-event simulation kernel.
+
+Deterministic event queue, rtd-denominated clock, seeded RNG streams,
+structured tracing, metric collection, and round scheduling — the
+substrate every experiment in the paper's evaluation runs on.
+"""
+
+from .events import Event, EventQueue, PRIORITY_DEFAULT, PRIORITY_NETWORK, PRIORITY_ROUND
+from .kernel import Kernel
+from .metrics import Counter, MetricSet, Series, Summary, summarize
+from .rng import RngRegistry
+from .rounds import RoundScheduler
+from .trace import Trace, TraceRecord
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "PRIORITY_DEFAULT",
+    "PRIORITY_NETWORK",
+    "PRIORITY_ROUND",
+    "Kernel",
+    "Counter",
+    "MetricSet",
+    "Series",
+    "Summary",
+    "summarize",
+    "RngRegistry",
+    "RoundScheduler",
+    "Trace",
+    "TraceRecord",
+]

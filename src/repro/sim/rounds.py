@@ -1,0 +1,81 @@
+"""Round scheduling on top of the event kernel.
+
+The paper's algorithm is round-synchronous: "communications proceed in
+rounds" and a subrun (two rounds) lasts one round-trip delay.  The
+:class:`RoundScheduler` fires a tick every half-rtd and invokes the
+registered handlers in deterministic (registration) order; network
+deliveries scheduled for the same instant fire *before* the tick (see
+:data:`repro.sim.events.PRIORITY_NETWORK`), so a round handler observes
+every packet that arrived "by" the round boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..types import RTD_PER_SUBRUN, ROUNDS_PER_SUBRUN, Time
+from .events import PRIORITY_ROUND
+from .kernel import Kernel
+
+__all__ = ["RoundScheduler"]
+
+RoundHandler = Callable[[int], None]
+
+
+class RoundScheduler:
+    """Drives synchronous rounds over a :class:`Kernel`.
+
+    Handlers receive the round number.  The scheduler stops rescheduling
+    itself once :meth:`stop` is called or ``max_rounds`` is reached, so
+    a kernel run terminates naturally when the protocol goes quiescent.
+    """
+
+    def __init__(self, kernel: Kernel, *, max_rounds: int | None = None) -> None:
+        self._kernel = kernel
+        self._handlers: list[RoundHandler] = []
+        self._round = 0
+        self._stopped = False
+        self._max_rounds = max_rounds
+        self._started = False
+
+    @property
+    def current_round(self) -> int:
+        """The most recently fired round (0 before the first tick)."""
+        return self._round
+
+    @property
+    def round_duration(self) -> Time:
+        return RTD_PER_SUBRUN / ROUNDS_PER_SUBRUN
+
+    def subscribe(self, handler: RoundHandler) -> None:
+        """Register a per-round handler (called in registration order)."""
+        self._handlers.append(handler)
+
+    def start(self) -> None:
+        """Schedule round 0 at the current kernel time."""
+        if self._started:
+            raise RuntimeError("RoundScheduler already started")
+        self._started = True
+        self._kernel.schedule_at(
+            self._kernel.now, self._tick, priority=PRIORITY_ROUND, label="round-0"
+        )
+
+    def stop(self) -> None:
+        """Stop scheduling further rounds after the current one."""
+        self._stopped = True
+
+    def _tick(self) -> None:
+        round_no = self._round
+        for handler in list(self._handlers):
+            handler(round_no)
+        self._round += 1
+        if self._stopped:
+            return
+        if self._max_rounds is not None and self._round >= self._max_rounds:
+            return
+        self._kernel.schedule(
+            self.round_duration,
+            self._tick,
+            priority=PRIORITY_ROUND,
+            label=f"round-{self._round}",
+        )

@@ -1,0 +1,76 @@
+"""Structured trace log for simulations.
+
+The trace is an append-only list of typed records.  Experiments use it
+to reconstruct time series (history length over time, delivery events
+for delay measurements) and tests use it to assert on protocol
+behaviour without poking engine internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from ..types import Time
+
+__all__ = ["TraceRecord", "Trace"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry: what happened, when, and to whom."""
+
+    time: Time
+    kind: str
+    actor: int | None
+    details: dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.details[key]
+
+
+class Trace:
+    """Append-only event log with simple query helpers."""
+
+    def __init__(self, *, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._records: list[TraceRecord] = []
+
+    def emit(self, time: Time, kind: str, actor: int | None = None, **details: Any) -> None:
+        """Record an event (no-op when tracing is disabled)."""
+        if self.enabled:
+            self._records.append(TraceRecord(time, kind, actor, details))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def select(
+        self,
+        kind: str | None = None,
+        actor: int | None = None,
+        predicate: Callable[[TraceRecord], bool] | None = None,
+    ) -> list[TraceRecord]:
+        """Return records matching all the given filters."""
+        out = []
+        for rec in self._records:
+            if kind is not None and rec.kind != kind:
+                continue
+            if actor is not None and rec.actor != actor:
+                continue
+            if predicate is not None and not predicate(rec):
+                continue
+            out.append(rec)
+        return out
+
+    def last(self, kind: str) -> TraceRecord | None:
+        """Return the most recent record of ``kind``, if any."""
+        for rec in reversed(self._records):
+            if rec.kind == kind:
+                return rec
+        return None
+
+    def clear(self) -> None:
+        self._records.clear()

@@ -1,0 +1,65 @@
+"""Shared scalar types and aliases used across the library.
+
+The paper's model is a set of processes ``P = {p_1 .. p_n}`` organized
+in a group ``G``; time advances in *rounds*, two rounds form a *subrun*
+and one subrun spans one round-trip delay (rtd).  These aliases keep
+signatures readable and give a single place to document the units.
+"""
+
+from __future__ import annotations
+
+from typing import NewType
+
+__all__ = [
+    "ProcessId",
+    "RoundNo",
+    "SubrunNo",
+    "SeqNo",
+    "Time",
+    "RTD_PER_SUBRUN",
+    "ROUNDS_PER_SUBRUN",
+    "round_of_subrun",
+    "subrun_of_round",
+    "time_of_round",
+]
+
+#: Index of a process in the group, ``0 <= pid < n``.
+ProcessId = NewType("ProcessId", int)
+
+#: Global round counter.  Rounds are synchronous protocol steps; a
+#: process may broadcast at most one new user message per round.
+RoundNo = NewType("RoundNo", int)
+
+#: Global subrun counter.  Subrun ``s`` consists of rounds ``2s`` and
+#: ``2s + 1`` and is coordinated by one rotating coordinator.
+SubrunNo = NewType("SubrunNo", int)
+
+#: Per-process progressive order assigned to generated messages,
+#: starting at 1 (0 means "nothing yet").
+SeqNo = NewType("SeqNo", int)
+
+#: Simulated time, measured in round-trip-delay (rtd) units as in the
+#: paper's evaluation ("by assuming the subrun as long as the round
+#: trip delay").  One round therefore lasts 0.5 rtd.
+Time = float
+
+#: Duration of a subrun, in rtd units.
+RTD_PER_SUBRUN: Time = 1.0
+
+#: A subrun is two rounds: the request round and the decision round.
+ROUNDS_PER_SUBRUN = 2
+
+
+def round_of_subrun(subrun: int, *, second: bool = False) -> int:
+    """Return the first (or second) round number of ``subrun``."""
+    return subrun * ROUNDS_PER_SUBRUN + (1 if second else 0)
+
+
+def subrun_of_round(round_no: int) -> int:
+    """Return the subrun a round belongs to."""
+    return round_no // ROUNDS_PER_SUBRUN
+
+
+def time_of_round(round_no: int) -> Time:
+    """Return the simulated start time of ``round_no`` in rtd units."""
+    return round_no * (RTD_PER_SUBRUN / ROUNDS_PER_SUBRUN)

@@ -1,0 +1,37 @@
+"""Workload generators and the paper's failure scenarios."""
+
+from .generators import (
+    BernoulliWorkload,
+    BurstWorkload,
+    PoissonWorkload,
+    FixedBudgetWorkload,
+    NullWorkload,
+    ScriptedWorkload,
+    Workload,
+    payload_for,
+)
+from .replay import ReplayWorkload
+from .scenarios import (
+    consecutive_coordinator_crashes,
+    crashes,
+    general_omission,
+    omission,
+    reliable,
+)
+
+__all__ = [
+    "BernoulliWorkload",
+    "BurstWorkload",
+    "PoissonWorkload",
+    "FixedBudgetWorkload",
+    "NullWorkload",
+    "ScriptedWorkload",
+    "Workload",
+    "ReplayWorkload",
+    "payload_for",
+    "consecutive_coordinator_crashes",
+    "crashes",
+    "general_omission",
+    "omission",
+    "reliable",
+]

@@ -1,0 +1,252 @@
+"""Workload generators: who submits which payload at which round.
+
+A workload is anything with a ``submissions(round_no)`` method
+returning the ``(pid, payload)`` pairs the application layer hands to
+the service at that round boundary.  The paper's evaluation uses two
+shapes, both provided here:
+
+* an *offered-load* workload (Figure 4): every process independently
+  submits with a per-round probability, sweeping the aggregate rate;
+* a *fixed-budget* workload (Figure 6: "480 messages to be
+  processed"): a message budget spread across the group, one message
+  per process per round until exhausted.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Protocol
+
+from ..errors import ConfigError
+from ..types import ProcessId
+
+__all__ = [
+    "Workload",
+    "NullWorkload",
+    "BernoulliWorkload",
+    "FixedBudgetWorkload",
+    "ScriptedWorkload",
+    "BurstWorkload",
+    "PoissonWorkload",
+    "payload_for",
+]
+
+
+def payload_for(pid: ProcessId, round_no: int, size: int = 32) -> bytes:
+    """A deterministic, self-describing payload of ``size`` bytes."""
+    stamp = f"p{pid}r{round_no}:".encode()
+    if len(stamp) >= size:
+        return stamp[:size]
+    return stamp + b"x" * (size - len(stamp))
+
+
+class Workload(Protocol):
+    """Submission source driven by the cluster at each round.
+
+    ``finished(round_no)`` tells the harness whether any submissions
+    can still come at or after ``round_no`` — quiescence detection
+    refuses to declare a run over while the workload has more to say.
+    """
+
+    def submissions(self, round_no: int) -> list[tuple[ProcessId, bytes]]: ...
+
+    def finished(self, round_no: int) -> bool: ...
+
+
+class NullWorkload:
+    """No application traffic (protocol-only experiments)."""
+
+    def submissions(self, round_no: int) -> list[tuple[ProcessId, bytes]]:
+        return []
+
+    def finished(self, round_no: int) -> bool:
+        return True
+
+
+class BernoulliWorkload:
+    """Independent per-process, per-round submission probability.
+
+    With probability ``p`` per process per round, the aggregate offered
+    load is ``2 * n * p`` messages per rtd (two rounds per rtd).
+    """
+
+    def __init__(
+        self,
+        pids: Iterable[ProcessId],
+        p: float,
+        *,
+        rng: random.Random | None = None,
+        payload_size: int = 32,
+        stop_after_round: int | None = None,
+    ) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ConfigError(f"submission probability must be in [0, 1], got {p}")
+        self._pids = list(pids)
+        self.p = p
+        self._rng = rng or random.Random(0)
+        self._payload_size = payload_size
+        self._stop_after = stop_after_round
+        self.offered = 0
+
+    def submissions(self, round_no: int) -> list[tuple[ProcessId, bytes]]:
+        if self.finished(round_no):
+            return []
+        out = []
+        for pid in self._pids:
+            if self._rng.random() < self.p:
+                out.append((pid, payload_for(pid, round_no, self._payload_size)))
+                self.offered += 1
+        return out
+
+    def finished(self, round_no: int) -> bool:
+        if self.p == 0.0:
+            return True
+        return self._stop_after is not None and round_no > self._stop_after
+
+
+class FixedBudgetWorkload:
+    """A total message budget, spread round-robin across the group.
+
+    Every process submits one message per round until the budget is
+    exhausted — the Figure 6 shape (n=40, 480 messages: each process
+    generates 12 messages over the first 12 rounds).
+    """
+
+    def __init__(
+        self,
+        pids: Iterable[ProcessId],
+        total: int,
+        *,
+        payload_size: int = 32,
+    ) -> None:
+        if total < 0:
+            raise ConfigError(f"message budget must be >= 0, got {total}")
+        self._pids = list(pids)
+        self.total = total
+        self._payload_size = payload_size
+        self.offered = 0
+
+    def submissions(self, round_no: int) -> list[tuple[ProcessId, bytes]]:
+        out = []
+        for pid in self._pids:
+            if self.offered >= self.total:
+                break
+            out.append((pid, payload_for(pid, round_no, self._payload_size)))
+            self.offered += 1
+        return out
+
+    def finished(self, round_no: int) -> bool:
+        return self.offered >= self.total
+
+
+class ScriptedWorkload:
+    """An explicit schedule: ``{round: [(pid, payload), ...]}``."""
+
+    def __init__(self, schedule: dict[int, list[tuple[ProcessId, bytes]]]) -> None:
+        self._schedule = {r: list(entries) for r, entries in schedule.items()}
+        self._last_round = max((r for r, e in self._schedule.items() if e), default=-1)
+
+    def submissions(self, round_no: int) -> list[tuple[ProcessId, bytes]]:
+        return self._schedule.get(round_no, [])
+
+    def finished(self, round_no: int) -> bool:
+        return round_no > self._last_round
+
+
+class BurstWorkload:
+    """On/off traffic: everyone submits during bursts, nothing between.
+
+    Conferencing-shaped load (the paper's motivating application):
+    ``on_rounds`` of full-rate talk alternating with ``off_rounds`` of
+    silence, starting with a burst at round 0.
+    """
+
+    def __init__(
+        self,
+        pids: Iterable[ProcessId],
+        *,
+        on_rounds: int,
+        off_rounds: int,
+        total: int | None = None,
+        payload_size: int = 32,
+    ) -> None:
+        if on_rounds < 1 or off_rounds < 0:
+            raise ConfigError(
+                f"need on_rounds >= 1 and off_rounds >= 0, got "
+                f"{on_rounds}/{off_rounds}"
+            )
+        self._pids = list(pids)
+        self.on_rounds = on_rounds
+        self.off_rounds = off_rounds
+        self.total = total
+        self._payload_size = payload_size
+        self.offered = 0
+
+    def in_burst(self, round_no: int) -> bool:
+        period = self.on_rounds + self.off_rounds
+        return (round_no % period) < self.on_rounds
+
+    def submissions(self, round_no: int) -> list[tuple[ProcessId, bytes]]:
+        if not self.in_burst(round_no):
+            return []
+        out = []
+        for pid in self._pids:
+            if self.total is not None and self.offered >= self.total:
+                break
+            out.append((pid, payload_for(pid, round_no, self._payload_size)))
+            self.offered += 1
+        return out
+
+    def finished(self, round_no: int) -> bool:
+        return self.total is not None and self.offered >= self.total
+
+
+class PoissonWorkload:
+    """Poisson arrivals: each process queues ``Poisson(rate)`` messages
+    per round (the queueing-theory shape; the service layer drains one
+    per round, so rate > 1 exercises the submission backlog)."""
+
+    def __init__(
+        self,
+        pids: Iterable[ProcessId],
+        rate: float,
+        *,
+        rng: random.Random | None = None,
+        payload_size: int = 32,
+        stop_after_round: int | None = None,
+    ) -> None:
+        if rate < 0:
+            raise ConfigError(f"rate must be >= 0, got {rate}")
+        self._pids = list(pids)
+        self.rate = rate
+        self._rng = rng or random.Random(0)
+        self._payload_size = payload_size
+        self._stop_after = stop_after_round
+        self.offered = 0
+
+    def _draw(self) -> int:
+        # Knuth's algorithm; rate is small (per-round).
+        import math
+
+        threshold = math.exp(-self.rate)
+        count = 0
+        product = self._rng.random()
+        while product > threshold:
+            count += 1
+            product *= self._rng.random()
+        return count
+
+    def submissions(self, round_no: int) -> list[tuple[ProcessId, bytes]]:
+        if self.finished(round_no):
+            return []
+        out = []
+        for pid in self._pids:
+            for _ in range(self._draw()):
+                out.append((pid, payload_for(pid, round_no, self._payload_size)))
+                self.offered += 1
+        return out
+
+    def finished(self, round_no: int) -> bool:
+        if self.rate == 0.0:
+            return True
+        return self._stop_after is not None and round_no > self._stop_after

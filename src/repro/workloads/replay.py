@@ -1,0 +1,47 @@
+"""Replay a captured run's application traffic as a workload.
+
+Take a :class:`~repro.net.capture.PacketCapture` from one simulation
+and re-offer the same payloads, from the same senders, at the same
+rounds — against a different configuration, fault plan, or protocol
+version.  The capture-replay loop is the standard way to debug a
+production incident offline.
+"""
+
+from __future__ import annotations
+
+from ..core.message import UserMessage
+from ..net.capture import Direction, PacketCapture
+from ..types import ProcessId, subrun_of_round
+
+__all__ = ["ReplayWorkload"]
+
+
+class ReplayWorkload:
+    """Re-submit the data messages of a capture at their original rounds."""
+
+    def __init__(self, capture: PacketCapture) -> None:
+        self._schedule: dict[int, list[tuple[ProcessId, bytes]]] = {}
+        self._last_round = -1
+        seen: set = set()
+        for record in capture.filter(direction=Direction.SENT, kind="data"):
+            decoded = record.decode()
+            if not isinstance(decoded, UserMessage):
+                continue
+            if decoded.mid in seen:
+                continue  # retransmissions replay once
+            seen.add(decoded.mid)
+            round_no = int(record.time / 0.5)
+            self._schedule.setdefault(round_no, []).append(
+                (decoded.mid.origin, decoded.payload)
+            )
+            self._last_round = max(self._last_round, round_no)
+        self.total = len(seen)
+        self.offered = 0
+
+    def submissions(self, round_no: int) -> list[tuple[ProcessId, bytes]]:
+        entries = self._schedule.get(round_no, [])
+        self.offered += len(entries)
+        return entries
+
+    def finished(self, round_no: int) -> bool:
+        return round_no > self._last_round

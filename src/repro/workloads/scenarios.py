@@ -1,0 +1,122 @@
+"""Failure scenarios used throughout the paper's evaluation.
+
+Each builder returns a configured :class:`~repro.net.faults.FaultPlan`:
+
+* :func:`reliable` — no failures (the baseline curve of Figure 4).
+* :func:`crashes` — fail-stop a given set of processes at given times
+  (Figure 4's "4 crashes" curve; Figure 6's "1 crash").
+* :func:`omission` — uniform send/receive omission at rate 1/N
+  (Figure 4's "1/500" and "1/100" curves).
+* :func:`general_omission` — crash + omission combined (Figure 6's
+  faulty runs: "general omission with 1 crash failure and 1/500
+  omission failures ... during the first 5 rtd").
+* :func:`consecutive_coordinator_crashes` — ``f`` back-to-back
+  coordinator crashes, each at the instant the victim should broadcast
+  its decision (Figure 5's x-axis).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..errors import ConfigError
+from ..types import ProcessId, Time, time_of_round
+from ..net.faults import CrashSchedule, FaultPlan
+
+__all__ = [
+    "reliable",
+    "crashes",
+    "omission",
+    "general_omission",
+    "consecutive_coordinator_crashes",
+]
+
+
+def reliable() -> FaultPlan:
+    """A fault-free network."""
+    return FaultPlan()
+
+
+def crashes(
+    schedule: dict[ProcessId, Time],
+    *,
+    rng: random.Random | None = None,
+) -> FaultPlan:
+    """Fail-stop the given processes at the given times (rtd units)."""
+    crash_schedule = CrashSchedule()
+    for pid, time in sorted(schedule.items()):
+        crash_schedule.crash(pid, time)
+    return FaultPlan(crashes=crash_schedule, rng=rng or random.Random(0))
+
+
+def omission(
+    pids: list[ProcessId],
+    one_in: int,
+    *,
+    rng: random.Random | None = None,
+    periodic: bool = False,
+) -> FaultPlan:
+    """Uniform general-omission at rate ``1/one_in`` per message."""
+    if one_in < 2:
+        raise ConfigError(f"omission period must be >= 2, got {one_in}")
+    plan = FaultPlan(rng=rng or random.Random(0))
+    plan.set_uniform_omission(pids, 1.0 / one_in, periodic=periodic)
+    return plan
+
+
+def general_omission(
+    pids: list[ProcessId],
+    *,
+    crash_schedule: dict[ProcessId, Time],
+    one_in: int,
+    rng: random.Random | None = None,
+    periodic: bool = False,
+    window: tuple[Time, Time] | None = None,
+) -> FaultPlan:
+    """Crashes plus uniform omissions — the paper's faulty Figure 6 runs.
+
+    ``window`` confines the omissions to a time interval ("failures
+    are considered to occur during the first 5 rtd" is
+    ``window=(0.0, 5.0)``); crashes keep their scheduled times.
+    """
+    schedule = CrashSchedule()
+    for pid, time in sorted(crash_schedule.items()):
+        schedule.crash(pid, time)
+    plan = FaultPlan(crashes=schedule, rng=rng or random.Random(0))
+    plan.set_uniform_omission(
+        [pid for pid in pids if pid not in crash_schedule],
+        1.0 / one_in,
+        periodic=periodic,
+    )
+    if window is not None:
+        plan.set_omission_window(*window)
+    return plan
+
+
+def consecutive_coordinator_crashes(
+    n: int,
+    f: int,
+    *,
+    first_subrun: int = 1,
+    rng: random.Random | None = None,
+) -> FaultPlan:
+    """Crash the coordinators of ``f`` consecutive subruns.
+
+    Each victim crashes exactly at its decision round, so it collects
+    the subrun's requests but never broadcasts — the worst case the
+    paper's ``T = (2K + f)·rtd`` bound covers.  The rotation is over
+    *initially alive* processes, and victims are distinct (a process
+    crashes at most once), so the victims are the processes at rotation
+    positions ``first_subrun .. first_subrun + f - 1``.
+    """
+    if f < 0:
+        raise ConfigError(f"f must be >= 0, got {f}")
+    if f >= n:
+        raise ConfigError(f"cannot crash {f} coordinators in a group of {n}")
+    schedule = CrashSchedule()
+    for i in range(f):
+        subrun = first_subrun + i
+        pid = ProcessId(subrun % n)
+        decision_round = 2 * subrun + 1
+        schedule.crash(pid, time_of_round(decision_round))
+    return FaultPlan(crashes=schedule, rng=rng or random.Random(0))

@@ -1,0 +1,111 @@
+"""Unit tests for the URCGC invariant checkers."""
+
+import pytest
+
+from repro.analysis.checkers import (
+    check_local_causal_order,
+    check_uniform_atomicity,
+    check_uniform_ordering,
+)
+from repro.core.message import UserMessage
+from repro.core.mid import Mid
+from repro.types import ProcessId, SeqNo
+
+
+def m(origin, seq):
+    return Mid(ProcessId(origin), SeqNo(seq))
+
+
+def msg(origin, seq, deps=()):
+    return UserMessage(m(origin, seq), tuple(deps))
+
+
+class TestLocalCausalOrder:
+    def test_valid_stream(self):
+        stream = [msg(1, 1), msg(2, 1, [m(1, 1)]), msg(1, 2, [m(1, 1)])]
+        assert check_local_causal_order(ProcessId(0), stream).ok
+
+    def test_dependency_violation(self):
+        stream = [msg(2, 1, [m(1, 1)]), msg(1, 1)]
+        result = check_local_causal_order(ProcessId(0), stream)
+        assert not result.ok
+        assert "dependency" in result.violations[0].detail
+
+    def test_sequence_gap_violation(self):
+        stream = [msg(1, 2, [m(1, 1)])]
+        result = check_local_causal_order(ProcessId(0), stream)
+        assert not result.ok
+
+    def test_raise_if_failed(self):
+        result = check_local_causal_order(ProcessId(0), [msg(1, 2, [m(1, 1)])])
+        with pytest.raises(AssertionError):
+            result.raise_if_failed()
+
+
+class TestUniformAtomicity:
+    def test_all_processed(self):
+        active = {ProcessId(0), ProcessId(1)}
+        result = check_uniform_atomicity(
+            [m(0, 1)], {m(0, 1): {ProcessId(0), ProcessId(1)}}, active
+        )
+        assert result.ok
+
+    def test_none_processed_is_fine_when_discarded(self):
+        active = {ProcessId(0), ProcessId(1)}
+        result = check_uniform_atomicity(
+            [m(0, 1)], {}, active, discarded={m(0, 1)}
+        )
+        assert result.ok
+
+    def test_partial_processing_violates(self):
+        active = {ProcessId(0), ProcessId(1)}
+        result = check_uniform_atomicity(
+            [m(0, 1)], {m(0, 1): {ProcessId(0)}}, active
+        )
+        assert not result.ok
+
+    def test_crashed_processors_ignored(self):
+        active = {ProcessId(0)}
+        result = check_uniform_atomicity(
+            [m(0, 1)], {m(0, 1): {ProcessId(0), ProcessId(9)}}, active
+        )
+        assert result.ok
+
+
+class TestUniformOrdering:
+    def test_agreeing_streams(self):
+        streams = {
+            ProcessId(0): [msg(1, 1), msg(2, 1)],
+            ProcessId(1): [msg(2, 1), msg(1, 1)],  # concurrent: order free
+        }
+        assert check_uniform_ordering(streams).ok
+
+    def test_sequence_disagreement(self):
+        streams = {
+            ProcessId(0): [msg(1, 1), msg(1, 2, [m(1, 1)])],
+            ProcessId(1): [msg(1, 1)],  # missing the second message
+        }
+        result = check_uniform_ordering(streams)
+        assert not result.ok
+
+    def test_local_violations_propagate(self):
+        streams = {ProcessId(0): [msg(1, 2, [m(1, 1)])]}
+        assert not check_uniform_ordering(streams).ok
+
+
+class TestUniformOrderingConvergence:
+    def test_prefix_lag_ok_when_not_converged(self):
+        streams = {
+            ProcessId(0): [msg(1, 1), msg(1, 2, [m(1, 1)])],
+            ProcessId(1): [msg(1, 1)],  # lagging, but a prefix
+        }
+        assert check_uniform_ordering(streams, converged=False).ok
+        assert not check_uniform_ordering(streams, converged=True).ok
+
+    def test_conflicting_prefixes_always_violate(self):
+        streams = {
+            ProcessId(0): [msg(1, 1)],
+            ProcessId(1): [msg(2, 1)],
+        }
+        # Different origins entirely: each is a (trivial) prefix.
+        assert check_uniform_ordering(streams, converged=False).ok

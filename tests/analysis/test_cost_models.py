@@ -1,0 +1,92 @@
+"""Unit tests for the paper's closed-form cost models."""
+
+import pytest
+
+from repro.analysis.cost_models import (
+    cbcast_agreement_time,
+    cbcast_control_traffic,
+    urcgc_agreement_time,
+    urcgc_control_traffic,
+    urcgc_history_bound,
+)
+from repro.errors import ConfigError
+
+
+class TestTable1Forms:
+    def test_urcgc_reliable_messages(self):
+        assert urcgc_control_traffic(15).messages == 2 * 14
+
+    def test_urcgc_crash_messages(self):
+        traffic = urcgc_control_traffic(10, K=3, f=2, crash=True)
+        assert traffic.messages == 2 * (2 * 3 + 2) * 9
+
+    def test_urcgc_size_unchanged_by_crash(self):
+        reliable = urcgc_control_traffic(10, K=3)
+        crash = urcgc_control_traffic(10, K=3, f=4, crash=True)
+        assert reliable.message_size_bytes == crash.message_size_bytes
+
+    def test_cbcast_reliable(self):
+        traffic = cbcast_control_traffic(15)
+        assert traffic.messages == 16
+        assert traffic.message_size_bytes == 4 * 16
+
+    def test_cbcast_crash_messages(self):
+        traffic = cbcast_control_traffic(10, K=3, f=1, crash=True)
+        assert traffic.messages == 3 * (2 * (2 * 10 - 3) + 1)
+        assert traffic.message_size_bytes == 4 * 9
+
+    def test_total_bytes(self):
+        traffic = urcgc_control_traffic(5)
+        assert traffic.total_bytes == traffic.messages * traffic.message_size_bytes
+
+    def test_ip_datagram_boundary(self):
+        """Paper: n=15 urcgc messages fit in a 576-byte IP datagram."""
+        assert urcgc_control_traffic(15).message_size_bytes <= 576
+        assert urcgc_control_traffic(40).message_size_bytes <= 1500
+
+
+class TestFigure5Forms:
+    def test_urcgc_agreement(self):
+        assert urcgc_agreement_time(3, 0) == 6
+        assert urcgc_agreement_time(3, 4) == 10
+
+    def test_cbcast_agreement(self):
+        assert cbcast_agreement_time(3, 0) == 18
+        assert cbcast_agreement_time(2, 3) == 2 * 21
+
+    def test_urcgc_always_beats_cbcast(self):
+        for K in (1, 2, 3, 5):
+            for f in range(8):
+                assert urcgc_agreement_time(K, f) < cbcast_agreement_time(K, f)
+
+    def test_urcgc_slope_is_one(self):
+        deltas = [
+            urcgc_agreement_time(3, f + 1) - urcgc_agreement_time(3, f)
+            for f in range(5)
+        ]
+        assert all(d == 1 for d in deltas)
+
+    def test_cbcast_slope_is_5k(self):
+        deltas = [
+            cbcast_agreement_time(3, f + 1) - cbcast_agreement_time(3, f)
+            for f in range(5)
+        ]
+        assert all(d == 15 for d in deltas)
+
+
+class TestHistoryBound:
+    def test_formula(self):
+        assert urcgc_history_bound(40, K=3) == 2 * 6 * 40
+        assert urcgc_history_bound(40, K=3, f=2) == 2 * 8 * 40
+
+    def test_grows_with_k(self):
+        assert urcgc_history_bound(10, K=4) > urcgc_history_bound(10, K=2)
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        urcgc_control_traffic(1)
+    with pytest.raises(ConfigError):
+        cbcast_control_traffic(5, K=0, crash=True)
+    with pytest.raises(ConfigError):
+        urcgc_agreement_time(2, -1)

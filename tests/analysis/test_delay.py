@@ -1,0 +1,78 @@
+"""Unit tests for delay accounting."""
+
+from repro.analysis.delay import DeliveryLog
+from repro.core.mid import Mid
+from repro.types import ProcessId, SeqNo
+
+
+def m(origin, seq):
+    return Mid(ProcessId(origin), SeqNo(seq))
+
+
+def test_group_delay_is_max_over_final_members():
+    log = DeliveryLog()
+    log.on_generated(m(0, 1), 0.0)
+    log.on_processed(m(0, 1), ProcessId(0), 0.0)
+    log.on_processed(m(0, 1), ProcessId(1), 0.5)
+    log.on_processed(m(0, 1), ProcessId(2), 1.5)
+    report = log.report({ProcessId(0), ProcessId(1), ProcessId(2)})
+    assert report.mean_delay == 1.5
+    assert report.complete_messages == 1
+
+
+def test_incomplete_when_member_missing():
+    log = DeliveryLog()
+    log.on_generated(m(0, 1), 0.0)
+    log.on_processed(m(0, 1), ProcessId(0), 0.0)
+    report = log.report({ProcessId(0), ProcessId(1)})
+    assert report.complete_messages == 0
+    assert report.incomplete_messages == 1
+
+
+def test_crashed_member_not_required():
+    log = DeliveryLog()
+    log.on_generated(m(0, 1), 0.0)
+    log.on_processed(m(0, 1), ProcessId(0), 0.0)
+    log.on_processed(m(0, 1), ProcessId(1), 0.5)
+    # p2 crashed and is not in the final membership.
+    report = log.report({ProcessId(0), ProcessId(1)})
+    assert report.complete_messages == 1
+    assert report.mean_delay == 0.5
+
+
+def test_discarded_messages_counted_separately():
+    log = DeliveryLog()
+    log.on_generated(m(0, 1), 0.0)
+    log.on_discarded((m(0, 1),))
+    report = log.report({ProcessId(0)})
+    assert report.complete_messages == 0
+    assert report.incomplete_messages == 0
+    assert report.discarded_messages == 1
+
+
+def test_first_delivery_delay_excludes_sender():
+    log = DeliveryLog()
+    log.on_generated(m(0, 1), 1.0)
+    log.on_processed(m(0, 1), ProcessId(0), 1.0)
+    log.on_processed(m(0, 1), ProcessId(1), 1.5)
+    log.on_processed(m(0, 1), ProcessId(2), 2.5)
+    report = log.report({ProcessId(0), ProcessId(1), ProcessId(2)})
+    assert report.first_delivery_delay.mean == 0.5
+
+
+def test_mean_over_multiple_messages():
+    log = DeliveryLog()
+    for seq, latest in ((1, 0.5), (2, 1.5)):
+        log.on_generated(m(0, seq), 0.0)
+        log.on_processed(m(0, seq), ProcessId(0), latest)
+    report = log.report({ProcessId(0)})
+    assert report.mean_delay == 1.0
+
+
+def test_generation_time_is_first_write_wins():
+    log = DeliveryLog()
+    log.on_generated(m(0, 1), 1.0)
+    log.on_generated(m(0, 1), 9.0)  # retransmission must not reset it
+    log.on_processed(m(0, 1), ProcessId(0), 2.0)
+    report = log.report({ProcessId(0)})
+    assert report.mean_delay == 1.0

@@ -1,0 +1,62 @@
+"""Unit tests for report rendering."""
+
+import pytest
+
+from repro.analysis.report import format_value, render_series, render_table
+
+
+class TestFormatValue:
+    def test_int(self):
+        assert format_value(42) == "42"
+
+    def test_float_precision(self):
+        assert format_value(1.23456, precision=2) == "1.23"
+
+    def test_bool(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_nan(self):
+        assert format_value(float("nan")) == "-"
+
+    def test_string_passthrough(self):
+        assert format_value("x") == "x"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        out = render_table(["a", "bbb"], [[1, 2.0], [100, 3.5]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_title(self):
+        out = render_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        out = render_table(["a"], [])
+        assert "a" in out
+
+
+class TestRenderSeries:
+    def test_contains_values(self):
+        out = render_series("hist", [(0.0, 1.0), (1.0, 3.0)])
+        assert "hist" in out
+        assert "3.00" in out
+
+    def test_thinning(self):
+        points = [(float(i), float(i)) for i in range(1000)]
+        out = render_series("s", points, max_points=10)
+        assert len(out.splitlines()) == 11  # name + 10 samples
+
+    def test_empty_series(self):
+        assert render_series("s", []) == "s"
+
+    def test_bars_scale_to_peak(self):
+        out = render_series("s", [(0.0, 30.0)])
+        assert "#" * 30 in out

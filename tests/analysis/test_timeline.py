@@ -1,0 +1,90 @@
+"""Tests for protocol timeline reconstruction."""
+
+from repro.analysis.timeline import build_timeline
+from repro.core.config import UrcgcConfig
+from repro.harness.cluster import SimCluster
+from repro.types import ProcessId
+from repro.workloads.generators import FixedBudgetWorkload
+from repro.workloads.scenarios import consecutive_coordinator_crashes, crashes
+
+
+def pids(n):
+    return [ProcessId(i) for i in range(n)]
+
+
+def test_reliable_run_has_decision_every_subrun():
+    n = 4
+    cluster = SimCluster(
+        UrcgcConfig(n=n),
+        workload=FixedBudgetWorkload(pids(n), total=8),
+        max_rounds=20,
+    )
+    cluster.run()
+    timeline = build_timeline(cluster.kernel.trace)
+    # Every completed subrun (except possibly the last, cut off by
+    # max_rounds) produced a decision.
+    assert timeline.decisionless_subruns() in ([], [timeline.subruns[-1].subrun])
+    # Coordinators rotate 0, 1, 2, 3, 0, ...
+    coords = [s.coordinator for s in timeline.subruns if s.coordinator is not None]
+    assert coords[:4] == [0, 1, 2, 3]
+
+
+def test_coordinator_crash_shows_decisionless_subrun():
+    n = 5
+    cluster = SimCluster(
+        UrcgcConfig(n=n, K=2),
+        workload=FixedBudgetWorkload(pids(n), total=10),
+        faults=consecutive_coordinator_crashes(n, f=1, first_subrun=1),
+        max_rounds=60,
+    )
+    cluster.run_until_quiescent(drain_subruns=4)
+    timeline = build_timeline(cluster.kernel.trace)
+    assert 1 in timeline.decisionless_subruns()
+
+
+def test_departures_recorded():
+    n = 4
+    cluster = SimCluster(
+        UrcgcConfig(n=n, K=2),
+        workload=FixedBudgetWorkload(pids(n), total=12),
+        faults=crashes({ProcessId(3): 2.0}),
+        max_rounds=120,
+    )
+    cluster.run_until_quiescent(drain_subruns=3)
+    timeline = build_timeline(cluster.kernel.trace)
+    assert timeline.full_group_count() > 0
+    assert timeline.quiescent_at == cluster.quiescent_at
+
+
+def test_render_is_readable():
+    n = 3
+    cluster = SimCluster(
+        UrcgcConfig(n=n),
+        workload=FixedBudgetWorkload(pids(n), total=3),
+        max_rounds=12,
+    )
+    cluster.run()
+    text = build_timeline(cluster.kernel.trace).render()
+    assert "subrun 0:" in text
+    assert "decision #0 by p0" in text
+
+
+def test_empty_trace():
+    from repro.sim.trace import Trace
+
+    timeline = build_timeline(Trace())
+    assert timeline.subruns == []
+    assert timeline.render() == ""
+
+
+def test_through_limit():
+    n = 3
+    cluster = SimCluster(
+        UrcgcConfig(n=n),
+        workload=FixedBudgetWorkload(pids(n), total=6),
+        max_rounds=20,
+    )
+    cluster.run()
+    full = build_timeline(cluster.kernel.trace)
+    early = build_timeline(cluster.kernel.trace, through=1.9)
+    assert len(early.subruns) < len(full.subruns)

@@ -1,0 +1,249 @@
+"""Unit tests for the CBCAST baseline: delivery, stability, flush."""
+
+from repro.baselines.cbcast.delivery import CausalDeliveryQueue
+from repro.baselines.cbcast.messages import (
+    CbcastData,
+    Flush,
+    StabilityGossip,
+    ViewChange,
+)
+from repro.baselines.cbcast.protocol import CbcastEngine
+from repro.baselines.cbcast.stability import StabilityTracker
+from repro.baselines.cbcast.vector_clock import VectorClock
+from repro.core.effects import Deliver, Send
+from repro.net.wire import decode_message, encode_message
+from repro.types import ProcessId
+
+
+def data(sender, vt, delivered=None, payload=b"", retransmission=False):
+    n = len(vt)
+    return CbcastData(
+        ProcessId(sender),
+        VectorClock(list(vt)),
+        VectorClock(list(delivered) if delivered else [0] * n),
+        payload,
+        retransmission,
+    )
+
+
+def sends_of(effects, kind=None):
+    return [e for e in effects if isinstance(e, Send) and (kind is None or e.kind == kind)]
+
+
+def delivers_of(effects):
+    return [e.message for e in effects if isinstance(e, Deliver)]
+
+
+class TestDeliveryQueue:
+    def test_in_order_delivery(self):
+        queue = CausalDeliveryQueue(ProcessId(0), 2)
+        out = queue.receive(data(1, [0, 1]))
+        assert len(out) == 1
+        assert queue.local.as_tuple() == (0, 1)
+
+    def test_gap_delays(self):
+        queue = CausalDeliveryQueue(ProcessId(0), 2)
+        assert queue.receive(data(1, [0, 2])) == []
+        assert queue.delayed_count == 1
+        out = queue.receive(data(1, [0, 1]))
+        assert [m.vt[1] for m in out] == [1, 2]
+
+    def test_causal_dependency_across_senders(self):
+        queue = CausalDeliveryQueue(ProcessId(0), 3)
+        # p2's message was sent after seeing p1's first message.
+        assert queue.receive(data(2, [0, 1, 1])) == []
+        out = queue.receive(data(1, [0, 1, 0]))
+        assert [(m.sender, m.vt[m.sender]) for m in out] == [(1, 1), (2, 1)]
+
+    def test_duplicates_ignored(self):
+        queue = CausalDeliveryQueue(ProcessId(0), 2)
+        queue.receive(data(1, [0, 1]))
+        assert queue.receive(data(1, [0, 1])) == []
+
+    def test_duplicate_of_delayed_ignored(self):
+        queue = CausalDeliveryQueue(ProcessId(0), 2)
+        queue.receive(data(1, [0, 2]))
+        queue.receive(data(1, [0, 2]))
+        assert queue.delayed_count == 1
+
+    def test_missing_from(self):
+        queue = CausalDeliveryQueue(ProcessId(0), 2)
+        queue.receive(data(1, [0, 3]))
+        assert queue.missing_from(ProcessId(1)) == 1
+        assert queue.missing_from(ProcessId(0)) is None
+
+
+class TestStabilityTracker:
+    def test_stable_vector_is_min(self):
+        tracker = StabilityTracker(2)
+        tracker.note_report(ProcessId(0), VectorClock([3, 1]))
+        tracker.note_report(ProcessId(1), VectorClock([2, 4]))
+        assert tracker.stable_vector([True, True]).as_tuple() == (2, 1)
+
+    def test_crashed_member_excluded(self):
+        tracker = StabilityTracker(2)
+        tracker.note_report(ProcessId(0), VectorClock([3, 3]))
+        # p1 never reported, but it is dead: stability over survivors.
+        assert tracker.stable_vector([True, False]).as_tuple() == (3, 3)
+
+    def test_garbage_collection(self):
+        tracker = StabilityTracker(2)
+        tracker.buffer(data(0, [1, 0]))
+        tracker.buffer(data(0, [2, 0]))
+        tracker.note_report(ProcessId(0), VectorClock([2, 0]))
+        tracker.note_report(ProcessId(1), VectorClock([1, 0]))
+        dropped = tracker.collect_garbage([True, True])
+        assert dropped == 1
+        assert tracker.buffered_count == 1
+        assert tracker.unstable_messages()[0].vt[0] == 2
+
+    def test_reports_merge_monotonically(self):
+        tracker = StabilityTracker(2)
+        tracker.note_report(ProcessId(0), VectorClock([3, 0]))
+        tracker.note_report(ProcessId(0), VectorClock([1, 2]))
+        assert tracker.stable_vector([True, False]).as_tuple() == (3, 2)
+
+
+class TestMessagesWire:
+    def test_data_roundtrip(self):
+        message = data(1, [0, 2, 1], delivered=[0, 1, 1], payload=b"x")
+        assert decode_message(encode_message(message)) == message
+
+    def test_view_change_roundtrip(self):
+        message = ViewChange(ProcessId(0), 3, (True, False, True), commit=True)
+        assert decode_message(encode_message(message)) == message
+
+    def test_flush_roundtrip(self):
+        message = Flush(ProcessId(2), 3, VectorClock([1, 2, 3]))
+        assert decode_message(encode_message(message)) == message
+
+    def test_gossip_roundtrip(self):
+        message = StabilityGossip(ProcessId(1), VectorClock([4, 5]))
+        assert decode_message(encode_message(message)) == message
+
+    def test_data_size_linear_in_n(self):
+        small = len(encode_message(data(0, [1] * 5)))
+        large = len(encode_message(data(0, [1] * 10)))
+        assert large - small == 5 * 2 * 4  # two vectors, 4 bytes each
+
+
+class TestEngine:
+    def test_send_delivers_locally_and_broadcasts(self):
+        engine = CbcastEngine(ProcessId(0), 3)
+        engine.submit(b"hello")
+        effects = engine.on_round(0)
+        assert len(sends_of(effects, "data")) == 1
+        assert len(delivers_of(effects)) == 1
+        assert engine.queue.local.as_tuple() == (1, 0, 0)
+
+    def test_received_message_delivered_causally(self):
+        a = CbcastEngine(ProcessId(0), 2)
+        b = CbcastEngine(ProcessId(1), 2)
+        a.submit(b"m1")
+        m1 = sends_of(a.on_round(0), "data")[0].message
+        a.submit(b"m2")
+        m2 = sends_of(a.on_round(1), "data")[0].message
+        # b gets m2 first: delayed; then m1 releases both.
+        assert delivers_of(b.on_message(m2)) == []
+        out = delivers_of(b.on_message(m1))
+        assert [m.payload for m in out] == [b"m1", b"m2"]
+
+    def test_idle_gossip_only_with_unstable_buffer(self):
+        engine = CbcastEngine(ProcessId(0), 2)
+        # Nothing buffered: fully quiescent, no gossip at all.
+        assert sends_of(engine.on_round(0), "ctrl-stability") == []
+        assert sends_of(engine.on_round(1), "ctrl-stability") == []
+        # An unstable message makes the idle engine gossip once per
+        # subrun (second round) until it stabilizes.
+        engine.submit(b"m")
+        engine.on_round(2)
+        assert engine.unstable_count == 1
+        assert sends_of(engine.on_round(4), "ctrl-stability") == []
+        assert len(sends_of(engine.on_round(5), "ctrl-stability")) == 1
+
+    def test_stability_garbage_collects_buffer(self):
+        a = CbcastEngine(ProcessId(0), 2)
+        b = CbcastEngine(ProcessId(1), 2)
+        a.submit(b"m")
+        m = sends_of(a.on_round(0), "data")[0].message
+        b.on_message(m)
+        # b learned a's delivery from the piggyback, so m is already
+        # stable at b and b's buffer is empty.
+        assert b.unstable_count == 0
+        assert a.unstable_count == 1
+        # a still gossips; b replies with its delivery vector, which
+        # stabilizes m at a.
+        gossip = sends_of(a.on_round(1), "ctrl-stability")[0].message
+        reply = sends_of(b.on_message(gossip), "ctrl-stability")[0].message
+        a.on_message(reply)
+        assert a.unstable_count == 0
+
+    def test_suspect_starts_view_change_at_manager(self):
+        engine = CbcastEngine(ProcessId(0), 3)
+        effects = engine.suspect(ProcessId(2))
+        views = sends_of(effects, "ctrl-viewchange")
+        assert len(views) == 1
+        assert not views[0].message.commit
+        assert engine.blocked
+
+    def test_non_manager_waits_for_proposal(self):
+        engine = CbcastEngine(ProcessId(1), 3)
+        effects = engine.suspect(ProcessId(2))
+        assert sends_of(effects, "ctrl-viewchange") == []
+        assert not engine.blocked
+
+    def test_flush_round_trip_installs_view(self):
+        manager = CbcastEngine(ProcessId(0), 3)
+        member = CbcastEngine(ProcessId(1), 3)
+        proposal = sends_of(manager.suspect(ProcessId(2)), "ctrl-viewchange")[0].message
+        member_effects = member.on_message(proposal)
+        assert member.blocked
+        flush = sends_of(member_effects, "ctrl-flush")[0].message
+        commit_effects = manager.on_message(flush)
+        commits = sends_of(commit_effects, "ctrl-viewchange")
+        assert len(commits) == 1 and commits[0].message.commit
+        assert not manager.blocked
+        member.on_message(commits[0].message)
+        assert not member.blocked
+        assert member.alive == [True, True, False]
+
+    def test_blocked_engine_does_not_send_data(self):
+        engine = CbcastEngine(ProcessId(1), 3)
+        proposal = ViewChange(ProcessId(0), 1, (True, True, False))
+        engine.on_message(proposal)
+        engine.submit(b"queued")
+        effects = engine.on_round(0)
+        assert sends_of(effects, "data") == []
+        assert engine.blocked_rounds == 1
+        assert engine.pending_submissions == 1
+
+    def test_unstable_messages_retransmitted_in_flush(self):
+        member = CbcastEngine(ProcessId(1), 3)
+        member.submit(b"unstable")
+        member.on_round(0)
+        assert member.unstable_count == 1
+        proposal = ViewChange(ProcessId(0), 1, (True, True, False))
+        effects = member.on_message(proposal)
+        retransmissions = [
+            s.message
+            for s in sends_of(effects, "data")
+            if s.message.retransmission
+        ]
+        assert len(retransmissions) == 1
+        assert retransmissions[0].payload == b"unstable"
+
+    def test_manager_crash_restarts_protocol(self):
+        """The paper: the flush 'has to be started all over again on
+        the occurrence of each coordinator failure'."""
+        member = CbcastEngine(ProcessId(1), 4)
+        proposal = ViewChange(ProcessId(0), 1, (True, True, True, False))
+        member.on_message(proposal)
+        assert member.blocked
+        # Manager p0 crashes; p1 becomes manager and restarts.
+        effects = member.suspect(ProcessId(0))
+        new_proposals = sends_of(effects, "ctrl-viewchange")
+        assert len(new_proposals) == 1
+        assert new_proposals[0].message.manager == 1
+        assert new_proposals[0].message.view_id == 2
+        assert new_proposals[0].message.alive == (False, True, True, False)
+        assert member.view_changes_started == 1

@@ -1,0 +1,106 @@
+"""Edge cases for the CBCAST engine: blocked submissions, stale view
+traffic, crash mid-everything."""
+
+from repro.baselines.cbcast.messages import Flush, ViewChange
+from repro.baselines.cbcast.protocol import CbcastEngine
+from repro.baselines.cbcast.vector_clock import VectorClock
+from repro.core.effects import Deliver, Send
+from repro.errors import MemberLeftError
+from repro.types import ProcessId
+
+import pytest
+
+
+def sends_of(effects, kind=None):
+    return [e for e in effects if isinstance(e, Send) and (kind is None or e.kind == kind)]
+
+
+def test_submissions_resume_after_view_installed():
+    engine = CbcastEngine(ProcessId(1), 3)
+    engine.on_message(ViewChange(ProcessId(0), 1, (True, True, False)))
+    engine.submit(b"queued-during-flush")
+    assert sends_of(engine.on_round(0), "data") == []
+    engine.on_message(ViewChange(ProcessId(0), 1, (True, True, False), commit=True))
+    effects = engine.on_round(1)
+    data = sends_of(effects, "data")
+    assert len(data) == 1
+    assert data[0].message.payload == b"queued-during-flush"
+
+
+def test_stale_proposal_ignored():
+    engine = CbcastEngine(ProcessId(1), 3)
+    engine.on_message(ViewChange(ProcessId(0), 5, (True, True, False), commit=True))
+    assert engine.view_id == 5
+    engine.on_message(ViewChange(ProcessId(0), 2, (True, True, True)))
+    assert engine.view_id == 5
+    assert not engine.blocked
+
+
+def test_flush_for_wrong_view_ignored():
+    manager = CbcastEngine(ProcessId(0), 3)
+    manager.suspect(ProcessId(2))
+    stale_flush = Flush(ProcessId(1), 99, VectorClock(3))
+    effects = manager.on_message(stale_flush)
+    assert sends_of(effects, "ctrl-viewchange") == []
+    assert manager.blocked
+
+
+def test_flush_from_non_manager_position_ignored():
+    engine = CbcastEngine(ProcessId(1), 3)  # not running a view change
+    effects = engine.on_message(Flush(ProcessId(2), 1, VectorClock(3)))
+    assert effects == []
+
+
+def test_crashed_engine_fully_inert():
+    engine = CbcastEngine(ProcessId(0), 2)
+    engine.crash()
+    assert engine.on_round(0) == []
+    assert engine.on_message(ViewChange(ProcessId(1), 1, (True, True))) == []
+    assert engine.suspect(ProcessId(1)) == []
+    with pytest.raises(MemberLeftError):
+        engine.submit(b"x")
+
+
+def test_suspecting_self_is_noop():
+    engine = CbcastEngine(ProcessId(0), 3)
+    assert engine.suspect(ProcessId(0)) == []
+
+
+def test_duplicate_suspicion_is_noop():
+    engine = CbcastEngine(ProcessId(0), 3)
+    first = engine.suspect(ProcessId(2))
+    assert sends_of(first, "ctrl-viewchange")
+    assert engine.suspect(ProcessId(2)) == []
+    assert engine.view_changes_started == 1
+
+
+def test_manager_reproposes_while_blocked():
+    """Lost proposals are re-broadcast each subrun until flushed."""
+    manager = CbcastEngine(ProcessId(0), 3)
+    manager.suspect(ProcessId(2))
+    effects = manager.on_round(1)  # odd round while blocked
+    assert len(sends_of(effects, "ctrl-viewchange")) == 1
+
+
+def test_unexpected_message_type_rejected():
+    engine = CbcastEngine(ProcessId(0), 2)
+    with pytest.raises(TypeError):
+        engine.on_message(42)
+
+
+def test_retransmissions_not_delivered_twice_across_views():
+    a = CbcastEngine(ProcessId(0), 3)
+    b = CbcastEngine(ProcessId(1), 3)
+    a.submit(b"m")
+    m = sends_of(a.on_round(0), "data")[0].message
+    assert [e for e in b.on_message(m) if isinstance(e, Deliver)]
+    # Flush retransmits m; b must not deliver it again.
+    proposal = ViewChange(ProcessId(0), 1, (True, True, False))
+    retransmissions = [
+        s.message for s in sends_of(a.on_message(proposal), "data")
+    ]
+    assert retransmissions
+    for retransmission in retransmissions:
+        assert not [
+            e for e in b.on_message(retransmission) if isinstance(e, Deliver)
+        ]

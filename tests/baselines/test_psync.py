@@ -1,0 +1,134 @@
+"""Unit tests for the Psync baseline."""
+
+import pytest
+
+from repro.baselines.psync.context_graph import ContextGraph, GraphNode
+from repro.baselines.psync.protocol import PsyncData, PsyncEngine
+from repro.core.effects import Deliver, Send
+from repro.errors import DuplicateMidError
+from repro.net.wire import decode_message, encode_message
+from repro.types import ProcessId
+
+
+def node(sender, seq, preds=(), payload=b""):
+    return GraphNode((ProcessId(sender), seq), tuple(preds), payload)
+
+
+def delivers_of(effects):
+    return [e.message for e in effects if isinstance(e, Deliver)]
+
+
+def sends_of(effects):
+    return [e for e in effects if isinstance(e, Send)]
+
+
+class TestContextGraph:
+    def test_root_attaches_immediately(self):
+        graph = ContextGraph()
+        released = graph.attach(node(0, 1))
+        assert len(released) == 1
+        assert graph.leaves() == ((ProcessId(0), 1),)
+
+    def test_leaves_update_on_attach(self):
+        graph = ContextGraph()
+        graph.attach(node(0, 1))
+        graph.attach(node(1, 1, preds=[(ProcessId(0), 1)]))
+        assert graph.leaves() == ((ProcessId(1), 1),)
+
+    def test_concurrent_messages_are_both_leaves(self):
+        graph = ContextGraph()
+        graph.attach(node(0, 1))
+        graph.attach(node(1, 1))
+        assert graph.leaves() == ((ProcessId(0), 1), (ProcessId(1), 1))
+
+    def test_missing_context_pends(self):
+        graph = ContextGraph()
+        released = graph.attach(node(1, 1, preds=[(ProcessId(0), 1)]))
+        assert released == []
+        assert graph.pending_count == 1
+        released = graph.attach(node(0, 1))
+        assert [n.mid for n in released] == [(0, 1), (1, 1)]
+
+    def test_duplicate_rejected(self):
+        graph = ContextGraph()
+        graph.attach(node(0, 1))
+        with pytest.raises(DuplicateMidError):
+            graph.attach(node(0, 1))
+
+    def test_pending_bound_drops_arrival(self):
+        graph = ContextGraph(pending_bound=1)
+        graph.attach(node(1, 2, preds=[(ProcessId(1), 1)]))
+        graph.attach(node(2, 2, preds=[(ProcessId(2), 1)]))  # dropped
+        assert graph.pending_count == 1
+        assert graph.induced_omissions == 1
+
+    def test_mask_out_waives_context(self):
+        graph = ContextGraph()
+        graph.attach(node(1, 1, preds=[(ProcessId(0), 1)]))
+        released = graph.mask_out(ProcessId(0))
+        assert [n.mid for n in released] == [(1, 1)]
+
+    def test_mask_out_drops_pending_from_victim(self):
+        graph = ContextGraph()
+        graph.attach(node(0, 2, preds=[(ProcessId(0), 1)]))
+        graph.mask_out(ProcessId(0))
+        assert graph.pending_count == 0
+        assert not graph.contains((ProcessId(0), 2))
+
+    def test_masked_sender_arrivals_dropped(self):
+        graph = ContextGraph()
+        graph.mask_out(ProcessId(0))
+        assert graph.attach(node(0, 1)) == []
+        assert graph.induced_omissions == 1
+
+
+class TestPsyncEngine:
+    def test_send_carries_leaves_as_context(self):
+        a = PsyncEngine(ProcessId(0), 2)
+        b = PsyncEngine(ProcessId(1), 2)
+        a.submit(b"m1")
+        m1 = sends_of(a.on_round(0))[0].message
+        assert m1.preds == ()
+        b.on_message(m1)
+        b.submit(b"m2")
+        m2 = sends_of(b.on_round(1))[0].message
+        assert m2.preds == ((ProcessId(0), 1),)
+
+    def test_context_order_delivery(self):
+        a = PsyncEngine(ProcessId(0), 2)
+        b = PsyncEngine(ProcessId(1), 2)
+        a.submit(b"m1")
+        m1 = sends_of(a.on_round(0))[0].message
+        a.submit(b"m2")
+        m2 = sends_of(a.on_round(1))[0].message
+        assert delivers_of(b.on_message(m2)) == []
+        out = delivers_of(b.on_message(m1))
+        assert [m.payload for m in out] == [b"m1", b"m2"]
+
+    def test_duplicate_ignored(self):
+        a = PsyncEngine(ProcessId(0), 2)
+        b = PsyncEngine(ProcessId(1), 2)
+        a.submit(b"m")
+        m = sends_of(a.on_round(0))[0].message
+        b.on_message(m)
+        assert b.on_message(m) == []
+
+    def test_mask_out_releases_blocked(self):
+        b = PsyncEngine(ProcessId(1), 3)
+        blocked = PsyncData(ProcessId(2), 1, ((ProcessId(0), 1),), b"x")
+        assert delivers_of(b.on_message(blocked)) == []
+        released = delivers_of(b.mask_out(ProcessId(0)))
+        assert [m.payload for m in released] == [b"x"]
+
+    def test_wire_roundtrip(self):
+        message = PsyncData(ProcessId(1), 3, ((ProcessId(0), 2), (ProcessId(2), 1)), b"p")
+        assert decode_message(encode_message(message)) == message
+
+    def test_crashed_engine_inert(self):
+        engine = PsyncEngine(ProcessId(0), 2)
+        engine.crash()
+        assert engine.on_round(0) == []
+        from repro.errors import MemberLeftError
+
+        with pytest.raises(MemberLeftError):
+            engine.submit(b"x")

@@ -1,0 +1,87 @@
+"""Unit tests for vector clocks."""
+
+import pytest
+
+from repro.baselines.cbcast.vector_clock import VectorClock
+from repro.errors import ConfigError
+from repro.types import ProcessId
+
+
+def test_starts_at_zero():
+    assert VectorClock(3).as_tuple() == (0, 0, 0)
+
+
+def test_tick_and_getitem():
+    clock = VectorClock(3)
+    clock.tick(ProcessId(1))
+    clock.tick(ProcessId(1))
+    assert clock[1] == 2
+    assert clock[0] == 0
+
+
+def test_merge_is_componentwise_max():
+    a = VectorClock([1, 5, 2])
+    b = VectorClock([3, 1, 2])
+    a.merge(b)
+    assert a.as_tuple() == (3, 5, 2)
+
+
+def test_copy_is_independent():
+    a = VectorClock([1, 2])
+    b = a.copy()
+    b.tick(ProcessId(0))
+    assert a.as_tuple() == (1, 2)
+
+
+def test_partial_order():
+    a = VectorClock([1, 0])
+    b = VectorClock([1, 1])
+    assert a <= b
+    assert a < b
+    assert not b <= a
+
+
+def test_concurrency():
+    a = VectorClock([1, 0])
+    b = VectorClock([0, 1])
+    assert a.concurrent_with(b)
+    assert not a.concurrent_with(a)
+
+
+def test_equality_and_hash():
+    assert VectorClock([1, 2]) == VectorClock([1, 2])
+    assert hash(VectorClock([1, 2])) == hash(VectorClock([1, 2]))
+
+
+def test_width_mismatch_rejected():
+    with pytest.raises(ConfigError):
+        VectorClock([1]) <= VectorClock([1, 2])
+
+
+def test_invalid_construction():
+    with pytest.raises(ConfigError):
+        VectorClock(0)
+    with pytest.raises(ConfigError):
+        VectorClock([])
+    with pytest.raises(ConfigError):
+        VectorClock([-1])
+
+
+class TestDeliverableFrom:
+    def test_next_in_sequence_deliverable(self):
+        local = VectorClock([0, 0])
+        stamp = VectorClock([1, 0])
+        assert stamp.deliverable_from(ProcessId(0), local)
+
+    def test_gap_not_deliverable(self):
+        local = VectorClock([0, 0])
+        stamp = VectorClock([2, 0])
+        assert not stamp.deliverable_from(ProcessId(0), local)
+
+    def test_causal_predecessor_missing(self):
+        # m from p0 was sent after p0 saw message 1 from p1.
+        local = VectorClock([0, 0])
+        stamp = VectorClock([1, 1])
+        assert not stamp.deliverable_from(ProcessId(0), local)
+        local = VectorClock([0, 1])
+        assert stamp.deliverable_from(ProcessId(0), local)

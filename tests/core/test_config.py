@@ -1,0 +1,54 @@
+"""Unit tests for UrcgcConfig validation."""
+
+import pytest
+
+from repro.core.config import LeaveRule, UrcgcConfig
+from repro.errors import ConfigError
+
+
+def test_defaults():
+    config = UrcgcConfig(n=10)
+    assert config.K == 3
+    assert config.recovery_budget == 2 * 3 + 2
+    assert config.effective_flow_threshold == 80  # the paper's 8n
+    assert config.flow_control_enabled
+    assert config.leave_rule is LeaveRule.CONFIRMED
+
+
+def test_resilience_degree():
+    """t = (n-1)/2, the paper's resilience bound."""
+    assert UrcgcConfig(n=5).t == 2
+    assert UrcgcConfig(n=6).t == 2
+    assert UrcgcConfig(n=41).t == 20
+
+
+def test_explicit_r_validated_against_2k():
+    with pytest.raises(ConfigError):
+        UrcgcConfig(n=5, K=3, R=6)  # R must exceed 2K
+    assert UrcgcConfig(n=5, K=3, R=7).recovery_budget == 7
+
+
+def test_flow_threshold_zero_disables():
+    config = UrcgcConfig(n=5, flow_threshold=0)
+    assert not config.flow_control_enabled
+
+
+def test_flow_threshold_explicit():
+    assert UrcgcConfig(n=5, flow_threshold=13).effective_flow_threshold == 13
+
+
+def test_invalid_values_rejected():
+    with pytest.raises(ConfigError):
+        UrcgcConfig(n=1)
+    with pytest.raises(ConfigError):
+        UrcgcConfig(n=5, K=0)
+    with pytest.raises(ConfigError):
+        UrcgcConfig(n=5, flow_threshold=-1)
+    with pytest.raises(ConfigError):
+        UrcgcConfig(n=5, max_history=0)
+
+
+def test_frozen():
+    config = UrcgcConfig(n=5)
+    with pytest.raises(AttributeError):
+        config.K = 9

@@ -1,0 +1,261 @@
+"""Unit tests for the coordinator decision computation (Figure 2)."""
+
+import pytest
+
+from repro.core.decision import (
+    Decision,
+    RequestInfo,
+    compute_decision,
+    initial_decision,
+)
+from repro.errors import ConfigError
+from repro.types import ProcessId, SeqNo, SubrunNo
+
+
+def info(last, waiting=None):
+    last = tuple(SeqNo(v) for v in last)
+    if waiting is None:
+        waiting = tuple(SeqNo(0) for _ in last)
+    else:
+        waiting = tuple(SeqNo(v) for v in waiting)
+    return RequestInfo(last, waiting)
+
+
+def full_requests(n, last_vectors):
+    return {ProcessId(i): info(last_vectors[i]) for i in range(n)}
+
+
+class TestInitialDecision:
+    def test_shape(self):
+        decision = initial_decision(3)
+        assert decision.n == 3
+        assert decision.number == -1
+        assert decision.chain == 0
+        assert decision.full_group  # forces a fresh accumulation window
+        assert all(decision.alive)
+
+    def test_invalid_size(self):
+        with pytest.raises(ConfigError):
+            initial_decision(0)
+
+
+class TestFullGroupDecision:
+    def test_stable_is_min_over_contacted(self):
+        prev = initial_decision(3)
+        requests = full_requests(
+            3, [[3, 1, 0], [2, 2, 0], [3, 2, 1]]
+        )
+        decision = compute_decision(SubrunNo(0), ProcessId(0), prev, requests, K=3)
+        assert decision.full_group
+        assert decision.stable == (2, 1, 0)
+
+    def test_max_processed_and_most_updated(self):
+        prev = initial_decision(3)
+        requests = full_requests(3, [[3, 1, 0], [2, 2, 0], [3, 2, 1]])
+        decision = compute_decision(SubrunNo(0), ProcessId(0), prev, requests, K=3)
+        assert decision.max_processed == (3, 2, 1)
+        # Origin itself preferred on ties: p0 reported 3 of its own.
+        assert decision.most_updated[0] == 0
+        assert decision.most_updated[2] == 2
+
+    def test_chain_increments(self):
+        prev = initial_decision(2)
+        decision = compute_decision(
+            SubrunNo(0), ProcessId(0), prev, full_requests(2, [[1, 0], [1, 0]]), K=3
+        )
+        assert decision.chain == 1
+        assert decision.number == 0
+
+    def test_attempts_reset_on_contact(self):
+        prev = initial_decision(2)
+        decision = compute_decision(
+            SubrunNo(0), ProcessId(0), prev, full_requests(2, [[0, 0], [0, 0]]), K=3
+        )
+        assert decision.attempts == (0, 0)
+
+
+class TestPartialDecision:
+    def test_not_full_group_when_someone_silent(self):
+        prev = initial_decision(3)
+        requests = {ProcessId(0): info([1, 0, 0]), ProcessId(1): info([1, 0, 0])}
+        decision = compute_decision(SubrunNo(0), ProcessId(0), prev, requests, K=3)
+        assert not decision.full_group
+        assert decision.attempts == (0, 0, 1)
+
+    def test_accumulation_across_subruns_reaches_full_group(self):
+        """p2 silent in subrun 0, p1 silent in subrun 1: the union of
+        contributors covers everyone, so subrun 1 is full_group."""
+        prev = initial_decision(3)
+        d0 = compute_decision(
+            SubrunNo(0),
+            ProcessId(0),
+            prev,
+            {ProcessId(0): info([5, 0, 0]), ProcessId(1): info([4, 0, 0])},
+            K=3,
+        )
+        assert not d0.full_group
+        d1 = compute_decision(
+            SubrunNo(1),
+            ProcessId(1),
+            d0,
+            {ProcessId(1): info([6, 0, 0]), ProcessId(2): info([3, 0, 0])},
+            K=3,
+        )
+        assert d1.full_group
+        # stable folds the *older* minimum from the accumulation window.
+        assert d1.stable[0] == 3
+
+    def test_fresh_window_after_full_group(self):
+        prev = initial_decision(2)
+        d0 = compute_decision(
+            SubrunNo(0), ProcessId(0), prev, full_requests(2, [[2, 0], [2, 0]]), K=3
+        )
+        assert d0.full_group
+        # Next subrun starts fresh: only p0 contacts, so not full group.
+        d1 = compute_decision(
+            SubrunNo(1), ProcessId(1), d0, {ProcessId(0): info([9, 0])}, K=3
+        )
+        assert not d1.full_group
+        assert d1.contributors == (True, False)
+
+
+class TestCrashDetection:
+    def test_removed_after_k_silent_decisions(self):
+        n = 3
+        decision = initial_decision(n)
+        for s in range(3):
+            requests = {ProcessId(0): info([0, 0, 0]), ProcessId(1): info([0, 0, 0])}
+            decision = compute_decision(SubrunNo(s), ProcessId(0), decision, requests, K=3)
+        assert decision.attempts[2] == 3
+        assert not decision.alive[2]
+        assert decision.alive[0] and decision.alive[1]
+
+    def test_contact_resets_attempts(self):
+        decision = initial_decision(2)
+        decision = compute_decision(
+            SubrunNo(0), ProcessId(0), decision, {ProcessId(0): info([0, 0])}, K=3
+        )
+        assert decision.attempts[1] == 1
+        decision = compute_decision(
+            SubrunNo(1),
+            ProcessId(1),
+            decision,
+            {ProcessId(0): info([0, 0]), ProcessId(1): info([0, 0])},
+            K=3,
+        )
+        assert decision.attempts[1] == 0
+        assert decision.alive[1]
+
+    def test_removed_process_request_ignored(self):
+        """No rejoin: a request from a removed process is not counted."""
+        base = initial_decision(2)
+        dead = Decision(
+            number=SubrunNo(0),
+            chain=1,
+            coordinator=ProcessId(0),
+            alive=(True, False),
+            attempts=(0, 3),
+            stable=base.stable,
+            contributors=(True, False),
+            full_group=True,
+            max_processed=base.max_processed,
+            most_updated=base.most_updated,
+            min_waiting=base.min_waiting,
+        )
+        decision = compute_decision(
+            SubrunNo(1),
+            ProcessId(0),
+            dead,
+            {ProcessId(0): info([0, 0]), ProcessId(1): info([5, 5])},
+            K=3,
+        )
+        assert not decision.alive[1]
+        assert decision.full_group  # only p0 is required
+        assert decision.max_processed[1] == 0  # dead process's report ignored
+
+    def test_full_group_over_surviving_members_only(self):
+        decision = initial_decision(3)
+        for s in range(3):
+            decision = compute_decision(
+                SubrunNo(s),
+                ProcessId(s % 3),
+                decision,
+                {ProcessId(0): info([1, 1, 0]), ProcessId(1): info([1, 1, 0])},
+                K=3,
+            )
+        # p2 removed at the third decision; the other two contacted, so
+        # the decision is full-group over the new membership.
+        assert not decision.alive[2]
+        assert decision.full_group
+
+
+class TestMostUpdatedCirculation:
+    def test_prev_max_kept_while_holder_alive(self):
+        prev = initial_decision(3)
+        d0 = compute_decision(
+            SubrunNo(0),
+            ProcessId(0),
+            prev,
+            {ProcessId(1): info([0, 9, 0]), ProcessId(0): info([0, 2, 0])},
+            K=5,
+        )
+        assert d0.max_processed[1] == 9
+        assert d0.most_updated[1] == 1
+        # Next subrun p1 is silent; its claim survives via circulation.
+        d1 = compute_decision(
+            SubrunNo(1), ProcessId(0), d0, {ProcessId(0): info([0, 2, 0])}, K=5
+        )
+        assert d1.max_processed[1] == 9
+        assert d1.most_updated[1] == 1
+
+    def test_prev_max_dropped_when_holder_removed(self):
+        prev = initial_decision(3)
+        decision = compute_decision(
+            SubrunNo(0),
+            ProcessId(0),
+            prev,
+            {ProcessId(1): info([0, 9, 0]), ProcessId(0): info([0, 2, 0])},
+            K=1,  # immediate removal of silent processes
+        )
+        # p2 removed at subrun 0 already (K=1); p1 contacted, fine.
+        decision = compute_decision(
+            SubrunNo(1), ProcessId(0), decision, {ProcessId(0): info([0, 2, 0])}, K=1
+        )
+        # Now p1 is removed; its stale max_processed claim must vanish.
+        assert not decision.alive[1]
+        assert decision.max_processed[1] == 2
+        assert decision.most_updated[1] == 0
+
+
+class TestMinWaiting:
+    def test_min_over_reports_ignoring_none(self):
+        prev = initial_decision(3)
+        requests = {
+            ProcessId(0): info([0, 0, 0], waiting=[0, 4, 0]),
+            ProcessId(1): info([0, 0, 0], waiting=[0, 2, 0]),
+            ProcessId(2): info([0, 0, 0], waiting=[0, 0, 0]),
+        }
+        decision = compute_decision(SubrunNo(0), ProcessId(0), prev, requests, K=3)
+        assert decision.min_waiting == (0, 2, 0)
+
+
+def test_request_from_unknown_pid_rejected():
+    prev = initial_decision(2)
+    with pytest.raises(ConfigError):
+        compute_decision(
+            SubrunNo(0), ProcessId(0), prev, {ProcessId(7): info([0, 0])}, K=3
+        )
+
+
+def test_invalid_k_rejected():
+    prev = initial_decision(2)
+    with pytest.raises(ConfigError):
+        compute_decision(SubrunNo(0), ProcessId(0), prev, {}, K=0)
+
+
+def test_is_newer_than():
+    a = initial_decision(2)
+    b = compute_decision(SubrunNo(0), ProcessId(0), a, {ProcessId(0): info([0, 0])}, K=3)
+    assert b.is_newer_than(a)
+    assert not a.is_newer_than(b)
+    assert a.is_newer_than(None)

@@ -1,0 +1,106 @@
+"""Unit tests for the general (full Definition 3.1) causal deliverer."""
+
+import pytest
+
+from repro.core.causality import FullCausalContext
+from repro.core.deliverer import CausalDeliverer
+from repro.core.message import UserMessage
+from repro.core.mid import Mid
+from repro.errors import CausalityViolationError
+from repro.types import ProcessId, SeqNo
+
+
+def m(origin, seq):
+    return Mid(ProcessId(origin), SeqNo(seq))
+
+
+def msg(origin, seq, deps=()):
+    return UserMessage(m(origin, seq), tuple(deps))
+
+
+def test_root_delivers_immediately():
+    deliverer = CausalDeliverer()
+    out = deliverer.receive(msg(0, 1))
+    assert [x.mid for x in out] == [m(0, 1)]
+
+
+def test_concurrent_own_messages_need_no_order():
+    """Full Def 3.1: (0,1) and (0,2) with no declared relation are
+    concurrent — unlike the Member engine's implicit chain."""
+    deliverer = CausalDeliverer()
+    out2 = deliverer.receive(msg(0, 2))  # no deps: a second root
+    assert [x.mid for x in out2] == [m(0, 2)]
+    out1 = deliverer.receive(msg(0, 1))
+    assert [x.mid for x in out1] == [m(0, 1)]
+
+
+def test_explicit_deps_gate_delivery():
+    deliverer = CausalDeliverer()
+    assert deliverer.receive(msg(1, 2, [m(0, 1)])) == []
+    assert deliverer.waiting_count == 1
+    out = deliverer.receive(msg(0, 1))
+    assert [x.mid for x in out] == [m(0, 1), m(1, 2)]
+
+
+def test_diamond_dag():
+    deliverer = CausalDeliverer()
+    #      (0,1)
+    #     /     \
+    # (1,1)     (2,1)
+    #     \     /
+    #      (3,1)
+    deliverer.receive(msg(3, 1, [m(1, 1), m(2, 1)]))
+    deliverer.receive(msg(1, 1, [m(0, 1)]))
+    deliverer.receive(msg(2, 1, [m(0, 1)]))
+    out = deliverer.receive(msg(0, 1))
+    mids = [x.mid for x in out]
+    assert mids[0] == m(0, 1)
+    assert mids[-1] == m(3, 1)
+    assert set(mids) == {m(0, 1), m(1, 1), m(2, 1), m(3, 1)}
+
+
+def test_duplicates_counted():
+    deliverer = CausalDeliverer()
+    deliverer.receive(msg(0, 1))
+    deliverer.receive(msg(0, 1))
+    deliverer.receive(msg(1, 2, [m(9, 9)]))
+    deliverer.receive(msg(1, 2, [m(9, 9)]))
+    assert deliverer.duplicate_count == 2
+
+
+def test_missing_cut_and_all_missing():
+    deliverer = CausalDeliverer()
+    deliverer.receive(msg(2, 1, [m(0, 1), m(1, 1)]))
+    assert deliverer.missing_cut(m(2, 1)) == {m(0, 1), m(1, 1)}
+    assert deliverer.all_missing() == {m(0, 1), m(1, 1)}
+    deliverer.receive(msg(0, 1))
+    assert deliverer.missing_cut(m(2, 1)) == {m(1, 1)}
+
+
+def test_works_with_full_causal_context():
+    """End-to-end with the multi-root sender-side context."""
+    sender = FullCausalContext(ProcessId(0))
+    audio, a_deps = sender.next_message(sequence="audio")
+    video, v_deps = sender.next_message(sequence="video")
+    audio2, a2_deps = sender.next_message(sequence="audio")
+    deliverer = CausalDeliverer()
+    # Receive video first: deliverable at once (separate root).
+    assert deliverer.receive(UserMessage(video, v_deps))
+    # audio2 waits for audio1 (its chain), not for video.
+    assert deliverer.receive(UserMessage(audio2, a2_deps)) == []
+    out = deliverer.receive(UserMessage(audio, a_deps))
+    assert [x.mid for x in out] == [audio, audio2]
+
+
+def test_check_acyclic_accepts_dag():
+    messages = [msg(0, 1), msg(1, 1, [m(0, 1)]), msg(2, 1, [m(0, 1), m(1, 1)])]
+    CausalDeliverer().check_acyclic(messages)
+
+
+def test_check_acyclic_rejects_cycle():
+    messages = [
+        UserMessage(m(0, 1), (m(1, 1),)),
+        UserMessage(m(1, 1), (m(0, 1),)),
+    ]
+    with pytest.raises(CausalityViolationError):
+        CausalDeliverer().check_acyclic(messages)

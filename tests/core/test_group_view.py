@@ -1,0 +1,89 @@
+"""Unit tests for the local group view and coordinator rotation."""
+
+import pytest
+
+from repro.core.group_view import GroupView
+from repro.errors import ConfigError, NotInGroupError
+from repro.types import ProcessId, SubrunNo
+
+
+def test_all_alive_initially():
+    view = GroupView(4)
+    assert view.alive_count() == 4
+    assert view.alive_set() == {0, 1, 2, 3}
+
+
+def test_remove_is_idempotent():
+    view = GroupView(3)
+    view.remove(ProcessId(1))
+    view.remove(ProcessId(1))
+    assert view.alive_count() == 2
+    assert not view.is_alive(ProcessId(1))
+
+
+def test_rotation_without_failures():
+    view = GroupView(3)
+    assert [view.coordinator_of(SubrunNo(s)) for s in range(6)] == [0, 1, 2, 0, 1, 2]
+
+
+def test_rotation_skips_crashed():
+    view = GroupView(4)
+    view.remove(ProcessId(1))
+    assert view.coordinator_of(SubrunNo(1)) == 2
+    assert view.coordinator_of(SubrunNo(5)) == 2  # 5 % 4 == 1 -> skip to 2
+
+
+def test_rotation_wraps_around():
+    view = GroupView(3)
+    view.remove(ProcessId(2))
+    assert view.coordinator_of(SubrunNo(2)) == 0
+
+
+def test_rotation_with_single_survivor():
+    view = GroupView(3)
+    view.remove(ProcessId(0))
+    view.remove(ProcessId(2))
+    for s in range(5):
+        assert view.coordinator_of(SubrunNo(s)) == 1
+
+
+def test_empty_group_raises():
+    view = GroupView(2)
+    view.remove(ProcessId(0))
+    view.remove(ProcessId(1))
+    with pytest.raises(NotInGroupError):
+        view.coordinator_of(SubrunNo(0))
+
+
+def test_apply_vector_reports_new_removals():
+    view = GroupView(4)
+    removed = view.apply_vector([True, False, True, False])
+    assert removed == [1, 3]
+    # Applying again reports nothing new.
+    assert view.apply_vector([True, False, True, False]) == []
+
+
+def test_apply_vector_cannot_resurrect():
+    view = GroupView(2)
+    view.remove(ProcessId(0))
+    view.apply_vector([True, True])
+    assert not view.is_alive(ProcessId(0))
+
+
+def test_apply_vector_length_checked():
+    view = GroupView(2)
+    with pytest.raises(ConfigError):
+        view.apply_vector([True])
+
+
+def test_pid_bounds_checked():
+    view = GroupView(2)
+    with pytest.raises(NotInGroupError):
+        view.is_alive(ProcessId(2))
+    with pytest.raises(NotInGroupError):
+        view.remove(ProcessId(-1))
+
+
+def test_invalid_size_rejected():
+    with pytest.raises(ConfigError):
+        GroupView(0)

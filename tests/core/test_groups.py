@@ -1,0 +1,167 @@
+"""Tests for the client-server and diffusion group structures."""
+
+import pytest
+
+from repro.core.config import UrcgcConfig
+from repro.core.groups import (
+    ClientServerGroup,
+    DiffusionGroup,
+    Role,
+    first_reply,
+    majority_vote,
+)
+from repro.errors import ConfigError, ProtocolError
+from repro.harness.cluster import SimCluster
+from repro.types import ProcessId
+
+
+def build_cs_cluster(n=4, servers=(0, 1), handler=None):
+    """A SimCluster with ClientServerGroup adapters on every member."""
+    cluster = SimCluster(UrcgcConfig(n=n), max_rounds=80)
+    server_set = {ProcessId(s) for s in servers}
+    handler = handler or (lambda client, body: b"ack:" + body)
+    adapters = []
+    for i in range(n):
+        pid = ProcessId(i)
+        role = Role.SERVER if pid in server_set else Role.CLIENT
+        adapters.append(
+            ClientServerGroup(
+                cluster.services[i],
+                role,
+                server_set,
+                handler=handler if role is Role.SERVER else None,
+            )
+        )
+    return cluster, adapters
+
+
+class TestVotingFunctions:
+    def test_majority(self):
+        assert majority_vote([b"a", b"b", b"a"]) == b"a"
+
+    def test_majority_tie_deterministic(self):
+        assert majority_vote([b"b", b"a"]) == majority_vote([b"a", b"b"])
+
+    def test_first(self):
+        assert first_reply([b"x", b"y"]) == b"x"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ProtocolError):
+            majority_vote([])
+        with pytest.raises(ProtocolError):
+            first_reply([])
+
+
+class TestClientServer:
+    def test_call_resolves_with_h_replies(self):
+        cluster, adapters = build_cs_cluster()
+        client = adapters[2]
+        handle = client.call(b"read x", h=2, v=majority_vote)
+        cluster.run_until_quiescent(drain_subruns=2)
+        assert handle.resolved
+        assert handle.result == b"ack:read x"
+        assert len(handle.replies) >= 2
+        assert set(handle.responders) <= {ProcessId(0), ProcessId(1)}
+
+    def test_every_server_serves_each_call_once(self):
+        cluster, adapters = build_cs_cluster()
+        adapters[2].call(b"op")
+        cluster.run_until_quiescent(drain_subruns=2)
+        assert adapters[0].served_count == 1
+        assert adapters[1].served_count == 1
+        assert adapters[3].served_count == 0  # clients never serve
+
+    def test_servers_process_calls_in_same_order(self):
+        """Uniform ordering carries over: both servers see the two
+        calls in the same causal order."""
+        orders = {0: [], 1: []}
+
+        def handler_for(sid):
+            def handler(client, body):
+                orders[sid].append(bytes(body))
+                return b"ok"
+            return handler
+
+        cluster = SimCluster(UrcgcConfig(n=4), max_rounds=80)
+        servers = {ProcessId(0), ProcessId(1)}
+        adapters = []
+        for i in range(4):
+            pid = ProcessId(i)
+            role = Role.SERVER if pid in servers else Role.CLIENT
+            adapters.append(
+                ClientServerGroup(
+                    cluster.services[i],
+                    role,
+                    servers,
+                    handler=handler_for(i) if role is Role.SERVER else None,
+                )
+            )
+        adapters[2].call(b"first")
+        adapters[3].call(b"second")
+        cluster.run_until_quiescent(drain_subruns=2)
+        assert sorted(orders[0]) == [b"first", b"second"]
+        assert orders[0] == orders[1]
+
+    def test_server_cannot_call(self):
+        _, adapters = build_cs_cluster()
+        with pytest.raises(ProtocolError):
+            adapters[0].call(b"nope")
+
+    def test_h_bounds_checked(self):
+        _, adapters = build_cs_cluster()
+        with pytest.raises(ConfigError):
+            adapters[2].call(b"x", h=3)  # only 2 servers
+        with pytest.raises(ConfigError):
+            adapters[2].call(b"x", h=0)
+
+    def test_config_validation(self):
+        cluster = SimCluster(UrcgcConfig(n=3), max_rounds=10)
+        with pytest.raises(ConfigError):
+            ClientServerGroup(cluster.services[0], Role.SERVER, set())
+        with pytest.raises(ConfigError):
+            ClientServerGroup(
+                cluster.services[0], Role.SERVER, {ProcessId(1)},
+                handler=lambda c, b: b"",
+            )
+        with pytest.raises(ConfigError):
+            ClientServerGroup(cluster.services[0], Role.SERVER, {ProcessId(0)})
+
+
+class TestDiffusion:
+    def test_publications_reach_everyone(self):
+        cluster = SimCluster(UrcgcConfig(n=3), max_rounds=40)
+        adapters = [
+            DiffusionGroup(
+                cluster.services[i],
+                Role.SERVER if i == 0 else Role.CLIENT,
+            )
+            for i in range(3)
+        ]
+        adapters[0].publish(b"tick-1")
+        adapters[0].publish(b"tick-2")
+        cluster.run_until_quiescent(drain_subruns=2)
+        for adapter in adapters:
+            assert [body for _, body in adapter.received] == [b"tick-1", b"tick-2"]
+            assert all(sender == ProcessId(0) for sender, _ in adapter.received)
+
+    def test_clients_are_read_only(self):
+        cluster = SimCluster(UrcgcConfig(n=2), max_rounds=10)
+        client = DiffusionGroup(cluster.services[1], Role.CLIENT)
+        with pytest.raises(ProtocolError):
+            client.publish(b"nope")
+
+    def test_publication_callback(self):
+        seen = []
+        cluster = SimCluster(UrcgcConfig(n=2), max_rounds=40)
+        DiffusionGroup(
+            cluster.services[0], Role.SERVER,
+        )
+        publisher = DiffusionGroup(cluster.services[0], Role.SERVER)
+        DiffusionGroup(
+            cluster.services[1],
+            Role.CLIENT,
+            on_publication=lambda pid, body: seen.append((int(pid), body)),
+        )
+        publisher.publish(b"news")
+        cluster.run_until_quiescent(drain_subruns=2)
+        assert seen == [(0, b"news")]

@@ -1,0 +1,137 @@
+"""Unit tests for the history buffer."""
+
+import pytest
+
+from repro.core.history import History
+from repro.core.message import UserMessage
+from repro.core.mid import Mid
+from repro.errors import DuplicateMidError, HistoryOverflowError
+from repro.types import ProcessId, SeqNo
+
+
+def msg(origin, seq, deps=()):
+    return UserMessage(Mid(ProcessId(origin), SeqNo(seq)), tuple(deps))
+
+
+def test_store_and_get():
+    history = History()
+    message = msg(0, 1)
+    history.store(message)
+    assert history.get(message.mid) is message
+    assert history.contains(message.mid)
+    assert len(history) == 1
+
+
+def test_length_per_origin():
+    history = History()
+    history.store(msg(0, 1))
+    history.store(msg(0, 2, [Mid(ProcessId(0), SeqNo(1))]))
+    history.store(msg(1, 1))
+    assert history.length_of(ProcessId(0)) == 2
+    assert history.length_of(ProcessId(1)) == 1
+    assert history.length_of(ProcessId(9)) == 0
+
+
+def test_duplicate_store_rejected():
+    history = History()
+    history.store(msg(0, 1))
+    with pytest.raises(DuplicateMidError):
+        history.store(msg(0, 1))
+
+
+def test_max_seq_survives_cleaning():
+    history = History()
+    history.store(msg(0, 1))
+    history.store(msg(0, 2, [Mid(ProcessId(0), SeqNo(1))]))
+    history.clean(ProcessId(0), SeqNo(2))
+    assert history.max_seq(ProcessId(0)) == 2
+    assert len(history) == 0
+
+
+def test_clean_partial():
+    history = History()
+    for s in range(1, 5):
+        deps = [Mid(ProcessId(0), SeqNo(s - 1))] if s > 1 else []
+        history.store(msg(0, s, deps))
+    removed = history.clean(ProcessId(0), SeqNo(2))
+    assert removed == 2
+    assert not history.contains(Mid(ProcessId(0), SeqNo(2)))
+    assert history.contains(Mid(ProcessId(0), SeqNo(3)))
+    assert history.floor(ProcessId(0)) == 2
+
+
+def test_clean_is_monotone():
+    history = History()
+    history.store(msg(0, 1))
+    history.clean(ProcessId(0), SeqNo(1))
+    assert history.clean(ProcessId(0), SeqNo(1)) == 0  # idempotent
+    assert history.floor(ProcessId(0)) == 1
+
+
+def test_store_below_floor_rejected():
+    """A message that was already purged as stable must not re-enter."""
+    history = History()
+    history.store(msg(0, 1))
+    history.clean(ProcessId(0), SeqNo(1))
+    with pytest.raises(DuplicateMidError):
+        history.store(msg(0, 1))
+
+
+def test_fetch_range_returns_available_subset():
+    history = History()
+    history.store(msg(0, 1))
+    history.store(msg(0, 2, [Mid(ProcessId(0), SeqNo(1))]))
+    history.store(msg(0, 3, [Mid(ProcessId(0), SeqNo(2))]))
+    history.clean(ProcessId(0), SeqNo(1))
+    got = history.fetch_range(ProcessId(0), SeqNo(1), SeqNo(3))
+    assert [m.mid.seq for m in got] == [2, 3]
+
+
+def test_fetch_range_unknown_origin():
+    assert History().fetch_range(ProcessId(5), SeqNo(1), SeqNo(3)) == []
+
+
+def test_clean_vector():
+    history = History()
+    history.store(msg(0, 1))
+    history.store(msg(1, 1))
+    removed = history.clean_vector({ProcessId(0): SeqNo(1), ProcessId(1): SeqNo(0)})
+    assert removed == 1
+    assert history.contains(Mid(ProcessId(1), SeqNo(1)))
+
+
+def test_hard_cap_overflow():
+    history = History(max_length=2)
+    history.store(msg(0, 1))
+    history.store(msg(1, 1))
+    with pytest.raises(HistoryOverflowError):
+        history.store(msg(2, 1))
+
+
+def test_origins_and_all_messages_ordered():
+    history = History()
+    history.store(msg(1, 1))
+    history.store(msg(0, 1))
+    history.store(msg(0, 2, [Mid(ProcessId(0), SeqNo(1))]))
+    assert history.origins() == [ProcessId(0), ProcessId(1)]
+    mids = [m.mid for m in history.all_messages()]
+    assert mids == [
+        Mid(ProcessId(0), SeqNo(1)),
+        Mid(ProcessId(0), SeqNo(2)),
+        Mid(ProcessId(1), SeqNo(1)),
+    ]
+
+
+def test_require_returns_or_raises():
+    from repro.errors import UnknownMidError
+
+    history = History()
+    message = msg(0, 1)
+    history.store(message)
+    assert history.require(message.mid) is message
+    with pytest.raises(UnknownMidError):
+        history.require(Mid(ProcessId(0), SeqNo(9)))
+    # Purged-as-stable is also absent, with the floor in the message.
+    history.clean(ProcessId(0), SeqNo(1))
+    with pytest.raises(UnknownMidError, match="floor"):
+        history.require(message.mid)

@@ -1,0 +1,513 @@
+"""Unit tests for the Member engine (sans-IO, no network)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.config import LeaveRule, UrcgcConfig
+from repro.core.decision import RequestInfo, compute_decision, initial_decision
+from repro.core.effects import Confirm, Deliver, Discarded, Left, Send
+from repro.core.member import Member
+from repro.core.message import (
+    KIND_DATA,
+    KIND_DECISION,
+    KIND_RECOVERY_RQ,
+    KIND_REQUEST,
+    DecisionMessage,
+    RecoveryRequest,
+    RecoveryResponse,
+    RequestMessage,
+    UserMessage,
+)
+from repro.core.mid import Mid
+from repro.errors import MemberLeftError
+from repro.net.addressing import GroupAddress, UnicastAddress
+from repro.types import ProcessId, SeqNo, SubrunNo
+
+
+def m(origin, seq):
+    return Mid(ProcessId(origin), SeqNo(seq))
+
+
+def sends_of(effects, kind=None):
+    return [e for e in effects if isinstance(e, Send) and (kind is None or e.kind == kind)]
+
+
+def delivers_of(effects):
+    return [e.message for e in effects if isinstance(e, Deliver)]
+
+
+def make_member(pid=0, n=3, **kwargs):
+    return Member(ProcessId(pid), UrcgcConfig(n=n, **kwargs))
+
+
+class TestFirstRound:
+    def test_generation_broadcast_and_local_processing(self):
+        member = make_member(pid=1)
+        member.submit(b"hello")
+        effects = member.on_round(0)
+        data_sends = sends_of(effects, KIND_DATA)
+        assert len(data_sends) == 1
+        message = data_sends[0].message
+        assert isinstance(message, UserMessage)
+        assert message.mid == m(1, 1)
+        assert message.payload == b"hello"
+        assert isinstance(data_sends[0].dst, GroupAddress)
+        assert delivers_of(effects) == [message]
+        assert any(isinstance(e, Confirm) and e.mid == m(1, 1) for e in effects)
+
+    def test_request_sent_to_coordinator(self):
+        member = make_member(pid=1)
+        effects = member.on_round(0)  # subrun 0, coordinator p0
+        requests = sends_of(effects, KIND_REQUEST)
+        assert len(requests) == 1
+        assert requests[0].dst == UnicastAddress(ProcessId(0))
+        request = requests[0].message
+        assert isinstance(request, RequestMessage)
+        assert request.sender == 1
+        assert request.subrun == 0
+        assert request.decision == initial_decision(3)
+
+    def test_coordinator_does_not_send_request_to_itself(self):
+        member = make_member(pid=0)
+        effects = member.on_round(0)
+        assert sends_of(effects, KIND_REQUEST) == []
+
+    def test_one_generation_per_round(self):
+        member = make_member(pid=0)
+        member.submit(b"a")
+        member.submit(b"b")
+        effects = member.on_round(0)
+        assert len(sends_of(effects, KIND_DATA)) == 1
+        assert member.pending_submissions == 1
+
+    def test_request_reports_last_processed_and_waiting(self):
+        member = make_member(pid=1)
+        member.on_message(UserMessage(m(0, 1), ()))
+        member.on_message(UserMessage(m(2, 2), (m(2, 1),)))  # waits for m(2,1)
+        effects = member.on_round(0)
+        request = sends_of(effects, KIND_REQUEST)[0].message
+        assert request.info.last_processed == (1, 0, 0)
+        assert request.info.waiting == (0, 0, 2)
+
+
+class TestSecondRound:
+    def test_coordinator_broadcasts_decision(self):
+        member = make_member(pid=0)
+        member.on_round(0)
+        # Peer requests arrive before the decision round.
+        for peer in (1, 2):
+            request = RequestMessage(
+                ProcessId(peer),
+                SubrunNo(0),
+                RequestInfo((SeqNo(0),) * 3, (SeqNo(0),) * 3),
+                initial_decision(3),
+            )
+            member.on_message(request)
+        effects = member.on_round(1)
+        decisions = sends_of(effects, KIND_DECISION)
+        assert len(decisions) == 1
+        decision = decisions[0].message.decision
+        assert decision.full_group
+        assert decision.number == 0
+        assert member.latest_decision == decision
+
+    def test_non_coordinator_silent_in_second_round(self):
+        member = make_member(pid=1)
+        member.on_round(0)
+        assert member.on_round(1) == []
+
+    def test_partial_decision_without_all_requests(self):
+        member = make_member(pid=0)
+        member.on_round(0)
+        effects = member.on_round(1)  # only own state
+        decision = sends_of(effects, KIND_DECISION)[0].message.decision
+        assert not decision.full_group
+        assert decision.attempts == (0, 1, 1)
+
+
+class TestCausalDelivery:
+    def test_in_order_message_processed(self):
+        member = make_member(pid=0)
+        effects = member.on_message(UserMessage(m(1, 1), (), b"x"))
+        assert delivers_of(effects) == [UserMessage(m(1, 1), (), b"x")]
+
+    def test_out_of_order_waits(self):
+        member = make_member(pid=0)
+        effects = member.on_message(UserMessage(m(1, 2), (m(1, 1),)))
+        assert delivers_of(effects) == []
+        assert member.waiting_length == 1
+
+    def test_gap_release_in_causal_order(self):
+        member = make_member(pid=0)
+        member.on_message(UserMessage(m(1, 2), (m(1, 1),)))
+        effects = member.on_message(UserMessage(m(1, 1), ()))
+        assert [d.mid for d in delivers_of(effects)] == [m(1, 1), m(1, 2)]
+
+    def test_implicit_predecessor_dependency(self):
+        """Even without an explicit dep list, (o, s) waits for (o, s-1)."""
+        member = make_member(pid=0)
+        effects = member.on_message(UserMessage(m(1, 2), ()))
+        assert delivers_of(effects) == []
+        assert member.waiting_length == 1
+
+    def test_cross_origin_dependency(self):
+        member = make_member(pid=0)
+        member.on_message(UserMessage(m(2, 1), (m(1, 1),)))
+        assert member.waiting_length == 1
+        effects = member.on_message(UserMessage(m(1, 1), ()))
+        assert [d.mid for d in delivers_of(effects)] == [m(1, 1), m(2, 1)]
+
+    def test_duplicates_ignored(self):
+        member = make_member(pid=0)
+        member.on_message(UserMessage(m(1, 1), ()))
+        effects = member.on_message(UserMessage(m(1, 1), ()))
+        assert delivers_of(effects) == []
+        assert member.duplicate_count == 1
+
+    def test_duplicate_waiting_ignored(self):
+        member = make_member(pid=0)
+        member.on_message(UserMessage(m(1, 2), (m(1, 1),)))
+        member.on_message(UserMessage(m(1, 2), (m(1, 1),)))
+        assert member.waiting_length == 1
+        assert member.duplicate_count == 1
+
+    def test_processed_messages_enter_history(self):
+        member = make_member(pid=0)
+        member.on_message(UserMessage(m(1, 1), ()))
+        assert member.history.contains(m(1, 1))
+
+    def test_deliveries_feed_causal_context(self):
+        """Deps of the next generated message include processed peers."""
+        member = make_member(pid=0)
+        member.on_message(UserMessage(m(1, 1), ()))
+        member.submit(b"reply")
+        effects = member.on_round(0)
+        message = sends_of(effects, KIND_DATA)[0].message
+        assert m(1, 1) in message.deps
+
+
+class TestDecisionHandling:
+    def _decision(self, member, **overrides):
+        base = compute_decision(
+            SubrunNo(0),
+            ProcessId(0),
+            initial_decision(member.config.n),
+            {
+                ProcessId(i): RequestInfo(
+                    (SeqNo(0),) * member.config.n, (SeqNo(0),) * member.config.n
+                )
+                for i in range(member.config.n)
+            },
+            K=member.config.K,
+        )
+        return replace(base, **overrides)
+
+    def test_adopts_newer_decision(self):
+        member = make_member(pid=1)
+        decision = self._decision(member)
+        member.on_message(DecisionMessage(decision))
+        assert member.latest_decision == decision
+
+    def test_ignores_stale_decision(self):
+        member = make_member(pid=1)
+        newer = self._decision(member, number=SubrunNo(5), chain=2)
+        member.on_message(DecisionMessage(newer))
+        older = self._decision(member, number=SubrunNo(1), chain=1)
+        member.on_message(DecisionMessage(older))
+        assert member.latest_decision == newer
+
+    def test_suicide_when_presumed_dead(self):
+        member = make_member(pid=2)
+        decision = self._decision(
+            member, alive=(True, True, False), attempts=(0, 0, 3)
+        )
+        effects = member.on_message(DecisionMessage(decision))
+        left = [e for e in effects if isinstance(e, Left)]
+        assert len(left) == 1
+        assert "suicide" in left[0].reason
+        assert member.has_left
+
+    def test_membership_update(self):
+        member = make_member(pid=0)
+        decision = self._decision(member, alive=(True, False, True))
+        member.on_message(DecisionMessage(decision))
+        assert not member.view.is_alive(ProcessId(1))
+
+    def test_full_group_decision_cleans_history(self):
+        member = make_member(pid=0)
+        member.on_message(UserMessage(m(1, 1), ()))
+        decision = self._decision(
+            member, stable=(SeqNo(0), SeqNo(1), SeqNo(0)), full_group=True
+        )
+        member.on_message(DecisionMessage(decision))
+        assert not member.history.contains(m(1, 1))
+
+    def test_partial_decision_does_not_clean(self):
+        member = make_member(pid=0)
+        member.on_message(UserMessage(m(1, 1), ()))
+        decision = self._decision(
+            member, stable=(SeqNo(0), SeqNo(1), SeqNo(0)), full_group=False
+        )
+        member.on_message(DecisionMessage(decision))
+        assert member.history.contains(m(1, 1))
+
+    def test_recovery_requested_from_most_updated(self):
+        member = make_member(pid=0)
+        decision = self._decision(
+            member,
+            max_processed=(SeqNo(0), SeqNo(3), SeqNo(0)),
+            most_updated=(ProcessId(0), ProcessId(2), ProcessId(2)),
+        )
+        effects = member.on_message(DecisionMessage(decision))
+        recoveries = sends_of(effects, KIND_RECOVERY_RQ)
+        assert len(recoveries) == 1
+        assert recoveries[0].dst == UnicastAddress(ProcessId(2))
+        assert recoveries[0].message.ranges == ((ProcessId(1), SeqNo(1), SeqNo(3)),)
+
+    def test_no_recovery_when_up_to_date(self):
+        member = make_member(pid=0)
+        member.on_message(UserMessage(m(1, 1), ()))
+        decision = self._decision(
+            member,
+            max_processed=(SeqNo(0), SeqNo(1), SeqNo(0)),
+            most_updated=(ProcessId(0), ProcessId(1), ProcessId(2)),
+        )
+        effects = member.on_message(DecisionMessage(decision))
+        assert sends_of(effects, KIND_RECOVERY_RQ) == []
+
+    def test_recovery_budget_exhaustion_leaves(self):
+        member = make_member(pid=0, n=3, K=1, R=3)
+        for s in range(5):
+            decision = self._decision(
+                member,
+                number=SubrunNo(s),
+                chain=s + 1,
+                max_processed=(SeqNo(0), SeqNo(3), SeqNo(0)),
+                most_updated=(ProcessId(0), ProcessId(2), ProcessId(2)),
+            )
+            effects = member.on_message(DecisionMessage(decision))
+            if member.has_left:
+                break
+        assert member.has_left
+        assert "recovery" in member.left_reason
+
+
+class TestRecoveryServer:
+    def test_answers_from_history(self):
+        member = make_member(pid=0)
+        member.on_message(UserMessage(m(1, 1), (), b"a"))
+        member.on_message(UserMessage(m(1, 2), (m(1, 1),), b"b"))
+        effects = member.on_message(
+            RecoveryRequest(ProcessId(2), ((ProcessId(1), SeqNo(1), SeqNo(2)),))
+        )
+        responses = sends_of(effects)
+        assert len(responses) == 1
+        response = responses[0].message
+        assert isinstance(response, RecoveryResponse)
+        assert [u.mid for u in response.messages] == [m(1, 1), m(1, 2)]
+        assert responses[0].dst == UnicastAddress(ProcessId(2))
+
+    def test_partial_answer_for_missing_range(self):
+        member = make_member(pid=0)
+        member.on_message(UserMessage(m(1, 1), ()))
+        effects = member.on_message(
+            RecoveryRequest(ProcessId(2), ((ProcessId(1), SeqNo(1), SeqNo(5)),))
+        )
+        response = sends_of(effects)[0].message
+        assert [u.mid for u in response.messages] == [m(1, 1)]
+
+    def test_recovered_messages_processed_by_requester(self):
+        member = make_member(pid=0)
+        member.on_message(UserMessage(m(1, 3), (m(1, 2),)))
+        response = RecoveryResponse(
+            ProcessId(2),
+            (UserMessage(m(1, 1), ()), UserMessage(m(1, 2), (m(1, 1),))),
+        )
+        effects = member.on_message(response)
+        assert [d.mid for d in delivers_of(effects)] == [m(1, 1), m(1, 2), m(1, 3)]
+        assert member.waiting_length == 0
+
+
+class TestFlowControl:
+    def test_generation_blocked_at_threshold(self):
+        member = Member(ProcessId(0), UrcgcConfig(n=2, flow_threshold=2))
+        member.on_message(UserMessage(m(1, 1), ()))
+        member.on_message(UserMessage(m(1, 2), (m(1, 1),)))
+        member.submit(b"blocked")
+        effects = member.on_round(2)
+        assert sends_of(effects, KIND_DATA) == []
+        assert member.pending_submissions == 1
+        assert member.flow_blocked_rounds == 1
+
+    def test_generation_resumes_after_cleaning(self):
+        member = Member(ProcessId(0), UrcgcConfig(n=2, flow_threshold=2))
+        member.on_message(UserMessage(m(1, 1), ()))
+        member.on_message(UserMessage(m(1, 2), (m(1, 1),)))
+        member.submit(b"x")
+        member.on_round(2)
+        member.history.clean(ProcessId(1), SeqNo(2))
+        effects = member.on_round(4)
+        assert len(sends_of(effects, KIND_DATA)) == 1
+
+    def test_flow_control_disabled(self):
+        member = Member(ProcessId(0), UrcgcConfig(n=2, flow_threshold=0))
+        member.on_message(UserMessage(m(1, 1), ()))
+        member.submit(b"x")
+        effects = member.on_round(2)
+        assert len(sends_of(effects, KIND_DATA)) == 1
+
+
+class TestLeaveRules:
+    def test_confirmed_rule_on_chain_gap(self):
+        member = make_member(pid=1, n=3, K=2)
+        base = initial_decision(3)
+        late = replace(base, number=SubrunNo(5), chain=3, full_group=False)
+        effects = member.on_message(DecisionMessage(late))
+        assert member.has_left
+        assert any(isinstance(e, Left) for e in effects)
+
+    def test_confirmed_rule_tolerates_gap_below_k(self):
+        member = make_member(pid=1, n=3, K=3)
+        base = initial_decision(3)
+        late = replace(base, number=SubrunNo(5), chain=3, full_group=False)
+        member.on_message(DecisionMessage(late))
+        assert not member.has_left
+
+    def test_strict_rule_counts_missed_subruns(self):
+        # pid 2 is not the coordinator of subruns 0 or 1, so it can
+        # genuinely miss both decisions.
+        member = Member(ProcessId(2), UrcgcConfig(n=3, K=2, leave_rule=LeaveRule.STRICT))
+        member.on_round(0)
+        member.on_round(1)
+        member.on_round(2)  # subrun 1 begins: no decision for subrun 0 -> miss 1
+        member.on_round(3)
+        effects = member.on_round(4)  # miss 2 == K -> leave
+        assert member.has_left
+        assert any(isinstance(e, Left) for e in effects)
+
+    def test_strict_rule_reset_by_decision(self):
+        member = Member(ProcessId(1), UrcgcConfig(n=3, K=2, leave_rule=LeaveRule.STRICT))
+        member.on_round(0)
+        member.on_round(1)
+        member.on_round(2)  # miss 1
+        decision = compute_decision(
+            SubrunNo(1),
+            ProcessId(1),
+            initial_decision(3),
+            {ProcessId(1): RequestInfo((SeqNo(0),) * 3, (SeqNo(0),) * 3)},
+            K=2,
+        )
+        member.on_message(DecisionMessage(decision))
+        member.on_round(4)
+        member.on_round(6)
+        assert not member.has_left or member.left_reason is None
+
+    def test_none_rule_never_leaves(self):
+        member = Member(ProcessId(1), UrcgcConfig(n=3, K=1, leave_rule=LeaveRule.NONE))
+        base = initial_decision(3)
+        late = replace(base, number=SubrunNo(9), chain=9, full_group=False)
+        member.on_message(DecisionMessage(late))
+        assert not member.has_left
+
+
+class TestLifecycle:
+    def test_submit_after_leave_raises(self):
+        member = make_member(pid=2)
+        decision = replace(
+            initial_decision(3), number=SubrunNo(0), chain=1, alive=(True, True, False)
+        )
+        member.on_message(DecisionMessage(decision))
+        assert member.has_left
+        with pytest.raises(MemberLeftError):
+            member.submit(b"too late")
+
+    def test_left_member_ignores_rounds_and_messages(self):
+        member = make_member(pid=2)
+        decision = replace(
+            initial_decision(3), number=SubrunNo(0), chain=1, alive=(True, True, False)
+        )
+        member.on_message(DecisionMessage(decision))
+        assert member.on_round(2) == []
+        assert member.on_message(UserMessage(m(0, 1), ())) == []
+
+    def test_unknown_message_type_rejected(self):
+        member = make_member()
+        with pytest.raises(TypeError):
+            member.on_message("not a pdu")
+
+    def test_pid_bounds_checked(self):
+        from repro.errors import NotInGroupError
+
+        with pytest.raises(NotInGroupError):
+            Member(ProcessId(5), UrcgcConfig(n=3))
+
+
+class TestOrphanDiscard:
+    def test_waiting_tail_discarded(self):
+        member = make_member(pid=0)
+        # m(1,1) never arrives; m(1,2) and m(1,3) wait.
+        member.on_message(UserMessage(m(1, 2), (m(1, 1),)))
+        member.on_message(UserMessage(m(1, 3), (m(1, 2),)))
+        assert member.waiting_length == 2
+        decision = replace(
+            initial_decision(3),
+            number=SubrunNo(3),
+            chain=1,
+            alive=(True, False, True),
+            full_group=True,
+            max_processed=(SeqNo(0), SeqNo(0), SeqNo(0)),
+            min_waiting=(SeqNo(0), SeqNo(2), SeqNo(0)),
+        )
+        effects = member.on_message(DecisionMessage(decision))
+        discards = [e for e in effects if isinstance(e, Discarded)]
+        assert len(discards) == 1
+        assert discards[0].lost == m(1, 1)
+        assert set(discards[0].discarded) == {m(1, 2), m(1, 3)}
+        assert member.waiting_length == 0
+
+    def test_discarded_sequence_rejected_on_arrival(self):
+        member = make_member(pid=0)
+        decision = replace(
+            initial_decision(3),
+            number=SubrunNo(3),
+            chain=1,
+            alive=(True, False, True),
+            full_group=True,
+            min_waiting=(SeqNo(0), SeqNo(2), SeqNo(0)),
+        )
+        member.on_message(DecisionMessage(decision))
+        effects = member.on_message(UserMessage(m(1, 2), (m(1, 1),)))
+        assert delivers_of(effects) == []
+        assert member.waiting_length == 0
+
+    def test_no_discard_when_gap_recoverable(self):
+        """min_waiting == max_processed + 1 means no gap: the waiting
+        message is the next one and is recoverable."""
+        member = make_member(pid=0)
+        member.on_message(UserMessage(m(1, 2), (m(1, 1),)))
+        decision = replace(
+            initial_decision(3),
+            number=SubrunNo(3),
+            chain=1,
+            alive=(True, False, True),
+            full_group=True,
+            max_processed=(SeqNo(0), SeqNo(1), SeqNo(0)),
+            most_updated=(ProcessId(0), ProcessId(2), ProcessId(2)),
+            min_waiting=(SeqNo(0), SeqNo(2), SeqNo(0)),
+        )
+        member.on_message(DecisionMessage(decision))
+        assert member.waiting_length == 1  # still waiting, not discarded
+
+    def test_no_discard_for_alive_origin(self):
+        member = make_member(pid=0)
+        member.on_message(UserMessage(m(1, 2), (m(1, 1),)))
+        decision = replace(
+            initial_decision(3),
+            number=SubrunNo(3),
+            chain=1,
+            full_group=True,
+            min_waiting=(SeqNo(0), SeqNo(2), SeqNo(0)),
+        )
+        member.on_message(DecisionMessage(decision))
+        assert member.waiting_length == 1

@@ -1,0 +1,235 @@
+"""Edge-case tests for the Member engine: stale traffic, view
+divergence, fork rejection, and recovery corner cases."""
+
+from dataclasses import replace
+
+from repro.core.config import LeaveRule, UrcgcConfig
+from repro.core.decision import RequestInfo, compute_decision, initial_decision
+from repro.core.effects import Deliver, Send
+from repro.core.member import Member
+from repro.core.message import (
+    KIND_DECISION,
+    KIND_RECOVERY_RQ,
+    DecisionMessage,
+    RecoveryRequest,
+    RequestMessage,
+    UserMessage,
+)
+from repro.core.mid import Mid
+from repro.net.addressing import UnicastAddress
+from repro.types import ProcessId, SeqNo, SubrunNo
+
+
+def m(origin, seq):
+    return Mid(ProcessId(origin), SeqNo(seq))
+
+
+def sends_of(effects, kind=None):
+    return [e for e in effects if isinstance(e, Send) and (kind is None or e.kind == kind)]
+
+
+def zero_info(n):
+    return RequestInfo((SeqNo(0),) * n, (SeqNo(0),) * n)
+
+
+def make_decision(n, *, number, chain, **overrides):
+    return replace(
+        initial_decision(n), number=SubrunNo(number), chain=chain, **overrides
+    )
+
+
+class TestStaleTraffic:
+    def test_stale_request_ignored_by_coordinator(self):
+        member = Member(ProcessId(0), UrcgcConfig(n=3))
+        member.on_round(0)
+        member.on_round(1)
+        member.on_round(6)  # subrun 3 — p0 is coordinator again
+        stale = RequestMessage(
+            ProcessId(1), SubrunNo(0), zero_info(3), initial_decision(3)
+        )
+        member.on_message(stale)
+        effects = member.on_round(7)
+        decision = sends_of(effects, KIND_DECISION)[0].message.decision
+        # Only the coordinator's own state contributed.
+        assert decision.contributors == (True, False, False)
+
+    def test_request_for_wrong_coordinator_ignored(self):
+        """A request addressed by a diverged view to a non-coordinator
+        is dropped (but its circulated decision is still adopted)."""
+        member = Member(ProcessId(2), UrcgcConfig(n=3))
+        member.on_round(0)
+        newer = make_decision(3, number=0, chain=1)
+        request = RequestMessage(ProcessId(1), SubrunNo(0), zero_info(3), newer)
+        member.on_message(request)
+        assert member.latest_decision == newer  # circulation worked
+        # p2 is not subrun 0's coordinator: no decision is produced.
+        assert sends_of(member.on_round(1), KIND_DECISION) == []
+
+    def test_duplicate_decision_idempotent(self):
+        member = Member(ProcessId(1), UrcgcConfig(n=3))
+        decision = make_decision(3, number=0, chain=1)
+        member.on_message(DecisionMessage(decision))
+        effects = member.on_message(DecisionMessage(decision))
+        assert effects == []
+
+
+class TestForkRejection:
+    # K is large so the synthetic chain jump from the initial decision
+    # does not trigger the confirmed leave rule.
+    def _member(self):
+        return Member(ProcessId(1), UrcgcConfig(n=3, K=10))
+
+    def test_same_chain_longer_number_rejected(self):
+        member = self._member()
+        good = make_decision(3, number=3, chain=4)
+        member.on_message(DecisionMessage(good))
+        fork = make_decision(3, number=7, chain=4, alive=(True, False, False))
+        member.on_message(DecisionMessage(fork))
+        assert member.latest_decision == good
+        assert member.forked_decisions_rejected == 1
+        assert member.view.is_alive(ProcessId(1))
+
+    def test_fork_with_shorter_chain_rejected(self):
+        member = self._member()
+        member.on_message(DecisionMessage(make_decision(3, number=3, chain=4)))
+        fork = make_decision(3, number=9, chain=2, alive=(False, False, True))
+        member.on_message(DecisionMessage(fork))
+        assert not member.has_left
+
+    def test_proper_extension_accepted(self):
+        member = self._member()
+        member.on_message(DecisionMessage(make_decision(3, number=3, chain=4)))
+        extension = make_decision(3, number=4, chain=5)
+        member.on_message(DecisionMessage(extension))
+        assert member.latest_decision == extension
+
+
+class TestRecoveryCorners:
+    def test_recovery_not_sent_to_dead_holder(self):
+        member = Member(ProcessId(0), UrcgcConfig(n=3))
+        decision = make_decision(
+            3,
+            number=0,
+            chain=1,
+            alive=(True, True, False),
+            max_processed=(SeqNo(0), SeqNo(0), SeqNo(4)),
+            most_updated=(ProcessId(0), ProcessId(1), ProcessId(2)),
+        )
+        effects = member.on_message(DecisionMessage(decision))
+        # The only claimed holder (p2) is dead: no recovery request.
+        assert sends_of(effects, KIND_RECOVERY_RQ) == []
+
+    def test_recovery_attempts_reset_on_progress(self):
+        member = Member(ProcessId(0), UrcgcConfig(n=3, K=1, R=3))
+        for s in range(2):
+            decision = make_decision(
+                3,
+                number=s,
+                chain=s + 1,
+                max_processed=(SeqNo(0), SeqNo(2), SeqNo(0)),
+                most_updated=(ProcessId(0), ProcessId(1), ProcessId(1)),
+            )
+            member.on_message(DecisionMessage(decision))
+        # Progress arrives: m(1,1) and m(1,2) recovered.
+        member.on_message(UserMessage(m(1, 1), ()))
+        member.on_message(UserMessage(m(1, 2), (m(1, 1),)))
+        # Subsequent decisions pointing at a new gap start fresh.
+        for s in range(2, 5):
+            decision = make_decision(
+                3,
+                number=s,
+                chain=s + 1,
+                max_processed=(SeqNo(0), SeqNo(3), SeqNo(0)),
+                most_updated=(ProcessId(0), ProcessId(1), ProcessId(1)),
+            )
+            member.on_message(DecisionMessage(decision))
+        assert not member.has_left
+
+    def test_recovery_range_respects_discard_mark(self):
+        member = Member(ProcessId(0), UrcgcConfig(n=3))
+        # Orphan-discard origin 2 beyond seq 0.
+        discard = make_decision(
+            3,
+            number=0,
+            chain=1,
+            alive=(True, True, False),
+            full_group=True,
+            min_waiting=(SeqNo(0), SeqNo(0), SeqNo(2)),
+        )
+        member.on_message(DecisionMessage(discard))
+        # A later (stale-information) decision claims p1 holds m(2,4).
+        stale_claim = make_decision(
+            3,
+            number=1,
+            chain=2,
+            alive=(True, True, False),
+            max_processed=(SeqNo(0), SeqNo(0), SeqNo(4)),
+            most_updated=(ProcessId(0), ProcessId(1), ProcessId(1)),
+        )
+        effects = member.on_message(DecisionMessage(stale_claim))
+        # Everything >= the discard mark is excluded from recovery.
+        assert sends_of(effects, KIND_RECOVERY_RQ) == []
+
+    def test_empty_recovery_response_sent_for_unknown_range(self):
+        member = Member(ProcessId(0), UrcgcConfig(n=3))
+        effects = member.on_message(
+            RecoveryRequest(ProcessId(1), ((ProcessId(2), SeqNo(1), SeqNo(5)),))
+        )
+        responses = sends_of(effects)
+        assert len(responses) == 1
+        assert responses[0].message.messages == ()
+        assert responses[0].dst == UnicastAddress(ProcessId(1))
+
+
+class TestCoordinatorRotationWithFailures:
+    def test_member_takes_over_when_predecessors_removed(self):
+        """With p0 and p1 removed, p2 coordinates subruns 0 and 1."""
+        member = Member(ProcessId(2), UrcgcConfig(n=3))
+        decision = make_decision(
+            3, number=0, chain=1, alive=(False, False, True)
+        )
+        member.on_message(DecisionMessage(decision))
+        effects = member.on_round(2)  # subrun 1 (rotation position p1)
+        assert sends_of(effects, "ctrl-request") == []  # self-coordinated
+        effects = member.on_round(3)
+        assert len(sends_of(effects, KIND_DECISION)) == 1
+
+    def test_strict_rule_excuses_known_crashed_coordinator(self):
+        member = Member(
+            ProcessId(2), UrcgcConfig(n=4, K=2, leave_rule=LeaveRule.STRICT)
+        )
+        # p2 learns p1 (subrun 1's coordinator) already crashed.
+        decision = make_decision(
+            4, number=0, chain=1, alive=(True, False, True, True)
+        )
+        member.on_message(DecisionMessage(decision))
+        member.on_round(2)
+        member.on_round(3)
+        member.on_round(4)  # missed subrun 1... but wait:
+        # with p1 removed, subrun 1's coordinator is p2 itself, so no
+        # miss is counted and the member stays.
+        assert not member.has_left
+
+
+class TestFullGroupBookkeeping:
+    def test_full_group_counter(self):
+        member = Member(ProcessId(1), UrcgcConfig(n=2))
+        member.on_message(
+            DecisionMessage(
+                compute_decision(
+                    SubrunNo(0),
+                    ProcessId(0),
+                    initial_decision(2),
+                    {ProcessId(0): zero_info(2), ProcessId(1): zero_info(2)},
+                    K=3,
+                )
+            )
+        )
+        assert member.full_group_decisions_seen == 1
+
+    def test_deliver_effects_only_once_per_message(self):
+        member = Member(ProcessId(0), UrcgcConfig(n=2))
+        first = member.on_message(UserMessage(m(1, 1), ()))
+        again = member.on_message(UserMessage(m(1, 1), ()))
+        assert sum(isinstance(e, Deliver) for e in first) == 1
+        assert sum(isinstance(e, Deliver) for e in again) == 0

@@ -1,0 +1,76 @@
+"""Tests for membership-change notifications."""
+
+from dataclasses import replace
+
+from repro.core.config import UrcgcConfig
+from repro.core.decision import initial_decision
+from repro.core.effects import MembershipChange
+from repro.core.member import Member
+from repro.core.message import DecisionMessage
+from repro.core.service import UrcgcService
+from repro.harness.cluster import SimCluster
+from repro.types import ProcessId, SubrunNo
+from repro.workloads.generators import FixedBudgetWorkload
+from repro.workloads.scenarios import crashes
+
+
+def make_decision(n, number, chain, alive):
+    return replace(
+        initial_decision(n),
+        number=SubrunNo(number),
+        chain=chain,
+        alive=tuple(alive),
+    )
+
+
+def test_membership_change_effect_on_removal():
+    member = Member(ProcessId(0), UrcgcConfig(n=3))
+    decision = make_decision(3, 0, 1, [True, False, True])
+    effects = member.on_message(DecisionMessage(decision))
+    changes = [e for e in effects if isinstance(e, MembershipChange)]
+    assert len(changes) == 1
+    assert changes[0].removed == (1,)
+    assert changes[0].alive == (True, False, True)
+
+
+def test_no_effect_without_removal():
+    member = Member(ProcessId(0), UrcgcConfig(n=3))
+    decision = make_decision(3, 0, 1, [True, True, True])
+    effects = member.on_message(DecisionMessage(decision))
+    assert not any(isinstance(e, MembershipChange) for e in effects)
+
+
+def test_repeat_decision_does_not_renotify():
+    member = Member(ProcessId(0), UrcgcConfig(n=3))
+    member.on_message(DecisionMessage(make_decision(3, 0, 1, [True, False, True])))
+    effects = member.on_message(
+        DecisionMessage(make_decision(3, 1, 2, [True, False, True]))
+    )
+    assert not any(isinstance(e, MembershipChange) for e in effects)
+
+
+def test_service_callback_and_log():
+    notified = []
+    member = Member(ProcessId(0), UrcgcConfig(n=3))
+    service = UrcgcService(member, on_membership=notified.append)
+    service.dispatch(
+        member.on_message(DecisionMessage(make_decision(3, 0, 1, [True, False, True])))
+    )
+    assert len(notified) == 1
+    assert service.membership_changes == notified
+
+
+def test_cluster_wide_view_change_after_crash():
+    n = 4
+    pids = [ProcessId(i) for i in range(n)]
+    cluster = SimCluster(
+        UrcgcConfig(n=n, K=2),
+        workload=FixedBudgetWorkload(pids, total=16),
+        faults=crashes({ProcessId(3): 2.0}),
+        max_rounds=120,
+    )
+    cluster.run_until_quiescent(drain_subruns=3)
+    for pid in cluster.active_pids():
+        changes = cluster.services[pid].membership_changes
+        assert len(changes) == 1
+        assert changes[0].removed == (3,)

@@ -1,0 +1,134 @@
+"""Unit tests for the urcgc PDU codecs."""
+
+import pytest
+
+from repro.core.decision import RequestInfo, initial_decision
+from repro.core.message import (
+    DecisionMessage,
+    RecoveryRequest,
+    RecoveryResponse,
+    RequestMessage,
+    UserMessage,
+)
+from repro.core.mid import Mid
+from repro.errors import WireFormatError
+from repro.net.wire import decode_message, encode_message
+from repro.types import ProcessId, SeqNo, SubrunNo
+
+
+def m(origin, seq):
+    return Mid(ProcessId(origin), SeqNo(seq))
+
+
+def roundtrip(message):
+    return decode_message(encode_message(message))
+
+
+class TestUserMessage:
+    def test_roundtrip(self):
+        message = UserMessage(m(1, 2), (m(1, 1), m(0, 5)), b"payload")
+        assert roundtrip(message) == message
+
+    def test_empty_payload_and_deps(self):
+        message = UserMessage(m(0, 1), ())
+        assert roundtrip(message) == message
+
+    def test_invalid_deps_rejected_at_construction(self):
+        from repro.errors import CausalityViolationError
+
+        with pytest.raises(CausalityViolationError):
+            UserMessage(m(0, 1), (m(0, 1),))
+
+    def test_size_grows_with_deps(self):
+        small = encode_message(UserMessage(m(0, 2), (m(0, 1),)))
+        large = encode_message(UserMessage(m(0, 2), (m(0, 1), m(1, 4), m(2, 9))))
+        assert len(large) == len(small) + 2 * 6  # 6 bytes per mid
+
+
+class TestDecisionMessage:
+    def test_roundtrip_initial(self):
+        message = DecisionMessage(initial_decision(5))
+        assert roundtrip(message) == message
+
+    def test_roundtrip_rich(self):
+        base = initial_decision(3)
+        from dataclasses import replace
+
+        decision = replace(
+            base,
+            number=SubrunNo(7),
+            chain=8,
+            coordinator=ProcessId(1),
+            alive=(True, False, True),
+            attempts=(0, 3, 1),
+            stable=(SeqNo(4), SeqNo(0), SeqNo(2)),
+            contributors=(True, False, True),
+            full_group=False,
+            max_processed=(SeqNo(9), SeqNo(1), SeqNo(2)),
+            most_updated=(ProcessId(2), ProcessId(0), ProcessId(2)),
+            min_waiting=(SeqNo(5), SeqNo(0), SeqNo(0)),
+        )
+        assert roundtrip(DecisionMessage(decision)) == DecisionMessage(decision)
+
+    def test_size_linear_in_n(self):
+        """Decision size must be O(n) — the Table 1 property."""
+        size10 = len(encode_message(DecisionMessage(initial_decision(10))))
+        size20 = len(encode_message(DecisionMessage(initial_decision(20))))
+        size40 = len(encode_message(DecisionMessage(initial_decision(40))))
+        assert (size40 - size20) == pytest.approx(2 * (size20 - size10), abs=4)
+
+
+class TestRequestMessage:
+    def test_roundtrip(self):
+        info = RequestInfo(
+            (SeqNo(1), SeqNo(2), SeqNo(0)), (SeqNo(0), SeqNo(4), SeqNo(0))
+        )
+        message = RequestMessage(ProcessId(2), SubrunNo(5), info, initial_decision(3))
+        assert roundtrip(message) == message
+
+    def test_fits_in_ip_datagram_for_n15(self):
+        """Paper: 'a message that urcgc generates for a group of 15
+        processes fits into a single IP datagram packet (576 bytes)'."""
+        n = 15
+        info = RequestInfo(
+            tuple(SeqNo(i) for i in range(n)), tuple(SeqNo(0) for _ in range(n))
+        )
+        message = RequestMessage(ProcessId(0), SubrunNo(9), info, initial_decision(n))
+        assert len(encode_message(message)) <= 576
+
+    def test_fits_in_ethernet_frame_for_n40(self):
+        n = 40
+        info = RequestInfo(
+            tuple(SeqNo(i) for i in range(n)), tuple(SeqNo(0) for _ in range(n))
+        )
+        message = RequestMessage(ProcessId(0), SubrunNo(9), info, initial_decision(n))
+        assert len(encode_message(message)) <= 1500
+
+
+class TestRecoveryMessages:
+    def test_request_roundtrip(self):
+        message = RecoveryRequest(
+            ProcessId(1), ((ProcessId(0), SeqNo(2), SeqNo(5)),)
+        )
+        assert roundtrip(message) == message
+
+    def test_request_bad_range_rejected(self):
+        with pytest.raises(WireFormatError):
+            RecoveryRequest(ProcessId(1), ((ProcessId(0), SeqNo(5), SeqNo(2)),))
+
+    def test_response_roundtrip(self):
+        messages = (
+            UserMessage(m(0, 1), (), b"a"),
+            UserMessage(m(0, 2), (m(0, 1),), b"b"),
+        )
+        message = RecoveryResponse(ProcessId(2), messages)
+        assert roundtrip(message) == message
+
+    def test_empty_response(self):
+        message = RecoveryResponse(ProcessId(2), ())
+        assert roundtrip(message) == message
+
+
+def test_garbage_rejected():
+    with pytest.raises(WireFormatError):
+        decode_message(b"\xfe\x00\x01")

@@ -1,0 +1,43 @@
+"""Unit tests for message identifiers."""
+
+import pytest
+
+from repro.core.mid import Mid, NO_MESSAGE
+from repro.errors import CausalityViolationError
+from repro.types import ProcessId, SeqNo
+
+
+def test_ordering_within_origin():
+    assert Mid(ProcessId(0), SeqNo(1)) < Mid(ProcessId(0), SeqNo(2))
+
+
+def test_equality_and_hash():
+    a = Mid(ProcessId(1), SeqNo(3))
+    b = Mid(ProcessId(1), SeqNo(3))
+    assert a == b
+    assert hash(a) == hash(b)
+    assert len({a, b}) == 1
+
+
+def test_predecessor():
+    assert Mid(ProcessId(0), SeqNo(2)).predecessor == Mid(ProcessId(0), SeqNo(1))
+    assert Mid(ProcessId(0), SeqNo(1)).predecessor is None
+
+
+def test_seq_must_be_positive():
+    with pytest.raises(CausalityViolationError):
+        Mid(ProcessId(0), SeqNo(0))
+
+
+def test_origin_must_be_nonnegative():
+    with pytest.raises(CausalityViolationError):
+        Mid(ProcessId(-1), SeqNo(1))
+
+
+def test_no_message_sentinel_below_all_seqs():
+    assert NO_MESSAGE == 0
+    assert Mid(ProcessId(0), SeqNo(1)).seq > NO_MESSAGE
+
+
+def test_str():
+    assert str(Mid(ProcessId(2), SeqNo(5))) == "m(2,5)"

@@ -1,0 +1,141 @@
+"""Unit tests for the urcgc service access point."""
+
+from repro.core.config import UrcgcConfig
+from repro.core.member import Member
+from repro.core.mid import Mid
+from repro.core.service import UrcgcService
+from repro.core.message import UserMessage
+from repro.types import ProcessId, SeqNo
+
+
+def m(origin, seq):
+    return Mid(ProcessId(origin), SeqNo(seq))
+
+
+def make_service(pid=0, n=3, **kwargs):
+    member = Member(ProcessId(pid), UrcgcConfig(n=n))
+    return UrcgcService(member, **kwargs), member
+
+
+def test_data_rq_confirms_after_round():
+    service, member = make_service()
+    handle = service.data_rq(b"payload")
+    assert not handle.confirmed
+    service.dispatch(member.on_round(0))
+    assert handle.confirmed
+    assert handle.mid == m(0, 1)
+
+
+def test_confirm_callback_invoked():
+    confirmed = []
+    service, member = make_service(on_confirm=confirmed.append)
+    handle = service.data_rq(b"x")
+    service.dispatch(member.on_round(0))
+    assert confirmed == [handle]
+
+
+def test_confirms_are_fifo():
+    service, member = make_service()
+    first = service.data_rq(b"a")
+    second = service.data_rq(b"b")
+    service.dispatch(member.on_round(0))
+    assert first.confirmed and not second.confirmed
+    service.dispatch(member.on_round(2))
+    assert second.confirmed
+    assert first.mid.seq < second.mid.seq
+
+
+def test_indication_callback():
+    indications = []
+    service, member = make_service(on_indication=indications.append)
+    message = UserMessage(m(1, 1), (), b"from peer")
+    service.dispatch(member.on_message(message))
+    assert indications == [message]
+    assert service.delivered == [message]
+
+
+def test_own_messages_also_indicated():
+    """The sender processes (and is Ind-notified of) its own message."""
+    indications = []
+    service, member = make_service(on_indication=indications.append)
+    service.data_rq(b"mine")
+    service.dispatch(member.on_round(0))
+    assert [i.mid for i in indications] == [m(0, 1)]
+
+
+def test_dispatch_returns_sends_only():
+    from repro.core.effects import Send
+
+    service, member = make_service()
+    service.data_rq(b"x")
+    sends = service.dispatch(member.on_round(0))
+    assert sends
+    assert all(isinstance(s, Send) for s in sends)
+
+
+def test_leave_callback():
+    from dataclasses import replace
+
+    from repro.core.decision import initial_decision
+    from repro.core.message import DecisionMessage
+    from repro.types import SubrunNo
+
+    reasons = []
+    service, member = make_service(pid=2, on_leave=reasons.append)
+    decision = replace(
+        initial_decision(3), number=SubrunNo(0), chain=1, alive=(True, True, False)
+    )
+    service.dispatch(member.on_message(DecisionMessage(decision)))
+    assert len(reasons) == 1
+    assert "suicide" in reasons[0]
+
+
+def test_discarded_mids_recorded():
+    from dataclasses import replace
+
+    from repro.core.decision import initial_decision
+    from repro.core.message import DecisionMessage
+    from repro.types import SubrunNo
+
+    service, member = make_service(pid=0)
+    service.dispatch(member.on_message(UserMessage(m(1, 2), (m(1, 1),))))
+    decision = replace(
+        initial_decision(3),
+        number=SubrunNo(3),
+        chain=1,
+        alive=(True, False, True),
+        full_group=True,
+        min_waiting=(SeqNo(0), SeqNo(2), SeqNo(0)),
+    )
+    service.dispatch(member.on_message(DecisionMessage(decision)))
+    assert service.discarded_mids == [m(1, 2)]
+
+
+def test_try_data_rq_refuses_instead_of_queueing():
+    from repro.errors import FlowControlBlocked
+
+    service, member = make_service()
+    first = service.try_data_rq(b"a")
+    # A second immediate request would queue: refused instead.
+    import pytest as _pytest
+
+    with _pytest.raises(FlowControlBlocked, match="queued"):
+        service.try_data_rq(b"b")
+    service.dispatch(member.on_round(0))
+    assert first.confirmed
+    # Queue drained: accepted again.
+    service.try_data_rq(b"c")
+
+
+def test_try_data_rq_refuses_under_flow_control():
+    from repro.core.config import UrcgcConfig
+    from repro.core.member import Member
+    from repro.errors import FlowControlBlocked
+
+    member = Member(ProcessId(0), UrcgcConfig(n=2, flow_threshold=1))
+    service = UrcgcService(member)
+    service.dispatch(member.on_message(UserMessage(m(1, 1), ())))
+    import pytest as _pytest
+
+    with _pytest.raises(FlowControlBlocked, match="flow control"):
+        service.try_data_rq(b"x")

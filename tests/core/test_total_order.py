@@ -1,0 +1,121 @@
+"""Tests for the total-order (urgc-style) layer."""
+
+import random
+
+from repro.core.config import UrcgcConfig
+from repro.core.total_order import attach_total_order
+from repro.harness.cluster import SimCluster
+from repro.types import ProcessId
+from repro.workloads.generators import BernoulliWorkload, FixedBudgetWorkload
+from repro.workloads.scenarios import crashes, omission, reliable
+
+
+def pids(n):
+    return [ProcessId(i) for i in range(n)]
+
+
+def run_cluster(n=4, total=16, faults=None, seed=0, max_rounds=300, **cfg):
+    cluster = SimCluster(
+        UrcgcConfig(n=n, **cfg),
+        workload=FixedBudgetWorkload(pids(n), total=total),
+        faults=faults or reliable(),
+        max_rounds=max_rounds,
+        seed=seed,
+    )
+    views = attach_total_order(cluster)
+    cluster.run_until_quiescent(drain_subruns=4)
+    return cluster, views
+
+
+def test_identical_total_order_everywhere():
+    cluster, views = run_cluster(n=4, total=20)
+    orders = {tuple(m.mid for m in v.ordered) for v in views}
+    assert len(orders) == 1
+    assert len(views[0].ordered) == 20
+
+
+def test_total_order_extends_causal_order():
+    cluster, views = run_cluster(n=4, total=20)
+    for view in views:
+        seen = set()
+        for message in view.ordered:
+            for dep in message.deps:
+                assert dep in seen, f"{message.mid} ordered before dep {dep}"
+            seen.add(message.mid)
+
+
+def test_total_order_lags_causal_delivery():
+    """Release waits for stability: the total order trails the causal
+    stream but contains the same messages at quiescence."""
+    cluster, views = run_cluster(n=3, total=9)
+    for i, view in enumerate(views):
+        causal = [m.mid for m in cluster.services[i].delivered]
+        assert {m.mid for m in view.ordered} == set(causal)
+
+
+def test_total_order_survives_crash():
+    cluster, views = run_cluster(
+        n=5, total=30, faults=crashes({ProcessId(4): 2.0}), K=2
+    )
+    survivors = [views[p] for p in cluster.active_pids()]
+    orders = {tuple(m.mid for m in v.ordered) for v in survivors}
+    assert len(orders) == 1
+    assert not any(v.desynchronized for v in survivors)
+
+
+def test_total_order_under_omission_or_flagged():
+    """Under loss, every member either releases the same order or
+    honestly flags desynchronization (never a silent divergence)."""
+    cluster = SimCluster(
+        UrcgcConfig(n=5, K=3),
+        workload=BernoulliWorkload(
+            pids(5), 0.6, rng=random.Random(5), stop_after_round=20
+        ),
+        faults=omission(pids(5), 40, rng=random.Random(5)),
+        max_rounds=600,
+        seed=5,
+    )
+    views = attach_total_order(cluster)
+    cluster.run_until_quiescent(drain_subruns=6)
+    healthy = [
+        v for p, v in enumerate(views)
+        if cluster.is_active(ProcessId(p)) and not v.desynchronized
+    ]
+    orders = {tuple(m.mid for m in v.ordered) for v in healthy}
+    assert len(orders) <= 1  # all synchronized members agree exactly
+
+
+def test_order_rank_lookup():
+    cluster, views = run_cluster(n=3, total=6)
+    view = views[0]
+    first = view.ordered[0]
+    assert view.order_rank(first.mid) == 0
+    from repro.core.mid import Mid
+    from repro.types import SeqNo
+
+    assert view.order_rank(Mid(ProcessId(0), SeqNo(999))) is None
+
+
+def test_desynchronization_detection():
+    """Force a member to miss one full-group decision: it must flag
+    itself rather than release a divergent order."""
+    from repro.net.faults import FaultPlan
+
+    n = 4
+    faults = FaultPlan()
+    # p3 misses exactly the decision broadcast of subrun 1.
+    faults.custom_receive_filter = lambda packet, dst, now: (
+        dst == 3 and packet.kind == "ctrl-decision" and 1.4 < now < 2.1
+    )
+    cluster = SimCluster(
+        UrcgcConfig(n=n, K=3),
+        workload=FixedBudgetWorkload(pids(n), total=16),
+        faults=faults,
+        max_rounds=200,
+    )
+    views = attach_total_order(cluster)
+    cluster.run_until_quiescent(drain_subruns=4)
+    assert views[3].desynchronized
+    # The others still agree on one order.
+    orders = {tuple(m.mid for m in views[p].ordered) for p in range(3)}
+    assert len(orders) == 1

@@ -1,0 +1,135 @@
+"""Unit tests for the waiting list."""
+
+import pytest
+
+from repro.core.message import UserMessage
+from repro.core.mid import Mid
+from repro.core.waiting import WaitingList
+from repro.errors import DuplicateMidError
+from repro.types import ProcessId, SeqNo
+
+
+def m(origin, seq):
+    return Mid(ProcessId(origin), SeqNo(seq))
+
+
+def msg(origin, seq, deps=()):
+    return UserMessage(m(origin, seq), tuple(deps))
+
+
+def test_add_and_release_single_blocker():
+    waiting = WaitingList()
+    blocked = msg(1, 2, [m(1, 1)])
+    waiting.add(blocked, {m(1, 1)})
+    assert m(1, 2) in waiting
+    released = waiting.notify_processed(m(1, 1))
+    assert released == [blocked]
+    assert len(waiting) == 0
+
+
+def test_release_requires_all_blockers():
+    waiting = WaitingList()
+    blocked = msg(2, 1, [m(0, 1), m(1, 1)])
+    waiting.add(blocked, {m(0, 1), m(1, 1)})
+    assert waiting.notify_processed(m(0, 1)) == []
+    assert waiting.notify_processed(m(1, 1)) == [blocked]
+
+
+def test_one_blocker_releases_many():
+    waiting = WaitingList()
+    a = msg(1, 1, [m(0, 1)])
+    b = msg(2, 1, [m(0, 1)])
+    waiting.add(a, {m(0, 1)})
+    waiting.add(b, {m(0, 1)})
+    released = waiting.notify_processed(m(0, 1))
+    assert released == [a, b]  # mid order
+
+
+def test_add_without_missing_rejected():
+    waiting = WaitingList()
+    with pytest.raises(ValueError):
+        waiting.add(msg(0, 1), set())
+
+
+def test_duplicate_add_rejected():
+    waiting = WaitingList()
+    waiting.add(msg(1, 2), {m(1, 1)})
+    with pytest.raises(DuplicateMidError):
+        waiting.add(msg(1, 2), {m(1, 1)})
+
+
+def test_notify_unknown_mid_is_noop():
+    waiting = WaitingList()
+    assert waiting.notify_processed(m(9, 9)) == []
+
+
+def test_oldest_waiting_per_origin():
+    waiting = WaitingList()
+    waiting.add(msg(0, 3), {m(0, 2)})
+    waiting.add(msg(0, 5), {m(0, 4)})
+    waiting.add(msg(1, 2), {m(1, 1)})
+    assert waiting.oldest_waiting() == {ProcessId(0): 3, ProcessId(1): 2}
+
+
+def test_missing_for():
+    waiting = WaitingList()
+    waiting.add(msg(0, 2), {m(0, 1), m(1, 1)})
+    assert waiting.missing_for(m(0, 2)) == {m(0, 1), m(1, 1)}
+    assert waiting.missing_for(m(9, 9)) == set()
+
+
+def test_all_missing():
+    waiting = WaitingList()
+    waiting.add(msg(0, 2), {m(0, 1)})
+    waiting.add(msg(1, 3), {m(1, 2), m(0, 1)})
+    assert waiting.all_missing() == {m(0, 1), m(1, 2)}
+
+
+def test_discard_dependent_direct():
+    waiting = WaitingList()
+    victim = msg(0, 2, [m(0, 1)])
+    survivor = msg(1, 2, [m(1, 1)])
+    waiting.add(victim, {m(0, 1)})
+    waiting.add(survivor, {m(1, 1)})
+    discarded = waiting.discard_dependent(m(0, 1))
+    assert discarded == [m(0, 2)]
+    assert m(1, 2) in waiting
+
+
+def test_discard_dependent_transitive():
+    """Discarding a lost message removes the whole dependent chain."""
+    waiting = WaitingList()
+    # Chain: lost m(0,1) <- m(0,2) <- m(0,3); plus m(1,2) depending on m(0,2).
+    waiting.add(msg(0, 2, [m(0, 1)]), {m(0, 1)})
+    waiting.add(msg(0, 3, [m(0, 2)]), {m(0, 2)})
+    dependent = msg(1, 2, [m(1, 1), m(0, 2)])
+    waiting.add(dependent, {m(1, 1), m(0, 2)})
+    discarded = waiting.discard_dependent(m(0, 1))
+    assert set(discarded) == {m(0, 2), m(0, 3), m(1, 2)}
+    assert len(waiting) == 0
+
+
+def test_discard_same_origin_later_seq():
+    """Sequence contiguity: later messages of the lost origin die too,
+    even if their explicit missing-set does not name the lost mid."""
+    waiting = WaitingList()
+    waiting.add(msg(0, 5, [m(0, 4)]), {m(0, 4)})
+    discarded = waiting.discard_dependent(m(0, 3))
+    assert discarded == [m(0, 5)]
+
+
+def test_discard_cleans_blocker_index():
+    waiting = WaitingList()
+    waiting.add(msg(0, 2, [m(0, 1)]), {m(0, 1)})
+    waiting.discard_dependent(m(0, 1))
+    # The blocker index must not keep a dangling reference.
+    assert waiting.notify_processed(m(0, 1)) == []
+
+
+def test_messages_listing():
+    waiting = WaitingList()
+    b = msg(1, 2, [m(1, 1)])
+    a = msg(0, 2, [m(0, 1)])
+    waiting.add(b, {m(1, 1)})
+    waiting.add(a, {m(0, 1)})
+    assert waiting.messages() == [a, b]

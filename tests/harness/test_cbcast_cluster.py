@@ -1,0 +1,82 @@
+"""Tests for the CBCAST simulation driver."""
+
+from repro.harness.cbcast_cluster import CbcastCluster
+from repro.types import ProcessId
+from repro.workloads.generators import FixedBudgetWorkload
+from repro.workloads.scenarios import crashes
+
+
+def pids(n):
+    return [ProcessId(i) for i in range(n)]
+
+
+def test_reliable_run_delivers_everything():
+    n = 4
+    cluster = CbcastCluster(
+        n, workload=FixedBudgetWorkload(pids(n), total=12), max_rounds=40
+    )
+    cluster.run()
+    report = cluster.delay_report()
+    assert report.complete_messages == 12
+    assert report.incomplete_messages == 0
+    assert report.mean_delay == 0.5
+
+
+def test_crash_triggers_view_change_and_blocks():
+    n = 4
+    cluster = CbcastCluster(
+        n,
+        K=2,
+        workload=FixedBudgetWorkload(pids(n), total=20),
+        faults=crashes({ProcessId(3): 2.0}),
+        max_rounds=100,
+    )
+    cluster.run()
+    survivors = [cluster.engines[p] for p in cluster.active_pids()]
+    assert all(e.view_id >= 1 for e in survivors)
+    assert all(not e.alive[3] for e in survivors)
+    assert all(not e.blocked for e in survivors)
+    # The application was blocked for at least one round somewhere.
+    assert any(e.blocked_rounds > 0 for e in survivors)
+
+
+def test_blocked_metric_sampled():
+    n = 4
+    cluster = CbcastCluster(
+        n,
+        K=2,
+        faults=crashes({ProcessId(3): 2.0}),
+        max_rounds=60,
+    )
+    cluster.run()
+    series = cluster.kernel.metrics.series_for("cbcast.blocked")
+    assert series.max() > 0
+
+
+def test_detection_latency_is_k_subruns():
+    n = 4
+    cluster = CbcastCluster(
+        n,
+        K=3,
+        faults=crashes({ProcessId(3): 2.0}),
+        max_rounds=60,
+    )
+    cluster.run()
+    suspicions = cluster.kernel.trace.select("cbcast.suspect")
+    assert len(suspicions) == 1
+    assert suspicions[0].time >= 2.0 + 3
+
+
+def test_unstable_buffers_drain_after_view_change():
+    n = 4
+    cluster = CbcastCluster(
+        n,
+        K=2,
+        workload=FixedBudgetWorkload(pids(n), total=16),
+        faults=crashes({ProcessId(3): 2.0}),
+        max_rounds=120,
+    )
+    cluster.run()
+    assert all(
+        cluster.engines[p].unstable_count == 0 for p in cluster.active_pids()
+    )

@@ -1,0 +1,257 @@
+"""Integration-grade unit tests for the urcgc simulation driver."""
+
+import pytest
+
+from repro.core.config import UrcgcConfig
+from repro.harness.cluster import SimCluster
+from repro.types import ProcessId
+from repro.workloads.generators import FixedBudgetWorkload, ScriptedWorkload
+from repro.workloads.scenarios import crashes, omission, reliable
+
+
+def pids(n):
+    return [ProcessId(i) for i in range(n)]
+
+
+class TestReliableRun:
+    def test_all_messages_processed_everywhere(self):
+        n = 5
+        cluster = SimCluster(
+            UrcgcConfig(n=n),
+            workload=FixedBudgetWorkload(pids(n), total=20),
+            max_rounds=80,
+        )
+        done = cluster.run_until_quiescent(drain_subruns=2)
+        assert done is not None
+        assert all(m.processed_count == 20 for m in cluster.members)
+
+    def test_reliable_delay_is_half_rtd(self):
+        n = 5
+        cluster = SimCluster(
+            UrcgcConfig(n=n),
+            workload=FixedBudgetWorkload(pids(n), total=10),
+            max_rounds=60,
+        )
+        cluster.run_until_quiescent(drain_subruns=2)
+        report = cluster.delay_report()
+        assert report.mean_delay == 0.5
+        assert report.incomplete_messages == 0
+
+    def test_histories_drain_to_zero(self):
+        n = 4
+        cluster = SimCluster(
+            UrcgcConfig(n=n),
+            workload=FixedBudgetWorkload(pids(n), total=12),
+            max_rounds=80,
+        )
+        cluster.run_until_quiescent(drain_subruns=3)
+        assert all(m.history_length == 0 for m in cluster.members)
+
+    def test_control_traffic_is_2n_minus_2_per_subrun(self):
+        """Table 1: 2(n-1) control messages per subrun, reliable."""
+        n = 6
+        subruns = 10
+        cluster = SimCluster(
+            UrcgcConfig(n=n), max_rounds=subruns * 2, trace=False
+        )
+        cluster.run()
+        stats = cluster.network.stats
+        requests = stats.kind("ctrl-request").delivered
+        decisions = stats.kind("ctrl-decision").delivered
+        assert requests == subruns * (n - 1)
+        assert decisions == subruns * (n - 1)
+
+    def test_quiescent_time_recorded(self):
+        n = 3
+        cluster = SimCluster(
+            UrcgcConfig(n=n),
+            workload=FixedBudgetWorkload(pids(n), total=3),
+            max_rounds=40,
+        )
+        done = cluster.run_until_quiescent()
+        assert done == cluster.quiescent_at
+        assert done is not None and done > 0
+
+
+class TestCrashRun:
+    def test_crash_detected_and_removed_consistently(self):
+        n = 5
+        cluster = SimCluster(
+            UrcgcConfig(n=n, K=2),
+            workload=FixedBudgetWorkload(pids(n), total=30),
+            faults=crashes({ProcessId(3): 2.0}),
+            max_rounds=120,
+        )
+        cluster.run_until_quiescent(drain_subruns=4)
+        survivors = [m for m in cluster.members if cluster.is_active(m.pid)]
+        assert survivors
+        for member in survivors:
+            assert not member.view.is_alive(ProcessId(3))
+
+    def test_delay_unaffected_by_crash(self):
+        """The paper's headline Figure 4 claim."""
+        n = 5
+        results = {}
+        for label, faults in (
+            ("reliable", reliable()),
+            ("crash", crashes({ProcessId(4): 3.0})),
+        ):
+            cluster = SimCluster(
+                UrcgcConfig(n=n, K=2),
+                workload=FixedBudgetWorkload(pids(n), total=25),
+                faults=faults,
+                max_rounds=150,
+            )
+            cluster.run_until_quiescent(drain_subruns=3)
+            results[label] = cluster.delay_report().mean_delay
+        assert results["crash"] == results["reliable"] == 0.5
+
+    def test_survivors_agree_on_processed_messages(self):
+        n = 5
+        cluster = SimCluster(
+            UrcgcConfig(n=n, K=2),
+            workload=FixedBudgetWorkload(pids(n), total=30),
+            faults=crashes({ProcessId(1): 1.5, ProcessId(2): 2.5}),
+            max_rounds=160,
+        )
+        cluster.run_until_quiescent(drain_subruns=4)
+        vectors = {
+            cluster.members[p].last_processed_vector()
+            for p in cluster.active_pids()
+        }
+        assert len(vectors) == 1
+
+
+class TestOmissionRun:
+    def test_recovery_completes_all_messages(self):
+        n = 6
+        cluster = SimCluster(
+            UrcgcConfig(n=n),
+            workload=FixedBudgetWorkload(pids(n), total=60),
+            faults=omission(pids(n), 50, rng=__import__("random").Random(3)),
+            max_rounds=400,
+            seed=3,
+        )
+        done = cluster.run_until_quiescent(drain_subruns=3)
+        assert done is not None
+        report = cluster.delay_report()
+        assert report.incomplete_messages == 0
+        assert report.complete_messages == 60
+
+    def test_omission_raises_delay_above_reliable_floor(self):
+        n = 6
+        cluster = SimCluster(
+            UrcgcConfig(n=n),
+            workload=FixedBudgetWorkload(pids(n), total=60),
+            faults=omission(pids(n), 30, rng=__import__("random").Random(5)),
+            max_rounds=500,
+            seed=5,
+        )
+        cluster.run_until_quiescent(drain_subruns=3)
+        assert cluster.delay_report().mean_delay > 0.5
+
+    def test_recovery_traffic_present_under_omission(self):
+        n = 6
+        cluster = SimCluster(
+            UrcgcConfig(n=n),
+            workload=FixedBudgetWorkload(pids(n), total=60),
+            faults=omission(pids(n), 30, rng=__import__("random").Random(5)),
+            max_rounds=500,
+            seed=5,
+        )
+        cluster.run_until_quiescent(drain_subruns=3)
+        assert cluster.network.stats.kind("ctrl-recovery-rq").sent > 0
+
+
+class TestMetricsSampling:
+    def test_history_series_sampled_every_round(self):
+        n = 3
+        cluster = SimCluster(UrcgcConfig(n=n), max_rounds=10, trace=False)
+        cluster.run()
+        series = cluster.max_history_series()
+        assert len(series) == 10
+
+    def test_per_member_history_series(self):
+        n = 3
+        cluster = SimCluster(
+            UrcgcConfig(n=n),
+            workload=FixedBudgetWorkload(pids(n), total=6),
+            max_rounds=20,
+        )
+        cluster.run()
+        assert cluster.history_series(ProcessId(0)).max() > 0
+
+
+class TestWorkloadInjection:
+    def test_scripted_submission_reaches_only_target(self):
+        n = 3
+        cluster = SimCluster(
+            UrcgcConfig(n=n),
+            workload=ScriptedWorkload({0: [(ProcessId(1), b"only")]}),
+            max_rounds=20,
+        )
+        cluster.run()
+        assert cluster.members[1].generated_count == 1
+        assert cluster.members[0].generated_count == 0
+        # Everyone processed it.
+        assert all(m.processed_count == 1 for m in cluster.members)
+
+    def test_submissions_to_crashed_process_dropped(self):
+        n = 3
+        cluster = SimCluster(
+            UrcgcConfig(n=n),
+            workload=ScriptedWorkload({4: [(ProcessId(2), b"late")]}),
+            faults=crashes({ProcessId(2): 1.0}),
+            max_rounds=20,
+        )
+        cluster.run()
+        assert cluster.members[2].generated_count == 0
+
+
+class TestTransportH:
+    def test_h2_generates_acks_and_reduces_recovery(self):
+        n = 4
+        lossy = omission(pids(n), 20, rng=__import__("random").Random(7))
+        cluster = SimCluster(
+            UrcgcConfig(n=n),
+            workload=FixedBudgetWorkload(pids(n), total=20),
+            faults=lossy,
+            h=3,
+            max_rounds=300,
+            seed=7,
+        )
+        cluster.run_until_quiescent(drain_subruns=3)
+        assert cluster.network.stats.kind("t-ack").sent > 0
+
+
+class TestStableQuiescence:
+    def test_momentary_quiet_does_not_end_the_run(self):
+        """Regression (torture seed 1112): a workload with quiet gaps
+        must not let run_until_quiescent stop while later submissions
+        are still coming — the group must be *stably* quiescent."""
+        from repro.workloads.generators import ScriptedWorkload
+
+        n = 4
+        # Submissions at round 0 and again at round 8, with a long gap
+        # the old implementation mistook for the end of the run.
+        schedule = {
+            0: [(ProcessId(0), b"early")],
+            8: [(ProcessId(1), b"late-1")],
+            9: [(ProcessId(2), b"late-2")],
+        }
+        cluster = SimCluster(
+            UrcgcConfig(n=n),
+            workload=ScriptedWorkload(schedule),
+            max_rounds=60,
+        )
+        done = cluster.run_until_quiescent(drain_subruns=1)
+        assert done is not None
+        assert all(m.processed_count == 3 for m in cluster.members)
+        vectors = {m.last_processed_vector() for m in cluster.members}
+        assert len(vectors) == 1
+
+    def test_torture_seed_1112_regression(self):
+        from repro.harness.torture import torture_once
+
+        result = torture_once(1112)
+        assert result.ok, result.violations

@@ -1,0 +1,51 @@
+"""Tests for the urcgc-vs-CBCAST comparison harness."""
+
+import json
+
+import pytest
+
+from repro.harness.compare import compare_protocols
+
+
+def test_reliable_comparison():
+    report = compare_protocols(scenario="reliable", n=6, total_messages=24)
+    assert report.urcgc.mean_delay == 0.5
+    assert report.cbcast.mean_delay == 0.5
+    assert report.urcgc.incomplete == 0
+    assert report.cbcast.incomplete == 0
+    # Table 1's reliable row: CBCAST's control traffic is lighter.
+    assert report.cbcast.control_bytes < report.urcgc.control_bytes
+    # And neither protocol ever blocked.
+    assert report.urcgc.blocked_rounds == 0
+    assert report.cbcast.blocked_rounds == 0
+
+
+def test_crash_comparison():
+    report = compare_protocols(scenario="crash", n=6, total_messages=36)
+    # urcgc's headline: recovery without suspending the service.
+    assert report.urcgc.blocked_rounds == 0
+    assert report.cbcast.blocked_rounds > 0
+    assert report.urcgc.mean_delay == 0.5
+    assert report.urcgc.incomplete == 0
+
+
+def test_omission_comparison():
+    """The Section 3 claim: CBCAST 'needs an underlying reliable
+    transport protocol'; urcgc recovers losses itself."""
+    report = compare_protocols(scenario="omission-1/50", n=6, total_messages=36)
+    assert report.urcgc.incomplete == 0
+    assert report.cbcast.incomplete > 0
+
+
+def test_render_and_json():
+    report = compare_protocols(scenario="reliable", n=4, total_messages=8)
+    text = report.render()
+    assert "urcgc" in text and "cbcast" in text
+    payload = json.loads(json.dumps(report.as_dict()))
+    assert payload["experiment"] == "compare"
+    assert payload["urcgc"]["incomplete"] == 0
+
+
+def test_unknown_scenario_rejected():
+    with pytest.raises(ValueError):
+        compare_protocols(scenario="meteor-strike")

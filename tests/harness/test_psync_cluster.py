@@ -1,0 +1,85 @@
+"""Tests for the Psync simulation driver."""
+
+from repro.harness.psync_cluster import PsyncCluster
+from repro.types import ProcessId
+from repro.workloads.generators import FixedBudgetWorkload
+from repro.workloads.scenarios import crashes
+
+
+def pids(n):
+    return [ProcessId(i) for i in range(n)]
+
+
+def test_reliable_conversation_delivers_everything():
+    n = 4
+    cluster = PsyncCluster(
+        n, workload=FixedBudgetWorkload(pids(n), total=12), max_rounds=40
+    )
+    cluster.run()
+    for pid in pids(n):
+        assert len(cluster.delivered[pid]) == 12
+
+
+def test_context_order_respected_everywhere():
+    n = 3
+    cluster = PsyncCluster(
+        n, workload=FixedBudgetWorkload(pids(n), total=9), max_rounds=40
+    )
+    cluster.run()
+    for pid in pids(n):
+        seen = set()
+        for message in cluster.delivered[pid]:
+            for pred in message.preds:
+                assert pred in seen or pred[0] == pid
+            seen.add(message.mid)
+
+
+def test_mask_out_unblocks_after_crash():
+    """A crashed sender's lost message blocks dependents until the
+    detector masks it out."""
+    n = 4
+    from repro.net.faults import FaultPlan, CrashSchedule
+
+    schedule = CrashSchedule()
+    schedule.crash(ProcessId(3), 1.2)
+    faults = FaultPlan(crashes=schedule)
+    # p3's first broadcast is received by p0 only; p0's follow-up then
+    # references it in its context, blocking p1 and p2 until mask_out.
+    faults.custom_send_filter = (
+        lambda packet, now: packet.src == 3 and now < 0.2
+    )
+    cluster = PsyncCluster(
+        n,
+        K=2,
+        workload=FixedBudgetWorkload(pids(n), total=16),
+        faults=faults,
+        max_rounds=100,
+    )
+    cluster.run()
+    # Everyone alive ends with an empty pending buffer: masking
+    # released (or dropped) whatever waited on p3.
+    for pid in cluster.active_pids():
+        assert cluster.engines[pid].graph.pending_count == 0
+
+
+def test_bounded_pending_buffer_drops():
+    """Psync's flow control destroys overflow, inducing omissions."""
+    n = 3
+    from repro.net.faults import FaultPlan
+
+    faults = FaultPlan()
+    # p1 never receives p0's traffic: p0's messages pend at p1 forever
+    # via p2's contexts... simpler: drop p0's data toward p1 only.
+    faults.custom_receive_filter = (
+        lambda packet, dst, now: packet.src == 0 and dst == 1
+    )
+    cluster = PsyncCluster(
+        n,
+        pending_bound=2,
+        workload=FixedBudgetWorkload(pids(n), total=30),
+        faults=faults,
+        max_rounds=60,
+    )
+    cluster.run()
+    assert cluster.induced_omissions() > 0
+    assert cluster.engines[1].graph.pending_count <= 2

@@ -1,0 +1,55 @@
+"""Tests for the experiment runner's JSON export path."""
+
+import json
+
+import pytest
+
+from repro.harness.runner import EXPERIMENTS, main, run_experiment
+from repro.harness.sweep import sweep
+
+
+def test_sweep_as_dict():
+    result = sweep({"a": [1, 2]}, lambda a: {"v": a * 10})
+    payload = result.as_dict()
+    assert payload["axes"] == ["a"]
+    assert payload["rows"] == [{"a": 1, "v": 10}, {"a": 2, "v": 20}]
+    json.dumps(payload)  # serializable
+
+
+def test_every_experiment_registered_with_description():
+    for name, (description, runner) in EXPERIMENTS.items():
+        assert description
+        assert callable(runner)
+
+
+def test_main_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "figure4" in out and "ablation-bus" in out
+
+
+@pytest.mark.parametrize("name", ["figure5"])
+def test_run_experiment_json_is_valid(name):
+    payload = json.loads(run_experiment(name, as_json=True))
+    assert payload["experiment"] == name
+    assert payload["rows"]
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(KeyError):
+        run_experiment("figure99")
+
+
+def test_module_cli_entrypoint():
+    """python -m repro works as a console command."""
+    import subprocess
+    import sys
+
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "list"],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert result.returncode == 0
+    assert "figure4" in result.stdout

@@ -1,0 +1,50 @@
+"""Unit tests for the parameter-sweep helper."""
+
+import pytest
+
+from repro.harness.sweep import sweep
+
+
+def test_cartesian_product_rows():
+    result = sweep(
+        {"a": [1, 2], "b": [10, 20]},
+        lambda a, b: {"sum": a + b},
+    )
+    assert result.axes == ("a", "b")
+    assert result.metrics == ("sum",)
+    assert result.rows == [(1, 10, 11), (1, 20, 21), (2, 10, 12), (2, 20, 22)]
+
+
+def test_column_access():
+    result = sweep({"a": [1, 2]}, lambda a: {"double": 2 * a})
+    assert result.column("a") == [1, 2]
+    assert result.column("double") == [2, 4]
+    with pytest.raises(KeyError):
+        result.column("nope")
+
+
+def test_where_filters_rows():
+    result = sweep({"a": [1, 2], "b": [3, 4]}, lambda a, b: {"v": a * b})
+    assert result.where(a=2) == [(2, 3, 6), (2, 4, 8)]
+
+
+def test_inconsistent_metrics_rejected():
+    def run(a):
+        return {"x": a} if a == 1 else {"y": a}
+
+    with pytest.raises(ValueError):
+        sweep({"a": [1, 2]}, run)
+
+
+def test_render_produces_table():
+    result = sweep({"a": [1]}, lambda a: {"v": 1.5})
+    out = result.render(title="T")
+    assert "T" in out and "1.500" in out
+
+
+def test_runner_registry():
+    from repro.harness.runner import EXPERIMENTS, run_experiment
+
+    assert {"figure4", "figure5", "table1", "figure6a", "figure6b"} <= set(EXPERIMENTS)
+    with pytest.raises(KeyError):
+        run_experiment("nonexistent")

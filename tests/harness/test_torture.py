@@ -1,0 +1,30 @@
+"""Tests for the torture fuzzer."""
+
+from repro.harness.torture import torture, torture_once
+
+
+def test_single_run_is_deterministic():
+    a = torture_once(7)
+    b = torture_once(7)
+    assert a == b
+
+
+def test_batch_runs_clean():
+    results = torture(8, start_seed=100)
+    assert len(results) == 8
+    for result in results:
+        assert result.ok, result.violations[:3]
+
+
+def test_describe_mentions_seed():
+    result = torture_once(3)
+    assert "seed=3" in result.describe()
+    assert "ok" in result.describe() or "VIOLATIONS" in result.describe()
+
+
+def test_cli_torture(capsys):
+    from repro.harness.runner import main
+
+    assert main(["torture", "-n", "3", "--seed", "50"]) == 0
+    out = capsys.readouterr().out
+    assert "3/3 scenarios clean" in out

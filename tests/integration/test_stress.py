@@ -1,0 +1,143 @@
+"""Paper-scale and adversarial stress runs.
+
+These go beyond the unit scenarios: the paper's n=40 configuration,
+multi-crash pile-ups, and long lossy runs — all ending with the URCGC
+invariant checkers over the full delivery logs.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.checkers import (
+    check_local_causal_order,
+    check_uniform_ordering,
+)
+from repro.core.config import UrcgcConfig
+from repro.harness.cluster import SimCluster
+from repro.types import ProcessId
+from repro.workloads.generators import BernoulliWorkload, FixedBudgetWorkload
+from repro.workloads.scenarios import general_omission, reliable
+
+
+def pids(n):
+    return [ProcessId(i) for i in range(n)]
+
+
+def verify(cluster):
+    streams = {
+        pid: cluster.services[pid].delivered for pid in cluster.active_pids()
+    }
+    check_uniform_ordering(streams).raise_if_failed()
+    for pid, stream in streams.items():
+        check_local_causal_order(pid, stream).raise_if_failed()
+
+
+def test_paper_scale_reliable_run():
+    """n=40, 480 messages — the Figure 6 configuration, reliable."""
+    n = 40
+    cluster = SimCluster(
+        UrcgcConfig(n=n, K=3),
+        workload=FixedBudgetWorkload(pids(n), total=480),
+        faults=reliable(),
+        max_rounds=80,
+        trace=False,
+    )
+    done = cluster.run_until_quiescent(drain_subruns=3)
+    assert done is not None and done <= 15  # paper: ~15 rtd
+    assert all(m.processed_count == 480 for m in cluster.members)
+    report = cluster.delay_report()
+    assert report.mean_delay == 0.5
+    verify(cluster)
+
+
+def test_paper_scale_general_omission_run():
+    """n=40 with the paper's faulty Figure 6 scenario."""
+    n = 40
+    cluster = SimCluster(
+        UrcgcConfig(n=n, K=3),
+        workload=FixedBudgetWorkload(pids(n), total=480),
+        faults=general_omission(
+            pids(n),
+            crash_schedule={ProcessId(n - 1): 4.0},
+            one_in=500,
+            rng=random.Random(99),
+        ),
+        max_rounds=400,
+        seed=99,
+        trace=False,
+    )
+    done = cluster.run_until_quiescent(drain_subruns=8)
+    assert done is not None
+    report = cluster.delay_report()
+    assert report.incomplete_messages == 0
+    verify(cluster)
+
+
+def test_multi_crash_pileup():
+    """Half the group crashes in a staggered pile-up; the survivors
+    still converge and clean their histories."""
+    n = 8
+    schedule = {ProcessId(n - 1 - i): 2.0 + 1.0 * i for i in range(n // 2)}
+    from repro.workloads.scenarios import crashes
+
+    cluster = SimCluster(
+        UrcgcConfig(n=n, K=2, R=8),
+        workload=FixedBudgetWorkload(pids(n), total=48),
+        faults=crashes(schedule),
+        max_rounds=300,
+        trace=False,
+    )
+    done = cluster.run_until_quiescent(drain_subruns=6)
+    assert done is not None
+    survivors = cluster.active_pids()
+    assert survivors == [ProcessId(i) for i in range(n // 2)]
+    vectors = {cluster.members[p].last_processed_vector() for p in survivors}
+    assert len(vectors) == 1
+    assert all(cluster.members[p].history_length == 0 for p in survivors)
+    verify(cluster)
+
+
+@pytest.mark.parametrize("seed", [21, 22])
+def test_long_lossy_run_with_churny_load(seed):
+    """A sustained bursty workload over a lossy network: hundreds of
+    messages, every invariant intact at the end."""
+    n = 7
+    cluster = SimCluster(
+        UrcgcConfig(n=n, K=3),
+        workload=BernoulliWorkload(
+            pids(n), 0.7, rng=random.Random(seed), stop_after_round=80
+        ),
+        faults=general_omission(
+            pids(n),
+            crash_schedule={ProcessId(n - 1): 10.0},
+            one_in=60,
+            rng=random.Random(seed),
+        ),
+        max_rounds=1000,
+        seed=seed,
+        trace=False,
+    )
+    done = cluster.run_until_quiescent(drain_subruns=8)
+    assert done is not None
+    report = cluster.delay_report()
+    assert report.complete_messages > 200
+    assert report.incomplete_messages == 0
+    verify(cluster)
+
+
+def test_flow_controlled_run_loses_nothing():
+    """A tight flow-control threshold throttles but never loses."""
+    n = 10
+    cluster = SimCluster(
+        UrcgcConfig(n=n, K=2, flow_threshold=n),
+        workload=FixedBudgetWorkload(pids(n), total=120),
+        faults=reliable(),
+        max_rounds=600,
+        trace=False,
+    )
+    done = cluster.run_until_quiescent(drain_subruns=3)
+    assert done is not None
+    assert sum(m.flow_blocked_rounds for m in cluster.members) > 0
+    assert all(m.processed_count == 120 for m in cluster.members)
+    verify(cluster)

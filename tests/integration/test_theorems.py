@@ -1,0 +1,274 @@
+"""End-to-end checks of the paper's correctness theorems.
+
+Theorem 4.1 (Uniform Atomicity): every message is processed by all
+active processes or by none of them, within bounded time.
+
+Theorem 4.2 (Uniform Ordering): if ``msg ->p msg'`` then every active
+process processes ``msg`` before ``msg'``.
+
+The checks run full simulations under randomized general-omission
+failure injection across several seeds and inspect the per-member
+delivery logs recorded by the service layer.
+"""
+
+import random
+
+import pytest
+
+from repro.core.config import UrcgcConfig
+from repro.core.mid import Mid
+from repro.harness.cluster import SimCluster
+from repro.types import ProcessId
+from repro.workloads.generators import BernoulliWorkload, FixedBudgetWorkload
+from repro.workloads.scenarios import crashes, general_omission, omission
+
+
+def pids(n):
+    return [ProcessId(i) for i in range(n)]
+
+
+def assert_causal_order(cluster):
+    """Every member's delivery order respects declared dependencies
+    and per-origin seq order (Theorem 4.2 at each site)."""
+    from repro.analysis.checkers import check_local_causal_order
+
+    for pid in cluster.active_pids():
+        check_local_causal_order(
+            pid, cluster.services[pid].delivered
+        ).raise_if_failed()
+
+
+def assert_atomicity(cluster):
+    """At quiescence, every non-discarded generated message has been
+    processed by every final active member (all-or-none, and 'none'
+    only for discarded orphans).
+
+    Strengthens Definition 3.2 slightly: at quiescence nothing is in
+    flight, so 'some processed it' must mean 'all processed it'."""
+    from repro.analysis.checkers import check_uniform_atomicity
+
+    active = set(cluster.active_pids())
+    log = cluster.delivery_log
+    check_uniform_atomicity(
+        log.generated_at,
+        {mid: set(by) for mid, by in log.processed_at.items()},
+        active,
+        discarded=log.discarded,
+    ).raise_if_failed()
+    # At quiescence atomicity is total: non-discarded => processed by
+    # all, or by none (every holder died before any survivor got it).
+    for mid in log.generated_at:
+        if mid in log.discarded:
+            continue
+        got = set(log.processed_at.get(mid, {})) & active
+        assert got == active or not got, (
+            f"{mid} processed by {sorted(got)} but active set is {sorted(active)}"
+        )
+
+
+def assert_uniform_order_across_members(cluster):
+    """Any two members process every *causally related* pair in the
+    same order; per-origin sequences are a total order shared by all."""
+    from repro.analysis.checkers import check_uniform_ordering
+
+    streams = {
+        pid: cluster.services[pid].delivered for pid in cluster.active_pids()
+    }
+    check_uniform_ordering(streams).raise_if_failed()
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+def test_theorems_under_general_omission(seed):
+    n = 6
+    faults = general_omission(
+        pids(n),
+        crash_schedule={ProcessId(n - 1): 3.0},
+        one_in=40,
+        rng=random.Random(seed),
+    )
+    cluster = SimCluster(
+        UrcgcConfig(n=n, K=2),
+        workload=FixedBudgetWorkload(pids(n), total=48),
+        faults=faults,
+        max_rounds=600,
+        seed=seed,
+    )
+    done = cluster.run_until_quiescent(drain_subruns=6)
+    assert done is not None, "group failed to reach quiescence"
+    assert_causal_order(cluster)
+    assert_atomicity(cluster)
+    assert_uniform_order_across_members(cluster)
+
+
+@pytest.mark.parametrize("seed", [11, 12, 13])
+def test_theorems_under_heavy_omission(seed):
+    n = 5
+    cluster = SimCluster(
+        UrcgcConfig(n=n, K=3),
+        workload=BernoulliWorkload(
+            pids(n), 0.5, rng=random.Random(seed), stop_after_round=30
+        ),
+        faults=omission(pids(n), 15, rng=random.Random(seed)),
+        max_rounds=800,
+        seed=seed,
+    )
+    done = cluster.run_until_quiescent(drain_subruns=6)
+    assert done is not None
+    assert_causal_order(cluster)
+    assert_atomicity(cluster)
+    assert_uniform_order_across_members(cluster)
+
+
+def test_partial_broadcast_reaches_everyone_via_recovery():
+    """Uniformity under an interrupted send: the crashing process's
+    final broadcast reaches one destination only; recovery must spread
+    it to the whole group (case i of Theorem 4.1)."""
+    n = 5
+    from repro.net.faults import CrashSchedule, FaultPlan
+
+    schedule = CrashSchedule()
+    # p4 crashes exactly at round 4 (t=2.0) as it broadcasts, with only
+    # one destination receiving the final message.
+    schedule.crash(ProcessId(4), 2.0, partial_deliveries=1)
+    faults = FaultPlan(crashes=schedule)
+    cluster = SimCluster(
+        UrcgcConfig(n=n, K=2),
+        workload=FixedBudgetWorkload(pids(n), total=25),
+        faults=faults,
+        max_rounds=200,
+        seed=2,
+    )
+    done = cluster.run_until_quiescent(drain_subruns=4)
+    assert done is not None
+    assert_atomicity(cluster)
+    assert_causal_order(cluster)
+    # The partially-broadcast message (p4's message of round 4, seq 3)
+    # was generated; if anyone got it, everyone must have it.
+    last_by_member = {
+        cluster.members[p].tracker.last_processed(ProcessId(4))
+        for p in cluster.active_pids()
+    }
+    assert len(last_by_member) == 1
+
+
+def test_orphan_sequence_discarded_consistently():
+    """Theorem 4.1 case ii: when every holder of a message crashes,
+    survivors destroy the dependent tail of the sequence — 'none of
+    them' processes it."""
+    n = 5
+    from repro.net.faults import CrashSchedule, FaultPlan
+
+    schedule = CrashSchedule()
+    schedule.crash(ProcessId(4), 3.2)  # after sending at round 6 (t=3.0)
+    faults = FaultPlan(crashes=schedule)
+
+    # Drop p4's first data broadcast entirely (only p4 processes
+    # m(4,1)) and its recovery responses (nobody can fetch m(4,1) from
+    # its history before the crash): m(4,1) dies with p4.
+    def drop(packet, now):
+        if packet.src != 4:
+            return False
+        if packet.kind == "data" and now < 1.0:
+            return True
+        return packet.kind == "ctrl-recovery-rsp"
+
+    faults.custom_send_filter = drop
+    cluster = SimCluster(
+        UrcgcConfig(n=n, K=2),
+        workload=FixedBudgetWorkload(pids(n), total=40),
+        faults=faults,
+        max_rounds=300,
+        seed=4,
+    )
+    done = cluster.run_until_quiescent(drain_subruns=6)
+    assert done is not None
+    # m(4,1) was processed only by the crashed p4; every survivor must
+    # have discarded the dependent tail m(4,2..), never processing it.
+    for pid in cluster.active_pids():
+        member = cluster.members[pid]
+        assert member.tracker.last_processed(ProcessId(4)) == 0
+        assert member.waiting_length == 0
+    discarded = cluster.delivery_log.discarded
+    assert any(mid.origin == 4 for mid in discarded)
+    assert_atomicity(cluster)
+    assert_causal_order(cluster)
+
+
+def test_receive_omitting_member_leaves_under_strict_rule():
+    """A process that can receive *nothing* can never learn it missed
+    decisions, so only the STRICT leave rule ("fails to receive from K
+    consecutive coordinators") gets it out of the group — after which
+    the survivors converge."""
+    n = 5
+    from repro.core.config import LeaveRule
+    from repro.net.faults import FaultPlan
+
+    faults = FaultPlan()
+
+    # p3 receives nothing after t=1.0 (total receive omission).
+    faults.custom_receive_filter = lambda packet, dst, now: dst == 3 and now >= 1.0
+    cluster = SimCluster(
+        UrcgcConfig(n=n, K=2, leave_rule=LeaveRule.STRICT),
+        workload=FixedBudgetWorkload(pids(n), total=30),
+        faults=faults,
+        max_rounds=300,
+        seed=1,
+    )
+    done = cluster.run_until_quiescent(drain_subruns=4)
+    assert done is not None
+    member = cluster.members[3]
+    assert member.has_left
+    assert "consecutive coordinators" in (member.left_reason or "")
+    survivors = [p for p in cluster.active_pids() if p != ProcessId(3)]
+    vectors = {cluster.members[p].last_processed_vector() for p in survivors}
+    assert len(vectors) == 1
+
+
+def test_forked_decision_from_isolated_coordinator_rejected():
+    """A totally receive-omitting process that takes its coordinator
+    turn computes decisions from stale knowledge; the decision-chain
+    guard must stop them from assassinating the healthy majority."""
+    n = 5
+    from repro.net.faults import FaultPlan
+
+    faults = FaultPlan()
+    faults.custom_receive_filter = lambda packet, dst, now: dst == 3 and now >= 1.0
+    cluster = SimCluster(
+        UrcgcConfig(n=n, K=2),  # CONFIRMED rule: p3 never leaves
+        workload=FixedBudgetWorkload(pids(n), total=30),
+        faults=faults,
+        max_rounds=300,
+        seed=1,
+    )
+    cluster.run(max_events=200_000)
+    healthy = [p for p in cluster.active_pids() if p != ProcessId(3)]
+    # Nobody suicided on p3's forked decisions; the healthy members
+    # all processed the full workload.
+    assert len(healthy) == 4
+    vectors = {cluster.members[p].last_processed_vector() for p in healthy}
+    assert len(vectors) == 1
+    assert max(v[0] for v in vectors) == 6
+
+
+def test_suicide_on_learning_presumed_death():
+    """A send-omitting (but receiving) process is declared crashed by
+    the coordinators and, on seeing the decision, commits suicide."""
+    n = 5
+    from repro.net.faults import FaultPlan
+
+    faults = FaultPlan()
+    # p3 cannot send anything from t=1.0 on, but still receives.
+    faults.custom_send_filter = lambda packet, now: packet.src == 3 and now >= 1.0
+    cluster = SimCluster(
+        UrcgcConfig(n=n, K=2),
+        workload=FixedBudgetWorkload(pids(n), total=20),
+        faults=faults,
+        max_rounds=200,
+        seed=1,
+    )
+    cluster.run_until_quiescent(drain_subruns=4)
+    member = cluster.members[3]
+    assert member.has_left
+    assert "suicide" in (member.left_reason or "")
+    for pid in cluster.active_pids():
+        assert not cluster.members[pid].view.is_alive(ProcessId(3))

@@ -1,0 +1,89 @@
+"""Tests for packet capture and replay."""
+
+import io
+
+import pytest
+
+from repro.core.config import UrcgcConfig
+from repro.core.message import DecisionMessage, RequestMessage, UserMessage
+from repro.errors import WireFormatError
+from repro.harness.cluster import SimCluster
+from repro.net.capture import CaptureRecord, Direction, PacketCapture
+from repro.types import ProcessId
+from repro.workloads.generators import FixedBudgetWorkload
+
+
+def captured_cluster(n=3, total=6, max_rounds=20):
+    cluster = SimCluster(
+        UrcgcConfig(n=n),
+        workload=FixedBudgetWorkload([ProcessId(i) for i in range(n)], total=total),
+        max_rounds=max_rounds,
+    )
+    capture = PacketCapture()
+    capture.attach_to(cluster.network, cluster.kernel)
+    cluster.run()
+    return cluster, capture
+
+
+def test_capture_sees_sends_and_deliveries():
+    _, capture = captured_cluster()
+    assert len(capture.filter(direction=Direction.SENT)) > 0
+    assert len(capture.filter(direction=Direction.DELIVERED)) > 0
+
+
+def test_capture_decodes_pdus():
+    _, capture = captured_cluster()
+    kinds = set()
+    for record in capture.records[:50]:
+        decoded = record.decode()
+        kinds.add(type(decoded).__name__)
+    assert {"UserMessage", "RequestMessage", "DecisionMessage"} <= kinds
+
+
+def test_filter_by_kind_and_endpoint():
+    _, capture = captured_cluster()
+    requests = capture.filter(kind="ctrl-request", direction=Direction.SENT)
+    assert requests
+    assert all(isinstance(r.decode(), RequestMessage) for r in requests)
+    to_p0 = capture.filter(direction=Direction.DELIVERED, dst=0)
+    assert to_p0
+    assert all(r.dst == 0 for r in to_p0)
+
+
+def test_volume_by_kind():
+    _, capture = captured_cluster()
+    volumes = capture.volume_by_kind(Direction.SENT)
+    assert "data" in volumes and "ctrl-request" in volumes
+    for count, volume in volumes.values():
+        assert count > 0 and volume > 0
+
+
+def test_save_load_roundtrip():
+    _, capture = captured_cluster()
+    data = capture.roundtrip_bytes()
+    loaded = PacketCapture.from_bytes(data)
+    assert loaded.records == capture.records
+
+
+def test_load_rejects_garbage():
+    with pytest.raises(WireFormatError):
+        PacketCapture.load(io.BytesIO(b"NOPE"))
+    with pytest.raises(WireFormatError):
+        PacketCapture.from_bytes(b"RPC1" + b"\x00\x00\x00\x09" + b"short")
+
+
+def test_multicast_send_records_dst_minus_one():
+    _, capture = captured_cluster()
+    data_sends = capture.filter(kind="data", direction=Direction.SENT)
+    assert all(r.dst == -1 for r in data_sends)
+    roundtripped = PacketCapture.from_bytes(capture.roundtrip_bytes())
+    assert all(
+        r.dst == -1
+        for r in roundtripped.filter(kind="data", direction=Direction.SENT)
+    )
+
+
+def test_timestamps_monotone():
+    _, capture = captured_cluster()
+    times = [r.time for r in capture.records]
+    assert times == sorted(times)

@@ -1,0 +1,64 @@
+"""Tests for packet-corruption faults."""
+
+import random
+
+import pytest
+
+from repro.core.config import UrcgcConfig
+from repro.errors import ConfigError
+from repro.harness.cluster import SimCluster
+from repro.net.faults import FaultPlan
+from repro.types import ProcessId
+from repro.workloads.generators import FixedBudgetWorkload
+
+
+class TestMaybeCorrupt:
+    def test_zero_rate_never_corrupts(self):
+        plan = FaultPlan()
+        assert plan.maybe_corrupt(b"hello") is None
+
+    def test_full_rate_flips_one_bit(self):
+        plan = FaultPlan(corruption=0.99, rng=random.Random(1))
+        original = b"hello world"
+        for _ in range(20):
+            corrupted = plan.maybe_corrupt(original)
+            if corrupted is None:
+                continue
+            assert len(corrupted) == len(original)
+            diffs = [
+                (a ^ b) for a, b in zip(original, corrupted) if a != b
+            ]
+            assert len(diffs) == 1
+            assert bin(diffs[0]).count("1") == 1  # exactly one bit
+
+    def test_empty_payload_untouched(self):
+        plan = FaultPlan(corruption=0.99, rng=random.Random(1))
+        assert plan.maybe_corrupt(b"") is None
+
+    def test_rate_validation(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(corruption=1.0)
+
+
+def test_corrupted_group_run_still_converges():
+    """Corruption behaves like loss: parse failures are drops, and the
+    history recovery heals them."""
+    n = 5
+    pids = [ProcessId(i) for i in range(n)]
+    faults = FaultPlan(corruption=0.03, rng=random.Random(7))
+    cluster = SimCluster(
+        UrcgcConfig(n=n, K=3),
+        workload=FixedBudgetWorkload(pids, total=40),
+        faults=faults,
+        max_rounds=500,
+        seed=7,
+    )
+    done = cluster.run_until_quiescent(drain_subruns=4)
+    assert done is not None
+    report = cluster.delay_report()
+    assert report.incomplete_messages == 0
+    # Corruption drops actually happened and were traced as such.
+    corrupt_drops = cluster.kernel.trace.select(
+        "net.drop", predicate=lambda r: r["reason"] == "corrupt"
+    )
+    assert corrupt_drops

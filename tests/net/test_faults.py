@@ -1,0 +1,187 @@
+"""Unit tests for the general-omission fault models."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.net.addressing import UnicastAddress
+from repro.net.faults import CrashSchedule, FaultPlan, OmissionModel
+from repro.net.packet import Packet
+from repro.types import ProcessId
+
+
+def _packet(src=0, dst=1):
+    return Packet(ProcessId(src), UnicastAddress(ProcessId(dst)), b"x")
+
+
+class TestCrashSchedule:
+    def test_crash_takes_effect_at_time(self):
+        schedule = CrashSchedule()
+        schedule.crash(ProcessId(1), 5.0)
+        assert not schedule.is_crashed(ProcessId(1), 4.9)
+        assert schedule.is_crashed(ProcessId(1), 5.0)
+        assert schedule.is_crashed(ProcessId(1), 100.0)
+
+    def test_uncrashed_process(self):
+        schedule = CrashSchedule()
+        assert not schedule.is_crashed(ProcessId(0), 1e9)
+        assert schedule.crash_time(ProcessId(0)) is None
+
+    def test_double_crash_rejected(self):
+        schedule = CrashSchedule()
+        schedule.crash(ProcessId(1), 1.0)
+        with pytest.raises(ConfigError):
+            schedule.crash(ProcessId(1), 2.0)
+
+    def test_crashed_by(self):
+        schedule = CrashSchedule()
+        schedule.crash(ProcessId(1), 1.0)
+        schedule.crash(ProcessId(2), 3.0)
+        assert schedule.crashed_by(2.0) == {ProcessId(1)}
+
+    def test_partial_budget_consumption(self):
+        schedule = CrashSchedule()
+        schedule.crash(ProcessId(1), 1.0, partial_deliveries=2)
+        assert schedule.consume_partial(ProcessId(1))
+        assert schedule.consume_partial(ProcessId(1))
+        assert not schedule.consume_partial(ProcessId(1))
+
+    def test_no_partial_budget(self):
+        schedule = CrashSchedule()
+        schedule.crash(ProcessId(1), 1.0)
+        assert not schedule.consume_partial(ProcessId(1))
+
+    def test_negative_partial_rejected(self):
+        schedule = CrashSchedule()
+        with pytest.raises(ConfigError):
+            schedule.crash(ProcessId(1), 1.0, partial_deliveries=-1)
+
+
+class TestOmissionModel:
+    def test_zero_rate_never_drops(self):
+        model = OmissionModel(0.0)
+        rng = random.Random(0)
+        assert not any(model.should_drop(rng) for _ in range(1000))
+
+    def test_random_rate_statistics(self):
+        model = OmissionModel(0.1)
+        rng = random.Random(1)
+        drops = sum(model.should_drop(rng) for _ in range(10000))
+        assert 800 < drops < 1200
+
+    def test_periodic_drops_every_nth(self):
+        model = OmissionModel(0.25, periodic=True)
+        rng = random.Random(0)
+        results = [model.should_drop(rng) for _ in range(8)]
+        assert results == [False, False, False, True] * 2
+
+    def test_periodic_requires_integer_period(self):
+        with pytest.raises(ConfigError):
+            OmissionModel(0.3, periodic=True)
+
+    def test_rate_bounds(self):
+        with pytest.raises(ConfigError):
+            OmissionModel(1.0)
+        with pytest.raises(ConfigError):
+            OmissionModel(-0.1)
+
+
+class TestFaultPlan:
+    def test_default_plan_is_reliable(self):
+        plan = FaultPlan()
+        assert not plan.check_send(_packet(), 0.0)
+        assert not plan.check_receive(_packet(), ProcessId(1), 0.0)
+
+    def test_crashed_sender_dropped(self):
+        schedule = CrashSchedule()
+        schedule.crash(ProcessId(0), 1.0)
+        plan = FaultPlan(crashes=schedule)
+        assert not plan.check_send(_packet(src=0), 0.5)
+        decision = plan.check_send(_packet(src=0), 1.0)
+        assert decision.dropped
+        assert decision.reason == "src-crashed"
+
+    def test_crashed_receiver_dropped(self):
+        schedule = CrashSchedule()
+        schedule.crash(ProcessId(1), 1.0)
+        plan = FaultPlan(crashes=schedule)
+        decision = plan.check_receive(_packet(dst=1), ProcessId(1), 2.0)
+        assert decision.dropped
+        assert decision.reason == "dst-crashed"
+
+    def test_send_omission(self):
+        plan = FaultPlan()
+        plan.set_send_omission(ProcessId(0), OmissionModel(0.5, periodic=True))
+        decisions = [plan.check_send(_packet(src=0), 0.0).dropped for _ in range(4)]
+        assert decisions == [False, True, False, True]
+
+    def test_receive_omission_is_per_destination(self):
+        plan = FaultPlan()
+        plan.set_receive_omission(ProcessId(1), OmissionModel(0.5, periodic=True))
+        packet = _packet(dst=1)
+        # Destination 2 has no omission model: never dropped.
+        assert not plan.check_receive(packet, ProcessId(2), 0.0)
+        results = [plan.check_receive(packet, ProcessId(1), 0.0).dropped for _ in range(4)]
+        assert results == [False, True, False, True]
+
+    def test_uniform_omission_covers_both_directions(self):
+        plan = FaultPlan()
+        plan.set_uniform_omission([ProcessId(0)], 0.5, periodic=True)
+        assert [plan.check_send(_packet(src=0), 0.0).dropped for _ in range(2)] == [
+            False,
+            True,
+        ]
+        assert [
+            plan.check_receive(_packet(dst=0), ProcessId(0), 0.0).dropped
+            for _ in range(2)
+        ] == [False, True]
+
+    def test_link_loss(self):
+        plan = FaultPlan(link_loss=0.5, rng=random.Random(3))
+        drops = sum(
+            plan.check_receive(_packet(), ProcessId(1), 0.0).dropped
+            for _ in range(1000)
+        )
+        assert 400 < drops < 600
+
+    def test_link_loss_bounds(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(link_loss=1.0)
+
+    def test_partial_broadcast_on_crash(self):
+        """A crashing sender's final multicast reaches only the first
+        partial_deliveries destinations."""
+        schedule = CrashSchedule()
+        schedule.crash(ProcessId(0), 1.0, partial_deliveries=2)
+        plan = FaultPlan(crashes=schedule)
+        packet = _packet(src=0)
+        assert not plan.check_send(packet, 1.0)  # send allowed at crash instant
+        outcomes = [
+            plan.check_receive(packet, ProcessId(d), 1.0).dropped for d in (1, 2, 3)
+        ]
+        assert outcomes == [False, False, True]
+
+
+class TestOmissionWindow:
+    def test_omission_only_inside_window(self):
+        plan = FaultPlan()
+        plan.set_send_omission(ProcessId(0), OmissionModel(0.5, periodic=True))
+        plan.set_omission_window(2.0, 4.0)
+        # Outside the window: never dropped (the model is dormant, and
+        # its periodic counter does not advance).
+        assert not any(plan.check_send(_packet(src=0), 1.0).dropped for _ in range(4))
+        inside = [plan.check_send(_packet(src=0), 3.0).dropped for _ in range(4)]
+        assert inside == [False, True, False, True]
+        assert not any(plan.check_send(_packet(src=0), 5.0).dropped for _ in range(4))
+
+    def test_window_applies_to_receive_side(self):
+        plan = FaultPlan()
+        plan.set_receive_omission(ProcessId(1), OmissionModel(0.5, periodic=True))
+        plan.set_omission_window(0.0, 1.0)
+        packet = _packet(dst=1)
+        assert not plan.check_receive(packet, ProcessId(1), 2.0).dropped
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan().set_omission_window(3.0, 3.0)

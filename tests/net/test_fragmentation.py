@@ -1,0 +1,111 @@
+"""Unit tests for the fragmentation sublayer."""
+
+import pytest
+
+from repro.errors import ConfigError, WireFormatError
+from repro.net.fragmentation import FRAGMENT_HEADER_BYTES, Fragmenter, Reassembler
+
+
+def test_small_pdu_single_fragment():
+    fragmenter = Fragmenter(100)
+    fragments = fragmenter.fragment(b"tiny")
+    assert len(fragments) == 1
+    assert Reassembler().accept("src", fragments[0]) == b"tiny"
+
+
+def test_large_pdu_roundtrip():
+    fragmenter = Fragmenter(50)
+    pdu = bytes(range(256)) * 3
+    fragments = fragmenter.fragment(pdu)
+    assert len(fragments) > 1
+    assert all(len(f) <= 50 for f in fragments)
+    reassembler = Reassembler()
+    results = [reassembler.accept("src", f) for f in fragments]
+    assert results[:-1] == [None] * (len(fragments) - 1)
+    assert results[-1] == pdu
+
+
+def test_reordered_fragments_reassemble():
+    fragmenter = Fragmenter(20)
+    pdu = b"abcdefghij" * 10
+    fragments = fragmenter.fragment(pdu)
+    reassembler = Reassembler()
+    out = None
+    for fragment in reversed(fragments):
+        out = reassembler.accept("src", fragment) or out
+    assert out == pdu
+
+
+def test_interleaved_pdus_from_same_source():
+    fragmenter = Fragmenter(20)
+    a = fragmenter.fragment(b"A" * 40)
+    b = fragmenter.fragment(b"B" * 40)
+    reassembler = Reassembler()
+    outputs = []
+    for fragment in [a[0], b[0], a[1], b[1], a[2], b[2], a[3], b[3]]:
+        result = reassembler.accept("src", fragment)
+        if result is not None:
+            outputs.append(result)
+    assert outputs == [b"A" * 40, b"B" * 40]
+
+
+def test_sources_do_not_mix():
+    fragmenter = Fragmenter(20)
+    fragments = fragmenter.fragment(b"x" * 40)
+    reassembler = Reassembler()
+    # Same fragments from two different sources stay separate.
+    assert reassembler.accept("s1", fragments[0]) is None
+    assert reassembler.accept("s2", fragments[1]) is None
+    assert reassembler.pending_count == 2
+
+
+def test_empty_pdu():
+    fragmenter = Fragmenter(20)
+    fragments = fragmenter.fragment(b"")
+    assert len(fragments) == 1
+    assert Reassembler().accept("s", fragments[0]) == b""
+
+
+def test_eviction_of_stale_partials():
+    fragmenter = Fragmenter(20)
+    reassembler = Reassembler(max_pending=2)
+    for _ in range(4):
+        fragment = fragmenter.fragment(b"y" * 40)[0]  # first fragment only
+        reassembler.accept("s", fragment)
+    assert reassembler.pending_count == 2
+    assert reassembler.evicted_count == 2
+
+
+def test_bad_header_rejected():
+    reassembler = Reassembler()
+    from repro.net.wire import Writer
+
+    writer = Writer()
+    writer.u32(1)
+    writer.u16(5)
+    writer.u16(2)  # index 5 of total 2
+    with pytest.raises(WireFormatError):
+        reassembler.accept("s", writer.getvalue())
+
+
+def test_inconsistent_total_rejected():
+    from repro.net.wire import Writer
+
+    def frag(message_id, index, total):
+        writer = Writer()
+        writer.u32(message_id)
+        writer.u16(index)
+        writer.u16(total)
+        return writer.getvalue()
+
+    reassembler = Reassembler()
+    reassembler.accept("s", frag(1, 0, 3))
+    with pytest.raises(WireFormatError):
+        reassembler.accept("s", frag(1, 1, 4))
+
+
+def test_mtu_validation():
+    with pytest.raises(ConfigError):
+        Fragmenter(FRAGMENT_HEADER_BYTES)
+    with pytest.raises(ConfigError):
+        Reassembler(max_pending=0)

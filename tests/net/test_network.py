@@ -1,0 +1,138 @@
+"""Unit tests for the simulated datagram network."""
+
+import pytest
+
+from repro.errors import PacketTooLargeError, UnknownAddressError
+from repro.net.addressing import GroupAddress, UnicastAddress
+from repro.net.faults import CrashSchedule, FaultPlan
+from repro.net.network import DatagramNetwork
+from repro.net.packet import HEADER_OVERHEAD_BYTES, Packet
+from repro.sim.kernel import Kernel
+from repro.types import ProcessId
+
+
+def _build(n=3, **kwargs):
+    kernel = Kernel()
+    network = DatagramNetwork(kernel, **kwargs)
+    inboxes = {ProcessId(i): [] for i in range(n)}
+    group = GroupAddress("G")
+    for i in range(n):
+        pid = ProcessId(i)
+        network.attach(pid, lambda p, pid=pid: inboxes[pid].append(p))
+        network.join(group, pid)
+    return kernel, network, inboxes, group
+
+
+def test_unicast_delivery_after_one_way_delay():
+    kernel, network, inboxes, _ = _build()
+    network.send(Packet(ProcessId(0), UnicastAddress(ProcessId(1)), b"hi"))
+    assert inboxes[ProcessId(1)] == []  # not delivered synchronously
+    kernel.run()
+    assert kernel.now == 0.5
+    assert len(inboxes[ProcessId(1)]) == 1
+    assert inboxes[ProcessId(1)][0].payload == b"hi"
+
+
+def test_multicast_excludes_sender():
+    kernel, network, inboxes, group = _build(n=4)
+    network.send(Packet(ProcessId(0), group, b"x"))
+    kernel.run()
+    assert len(inboxes[ProcessId(0)]) == 0
+    for i in (1, 2, 3):
+        assert len(inboxes[ProcessId(i)]) == 1
+
+
+def test_unknown_group_raises():
+    _, network, _, _ = _build()
+    with pytest.raises(UnknownAddressError):
+        network.send(Packet(ProcessId(0), GroupAddress("nope"), b"x"))
+
+
+def test_mtu_enforced():
+    kernel = Kernel()
+    network = DatagramNetwork(kernel, mtu=100)
+    network.attach(ProcessId(1), lambda p: None)
+    with pytest.raises(PacketTooLargeError):
+        network.send(
+            Packet(ProcessId(0), UnicastAddress(ProcessId(1)), b"x" * 101)
+        )
+    # Exactly at MTU (payload + header) is fine.
+    network.send(
+        Packet(ProcessId(0), UnicastAddress(ProcessId(1)), b"x" * (100 - HEADER_OVERHEAD_BYTES))
+    )
+
+
+def test_detach_stops_delivery():
+    kernel, network, inboxes, _ = _build()
+    network.detach(ProcessId(1))
+    network.send(Packet(ProcessId(0), UnicastAddress(ProcessId(1)), b"x"))
+    kernel.run()
+    assert inboxes[ProcessId(1)] == []
+    assert network.stats.kind("data").dropped == 1
+
+
+def test_detach_removes_from_groups():
+    _, network, _, group = _build()
+    network.detach(ProcessId(1))
+    assert ProcessId(1) not in network.members(group)
+
+
+def test_crashed_destination_in_flight_drop():
+    """A packet in flight to a process that crashes before delivery is
+    lost (the destination never observes it)."""
+    schedule = CrashSchedule()
+    schedule.crash(ProcessId(1), 0.3)
+    kernel = Kernel()
+    network = DatagramNetwork(kernel, faults=FaultPlan(crashes=schedule))
+    received = []
+    network.attach(ProcessId(1), received.append)
+    network.send(Packet(ProcessId(0), UnicastAddress(ProcessId(1)), b"x"))
+    kernel.run()
+    assert received == []
+
+
+def test_stats_account_send_and_delivery():
+    kernel, network, _, group = _build(n=3)
+    network.send(Packet(ProcessId(0), group, b"abc", kind="data"))
+    kernel.run()
+    stats = network.stats.kind("data")
+    assert stats.sent == 1
+    assert stats.delivered == 2
+    assert stats.sent_bytes == 3 + HEADER_OVERHEAD_BYTES
+
+
+def test_one_way_delay_configurable():
+    kernel = Kernel()
+    network = DatagramNetwork(kernel, one_way_delay=0.25)
+    times = []
+    network.attach(ProcessId(1), lambda p: times.append(kernel.now))
+    network.send(Packet(ProcessId(0), UnicastAddress(ProcessId(1)), b"x"))
+    kernel.run()
+    assert times == [0.25]
+
+
+def test_join_idempotent():
+    _, network, _, group = _build()
+    network.join(group, ProcessId(0))
+    assert network.members(group).count(ProcessId(0)) == 1
+
+
+def test_send_omission_drops_whole_multicast():
+    """A send omission loses the message for every destination."""
+    from repro.net.faults import OmissionModel
+
+    kernel = Kernel()
+    plan = FaultPlan()
+    plan.set_send_omission(ProcessId(0), OmissionModel(0.5, periodic=True))
+    network = DatagramNetwork(kernel, faults=plan)
+    group = GroupAddress("G")
+    counts = {1: 0, 2: 0}
+    for i in (0, 1, 2):
+        pid = ProcessId(i)
+        network.attach(pid, lambda p, i=i: counts.__setitem__(i, counts.get(i, 0) + 1))
+        network.join(group, pid)
+    network.send(Packet(ProcessId(0), group, b"first"))   # kept
+    network.send(Packet(ProcessId(0), group, b"second"))  # omitted
+    kernel.run()
+    assert counts[1] == 1
+    assert counts[2] == 1

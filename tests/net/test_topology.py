@@ -1,0 +1,155 @@
+"""Unit tests for the shared-medium timing models."""
+
+import pytest
+
+from repro.core.config import UrcgcConfig
+from repro.errors import ConfigError
+from repro.net.addressing import UnicastAddress
+from repro.net.network import DatagramNetwork
+from repro.net.packet import HEADER_OVERHEAD_BYTES, Packet
+from repro.net.topology import EthernetBus, FixedDelay
+from repro.sim.kernel import Kernel
+from repro.types import ProcessId
+
+
+def packet(size_payload=92):
+    return Packet(ProcessId(0), UnicastAddress(ProcessId(1)), b"x" * size_payload)
+
+
+class TestFixedDelay:
+    def test_constant_latency(self):
+        medium = FixedDelay(0.5)
+        assert medium.schedule(packet(), 1.0) == 1.5
+        assert medium.schedule(packet(), 1.0) == 1.5  # no contention
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            FixedDelay(0)
+
+
+class TestEthernetBus:
+    def test_serialization_delay(self):
+        bus = EthernetBus(bandwidth=1000, propagation=0.5)
+        # 92 + 8 header = 100 bytes at 1000 B/rtd = 0.1 rtd on the bus.
+        assert bus.schedule(packet(), 0.0) == pytest.approx(0.6)
+
+    def test_default_propagation_fits_round(self):
+        bus = EthernetBus(bandwidth=100_000)
+        assert bus.schedule(packet(), 0.0) < 0.5
+
+    def test_queueing_when_busy(self):
+        bus = EthernetBus(bandwidth=1000, propagation=0.0)
+        first = bus.schedule(packet(), 0.0)
+        second = bus.schedule(packet(), 0.0)  # same instant: queues
+        assert first == pytest.approx(0.1)
+        assert second == pytest.approx(0.2)
+
+    def test_idle_bus_does_not_queue(self):
+        bus = EthernetBus(bandwidth=1000, propagation=0.0)
+        bus.schedule(packet(), 0.0)
+        late = bus.schedule(packet(), 5.0)
+        assert late == pytest.approx(5.1)
+
+    def test_utilization(self):
+        bus = EthernetBus(bandwidth=1000, propagation=0.0)
+        bus.schedule(packet(), 0.0)  # 0.1 rtd of airtime
+        assert bus.utilization(1.0) == pytest.approx(0.1)
+        assert bus.utilization(0.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            EthernetBus(0)
+        with pytest.raises(ConfigError):
+            EthernetBus(100, propagation=-1)
+
+
+class TestNetworkIntegration:
+    def test_network_uses_medium_schedule(self):
+        kernel = Kernel()
+        bus = EthernetBus(bandwidth=100, propagation=0.5)
+        network = DatagramNetwork(kernel, medium=bus)
+        times = []
+        network.attach(ProcessId(1), lambda p: times.append(kernel.now))
+        # Two back-to-back packets of 100B wire size each: serialize.
+        network.send(packet())
+        network.send(packet())
+        kernel.run()
+        assert times[0] == pytest.approx(1.5)  # 1.0 tx + 0.5 prop
+        assert times[1] == pytest.approx(2.5)
+
+    def test_saturated_bus_raises_group_delay(self):
+        """End-to-end: a congested bus pushes D above the 0.5 floor."""
+        from repro.harness.cluster import SimCluster
+        from repro.workloads.generators import FixedBudgetWorkload
+
+        n = 6
+        pids = [ProcessId(i) for i in range(n)]
+
+        def delay_with_bandwidth(bandwidth):
+            cluster = SimCluster(
+                UrcgcConfig(n=n),
+                workload=FixedBudgetWorkload(pids, total=24),
+                medium=EthernetBus(bandwidth=bandwidth),
+                max_rounds=200,
+            )
+            cluster.run_until_quiescent(drain_subruns=3)
+            return cluster.delay_report().mean_delay
+
+        fast = delay_with_bandwidth(1_000_000)
+        slow = delay_with_bandwidth(6_000)
+        # Light load: one-way ~ propagation (serialization negligible).
+        assert fast < 0.5
+        # Contention queues packets behind each other: D rises.
+        assert slow > fast
+
+
+class TestJitteredDelay:
+    def test_delivery_within_bounds(self):
+        import random
+
+        from repro.net.topology import JitteredDelay
+
+        medium = JitteredDelay(base=0.3, jitter=0.1, rng=random.Random(1))
+        times = [medium.schedule(packet(), 1.0) for _ in range(200)]
+        assert all(1.3 <= t <= 1.4 for t in times)
+
+    def test_late_counting(self):
+        import random
+
+        from repro.net.topology import JitteredDelay
+
+        medium = JitteredDelay(base=0.45, jitter=0.2, rng=random.Random(1))
+        for _ in range(200):
+            medium.schedule(packet(), 0.0)
+        assert 0 < medium.late_count < 200
+
+    def test_validation(self):
+        from repro.net.topology import JitteredDelay
+
+        with pytest.raises(ConfigError):
+            JitteredDelay(base=0)
+        with pytest.raises(ConfigError):
+            JitteredDelay(jitter=-0.1)
+
+    def test_group_survives_jitter_past_round_boundary(self):
+        """Occasional late packets are absorbed by recovery."""
+        import random
+
+        from repro.core.config import UrcgcConfig
+        from repro.harness.cluster import SimCluster
+        from repro.net.topology import JitteredDelay
+        from repro.workloads.generators import FixedBudgetWorkload
+
+        n = 5
+        pids = [ProcessId(i) for i in range(n)]
+        medium = JitteredDelay(base=0.4, jitter=0.2, rng=random.Random(3))
+        cluster = SimCluster(
+            UrcgcConfig(n=n, K=4),
+            workload=FixedBudgetWorkload(pids, total=20),
+            medium=medium,
+            max_rounds=300,
+        )
+        done = cluster.run_until_quiescent(drain_subruns=4)
+        assert done is not None
+        assert medium.late_count > 0  # jitter really crossed boundaries
+        assert all(m.processed_count == 20 for m in cluster.members)

@@ -1,0 +1,114 @@
+"""Unit tests for the (m, h, v, d) multicast transport."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.net.addressing import GroupAddress, UnicastAddress
+from repro.net.faults import FaultPlan, OmissionModel
+from repro.net.network import DatagramNetwork
+from repro.net.transport import MulticastTransport
+from repro.sim.kernel import Kernel
+from repro.types import ProcessId
+
+
+def _build(n=3, h=1, faults=None, **kwargs):
+    kernel = Kernel()
+    network = DatagramNetwork(kernel, faults=faults)
+    group = GroupAddress("G")
+    received = {ProcessId(i): [] for i in range(n)}
+    transports = []
+    for i in range(n):
+        pid = ProcessId(i)
+        transport = MulticastTransport(
+            kernel,
+            network,
+            pid,
+            on_data=lambda src, data, pid=pid: received[pid].append((src, data)),
+            h=h,
+            **kwargs,
+        )
+        network.join(group, pid)
+        transports.append(transport)
+    return kernel, network, group, received, transports
+
+
+def test_h1_is_fire_and_forget():
+    kernel, network, group, received, transports = _build(h=1)
+    status = transports[0].t_data_rq(group, b"payload")
+    assert status.complete  # completes immediately: no acks requested
+    kernel.run()
+    assert received[ProcessId(1)] == [(ProcessId(0), b"payload")]
+    assert received[ProcessId(2)] == [(ProcessId(0), b"payload")]
+    assert network.stats.kind("t-ack").sent == 0
+
+
+def test_h2_collects_acks():
+    kernel, _, group, received, transports = _build(h=2)
+    status = transports[0].t_data_rq(group, b"payload", h=2)
+    assert not status.complete
+    kernel.run()
+    assert status.complete
+    assert status.reply_count == 2
+    assert received[ProcessId(1)] == [(ProcessId(0), b"payload")]
+
+
+def test_retransmission_until_h_replies():
+    """With a receiver that omits the first copy, the transport
+    retransmits and still completes with h replies."""
+    plan = FaultPlan()
+    plan.set_receive_omission(ProcessId(1), OmissionModel(0.5, periodic=True))
+    kernel, network, group, received, transports = _build(h=2, faults=plan)
+    # Warm the periodic dropper so the *second* packet to p1 drops.
+    status = transports[0].t_data_rq(group, b"m1", h=2)
+    kernel.run()
+    assert status.complete
+    assert status.reply_count >= 2
+    # Each payload is delivered to the app at most once per receiver.
+    payloads = [data for _, data in received[ProcessId(1)]]
+    assert payloads.count(b"m1") <= 1
+
+
+def test_gives_up_after_max_retries_but_never_fails():
+    """The paper: 'the primitive never fails, even if less than h
+    replies are received'."""
+    plan = FaultPlan()
+    plan.set_receive_omission(ProcessId(1), OmissionModel(0.5, periodic=True))
+    plan.set_receive_omission(ProcessId(2), OmissionModel(0.5, periodic=True))
+    kernel, _, group, _, transports = _build(h=3, faults=plan, max_retries=1)
+    status = transports[0].t_data_rq(group, b"x", h=3)
+    kernel.run()
+    assert status.complete
+    assert status.retries_used <= 1
+
+
+def test_duplicate_suppression():
+    kernel, _, group, received, transports = _build(h=2, ack_timeout=0.6)
+    transports[0].t_data_rq(group, b"dup", h=2)
+    kernel.run()
+    for pid in (ProcessId(1), ProcessId(2)):
+        assert len(received[pid]) == 1
+
+
+def test_unicast_transfer():
+    kernel, _, _, received, transports = _build()
+    transports[0].t_data_rq(UnicastAddress(ProcessId(2)), b"direct")
+    kernel.run()
+    assert received[ProcessId(2)] == [(ProcessId(0), b"direct")]
+    assert received[ProcessId(1)] == []
+
+
+def test_invalid_h_rejected():
+    kernel, _, group, _, transports = _build()
+    with pytest.raises(ConfigError):
+        transports[0].t_data_rq(group, b"x", h=0)
+    with pytest.raises(ConfigError):
+        MulticastTransport(
+            Kernel(), DatagramNetwork(Kernel()), ProcessId(0), on_data=lambda s, d: None, h=0
+        )
+
+
+def test_kind_label_propagates_to_stats():
+    kernel, network, group, _, transports = _build()
+    transports[0].t_data_rq(group, b"x", kind="ctrl-request")
+    kernel.run()
+    assert network.stats.kind("ctrl-request").sent == 1

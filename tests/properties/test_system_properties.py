@@ -1,0 +1,96 @@
+"""Whole-system property test: random groups, workloads, and failure
+mixes must never violate the URCGC invariants."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.checkers import (
+    check_local_causal_order,
+    check_uniform_atomicity,
+    check_uniform_ordering,
+)
+from repro.core.config import UrcgcConfig
+from repro.harness.cluster import SimCluster
+from repro.net.faults import CrashSchedule, FaultPlan, OmissionModel
+from repro.types import ProcessId
+from repro.workloads.generators import BernoulliWorkload
+
+
+@st.composite
+def scenarios(draw):
+    n = draw(st.integers(3, 7))
+    K = draw(st.integers(1, 3))
+    seed = draw(st.integers(0, 10_000))
+    load = draw(st.floats(0.1, 1.0))
+    crash_count = draw(st.integers(0, max(0, n - 2)))
+    crash_times = [
+        draw(st.floats(1.0, 8.0)) for _ in range(crash_count)
+    ]
+    omission_rate = draw(st.sampled_from([0.0, 0.0, 0.01, 0.03]))
+    return n, K, seed, load, crash_times, omission_rate
+
+
+@given(scenarios())
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_random_scenarios_respect_urcgc_invariants(scenario):
+    n, K, seed, load, crash_times, omission_rate = scenario
+    pids = [ProcessId(i) for i in range(n)]
+
+    schedule = CrashSchedule()
+    for i, time in enumerate(crash_times):
+        schedule.crash(ProcessId(n - 1 - i), time)
+    faults = FaultPlan(crashes=schedule, rng=random.Random(seed))
+    if omission_rate:
+        for pid in pids:
+            faults.set_send_omission(pid, OmissionModel(omission_rate))
+            faults.set_receive_omission(pid, OmissionModel(omission_rate))
+
+    cluster = SimCluster(
+        UrcgcConfig(n=n, K=K, R=2 * K + 4),
+        workload=BernoulliWorkload(
+            pids, load, rng=random.Random(seed), stop_after_round=16
+        ),
+        faults=faults,
+        max_rounds=400,
+        seed=seed,
+        trace=False,
+    )
+    quiesced = cluster.run_until_quiescent(drain_subruns=2 * K + 2)
+
+    active = set(cluster.active_pids())
+    streams = {pid: cluster.services[pid].delivered for pid in active}
+
+    # Safety invariants hold whether or not the run quiesced (streams
+    # need only be prefix-consistent while messages are in flight).
+    for pid, stream in streams.items():
+        check_local_causal_order(pid, stream).raise_if_failed()
+    if active:
+        check_uniform_ordering(
+            streams, converged=quiesced is not None
+        ).raise_if_failed()
+
+    # Liveness + atomicity: at quiescence everything non-discarded is
+    # everywhere.
+    if quiesced is not None and active:
+        log = cluster.delivery_log
+        check_uniform_atomicity(
+            log.generated_at,
+            {mid: set(by) for mid, by in log.processed_at.items()},
+            active,
+            discarded=log.discarded,
+        ).raise_if_failed()
+        for mid in log.generated_at:
+            if mid in log.discarded:
+                continue
+            got = set(log.processed_at.get(mid, {})) & active
+            # All-or-none: "none" is legitimate when every holder
+            # crashed or left before any survivor received the message.
+            assert got == active or not got, (
+                f"{mid}: {sorted(got)} != {sorted(active)}"
+            )

@@ -1,0 +1,208 @@
+"""Property-based round-trip tests for every wire codec."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.cbcast.messages import (
+    CbcastData,
+    Flush,
+    StabilityGossip,
+    ViewChange,
+)
+from repro.baselines.cbcast.vector_clock import VectorClock
+from repro.baselines.psync.protocol import PsyncData
+from repro.core.decision import Decision, RequestInfo
+from repro.core.message import (
+    DecisionMessage,
+    RecoveryRequest,
+    RecoveryResponse,
+    RequestMessage,
+    UserMessage,
+)
+from repro.core.mid import Mid
+from repro.net.wire import decode_message, encode_message
+from repro.types import ProcessId, SeqNo, SubrunNo
+
+pids = st.integers(min_value=0, max_value=200).map(ProcessId)
+seqs = st.integers(min_value=1, max_value=2**31).map(SeqNo)
+seqs0 = st.integers(min_value=0, max_value=2**31).map(SeqNo)
+payloads = st.binary(max_size=300)
+
+
+@st.composite
+def mids(draw):
+    return Mid(draw(pids), draw(seqs))
+
+
+@st.composite
+def user_messages(draw):
+    mid = draw(mids())
+    dep_origins = draw(
+        st.lists(pids.filter(lambda p: True), max_size=5, unique=True)
+    )
+    deps = []
+    for origin in dep_origins:
+        if origin == mid.origin:
+            if mid.seq > 1:
+                deps.append(Mid(origin, SeqNo(draw(st.integers(1, mid.seq - 1)))))
+        else:
+            deps.append(Mid(origin, draw(seqs)))
+    return UserMessage(mid, tuple(deps), draw(payloads))
+
+
+@st.composite
+def decisions(draw, n=None):
+    if n is None:
+        n = draw(st.integers(min_value=1, max_value=12))
+    vec = lambda: tuple(draw(st.lists(seqs0, min_size=n, max_size=n)))
+    return Decision(
+        number=SubrunNo(draw(st.integers(-1, 10_000))),
+        chain=draw(st.integers(0, 10_000)),
+        coordinator=ProcessId(draw(st.integers(0, n - 1))),
+        alive=tuple(draw(st.lists(st.booleans(), min_size=n, max_size=n))),
+        attempts=tuple(draw(st.lists(st.integers(0, 255), min_size=n, max_size=n))),
+        stable=vec(),
+        contributors=tuple(draw(st.lists(st.booleans(), min_size=n, max_size=n))),
+        full_group=draw(st.booleans()),
+        max_processed=vec(),
+        most_updated=tuple(
+            ProcessId(draw(st.integers(0, n - 1))) for _ in range(n)
+        ),
+        min_waiting=vec(),
+    )
+
+
+@given(user_messages())
+def test_user_message_roundtrip(message):
+    assert decode_message(encode_message(message)) == message
+
+
+@given(decisions())
+@settings(max_examples=60)
+def test_decision_roundtrip(decision):
+    wrapped = DecisionMessage(decision)
+    assert decode_message(encode_message(wrapped)) == wrapped
+
+
+@given(st.data())
+@settings(max_examples=60)
+def test_request_roundtrip(data):
+    decision = data.draw(decisions())
+    n = decision.n
+    info = RequestInfo(
+        tuple(data.draw(st.lists(seqs0, min_size=n, max_size=n))),
+        tuple(data.draw(st.lists(seqs0, min_size=n, max_size=n))),
+    )
+    message = RequestMessage(
+        ProcessId(data.draw(st.integers(0, n - 1))),
+        SubrunNo(data.draw(st.integers(0, 100_000))),
+        info,
+        decision,
+    )
+    assert decode_message(encode_message(message)) == message
+
+
+@given(
+    pids,
+    st.lists(st.tuples(pids, seqs, st.integers(0, 1000)), max_size=8),
+)
+def test_recovery_request_roundtrip(sender, raw_ranges):
+    ranges = tuple(
+        (origin, first, SeqNo(first + extra)) for origin, first, extra in raw_ranges
+    )
+    message = RecoveryRequest(sender, ranges)
+    assert decode_message(encode_message(message)) == message
+
+
+@given(pids, st.lists(user_messages(), max_size=6))
+def test_recovery_response_roundtrip(sender, messages):
+    unique = {m.mid: m for m in messages}
+    message = RecoveryResponse(sender, tuple(unique.values()))
+    assert decode_message(encode_message(message)) == message
+
+
+@given(st.data())
+@settings(max_examples=60)
+def test_cbcast_data_roundtrip(data):
+    n = data.draw(st.integers(1, 12))
+    vt = VectorClock(data.draw(st.lists(st.integers(0, 2**31), min_size=n, max_size=n)))
+    delivered = VectorClock(
+        data.draw(st.lists(st.integers(0, 2**31), min_size=n, max_size=n))
+    )
+    message = CbcastData(
+        ProcessId(data.draw(st.integers(0, n - 1))),
+        vt,
+        delivered,
+        data.draw(payloads),
+        data.draw(st.booleans()),
+    )
+    assert decode_message(encode_message(message)) == message
+
+
+@given(st.data())
+def test_view_change_and_flush_roundtrip(data):
+    n = data.draw(st.integers(1, 12))
+    view = ViewChange(
+        ProcessId(data.draw(st.integers(0, n - 1))),
+        data.draw(st.integers(0, 1000)),
+        tuple(data.draw(st.lists(st.booleans(), min_size=n, max_size=n))),
+        data.draw(st.booleans()),
+    )
+    assert decode_message(encode_message(view)) == view
+    flush = Flush(
+        view.manager,
+        view.view_id,
+        VectorClock(data.draw(st.lists(st.integers(0, 100), min_size=n, max_size=n))),
+    )
+    assert decode_message(encode_message(flush)) == flush
+    gossip = StabilityGossip(view.manager, flush.delivered)
+    assert decode_message(encode_message(gossip)) == gossip
+
+
+@given(st.data())
+def test_psync_data_roundtrip(data):
+    preds = tuple(
+        (ProcessId(p), s)
+        for p, s in data.draw(
+            st.lists(
+                st.tuples(st.integers(0, 100), st.integers(1, 10_000)), max_size=6
+            )
+        )
+    )
+    message = PsyncData(
+        ProcessId(data.draw(st.integers(0, 100))),
+        data.draw(st.integers(1, 10_000)),
+        preds,
+        data.draw(payloads),
+    )
+    assert decode_message(encode_message(message)) == message
+
+
+# ----------------------------------------------------------------------
+# Fuzzing: untrusted bytes never crash the codec with anything but
+# WireFormatError (the network treats that as a datagram loss).
+# ----------------------------------------------------------------------
+
+from repro.errors import WireFormatError
+
+
+@given(st.binary(max_size=400))
+@settings(max_examples=300)
+def test_decode_untrusted_bytes_is_total(data):
+    import pytest
+
+    try:
+        decode_message(data)
+    except WireFormatError:
+        pass  # the only acceptable failure mode
+
+
+@given(user_messages(), st.integers(0, 399), st.integers(0, 7))
+def test_single_bitflip_never_crashes_codec(message, index, bit):
+    encoded = bytearray(encode_message(message))
+    index %= len(encoded)
+    encoded[index] ^= 1 << bit
+    try:
+        decode_message(bytes(encoded))
+    except WireFormatError:
+        pass

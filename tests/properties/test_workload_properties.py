@@ -1,0 +1,87 @@
+"""Property-based tests on workload-generator invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.types import ProcessId
+from repro.workloads.generators import (
+    BernoulliWorkload,
+    BurstWorkload,
+    FixedBudgetWorkload,
+    PoissonWorkload,
+    ScriptedWorkload,
+)
+
+pids_lists = st.lists(
+    st.integers(0, 10).map(ProcessId), min_size=1, max_size=6, unique=True
+)
+
+
+@given(pids_lists, st.integers(0, 60), st.integers(0, 40))
+def test_fixed_budget_offers_exactly_total(pids, total, rounds):
+    workload = FixedBudgetWorkload(pids, total=total)
+    offered = sum(len(workload.submissions(r)) for r in range(rounds))
+    assert offered == min(total, rounds * len(pids))
+    assert workload.offered == offered
+    if offered == total:
+        assert workload.finished(rounds)
+
+
+@given(pids_lists, st.floats(0, 1), st.integers(0, 30), st.integers(0, 50))
+def test_bernoulli_offered_counter_consistent(pids, p, stop_after, rounds):
+    workload = BernoulliWorkload(
+        pids, p, rng=random.Random(1), stop_after_round=stop_after
+    )
+    offered = sum(len(workload.submissions(r)) for r in range(rounds))
+    assert workload.offered == offered
+    # finished() is monotone and truthful: no submissions after it.
+    if workload.finished(rounds):
+        assert workload.submissions(rounds) == []
+
+
+@given(pids_lists, st.integers(1, 5), st.integers(0, 5), st.integers(0, 40))
+def test_burst_pattern_periodicity(pids, on, off, rounds):
+    workload = BurstWorkload(pids, on_rounds=on, off_rounds=off)
+    for r in range(rounds):
+        subs = workload.submissions(r)
+        if workload.in_burst(r):
+            assert len(subs) == len(pids)
+        else:
+            assert subs == []
+
+
+@given(pids_lists, st.floats(0, 3), st.integers(1, 50))
+@settings(max_examples=50)
+def test_poisson_counter_consistent(pids, rate, rounds):
+    workload = PoissonWorkload(pids, rate, rng=random.Random(2))
+    offered = sum(len(workload.submissions(r)) for r in range(rounds))
+    assert workload.offered == offered
+
+
+@given(
+    st.dictionaries(
+        st.integers(0, 30),
+        st.lists(
+            st.tuples(st.integers(0, 5).map(ProcessId), st.binary(max_size=8)),
+            max_size=3,
+        ),
+        max_size=8,
+    )
+)
+def test_scripted_finished_truthful(schedule):
+    workload = ScriptedWorkload(schedule)
+    horizon = max(schedule, default=-1) + 2
+    for r in range(horizon + 5):
+        if workload.finished(r):
+            assert workload.submissions(r) == []
+
+
+@given(pids_lists, st.integers(0, 40))
+def test_every_submission_comes_from_a_configured_pid(pids, rounds):
+    workload = FixedBudgetWorkload(pids, total=1000)
+    for r in range(rounds):
+        for pid, payload in workload.submissions(r):
+            assert pid in pids
+            assert isinstance(payload, bytes) and payload

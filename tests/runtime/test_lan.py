@@ -1,0 +1,103 @@
+"""Unit tests for the asyncio datagram fabric."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import RuntimeTransportError, UnknownAddressError
+from repro.net.addressing import GroupAddress, UnicastAddress
+from repro.runtime.lan import AsyncLan
+from repro.types import ProcessId
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_unicast_delivery():
+    async def main():
+        lan = AsyncLan()
+        endpoint = lan.attach(ProcessId(1))
+        lan.sendto(ProcessId(0), UnicastAddress(ProcessId(1)), b"hello")
+        datagram = await asyncio.wait_for(endpoint.recv(), 1)
+        assert datagram.src == 0
+        assert datagram.data == b"hello"
+
+    run(main())
+
+
+def test_multicast_excludes_sender():
+    async def main():
+        lan = AsyncLan()
+        group = GroupAddress("G")
+        endpoints = {}
+        for i in range(3):
+            pid = ProcessId(i)
+            endpoints[pid] = lan.attach(pid)
+            lan.join(group, pid)
+        lan.sendto(ProcessId(0), group, b"x")
+        await asyncio.sleep(0)
+        assert endpoints[ProcessId(0)].queue.qsize() == 0
+        assert endpoints[ProcessId(1)].queue.qsize() == 1
+        assert endpoints[ProcessId(2)].queue.qsize() == 1
+
+    run(main())
+
+
+def test_unknown_group_raises():
+    async def main():
+        lan = AsyncLan()
+        lan.attach(ProcessId(0))
+        with pytest.raises(UnknownAddressError):
+            lan.sendto(ProcessId(0), GroupAddress("nope"), b"x")
+
+    run(main())
+
+
+def test_loss_injection_statistics():
+    async def main():
+        lan = AsyncLan(loss=0.5, seed=1)
+        lan.attach(ProcessId(1))
+        for _ in range(1000):
+            lan.sendto(ProcessId(0), UnicastAddress(ProcessId(1)), b"x")
+        assert 350 < lan.dropped_count < 650
+
+    run(main())
+
+
+def test_send_to_unattached_endpoint_drops():
+    async def main():
+        lan = AsyncLan()
+        lan.sendto(ProcessId(0), UnicastAddress(ProcessId(9)), b"x")
+        assert lan.dropped_count == 1
+
+    run(main())
+
+
+def test_closed_lan_rejects_sends():
+    async def main():
+        lan = AsyncLan()
+        lan.attach(ProcessId(1))
+        lan.close()
+        with pytest.raises(RuntimeTransportError):
+            lan.sendto(ProcessId(0), UnicastAddress(ProcessId(1)), b"x")
+
+    run(main())
+
+
+def test_invalid_loss_rejected():
+    with pytest.raises(RuntimeTransportError):
+        AsyncLan(loss=1.0)
+
+
+def test_latency_delays_delivery():
+    async def main():
+        lan = AsyncLan(latency=0.02)
+        endpoint = lan.attach(ProcessId(1))
+        lan.sendto(ProcessId(0), UnicastAddress(ProcessId(1)), b"x")
+        await asyncio.sleep(0)
+        assert endpoint.queue.qsize() == 0  # still in flight
+        await asyncio.sleep(0.05)
+        assert endpoint.queue.qsize() == 1
+
+    run(main())

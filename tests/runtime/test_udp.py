@@ -1,0 +1,131 @@
+"""Integration tests for the UDP socket transport."""
+
+import asyncio
+
+import pytest
+
+from repro.core.config import UrcgcConfig
+from repro.errors import RuntimeTransportError
+from repro.net.addressing import GroupAddress, UnicastAddress
+from repro.runtime.node import AsyncGroup
+from repro.runtime.udp import UdpFabric
+from repro.types import ProcessId
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_basic_datagram_roundtrip():
+    async def main():
+        fabric = await UdpFabric.create(2)
+        try:
+            endpoint = fabric.attach(ProcessId(1))
+            fabric.sendto(ProcessId(0), UnicastAddress(ProcessId(1)), b"over udp")
+            datagram = await asyncio.wait_for(endpoint.recv(), 2)
+            assert datagram.src == 0
+            assert datagram.data == b"over udp"
+        finally:
+            fabric.close()
+
+    run(main())
+
+
+def test_multicast_fans_out():
+    async def main():
+        fabric = await UdpFabric.create(3)
+        group = GroupAddress("G")
+        try:
+            for i in range(3):
+                fabric.join(group, ProcessId(i))
+            fabric.sendto(ProcessId(0), group, b"x")
+            for i in (1, 2):
+                datagram = await asyncio.wait_for(
+                    fabric.attach(ProcessId(i)).recv(), 2
+                )
+                assert datagram.data == b"x"
+            assert fabric.attach(ProcessId(0)).queue.qsize() == 0
+        finally:
+            fabric.close()
+
+    run(main())
+
+
+def test_unbound_pid_rejected():
+    async def main():
+        fabric = await UdpFabric.create(1)
+        try:
+            with pytest.raises(RuntimeTransportError):
+                fabric.attach(ProcessId(5))
+        finally:
+            fabric.close()
+
+    run(main())
+
+
+def test_closed_fabric_rejects_sends():
+    async def main():
+        fabric = await UdpFabric.create(2)
+        fabric.close()
+        with pytest.raises(RuntimeTransportError):
+            fabric.sendto(ProcessId(0), UnicastAddress(ProcessId(1)), b"x")
+
+    run(main())
+
+
+def test_urcgc_group_over_real_udp():
+    """The full protocol over genuine loopback UDP sockets."""
+
+    async def main():
+        fabric = await UdpFabric.create(3)
+        group = AsyncGroup(UrcgcConfig(n=3), lan=fabric, round_interval=0.005)
+        group.start()
+        try:
+            submissions = [(ProcessId(i % 3), f"udp-{i}".encode()) for i in range(9)]
+            await group.run_workload(submissions, timeout=20)
+            for node in group.nodes:
+                assert len(node.delivered) == 9
+            vectors = {n.member.last_processed_vector() for n in group.nodes}
+            assert vectors == {(3, 3, 3)}
+        finally:
+            await group.stop()
+
+    run(main())
+
+
+def test_urcgc_group_over_lossy_udp():
+    async def main():
+        fabric = await UdpFabric.create(4, loss=0.05, seed=3)
+        group = AsyncGroup(UrcgcConfig(n=4), lan=fabric, round_interval=0.005)
+        group.start()
+        try:
+            submissions = [(ProcessId(i % 4), f"m{i}".encode()) for i in range(12)]
+            await group.run_workload(submissions, timeout=30)
+            for node in group.nodes:
+                assert len(node.delivered) == 12
+        finally:
+            await group.stop()
+
+    run(main())
+
+
+def test_create_node_multiprocess_convention():
+    """Two fabrics in one process, each owning one socket, find each
+    other via the (host, base_port + pid) convention."""
+
+    async def main():
+        import random
+
+        base_port = random.Random(99).randint(20000, 55000)
+        a = await UdpFabric.create_node(ProcessId(0), 2, base_port=base_port)
+        b = await UdpFabric.create_node(ProcessId(1), 2, base_port=base_port)
+        try:
+            a.sendto(ProcessId(0), UnicastAddress(ProcessId(1)), b"cross")
+            datagram = await asyncio.wait_for(b.attach(ProcessId(1)).recv(), 2)
+            assert datagram.src == 0
+            assert datagram.data == b"cross"
+        finally:
+            a.close()
+            b.close()
+
+    run(main())

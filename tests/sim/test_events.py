@@ -1,0 +1,100 @@
+"""Unit tests for the event queue."""
+
+import pytest
+
+from repro.errors import ScheduleInPastError
+from repro.sim.events import EventQueue, PRIORITY_NETWORK, PRIORITY_ROUND
+
+
+def test_pop_orders_by_time():
+    queue = EventQueue()
+    fired = []
+    queue.push(2.0, lambda: fired.append("b"))
+    queue.push(1.0, lambda: fired.append("a"))
+    queue.push(3.0, lambda: fired.append("c"))
+    while (event := queue.pop()) is not None:
+        event.action()
+    assert fired == ["a", "b", "c"]
+
+
+def test_same_time_orders_by_priority():
+    queue = EventQueue()
+    fired = []
+    queue.push(1.0, lambda: fired.append("round"), priority=PRIORITY_ROUND)
+    queue.push(1.0, lambda: fired.append("net"), priority=PRIORITY_NETWORK)
+    while (event := queue.pop()) is not None:
+        event.action()
+    assert fired == ["net", "round"]
+
+
+def test_same_time_same_priority_fifo():
+    queue = EventQueue()
+    fired = []
+    for i in range(5):
+        queue.push(1.0, lambda i=i: fired.append(i))
+    while (event := queue.pop()) is not None:
+        event.action()
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_now_advances_with_pop():
+    queue = EventQueue()
+    queue.push(1.5, lambda: None)
+    assert queue.now == 0.0
+    queue.pop()
+    assert queue.now == 1.5
+
+
+def test_schedule_in_past_rejected():
+    queue = EventQueue()
+    queue.push(2.0, lambda: None)
+    queue.pop()
+    with pytest.raises(ScheduleInPastError):
+        queue.push(1.0, lambda: None)
+
+
+def test_schedule_at_now_allowed():
+    queue = EventQueue()
+    queue.push(2.0, lambda: None)
+    queue.pop()
+    queue.push(2.0, lambda: None)  # same instant is fine
+    assert queue.peek_time() == 2.0
+
+
+def test_cancelled_events_skipped():
+    queue = EventQueue()
+    fired = []
+    handle = queue.push(1.0, lambda: fired.append("cancelled"))
+    queue.push(2.0, lambda: fired.append("kept"))
+    handle.cancel()
+    while (event := queue.pop()) is not None:
+        event.action()
+    assert fired == ["kept"]
+
+
+def test_len_ignores_cancelled():
+    queue = EventQueue()
+    handle = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    assert len(queue) == 2
+    handle.cancel()
+    assert len(queue) == 1
+
+
+def test_peek_time_skips_cancelled():
+    queue = EventQueue()
+    handle = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    handle.cancel()
+    assert queue.peek_time() == 2.0
+
+
+def test_pop_empty_returns_none():
+    assert EventQueue().pop() is None
+
+
+def test_clear_drops_pending():
+    queue = EventQueue()
+    queue.push(1.0, lambda: None)
+    queue.clear()
+    assert queue.pop() is None

@@ -1,0 +1,98 @@
+"""Unit tests for the simulation kernel."""
+
+import pytest
+
+from repro.errors import KernelStoppedError
+from repro.sim.kernel import Kernel
+
+
+def test_run_executes_in_order():
+    kernel = Kernel()
+    fired = []
+    kernel.schedule(2.0, lambda: fired.append("late"))
+    kernel.schedule(1.0, lambda: fired.append("early"))
+    executed = kernel.run()
+    assert executed == 2
+    assert fired == ["early", "late"]
+    assert kernel.now == 2.0
+
+
+def test_schedule_relative_to_now():
+    kernel = Kernel()
+    times = []
+    kernel.schedule(1.0, lambda: kernel.schedule(1.0, lambda: times.append(kernel.now)))
+    kernel.run()
+    assert times == [2.0]
+
+
+def test_run_until_horizon():
+    kernel = Kernel()
+    fired = []
+    kernel.schedule(1.0, lambda: fired.append(1))
+    kernel.schedule(5.0, lambda: fired.append(5))
+    kernel.run(until=2.0)
+    assert fired == [1]
+    assert kernel.stop_reason == "horizon"
+    kernel.run()
+    assert fired == [1, 5]
+
+
+def test_run_max_events():
+    kernel = Kernel()
+    for i in range(10):
+        kernel.schedule(float(i), lambda: None)
+    executed = kernel.run(max_events=3)
+    assert executed == 3
+    assert kernel.stop_reason == "max_events"
+
+
+def test_stop_when_condition():
+    kernel = Kernel()
+    fired = []
+    for i in range(10):
+        kernel.schedule(float(i), lambda i=i: fired.append(i))
+    kernel.run(stop_when=lambda: len(fired) >= 4)
+    assert fired == [0, 1, 2, 3]
+    assert kernel.stop_reason == "condition"
+
+
+def test_stop_inside_event():
+    kernel = Kernel()
+    fired = []
+    kernel.schedule(1.0, lambda: (fired.append(1), kernel.stop("manual")))
+    kernel.schedule(2.0, lambda: fired.append(2))
+    kernel.run()
+    assert fired == [1]
+    assert kernel.stop_reason == "manual"
+
+
+def test_run_not_reentrant():
+    kernel = Kernel()
+
+    def reenter():
+        with pytest.raises(KernelStoppedError):
+            kernel.run()
+
+    kernel.schedule(1.0, reenter)
+    kernel.run()
+
+
+def test_deterministic_rng_streams():
+    a = Kernel(seed=42)
+    b = Kernel(seed=42)
+    assert [a.rng.stream("x").random() for _ in range(5)] == [
+        b.rng.stream("x").random() for _ in range(5)
+    ]
+
+
+def test_rng_streams_independent_by_name():
+    kernel = Kernel(seed=42)
+    xs = [kernel.rng.stream("x").random() for _ in range(5)]
+    ys = [kernel.rng.stream("y").random() for _ in range(5)]
+    assert xs != ys
+
+
+def test_trace_can_be_disabled():
+    kernel = Kernel(trace=False)
+    kernel.trace.emit(0.0, "kind", 1)
+    assert len(kernel.trace) == 0

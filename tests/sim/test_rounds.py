@@ -1,0 +1,75 @@
+"""Unit tests for the round scheduler."""
+
+import pytest
+
+from repro.sim.kernel import Kernel
+from repro.sim.rounds import RoundScheduler
+
+
+def test_rounds_fire_every_half_rtd():
+    kernel = Kernel()
+    scheduler = RoundScheduler(kernel, max_rounds=4)
+    times = []
+    scheduler.subscribe(lambda r: times.append((r, kernel.now)))
+    scheduler.start()
+    kernel.run()
+    assert times == [(0, 0.0), (1, 0.5), (2, 1.0), (3, 1.5)]
+
+
+def test_handlers_called_in_subscription_order():
+    kernel = Kernel()
+    scheduler = RoundScheduler(kernel, max_rounds=1)
+    order = []
+    scheduler.subscribe(lambda r: order.append("first"))
+    scheduler.subscribe(lambda r: order.append("second"))
+    scheduler.start()
+    kernel.run()
+    assert order == ["first", "second"]
+
+
+def test_stop_prevents_future_rounds():
+    kernel = Kernel()
+    scheduler = RoundScheduler(kernel)
+    seen = []
+
+    def handler(round_no):
+        seen.append(round_no)
+        if round_no == 2:
+            scheduler.stop()
+
+    scheduler.subscribe(handler)
+    scheduler.start()
+    kernel.run()
+    assert seen == [0, 1, 2]
+
+
+def test_network_events_precede_round_tick():
+    """A packet delivery scheduled for a round boundary is handled
+    before that round's handler (PRIORITY_NETWORK < PRIORITY_ROUND)."""
+    from repro.sim.events import PRIORITY_NETWORK
+
+    kernel = Kernel()
+    scheduler = RoundScheduler(kernel, max_rounds=2)
+    order = []
+    scheduler.subscribe(lambda r: order.append(f"round{r}"))
+    kernel.schedule_at(0.5, lambda: order.append("packet"), priority=PRIORITY_NETWORK)
+    scheduler.start()
+    kernel.run()
+    assert order == ["round0", "packet", "round1"]
+
+
+def test_double_start_rejected():
+    kernel = Kernel()
+    scheduler = RoundScheduler(kernel, max_rounds=1)
+    scheduler.start()
+    with pytest.raises(RuntimeError):
+        scheduler.start()
+
+
+def test_current_round_tracks_progress():
+    kernel = Kernel()
+    scheduler = RoundScheduler(kernel, max_rounds=3)
+    scheduler.subscribe(lambda r: None)
+    scheduler.start()
+    kernel.run()
+    assert scheduler.current_round == 3

@@ -1,0 +1,48 @@
+"""Unit tests for the structured trace."""
+
+from repro.sim.trace import Trace
+
+
+def test_emit_and_select_by_kind():
+    trace = Trace()
+    trace.emit(0.0, "a", 1, x=1)
+    trace.emit(1.0, "b", 2)
+    trace.emit(2.0, "a", 3, x=2)
+    assert [r["x"] for r in trace.select(kind="a")] == [1, 2]
+
+
+def test_select_by_actor():
+    trace = Trace()
+    trace.emit(0.0, "a", 1)
+    trace.emit(1.0, "a", 2)
+    assert len(trace.select(actor=2)) == 1
+
+
+def test_select_with_predicate():
+    trace = Trace()
+    trace.emit(0.0, "a", 1, n=1)
+    trace.emit(1.0, "a", 1, n=5)
+    matches = trace.select(kind="a", predicate=lambda r: r["n"] > 2)
+    assert len(matches) == 1
+    assert matches[0].time == 1.0
+
+
+def test_last():
+    trace = Trace()
+    assert trace.last("a") is None
+    trace.emit(0.0, "a", 1, n=1)
+    trace.emit(1.0, "a", 1, n=2)
+    assert trace.last("a")["n"] == 2
+
+
+def test_disabled_trace_records_nothing():
+    trace = Trace(enabled=False)
+    trace.emit(0.0, "a", 1)
+    assert len(trace) == 0
+
+
+def test_clear():
+    trace = Trace()
+    trace.emit(0.0, "a", 1)
+    trace.clear()
+    assert len(trace) == 0

@@ -1,0 +1,110 @@
+"""Coverage for small helpers not exercised elsewhere."""
+
+from repro.core.config import UrcgcConfig
+from repro.core.member import Member
+from repro.core.service import RequestHandle, UrcgcService
+from repro.net.packet import Packet
+from repro.net.addressing import UnicastAddress
+from repro.net.stats import NetworkStats
+from repro.sim.rng import RngRegistry
+from repro.types import ProcessId
+
+
+class TestRngRegistry:
+    def test_same_name_same_stream(self):
+        registry = RngRegistry(1)
+        assert registry.stream("a") is registry.stream("a")
+
+    def test_fork_is_disjoint(self):
+        parent = RngRegistry(1)
+        child = parent.fork("worker")
+        assert parent.stream("x").random() != child.stream("x").random()
+
+    def test_fork_deterministic(self):
+        a = RngRegistry(1).fork("w")
+        b = RngRegistry(1).fork("w")
+        assert a.stream("x").random() == b.stream("x").random()
+
+    def test_seed_property(self):
+        assert RngRegistry(7).seed == 7
+
+
+class TestNetworkStatsTotals:
+    def _packet(self, kind, size=10):
+        return Packet(ProcessId(0), UnicastAddress(ProcessId(1)), b"x" * size, kind=kind)
+
+    def test_total_aggregates(self):
+        stats = NetworkStats()
+        stats.on_sent(self._packet("data", 10))
+        stats.on_sent(self._packet("ctrl-request", 20))
+        stats.on_delivered(self._packet("ctrl-request", 20))
+        stats.on_dropped(self._packet("data"))
+        total = stats.total()
+        assert total.sent == 2
+        assert total.delivered == 1
+        assert total.dropped == 1
+
+    def test_control_only_excludes_data(self):
+        stats = NetworkStats()
+        stats.on_sent(self._packet("data", 50))
+        stats.on_sent(self._packet("ctrl-decision", 5))
+        control = stats.total(control_only=True)
+        assert control.sent == 1
+
+    def test_min_max_sizes(self):
+        stats = NetworkStats()
+        stats.on_sent(self._packet("data", 4))
+        stats.on_sent(self._packet("data", 40))
+        kind = stats.kind("data")
+        assert kind.min_size == 4 + 8  # + header
+        assert kind.max_size == 48
+
+    def test_as_rows_sorted(self):
+        stats = NetworkStats()
+        stats.on_sent(self._packet("z"))
+        stats.on_sent(self._packet("a"))
+        rows = stats.as_rows()
+        assert [r[0] for r in rows] == ["a", "z"]
+
+    def test_unknown_kind_is_zeros(self):
+        assert NetworkStats().kind("nope").sent == 0
+
+
+class TestSmallReprs:
+    def test_request_handle_repr(self):
+        handle = RequestHandle(b"x")
+        assert "pending" in repr(handle)
+        from repro.core.mid import Mid
+        from repro.types import SeqNo
+
+        handle.mid = Mid(ProcessId(0), SeqNo(1))
+        assert "confirmed" in repr(handle)
+
+    def test_trace_record_getitem(self):
+        from repro.sim.trace import TraceRecord
+
+        record = TraceRecord(0.0, "k", 1, {"x": 5})
+        assert record["x"] == 5
+
+    def test_packet_repr(self):
+        packet = Packet(ProcessId(0), UnicastAddress(ProcessId(1)), b"abc", kind="data")
+        text = repr(packet)
+        assert "p0" in text and "3B" in text
+
+    def test_mark_significant_via_member(self):
+        member = Member(ProcessId(0), UrcgcConfig(n=3, auto_significant=False))
+        from repro.core.message import UserMessage
+        from repro.core.mid import Mid
+        from repro.types import SeqNo
+
+        member.on_message(UserMessage(Mid(ProcessId(1), SeqNo(1)), ()))
+        member.mark_significant(ProcessId(1))
+        member.submit(b"reply")
+        effects = member.on_round(0)
+        from repro.core.effects import Send
+
+        data = [
+            e.message for e in effects
+            if isinstance(e, Send) and e.kind == "data"
+        ]
+        assert Mid(ProcessId(1), SeqNo(1)) in data[0].deps

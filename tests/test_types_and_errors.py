@@ -1,0 +1,71 @@
+"""Coverage for the shared scalar helpers and the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+from repro.types import (
+    ROUNDS_PER_SUBRUN,
+    RTD_PER_SUBRUN,
+    round_of_subrun,
+    subrun_of_round,
+    time_of_round,
+)
+
+
+class TestTimeHelpers:
+    def test_round_of_subrun(self):
+        assert round_of_subrun(0) == 0
+        assert round_of_subrun(0, second=True) == 1
+        assert round_of_subrun(3) == 6
+        assert round_of_subrun(3, second=True) == 7
+
+    def test_subrun_of_round(self):
+        assert [subrun_of_round(r) for r in range(6)] == [0, 0, 1, 1, 2, 2]
+
+    def test_time_of_round(self):
+        assert time_of_round(0) == 0.0
+        assert time_of_round(1) == 0.5
+        assert time_of_round(4) == 2.0
+
+    def test_round_trip(self):
+        for subrun in range(10):
+            assert subrun_of_round(round_of_subrun(subrun)) == subrun
+            assert subrun_of_round(round_of_subrun(subrun, second=True)) == subrun
+
+    def test_constants(self):
+        assert RTD_PER_SUBRUN == 1.0
+        assert ROUNDS_PER_SUBRUN == 2
+
+
+class TestErrorHierarchy:
+    def test_everything_is_repro_error(self):
+        for name in errors.__all__:
+            cls = getattr(errors, name)
+            if name == "ReproError":
+                continue
+            assert issubclass(cls, errors.ReproError), name
+
+    def test_config_error_is_value_error(self):
+        assert issubclass(errors.ConfigError, ValueError)
+
+    def test_unknown_address_is_key_error(self):
+        assert issubclass(errors.UnknownAddressError, KeyError)
+
+    def test_wire_format_is_value_error(self):
+        assert issubclass(errors.WireFormatError, ValueError)
+
+    def test_protocol_errors_grouped(self):
+        for name in (
+            "NotInGroupError",
+            "DuplicateMidError",
+            "UnknownMidError",
+            "CausalityViolationError",
+            "HistoryOverflowError",
+            "FlowControlBlocked",
+            "MemberLeftError",
+        ):
+            assert issubclass(getattr(errors, name), errors.ProtocolError)
+
+    def test_catch_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.MemberLeftError("gone")

@@ -1,0 +1,143 @@
+"""Unit tests for workload generators."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.types import ProcessId
+from repro.workloads.generators import (
+    BernoulliWorkload,
+    FixedBudgetWorkload,
+    NullWorkload,
+    ScriptedWorkload,
+    payload_for,
+)
+
+
+PIDS = [ProcessId(i) for i in range(4)]
+
+
+def test_null_workload():
+    assert NullWorkload().submissions(0) == []
+
+
+class TestPayloadFor:
+    def test_size_exact(self):
+        assert len(payload_for(ProcessId(0), 0, size=32)) == 32
+        assert len(payload_for(ProcessId(0), 0, size=4)) == 4
+
+    def test_self_describing(self):
+        assert payload_for(ProcessId(3), 7).startswith(b"p3r7:")
+
+
+class TestBernoulli:
+    def test_probability_zero(self):
+        workload = BernoulliWorkload(PIDS, 0.0)
+        assert all(workload.submissions(r) == [] for r in range(10))
+
+    def test_probability_one(self):
+        workload = BernoulliWorkload(PIDS, 1.0)
+        subs = workload.submissions(0)
+        assert [pid for pid, _ in subs] == PIDS
+
+    def test_offered_counter(self):
+        workload = BernoulliWorkload(PIDS, 1.0)
+        workload.submissions(0)
+        workload.submissions(1)
+        assert workload.offered == 8
+
+    def test_statistical_rate(self):
+        workload = BernoulliWorkload(PIDS, 0.25, rng=random.Random(0))
+        total = sum(len(workload.submissions(r)) for r in range(1000))
+        assert 800 < total < 1200
+
+    def test_stop_after_round(self):
+        workload = BernoulliWorkload(PIDS, 1.0, stop_after_round=1)
+        assert workload.submissions(1)
+        assert workload.submissions(2) == []
+
+    def test_invalid_probability(self):
+        with pytest.raises(ConfigError):
+            BernoulliWorkload(PIDS, 1.5)
+
+
+class TestFixedBudget:
+    def test_budget_exhausted_exactly(self):
+        workload = FixedBudgetWorkload(PIDS, total=10)
+        total = 0
+        for r in range(10):
+            total += len(workload.submissions(r))
+        assert total == 10
+        assert workload.offered == 10
+
+    def test_round_robin_across_pids(self):
+        workload = FixedBudgetWorkload(PIDS, total=6)
+        first = workload.submissions(0)
+        assert [pid for pid, _ in first] == PIDS
+        second = workload.submissions(1)
+        assert [pid for pid, _ in second] == PIDS[:2]
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ConfigError):
+            FixedBudgetWorkload(PIDS, total=-1)
+
+
+class TestScripted:
+    def test_exact_schedule(self):
+        schedule = {0: [(PIDS[1], b"a")], 3: [(PIDS[0], b"b"), (PIDS[2], b"c")]}
+        workload = ScriptedWorkload(schedule)
+        assert workload.submissions(0) == [(PIDS[1], b"a")]
+        assert workload.submissions(1) == []
+        assert len(workload.submissions(3)) == 2
+
+
+class TestBurst:
+    def test_on_off_pattern(self):
+        from repro.workloads.generators import BurstWorkload
+
+        workload = BurstWorkload(PIDS, on_rounds=2, off_rounds=3)
+        pattern = [bool(workload.submissions(r)) for r in range(10)]
+        assert pattern == [True, True, False, False, False] * 2
+
+    def test_total_budget(self):
+        from repro.workloads.generators import BurstWorkload
+
+        workload = BurstWorkload(PIDS, on_rounds=1, off_rounds=0, total=6)
+        counts = [len(workload.submissions(r)) for r in range(3)]
+        assert counts == [4, 2, 0]
+
+    def test_validation(self):
+        from repro.workloads.generators import BurstWorkload
+
+        with pytest.raises(ConfigError):
+            BurstWorkload(PIDS, on_rounds=0, off_rounds=1)
+
+
+class TestPoisson:
+    def test_zero_rate(self):
+        from repro.workloads.generators import PoissonWorkload
+
+        workload = PoissonWorkload(PIDS, 0.0)
+        assert all(workload.submissions(r) == [] for r in range(20))
+
+    def test_mean_rate(self):
+        from repro.workloads.generators import PoissonWorkload
+
+        workload = PoissonWorkload(PIDS, 0.5, rng=random.Random(2))
+        total = sum(len(workload.submissions(r)) for r in range(500))
+        # 4 pids * 0.5 per round * 500 rounds = 1000 expected.
+        assert 850 < total < 1150
+
+    def test_stop_after(self):
+        from repro.workloads.generators import PoissonWorkload
+
+        workload = PoissonWorkload(PIDS, 2.0, stop_after_round=0)
+        workload.submissions(0)
+        assert workload.submissions(1) == []
+
+    def test_negative_rate_rejected(self):
+        from repro.workloads.generators import PoissonWorkload
+
+        with pytest.raises(ConfigError):
+            PoissonWorkload(PIDS, -1)
