@@ -3,6 +3,15 @@ parameter sweeps, and the experiment registry."""
 
 from .cbcast_cluster import CbcastCluster
 from .cluster import SimCluster
+from .live_torture import LiveTortureResult, live_torture, live_torture_once
 from .sweep import SweepResult, sweep
 
-__all__ = ["CbcastCluster", "SimCluster", "SweepResult", "sweep"]
+__all__ = [
+    "CbcastCluster",
+    "SimCluster",
+    "LiveTortureResult",
+    "live_torture",
+    "live_torture_once",
+    "SweepResult",
+    "sweep",
+]

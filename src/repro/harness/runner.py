@@ -125,7 +125,55 @@ def main(argv: list[str] | None = None) -> int:
     )
     torture_parser.add_argument("-n", "--iterations", type=int, default=20)
     torture_parser.add_argument("--seed", type=int, default=0)
+    chaos_parser = sub.add_parser(
+        "chaos",
+        help="live fault-injected asyncio runs, audited with the "
+        "Definition 3.2 checkers",
+    )
+    chaos_parser.add_argument("-n", "--iterations", type=int, default=10)
+    chaos_parser.add_argument("--seed", type=int, default=0)
+    chaos_parser.add_argument(
+        "--budget",
+        type=float,
+        default=20.0,
+        help="wall-clock seconds allowed per iteration",
+    )
+    chaos_parser.add_argument(
+        "--round-interval",
+        type=float,
+        default=0.005,
+        help="seconds per protocol round at every node",
+    )
+    chaos_parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
     args = parser.parse_args(argv)
+    if args.command == "chaos":
+        from .live_torture import live_torture, results_as_json
+
+        results = live_torture(
+            args.iterations,
+            start_seed=args.seed,
+            budget=args.budget,
+            round_interval=args.round_interval,
+        )
+        if args.json:
+            import json
+
+            print(json.dumps(results_as_json(results), indent=2))
+        else:
+            for result in results:
+                print(result.describe())
+                for violation in result.violations[:5]:
+                    print(f"    {violation}")
+                if not result.ok:
+                    print(
+                        f"    reproduce: python -m repro chaos "
+                        f"--iterations 1 --seed {result.seed}"
+                    )
+            clean = sum(1 for r in results if r.ok)
+            print(f"{clean}/{args.iterations} scenarios clean")
+        return 1 if any(not r.ok for r in results) else 0
     if args.command == "torture":
         from .torture import torture
 

@@ -8,7 +8,7 @@ fault plan covering crashes, send/receive omissions, and subnet loss.
 """
 
 from .addressing import Address, BROADCAST_GROUP, GroupAddress, UnicastAddress
-from .faults import CrashSchedule, DropDecision, FaultPlan, OmissionModel
+from .faults import CrashSchedule, DropDecision, FaultPlan, OmissionModel, PartitionMap
 from .fragmentation import FRAGMENT_HEADER_BYTES, Fragmenter, Reassembler
 from .network import DEFAULT_ONE_WAY_DELAY, DatagramNetwork, ETHERNET_MTU
 from .packet import HEADER_OVERHEAD_BYTES, Packet
@@ -34,6 +34,7 @@ __all__ = [
     "DropDecision",
     "FaultPlan",
     "OmissionModel",
+    "PartitionMap",
     "FRAGMENT_HEADER_BYTES",
     "Fragmenter",
     "Reassembler",

@@ -15,20 +15,38 @@ Components:
 * :class:`OmissionModel` — per-message send/receive omissions, either
   random (Bernoulli with rate ``1/n``) or periodic (every ``n``-th
   message, useful for exactly-reproducible failure patterns).
-* :class:`FaultPlan` — combines crashes, per-process omissions, and
-  uniform link loss into the single predicate the network consults.
+* :class:`PartitionMap` — directed reachability faults: symmetric or
+  asymmetric network partitions, with heal.
+* :class:`FaultPlan` — combines crashes, per-process omissions,
+  partitions, and uniform link loss into the single predicate the
+  network consults.
+
+The same plan object drives both the simulator
+(:class:`~repro.net.network.DatagramNetwork`) and the live asyncio
+runtime (:class:`~repro.runtime.chaos.ChaosFabric`): the crash-agnostic
+layers are exposed separately (:meth:`FaultPlan.check_send_faults` /
+:meth:`FaultPlan.check_receive_faults`) because the runtime handles
+fail-stop on a wall clock, where the simulator's "crash instant"
+equality test cannot fire.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
 
 from ..errors import ConfigError
 from ..types import ProcessId, Time
 from .packet import Packet
 
-__all__ = ["CrashSchedule", "OmissionModel", "FaultPlan", "DropDecision"]
+__all__ = [
+    "CrashSchedule",
+    "OmissionModel",
+    "PartitionMap",
+    "FaultPlan",
+    "DropDecision",
+]
 
 
 @dataclass(frozen=True)
@@ -115,8 +133,16 @@ class OmissionModel:
     def __post_init__(self) -> None:
         if not 0.0 <= self.rate < 1.0:
             raise ConfigError(f"omission rate must be in [0, 1), got {self.rate}")
-        if self.periodic and self.rate > 0 and (1.0 / self.rate) != int(1.0 / self.rate):
-            raise ConfigError("periodic omission requires rate = 1/N for integer N")
+        if self.periodic and self.rate > 0:
+            # rate must be 1/N for integer N, but 1/N rarely round-trips
+            # exactly in binary (1/49 reciprocates to 49.00000000000001),
+            # so validate against the nearest integer with a tolerance.
+            period = round(1.0 / self.rate)
+            if period < 2 or abs(period * self.rate - 1.0) > 1e-9:
+                raise ConfigError(
+                    "periodic omission requires rate = 1/N for integer N >= 2, "
+                    f"got {self.rate}"
+                )
 
     def should_drop(self, rng: random.Random) -> bool:
         if self.rate <= 0.0:
@@ -131,6 +157,61 @@ class OmissionModel:
         return rng.random() < self.rate
 
 
+class PartitionMap:
+    """Directed reachability faults: partitions that can heal.
+
+    A *blocked* ``(src, dst)`` edge means datagrams from ``src`` never
+    reach ``dst``.  Blocking single directed edges models the paper's
+    asymmetric omissions at the subnetwork level (``src`` can hear
+    ``dst`` but not vice versa); :meth:`partition` blocks both
+    directions across whole islands at once.
+    """
+
+    def __init__(self) -> None:
+        self._blocked: set[tuple[ProcessId, ProcessId]] = set()
+
+    def block(self, src: ProcessId, dst: ProcessId) -> None:
+        """Block the directed edge ``src -> dst`` (asymmetric)."""
+        self._blocked.add((src, dst))
+
+    def unblock(self, src: ProcessId, dst: ProcessId) -> None:
+        self._blocked.discard((src, dst))
+
+    def partition(self, *islands: Iterable[ProcessId]) -> None:
+        """Split the group into ``islands``: traffic flows within an
+        island but no datagram crosses between two islands (both
+        directions blocked).  Composes with existing blocks."""
+        groups = [list(island) for island in islands]
+        for i, a in enumerate(groups):
+            for b in groups[i + 1:]:
+                for src in a:
+                    for dst in b:
+                        self._blocked.add((src, dst))
+                        self._blocked.add((dst, src))
+
+    def heal(self) -> None:
+        """Remove every block: the network is whole again."""
+        self._blocked.clear()
+
+    def blocks(self, src: ProcessId, dst: ProcessId) -> bool:
+        return (src, dst) in self._blocked
+
+    def __len__(self) -> int:
+        """Number of blocked directed edges."""
+        return len(self._blocked)
+
+    def __bool__(self) -> bool:
+        return bool(self._blocked)
+
+
+#: Send-side custom drop predicate: ``f(packet, now) -> bool`` (True drops).
+SendFilter = Callable[[Packet, Time], bool]
+
+#: Receive-side custom drop predicate: ``f(packet, dst, now) -> bool``
+#: (True drops the copy bound for ``dst`` only).
+ReceiveFilter = Callable[[Packet, ProcessId, Time], bool]
+
+
 class FaultPlan:
     """Everything that can go wrong, queried per packet.
 
@@ -139,12 +220,20 @@ class FaultPlan:
     send omission of a multicast drops the message for *all*
     destinations while a receive omission is per-destination —
     matching the general-omission model.
+
+    Custom filters
+    --------------
+    ``custom_send_filter`` is called as ``f(packet, now)`` once per
+    transmission; ``custom_receive_filter`` as ``f(packet, dst, now)``
+    once per (packet, destination) pair.  Returning True drops the
+    packet (send side) or that destination's copy (receive side).
     """
 
     def __init__(
         self,
         *,
         crashes: CrashSchedule | None = None,
+        partitions: PartitionMap | None = None,
         link_loss: float = 0.0,
         corruption: float = 0.0,
         rng: random.Random | None = None,
@@ -159,15 +248,15 @@ class FaultPlan:
         #: confines failures to "the first 5 rtd".
         self.omission_window: tuple[Time, Time] | None = None
         self.crashes = crashes or CrashSchedule()
+        self.partitions = partitions or PartitionMap()
         self.link_loss = link_loss
         self._rng = rng or random.Random(0)
         self._send_omission: dict[ProcessId, OmissionModel] = {}
         self._recv_omission: dict[ProcessId, OmissionModel] = {}
         #: Optional deterministic drop predicates for surgical failure
-        #: injection in tests: called as ``f(packet, now)`` (send side)
-        #: or ``f(packet, dst, now)`` (receive side); True drops.
-        self.custom_send_filter = None
-        self.custom_receive_filter = None
+        #: injection in tests; see the class docstring for signatures.
+        self.custom_send_filter: Optional[SendFilter] = None
+        self.custom_receive_filter: Optional[ReceiveFilter] = None
 
     def set_send_omission(self, pid: ProcessId, model: OmissionModel) -> None:
         self._send_omission[pid] = model
@@ -207,6 +296,15 @@ class FaultPlan:
             if self.crashes.crash_time(src) == now and self.crashes.partial_budget(src) is not None:
                 return _DELIVER  # budget consumed per-destination in check_receive
             return DropDecision(True, "src-crashed")
+        return self.check_send_faults(packet, now)
+
+    def check_send_faults(self, packet: Packet, now: Time) -> DropDecision:
+        """Send-side checks *below* the fail-stop layer (custom filter
+        and send omission).  Drivers that manage crashes themselves —
+        the live :class:`~repro.runtime.chaos.ChaosFabric` runs on a
+        wall clock where the crash-instant equality above cannot fire —
+        call this directly."""
+        src = packet.src
         if self.custom_send_filter is not None and self.custom_send_filter(packet, now):
             return DropDecision(True, "custom-send")
         model = self._send_omission.get(src)
@@ -226,6 +324,15 @@ class FaultPlan:
                 return DropDecision(True, "src-crashed-midsend")
         if self.crashes.is_crashed(dst, now):
             return DropDecision(True, "dst-crashed")
+        return self.check_receive_faults(packet, dst, now)
+
+    def check_receive_faults(self, packet: Packet, dst: ProcessId, now: Time) -> DropDecision:
+        """Receive-side checks *below* the fail-stop layer (partition,
+        custom filter, link loss, receive omission); see
+        :meth:`check_send_faults` for who calls this directly."""
+        src = packet.src
+        if self.partitions.blocks(src, dst):
+            return DropDecision(True, "partition")
         if self.custom_receive_filter is not None and self.custom_receive_filter(
             packet, dst, now
         ):

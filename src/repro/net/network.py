@@ -126,7 +126,7 @@ class DatagramNetwork:
         decision = self.faults.check_send(packet, now)
         destinations = self._expand(packet.dst, packet.src)
         if decision.dropped:
-            self.stats.on_dropped(packet)
+            self.stats.on_dropped(packet, decision.reason)
             self._kernel.trace.emit(
                 now, "net.drop", packet.src, reason=decision.reason, uid=packet.uid
             )
@@ -155,7 +155,7 @@ class DatagramNetwork:
     ) -> None:
         decision = self.faults.check_receive(packet, dst, now)
         if decision.dropped:
-            self.stats.on_dropped(packet)
+            self.stats.on_dropped(packet, decision.reason)
             self._kernel.trace.emit(
                 now, "net.drop", dst, reason=decision.reason, uid=packet.uid
             )
@@ -172,18 +172,18 @@ class DatagramNetwork:
         # A destination that crashed while the packet was in flight
         # never sees it.
         if self.faults.is_crashed(dst, now):
-            self.stats.on_dropped(packet)
+            self.stats.on_dropped(packet, "dst-crashed-inflight")
             self._kernel.trace.emit(now, "net.drop", dst, reason="dst-crashed-inflight", uid=packet.uid)
             return
         handler = self._handlers.get(dst)
         if handler is None:
-            self.stats.on_dropped(packet)
+            self.stats.on_dropped(packet, "no-endpoint")
             self._kernel.trace.emit(now, "net.drop", dst, reason="no-endpoint", uid=packet.uid)
             return
         if self.faults.maybe_corrupt(packet.payload) is not None:
             # The datagram checksum catches the flipped bit: the packet
             # is discarded at the receiver's network layer.
-            self.stats.on_dropped(packet)
+            self.stats.on_dropped(packet, "corrupt")
             self._kernel.trace.emit(
                 now, "net.drop", dst, reason="corrupt", uid=packet.uid
             )
@@ -194,7 +194,7 @@ class DatagramNetwork:
         except WireFormatError:
             # Defense in depth: anything that still fails to parse is
             # treated as a loss, never as a crash of the simulation.
-            self.stats.on_dropped(packet)
+            self.stats.on_dropped(packet, "unparseable")
             self._kernel.trace.emit(
                 now, "net.drop", dst, reason="unparseable", uid=packet.uid
             )

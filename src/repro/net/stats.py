@@ -47,10 +47,18 @@ class KindStats:
 
 
 class NetworkStats:
-    """Aggregated per-kind traffic statistics."""
+    """Aggregated per-kind traffic statistics.
+
+    Besides the per-kind counters, every drop is attributed to a cause
+    (``"send-omission"``, ``"partition"``, ``"src-crashed"``, …) in
+    :attr:`drop_reasons`, so a fault-injection run can be audited for
+    *which* faults actually fired, not just how many packets died.
+    """
 
     def __init__(self) -> None:
         self._kinds: dict[str, KindStats] = {}
+        #: Drop cause -> count (empty string groups unattributed drops).
+        self.drop_reasons: dict[str, int] = {}
 
     def _kind(self, kind: str) -> KindStats:
         stats = self._kinds.get(kind)
@@ -64,8 +72,13 @@ class NetworkStats:
     def on_delivered(self, packet: Packet) -> None:
         self._kind(packet.kind).record_delivered(packet.wire_size)
 
-    def on_dropped(self, packet: Packet) -> None:
+    def on_dropped(self, packet: Packet, reason: str = "") -> None:
         self._kind(packet.kind).record_dropped()
+        self.drop_reasons[reason] = self.drop_reasons.get(reason, 0) + 1
+
+    def dropped_for(self, reason: str) -> int:
+        """Drops attributed to ``reason`` (0 if never seen)."""
+        return self.drop_reasons.get(reason, 0)
 
     def kind(self, kind: str) -> KindStats:
         """Stats for one kind (zeros if never seen)."""

@@ -2,10 +2,12 @@
 
 The same sans-IO engines as the simulator, driven by wall-clock
 asyncio tasks over an in-memory datagram fabric (with loss injection),
-or over genuine loopback UDP sockets.  Rounds can be sized from a live
+over genuine loopback UDP sockets, or over either wrapped in the
+fault-injecting :class:`ChaosFabric`.  Rounds can be sized from a live
 RTT estimate ("assuming the subrun as long as the round trip delay").
 """
 
+from .chaos import ChaosFabric
 from .lan import AsyncEndpoint, AsyncLan, Datagram
 from .node import AsyncGroup, AsyncNode
 from .rtt import AdaptiveRoundTimer, RttEstimator
@@ -13,6 +15,7 @@ from .udp import UdpEndpoint, UdpFabric
 
 __all__ = [
     "AsyncEndpoint",
+    "ChaosFabric",
     "AsyncLan",
     "Datagram",
     "AsyncGroup",

@@ -1,0 +1,244 @@
+"""Fault-injecting wrapper around any live datagram fabric.
+
+The simulator exercises the paper's whole general-omission model —
+crashes with partial final broadcasts, send/receive omissions,
+partitions — but the asyncio runtime could only inject uniform
+Bernoulli loss.  :class:`ChaosFabric` closes that gap: it implements
+the fabric surface (``attach`` / ``join`` / ``sendto`` / ``close``)
+around an inner :class:`~repro.runtime.lan.AsyncLan` or
+:class:`~repro.runtime.udp.UdpFabric` and runs every datagram through
+the *same* :class:`~repro.net.faults.FaultPlan` the simulated
+:class:`~repro.net.network.DatagramNetwork` consults, so one fault
+spec drives both worlds.
+
+On top of the plan's drop faults it adds the live-only misbehaviours a
+real subnetwork exhibits:
+
+* **duplication** — a delivered copy is occasionally delivered twice;
+* **reordering / delay jitter** — each copy is held back a bounded
+  random time before it is handed to the inner fabric, so two
+  datagrams on the same path can overtake each other;
+* **crash with partial broadcast** — the paper's non-indivisible
+  ``send``: the first multicast a process attempts at or after its
+  scheduled crash instant reaches only its first *k* destinations, and
+  everything after that is dropped.
+
+Every dropped copy is attributed to a cause in ``stats.drop_reasons``
+(see :class:`~repro.net.stats.NetworkStats`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+from ..errors import RuntimeTransportError, UnknownAddressError
+from ..net.addressing import Address, GroupAddress, UnicastAddress
+from ..net.faults import FaultPlan
+from ..net.packet import Packet
+from ..net.stats import NetworkStats
+from ..types import ProcessId
+
+__all__ = ["ChaosFabric"]
+
+
+class ChaosFabric:
+    """Composable fault injection for the asyncio runtime.
+
+    Parameters
+    ----------
+    inner:
+        The real fabric (``AsyncLan``, ``UdpFabric``, or anything with
+        the same surface) that ultimately carries the datagrams.
+    faults:
+        The fault plan; crashes, omissions, partitions and custom
+        filters all apply.  Fault-plan time is seconds since the first
+        send on this fabric (see :meth:`now`).
+    duplication:
+        Probability that a delivered copy is delivered twice.
+    jitter:
+        Maximum extra hold-back in seconds applied to each copy
+        (uniform in ``[0, jitter]``); non-zero jitter reorders
+        datagrams on the same path.
+    seed:
+        Seed for the duplication/jitter randomness (the drop faults
+        use the plan's own rng, so a shared plan stays reproducible).
+    """
+
+    def __init__(
+        self,
+        inner,
+        faults: FaultPlan | None = None,
+        *,
+        duplication: float = 0.0,
+        jitter: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= duplication < 1.0:
+            raise RuntimeTransportError(
+                f"duplication must be in [0, 1), got {duplication}"
+            )
+        if jitter < 0.0:
+            raise RuntimeTransportError(f"jitter must be >= 0, got {jitter}")
+        self.inner = inner
+        self.faults = faults or FaultPlan()
+        self.duplication = duplication
+        self.jitter = jitter
+        self.stats = NetworkStats()
+        self._rng = random.Random(seed)
+        self._groups: dict[str, list[ProcessId]] = {}
+        self._epoch: float | None = None
+        self._closed = False
+        #: Processes whose fail-stop the fabric has already enforced
+        #: (their dying multicast, if any, has been cut).
+        self._dead: set[ProcessId] = set()
+        self.sent_count = 0
+        self.dropped_count = 0
+        self.delivered_count = 0
+        self.duplicated_count = 0
+
+    # -- fabric surface --------------------------------------------------
+
+    def attach(self, pid: ProcessId):
+        """Create/return the receive endpoint for ``pid`` (delegated)."""
+        return self.inner.attach(pid)
+
+    def join(self, group: GroupAddress, pid: ProcessId) -> None:
+        members = self._groups.setdefault(group.name, [])
+        if pid not in members:
+            members.append(pid)
+        self.inner.join(group, pid)
+
+    def close(self) -> None:
+        self._closed = True
+        self.inner.close()
+
+    def now(self) -> float:
+        """Fault-plan time: seconds since the fabric first carried
+        traffic (0.0 before that)."""
+        if self._epoch is None:
+            return 0.0
+        return asyncio.get_running_loop().time() - self._epoch
+
+    def sendto(
+        self, src: ProcessId, dst: Address, data: bytes, *, kind: str = "data"
+    ) -> None:
+        """Fire-and-forget send through the whole fault pipeline."""
+        if self._closed:
+            raise RuntimeTransportError("fabric is closed")
+        if self._epoch is None:
+            self._epoch = asyncio.get_running_loop().time()
+        now = self.now()
+        targets = self._expand(dst, src)
+        packet = Packet(src, dst, data, kind)
+        self.sent_count += 1
+        self.stats.on_sent(packet)
+
+        dying = False
+        crash_time = self.faults.crashes.crash_time(src)
+        if crash_time is not None and now >= crash_time:
+            if src not in self._dead:
+                self._dead.add(src)
+                if self.faults.crashes.partial_budget(src) is not None:
+                    # The paper's non-indivisible send: this is the
+                    # multicast interrupted by the crash; only the
+                    # first k destination copies survive (budget
+                    # consumed per destination below).
+                    dying = True
+            if not dying:
+                self._drop_all(packet, targets, "src-crashed")
+                return
+        else:
+            decision = self.faults.check_send_faults(packet, now)
+            if decision.dropped:
+                self._drop_all(packet, targets, decision.reason)
+                return
+
+        for target in targets:
+            if dying and not self.faults.crashes.consume_partial(src):
+                self._drop(packet, "src-crashed-midsend")
+                continue
+            if self.faults.crashes.is_crashed(target, now):
+                self._drop(packet, "dst-crashed")
+                continue
+            decision = self.faults.check_receive_faults(packet, target, now)
+            if decision.dropped:
+                self._drop(packet, decision.reason)
+                continue
+            self._deliver_copy(src, target, data, kind, packet)
+            if self.duplication and self._rng.random() < self.duplication:
+                self.duplicated_count += 1
+                self._deliver_copy(src, target, data, kind, packet)
+
+    # -- lifecycle helpers -----------------------------------------------
+
+    def crash(
+        self, pid: ProcessId, *, partial_deliveries: int | None = None
+    ) -> None:
+        """Fail-stop ``pid`` *now* at the fabric level.
+
+        With ``partial_deliveries=k`` the next multicast ``pid``
+        attempts is its dying one: only the first ``k`` destination
+        copies are carried.  Without it, every further datagram from
+        (or to) ``pid`` is dropped immediately.  Registers the crash
+        in the plan's :class:`~repro.net.faults.CrashSchedule` so the
+        group-membership view of the fault spec stays unified.
+        """
+        self.faults.crashes.crash(pid, self.now(), partial_deliveries=partial_deliveries)
+        if partial_deliveries is None:
+            self._dead.add(pid)
+
+    def is_crashed(self, pid: ProcessId) -> bool:
+        return self.faults.crashes.is_crashed(pid, self.now())
+
+    # -- internals -------------------------------------------------------
+
+    def _expand(self, dst: Address, src: ProcessId) -> list[ProcessId]:
+        if isinstance(dst, UnicastAddress):
+            return [dst.pid]
+        if isinstance(dst, GroupAddress):
+            members = self._groups.get(dst.name)
+            if members is None:
+                raise UnknownAddressError(dst.name)
+            return [pid for pid in members if pid != src]
+        raise UnknownAddressError(str(dst))
+
+    def _drop(self, packet: Packet, reason: str) -> None:
+        self.dropped_count += 1
+        self.stats.on_dropped(packet, reason)
+
+    def _drop_all(self, packet: Packet, targets: list[ProcessId], reason: str) -> None:
+        for _ in targets:
+            self._drop(packet, reason)
+
+    def _deliver_copy(
+        self,
+        src: ProcessId,
+        target: ProcessId,
+        data: bytes,
+        kind: str,
+        packet: Packet,
+    ) -> None:
+        delay = self._rng.uniform(0.0, self.jitter) if self.jitter else 0.0
+        if delay:
+            asyncio.get_running_loop().call_later(
+                delay, self._forward, src, target, data, kind, packet
+            )
+        else:
+            self._forward(src, target, data, kind, packet)
+
+    def _forward(
+        self,
+        src: ProcessId,
+        target: ProcessId,
+        data: bytes,
+        kind: str,
+        packet: Packet,
+    ) -> None:
+        if self._closed:
+            # A jittered copy outlived the fabric: a loss, not an error.
+            self._drop(packet, "fabric-closed")
+            return
+        self.delivered_count += 1
+        self.stats.on_delivered(packet)
+        self.inner.sendto(src, UnicastAddress(target), data, kind=kind)

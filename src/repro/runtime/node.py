@@ -18,9 +18,10 @@ from ..core.config import UrcgcConfig
 from ..core.effects import Confirm, Deliver, Discarded, Effect, Left, Send
 from ..core.member import Member
 from ..core.message import DecisionMessage, RequestMessage, UserMessage
+from ..core.mid import Mid
 from ..net.addressing import BROADCAST_GROUP
 from ..net.wire import decode_message, encode_message
-from ..types import ProcessId
+from ..types import ProcessId, SubrunNo
 from .lan import AsyncLan
 from .rtt import AdaptiveRoundTimer
 
@@ -70,6 +71,12 @@ class AsyncNode:
         self._round = 0
         self.delivered: list[UserMessage] = []
         self.confirmed_mids: list = []
+        #: Mids this node generated / saw destroyed by orphan discard —
+        #: the live analogue of the simulator's DeliveryLog, read by
+        #: the chaos harness to audit Uniform Atomicity.
+        self.generated_mids: list[Mid] = []
+        self.discarded_mids: list[Mid] = []
+        self.crashed = False
         self._stopped = asyncio.Event()
 
     # ------------------------------------------------------------------
@@ -85,6 +92,15 @@ class AsyncNode:
     @property
     def current_round(self) -> int:
         return self._round
+
+    @property
+    def current_subrun(self) -> int:
+        return self._round // 2
+
+    @property
+    def is_live(self) -> bool:
+        """Still a functioning group member: neither crashed nor left."""
+        return not self.crashed and not self.member.has_left
 
     def start(self) -> None:
         """Spawn the ticker and receiver tasks."""
@@ -102,6 +118,19 @@ class AsyncNode:
             task.cancel()
         await asyncio.gather(*self._tasks, return_exceptions=True)
         self._tasks = []
+
+    async def crash(self) -> None:
+        """Fail-stop this node: halt the ticker and receiver immediately.
+
+        The engine state, delivery log, and endpoint are left intact
+        (socket state stays consistent — the fabric still owns the
+        endpoint), so a post-mortem audit can read what the process
+        observed before dying.  Idempotent.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        await self.stop()
 
     # ------------------------------------------------------------------
 
@@ -149,6 +178,11 @@ class AsyncNode:
                     if len(self._request_sent_at) > 64:
                         oldest = min(self._request_sent_at)
                         del self._request_sent_at[oldest]
+                if (
+                    isinstance(effect.message, UserMessage)
+                    and effect.message.mid.origin == self.pid
+                ):
+                    self.generated_mids.append(effect.message.mid)
                 self._lan.sendto(
                     self.pid, effect.dst, encode_message(effect.message), kind=effect.kind
                 )
@@ -158,7 +192,9 @@ class AsyncNode:
                     self._on_indication(self.pid, effect.message)
             elif isinstance(effect, Confirm):
                 self.confirmed_mids.append(effect.mid)
-            elif isinstance(effect, (Left, Discarded)):
+            elif isinstance(effect, Discarded):
+                self.discarded_mids.extend((effect.lost, *effect.discarded))
+            elif isinstance(effect, Left):
                 pass  # observable via member state
 
 
@@ -195,6 +231,82 @@ class AsyncGroup:
             await node.stop()
         self.lan.close()
 
+    @property
+    def live_nodes(self) -> "list[AsyncNode]":
+        """Nodes that are still functioning members (not crashed, not
+        left) — the paper's *active* set, at the runtime layer."""
+        return [node for node in self.nodes if node.is_live]
+
+    def quiescent(self) -> bool:
+        """All live nodes agree on what was processed and have nothing
+        pending or waiting (vacuously true with no live node)."""
+        live = self.live_nodes
+        if not live:
+            return True
+        if any(node.member.pending_submissions for node in live):
+            return False
+        if any(node.member.waiting_length for node in live):
+            return False
+        return len({node.member.last_processed_vector() for node in live}) == 1
+
+    async def crash(
+        self, pid: ProcessId, *, partial_deliveries: int | None = None
+    ) -> None:
+        """Fail-stop node ``pid``: cut it at the fabric (when the
+        fabric supports it, e.g. :class:`~repro.runtime.chaos.ChaosFabric`)
+        and halt its tasks.  ``partial_deliveries`` interrupts its next
+        multicast after the fabric-level crash (non-indivisible send);
+        it requires a chaos fabric and lets the dying broadcast happen
+        before the tasks are halted."""
+        node = self.nodes[pid]
+        fabric_crash = getattr(self.lan, "crash", None)
+        if fabric_crash is not None:
+            fabric_crash(pid, partial_deliveries=partial_deliveries)
+            if partial_deliveries is not None and node.is_live:
+                # Give the dying multicast a chance to be attempted:
+                # one more full subrun of the node's ticker.
+                target = node.current_round + 2
+                try:
+                    await self.wait_until(
+                        lambda: node.current_round >= target or not node.is_live,
+                        timeout=2.0,
+                    )
+                except asyncio.TimeoutError:
+                    pass
+        await node.crash()
+
+    async def crash_coordinator_at_subrun(
+        self,
+        subrun: int,
+        *,
+        partial_deliveries: int | None = None,
+        timeout: float = 10.0,
+    ) -> ProcessId | None:
+        """Kill the rotating coordinator of ``subrun`` once that subrun
+        is reached — the paper's coordinator-failover scenario, live.
+
+        Waits until the coordinator's own clock enters ``subrun``, then
+        crashes it via :meth:`crash`.  Returns the pid killed, or None
+        if no live node could name a coordinator.  With
+        ``partial_deliveries=k`` the coordinator's next multicast (its
+        decision broadcast, or a data message if it was generating) is
+        cut after ``k`` destinations.
+        """
+        live = self.live_nodes
+        if not live:
+            return None
+        coordinator = live[0].member.view.coordinator_of(SubrunNo(subrun))
+        node = self.nodes[coordinator]
+        try:
+            await self.wait_until(
+                lambda: node.current_subrun >= subrun or not node.is_live,
+                timeout=timeout,
+            )
+        except asyncio.TimeoutError:
+            pass
+        await self.crash(coordinator, partial_deliveries=partial_deliveries)
+        return coordinator
+
     async def wait_until(
         self, predicate: Callable[[], bool], *, timeout: float = 10.0
     ) -> None:
@@ -216,14 +328,4 @@ class AsyncGroup:
         every message every live node generated."""
         for pid, payload in submissions:
             self.nodes[pid].submit(payload)
-
-        def complete() -> bool:
-            live = [n for n in self.nodes if not n.has_left]
-            if any(n.member.pending_submissions for n in live):
-                return False
-            if any(n.member.waiting_length for n in live):
-                return False
-            vectors = {n.member.last_processed_vector() for n in live}
-            return len(vectors) == 1
-
-        await self.wait_until(complete, timeout=timeout)
+        await self.wait_until(self.quiescent, timeout=timeout)

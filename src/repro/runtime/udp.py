@@ -37,24 +37,37 @@ class _Protocol(asyncio.DatagramProtocol):
 
     def datagram_received(self, data: bytes, addr) -> None:
         if len(data) < _PID_HEADER_BYTES:
-            return  # runt datagram: drop silently, like a bad checksum
+            # Runt datagram (shorter than the pid header): dropped like
+            # a bad checksum, but counted so live debugging can tell
+            # parse failure from network loss.
+            self._endpoint.dropped_count += 1
+            return
         src = ProcessId(int.from_bytes(data[:_PID_HEADER_BYTES], "big"))
         self._endpoint.queue.put_nowait(
             Datagram(src, data[_PID_HEADER_BYTES:])
         )
 
-    def error_received(self, exc: Exception) -> None:  # pragma: no cover
-        pass  # ICMP errors are datagram losses to us
+    def error_received(self, exc: Exception) -> None:
+        # ICMP errors (port unreachable, …) are datagram losses to us,
+        # but a climbing counter points at a dead peer.
+        self._endpoint.error_count += 1
 
 
 class UdpEndpoint:
-    """One node's UDP socket plus its receive queue."""
+    """One node's UDP socket plus its receive queue.
+
+    ``dropped_count`` counts datagrams discarded at this endpoint
+    (runts that failed to parse); ``error_count`` counts ICMP errors
+    reported against the socket.
+    """
 
     def __init__(self, pid: ProcessId) -> None:
         self.pid = pid
         self.queue: "asyncio.Queue[Datagram]" = asyncio.Queue()
         self.transport: asyncio.DatagramTransport | None = None
         self.address: tuple[str, int] | None = None
+        self.dropped_count = 0
+        self.error_count = 0
 
     async def bind(self, host: str, port: int = 0) -> None:
         loop = asyncio.get_running_loop()

@@ -185,3 +185,75 @@ class TestOmissionWindow:
     def test_empty_window_rejected(self):
         with pytest.raises(ConfigError):
             FaultPlan().set_omission_window(3.0, 3.0)
+
+
+class TestPeriodicRateValidation:
+    def test_accepts_every_reciprocal_rate(self):
+        """Regression: float-equality validation rejected valid 1/N
+        rates whose reciprocal doesn't round-trip (e.g. N=49)."""
+        for period in range(2, 101):
+            model = OmissionModel(1.0 / period, periodic=True)
+            rng = random.Random(0)
+            results = [model.should_drop(rng) for _ in range(2 * period)]
+            assert results == ([False] * (period - 1) + [True]) * 2, period
+
+    def test_still_rejects_non_reciprocal_rates(self):
+        for rate in (0.3, 0.123, 0.9, 1.0 / 49 + 1e-4):
+            with pytest.raises(ConfigError):
+                OmissionModel(rate, periodic=True)
+
+
+class TestPartitionMap:
+    def test_partition_blocks_across_islands_only(self):
+        from repro.net.faults import PartitionMap
+
+        partitions = PartitionMap()
+        partitions.partition([ProcessId(0), ProcessId(1)], [ProcessId(2)])
+        assert partitions.blocks(ProcessId(0), ProcessId(2))
+        assert partitions.blocks(ProcessId(2), ProcessId(1))
+        assert not partitions.blocks(ProcessId(0), ProcessId(1))
+        assert len(partitions) == 4  # both directions, two pairs
+
+    def test_heal_restores_everything(self):
+        from repro.net.faults import PartitionMap
+
+        partitions = PartitionMap()
+        partitions.partition([ProcessId(0)], [ProcessId(1)], [ProcessId(2)])
+        assert partitions
+        partitions.heal()
+        assert not partitions
+        assert not partitions.blocks(ProcessId(0), ProcessId(1))
+
+    def test_asymmetric_block_and_unblock(self):
+        from repro.net.faults import PartitionMap
+
+        partitions = PartitionMap()
+        partitions.block(ProcessId(0), ProcessId(1))
+        assert partitions.blocks(ProcessId(0), ProcessId(1))
+        assert not partitions.blocks(ProcessId(1), ProcessId(0))
+        partitions.unblock(ProcessId(0), ProcessId(1))
+        assert not partitions.blocks(ProcessId(0), ProcessId(1))
+
+    def test_plan_reports_partition_drops(self):
+        plan = FaultPlan()
+        plan.partitions.block(ProcessId(0), ProcessId(1))
+        decision = plan.check_receive(_packet(dst=1), ProcessId(1), 0.0)
+        assert decision.dropped
+        assert decision.reason == "partition"
+        # Send side is unaffected: partitions cut paths, not sources.
+        assert not plan.check_send(_packet(src=0), 0.0)
+
+
+class TestCustomFilterTyping:
+    def test_filters_receive_documented_signatures(self):
+        plan = FaultPlan()
+        seen = []
+        plan.custom_send_filter = lambda packet, now: seen.append(
+            ("send", packet.src, now)
+        ) or False
+        plan.custom_receive_filter = lambda packet, dst, now: seen.append(
+            ("recv", dst, now)
+        ) or False
+        plan.check_send(_packet(src=0), 1.5)
+        plan.check_receive(_packet(dst=1), ProcessId(1), 2.5)
+        assert seen == [("send", ProcessId(0), 1.5), ("recv", ProcessId(1), 2.5)]

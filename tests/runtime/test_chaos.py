@@ -1,0 +1,344 @@
+"""Tests for the fault-injecting chaos fabric and node lifecycle."""
+
+import asyncio
+
+import pytest
+
+from repro.core.config import UrcgcConfig
+from repro.errors import RuntimeTransportError
+from repro.harness.cluster import SimCluster
+from repro.net.addressing import GroupAddress, UnicastAddress
+from repro.net.faults import FaultPlan
+from repro.runtime.chaos import ChaosFabric
+from repro.runtime.lan import AsyncLan
+from repro.runtime.node import AsyncGroup
+from repro.types import ProcessId
+from repro.workloads.generators import ScriptedWorkload
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+FAST = 0.004  # round interval: keep the tests quick
+
+P0, P1, P2, P3 = (ProcessId(i) for i in range(4))
+
+
+def make_fabric(n=3, faults=None, **kwargs):
+    fabric = ChaosFabric(AsyncLan(), faults, **kwargs)
+    group = GroupAddress("G")
+    endpoints = {}
+    for i in range(n):
+        pid = ProcessId(i)
+        endpoints[pid] = fabric.attach(pid)
+        fabric.join(group, pid)
+    return fabric, group, endpoints
+
+
+# ----------------------------------------------------------------------
+# fabric-level fault mechanics
+# ----------------------------------------------------------------------
+
+
+def test_transparent_without_faults():
+    async def main():
+        fabric, group, endpoints = make_fabric()
+        fabric.sendto(P0, group, b"x")
+        await asyncio.sleep(0)
+        assert endpoints[P1].queue.qsize() == 1
+        assert endpoints[P2].queue.qsize() == 1
+        assert endpoints[P0].queue.qsize() == 0
+        assert fabric.dropped_count == 0
+
+    run(main())
+
+
+def test_partition_blocks_then_heals():
+    async def main():
+        plan = FaultPlan()
+        fabric, group, endpoints = make_fabric(faults=plan)
+        plan.partitions.partition([P0, P1], [P2])
+        fabric.sendto(P0, group, b"during")
+        await asyncio.sleep(0)
+        assert endpoints[P1].queue.qsize() == 1
+        assert endpoints[P2].queue.qsize() == 0
+        assert fabric.stats.dropped_for("partition") == 1
+        plan.partitions.heal()
+        fabric.sendto(P0, group, b"after")
+        await asyncio.sleep(0)
+        assert endpoints[P2].queue.qsize() == 1
+
+    run(main())
+
+
+def test_asymmetric_block_is_directional():
+    async def main():
+        plan = FaultPlan()
+        plan.partitions.block(P0, P1)
+        fabric, _, endpoints = make_fabric(faults=plan)
+        fabric.sendto(P0, UnicastAddress(P1), b"blocked")
+        fabric.sendto(P1, UnicastAddress(P0), b"flows")
+        await asyncio.sleep(0)
+        assert endpoints[P1].queue.qsize() == 0
+        assert endpoints[P0].queue.qsize() == 1
+
+    run(main())
+
+
+def test_duplication_delivers_extra_copies():
+    async def main():
+        fabric, _, endpoints = make_fabric(duplication=0.9, seed=5)
+        for _ in range(20):
+            fabric.sendto(P0, UnicastAddress(P1), b"x")
+        await asyncio.sleep(0)
+        assert fabric.duplicated_count > 0
+        assert endpoints[P1].queue.qsize() == 20 + fabric.duplicated_count
+
+    run(main())
+
+
+def test_jitter_reorders_datagrams():
+    async def main():
+        fabric, _, endpoints = make_fabric(jitter=0.02, seed=3)
+        for i in range(20):
+            fabric.sendto(P0, UnicastAddress(P1), bytes([i]))
+        await asyncio.sleep(0.05)
+        received = []
+        while not endpoints[P1].queue.empty():
+            received.append(endpoints[P1].queue.get_nowait().data[0])
+        assert sorted(received) == list(range(20))  # nothing lost
+        assert received != list(range(20))  # but not in send order
+
+    run(main())
+
+
+def test_crash_with_partial_broadcast_cuts_dying_multicast():
+    async def main():
+        plan = FaultPlan()
+        fabric, group, endpoints = make_fabric(n=4, faults=plan)
+        fabric.sendto(P0, group, b"warmup")
+        fabric.crash(P0, partial_deliveries=1)
+        fabric.sendto(P0, group, b"dying")  # 3 destinations, 1 survives
+        fabric.sendto(P0, group, b"post-mortem")  # fully dropped
+        await asyncio.sleep(0)
+        received = {}
+        for pid in (P1, P2, P3):
+            items = []
+            while not endpoints[pid].queue.empty():
+                items.append(endpoints[pid].queue.get_nowait().data)
+            received[pid] = items
+        assert sum(b"dying" in items for items in received.values()) == 1
+        assert received[P1] == [b"warmup", b"dying"]  # first destination
+        assert b"post-mortem" not in received[P1]
+        assert fabric.stats.dropped_for("src-crashed-midsend") == 2
+        assert fabric.stats.dropped_for("src-crashed") == 3
+
+    run(main())
+
+
+def test_crashed_destination_receives_nothing():
+    async def main():
+        fabric, _, endpoints = make_fabric()
+        fabric.sendto(P0, UnicastAddress(P1), b"warmup")
+        fabric.crash(P1)
+        fabric.sendto(P0, UnicastAddress(P1), b"too-late")
+        await asyncio.sleep(0)
+        assert endpoints[P1].queue.qsize() == 1
+        assert fabric.stats.dropped_for("dst-crashed") == 1
+
+    run(main())
+
+
+def test_send_omission_drops_whole_multicast():
+    async def main():
+        from repro.net.faults import OmissionModel
+
+        plan = FaultPlan()
+        plan.set_send_omission(P0, OmissionModel(0.5, periodic=True))
+        fabric, group, endpoints = make_fabric(faults=plan)
+        fabric.sendto(P0, group, b"1")  # periodic N=2: second send drops
+        fabric.sendto(P0, group, b"2")
+        await asyncio.sleep(0)
+        assert endpoints[P1].queue.qsize() == 1
+        assert endpoints[P2].queue.qsize() == 1
+        assert fabric.stats.dropped_for("send-omission") == 2
+
+    run(main())
+
+
+def test_closed_fabric_rejects_sends():
+    async def main():
+        fabric, group, _ = make_fabric()
+        fabric.close()
+        with pytest.raises(RuntimeTransportError):
+            fabric.sendto(P0, group, b"x")
+
+    run(main())
+
+
+def test_invalid_knobs_rejected():
+    with pytest.raises(RuntimeTransportError):
+        ChaosFabric(AsyncLan(), duplication=1.0)
+    with pytest.raises(RuntimeTransportError):
+        ChaosFabric(AsyncLan(), jitter=-0.1)
+
+
+# ----------------------------------------------------------------------
+# live protocol runs under chaos
+# ----------------------------------------------------------------------
+
+
+def test_partition_then_heal_convergence():
+    """A short two-island partition mid-workload heals and the whole
+    group still processes everything, identically."""
+
+    async def main():
+        plan = FaultPlan()
+        fabric = ChaosFabric(AsyncLan(), plan)
+        group = AsyncGroup(UrcgcConfig(n=4, K=3), lan=fabric, round_interval=FAST)
+        group.start()
+        try:
+            for i in range(8):
+                group.nodes[i % 4].submit(f"m{i}".encode())
+            await asyncio.sleep(2 * FAST)
+            plan.partitions.partition([P0, P1], [P2, P3])
+            await asyncio.sleep(4 * FAST)  # ~2 subruns of darkness
+            plan.partitions.heal()
+            await group.wait_until(group.quiescent, timeout=20)
+            assert fabric.stats.dropped_for("partition") > 0
+            assert len(group.live_nodes) == 4
+            for node in group.nodes:
+                assert len(node.delivered) == 8
+            vectors = {n.member.last_processed_vector() for n in group.nodes}
+            assert len(vectors) == 1
+        finally:
+            await group.stop()
+
+    run(main())
+
+
+def test_duplicated_decision_idempotence():
+    """Heavy datagram duplication: every node still processes each
+    message exactly once (duplicates detected and dropped)."""
+
+    async def main():
+        fabric = ChaosFabric(AsyncLan(), duplication=0.5, seed=11)
+        group = AsyncGroup(UrcgcConfig(n=3), lan=fabric, round_interval=FAST)
+        group.start()
+        try:
+            submissions = [(ProcessId(i % 3), f"m{i}".encode()) for i in range(9)]
+            await group.run_workload(submissions, timeout=20)
+            assert fabric.duplicated_count > 0
+            for node in group.nodes:
+                mids = [m.mid for m in node.delivered]
+                assert len(mids) == 9
+                assert len(set(mids)) == 9  # no double processing
+            assert sum(n.member.duplicate_count for n in group.nodes) > 0
+        finally:
+            await group.stop()
+
+    run(main())
+
+
+def test_coordinator_crash_with_partial_broadcast_live():
+    """The paper's rotating-coordinator failover, on the wall clock:
+    the subrun-1 coordinator dies mid-multicast and the survivors
+    still agree on one common order."""
+
+    async def main():
+        from repro.harness.live_torture import audit_group
+
+        plan = FaultPlan()
+        fabric = ChaosFabric(AsyncLan(), plan)
+        group = AsyncGroup(UrcgcConfig(n=4, K=2), lan=fabric, round_interval=FAST)
+        group.start()
+        try:
+            for i in range(8):
+                group.nodes[i % 4].submit(f"m{i}".encode())
+            crashed = await group.crash_coordinator_at_subrun(
+                1, partial_deliveries=1, timeout=10
+            )
+            assert crashed == P1  # rotating coordinator of subrun 1
+            assert not group.nodes[crashed].is_live
+            await group.wait_until(group.quiescent, timeout=20)
+            survivors = group.live_nodes
+            assert len(survivors) == 3
+            # The fabric actually cut the dead coordinator off.
+            reasons = fabric.stats.drop_reasons
+            assert any(
+                reason.startswith("src-crashed") or reason == "dst-crashed"
+                for reason in reasons
+            ), reasons
+            # Live audit: Definition 3.2 holds over the survivors.
+            assert audit_group(group, converged=True) == []
+            vectors = {n.member.last_processed_vector() for n in survivors}
+            assert len(vectors) == 1
+        finally:
+            await group.stop()
+
+    run(main())
+
+
+def test_node_crash_is_idempotent_and_preserves_logs():
+    async def main():
+        group = AsyncGroup(UrcgcConfig(n=3), round_interval=FAST)
+        group.start()
+        try:
+            await group.run_workload([(P0, b"x")], timeout=10)
+            before = list(group.nodes[2].delivered)
+            await group.nodes[2].crash()
+            await group.nodes[2].crash()  # idempotent
+            assert group.nodes[2].crashed
+            assert group.nodes[2].delivered == before  # post-mortem intact
+            assert len(group.live_nodes) == 2
+        finally:
+            await group.stop()
+
+    run(main())
+
+
+# ----------------------------------------------------------------------
+# the unified fault model: one plan, both worlds
+# ----------------------------------------------------------------------
+
+
+def test_same_fault_plan_drives_sim_and_live():
+    """One FaultPlan object runs a partition scenario first in the
+    discrete-event SimCluster, then live over a ChaosFabric."""
+    plan = FaultPlan()
+    plan.partitions.partition([P0, P1], [P2])
+
+    # --- simulated world ---------------------------------------------
+    cluster = SimCluster(
+        UrcgcConfig(n=3, K=2),
+        workload=ScriptedWorkload({0: [(P0, b"sim")]}),
+        faults=plan,
+        max_rounds=60,
+        trace=False,
+    )
+    cluster.run()
+    assert cluster.network.stats.dropped_for("partition") > 0
+    assert cluster.members[0].processed_count >= 1
+    assert cluster.members[1].processed_count >= 1
+    assert cluster.members[2].processed_count == 0  # far side of the cut
+
+    # --- live world, same plan object --------------------------------
+    async def live():
+        fabric = ChaosFabric(AsyncLan(), plan)
+        group = AsyncGroup(UrcgcConfig(n=3, K=2), lan=fabric, round_interval=FAST)
+        group.start()
+        try:
+            group.nodes[0].submit(b"live")
+            await group.wait_until(
+                lambda: len(group.nodes[1].delivered) == 1, timeout=10
+            )
+            # p2 is on the far side of the very same partition object.
+            assert fabric.stats.dropped_for("partition") > 0
+            assert len(group.nodes[2].delivered) == 0
+        finally:
+            await group.stop()
+
+    run(live())
+    plan.partitions.heal()
+    assert not plan.partitions

@@ -129,3 +129,39 @@ def test_create_node_multiprocess_convention():
             b.close()
 
     run(main())
+
+
+def test_runt_datagram_counted_and_dropped():
+    """A datagram shorter than the pid header is discarded, but the
+    per-endpoint counter records it."""
+
+    async def main():
+        fabric = await UdpFabric.create(2)
+        try:
+            endpoint = fabric.attach(ProcessId(1))
+            assert endpoint.transport is not None
+            endpoint.transport.sendto(b"x", endpoint.address)  # 1-byte runt
+            fabric.sendto(ProcessId(0), UnicastAddress(ProcessId(1)), b"real")
+            datagram = await asyncio.wait_for(endpoint.recv(), 2)
+            assert datagram.data == b"real"
+            assert endpoint.queue.qsize() == 0  # runt never enqueued
+            assert endpoint.dropped_count == 1
+            assert endpoint.error_count == 0
+        finally:
+            fabric.close()
+
+    run(main())
+
+
+def test_icmp_error_counted_per_endpoint():
+    async def main():
+        from repro.runtime.udp import _Protocol, UdpEndpoint
+
+        endpoint = UdpEndpoint(ProcessId(0))
+        protocol = _Protocol(endpoint)
+        protocol.error_received(OSError(111, "Connection refused"))
+        protocol.error_received(OSError(111, "Connection refused"))
+        assert endpoint.error_count == 2
+        assert endpoint.dropped_count == 0
+
+    run(main())
