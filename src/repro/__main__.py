@@ -2,8 +2,11 @@
 
 Delegates to :mod:`repro.harness.runner`:
 
-    python -m repro list
-    python -m repro run figure4
+    python -m repro list            # experiments and subcommands
+    python -m repro run figure4     # regenerate one table/figure
+    python -m repro torture         # randomized simulator audits
+    python -m repro chaos           # live fault-injected runs
+    python -m repro recover         # crash-and-recover torture
 """
 
 import sys

@@ -17,7 +17,16 @@ from .causality import (
 from .config import LeaveRule, UrcgcConfig
 from .decision import Decision, RequestInfo, compute_decision, initial_decision
 from .deliverer import CausalDeliverer
-from .effects import Confirm, Deliver, Discarded, Effect, Left, Send
+from .effects import (
+    Confirm,
+    DecisionApplied,
+    Deliver,
+    Discarded,
+    Effect,
+    Left,
+    Rejoined,
+    Send,
+)
 from .group_view import GroupView
 from .groups import (
     CallHandle,
@@ -42,6 +51,14 @@ from .message import (
     UserMessage,
 )
 from .mid import Mid, NO_MESSAGE
+from .rejoin import (
+    KIND_JOIN,
+    JoinRequest,
+    MemberState,
+    build_member,
+    export_state,
+    replay,
+)
 from .service import RequestHandle, UrcgcService
 from .total_order import TotalOrderView, attach_total_order
 from .waiting import WaitingList
@@ -60,10 +77,12 @@ __all__ = [
     "initial_decision",
     "CausalDeliverer",
     "Confirm",
+    "DecisionApplied",
     "Deliver",
     "Discarded",
     "Effect",
     "Left",
+    "Rejoined",
     "Send",
     "GroupView",
     "CallHandle",
@@ -86,6 +105,12 @@ __all__ = [
     "UserMessage",
     "Mid",
     "NO_MESSAGE",
+    "KIND_JOIN",
+    "JoinRequest",
+    "MemberState",
+    "build_member",
+    "export_state",
+    "replay",
     "RequestHandle",
     "UrcgcService",
     "TotalOrderView",

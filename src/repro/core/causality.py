@@ -87,6 +87,16 @@ class CausalContext:
     def own_last_seq(self) -> SeqNo:
         return self._own_last
 
+    def restore_own_seq(self, seq: SeqNo) -> None:
+        """Fast-forward the own counter to at least ``seq``.
+
+        Used when rebuilding a context after a crash: the new
+        incarnation must never reuse a sequence number the previous one
+        may have emitted (PROTOCOL §12).
+        """
+        if seq > self._own_last:
+            self._own_last = seq
+
     def note_processed(self, mid: Mid) -> None:
         """Record that ``mid`` was processed (candidate dependency)."""
         if mid.origin == self.pid:
@@ -199,29 +209,85 @@ class ContiguousDependencyTracker:
     ``(o, s-1)``, so processing within an origin is contiguous and a
     single counter per origin suffices.  ``mark_processed`` enforces
     the contiguity invariant.
+
+    Void gaps (rejoin extension, PROTOCOL §12): a JOIN decision can
+    declare a closed seq range of an origin lost forever — discarded by
+    the orphan rule and bounded by the rejoining incarnation's last own
+    seq.  Such a range is registered with :meth:`add_gap`; seqs inside
+    it count as processed once the frontier reaches the gap, and the
+    contiguity check jumps over it.
     """
 
     def __init__(self) -> None:
         self._last: dict[ProcessId, SeqNo] = {}
+        self._gaps: dict[ProcessId, list[tuple[SeqNo, SeqNo]]] = {}
 
-    def last_processed(self, origin: ProcessId) -> SeqNo:
+    def add_gap(self, origin: ProcessId, first: SeqNo, last: SeqNo) -> None:
+        """Declare ``[first, last]`` of ``origin`` void (never arriving)."""
+        if last < first:
+            return
+        gaps = self._gaps.setdefault(origin, [])
+        merged = (first, last)
+        kept: list[tuple[SeqNo, SeqNo]] = []
+        for gap in gaps:
+            if gap[1] + 1 < merged[0] or merged[1] + 1 < gap[0]:
+                kept.append(gap)
+            else:
+                merged = (min(gap[0], merged[0]), max(gap[1], merged[1]))
+        kept.append(merged)
+        kept.sort()
+        self._gaps[origin] = kept
+
+    def gaps(self) -> dict[ProcessId, tuple[tuple[SeqNo, SeqNo], ...]]:
+        """Copy of the registered void ranges, for snapshotting."""
+        return {origin: tuple(gaps) for origin, gaps in self._gaps.items() if gaps}
+
+    def raw_last(self, origin: ProcessId) -> SeqNo:
+        """Highest seq actually processed (gaps not credited)."""
         return self._last.get(origin, NO_MESSAGE)
 
+    def last_processed(self, origin: ProcessId) -> SeqNo:
+        """Processing frontier: last seq processed *or agreed void*."""
+        return self._frontier(origin)
+
     def is_processed(self, mid: Mid) -> bool:
-        return mid.seq <= self._last.get(mid.origin, NO_MESSAGE)
+        return mid.seq <= self._frontier(mid.origin)
 
     def mark_processed(self, mid: Mid) -> None:
-        last = self._last.get(mid.origin, NO_MESSAGE)
-        if mid.seq != last + 1:
+        expected = self._frontier(mid.origin) + 1
+        if mid.seq != expected:
             raise CausalityViolationError(
-                f"out-of-order processing: {mid} after seq {last} of origin "
-                f"{mid.origin}"
+                f"out-of-order processing: {mid} after seq "
+                f"{self._last.get(mid.origin, NO_MESSAGE)} of origin {mid.origin}"
             )
         self._last[mid.origin] = mid.seq
 
+    def restore(
+        self,
+        last: dict[ProcessId, SeqNo],
+        gaps: dict[ProcessId, tuple[tuple[SeqNo, SeqNo], ...]] | None = None,
+    ) -> None:
+        """Rebuild tracker state from a snapshot."""
+        self._last = {o: s for o, s in last.items() if s > NO_MESSAGE}
+        self._gaps = {}
+        if gaps:
+            for origin, ranges in gaps.items():
+                for first, end in ranges:
+                    self.add_gap(origin, first, end)
+
     def snapshot(self) -> dict[ProcessId, SeqNo]:
-        """Copy of the per-origin last-processed vector."""
+        """Copy of the per-origin last-processed vector (raw)."""
         return dict(self._last)
+
+    def _frontier(self, origin: ProcessId) -> SeqNo:
+        frontier = self._last.get(origin, NO_MESSAGE)
+        for first, end in self._gaps.get(origin, ()):
+            if first <= frontier + 1:
+                if end > frontier:
+                    frontier = end
+            else:
+                break
+        return frontier
 
 
 class SetDependencyTracker:

@@ -83,6 +83,19 @@ class UrcgcConfig:
         application declares significance explicitly through
         :meth:`~repro.core.member.Member.mark_significant`, realizing
         the concurrency the paper's Definition 3.1 permits.
+    enable_rejoin:
+        When True a process removed as crashed may come back as a *new
+        incarnation* of its slot via the JOIN decision flow (PROTOCOL
+        §12).  Decisions then carry the join bookkeeping vectors and
+        members pin their histories while a rejoin or a recent crash is
+        outstanding.  Off by default: the paper does not define joins,
+        and the base experiments run with the shrink-only view.
+    recovery_grace:
+        With rejoin enabled: how many *further* full-group decisions a
+        member keeps its history floors pinned after a crash removal,
+        so that a quick rejoin can still state-transfer the interval.
+        Bounds the space a dead slot can hold hostage (the
+        bounded-space catch-up concern of Nédelec et al.).
     """
 
     n: int
@@ -93,6 +106,8 @@ class UrcgcConfig:
     leave_rule: LeaveRule = LeaveRule.CONFIRMED
     circulate_decisions: bool = True
     auto_significant: bool = True
+    enable_rejoin: bool = False
+    recovery_grace: int = 8
     #: Resilience degree: computed, not settable.
     t: int = field(init=False)
 
@@ -109,6 +124,8 @@ class UrcgcConfig:
             raise ConfigError(f"flow_threshold must be >= 0, got {self.flow_threshold}")
         if self.max_history is not None and self.max_history < 1:
             raise ConfigError(f"max_history must be >= 1, got {self.max_history}")
+        if self.recovery_grace < 1:
+            raise ConfigError(f"recovery_grace must be >= 1, got {self.recovery_grace}")
         object.__setattr__(self, "t", (self.n - 1) // 2)
 
     @property

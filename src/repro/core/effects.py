@@ -25,6 +25,8 @@ __all__ = [
     "Left",
     "Discarded",
     "MembershipChange",
+    "DecisionApplied",
+    "Rejoined",
 ]
 
 
@@ -78,6 +80,30 @@ class Discarded(Effect):
 
     lost: Mid
     discarded: tuple[Mid, ...]
+
+
+@dataclass(frozen=True)
+class DecisionApplied(Effect):
+    """The engine adopted ``decision`` as its latest decision.
+
+    Durable drivers append the decision to the write-ahead log so a
+    replay after a crash adopts the exact same decision sequence.
+    Drivers without persistence ignore the effect.
+    """
+
+    decision: object
+
+
+@dataclass(frozen=True)
+class Rejoined(Effect):
+    """A previously-removed process was re-admitted by a JOIN decision.
+
+    ``pid`` is the rejoining slot, ``boundary`` the last own-sequence
+    number of its previous incarnation (new messages start above it).
+    """
+
+    pid: int
+    boundary: int
 
 
 @dataclass(frozen=True)

@@ -1,11 +1,14 @@
 """The local group view and the rotating-coordinator rule.
 
 "A local group view describes the knowledge that each process has
-acquired about the whole system of processes" (Section 4).  Views only
-shrink: a process removed as crashed never rejoins (the paper does not
-define joins).  All view updates flow through coordinator decisions,
-so every process applies the same removals — possibly at different
-times, which the protocol tolerates.
+acquired about the whole system of processes" (Section 4).  In the
+paper views only shrink: all view updates flow through coordinator
+decisions, so every process applies the same removals — possibly at
+different times, which the protocol tolerates.  This reproduction adds
+one extension beyond the paper: with rejoin enabled (PROTOCOL §12) a
+removed slot can be re-admitted by a JOIN decision, through the
+explicit :meth:`GroupView.restore` path only — ``apply_vector`` stays
+monotone so stale decisions can never resurrect a process.
 
 The coordinator of subrun ``s`` is the process at position ``s mod n``
 in the original ordering, skipping processes the local view marks
@@ -42,6 +45,16 @@ class GroupView:
         """Mark ``pid`` crashed/left (idempotent)."""
         self._check(pid)
         self._alive[pid] = False
+
+    def restore(self, pid: ProcessId) -> None:
+        """Re-admit ``pid`` (idempotent).
+
+        Only the JOIN decision flow calls this; ordinary decision
+        vectors go through :meth:`apply_vector`, which never
+        resurrects.
+        """
+        self._check(pid)
+        self._alive[pid] = True
 
     def alive_set(self) -> frozenset[ProcessId]:
         return frozenset(

@@ -23,13 +23,20 @@ membership updates and suicide, history cleaning (only on
 ``full_group`` decisions), orphan-sequence discard, recovery requests
 to the ``most_updated`` process, the ``R``-attempt recovery budget,
 and the leave-on-missed-decisions rule.
+
+With ``config.enable_rejoin`` (PROTOCOL §12) a crashed-and-restored
+member additionally supports *rejoin mode*: it circulates
+:class:`~repro.core.rejoin.JoinRequest` PDUs until a coordinator
+re-admits it through ``Decision.joiners``, closing the orphan-void
+range of its previous incarnation and pinning peer histories so the
+state transfer it needs cannot be compacted away.
 """
 
 from __future__ import annotations
 
 from collections import deque
 
-from ..errors import MemberLeftError, NotInGroupError
+from ..errors import ConfigError, MemberLeftError, NotInGroupError
 from ..net.addressing import BROADCAST_GROUP, GroupAddress, UnicastAddress
 from ..types import ProcessId, SeqNo, SubrunNo
 from .causality import CausalContext, ContiguousDependencyTracker
@@ -37,11 +44,13 @@ from .config import LeaveRule, UrcgcConfig
 from .decision import Decision, RequestInfo, compute_decision, initial_decision
 from .effects import (
     Confirm,
+    DecisionApplied,
     Deliver,
     Discarded,
     Effect,
     Left,
     MembershipChange,
+    Rejoined,
     Send,
 )
 from .group_view import GroupView
@@ -59,6 +68,7 @@ from .message import (
     UserMessage,
 )
 from .mid import Mid, NO_MESSAGE
+from .rejoin import KIND_JOIN, JoinRequest
 from .waiting import WaitingList
 
 __all__ = ["Member"]
@@ -111,8 +121,22 @@ class Member:
         self._recovery_attempts: dict[ProcessId, int] = {}
         self._recovery_baseline: dict[ProcessId, SeqNo] = {}
 
-        # Orphan-discard marks: origin -> first discarded seq.
+        # Orphan-discard marks: origin -> first discarded seq (open:
+        # everything at or above the mark is presumed lost).
         self._discarded_from: dict[ProcessId, SeqNo] = {}
+
+        # Rejoin extension (PROTOCOL §12).
+        #: Incarnation number of this engine instance (0 = original).
+        self.incarnation = 0
+        #: True while this member is circulating JoinRequests.
+        self.rejoining = False
+        self._realign_round: int | None = None
+        #: joiner -> (reported last_processed, full_group_count at stash).
+        self._pending_joins: dict[ProcessId, tuple[tuple[SeqNo, ...], int]] = {}
+        #: Closed void ranges per origin: [first, last] lost forever.
+        self._void_ranges: dict[ProcessId, list[tuple[SeqNo, SeqNo]]] = {}
+        #: Crash-grace history pins: removed pid -> full_group_count at removal.
+        self._crash_pins: dict[ProcessId, int] = {}
 
         # Introspection counters (read by the harness and tests).
         self.generated_count = 0
@@ -121,6 +145,7 @@ class Member:
         self.flow_blocked_rounds = 0
         self.forked_decisions_rejected = 0
         self.full_group_decisions_seen = 0
+        self.rejoins_observed = 0
 
     # ------------------------------------------------------------------
     # public state
@@ -172,6 +197,35 @@ class Member:
         self.context.mark_significant(origin)
 
     # ------------------------------------------------------------------
+    # rejoin interface (PROTOCOL §12)
+    # ------------------------------------------------------------------
+
+    def begin_rejoin(self) -> None:
+        """Enter rejoin mode as a new incarnation of this slot.
+
+        Called by the recovery driver after the engine was rebuilt from
+        snapshot + WAL.  Until a coordinator re-admits us, rounds
+        broadcast :class:`JoinRequest` instead of generating messages
+        or sending REQUESTs, and decisions are adopted without the
+        suicide / leave reflexes (the group rightly marks us crashed).
+        """
+        if not self.config.enable_rejoin:
+            raise ConfigError("begin_rejoin requires config.enable_rejoin")
+        if self.has_left:
+            raise MemberLeftError(
+                f"p{self.pid} left the group: {self._left_reason}"
+            )
+        self.incarnation += 1
+        self.rejoining = True
+
+    def consume_realignment(self) -> int | None:
+        """Round number the driver should fast-forward its round clock
+        to after re-admission (None if no realignment is pending)."""
+        realign = self._realign_round
+        self._realign_round = None
+        return realign
+
+    # ------------------------------------------------------------------
     # driver interface
     # ------------------------------------------------------------------
 
@@ -182,6 +236,13 @@ class Member:
         effects: list[Effect] = []
         subrun = SubrunNo(round_no // 2)
         self._subrun = subrun
+        if self.rejoining:
+            if round_no % 2 == 0:
+                join = JoinRequest(
+                    self.pid, self.incarnation, self.last_processed_vector()
+                )
+                effects.append(Send(self.group, join, KIND_JOIN))
+            return effects
         if round_no % 2 == 0:
             self._first_round(subrun, effects)
         else:
@@ -206,8 +267,25 @@ class Member:
                 if self.has_left:
                     break
                 self._handle_user_message(user_message, effects)
+        elif isinstance(message, JoinRequest):
+            self._handle_join_request(message, effects)
         else:
             raise TypeError(f"unexpected message type {type(message).__name__}")
+        return effects
+
+    def replay_generated(self, message: UserMessage) -> list[Effect]:
+        """Re-apply an own message from the WAL during crash recovery.
+
+        The mid and dependency list come from the log (they were fixed
+        at generation time), so replay bypasses allocation and goes
+        straight to processing.
+        """
+        effects: list[Effect] = []
+        if self.tracker.is_processed(message.mid):
+            return effects
+        self.context.restore_own_seq(message.mid.seq)
+        self.generated_count += 1
+        self._process(message, effects)
         return effects
 
     # ------------------------------------------------------------------
@@ -243,8 +321,28 @@ class Member:
             return
         if self._requests_subrun != subrun:
             self._requests = {}
+        joiners: dict[ProcessId, SeqNo] = {}
+        void_from: tuple[SeqNo, ...] = ()
+        join_boundary: tuple[SeqNo, ...] = ()
+        if self.config.enable_rejoin:
+            for j, (reported, _) in self._pending_joins.items():
+                if not self.view.is_alive(j):
+                    # Boundary: the joiner's own frontier, raised to the
+                    # group's knowledge of its sequence (defensive for a
+                    # torn WAL that lost the tail of its own log).
+                    joiners[j] = SeqNo(
+                        max(reported[j], self.latest_decision.max_processed[j])
+                    )
+            void_from, join_boundary = self._render_void_vectors(joiners)
         decision = compute_decision(
-            subrun, self.pid, self.latest_decision, self._requests, self.config.K
+            subrun,
+            self.pid,
+            self.latest_decision,
+            self._requests,
+            self.config.K,
+            joiners=joiners or None,
+            void_from=void_from,
+            join_boundary=join_boundary,
         )
         self._requests = {}
         effects.append(Send(self.group, DecisionMessage(decision), KIND_DECISION))
@@ -275,7 +373,7 @@ class Member:
 
     def _handle_user_message(self, message: UserMessage, effects: list[Effect]) -> None:
         mid = message.mid
-        if self._is_discarded(mid) or any(self._is_discarded(d) for d in message.deps):
+        if self._is_discarded(mid) or any(self._dep_lost(d) for d in message.deps):
             return
         if self.tracker.is_processed(mid) or mid in self.waiting:
             self.duplicate_count += 1
@@ -306,10 +404,34 @@ class Member:
             self._recovery_baseline.pop(current.mid.origin, None)
             effects.append(Deliver(current))
             queue.extend(self.waiting.notify_processed(current.mid))
+            # If this processing carried the frontier across a void gap
+            # (rejoin extension), the void seqs count as processed too:
+            # release anything waiting on them.
+            frontier = self.tracker.last_processed(current.mid.origin)
+            for seq in range(current.mid.seq + 1, frontier + 1):
+                queue.extend(
+                    self.waiting.notify_processed(Mid(current.mid.origin, SeqNo(seq)))
+                )
 
     def _is_discarded(self, mid: Mid) -> bool:
+        """Is ``mid`` itself destroyed — above an open orphan mark, or
+        inside a closed void range of a rejoined origin?"""
         mark = self._discarded_from.get(mid.origin)
-        return mark is not None and mid.seq >= mark
+        if mark is not None and mid.seq >= mark:
+            return True
+        return any(
+            first <= mid.seq <= last
+            for first, last in self._void_ranges.get(mid.origin, ())
+        )
+
+    def _dep_lost(self, dep: Mid) -> bool:
+        """Is ``dep`` unsatisfiable forever?  Only an *open* orphan mark
+        dooms dependents; a dependency inside a closed void range is
+        treated as satisfied (the group agreed the range will never
+        arrive), which is what lets a rejoined incarnation's first
+        message — whose predecessor is the void boundary — through."""
+        mark = self._discarded_from.get(dep.origin)
+        return mark is not None and dep.seq >= mark
 
     def _waiting_vector(self) -> tuple[SeqNo, ...]:
         oldest = self.waiting.oldest_waiting()
@@ -333,7 +455,7 @@ class Member:
         # Adopt a newer circulated decision regardless of whether we
         # are the coordinator the sender believes in.
         self._apply_decision(request.decision, effects)
-        if self.has_left:
+        if self.has_left or self.rejoining:
             return
         if self.view.coordinator_of(request.subrun) != self.pid:
             return
@@ -342,6 +464,9 @@ class Member:
         self._stash_request(request.subrun, request.sender, request.info)
 
     def _apply_decision(self, decision: Decision, effects: list[Effect]) -> None:
+        if self.rejoining:
+            self._apply_decision_rejoining(decision, effects)
+            return
         if not decision.is_newer_than(self.latest_decision):
             return
         if decision.chain <= self.latest_decision.chain:
@@ -366,7 +491,10 @@ class Member:
         self.latest_decision = decision
         self._decision_seen_for = max(self._decision_seen_for, decision.number)
         self._strict_misses = 0
+        effects.append(DecisionApplied(decision))
 
+        if self.config.enable_rejoin:
+            self._sync_rejoin_state(decision, effects)
         removed = self.view.apply_vector(list(decision.alive))
         if removed:
             effects.append(
@@ -380,6 +508,19 @@ class Member:
             # commits suicide."
             self._leave("suicide: presumed crashed by the group", effects)
             return
+        if self.config.enable_rejoin and removed:
+            # Freeze the current floors so a quick rejoin of the removed
+            # process can still be served the interval it missed; the
+            # pin expires after recovery_grace full-group decisions.
+            for gone in removed:
+                self.history.set_recovery_floor(
+                    ("crash", int(gone)),
+                    {
+                        ProcessId(k): self.history.floor(ProcessId(k))
+                        for k in range(decision.n)
+                    },
+                )
+                self._crash_pins[gone] = decision.full_group_count
 
         if decision.full_group:
             self.full_group_decisions_seen += 1
@@ -390,6 +531,8 @@ class Member:
                 }
             )
             self._orphan_discard(decision, effects)
+        if self.config.enable_rejoin:
+            self._release_pins(decision)
         self._plan_recovery(decision, effects)
 
     def _orphan_discard(self, decision: Decision, effects: list[Effect]) -> None:
@@ -417,6 +560,260 @@ class Member:
             self._discarded_from[origin] = mark
             discarded = self.waiting.discard_dependent(lost)
             effects.append(Discarded(lost, tuple(discarded)))
+
+    # ------------------------------------------------------------------
+    # rejoin mechanics (PROTOCOL §12)
+    # ------------------------------------------------------------------
+
+    def _handle_join_request(self, join: JoinRequest, effects: list[Effect]) -> None:
+        """A recovering incarnation asked to be re-admitted.
+
+        Every member pins its history at the joiner's reported frontier
+        (so compaction cannot outrun the state transfer) and drops any
+        waiting stragglers of the joiner's *previous* incarnation above
+        its boundary; the subrun coordinator additionally folds the
+        joiner into its next decision.
+        """
+        if not self.config.enable_rejoin or self.rejoining:
+            return
+        sender = ProcessId(join.sender)
+        if sender == self.pid or len(join.last_processed) != self.config.n:
+            return
+        self._pending_joins[sender] = (
+            join.last_processed,
+            self.latest_decision.full_group_count,
+        )
+        self.history.set_recovery_floor(
+            ("join", int(sender)),
+            {
+                ProcessId(k): join.last_processed[k]
+                for k in range(self.config.n)
+            },
+        )
+        # Old-incarnation stragglers above the boundary can never be
+        # completed (mids are incarnation-blind): drop them silently so
+        # they cannot mix with the new incarnation's sequence.
+        boundary = join.last_processed[sender]
+        self.waiting.discard_dependent(Mid(sender, SeqNo(boundary + 1)))
+
+    def _sync_rejoin_state(self, decision: Decision, effects: list[Effect]) -> None:
+        """Adopt the decision-carried rejoin bookkeeping.
+
+        Runs before ``apply_vector``: (1) adopt group-agreed orphan
+        marks and close void ranges whose boundary the decision
+        publishes; (2) re-admit any slot the (strictly newer, chain-
+        verified) decision marks alive that our view had removed.
+        """
+        if decision.void_from:
+            for k in range(decision.n):
+                mark = decision.void_from[k]
+                if mark == NO_MESSAGE:
+                    continue
+                origin = ProcessId(k)
+                boundary = (
+                    decision.join_boundary[k]
+                    if decision.join_boundary
+                    else NO_MESSAGE
+                )
+                if boundary >= mark:
+                    self._close_void(origin, SeqNo(mark), SeqNo(boundary), effects)
+                else:
+                    self._adopt_mark(origin, SeqNo(mark), effects)
+        for k in range(decision.n):
+            origin = ProcessId(k)
+            if origin == self.pid:
+                continue
+            if decision.alive[k] and not self.view.is_alive(origin):
+                self.view.restore(origin)
+                self.rejoins_observed += 1
+                boundary = (
+                    decision.join_boundary[k]
+                    if decision.join_boundary
+                    else self.tracker.last_processed(origin)
+                )
+                # Drop old-incarnation stragglers above the boundary.
+                self.waiting.discard_dependent(Mid(origin, SeqNo(boundary + 1)))
+                effects.append(Rejoined(int(origin), int(boundary)))
+        for j in decision.joiners:
+            pending = self._pending_joins.get(ProcessId(j))
+            if pending is not None:
+                # Keep the pin until the new incarnation contributes,
+                # but restart its expiry clock at admission.
+                self._pending_joins[ProcessId(j)] = (
+                    pending[0],
+                    decision.full_group_count,
+                )
+
+    def _adopt_mark(self, origin: ProcessId, mark: SeqNo, effects: list[Effect]) -> None:
+        """Adopt an open orphan mark published by a decision."""
+        current = self._discarded_from.get(origin)
+        if current is not None and current <= mark:
+            return
+        if any(first <= mark <= last for first, last in self._void_ranges.get(origin, ())):
+            return  # already resolved into a closed range locally
+        self._discarded_from[origin] = mark
+        lost = Mid(origin, mark)
+        discarded = self.waiting.discard_dependent(lost)
+        effects.append(Discarded(lost, tuple(discarded)))
+
+    def _close_void(
+        self, origin: ProcessId, first: SeqNo, last: SeqNo, effects: list[Effect]
+    ) -> None:
+        """Close the void range ``[first, last]`` of ``origin``.
+
+        The range is agreed lost forever (orphan-discarded, bounded by
+        the rejoined incarnation's boundary): register it with the
+        tracker so contiguity jumps it, destroy anything waiting inside
+        it, and release messages that were only blocked on void seqs.
+        """
+        ranges = self._void_ranges.setdefault(origin, [])
+        if (first, last) in ranges:
+            return
+        lost = Mid(origin, first)
+        discarded = self.waiting.discard_dependent(lost)
+        ranges.append((first, last))
+        ranges.sort()
+        self.tracker.add_gap(origin, first, last)
+        mark = self._discarded_from.get(origin)
+        if mark is not None and first <= mark <= last:
+            del self._discarded_from[origin]
+        # Audit trail: the whole range counts as discarded (exempt from
+        # uniform atomicity), plus whatever the waiting list destroyed.
+        void_mids = tuple(
+            Mid(origin, SeqNo(seq)) for seq in range(first, last + 1)
+        )
+        effects.append(Discarded(lost, void_mids + tuple(discarded)))
+        # Seqs the frontier already covers satisfy waiters immediately.
+        frontier = self.tracker.last_processed(origin)
+        released: list[UserMessage] = []
+        for seq in range(first, min(last, frontier) + 1):
+            released.extend(self.waiting.notify_processed(Mid(origin, SeqNo(seq))))
+        for message in released:
+            self._process(message, effects)
+
+    def _render_void_vectors(
+        self, joiners: dict[ProcessId, SeqNo]
+    ) -> tuple[tuple[SeqNo, ...], tuple[SeqNo, ...]]:
+        """The coordinator's rendering of void knowledge for a decision.
+
+        Open marks travel with a zero boundary; the latest closed range
+        travels whole (so members that missed the closing decision still
+        learn it); a slot being admitted right now gets its mark closed
+        at the join boundary.  All-zero vectors collapse to empty tuples
+        to keep the legacy wire size when nothing ever crashed.
+        """
+        n = self.config.n
+        void = [NO_MESSAGE] * n
+        bound = [NO_MESSAGE] * n
+        for k in range(n):
+            origin = ProcessId(k)
+            mark = self._discarded_from.get(origin)
+            ranges = self._void_ranges.get(origin)
+            if mark is not None:
+                void[k] = mark
+            elif ranges:
+                void[k], bound[k] = ranges[-1]
+        for j, boundary in joiners.items():
+            mark = self._discarded_from.get(j)
+            if mark is not None and mark <= boundary:
+                void[j] = mark
+                bound[j] = boundary
+        if not any(void):
+            return (), ()
+        return tuple(void), tuple(bound)
+
+    def _release_pins(self, decision: Decision) -> None:
+        """Expire history pins that served their purpose.
+
+        A crash pin lifts when the slot rejoins or after
+        ``recovery_grace`` further full-group decisions; a join pin
+        lifts when the new incarnation contributes to a decision (its
+        state transfer is over) or when its expiry clock runs out
+        without an admission.
+        """
+        for gone, at in list(self._crash_pins.items()):
+            if (
+                self.view.is_alive(gone)
+                or decision.full_group_count - at >= self.config.recovery_grace
+            ):
+                self.history.clear_recovery_floor(("crash", int(gone)))
+                del self._crash_pins[gone]
+        for j, (_, at) in list(self._pending_joins.items()):
+            admitted = self.view.is_alive(j)
+            if admitted and decision.contributors[j]:
+                self.history.clear_recovery_floor(("join", int(j)))
+                del self._pending_joins[j]
+            elif (
+                not admitted
+                and decision.full_group_count - at >= self.config.recovery_grace
+            ):
+                self.history.clear_recovery_floor(("join", int(j)))
+                del self._pending_joins[j]
+
+    def _apply_decision_rejoining(
+        self, decision: Decision, effects: list[Effect]
+    ) -> None:
+        """Decision adoption while circulating JoinRequests.
+
+        Same chain discipline as the normal path, but without suicide
+        (the group *should* mark us crashed right now), without the
+        missed-decision leave rules (we missed decisions by definition),
+        and without coordinator duties.  Seeing ourselves alive in a
+        decision completes the rejoin.
+        """
+        if not decision.is_newer_than(self.latest_decision):
+            return
+        if decision.chain <= self.latest_decision.chain:
+            self.forked_decisions_rejected += 1
+            return
+        self.latest_decision = decision
+        self._decision_seen_for = max(self._decision_seen_for, decision.number)
+        effects.append(DecisionApplied(decision))
+        self._sync_rejoin_state(decision, effects)
+        removed: list[ProcessId] = []
+        for k in range(decision.n):
+            origin = ProcessId(k)
+            if origin != self.pid and not decision.alive[k] and self.view.is_alive(origin):
+                self.view.remove(origin)
+                removed.append(origin)
+        if removed:
+            effects.append(
+                MembershipChange(
+                    tuple(int(pid) for pid in removed),
+                    tuple(self.view.alive_vector()),
+                )
+            )
+        if decision.alive[self.pid]:
+            self._complete_rejoin(decision, effects)
+
+    def _complete_rejoin(self, decision: Decision, effects: list[Effect]) -> None:
+        self.rejoining = False
+        self.view.restore(self.pid)
+        self._strict_misses = 0
+        # Resume the subrun clock right after the admitting decision.
+        self._realign_round = 2 * (int(decision.number) + 1)
+        boundary = (
+            decision.join_boundary[self.pid]
+            if decision.join_boundary
+            else NO_MESSAGE
+        )
+        if boundary > self.context.own_last_seq:
+            # The group knows more of our old sequence than our log did
+            # (torn tail): never reuse those seqs.
+            self.context.restore_own_seq(SeqNo(boundary))
+        effects.append(Rejoined(int(self.pid), int(self.context.own_last_seq)))
+        # Rebroadcast the unstable suffix of our own sequence: messages
+        # the crash may have kept from some peers, which uniform
+        # atomicity requires everyone (or no one) to process.
+        start = SeqNo(decision.max_processed[self.pid] + 1)
+        for message in self.history.fetch_range(
+            self.pid, start, self.context.own_last_seq
+        ):
+            if not self._is_discarded(message.mid):
+                effects.append(Send(self.group, message, KIND_DATA))
+        # Catch up on what we missed while down (state transfer via the
+        # ordinary recovery machinery; peers pinned their histories).
+        self._plan_recovery(decision, effects)
 
     def _plan_recovery(self, decision: Decision, effects: list[Effect]) -> None:
         """Ask the most-updated process for the messages we miss."""

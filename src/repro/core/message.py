@@ -143,6 +143,12 @@ def _write_decision(writer: Writer, decision: Decision) -> None:
         writer.u16(pid)
     _write_seq_vector(writer, decision.min_waiting)
     writer.u32(decision.full_group_count)
+    # Rejoin extension (all empty without enable_rejoin: 6 bytes).
+    writer.u16(len(decision.joiners))
+    for pid in decision.joiners:
+        writer.u16(pid)
+    _write_seq_vector(writer, decision.void_from)
+    _write_seq_vector(writer, decision.join_boundary)
 
 
 def _read_decision(reader: Reader) -> Decision:
@@ -158,6 +164,9 @@ def _read_decision(reader: Reader) -> Decision:
     most_updated = tuple(ProcessId(reader.u16()) for _ in range(reader.u16()))
     min_waiting = _read_seq_vector(reader)
     full_group_count = reader.u32()
+    joiners = tuple(ProcessId(reader.u16()) for _ in range(reader.u16()))
+    void_from = _read_seq_vector(reader)
+    join_boundary = _read_seq_vector(reader)
     return Decision(
         number=number,
         chain=chain,
@@ -171,6 +180,9 @@ def _read_decision(reader: Reader) -> Decision:
         most_updated=most_updated,
         min_waiting=min_waiting,
         full_group_count=full_group_count,
+        joiners=joiners,
+        void_from=void_from,
+        join_boundary=join_boundary,
     )
 
 

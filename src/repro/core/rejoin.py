@@ -1,0 +1,238 @@
+"""Crash recovery and rejoin (PROTOCOL §12).
+
+The paper's membership only shrinks; this module implements the
+reproduction's extension for nodes that come back.  A recovering
+process:
+
+1. rebuilds its :class:`~repro.core.member.Member` from the latest
+   snapshot (:func:`build_member`) and re-applies the write-ahead-log
+   suffix (:func:`replay`) — both fully deterministic, so the restored
+   engine is byte-for-byte the pre-crash engine;
+2. enters *rejoin mode* (:meth:`Member.begin_rejoin`): it broadcasts a
+   :class:`JoinRequest` every subrun instead of REQUESTs, and adopts
+   circulated decisions without the suicide / leave-rule reflexes that
+   would otherwise kill a process the group currently marks crashed;
+3. is re-admitted when a coordinator folds it into a decision
+   (``Decision.joiners``), which simultaneously closes the orphan-void
+   range of its previous incarnation (``void_from``/``join_boundary``)
+   so the new incarnation's messages are causally reachable;
+4. catches up missed messages through the ordinary recovery machinery
+   (``History.fetch_range`` state transfer from ``most_updated``),
+   which works because members pin their history floors while a join
+   is outstanding.
+
+The byte-level snapshot/WAL formats live in :mod:`repro.storage`; this
+module owns the protocol-facing pieces so ``core`` never imports
+``storage``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+from ..net.wire import Reader, Writer, global_registry
+from ..types import ProcessId, SeqNo
+from .decision import Decision
+from .effects import Deliver, Effect
+from .message import DecisionMessage, UserMessage
+from .mid import Mid, NO_MESSAGE
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .config import UrcgcConfig
+    from .member import Member
+
+__all__ = [
+    "KIND_JOIN",
+    "JoinRequest",
+    "MemberState",
+    "RECORD_GENERATED",
+    "RECORD_PROCESSED",
+    "RECORD_DECISION",
+    "export_state",
+    "build_member",
+    "replay",
+]
+
+#: Packet-kind label for traffic accounting.
+KIND_JOIN = "ctrl-join"
+
+_TAG_JOIN = 15
+
+#: Write-ahead-log record kinds (the byte framing is in storage/wal.py).
+RECORD_GENERATED = 1  #: an own message, logged before it is sent
+RECORD_PROCESSED = 2  #: a peer message, logged when it is processed
+RECORD_DECISION = 3  #: a decision, logged when it is adopted
+
+
+@dataclass(frozen=True)
+class JoinRequest:
+    """Broadcast by a recovering incarnation until it is re-admitted.
+
+    ``last_processed`` is the restored processing frontier; members pin
+    their history floors at it so the joiner's state transfer cannot be
+    outrun by compaction, and ``last_processed[sender]`` is the
+    boundary seq below which the previous incarnation's sequence is
+    closed.
+    """
+
+    sender: ProcessId
+    incarnation: int
+    last_processed: tuple[SeqNo, ...]
+
+    def encode_fields(self, writer: Writer) -> None:
+        writer.u16(self.sender)
+        writer.u32(self.incarnation)
+        writer.u32_list(self.last_processed)
+
+    @classmethod
+    def decode_fields(cls, reader: Reader) -> "JoinRequest":
+        sender = ProcessId(reader.u16())
+        incarnation = reader.u32()
+        last_processed = tuple(SeqNo(v) for v in reader.u32_list())
+        return cls(sender, incarnation, last_processed)
+
+
+global_registry.register(_TAG_JOIN, JoinRequest, JoinRequest.decode_fields)
+
+
+@dataclass
+class MemberState:
+    """The durable (snapshot-worthy) portion of a Member's GMT state.
+
+    Everything else — waiting list, outbox, request stash, recovery
+    counters — is either in-flight state the crash legitimately loses
+    or is reconstructed by WAL replay.  The delivered log is carried
+    separately (it doubles as the history source).
+    """
+
+    pid: ProcessId
+    incarnation: int
+    own_last: SeqNo
+    alive: tuple[bool, ...]
+    latest_decision: Decision
+    tracker_last: dict[ProcessId, SeqNo] = field(default_factory=dict)
+    tracker_gaps: dict[ProcessId, tuple[tuple[SeqNo, SeqNo], ...]] = field(
+        default_factory=dict
+    )
+    floors: dict[ProcessId, SeqNo] = field(default_factory=dict)
+    open_marks: dict[ProcessId, SeqNo] = field(default_factory=dict)
+    void_ranges: dict[ProcessId, tuple[tuple[SeqNo, SeqNo], ...]] = field(
+        default_factory=dict
+    )
+
+
+def export_state(member: "Member") -> MemberState:
+    """Extract the durable state of ``member`` for a snapshot."""
+    n = member.config.n
+    return MemberState(
+        pid=member.pid,
+        incarnation=member.incarnation,
+        own_last=member.context.own_last_seq,
+        alive=tuple(member.view.alive_vector()),
+        latest_decision=member.latest_decision,
+        tracker_last={
+            ProcessId(k): member.tracker.raw_last(ProcessId(k))
+            for k in range(n)
+            if member.tracker.raw_last(ProcessId(k)) > NO_MESSAGE
+        },
+        tracker_gaps=member.tracker.gaps(),
+        floors={
+            ProcessId(k): member.history.floor(ProcessId(k))
+            for k in range(n)
+            if member.history.floor(ProcessId(k)) > NO_MESSAGE
+        },
+        open_marks=dict(member._discarded_from),
+        void_ranges={
+            origin: tuple(ranges)
+            for origin, ranges in member._void_ranges.items()
+            if ranges
+        },
+    )
+
+
+def build_member(
+    pid: ProcessId,
+    config: "UrcgcConfig",
+    state: MemberState,
+    delivered: Iterable[UserMessage],
+) -> "Member":
+    """Reconstruct a Member from snapshot ``state`` + its delivered log.
+
+    The history is rebuilt from the delivered messages above each
+    origin's cleaning floor (the snapshot stores the log once, not the
+    log *and* the history).  The caller replays the WAL suffix on the
+    result with :func:`replay`.
+    """
+    from .member import Member
+
+    member = Member(pid, config)
+    member.incarnation = state.incarnation
+    member.latest_decision = state.latest_decision
+    member._decision_seen_for = state.latest_decision.number
+    for k, flag in enumerate(state.alive):
+        if not flag and ProcessId(k) != pid:
+            member.view.remove(ProcessId(k))
+    member.tracker.restore(dict(state.tracker_last), dict(state.tracker_gaps))
+    member.context.restore_own_seq(state.own_last)
+    for origin, last in state.tracker_last.items():
+        if origin != pid and last > NO_MESSAGE:
+            member.context.note_processed(Mid(origin, last))
+    for origin, floor in state.floors.items():
+        member.history.restore_floor(origin, floor)
+    member._discarded_from = dict(state.open_marks)
+    member._void_ranges = {
+        origin: list(ranges) for origin, ranges in state.void_ranges.items()
+    }
+    for origin, ranges in state.void_ranges.items():
+        for first, last in ranges:
+            member.tracker.add_gap(origin, first, last)
+    count = 0
+    for message in delivered:
+        count += 1
+        origin = message.mid.origin
+        if message.mid.seq > member.history.floor(origin) and not member.history.contains(
+            message.mid
+        ):
+            member.history.store(message)
+        if origin == pid:
+            member.generated_count += 1
+    member.processed_count = count
+    return member
+
+
+def replay(
+    member: "Member", records: Iterable[tuple[int, object]]
+) -> list[UserMessage]:
+    """Re-apply a WAL suffix to a freshly-restored ``member``.
+
+    ``records`` yields ``(kind, pdu)`` pairs in log order.  All effects
+    are discarded except deliveries, which are returned so the driver
+    can extend its delivery log — replay must never re-send anything.
+    The WAL logs messages at *processing* time (and own messages before
+    sending, i.e. at generation = processing time), so replay processes
+    each record immediately and deterministically.
+    """
+    delivered: list[UserMessage] = []
+
+    def absorb(effects: list[Effect]) -> None:
+        delivered.extend(
+            effect.message for effect in effects if isinstance(effect, Deliver)
+        )
+
+    for kind, pdu in records:
+        if member.has_left:
+            break
+        if kind == RECORD_GENERATED:
+            assert isinstance(pdu, UserMessage)
+            absorb(member.replay_generated(pdu))
+        elif kind == RECORD_PROCESSED:
+            assert isinstance(pdu, UserMessage)
+            absorb(member.on_message(pdu))
+        elif kind == RECORD_DECISION:
+            decision = pdu.decision if isinstance(pdu, DecisionMessage) else pdu
+            assert isinstance(decision, Decision)
+            absorb(member.on_message(DecisionMessage(decision)))
+        else:
+            raise ValueError(f"unknown WAL record kind {kind}")
+    return delivered

@@ -27,6 +27,7 @@ __all__ = [
     "FlowControlBlocked",
     "MemberLeftError",
     "RuntimeTransportError",
+    "StorageError",
 ]
 
 
@@ -119,3 +120,11 @@ class MemberLeftError(ProtocolError):
 
 class RuntimeTransportError(ReproError):
     """The asyncio runtime transport failed (closed socket, bad peer)."""
+
+
+class StorageError(ReproError):
+    """Durable-state failure: unreadable or corrupted snapshot.
+
+    Note the write-ahead log never raises this for a torn tail — a torn
+    tail is the *expected* crash artifact and is truncated silently.
+    """

@@ -13,7 +13,15 @@ from __future__ import annotations
 
 from ..analysis.delay import DeliveryLog
 from ..core.config import UrcgcConfig
-from ..core.effects import Confirm, Deliver, Discarded, Effect, Left, Send
+from ..core.effects import (
+    Confirm,
+    DecisionApplied,
+    Deliver,
+    Discarded,
+    Effect,
+    Left,
+    Send,
+)
 from ..core.member import Member
 from ..core.message import DecisionMessage, UserMessage
 from ..core.service import UrcgcService
@@ -24,6 +32,7 @@ from ..net.transport import MulticastTransport
 from ..net.wire import decode_message, encode_message
 from ..sim.kernel import Kernel
 from ..sim.rounds import RoundScheduler
+from ..storage import GroupStorage, NodeStorage, snapshot_of
 from ..types import ProcessId, Time
 from ..workloads.generators import NullWorkload, Workload
 
@@ -51,6 +60,11 @@ class SimCluster:
         Hard stop for the round scheduler.
     seed, trace:
         Kernel determinism and tracing controls.
+    storage:
+        Optional :class:`~repro.storage.GroupStorage`: every member
+        then write-ahead-logs its traffic and snapshots on the
+        storage's cadence, exactly like the live runtime — the
+        deterministic code path the recovery property tests replay.
     """
 
     def __init__(
@@ -66,6 +80,7 @@ class SimCluster:
         trace: bool = True,
         one_way_delay: Time = 0.5,
         medium=None,
+        storage: GroupStorage | None = None,
     ) -> None:
         self.config = config
         self.kernel = Kernel(seed=seed, trace=trace)
@@ -79,6 +94,12 @@ class SimCluster:
         self.services: list[UrcgcService] = []
         self.transports: list[MulticastTransport] = []
         self._quiescent_at: Time | None = None
+        self.storage = storage
+        #: Per-member delivery logs, kept only when storage is enabled
+        #: (snapshots serialize them).
+        self.delivered: list[list[UserMessage]] | None = (
+            [[] for _ in range(config.n)] if storage is not None else None
+        )
 
         for i in range(config.n):
             pid = ProcessId(i)
@@ -232,12 +253,26 @@ class SimCluster:
         effects = self.members[pid].on_message(message)
         self._execute(pid, effects)
 
+    def _node_storage(self, pid: ProcessId) -> "NodeStorage | None":
+        return self.storage.node(pid) if self.storage is not None else None
+
     def _execute(self, pid: ProcessId, effects: list[Effect]) -> None:
         now = self.kernel.now
+        node_storage = self._node_storage(pid)
         sends = self.services[pid].dispatch(effects)
         for effect in effects:
             if isinstance(effect, Deliver):
                 self.delivery_log.on_processed(effect.message.mid, pid, now)
+                if self.delivered is not None:
+                    self.delivered[pid].append(effect.message)
+                if (
+                    node_storage is not None
+                    and effect.message.mid.origin != pid
+                ):
+                    node_storage.log_processed(effect.message)
+            elif isinstance(effect, DecisionApplied):
+                if node_storage is not None:
+                    node_storage.log_decision(effect.decision)
             elif isinstance(effect, Discarded):
                 # The lost message is destroyed along with its
                 # dependents: the "or none of them" branch of atomicity.
@@ -254,6 +289,9 @@ class SimCluster:
             message = send.message
             if isinstance(message, UserMessage) and message.mid.origin == pid:
                 self.delivery_log.on_generated(message.mid, now)
+                if node_storage is not None:
+                    # Log-before-send, as in the live runtime.
+                    node_storage.log_generated(message)
             elif isinstance(message, DecisionMessage):
                 decision = message.decision
                 self.kernel.trace.emit(
@@ -267,4 +305,12 @@ class SimCluster:
                 )
             self.transports[pid].t_data_rq(
                 send.dst, encode_message(message), kind=send.kind
+            )
+        if node_storage is not None and node_storage.should_snapshot():
+            node_storage.save_snapshot(
+                snapshot_of(
+                    self.members[pid],
+                    self.delivered[pid] if self.delivered is not None else (),
+                    round_no=self.scheduler.current_round,
+                )
             )

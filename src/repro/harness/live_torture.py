@@ -115,18 +115,23 @@ def audit_streams(
     ``converged=True`` asserts the quiescent-group clauses (equal
     per-origin subsequences and Uniform Atomicity over the active
     set); ``converged=False`` audits an in-flight group, where only
-    prefix consistency and local causal order must hold.
+    prefix consistency and local causal order must hold.  ``discarded``
+    mids — orphan discards and crash-void ranges — are exempt from
+    atomicity and excised from the ordering comparison (a site may have
+    processed a message shortly before the group voided it).
     """
     violations: list[str] = []
+    voided = frozenset(discarded)
     for pid, stream in streams.items():
         violations.extend(
-            str(v) for v in check_local_causal_order(pid, stream).violations
+            str(v)
+            for v in check_local_causal_order(pid, stream, voided=voided).violations
         )
     if streams:
         violations.extend(
             str(v)
             for v in check_uniform_ordering(
-                dict(streams), converged=converged
+                dict(streams), converged=converged, voided=voided
             ).violations
         )
     if converged and active:

@@ -147,7 +147,55 @@ def main(argv: list[str] | None = None) -> int:
     chaos_parser.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON"
     )
+    recover_parser = sub.add_parser(
+        "recover",
+        help="crash-and-recover torture: WAL + snapshot restore, rejoin "
+        "as a new incarnation, audited across incarnations",
+    )
+    recover_parser.add_argument("-n", "--iterations", type=int, default=10)
+    recover_parser.add_argument("--seed", type=int, default=0)
+    recover_parser.add_argument(
+        "--budget",
+        type=float,
+        default=30.0,
+        help="wall-clock seconds allowed per iteration",
+    )
+    recover_parser.add_argument(
+        "--round-interval",
+        type=float,
+        default=0.004,
+        help="seconds per protocol round at every node",
+    )
+    recover_parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
     args = parser.parse_args(argv)
+    if args.command == "recover":
+        from .recover_torture import recover_torture, results_as_json
+
+        results = recover_torture(
+            args.iterations,
+            start_seed=args.seed,
+            budget=args.budget,
+            round_interval=args.round_interval,
+        )
+        if args.json:
+            import json
+
+            print(json.dumps(results_as_json(results), indent=2))
+        else:
+            for result in results:
+                print(result.describe())
+                for violation in result.violations[:5]:
+                    print(f"    {violation}")
+                if not result.ok:
+                    print(
+                        f"    reproduce: python -m repro recover "
+                        f"--iterations 1 --seed {result.seed}"
+                    )
+            clean = sum(1 for r in results if r.ok)
+            print(f"{clean}/{args.iterations} scenarios clean")
+        return 1 if any(not r.ok for r in results) else 0
     if args.command == "chaos":
         from .live_torture import live_torture, results_as_json
 
@@ -188,8 +236,21 @@ def main(argv: list[str] | None = None) -> int:
         return 1 if failures else 0
     if args.command == "list":
         width = max(len(name) for name in EXPERIMENTS)
+        print("experiments (python -m repro run <name>):")
         for name, (description, _) in sorted(EXPERIMENTS.items()):
-            print(f"{name:{width}s}  {description}")
+            print(f"  {name:{width}s}  {description}")
+        print()
+        print("other subcommands:")
+        subcommands = {
+            "run": "run one experiment (or 'all'); --json for machine output",
+            "torture": "randomized simulator scenarios audited against the "
+            "URCGC theorems",
+            "chaos": "live fault-injected asyncio runs (Definition 3.2 audit)",
+            "recover": "crash-and-recover runs: WAL/snapshot restore + rejoin",
+        }
+        sub_width = max(len(name) for name in subcommands)
+        for name, description in subcommands.items():
+            print(f"  {name:{sub_width}s}  {description}")
         return 0
     names = sorted(EXPERIMENTS) if args.name == "all" else [args.name]
     for i, name in enumerate(names):

@@ -113,6 +113,13 @@ class CrashSchedule:
         self._partial[pid] = budget - 1
         return True
 
+    def revive(self, pid: ProcessId) -> None:
+        """Forget ``pid``'s crash: it recovered and rejoined as a new
+        incarnation.  Idempotent; after revival ``pid`` may be crashed
+        again (the once-per-process rule applies per incarnation)."""
+        self._crash_time.pop(pid, None)
+        self._partial.pop(pid, None)
+
     def __len__(self) -> int:
         return len(self._crash_time)
 

@@ -191,6 +191,13 @@ class ChaosFabric:
     def is_crashed(self, pid: ProcessId) -> bool:
         return self.faults.crashes.is_crashed(pid, self.now())
 
+    def revive(self, pid: ProcessId) -> None:
+        """Let a recovered ``pid`` carry traffic again: clears both the
+        fabric's dead set and the plan's crash schedule, so the new
+        incarnation can later be crashed afresh."""
+        self._dead.discard(pid)
+        self.faults.crashes.revive(pid)
+
     # -- internals -------------------------------------------------------
 
     def _expand(self, dst: Address, src: ProcessId) -> list[ProcessId]:

@@ -15,12 +15,22 @@ import asyncio
 from typing import Awaitable, Callable
 
 from ..core.config import UrcgcConfig
-from ..core.effects import Confirm, Deliver, Discarded, Effect, Left, Send
+from ..core.effects import (
+    Confirm,
+    DecisionApplied,
+    Deliver,
+    Discarded,
+    Effect,
+    Left,
+    Rejoined,
+    Send,
+)
 from ..core.member import Member
 from ..core.message import DecisionMessage, RequestMessage, UserMessage
 from ..core.mid import Mid
 from ..net.addressing import BROADCAST_GROUP
 from ..net.wire import decode_message, encode_message
+from ..storage import GroupStorage, NodeStorage, restore_member, snapshot_of
 from ..types import ProcessId, SubrunNo
 from .lan import AsyncLan
 from .rtt import AdaptiveRoundTimer
@@ -46,6 +56,12 @@ class AsyncNode:
         delay"), instead of the fixed ``round_interval``.
     on_indication:
         Callback ``(pid, message)`` for every processed message.
+    storage:
+        Optional :class:`~repro.storage.NodeStorage`: the node then
+        write-ahead-logs every own message (before it is sent), every
+        processed peer message, and every adopted decision, snapshots on
+        the storage's cadence, and supports :meth:`recover` after a
+        :meth:`crash`.
     """
 
     def __init__(
@@ -57,8 +73,11 @@ class AsyncNode:
         round_interval: float = 0.02,
         adaptive_timer: AdaptiveRoundTimer | None = None,
         on_indication: IndicationCallback | None = None,
+        storage: NodeStorage | None = None,
     ) -> None:
         self.pid = pid
+        self.config = config
+        self.storage = storage
         self.member = Member(pid, config)
         self._lan = lan
         self._endpoint = lan.attach(pid)
@@ -132,6 +151,45 @@ class AsyncNode:
         self.crashed = True
         await self.stop()
 
+    def recover(self) -> None:
+        """Restart after a :meth:`crash` as a *new incarnation*.
+
+        Reloads the snapshot + WAL from :attr:`storage`, replays the
+        WAL into a fresh engine (recomputing the delivered log, which
+        extends the pre-crash log prefix-consistently), then begins the
+        rejoin protocol: the node broadcasts JOIN requests until a
+        coordinator admits it via a circulated decision, catches up by
+        state transfer, and only then resumes generating REQUESTs.
+
+        Requires ``storage`` and ``config.enable_rejoin``.  Must be
+        called from a running event loop (it restarts the node tasks).
+        If the fabric knows how to revive a process (``ChaosFabric``),
+        the fabric-level crash is lifted too.
+        """
+        if self.storage is None:
+            raise RuntimeError("node has no storage; cannot recover")
+        if not self.crashed:
+            raise RuntimeError("node is not crashed")
+        snapshot, records = self.storage.load()
+        member, delivered = restore_member(self.pid, self.config, snapshot, records)
+        member.begin_rejoin()
+        self.member = member
+        self.delivered = delivered
+        self.generated_mids = [
+            message.mid for message in delivered if message.mid.origin == self.pid
+        ]
+        self._round = snapshot.round_no if snapshot is not None else 0
+        self._request_sent_at.clear()
+        # Datagrams queued while dead belong to the old incarnation.
+        while not self._endpoint.queue.empty():
+            self._endpoint.queue.get_nowait()
+        revive = getattr(self._lan, "revive", None)
+        if revive is not None:
+            revive(self.pid)
+        self.crashed = False
+        self._stopped = asyncio.Event()
+        self.start()
+
     # ------------------------------------------------------------------
 
     async def _ticker(self) -> None:
@@ -183,19 +241,42 @@ class AsyncNode:
                     and effect.message.mid.origin == self.pid
                 ):
                     self.generated_mids.append(effect.message.mid)
+                    if self.storage is not None:
+                        # Log-before-send: a sent message is always in
+                        # the WAL, so recovery never reuses its seq.
+                        self.storage.log_generated(effect.message)
                 self._lan.sendto(
                     self.pid, effect.dst, encode_message(effect.message), kind=effect.kind
                 )
             elif isinstance(effect, Deliver):
                 self.delivered.append(effect.message)
+                if (
+                    self.storage is not None
+                    and effect.message.mid.origin != self.pid
+                ):
+                    # Own messages were logged at generation time.
+                    self.storage.log_processed(effect.message)
                 if self._on_indication is not None:
                     self._on_indication(self.pid, effect.message)
             elif isinstance(effect, Confirm):
                 self.confirmed_mids.append(effect.mid)
             elif isinstance(effect, Discarded):
                 self.discarded_mids.extend((effect.lost, *effect.discarded))
+            elif isinstance(effect, DecisionApplied):
+                if self.storage is not None:
+                    self.storage.log_decision(effect.decision)
+            elif isinstance(effect, Rejoined):
+                pass  # observable via member state / group view
             elif isinstance(effect, Left):
                 pass  # observable via member state
+        realign = self.member.consume_realignment()
+        if realign is not None and realign > self._round:
+            # Rejoin completed: fall in step with the group's clock.
+            self._round = realign
+        if self.storage is not None and self.storage.should_snapshot():
+            self.storage.save_snapshot(
+                snapshot_of(self.member, self.delivered, round_no=self._round)
+            )
 
 
 class AsyncGroup:
@@ -208,9 +289,11 @@ class AsyncGroup:
         lan: AsyncLan | None = None,
         round_interval: float = 0.02,
         on_indication: IndicationCallback | None = None,
+        storage: GroupStorage | None = None,
     ) -> None:
         self.config = config
         self.lan = lan or AsyncLan()
+        self.storage = storage
         self.nodes = [
             AsyncNode(
                 ProcessId(i),
@@ -218,6 +301,7 @@ class AsyncGroup:
                 self.lan,
                 round_interval=round_interval,
                 on_indication=on_indication,
+                storage=storage.node(ProcessId(i)) if storage is not None else None,
             )
             for i in range(config.n)
         ]
@@ -306,6 +390,15 @@ class AsyncGroup:
             pass
         await self.crash(coordinator, partial_deliveries=partial_deliveries)
         return coordinator
+
+    def recover(self, pid: ProcessId) -> AsyncNode:
+        """Recover crashed node ``pid`` from its durable state and start
+        its rejoin (see :meth:`AsyncNode.recover`).  Returns the node;
+        use :meth:`wait_until` on ``not node.member.rejoining`` to await
+        admission."""
+        node = self.nodes[pid]
+        node.recover()
+        return node
 
     async def wait_until(
         self, predicate: Callable[[], bool], *, timeout: float = 10.0

@@ -1,0 +1,42 @@
+"""Durable state: write-ahead log, snapshots, and node storage.
+
+The storage subsystem makes a node's GMT state crash-recoverable:
+
+* :mod:`~repro.storage.backend` — blob stores.  ``FileBackend`` writes
+  real files (snapshots atomically via rename); ``MemoryBackend`` keeps
+  blobs in a dict so the discrete-event simulator and the tests
+  exercise the exact same code paths deterministically.
+* :mod:`~repro.storage.wal` — the append-only write-ahead log:
+  length-prefixed, crc-checked records framed around the
+  :mod:`repro.net.wire` codecs, with torn-tail truncation on open.
+* :mod:`~repro.storage.snapshot` — periodic serialization of the
+  durable :class:`~repro.core.rejoin.MemberState` plus the delivered
+  log, and the ``restore_member`` composition of snapshot + WAL replay.
+* :mod:`~repro.storage.store` — ``NodeStorage`` (one node's WAL +
+  snapshot with a cadence policy that truncates the WAL behind each
+  snapshot) and ``GroupStorage`` (a per-pid family over one backend).
+
+The protocol-facing half of recovery (JoinRequest, rejoin mode, WAL
+replay semantics) lives in :mod:`repro.core.rejoin`; this package only
+owns bytes and files.
+"""
+
+from .backend import FileBackend, MemoryBackend, StorageBackend
+from .snapshot import MemberSnapshot, decode_snapshot, encode_snapshot, restore_member, snapshot_of
+from .store import GroupStorage, NodeStorage
+from .wal import WalRecord, WriteAheadLog
+
+__all__ = [
+    "StorageBackend",
+    "MemoryBackend",
+    "FileBackend",
+    "WriteAheadLog",
+    "WalRecord",
+    "MemberSnapshot",
+    "encode_snapshot",
+    "decode_snapshot",
+    "snapshot_of",
+    "restore_member",
+    "NodeStorage",
+    "GroupStorage",
+]

@@ -1,0 +1,111 @@
+"""Blob-store backends for the durable-state subsystem.
+
+A backend is a tiny named-blob interface — read, overwrite, append,
+delete — which is all the WAL and the snapshot writer need.  Two
+implementations:
+
+* :class:`MemoryBackend` — blobs in a dict.  Deterministic and fast;
+  the discrete-event simulator and the recover-torture harness use it
+  so the durable code paths run in every test without touching disk.
+* :class:`FileBackend` — one file per blob under a root directory.
+  Overwrites go through a temp file + ``os.replace`` so a snapshot is
+  either the old bytes or the new bytes, never a torn mix; appends are
+  plain appends, because the WAL's record framing is what tolerates a
+  torn tail.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Protocol
+
+__all__ = ["StorageBackend", "MemoryBackend", "FileBackend"]
+
+_SAFE_NAME_CHARS = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-")
+
+
+def _check_name(name: str) -> str:
+    if not name or any(c not in _SAFE_NAME_CHARS for c in name):
+        raise ValueError(f"unsafe blob name {name!r}")
+    return name
+
+
+class StorageBackend(Protocol):
+    """Named-blob store used by the WAL and the snapshot writer."""
+
+    def read(self, name: str) -> bytes | None: ...
+
+    def write(self, name: str, data: bytes) -> None: ...
+
+    def append(self, name: str, data: bytes) -> None: ...
+
+    def delete(self, name: str) -> None: ...
+
+
+class MemoryBackend:
+    """In-memory blob store (deterministic; used by the simulator)."""
+
+    def __init__(self) -> None:
+        self._blobs: dict[str, bytearray] = {}
+
+    def read(self, name: str) -> bytes | None:
+        blob = self._blobs.get(_check_name(name))
+        return bytes(blob) if blob is not None else None
+
+    def write(self, name: str, data: bytes) -> None:
+        self._blobs[_check_name(name)] = bytearray(data)
+
+    def append(self, name: str, data: bytes) -> None:
+        self._blobs.setdefault(_check_name(name), bytearray()).extend(data)
+
+    def delete(self, name: str) -> None:
+        self._blobs.pop(_check_name(name), None)
+
+    def names(self) -> list[str]:
+        return sorted(self._blobs)
+
+
+class FileBackend:
+    """One file per blob under ``root`` (created if missing).
+
+    Full writes are atomic (temp file + ``os.replace``): a crash during
+    a snapshot leaves the previous snapshot intact.
+    """
+
+    def __init__(self, root: str | os.PathLike[str]) -> None:
+        self.root = os.fspath(root)
+        os.makedirs(self.root, exist_ok=True)
+
+    def _path(self, name: str) -> str:
+        return os.path.join(self.root, _check_name(name))
+
+    def read(self, name: str) -> bytes | None:
+        try:
+            with open(self._path(name), "rb") as handle:
+                return handle.read()
+        except FileNotFoundError:
+            return None
+
+    def write(self, name: str, data: bytes) -> None:
+        path = self._path(name)
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+
+    def append(self, name: str, data: bytes) -> None:
+        with open(self._path(name), "ab") as handle:
+            handle.write(data)
+
+    def delete(self, name: str) -> None:
+        try:
+            os.remove(self._path(name))
+        except FileNotFoundError:
+            pass
+
+    def names(self) -> list[str]:
+        return sorted(
+            entry for entry in os.listdir(self.root) if not entry.endswith(".tmp")
+        )

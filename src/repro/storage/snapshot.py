@@ -1,0 +1,211 @@
+"""Member snapshots: serialization of the durable GMT state.
+
+A snapshot is the :class:`~repro.core.rejoin.MemberState` (history
+floors, ``last_processed`` tracker, group view, latest decision,
+orphan marks and void ranges, incarnation) plus the node's full
+delivered log and its round clock.  The delivered log doubles as the
+history source on restore — messages above each origin's cleaning
+floor are put back into the history, so the snapshot stores every
+message exactly once.
+
+Format: ``u32 crc32(body) | body``, with the body built from the
+:mod:`repro.net.wire` primitives and the registered PDU codecs.
+Snapshots are written atomically by the backend, so a crc mismatch
+means external corruption, not a crash artifact — it raises
+:class:`~repro.errors.StorageError` rather than being repaired.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+from ..core.message import DecisionMessage, UserMessage
+from ..core.rejoin import MemberState, build_member, export_state, replay
+from ..errors import StorageError, WireFormatError
+from ..net.wire import Reader, Writer, decode_message, encode_message
+from ..types import ProcessId, SeqNo
+
+__all__ = [
+    "MemberSnapshot",
+    "snapshot_of",
+    "encode_snapshot",
+    "decode_snapshot",
+    "restore_member",
+]
+
+_VERSION = 1
+
+
+@dataclass
+class MemberSnapshot:
+    """One serialized recovery point of a node."""
+
+    state: MemberState
+    delivered: tuple[UserMessage, ...] = ()
+    round_no: int = 0
+
+    @property
+    def pid(self) -> ProcessId:
+        return self.state.pid
+
+
+def snapshot_of(member, delivered, round_no: int = 0) -> MemberSnapshot:
+    """Build a snapshot of ``member`` with its delivered log."""
+    return MemberSnapshot(
+        state=export_state(member),
+        delivered=tuple(delivered),
+        round_no=round_no,
+    )
+
+
+def encode_snapshot(snapshot: MemberSnapshot) -> bytes:
+    state = snapshot.state
+    n = len(state.alive)
+    writer = Writer()
+    writer.u8(_VERSION)
+    writer.u16(state.pid)
+    writer.u16(n)
+    writer.u32(state.incarnation)
+    writer.u32(snapshot.round_no)
+    writer.u32(state.own_last)
+    for flag in state.alive:
+        writer.boolean(flag)
+    writer.bytes_field(encode_message(DecisionMessage(state.latest_decision)))
+    writer.u32_list(
+        state.tracker_last.get(ProcessId(k), SeqNo(0)) for k in range(n)
+    )
+    writer.u32_list(state.floors.get(ProcessId(k), SeqNo(0)) for k in range(n))
+    gaps = [
+        (origin, first, last)
+        for origin in sorted(state.tracker_gaps)
+        for first, last in state.tracker_gaps[origin]
+    ]
+    writer.u16(len(gaps))
+    for origin, first, last in gaps:
+        writer.u16(origin)
+        writer.u32(first)
+        writer.u32(last)
+    marks = sorted(state.open_marks.items())
+    writer.u16(len(marks))
+    for origin, mark in marks:
+        writer.u16(origin)
+        writer.u32(mark)
+    voids = [
+        (origin, first, last)
+        for origin in sorted(state.void_ranges)
+        for first, last in state.void_ranges[origin]
+    ]
+    writer.u16(len(voids))
+    for origin, first, last in voids:
+        writer.u16(origin)
+        writer.u32(first)
+        writer.u32(last)
+    writer.u32(len(snapshot.delivered))
+    for message in snapshot.delivered:
+        writer.bytes_field(encode_message(message))
+    body = writer.getvalue()
+    header = Writer()
+    header.u32(zlib.crc32(body))
+    return header.getvalue() + body
+
+
+def decode_snapshot(blob: bytes) -> MemberSnapshot:
+    try:
+        return _decode_snapshot(blob)
+    except (WireFormatError, IndexError, ValueError) as exc:
+        raise StorageError(f"corrupted snapshot: {exc}") from exc
+
+
+def _decode_snapshot(blob: bytes) -> MemberSnapshot:
+    if len(blob) < 4:
+        raise StorageError("snapshot too short for its checksum")
+    reader = Reader(blob)
+    crc = reader.u32()
+    body = blob[4:]
+    if zlib.crc32(body) != crc:
+        raise StorageError("snapshot checksum mismatch")
+    reader = Reader(body)
+    version = reader.u8()
+    if version != _VERSION:
+        raise StorageError(f"unsupported snapshot version {version}")
+    pid = ProcessId(reader.u16())
+    n = reader.u16()
+    incarnation = reader.u32()
+    round_no = reader.u32()
+    own_last = SeqNo(reader.u32())
+    alive = tuple(reader.boolean() for _ in range(n))
+    decision_blob = reader.bytes_field()
+    decision_pdu = decode_message(decision_blob)
+    if not isinstance(decision_pdu, DecisionMessage):
+        raise StorageError("snapshot decision field is not a decision")
+    tracker_values = reader.u32_list()
+    floors_values = reader.u32_list()
+    gaps: dict[ProcessId, list[tuple[SeqNo, SeqNo]]] = {}
+    for _ in range(reader.u16()):
+        origin = ProcessId(reader.u16())
+        first = SeqNo(reader.u32())
+        last = SeqNo(reader.u32())
+        gaps.setdefault(origin, []).append((first, last))
+    open_marks: dict[ProcessId, SeqNo] = {}
+    for _ in range(reader.u16()):
+        origin = ProcessId(reader.u16())
+        open_marks[origin] = SeqNo(reader.u32())
+    voids: dict[ProcessId, list[tuple[SeqNo, SeqNo]]] = {}
+    for _ in range(reader.u16()):
+        origin = ProcessId(reader.u16())
+        first = SeqNo(reader.u32())
+        last = SeqNo(reader.u32())
+        voids.setdefault(origin, []).append((first, last))
+    count = reader.u32()
+    delivered = []
+    for _ in range(count):
+        message = decode_message(reader.bytes_field())
+        if not isinstance(message, UserMessage):
+            raise StorageError("snapshot delivered entry is not a user message")
+        delivered.append(message)
+    reader.expect_end()
+    state = MemberState(
+        pid=pid,
+        incarnation=incarnation,
+        own_last=own_last,
+        alive=alive,
+        latest_decision=decision_pdu.decision,
+        tracker_last={
+            ProcessId(k): SeqNo(v)
+            for k, v in enumerate(tracker_values)
+            if v > 0
+        },
+        tracker_gaps={origin: tuple(ranges) for origin, ranges in gaps.items()},
+        floors={
+            ProcessId(k): SeqNo(v) for k, v in enumerate(floors_values) if v > 0
+        },
+        open_marks=open_marks,
+        void_ranges={origin: tuple(ranges) for origin, ranges in voids.items()},
+    )
+    return MemberSnapshot(state=state, delivered=tuple(delivered), round_no=round_no)
+
+
+def restore_member(pid, config, snapshot, wal_records):
+    """Rebuild a Member from ``snapshot`` (may be None) + WAL records.
+
+    Returns ``(member, delivered)`` where ``delivered`` is the full
+    reconstructed delivery log — the snapshot's log followed by the
+    deliveries the WAL replay produced.
+    """
+    from ..core.member import Member
+
+    if snapshot is None:
+        member = Member(pid, config)
+        delivered: list[UserMessage] = []
+    else:
+        if snapshot.state.pid != pid:
+            raise StorageError(
+                f"snapshot belongs to pid {snapshot.state.pid}, not {pid}"
+            )
+        member = build_member(pid, config, snapshot.state, snapshot.delivered)
+        delivered = list(snapshot.delivered)
+    delivered.extend(
+        replay(member, (record.as_replay_tuple() for record in wal_records))
+    )
+    return member, delivered

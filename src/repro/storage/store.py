@@ -1,0 +1,111 @@
+"""Node-level storage: one WAL + one snapshot per node, with cadence.
+
+:class:`NodeStorage` is what a driver (:class:`~repro.runtime.node.
+AsyncNode` or the simulator) talks to: it logs generated/processed
+messages and adopted decisions into the WAL, takes a snapshot every
+``snapshot_interval`` records — truncating the WAL behind it, which
+bounds recovery-replay cost — and on :meth:`load` returns the snapshot
+plus the WAL suffix for :func:`~repro.storage.snapshot.restore_member`.
+
+:class:`GroupStorage` hands out per-pid ``NodeStorage`` instances over
+one shared backend, which is how a whole :class:`AsyncGroup` or
+``SimCluster`` is made durable with a single object.
+"""
+
+from __future__ import annotations
+
+from ..core.decision import Decision
+from ..core.message import UserMessage
+from ..types import ProcessId
+from .backend import MemoryBackend, StorageBackend
+from .snapshot import MemberSnapshot, decode_snapshot, encode_snapshot
+from .wal import WalRecord, WriteAheadLog
+
+__all__ = ["NodeStorage", "GroupStorage"]
+
+#: Default records-between-snapshots (tuned low enough that tests and
+#: torture runs actually exercise the compaction path).
+DEFAULT_SNAPSHOT_INTERVAL = 64
+
+
+class NodeStorage:
+    """Durable state of one node: WAL + latest snapshot."""
+
+    def __init__(
+        self,
+        backend: StorageBackend,
+        pid: ProcessId,
+        *,
+        snapshot_interval: int = DEFAULT_SNAPSHOT_INTERVAL,
+    ) -> None:
+        if snapshot_interval < 1:
+            raise ValueError(f"snapshot_interval must be >= 1, got {snapshot_interval}")
+        self.backend = backend
+        self.pid = pid
+        self.snapshot_interval = snapshot_interval
+        self.wal = WriteAheadLog(backend, f"node-{int(pid):05d}.wal")
+        self._snapshot_name = f"node-{int(pid):05d}.snap"
+        #: WAL records appended since the last snapshot.
+        self.records_since_snapshot = 0
+        #: Snapshots taken over this instance's lifetime.
+        self.snapshots_taken = 0
+
+    # -- logging -------------------------------------------------------
+
+    def log_generated(self, message: UserMessage) -> None:
+        self.wal.append_generated(message)
+        self.records_since_snapshot += 1
+
+    def log_processed(self, message: UserMessage) -> None:
+        self.wal.append_processed(message)
+        self.records_since_snapshot += 1
+
+    def log_decision(self, decision: Decision) -> None:
+        self.wal.append_decision(decision)
+        self.records_since_snapshot += 1
+
+    # -- snapshots -----------------------------------------------------
+
+    def should_snapshot(self) -> bool:
+        return self.records_since_snapshot >= self.snapshot_interval
+
+    def save_snapshot(self, snapshot: MemberSnapshot) -> None:
+        """Persist ``snapshot`` and truncate the WAL behind it."""
+        self.backend.write(self._snapshot_name, encode_snapshot(snapshot))
+        self.wal.reset()
+        self.records_since_snapshot = 0
+        self.snapshots_taken += 1
+
+    # -- recovery ------------------------------------------------------
+
+    def load(self) -> tuple[MemberSnapshot | None, list[WalRecord]]:
+        """Read back the snapshot (None if never taken) and the WAL
+        suffix, torn tail already truncated."""
+        blob = self.backend.read(self._snapshot_name)
+        snapshot = decode_snapshot(blob) if blob is not None else None
+        records = self.wal.open()
+        self.records_since_snapshot = len(records)
+        return snapshot, records
+
+
+class GroupStorage:
+    """Per-pid :class:`NodeStorage` family over one backend."""
+
+    def __init__(
+        self,
+        backend: StorageBackend | None = None,
+        *,
+        snapshot_interval: int = DEFAULT_SNAPSHOT_INTERVAL,
+    ) -> None:
+        self.backend = backend if backend is not None else MemoryBackend()
+        self.snapshot_interval = snapshot_interval
+        self._nodes: dict[ProcessId, NodeStorage] = {}
+
+    def node(self, pid: ProcessId) -> NodeStorage:
+        storage = self._nodes.get(pid)
+        if storage is None:
+            storage = NodeStorage(
+                self.backend, pid, snapshot_interval=self.snapshot_interval
+            )
+            self._nodes[pid] = storage
+        return storage

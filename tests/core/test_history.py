@@ -135,3 +135,61 @@ def test_require_returns_or_raises():
     history.clean(ProcessId(0), SeqNo(1))
     with pytest.raises(UnknownMidError, match="floor"):
         history.require(message.mid)
+
+
+class TestRecoveryFloors:
+    """Recovery pins: cleaning must not advance past a floor a crashed
+    or joining member still needs for state transfer."""
+
+    def fill(self, history, origin=0, upto=5):
+        prev = []
+        for seq in range(1, upto + 1):
+            history.store(msg(origin, seq, prev))
+            prev = [Mid(ProcessId(origin), SeqNo(seq))]
+        return history
+
+    def test_clean_clamped_by_pin(self):
+        history = self.fill(History())
+        history.set_recovery_floor("join-p2", {ProcessId(0): SeqNo(2)})
+        removed = history.clean(ProcessId(0), SeqNo(5))
+        # Only 1..2 may go; 3..5 stay pinned for the recovering member.
+        assert removed == 2
+        assert history.contains(Mid(ProcessId(0), SeqNo(3)))
+        assert history.floor(ProcessId(0)) == 2
+
+    def test_clean_vector_clamped_by_pin(self):
+        history = self.fill(self.fill(History(), origin=0), origin=1)
+        history.set_recovery_floor("crash-p1", {ProcessId(1): SeqNo(0)})
+        history.clean_vector({ProcessId(0): SeqNo(5), ProcessId(1): SeqNo(5)})
+        assert not history.contains(Mid(ProcessId(0), SeqNo(5)))
+        # Origin 1 fully pinned at 0: nothing removed.
+        assert history.contains(Mid(ProcessId(1), SeqNo(1)))
+
+    def test_minimum_over_multiple_pins_wins(self):
+        history = self.fill(History())
+        history.set_recovery_floor("a", {ProcessId(0): SeqNo(4)})
+        history.set_recovery_floor("b", {ProcessId(0): SeqNo(1)})
+        assert history.recovery_floor(ProcessId(0)) == 1
+        history.clean(ProcessId(0), SeqNo(5))
+        assert history.contains(Mid(ProcessId(0), SeqNo(2)))
+
+    def test_release_unclamps(self):
+        history = self.fill(History())
+        history.set_recovery_floor("join-p2", {ProcessId(0): SeqNo(2)})
+        history.clear_recovery_floor("join-p2")
+        assert history.recovery_floor(ProcessId(0)) is None
+        history.clean(ProcessId(0), SeqNo(5))
+        assert not history.contains(Mid(ProcessId(0), SeqNo(5)))
+
+    def test_clear_unknown_key_is_noop(self):
+        history = History()
+        history.clear_recovery_floor("never-set")
+
+    def test_fetch_range_survives_thanks_to_pin(self):
+        """The regression the pin exists for: without it, the state
+        transfer to a rejoining member would hit a cleaned hole."""
+        history = self.fill(History())
+        history.set_recovery_floor("join-p2", {ProcessId(0): SeqNo(0)})
+        history.clean(ProcessId(0), SeqNo(5))
+        transfer = history.fetch_range(ProcessId(0), SeqNo(1), SeqNo(5))
+        assert [m.mid.seq for m in transfer] == [1, 2, 3, 4, 5]

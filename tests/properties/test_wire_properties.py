@@ -69,6 +69,16 @@ def decisions(draw, n=None):
             ProcessId(draw(st.integers(0, n - 1))) for _ in range(n)
         ),
         min_waiting=vec(),
+        full_group_count=draw(st.integers(0, 10_000)),
+        # Rejoin extension: either absent (legacy frame) or full-width.
+        joiners=tuple(
+            ProcessId(p)
+            for p in draw(
+                st.lists(st.integers(0, n - 1), max_size=3, unique=True)
+            )
+        ),
+        void_from=vec() if draw(st.booleans()) else (),
+        join_boundary=vec() if draw(st.booleans()) else (),
     )
 
 
@@ -206,3 +216,17 @@ def test_single_bitflip_never_crashes_codec(message, index, bit):
         decode_message(bytes(encoded))
     except WireFormatError:
         pass
+
+
+@given(st.data())
+@settings(max_examples=60)
+def test_join_request_roundtrip(data):
+    from repro.core.rejoin import JoinRequest
+
+    n = data.draw(st.integers(1, 12))
+    message = JoinRequest(
+        ProcessId(data.draw(st.integers(0, n - 1))),
+        data.draw(st.integers(1, 2**31)),
+        tuple(data.draw(st.lists(seqs0, min_size=n, max_size=n))),
+    )
+    assert decode_message(encode_message(message)) == message

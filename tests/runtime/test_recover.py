@@ -1,0 +1,179 @@
+"""End-to-end crash + recovery over the asyncio runtime."""
+
+import asyncio
+
+import pytest
+
+from repro.core.config import UrcgcConfig
+from repro.net.faults import FaultPlan
+from repro.runtime.chaos import ChaosFabric
+from repro.runtime.lan import AsyncLan
+from repro.runtime.node import AsyncGroup
+from repro.storage import GroupStorage, MemoryBackend
+from repro.types import ProcessId
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+FAST = 0.004
+
+
+def durable_group(n=3, K=3, snapshot_interval=16, seed=1):
+    storage = GroupStorage(MemoryBackend(), snapshot_interval=snapshot_interval)
+    fabric = ChaosFabric(AsyncLan(), FaultPlan(), seed=seed)
+    group = AsyncGroup(
+        UrcgcConfig(n=n, K=K, enable_rejoin=True),
+        lan=fabric,
+        round_interval=FAST,
+        storage=storage,
+    )
+    return group, storage, fabric
+
+
+def test_recover_requires_storage():
+    async def main():
+        group = AsyncGroup(
+            UrcgcConfig(n=3, enable_rejoin=True), round_interval=FAST
+        )
+        group.start()
+        try:
+            await group.crash(ProcessId(1))
+            with pytest.raises(RuntimeError, match="storage"):
+                group.recover(ProcessId(1))
+        finally:
+            await group.stop()
+
+    run(main())
+
+
+def test_recover_requires_crash():
+    async def main():
+        group, _, _ = durable_group()
+        group.start()
+        try:
+            with pytest.raises(RuntimeError, match="not crashed"):
+                group.recover(ProcessId(1))
+        finally:
+            await group.stop()
+
+    run(main())
+
+
+def test_crash_recover_rejoin_and_converge():
+    async def main():
+        group, storage, fabric = durable_group()
+        group.start()
+        try:
+            await group.run_workload(
+                [(ProcessId(i % 3), f"pre{i}".encode()) for i in range(6)],
+                timeout=20,
+            )
+            victim = ProcessId(1)
+            await group.crash(victim)
+            node = group.nodes[victim]
+            pre_mids = [m.mid for m in node.delivered]
+            # Survivors move on while the victim is down.
+            await group.run_workload(
+                [(ProcessId(0), b"down1"), (ProcessId(2), b"down2")], timeout=20
+            )
+            group.recover(victim)
+            assert node.member.rejoining
+            assert node.member.incarnation == 1
+            await group.wait_until(
+                lambda: not node.member.rejoining and node.is_live, timeout=20
+            )
+            # New incarnation generates alongside everyone.
+            await group.run_workload(
+                [(ProcessId(i), f"post{i}".encode()) for i in range(3)],
+                timeout=20,
+            )
+            post_mids = [m.mid for m in node.delivered]
+            assert post_mids[: len(pre_mids)] == pre_mids
+            vectors = {n.member.last_processed_vector() for n in group.live_nodes}
+            assert len(vectors) == 1
+            assert len(group.live_nodes) == 3
+        finally:
+            await group.stop()
+
+    run(main())
+
+
+def test_recovered_node_survives_snapshot_compaction():
+    async def main():
+        group, storage, _ = durable_group(snapshot_interval=4)
+        group.start()
+        try:
+            await group.run_workload(
+                [(ProcessId(i % 3), f"m{i}".encode()) for i in range(12)],
+                timeout=20,
+            )
+            victim = ProcessId(2)
+            assert storage.node(victim).snapshots_taken > 0
+            await group.crash(victim)
+            node = group.nodes[victim]
+            pre = len(node.delivered)
+            group.recover(victim)
+            await group.wait_until(
+                lambda: not node.member.rejoining and node.is_live, timeout=20
+            )
+            assert len(node.delivered) >= pre
+        finally:
+            await group.stop()
+
+    run(main())
+
+
+def test_coordinator_crash_then_recover():
+    async def main():
+        group, storage, _ = durable_group(n=4)
+        group.start()
+        try:
+            await group.run_workload(
+                [(ProcessId(i % 4), f"m{i}".encode()) for i in range(8)],
+                timeout=20,
+            )
+            subrun = group.nodes[0].current_subrun + 1
+            victim = await group.crash_coordinator_at_subrun(subrun, timeout=20)
+            assert victim is not None
+            await group.run_workload(
+                [(pid, b"go") for pid in [ProcessId(0), ProcessId(1), ProcessId(2), ProcessId(3)] if pid != victim],
+                timeout=20,
+            )
+            node = group.recover(victim)
+            await group.wait_until(
+                lambda: not node.member.rejoining and node.is_live, timeout=20
+            )
+            for peer in group.live_nodes:
+                assert peer.member.view.is_alive(victim)
+        finally:
+            await group.stop()
+
+    run(main())
+
+
+def test_chaos_fabric_revive_allows_second_crash():
+    async def main():
+        group, storage, fabric = durable_group()
+        group.start()
+        try:
+            await group.run_workload(
+                [(ProcessId(i % 3), f"m{i}".encode()) for i in range(3)],
+                timeout=20,
+            )
+            victim = ProcessId(1)
+            await group.crash(victim)
+            assert fabric.is_crashed(victim)
+            node = group.recover(victim)
+            assert not fabric.is_crashed(victim)
+            await group.wait_until(
+                lambda: not node.member.rejoining and node.is_live, timeout=20
+            )
+            # The revived incarnation can be fail-stopped again.
+            await group.crash(victim)
+            assert fabric.is_crashed(victim)
+        finally:
+            await group.stop()
+
+    run(main())

@@ -1,0 +1,66 @@
+"""Unit tests for the blob-store backends."""
+
+import pytest
+
+from repro.storage.backend import FileBackend, MemoryBackend
+
+
+@pytest.fixture(params=["memory", "file"])
+def backend(request, tmp_path):
+    if request.param == "memory":
+        return MemoryBackend()
+    return FileBackend(tmp_path / "store")
+
+
+def test_read_missing_returns_none(backend):
+    assert backend.read("absent.wal") is None
+
+
+def test_write_read_roundtrip(backend):
+    backend.write("a.snap", b"\x00\x01\x02")
+    assert backend.read("a.snap") == b"\x00\x01\x02"
+
+
+def test_write_overwrites(backend):
+    backend.write("a.snap", b"old")
+    backend.write("a.snap", b"new")
+    assert backend.read("a.snap") == b"new"
+
+
+def test_append_creates_and_extends(backend):
+    backend.append("a.wal", b"one")
+    backend.append("a.wal", b"two")
+    assert backend.read("a.wal") == b"onetwo"
+
+
+def test_delete_is_tolerant(backend):
+    backend.delete("nothing.wal")  # no error
+    backend.write("a.wal", b"x")
+    backend.delete("a.wal")
+    assert backend.read("a.wal") is None
+
+
+def test_names_sorted(backend):
+    backend.write("b.wal", b"")
+    backend.write("a.wal", b"")
+    assert backend.names() == ["a.wal", "b.wal"]
+
+
+@pytest.mark.parametrize("name", ["", "../evil", "a/b", "a\\b", "a b"])
+def test_unsafe_names_rejected(backend, name):
+    with pytest.raises(ValueError):
+        backend.write(name, b"x")
+
+
+def test_file_backend_atomic_write_leaves_no_tmp(tmp_path):
+    backend = FileBackend(tmp_path / "store")
+    backend.write("a.snap", b"payload")
+    assert backend.names() == ["a.snap"]
+
+
+def test_memory_backend_read_is_a_copy():
+    backend = MemoryBackend()
+    backend.write("a.wal", b"abc")
+    blob = backend.read("a.wal")
+    backend.append("a.wal", b"def")
+    assert blob == b"abc"

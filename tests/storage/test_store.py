@@ -1,0 +1,74 @@
+"""Unit tests for NodeStorage / GroupStorage facades."""
+
+import pytest
+
+from repro.core.message import UserMessage
+from repro.core.mid import Mid
+from repro.core.config import UrcgcConfig
+from repro.core.member import Member
+from repro.storage import (
+    GroupStorage,
+    MemoryBackend,
+    NodeStorage,
+    snapshot_of,
+)
+from repro.types import ProcessId, SeqNo
+
+
+def msg(origin, seq):
+    return UserMessage(Mid(ProcessId(origin), SeqNo(seq)), (), b"p")
+
+
+def test_snapshot_cadence():
+    storage = NodeStorage(MemoryBackend(), ProcessId(0), snapshot_interval=3)
+    assert not storage.should_snapshot()
+    storage.log_generated(msg(0, 1))
+    storage.log_processed(msg(1, 1))
+    assert not storage.should_snapshot()
+    storage.log_processed(msg(1, 2))
+    assert storage.should_snapshot()
+
+
+def test_save_snapshot_truncates_wal_and_resets_counter():
+    storage = NodeStorage(MemoryBackend(), ProcessId(0), snapshot_interval=2)
+    storage.log_generated(msg(0, 1))
+    storage.log_generated(msg(0, 2))
+    member = Member(ProcessId(0), UrcgcConfig(n=3))
+    storage.save_snapshot(snapshot_of(member, []))
+    assert storage.records_since_snapshot == 0
+    assert storage.snapshots_taken == 1
+    snapshot, records = storage.load()
+    assert snapshot is not None
+    assert records == []
+
+
+def test_load_counts_wal_suffix():
+    backend = MemoryBackend()
+    storage = NodeStorage(backend, ProcessId(0), snapshot_interval=100)
+    storage.log_generated(msg(0, 1))
+    storage.log_processed(msg(1, 1))
+    reopened = NodeStorage(backend, ProcessId(0), snapshot_interval=100)
+    snapshot, records = reopened.load()
+    assert snapshot is None
+    assert len(records) == 2
+    assert reopened.records_since_snapshot == 2
+
+
+def test_interval_must_be_positive():
+    with pytest.raises(ValueError):
+        NodeStorage(MemoryBackend(), ProcessId(0), snapshot_interval=0)
+
+
+def test_group_storage_caches_per_pid():
+    group = GroupStorage(snapshot_interval=7)
+    a = group.node(ProcessId(1))
+    assert group.node(ProcessId(1)) is a
+    assert group.node(ProcessId(2)) is not a
+    assert a.snapshot_interval == 7
+
+
+def test_group_storage_nodes_share_backend():
+    group = GroupStorage()
+    group.node(ProcessId(0)).log_generated(msg(0, 1))
+    group.node(ProcessId(1)).log_generated(msg(1, 1))
+    assert group.backend.names() == ["node-00000.wal", "node-00001.wal"]
