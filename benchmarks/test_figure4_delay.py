@@ -12,7 +12,7 @@ Paper's claims checked here:
 
 from conftest import run_once
 
-from repro.harness.experiments import FIGURE4_SCENARIOS, figure4_delay
+from repro.harness.experiments import figure4_delay
 
 
 def test_figure4_delay(benchmark):

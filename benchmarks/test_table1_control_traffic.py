@@ -14,10 +14,10 @@ Paper's claims checked here:
 
 from conftest import run_once
 
-from repro.harness.experiments import table1_traffic
-from repro.net.wire import encode_message
 from repro.core.decision import RequestInfo, initial_decision
 from repro.core.message import RequestMessage
+from repro.harness.experiments import table1_traffic
+from repro.net.wire import encode_message
 from repro.types import ProcessId, SeqNo, SubrunNo
 
 

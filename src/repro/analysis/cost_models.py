@@ -84,7 +84,9 @@ def urcgc_control_traffic(n: int, *, K: int = 1, f: int = 0, crash: bool = False
     return ControlTraffic(2 * (n - 1), size)
 
 
-def cbcast_control_traffic(n: int, *, K: int = 1, f: int = 0, crash: bool = False) -> ControlTraffic:
+def cbcast_control_traffic(
+    n: int, *, K: int = 1, f: int = 0, crash: bool = False
+) -> ControlTraffic:
     """Table 1, CBCAST rows.
 
     Reliable: ``n+1`` messages of ``4(n+1)`` bytes (piggyback or

@@ -48,7 +48,6 @@ from .messages import (
     ViewChange,
 )
 from .stability import StabilityTracker
-from .vector_clock import VectorClock
 
 __all__ = ["CbcastEngine"]
 

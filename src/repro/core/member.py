@@ -67,7 +67,7 @@ from .message import (
     RequestMessage,
     UserMessage,
 )
-from .mid import Mid, NO_MESSAGE
+from .mid import NO_MESSAGE, Mid
 from .rejoin import KIND_JOIN, JoinRequest
 from .waiting import WaitingList
 

@@ -36,7 +36,7 @@ from ..types import ProcessId, SeqNo
 from .decision import Decision
 from .effects import Deliver, Effect
 from .message import DecisionMessage, UserMessage
-from .mid import Mid, NO_MESSAGE
+from .mid import NO_MESSAGE, Mid
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .config import UrcgcConfig

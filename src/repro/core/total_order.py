@@ -28,7 +28,7 @@ ABCAST-vs-CBCAST trade the paper sketches in Section 2.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Any, Callable, Sequence
 
 from ..types import ProcessId, SeqNo
 from .decision import Decision
@@ -143,17 +143,24 @@ class TotalOrderView:
         return None
 
 
-def attach_total_order(cluster, *, handlers=None) -> list["TotalOrderView"]:
+def attach_total_order(
+    cluster: Any, *, handlers: Sequence[TotalOrderHandler] | None = None
+) -> list["TotalOrderView"]:
     """Wrap every member of a SimCluster with a :class:`TotalOrderView`,
     splicing into each service's dispatch.  Returns the views,
-    index-aligned with the cluster's members."""
+    index-aligned with the cluster's members.  (``cluster`` stays
+    ``Any``: importing the harness here would invert the layering.)"""
     views = []
     for i, service in enumerate(cluster.services):
         handler = handlers[i] if handlers else None
         view = TotalOrderView(cluster.members[i], on_total_order=handler)
         original_dispatch = service.dispatch
 
-        def dispatch(effects, view=view, original=original_dispatch):
+        def dispatch(
+            effects: list[Effect],
+            view: "TotalOrderView" = view,
+            original: Callable[[list[Effect]], list[Send]] = original_dispatch,
+        ) -> list[Send]:
             sends = original(effects)
             view.process_effects(effects)
             return sends

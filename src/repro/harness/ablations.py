@@ -22,7 +22,6 @@ from __future__ import annotations
 import random
 
 from ..core.config import UrcgcConfig
-from ..core.mid import Mid
 from ..net.faults import FaultPlan, OmissionModel
 from ..types import ProcessId
 from ..workloads.generators import BernoulliWorkload, FixedBudgetWorkload

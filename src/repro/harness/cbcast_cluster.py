@@ -16,12 +16,12 @@ from ..analysis.delay import DeliveryLog
 from ..baselines.cbcast.messages import CbcastData
 from ..baselines.cbcast.protocol import CbcastEngine
 from ..core.effects import Deliver, Effect, Send
+from ..core.mid import Mid
 from ..errors import ConfigError
 from ..net.addressing import BROADCAST_GROUP
 from ..net.faults import FaultPlan
 from ..net.network import DatagramNetwork
 from ..net.wire import decode_message, encode_message
-from ..core.mid import Mid
 from ..sim.kernel import Kernel
 from ..sim.rounds import RoundScheduler
 from ..types import ProcessId, SeqNo, Time

@@ -20,7 +20,6 @@ from ..core.effects import (
     Discarded,
     Effect,
     Left,
-    Send,
 )
 from ..core.member import Member
 from ..core.message import DecisionMessage, UserMessage

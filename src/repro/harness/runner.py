@@ -109,6 +109,14 @@ def run_experiment(name: str, *, as_json: bool = False) -> str:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv[:1] == ["lint"]:
+        # Dispatched before argparse: the lint CLI owns its own flags
+        # (argparse.REMAINDER cannot forward leading optionals).
+        from ..lint.cli import main as lint_main
+
+        return lint_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the paper's tables and figures.",
@@ -168,6 +176,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     recover_parser.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    sub.add_parser(
+        "lint",
+        help="protocol-aware static analysis (determinism, async-safety, "
+        "wire-schema, hygiene rules)",
+        add_help=False,
     )
     args = parser.parse_args(argv)
     if args.command == "recover":
@@ -247,6 +261,7 @@ def main(argv: list[str] | None = None) -> int:
             "URCGC theorems",
             "chaos": "live fault-injected asyncio runs (Definition 3.2 audit)",
             "recover": "crash-and-recover runs: WAL/snapshot restore + rejoin",
+            "lint": "protocol-aware static analysis (D/A/W/H rule families)",
         }
         sub_width = max(len(name) for name in subcommands)
         for name, description in subcommands.items():

@@ -1,0 +1,43 @@
+"""Protocol-aware static analysis for the urcgc reproduction.
+
+Four rule families, each tied to an invariant the protocol stack
+depends on but Python never enforces (docs/ANALYSIS.md catalogues
+them):
+
+* **D-rules** — determinism: ``repro.core`` / ``repro.sim`` /
+  ``repro.storage`` may draw randomness and time only from injected
+  sources, so ``--seed`` replays are exact.
+* **A-rules** — async-safety: no blocking calls inside ``async def``
+  bodies in ``repro.runtime``.
+* **W-rules** — wire-schema: every frame codec round-trips, tags are
+  unique tree-wide, every declared field is serialized.
+* **H-rules** — hygiene: float equality, mutable defaults, silently
+  swallowed exceptions.
+
+Run it with ``python -m repro lint [--json] [--rules D101,...]``; use
+``# lint: disable=RULE`` pragmas for documented false positives.
+"""
+
+from .engine import (
+    RULES,
+    LintResult,
+    Module,
+    Rule,
+    Violation,
+    check_source,
+    run_lint,
+)
+from .report import render_json, render_text, result_as_dict
+
+__all__ = [
+    "RULES",
+    "LintResult",
+    "Module",
+    "Rule",
+    "Violation",
+    "check_source",
+    "run_lint",
+    "render_json",
+    "render_text",
+    "result_as_dict",
+]

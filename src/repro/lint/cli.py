@@ -1,0 +1,72 @@
+"""``python -m repro lint`` — run the protocol-aware static analysis.
+
+Exit codes: 0 clean, 1 violations (or unparsable files), 2 usage
+errors.  ``--json`` emits the artifact schema CI archives.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .engine import RULES, run_lint
+from .report import render_json, render_rule_list, render_text
+
+__all__ = ["main", "default_target"]
+
+
+def default_target() -> Path:
+    """The installed ``repro`` package directory (lint ourselves)."""
+    return Path(__file__).resolve().parent.parent
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Protocol-aware static analysis: determinism (D), "
+        "async-safety (A), wire-schema (W), hygiene (H) rules.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the machine-readable report"
+    )
+    parser.add_argument(
+        "--rules",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list rules and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        # Load registrations before rendering.
+        run_lint([], rules=None)
+        print(render_rule_list())
+        return 0
+
+    rules = None
+    if args.rules:
+        rules = [token.strip() for token in args.rules.split(",") if token.strip()]
+    paths = args.paths or [str(default_target())]
+    missing = [p for p in paths if not Path(p).exists()]
+    if missing:
+        print(f"repro lint: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+    try:
+        result = run_lint(paths, rules=rules)
+    except KeyError as exc:
+        known = ", ".join(sorted(RULES))
+        print(f"repro lint: {exc.args[0]} (known: {known})", file=sys.stderr)
+        return 2
+    print(render_json(result) if args.json else render_text(result))
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

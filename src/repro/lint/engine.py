@@ -1,0 +1,382 @@
+"""Rule engine for the protocol-aware static-analysis pass.
+
+A *rule* is a named check over one parsed module (or, for cross-module
+checks such as wire-tag collisions, over the whole tree at once).
+Rules are registered with the :func:`rule` / :func:`tree_rule`
+decorators and can be scoped to dotted-package prefixes, so e.g. the
+determinism rules only fire inside ``repro.core``, ``repro.sim`` and
+``repro.storage`` while the hygiene rules cover everything.
+
+Suppression uses in-source pragmas:
+
+* ``# lint: disable=D101,H401`` on the flagged line silences those
+  rules for that line (``all`` silences every rule);
+* ``# lint: disable-file=W304`` anywhere in a file silences a rule for
+  the whole file.
+
+Pragmas are the escape hatch for *documented false positives* — every
+use should sit next to a comment explaining why the flagged pattern is
+safe (see docs/ANALYSIS.md).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Sequence
+
+__all__ = [
+    "Violation",
+    "Rule",
+    "Module",
+    "LintResult",
+    "RULES",
+    "rule",
+    "tree_rule",
+    "run_lint",
+    "check_source",
+    "load_module",
+    "imported_names",
+    "qualified_name",
+    "iter_async_body",
+    "PARSE_ERROR_RULE",
+]
+
+#: Pseudo-rule id attached to files that fail to parse.
+PARSE_ERROR_RULE = "E001"
+
+_PRAGMA = re.compile(
+    r"#\s*lint:\s*(?P<kind>disable(?:-file)?)\s*=\s*(?P<rules>[A-Za-z0-9_*,\s]+)"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One finding: ``path:line:col: rule message``."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered check.
+
+    ``check`` receives one :class:`Module` (per-module rules) or the
+    full module list (tree rules) and yields :class:`Violation`.
+    """
+
+    id: str
+    name: str
+    summary: str
+    scopes: tuple[str, ...]
+    check: Callable[..., Iterable[Violation]]
+    tree: bool = False
+
+    def applies_to(self, module_name: str) -> bool:
+        if not self.scopes:
+            return True
+        return any(
+            module_name == scope or module_name.startswith(scope + ".")
+            for scope in self.scopes
+        )
+
+
+@dataclass
+class Module:
+    """A parsed source file plus its pragma map."""
+
+    path: str
+    name: str
+    source: str
+    tree: ast.Module
+    line_disables: dict[int, set[str]] = field(default_factory=dict)
+    file_disables: set[str] = field(default_factory=set)
+
+    def suppressed(self, violation: Violation) -> bool:
+        if "all" in self.file_disables or violation.rule in self.file_disables:
+            return True
+        disabled = self.line_disables.get(violation.line, ())
+        return "all" in disabled or violation.rule in disabled
+
+
+@dataclass
+class LintResult:
+    """Everything one pass produced, for the reporters."""
+
+    violations: list[Violation]
+    files_checked: int
+    rules_run: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+#: Global registry, populated by the ``rules_*`` modules at import.
+RULES: dict[str, Rule] = {}
+
+
+def rule(
+    id: str, name: str, summary: str, *, scopes: Sequence[str] = ()
+) -> Callable[[Callable[[Module], Iterable[Violation]]], Callable[..., Iterable[Violation]]]:
+    """Register a per-module rule."""
+
+    def register(fn: Callable[[Module], Iterable[Violation]]) -> Callable[..., Iterable[Violation]]:
+        if id in RULES:
+            raise ValueError(f"duplicate rule id {id}")
+        RULES[id] = Rule(id, name, summary, tuple(scopes), fn)
+        return fn
+
+    return register
+
+
+def tree_rule(
+    id: str, name: str, summary: str
+) -> Callable[[Callable[[list[Module]], Iterable[Violation]]], Callable[..., Iterable[Violation]]]:
+    """Register a whole-tree rule (sees every module at once)."""
+
+    def register(
+        fn: Callable[[list[Module]], Iterable[Violation]]
+    ) -> Callable[..., Iterable[Violation]]:
+        if id in RULES:
+            raise ValueError(f"duplicate rule id {id}")
+        RULES[id] = Rule(id, name, summary, (), fn, tree=True)
+        return fn
+
+    return register
+
+
+# ----------------------------------------------------------------------
+# Shared AST helpers used by the rule modules.
+
+
+def imported_names(tree: ast.Module) -> dict[str, str]:
+    """Map local names to the dotted origin they were imported from.
+
+    ``import random`` maps ``random -> random``; ``from time import
+    monotonic`` maps ``monotonic -> time.monotonic``; aliases follow
+    the ``asname``.  Relative imports are skipped (they are
+    repro-internal and never name a banned module).
+    """
+    out: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    out[alias.asname] = alias.name
+                else:
+                    root = alias.name.split(".")[0]
+                    out[root] = root
+        elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+            for alias in node.names:
+                out[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return out
+
+
+def qualified_name(node: ast.expr, imports: dict[str, str]) -> str | None:
+    """Resolve ``random.random`` / ``datetime.now`` to a dotted origin.
+
+    Walks an attribute chain down to its base :class:`ast.Name` and
+    substitutes what that name was imported as; returns ``None`` for
+    anything rooted in a local object (``self.rng.random`` resolves to
+    nothing, which is exactly what the determinism rules want).
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    origin = imports.get(node.id)
+    if origin is None:
+        return None
+    parts.append(origin)
+    return ".".join(reversed(parts))
+
+
+def iter_async_body(func: ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+    """Yield the nodes executed *by the coroutine itself*.
+
+    Nested ``def``/``async def`` bodies are skipped: a sync closure
+    defined inside a coroutine only blocks when something calls it, and
+    a nested coroutine is scanned as its own scope.
+    """
+    stack: list[ast.AST] = [
+        node
+        for node in func.body
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            stack.append(child)
+
+
+# ----------------------------------------------------------------------
+# Module loading.
+
+
+def _parse_pragmas(source: str) -> tuple[dict[int, set[str]], set[str]]:
+    line_disables: dict[int, set[str]] = {}
+    file_disables: set[str] = set()
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA.search(line)
+        if match is None:
+            continue
+        ids = {
+            token.strip().replace("*", "all")
+            for token in match.group("rules").split(",")
+            if token.strip()
+        }
+        if match.group("kind") == "disable-file":
+            file_disables |= ids
+        else:
+            line_disables.setdefault(lineno, set()).update(ids)
+    return line_disables, file_disables
+
+
+def module_name_for(path: Path) -> str:
+    """Derive the dotted module name from a file path.
+
+    Uses the last ``repro`` path component as the package root (the
+    repo nests ``src/repro``); files outside any ``repro`` tree keep
+    just their stem, which means package-scoped rules skip them.
+    """
+    parts = list(path.resolve().parts)
+    name_parts = list(parts)
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            name_parts = parts[i:]
+            break
+    else:
+        name_parts = [path.stem]
+    dotted = ".".join(name_parts)
+    if dotted.endswith(".py"):
+        dotted = dotted[: -len(".py")]
+    if dotted.endswith(".__init__"):
+        dotted = dotted[: -len(".__init__")]
+    return dotted
+
+
+def load_module(path: Path, name: str | None = None) -> Module | Violation:
+    """Parse one file; a syntax error becomes an ``E001`` violation."""
+    source = path.read_text(encoding="utf-8")
+    return _build_module(source, str(path), name or module_name_for(path))
+
+
+def _build_module(source: str, path: str, name: str) -> Module | Violation:
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return Violation(
+            path, exc.lineno or 1, exc.offset or 0, PARSE_ERROR_RULE,
+            f"file does not parse: {exc.msg}",
+        )
+    line_disables, file_disables = _parse_pragmas(source)
+    return Module(path, name, source, tree, line_disables, file_disables)
+
+
+def _collect_files(paths: Sequence[str | Path]) -> list[Path]:
+    files: list[Path] = []
+    for entry in paths:
+        p = Path(entry)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        else:
+            files.append(p)
+    seen: set[Path] = set()
+    unique = []
+    for f in files:
+        resolved = f.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            unique.append(f)
+    return unique
+
+
+def _select_rules(only: Sequence[str] | None) -> list[Rule]:
+    _ensure_rules_loaded()
+    if only is None:
+        return list(RULES.values())
+    unknown = [rid for rid in only if rid not in RULES]
+    if unknown:
+        raise KeyError(f"unknown rule ids: {', '.join(sorted(unknown))}")
+    return [RULES[rid] for rid in only]
+
+
+def _ensure_rules_loaded() -> None:
+    # The rules_* modules self-register on import; importing them here
+    # (not at engine import) avoids a circular import.
+    from . import rules_async, rules_determinism, rules_hygiene, rules_wire  # noqa: F401
+
+
+def _run_rules(modules: list[Module], rules: list[Rule]) -> list[Violation]:
+    violations: list[Violation] = []
+    by_path = {m.path: m for m in modules}
+    for r in rules:
+        if r.tree:
+            found: Iterable[Violation] = r.check(modules)
+        else:
+            found = [
+                v
+                for m in modules
+                if r.applies_to(m.name)
+                for v in r.check(m)
+            ]
+        for v in found:
+            module = by_path.get(v.path)
+            if module is not None and module.suppressed(v):
+                continue
+            violations.append(v)
+    return sorted(violations)
+
+
+def run_lint(
+    paths: Sequence[str | Path], *, rules: Sequence[str] | None = None
+) -> LintResult:
+    """Lint files/directories; directories are walked for ``*.py``."""
+    selected = _select_rules(rules)
+    modules: list[Module] = []
+    violations: list[Violation] = []
+    files = _collect_files(paths)
+    for path in files:
+        loaded = load_module(path)
+        if isinstance(loaded, Violation):
+            violations.append(loaded)
+        else:
+            modules.append(loaded)
+    violations.extend(_run_rules(modules, selected))
+    return LintResult(
+        sorted(violations), len(files), tuple(sorted(r.id for r in selected))
+    )
+
+
+def check_source(
+    source: str,
+    module_name: str,
+    *,
+    path: str = "<string>",
+    rules: Sequence[str] | None = None,
+) -> list[Violation]:
+    """Lint a source string as if it were module ``module_name``.
+
+    The test-fixture entry point: lets a test hand a snippet to one
+    rule under any package name without touching the filesystem.
+    """
+    selected = _select_rules(rules)
+    loaded = _build_module(source, path, module_name)
+    if isinstance(loaded, Violation):
+        return [loaded]
+    return _run_rules([loaded], selected)

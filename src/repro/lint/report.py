@@ -1,0 +1,67 @@
+"""Reporters for lint results: human text and machine JSON.
+
+The JSON shape is stable (``version`` guards it) because CI uploads it
+as an artifact next to the torture reports and downstream tooling
+diffs it across runs.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from .engine import RULES, LintResult
+
+__all__ = ["render_text", "render_json", "result_as_dict"]
+
+
+def render_text(result: LintResult) -> str:
+    """One ``path:line:col: RULE message`` line per finding + summary."""
+    lines = [v.render() for v in result.violations]
+    if result.violations:
+        by_rule = Counter(v.rule for v in result.violations)
+        breakdown = ", ".join(f"{rule} x{n}" for rule, n in sorted(by_rule.items()))
+        lines.append(
+            f"{len(result.violations)} violation(s) in "
+            f"{result.files_checked} file(s): {breakdown}"
+        )
+    else:
+        lines.append(
+            f"clean: {result.files_checked} file(s), "
+            f"{len(result.rules_run)} rule(s)"
+        )
+    return "\n".join(lines)
+
+
+def result_as_dict(result: LintResult) -> dict:
+    """The artifact schema CI archives (see docs/ANALYSIS.md)."""
+    return {
+        "version": 1,
+        "ok": result.ok,
+        "files_checked": result.files_checked,
+        "rules_run": list(result.rules_run),
+        "counts": dict(Counter(v.rule for v in result.violations)),
+        "violations": [
+            {
+                "rule": v.rule,
+                "path": v.path,
+                "line": v.line,
+                "col": v.col,
+                "message": v.message,
+            }
+            for v in result.violations
+        ],
+    }
+
+
+def render_json(result: LintResult) -> str:
+    return json.dumps(result_as_dict(result), indent=2, sort_keys=True)
+
+
+def render_rule_list() -> str:
+    """``--list-rules`` output: id, name, scope, summary."""
+    lines = []
+    for rule in sorted(RULES.values(), key=lambda r: r.id):
+        scope = ", ".join(rule.scopes) if rule.scopes else "tree-wide"
+        lines.append(f"{rule.id}  {rule.name:24s} [{scope}] {rule.summary}")
+    return "\n".join(lines)

@@ -1,0 +1,130 @@
+"""A-rules: async-safety inside the live runtime.
+
+Every node in :mod:`repro.runtime` multiplexes its round ticker and
+receiver on one event loop; one blocking call in a coroutine stalls
+*every* node on the loop, which skews the adaptive round timer's RTT
+samples and can turn a healthy group into a spurious "crashed
+coordinator" scenario.  Blocking work (WAL appends, snapshots, sync
+sockets) belongs in sync helpers called via ``run_in_executor`` — or,
+as the current design does, in sync effect-execution paths outside any
+coroutine.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .engine import (
+    Module,
+    Violation,
+    imported_names,
+    iter_async_body,
+    qualified_name,
+    rule,
+)
+
+__all__ = ["ASYNC_SCOPES"]
+
+#: The asyncio-based layer the A-rules police.
+ASYNC_SCOPES = ("repro.runtime",)
+
+#: Calls that block the event loop outright.
+_BLOCKING_SLEEPS = frozenset({"time.sleep"})
+
+#: Sync I/O entry points (file, fs-sync, blocking socket/dns, subprocess).
+_SYNC_IO_CALLS = frozenset(
+    {
+        "os.fsync", "os.replace", "os.remove", "os.makedirs", "os.listdir",
+        "socket.socket", "socket.create_connection", "socket.getaddrinfo",
+        "subprocess.run", "subprocess.check_output", "subprocess.check_call",
+        "subprocess.call",
+    }
+)
+
+#: Durable-state operations (WAL appends, snapshot writes, recovery
+#: loads).  Method names are distinctive to repro.storage's API, so a
+#: bare attribute match is precise enough.
+_STORAGE_OPS = frozenset(
+    {
+        "log_generated", "log_processed", "log_decision", "save_snapshot",
+        "append_generated", "append_processed", "append_decision",
+    }
+)
+
+
+def _async_scopes(module: Module) -> Iterator[ast.AsyncFunctionDef]:
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.AsyncFunctionDef):
+            yield node
+
+
+@rule(
+    "A201",
+    "blocking-sleep-in-async",
+    "time.sleep inside a coroutine stalls the whole event loop",
+    scopes=ASYNC_SCOPES,
+)
+def check_blocking_sleep(module: Module) -> Iterator[Violation]:
+    imports = imported_names(module.tree)
+    for func in _async_scopes(module):
+        for node in iter_async_body(func):
+            if isinstance(node, ast.Call):
+                name = qualified_name(node.func, imports)
+                if name in _BLOCKING_SLEEPS:
+                    yield Violation(
+                        module.path, node.lineno, node.col_offset, "A201",
+                        f"{name}() in async def {func.name} blocks every "
+                        "node on the loop; use await asyncio.sleep()",
+                    )
+
+
+@rule(
+    "A202",
+    "sync-io-in-async",
+    "synchronous file/socket I/O inside a coroutine",
+    scopes=ASYNC_SCOPES,
+)
+def check_sync_io(module: Module) -> Iterator[Violation]:
+    imports = imported_names(module.tree)
+    for func in _async_scopes(module):
+        for node in iter_async_body(func):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Name) and node.func.id == "open":
+                yield Violation(
+                    module.path, node.lineno, node.col_offset, "A202",
+                    f"open() in async def {func.name} performs blocking "
+                    "file I/O on the event loop; move it to a sync helper "
+                    "or an executor",
+                )
+                continue
+            name = qualified_name(node.func, imports)
+            if name in _SYNC_IO_CALLS:
+                yield Violation(
+                    module.path, node.lineno, node.col_offset, "A202",
+                    f"{name}() in async def {func.name} is blocking I/O "
+                    "on the event loop; move it off the coroutine path",
+                )
+
+
+@rule(
+    "A203",
+    "storage-io-in-async",
+    "direct WAL/snapshot I/O inside a coroutine",
+    scopes=ASYNC_SCOPES,
+)
+def check_storage_io(module: Module) -> Iterator[Violation]:
+    for func in _async_scopes(module):
+        for node in iter_async_body(func):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _STORAGE_OPS
+            ):
+                yield Violation(
+                    module.path, node.lineno, node.col_offset, "A203",
+                    f".{node.func.attr}() in async def {func.name} writes "
+                    "durable state on the event loop; WAL/snapshot I/O "
+                    "belongs in the sync effect-execution path",
+                )

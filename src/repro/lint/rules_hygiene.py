@@ -1,0 +1,119 @@
+"""H-rules: hygiene patterns that have already bitten this codebase.
+
+PR 1 shipped a real bug of exactly the H401 shape: the periodic
+``OmissionModel`` validated its phase with float ``==`` and silently
+accepted configurations it should have rejected.  H402 (mutable
+default arguments) and H403 (silently swallowed exceptions) guard the
+recovery paths, where "ignore and continue" can turn a torn WAL or a
+malformed frame into undetected state divergence instead of an
+auditable error.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .engine import Module, Violation, rule
+
+
+@rule(
+    "H401",
+    "float-equality",
+    "exact == / != against a float literal",
+)
+def check_float_equality(module: Module) -> Iterator[Violation]:
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        operands = [node.left, *node.comparators]
+        for i, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            for side in (operands[i], operands[i + 1]):
+                if isinstance(side, ast.Constant) and isinstance(side.value, float):
+                    yield Violation(
+                        module.path, node.lineno, node.col_offset, "H401",
+                        f"exact float comparison against {side.value!r}; "
+                        "use an ordering/tolerance check, or pragma it "
+                        "with a comment proving the value is exact",
+                    )
+                    break
+
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.SetComp, ast.ListComp, ast.DictComp)
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray", "defaultdict", "deque"})
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_CALLS
+    )
+
+
+@rule(
+    "H402",
+    "mutable-default",
+    "mutable default argument shared across calls",
+)
+def check_mutable_defaults(module: Module) -> Iterator[Violation]:
+    for node in ast.walk(module.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        defaults = [*node.args.defaults, *node.args.kw_defaults]
+        for default in defaults:
+            if default is not None and _is_mutable_default(default):
+                yield Violation(
+                    module.path, default.lineno, default.col_offset, "H402",
+                    f"mutable default in {node.name}() is evaluated once "
+                    "and shared by every call; default to None and build "
+                    "inside the body",
+                )
+
+
+def _handler_swallows(handler: ast.ExceptHandler) -> bool:
+    """True when the body neither re-raises nor records the failure.
+
+    Any :class:`ast.Raise` or any call (logging, a counter bump, an
+    error-channel append) counts as handling; a body of ``pass`` /
+    bare ``return``/constants/``continue`` is a silent swallow.
+    """
+    for node in ast.walk(handler):
+        if isinstance(node, (ast.Raise, ast.Call)):
+            return False
+    return True
+
+
+def _catches_broadly(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:  # bare except:
+        return True
+    names = []
+    if isinstance(handler.type, ast.Tuple):
+        names = [getattr(e, "id", "") for e in handler.type.elts]
+    elif isinstance(handler.type, ast.Name):
+        names = [handler.type.id]
+    return any(name in ("Exception", "BaseException") for name in names)
+
+
+@rule(
+    "H403",
+    "swallowed-exception",
+    "broad except that neither re-raises nor records the error",
+)
+def check_swallowed_exceptions(module: Module) -> Iterator[Violation]:
+    for node in ast.walk(module.tree):
+        if (
+            isinstance(node, ast.ExceptHandler)
+            and _catches_broadly(node)
+            and _handler_swallows(node)
+        ):
+            yield Violation(
+                module.path, node.lineno, node.col_offset, "H403",
+                "broad except swallows the error without re-raising or "
+                "recording it; narrow the exception type, or pragma with "
+                "a comment justifying the drop semantics",
+            )

@@ -1,0 +1,202 @@
+"""W-rules: wire-schema consistency for the binary codecs.
+
+Table 1 of the paper is a *byte* accounting, so every PDU in the tree
+encodes to real bytes through :mod:`repro.net.wire`.  The codec
+contract has three legs the runtime only checks at import or first
+decode — these rules check them at review time instead:
+
+* every codec class must have both directions (``encode_fields`` and a
+  ``decode_fields`` classmethod) — W301;
+* one-byte type tags must be unique across the whole tree, or two
+  protocols' frames alias each other on the shared LAN — W302;
+* every dataclass field of a codec must actually be serialized, or two
+  peers silently disagree on state the sender thought it shipped —
+  W303;
+* a codec that is never ``register()``-ed can be encoded but never
+  decoded by a receiver — W304.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .engine import Module, Violation, rule, tree_rule
+
+_CODEC_METHODS = {"encode_fields", "decode_fields"}
+
+
+def _is_stub(fn: ast.FunctionDef) -> bool:
+    """True for Protocol-style ``...`` / ``pass`` / docstring-only bodies."""
+    for stmt in fn.body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring or Ellipsis
+        return False
+    return True
+
+
+def _is_protocol(cls: ast.ClassDef) -> bool:
+    for base in cls.bases:
+        name = base.attr if isinstance(base, ast.Attribute) else getattr(base, "id", "")
+        if name == "Protocol":
+            return True
+    return False
+
+
+def _codec_classes(module: Module) -> Iterator[tuple[ast.ClassDef, dict[str, ast.FunctionDef]]]:
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ClassDef) or _is_protocol(node):
+            continue
+        methods = {
+            stmt.name: stmt
+            for stmt in node.body
+            if isinstance(stmt, ast.FunctionDef) and stmt.name in _CODEC_METHODS
+        }
+        if methods and not all(_is_stub(fn) for fn in methods.values()):
+            yield node, methods
+
+
+@rule(
+    "W301",
+    "one-way-codec",
+    "codec class defines only one of encode_fields/decode_fields",
+)
+def check_codec_direction(module: Module) -> Iterator[Violation]:
+    for cls, methods in _codec_classes(module):
+        missing = _CODEC_METHODS - methods.keys()
+        for name in sorted(missing):
+            yield Violation(
+                module.path, cls.lineno, cls.col_offset, "W301",
+                f"{cls.name} defines {next(iter(methods))} but no {name}; "
+                "every frame must round-trip (encode and decode)",
+            )
+
+
+def _int_constants(module: Module) -> dict[str, int]:
+    """Module-level ``NAME = <int literal>`` bindings (the tag style)."""
+    out: dict[str, int] = {}
+    for stmt in module.tree.body:
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and isinstance(stmt.value, ast.Constant)
+            and isinstance(stmt.value.value, int)
+            and not isinstance(stmt.value.value, bool)
+        ):
+            out[stmt.targets[0].id] = stmt.value.value
+    return out
+
+
+def _register_calls(module: Module) -> Iterator[tuple[ast.Call, int | None, str | None]]:
+    """``<registry>.register(tag, Cls, decoder)`` calls in a module.
+
+    Yields ``(call, resolved_tag, class_name)``; the tag resolves
+    through literal ints and module-level integer constants.
+    """
+    constants = _int_constants(module)
+    for node in ast.walk(module.tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "register"
+            and len(node.args) >= 2
+        ):
+            tag_node = node.args[0]
+            tag: int | None = None
+            if isinstance(tag_node, ast.Constant) and isinstance(tag_node.value, int):
+                tag = tag_node.value
+            elif isinstance(tag_node, ast.Name):
+                tag = constants.get(tag_node.id)
+            cls_node = node.args[1]
+            cls_name = cls_node.id if isinstance(cls_node, ast.Name) else None
+            yield node, tag, cls_name
+
+
+@tree_rule(
+    "W302",
+    "tag-collision",
+    "two codecs registered under the same one-byte wire tag",
+)
+def check_tag_collisions(modules: list[Module]) -> Iterator[Violation]:
+    seen: dict[int, tuple[str, int, str | None]] = {}
+    for module in modules:
+        for call, tag, cls_name in _register_calls(module):
+            if tag is None:
+                continue
+            if tag in seen:
+                first_path, first_line, first_cls = seen[tag]
+                yield Violation(
+                    module.path, call.lineno, call.col_offset, "W302",
+                    f"wire tag {tag} for {cls_name or '<unknown>'} collides "
+                    f"with {first_cls or '<unknown>'} "
+                    f"({first_path}:{first_line}); tags must be unique "
+                    "tree-wide",
+                )
+            else:
+                seen[tag] = (module.path, call.lineno, cls_name)
+
+
+def _self_attr_loads(fn: ast.FunctionDef) -> set[str]:
+    """Names ``x`` for every ``self.x`` read anywhere in ``fn``."""
+    out: set[str] = set()
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            out.add(node.attr)
+    return out
+
+
+@rule(
+    "W303",
+    "unserialized-field",
+    "dataclass field declared but never written by encode_fields",
+)
+def check_dead_fields(module: Module) -> Iterator[Violation]:
+    for cls, methods in _codec_classes(module):
+        encode = methods.get("encode_fields")
+        if encode is None:
+            continue
+        serialized = _self_attr_loads(encode)
+        for stmt in cls.body:
+            if not isinstance(stmt, ast.AnnAssign) or not isinstance(
+                stmt.target, ast.Name
+            ):
+                continue
+            name = stmt.target.id
+            annotation = ast.dump(stmt.annotation)
+            if name.startswith("_") or "ClassVar" in annotation:
+                continue
+            if name not in serialized:
+                yield Violation(
+                    module.path, stmt.lineno, stmt.col_offset, "W303",
+                    f"field {cls.name}.{name} is declared but never "
+                    "serialized by encode_fields; receivers will "
+                    "reconstruct it from defaults",
+                )
+
+
+@tree_rule(
+    "W304",
+    "unregistered-codec",
+    "codec class never registered with a CodecRegistry",
+)
+def check_unregistered(modules: list[Module]) -> Iterator[Violation]:
+    registered: set[str] = set()
+    for module in modules:
+        for _, _, cls_name in _register_calls(module):
+            if cls_name is not None:
+                registered.add(cls_name)
+    for module in modules:
+        for cls, methods in _codec_classes(module):
+            if len(methods) == 2 and cls.name not in registered:
+                yield Violation(
+                    module.path, cls.lineno, cls.col_offset, "W304",
+                    f"{cls.name} defines both codec directions but is never "
+                    "register()-ed; receivers cannot dispatch its tag",
+                )

@@ -7,13 +7,13 @@ with the ``(m, h, v, d)`` Request semantics, and a general-omission
 fault plan covering crashes, send/receive omissions, and subnet loss.
 """
 
-from .addressing import Address, BROADCAST_GROUP, GroupAddress, UnicastAddress
+from .addressing import BROADCAST_GROUP, Address, GroupAddress, UnicastAddress
+from .capture import CaptureRecord, Direction, PacketCapture
 from .faults import CrashSchedule, DropDecision, FaultPlan, OmissionModel, PartitionMap
 from .fragmentation import FRAGMENT_HEADER_BYTES, Fragmenter, Reassembler
-from .network import DEFAULT_ONE_WAY_DELAY, DatagramNetwork, ETHERNET_MTU
+from .network import DEFAULT_ONE_WAY_DELAY, ETHERNET_MTU, DatagramNetwork
 from .packet import HEADER_OVERHEAD_BYTES, Packet
 from .stats import KindStats, NetworkStats
-from .capture import CaptureRecord, Direction, PacketCapture
 from .topology import EthernetBus, FixedDelay, JitteredDelay
 from .transport import MulticastTransport, Transfer, TransferStatus
 from .wire import (

@@ -17,11 +17,12 @@ from __future__ import annotations
 import io
 from dataclasses import dataclass
 from enum import IntEnum
-from typing import BinaryIO, Callable, Iterable
+from typing import BinaryIO, Callable
 
 from ..errors import WireFormatError
+from ..sim.kernel import Kernel
 from ..types import ProcessId, Time
-from .network import DatagramNetwork
+from .network import DatagramNetwork, PacketHandler
 from .packet import Packet
 from .wire import Reader, Writer, decode_message
 
@@ -70,7 +71,7 @@ class PacketCapture:
     # live capture
     # ------------------------------------------------------------------
 
-    def attach_to(self, network: DatagramNetwork, kernel) -> None:
+    def attach_to(self, network: DatagramNetwork, kernel: Kernel) -> None:
         """Start capturing ``network``'s traffic (send + deliver).
 
         Wraps the network's send path and every registered handler;
@@ -96,7 +97,11 @@ class PacketCapture:
         for pid in list(network.endpoints()):
             original_handler = network._handlers[pid]
 
-            def tapped_handler(packet: Packet, pid=pid, handler=original_handler):
+            def tapped_handler(
+                packet: Packet,
+                pid: ProcessId = pid,
+                handler: PacketHandler = original_handler,
+            ) -> None:
                 self.records.append(
                     CaptureRecord(
                         kernel.now,

@@ -30,6 +30,7 @@ from .addressing import Address, GroupAddress, UnicastAddress
 from .faults import FaultPlan
 from .packet import Packet
 from .stats import NetworkStats
+from .topology import Medium
 
 __all__ = ["DatagramNetwork", "DEFAULT_ONE_WAY_DELAY", "ETHERNET_MTU"]
 
@@ -67,7 +68,7 @@ class DatagramNetwork:
         faults: FaultPlan | None = None,
         one_way_delay: Time = DEFAULT_ONE_WAY_DELAY,
         mtu: int | None = None,
-        medium=None,
+        medium: Medium | None = None,
     ) -> None:
         if one_way_delay <= 0:
             raise ConfigError(f"one_way_delay must be positive, got {one_way_delay}")
@@ -173,7 +174,9 @@ class DatagramNetwork:
         # never sees it.
         if self.faults.is_crashed(dst, now):
             self.stats.on_dropped(packet, "dst-crashed-inflight")
-            self._kernel.trace.emit(now, "net.drop", dst, reason="dst-crashed-inflight", uid=packet.uid)
+            self._kernel.trace.emit(
+                now, "net.drop", dst, reason="dst-crashed-inflight", uid=packet.uid
+            )
             return
         handler = self._handlers.get(dst)
         if handler is None:

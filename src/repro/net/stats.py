@@ -9,7 +9,7 @@ packet counts, byte volumes, and size extrema, measured at send time
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .packet import Packet
 

@@ -14,11 +14,26 @@ Ethernet's real multicast advantage over the n-unicast accounting.
 
 from __future__ import annotations
 
+import random
+from typing import Protocol
+
 from ..errors import ConfigError
 from ..types import Time
 from .packet import Packet
 
-__all__ = ["EthernetBus", "FixedDelay", "JitteredDelay"]
+__all__ = ["Medium", "EthernetBus", "FixedDelay", "JitteredDelay"]
+
+
+class Medium(Protocol):
+    """Timing model pluggable into :class:`~repro.net.network.DatagramNetwork`."""
+
+    def schedule(self, packet: Packet, now: Time) -> Time:
+        """Return the delivery time for ``packet`` sent at ``now``."""
+        ...
+
+    def utilization(self, now: Time) -> float:
+        """Fraction of capacity in use at ``now`` (0.0 = idle)."""
+        ...
 
 
 class FixedDelay:
@@ -52,14 +67,12 @@ class JitteredDelay:
         base: Time = 0.35,
         jitter: Time = 0.1,
         *,
-        rng=None,
+        rng: random.Random | None = None,
     ) -> None:
         if base <= 0:
             raise ConfigError(f"base delay must be positive, got {base}")
         if jitter < 0:
             raise ConfigError(f"jitter must be >= 0, got {jitter}")
-        import random
-
         self.base = base
         self.jitter = jitter
         self._rng = rng or random.Random(0)

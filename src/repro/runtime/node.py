@@ -12,7 +12,7 @@ Use :class:`AsyncGroup` to spin up a whole group at once.
 from __future__ import annotations
 
 import asyncio
-from typing import Awaitable, Callable
+from typing import Callable
 
 from ..core.config import UrcgcConfig
 from ..core.effects import (

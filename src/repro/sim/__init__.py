@@ -5,7 +5,7 @@ structured tracing, metric collection, and round scheduling — the
 substrate every experiment in the paper's evaluation runs on.
 """
 
-from .events import Event, EventQueue, PRIORITY_DEFAULT, PRIORITY_NETWORK, PRIORITY_ROUND
+from .events import PRIORITY_DEFAULT, PRIORITY_NETWORK, PRIORITY_ROUND, Event, EventQueue
 from .kernel import Kernel
 from .metrics import Counter, MetricSet, Series, Summary, summarize
 from .rng import RngRegistry

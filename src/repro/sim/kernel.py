@@ -13,7 +13,7 @@ from typing import Any, Callable
 
 from ..errors import KernelStoppedError
 from ..types import Time
-from .events import Event, EventQueue, PRIORITY_DEFAULT
+from .events import PRIORITY_DEFAULT, Event, EventQueue
 from .metrics import MetricSet
 from .rng import RngRegistry
 from .trace import Trace

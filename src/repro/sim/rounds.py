@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Callable
 
-from ..types import RTD_PER_SUBRUN, ROUNDS_PER_SUBRUN, Time
+from ..types import ROUNDS_PER_SUBRUN, RTD_PER_SUBRUN, Time
 from .events import PRIORITY_ROUND
 from .kernel import Kernel
 

@@ -8,7 +8,7 @@ signatures readable and give a single place to document the units.
 
 from __future__ import annotations
 
-from typing import NewType
+from typing import Final, NewType, TypeAlias
 
 __all__ = [
     "ProcessId",
@@ -41,13 +41,13 @@ SeqNo = NewType("SeqNo", int)
 #: Simulated time, measured in round-trip-delay (rtd) units as in the
 #: paper's evaluation ("by assuming the subrun as long as the round
 #: trip delay").  One round therefore lasts 0.5 rtd.
-Time = float
+Time: TypeAlias = float
 
 #: Duration of a subrun, in rtd units.
-RTD_PER_SUBRUN: Time = 1.0
+RTD_PER_SUBRUN: Final[Time] = 1.0
 
 #: A subrun is two rounds: the request round and the decision round.
-ROUNDS_PER_SUBRUN = 2
+ROUNDS_PER_SUBRUN: Final = 2
 
 
 def round_of_subrun(subrun: int, *, second: bool = False) -> int:

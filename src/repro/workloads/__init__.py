@@ -3,9 +3,9 @@
 from .generators import (
     BernoulliWorkload,
     BurstWorkload,
-    PoissonWorkload,
     FixedBudgetWorkload,
     NullWorkload,
+    PoissonWorkload,
     ScriptedWorkload,
     Workload,
     payload_for,

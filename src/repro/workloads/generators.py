@@ -99,7 +99,9 @@ class BernoulliWorkload:
         return out
 
     def finished(self, round_no: int) -> bool:
-        if self.p == 0.0:
+        # p was validated into [0, 1]; <= avoids exact float equality
+        # while keeping the "never submits" short-circuit identical.
+        if self.p <= 0.0:
             return True
         return self._stop_after is not None and round_no > self._stop_after
 
@@ -247,6 +249,8 @@ class PoissonWorkload:
         return out
 
     def finished(self, round_no: int) -> bool:
-        if self.rate == 0.0:
+        # rate was validated >= 0; <= avoids exact float equality while
+        # keeping the "never submits" short-circuit identical.
+        if self.rate <= 0.0:
             return True
         return self._stop_after is not None and round_no > self._stop_after

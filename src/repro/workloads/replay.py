@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from ..core.message import UserMessage
 from ..net.capture import Direction, PacketCapture
-from ..types import ProcessId, subrun_of_round
+from ..types import ProcessId
 
 __all__ = ["ReplayWorkload"]
 

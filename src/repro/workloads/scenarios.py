@@ -20,8 +20,8 @@ from __future__ import annotations
 import random
 
 from ..errors import ConfigError
-from ..types import ProcessId, Time, time_of_round
 from ..net.faults import CrashSchedule, FaultPlan
+from ..types import ProcessId, Time, time_of_round
 
 __all__ = [
     "reliable",

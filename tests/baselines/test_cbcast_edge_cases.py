@@ -1,14 +1,14 @@
 """Edge cases for the CBCAST engine: blocked submissions, stale view
 traffic, crash mid-everything."""
 
+import pytest
+
 from repro.baselines.cbcast.messages import Flush, ViewChange
 from repro.baselines.cbcast.protocol import CbcastEngine
 from repro.baselines.cbcast.vector_clock import VectorClock
 from repro.core.effects import Deliver, Send
 from repro.errors import MemberLeftError
 from repro.types import ProcessId
-
-import pytest
 
 
 def sends_of(effects, kind=None):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.mid import Mid, NO_MESSAGE
+from repro.core.mid import NO_MESSAGE, Mid
 from repro.errors import CausalityViolationError
 from repro.types import ProcessId, SeqNo
 

@@ -10,17 +10,17 @@ catch-up, and resumed generation.
 import pytest
 
 from repro.core.config import UrcgcConfig
-from repro.core.effects import Deliver, Discarded, Rejoined, Send
+from repro.core.effects import Deliver, Discarded, Send
 from repro.core.member import Member
 from repro.core.rejoin import (
-    JoinRequest,
     KIND_JOIN,
+    JoinRequest,
     build_member,
     export_state,
     replay,
 )
 from repro.errors import ConfigError
-from repro.net.addressing import GroupAddress, UnicastAddress
+from repro.net.addressing import GroupAddress
 from repro.types import ProcessId, SeqNo
 
 

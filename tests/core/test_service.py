@@ -2,9 +2,9 @@
 
 from repro.core.config import UrcgcConfig
 from repro.core.member import Member
+from repro.core.message import UserMessage
 from repro.core.mid import Mid
 from repro.core.service import UrcgcService
-from repro.core.message import UserMessage
 from repro.types import ProcessId, SeqNo
 
 

@@ -1,6 +1,5 @@
 """Integration-grade unit tests for the urcgc simulation driver."""
 
-import pytest
 
 from repro.core.config import UrcgcConfig
 from repro.harness.cluster import SimCluster

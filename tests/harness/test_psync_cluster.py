@@ -3,7 +3,6 @@
 from repro.harness.psync_cluster import PsyncCluster
 from repro.types import ProcessId
 from repro.workloads.generators import FixedBudgetWorkload
-from repro.workloads.scenarios import crashes
 
 
 def pids(n):
@@ -38,7 +37,7 @@ def test_mask_out_unblocks_after_crash():
     """A crashed sender's lost message blocks dependents until the
     detector masks it out."""
     n = 4
-    from repro.net.faults import FaultPlan, CrashSchedule
+    from repro.net.faults import CrashSchedule, FaultPlan
 
     schedule = CrashSchedule()
     schedule.crash(ProcessId(3), 1.2)

@@ -16,11 +16,10 @@ import random
 import pytest
 
 from repro.core.config import UrcgcConfig
-from repro.core.mid import Mid
 from repro.harness.cluster import SimCluster
 from repro.types import ProcessId
 from repro.workloads.generators import BernoulliWorkload, FixedBudgetWorkload
-from repro.workloads.scenarios import crashes, general_omission, omission
+from repro.workloads.scenarios import general_omission, omission
 
 
 def pids(n):

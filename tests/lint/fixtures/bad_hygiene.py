@@ -1,0 +1,21 @@
+"""Violation fixture: every H-rule fires here.
+
+Used by tests/lint/test_cli.py to prove ``python -m repro lint``
+exits non-zero on a dirty tree.  Never imported.
+"""
+
+
+def float_sentinel(rate: float) -> bool:
+    return rate == 0.0  # H401
+
+
+def accumulate(item: int, bucket: list = []) -> list:  # H402
+    bucket.append(item)
+    return bucket
+
+
+def swallow() -> int:
+    try:
+        return 1 // 0
+    except Exception:  # H403
+        return 0

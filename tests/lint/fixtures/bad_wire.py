@@ -1,0 +1,51 @@
+"""Violation fixture: every W-rule fires here.  Never imported."""
+
+from dataclasses import dataclass
+
+_TAG_A = 200
+_TAG_B = 200  # same value: W302 on the second register call
+
+
+class FakeRegistry:
+    def register(self, tag, cls, decoder):
+        pass
+
+
+registry = FakeRegistry()
+
+
+@dataclass(frozen=True)
+class EncodeOnly:  # W301: no decode_fields
+    value: int
+
+    def encode_fields(self, writer):
+        writer.u32(self.value)
+
+
+@dataclass(frozen=True)
+class DeadField:
+    kept: int
+    dropped: int  # W303: never serialized
+
+    def encode_fields(self, writer):
+        writer.u32(self.kept)
+
+    @classmethod
+    def decode_fields(cls, reader):
+        return cls(reader.u32(), 0)
+
+
+@dataclass(frozen=True)
+class NeverRegistered:  # W304
+    value: int
+
+    def encode_fields(self, writer):
+        writer.u32(self.value)
+
+    @classmethod
+    def decode_fields(cls, reader):
+        return cls(reader.u32())
+
+
+registry.register(_TAG_A, EncodeOnly, None)
+registry.register(_TAG_B, DeadField, DeadField.decode_fields)

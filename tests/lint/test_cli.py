@@ -1,0 +1,78 @@
+"""CLI + reporters + the tree-wide cleanliness smoke test."""
+
+import json
+from pathlib import Path
+
+from repro.lint.cli import default_target, main
+
+REPO = Path(__file__).parents[2]
+SRC = REPO / "src" / "repro"
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def test_shipped_tree_is_violation_free(capsys):
+    # The acceptance gate: `python -m repro lint` exits 0 on src/.
+    assert main([str(SRC)]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("clean:")
+
+
+def test_default_target_is_the_repro_package():
+    assert default_target().name == "repro"
+    assert (default_target() / "__main__.py").exists()
+
+
+def test_violation_fixtures_exit_nonzero(capsys):
+    assert main([str(FIXTURES)]) == 1
+    out = capsys.readouterr().out
+    assert "H401" in out and "W302" in out
+
+
+def test_json_report_schema(capsys):
+    assert main(["--json", str(FIXTURES / "bad_hygiene.py")]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == 1
+    assert payload["ok"] is False
+    assert payload["files_checked"] == 1
+    assert set(payload["counts"]) == {"H401", "H402", "H403"}
+    first = payload["violations"][0]
+    assert set(first) == {"rule", "path", "line", "col", "message"}
+
+
+def test_json_report_clean_tree(capsys):
+    assert main(["--json", str(SRC)]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is True
+    assert payload["counts"] == {}
+    assert payload["files_checked"] > 80
+
+
+def test_rules_filter(capsys):
+    assert main(["--rules", "H402", str(FIXTURES / "bad_hygiene.py")]) == 1
+    out = capsys.readouterr().out
+    assert "H402" in out and "H401" not in out
+
+
+def test_unknown_rule_is_usage_error(capsys):
+    assert main(["--rules", "Z999", str(FIXTURES)]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_missing_path_is_usage_error(capsys):
+    assert main([str(FIXTURES / "does_not_exist.py")]) == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("D101", "A201", "W301", "H401"):
+        assert rule_id in out
+
+
+def test_module_entry_point_dispatches(capsys):
+    # python -m repro lint → harness.runner.main → lint.cli.main
+    from repro.harness.runner import main as runner_main
+
+    assert runner_main(["lint", str(SRC), "--rules", "H401"]) == 0
+    assert capsys.readouterr().out.startswith("clean:")

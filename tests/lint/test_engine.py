@@ -1,0 +1,115 @@
+"""Engine mechanics: pragmas, scoping, selection, parse errors."""
+
+import pytest
+
+from repro.lint import check_source, run_lint
+from repro.lint.engine import (
+    PARSE_ERROR_RULE,
+    RULES,
+    imported_names,
+    module_name_for,
+    qualified_name,
+)
+
+FLOAT_EQ = "ok = value == 0.5\n"
+
+
+def test_rule_registry_has_all_four_families():
+    run_lint([])  # force rule registration
+    families = {rule_id[0] for rule_id in RULES}
+    assert {"D", "A", "W", "H"} <= families
+    # Each family ships at least two distinct rules.
+    for family in "DAWH":
+        assert sum(1 for rule_id in RULES if rule_id[0] == family) >= 2
+
+
+def test_same_line_pragma_suppresses():
+    dirty = check_source(FLOAT_EQ, "fixture")
+    assert [v.rule for v in dirty] == ["H401"]
+    clean = check_source("ok = value == 0.5  # lint: disable=H401\n", "fixture")
+    assert clean == []
+
+
+def test_pragma_only_suppresses_named_rules():
+    source = "ok = value == 0.5  # lint: disable=H402\n"
+    assert [v.rule for v in check_source(source, "fixture")] == ["H401"]
+
+
+def test_pragma_disable_all():
+    source = "ok = value == 0.5  # lint: disable=all\n"
+    assert check_source(source, "fixture") == []
+
+
+def test_file_level_pragma():
+    source = "# lint: disable-file=H401\na = x == 1.0\nb = y != 2.0\n"
+    assert check_source(source, "fixture") == []
+
+
+def test_pragma_on_other_line_does_not_suppress():
+    source = "# lint: disable=H401\nok = value == 0.5\n"
+    assert [v.rule for v in check_source(source, "fixture")] == ["H401"]
+
+
+def test_scoped_rules_skip_other_packages():
+    source = "import random\nx = random.random()\n"
+    assert any(
+        v.rule == "D101" for v in check_source(source, "repro.core.fixture")
+    )
+    # Harness code may use the module RNG (it seeds its own streams).
+    assert check_source(source, "repro.harness.fixture") == []
+
+
+def test_rule_selection_and_unknown_rule():
+    source = "ok = value == 0.5\n"
+    assert check_source(source, "fixture", rules=["H402"]) == []
+    with pytest.raises(KeyError):
+        check_source(source, "fixture", rules=["NOPE"])
+
+
+def test_parse_error_becomes_violation(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def oops(:\n")
+    result = run_lint([bad])
+    assert not result.ok
+    assert [v.rule for v in result.violations] == [PARSE_ERROR_RULE]
+
+
+def test_module_name_for_src_layout(tmp_path):
+    path = tmp_path / "src" / "repro" / "core" / "member.py"
+    path.parent.mkdir(parents=True)
+    path.write_text("")
+    assert module_name_for(path) == "repro.core.member"
+    init = tmp_path / "src" / "repro" / "core" / "__init__.py"
+    init.write_text("")
+    assert module_name_for(init) == "repro.core"
+
+
+def test_qualified_name_resolution():
+    import ast
+
+    tree = ast.parse(
+        "import random\n"
+        "from time import monotonic\n"
+        "from datetime import datetime as dt\n"
+        "random.random()\n"
+        "monotonic()\n"
+        "dt.now()\n"
+        "self.rng.random()\n"
+    )
+    imports = imported_names(tree)
+    calls = [n for n in ast.walk(tree) if isinstance(n, ast.Call)]
+    resolved = [qualified_name(c.func, imports) for c in calls]
+    assert resolved == [
+        "random.random",
+        "time.monotonic",
+        "datetime.datetime.now",
+        None,  # rooted in self, not an import
+    ]
+
+
+def test_violations_sorted_and_counted(tmp_path):
+    f = tmp_path / "two.py"
+    f.write_text("b = y == 2.0\na = x == 1.0\n")
+    result = run_lint([f])
+    assert [v.line for v in result.violations] == [1, 2]
+    assert result.files_checked == 1

@@ -1,0 +1,111 @@
+"""A-rules: async-safety inside repro.runtime."""
+
+from repro.lint import check_source
+
+RUNTIME = "repro.runtime.fixture"
+
+
+def rules_of(source, module=RUNTIME):
+    return [v.rule for v in check_source(source, module)]
+
+
+# -- A201: blocking sleep ---------------------------------------------------
+
+
+def test_a201_flags_time_sleep_in_coroutine():
+    source = (
+        "import time\n"
+        "async def ticker():\n"
+        "    time.sleep(0.1)\n"
+    )
+    assert rules_of(source) == ["A201"]
+
+
+def test_a201_allows_asyncio_sleep_and_sync_defs():
+    source = (
+        "import asyncio\nimport time\n"
+        "async def ticker():\n"
+        "    await asyncio.sleep(0.1)\n"
+        "def sync_helper():\n"
+        "    time.sleep(0.1)\n"
+    )
+    assert rules_of(source) == []
+
+
+def test_a201_skips_nested_sync_closure():
+    # The closure only blocks when called; flagging the definition
+    # would force pragmas onto executor-targeted helpers.
+    source = (
+        "import time\n"
+        "async def ticker(loop):\n"
+        "    def blocking():\n"
+        "        time.sleep(0.1)\n"
+        "    await loop.run_in_executor(None, blocking)\n"
+    )
+    assert rules_of(source) == []
+
+
+def test_a201_out_of_scope_package_is_quiet():
+    source = "import time\nasync def f():\n    time.sleep(1)\n"
+    assert rules_of(source, "repro.harness.fixture") == []
+
+
+# -- A202: sync I/O ---------------------------------------------------------
+
+
+def test_a202_flags_open_in_coroutine():
+    source = (
+        "async def dump(path, data):\n"
+        "    with open(path, 'wb') as fh:\n"
+        "        fh.write(data)\n"
+    )
+    assert rules_of(source) == ["A202"]
+
+
+def test_a202_flags_blocking_os_and_socket_calls():
+    source = (
+        "import os\nimport socket\n"
+        "async def f(path):\n"
+        "    os.fsync(3)\n"
+        "    socket.create_connection(('h', 1))\n"
+    )
+    assert rules_of(source) == ["A202", "A202"]
+
+
+def test_a202_allows_sync_methods_and_sync_defs():
+    source = (
+        "import os\n"
+        "def snapshot(path, data):\n"
+        "    with open(path, 'wb') as fh:\n"
+        "        fh.write(data)\n"
+        "    os.fsync(fh.fileno())\n"
+    )
+    assert rules_of(source) == []
+
+
+# -- A203: durable-state I/O ------------------------------------------------
+
+
+def test_a203_flags_wal_and_snapshot_calls_in_coroutine():
+    source = (
+        "async def receiver(self, message):\n"
+        "    self.storage.log_processed(message)\n"
+        "    self.storage.save_snapshot(snap)\n"
+    )
+    assert rules_of(source) == ["A203", "A203"]
+
+
+def test_a203_allows_sync_effect_execution_path():
+    source = (
+        "def _execute(self, message):\n"
+        "    self.storage.log_processed(message)\n"
+    )
+    assert rules_of(source) == []
+
+
+def test_a203_respects_pragma():
+    source = (
+        "async def receiver(self, m):\n"
+        "    self.storage.log_decision(m)  # lint: disable=A203\n"
+    )
+    assert rules_of(source) == []

@@ -1,0 +1,101 @@
+"""D-rules: determinism inside repro.core / repro.sim / repro.storage."""
+
+from repro.lint import check_source
+
+CORE = "repro.core.fixture"
+SIM = "repro.sim.fixture"
+STORAGE = "repro.storage.fixture"
+
+
+def rules_of(source, module):
+    return [v.rule for v in check_source(source, module)]
+
+
+# -- D101: unseeded randomness ----------------------------------------------
+
+
+def test_d101_flags_global_draw_functions():
+    source = "import random\nx = random.random()\ny = random.randint(0, 9)\n"
+    assert rules_of(source, CORE) == ["D101", "D101"]
+
+
+def test_d101_flags_unseeded_random_constructor():
+    assert rules_of("import random\nr = random.Random()\n", SIM) == ["D101"]
+
+
+def test_d101_allows_seeded_constructor_and_injected_streams():
+    source = (
+        "import random\n"
+        "r = random.Random(42)\n"
+        "def draw(rng: random.Random) -> float:\n"
+        "    return rng.random()\n"
+    )
+    assert rules_of(source, STORAGE) == []
+
+
+def test_d101_flags_aliased_import():
+    source = "import random as rnd\nx = rnd.choice([1, 2])\n"
+    assert rules_of(source, CORE) == ["D101"]
+
+
+def test_d101_respects_pragma():
+    source = "import random\nx = random.random()  # lint: disable=D101\n"
+    assert rules_of(source, CORE) == []
+
+
+# -- D102: wall-clock reads -------------------------------------------------
+
+
+def test_d102_flags_time_module_clocks():
+    source = "import time\nt = time.time()\nm = time.monotonic()\n"
+    assert rules_of(source, CORE) == ["D102", "D102"]
+
+
+def test_d102_flags_from_import_and_datetime():
+    source = (
+        "from time import perf_counter\n"
+        "from datetime import datetime\n"
+        "a = perf_counter()\n"
+        "b = datetime.now()\n"
+    )
+    assert rules_of(source, SIM) == ["D102", "D102"]
+
+
+def test_d102_allows_simulated_time():
+    source = (
+        "def schedule(kernel, delay: float) -> float:\n"
+        "    return kernel.now() + delay\n"
+    )
+    assert rules_of(source, SIM) == []
+
+
+def test_d102_allows_time_sleep_name_collisions():
+    # time.sleep is an A-rule concern, not a clock read.
+    assert rules_of("import time\ntime.sleep(1)\n", CORE) == []
+
+
+# -- D103: ambient entropy --------------------------------------------------
+
+
+def test_d103_flags_environment_and_urandom():
+    source = (
+        "import os\n"
+        "key = os.environ['SEED']\n"
+        "alt = os.getenv('SEED')\n"
+        "blob = os.urandom(8)\n"
+    )
+    assert rules_of(source, STORAGE) == ["D103", "D103", "D103"]
+
+
+def test_d103_flags_uuid_and_secrets():
+    source = (
+        "import uuid\nimport secrets\n"
+        "a = uuid.uuid4()\n"
+        "b = secrets.token_bytes(8)\n"
+    )
+    assert rules_of(source, CORE) == ["D103", "D103"]
+
+
+def test_d103_allows_plain_os_file_operations():
+    source = "import os\nos.replace('a.tmp', 'a')\nos.fsync(3)\n"
+    assert rules_of(source, STORAGE) == []

@@ -1,0 +1,91 @@
+"""H-rules: float equality, mutable defaults, swallowed exceptions."""
+
+from repro.lint import check_source
+
+
+def rules_of(source, module="repro.any.fixture"):
+    return [v.rule for v in check_source(source, module)]
+
+
+# -- H401: float equality ---------------------------------------------------
+
+
+def test_h401_flags_eq_and_ne_against_float_literals():
+    assert rules_of("a = x == 0.0\n") == ["H401"]
+    assert rules_of("b = 1.5 != y\n") == ["H401"]
+
+
+def test_h401_flags_chained_comparison():
+    assert rules_of("ok = a < b == 0.5\n") == ["H401"]
+
+
+def test_h401_allows_orderings_and_integer_equality():
+    source = "a = x <= 0.0\nb = y >= 1.0\nc = n == 0\nd = s == 'x'\n"
+    assert rules_of(source) == []
+
+
+def test_h401_pragma_with_justification():
+    source = (
+        "# 0.5 is exactly representable and set, never computed.\n"
+        "exact = x == 0.5  # lint: disable=H401\n"
+    )
+    assert rules_of(source) == []
+
+
+# -- H402: mutable defaults -------------------------------------------------
+
+
+def test_h402_flags_list_dict_set_defaults():
+    assert rules_of("def f(a=[]):\n    pass\n") == ["H402"]
+    assert rules_of("def f(a={}):\n    pass\n") == ["H402"]
+    assert rules_of("def f(*, a=set()):\n    pass\n") == ["H402"]
+
+
+def test_h402_flags_async_def_and_constructor_calls():
+    assert rules_of("async def f(a=dict()):\n    pass\n") == ["H402"]
+
+
+def test_h402_allows_immutable_defaults():
+    source = "def f(a=(), b=None, c=0, d='x', e=frozenset()):\n    pass\n"
+    assert rules_of(source) == []
+
+
+# -- H403: swallowed exceptions ---------------------------------------------
+
+
+def test_h403_flags_silent_broad_except():
+    source = (
+        "try:\n    risky()\n"
+        "except Exception:\n    pass\n"
+    )
+    assert rules_of(source) == ["H403"]
+
+
+def test_h403_flags_bare_except_returning_constant():
+    source = (
+        "def f():\n"
+        "    try:\n        return risky()\n"
+        "    except:\n        return 1\n"
+    )
+    assert rules_of(source) == ["H403"]
+
+
+def test_h403_allows_reraise_and_recording():
+    reraise = (
+        "try:\n    risky()\n"
+        "except Exception as exc:\n    raise RuntimeError('x') from exc\n"
+    )
+    assert rules_of(reraise) == []
+    recording = (
+        "try:\n    risky()\n"
+        "except Exception as exc:\n    violations.append(str(exc))\n"
+    )
+    assert rules_of(recording) == []
+
+
+def test_h403_allows_narrow_exceptions():
+    source = (
+        "try:\n    risky()\n"
+        "except (KeyError, ValueError):\n    pass\n"
+    )
+    assert rules_of(source) == []

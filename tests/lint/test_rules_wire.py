@@ -1,0 +1,150 @@
+"""W-rules: wire-schema cross-checks for the frame codecs."""
+
+from pathlib import Path
+
+from repro.lint import check_source, run_lint
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def rules_of(source, module="repro.net.fixture"):
+    return [v.rule for v in check_source(source, module)]
+
+
+CLEAN_CODEC = """
+from dataclasses import dataclass
+
+_TAG_PING = 77
+
+
+@dataclass(frozen=True)
+class Ping:
+    nonce: int
+
+    def encode_fields(self, writer):
+        writer.u32(self.nonce)
+
+    @classmethod
+    def decode_fields(cls, reader):
+        return cls(reader.u32())
+
+
+registry.register(_TAG_PING, Ping, Ping.decode_fields)
+"""
+
+
+def test_clean_codec_is_quiet():
+    assert rules_of(CLEAN_CODEC) == []
+
+
+# -- W301: both directions --------------------------------------------------
+
+
+def test_w301_flags_encode_only_and_decode_only():
+    source = (
+        "class EncodeOnly:\n"
+        "    def encode_fields(self, writer):\n"
+        "        writer.u8(1)\n"
+        "registry.register(1, EncodeOnly, None)\n"
+    )
+    assert "W301" in rules_of(source)
+    source = (
+        "class DecodeOnly:\n"
+        "    @classmethod\n"
+        "    def decode_fields(cls, reader):\n"
+        "        return cls()\n"
+        "registry.register(1, DecodeOnly, DecodeOnly.decode_fields)\n"
+    )
+    assert "W301" in rules_of(source)
+
+
+def test_w301_ignores_protocol_stubs():
+    source = (
+        "from typing import Protocol\n"
+        "class WireMessage(Protocol):\n"
+        "    def encode_fields(self, writer) -> None: ...\n"
+    )
+    assert rules_of(source) == []
+
+
+# -- W302: unique tags ------------------------------------------------------
+
+
+def test_w302_flags_literal_tag_collision():
+    source = (
+        CLEAN_CODEC
+        + "registry.register(77, Ping, Ping.decode_fields)\n"
+    )
+    assert rules_of(source).count("W302") == 1
+
+
+def test_w302_resolves_named_constants():
+    source = CLEAN_CODEC + (
+        "_TAG_OTHER = 77\n"
+        "registry.register(_TAG_OTHER, Ping, Ping.decode_fields)\n"
+    )
+    assert "W302" in rules_of(source)
+
+
+def test_w302_distinct_tags_quiet_across_real_tree():
+    # The real tree (urcgc core 10..15, CBCAST 30..33, Psync 40) must
+    # keep its tag space collision-free.
+    src = Path(__file__).parents[2] / "src" / "repro"
+    result = run_lint([src], rules=["W302"])
+    assert result.violations == []
+
+
+# -- W303: every field serialized ------------------------------------------
+
+
+def test_w303_flags_dead_field():
+    source = CLEAN_CODEC.replace(
+        "    nonce: int\n",
+        "    nonce: int\n    forgotten: int = 0\n",
+    )
+    assert rules_of(source) == ["W303"]
+
+
+def test_w303_allows_private_and_classvar_fields():
+    source = CLEAN_CODEC.replace(
+        "    nonce: int\n",
+        "    nonce: int\n"
+        "    _cache: int = 0\n"
+        "    LIMIT: ClassVar[int] = 4\n",
+    )
+    assert rules_of(source) == []
+
+
+def test_w303_sees_fields_read_through_nested_attributes():
+    # RequestMessage serializes self.info.last_processed — the field
+    # read is `self.info`, which counts.
+    source = (
+        "class Wrapper:\n"
+        "    info: object\n"
+        "    def encode_fields(self, writer):\n"
+        "        writer.u32(self.info.value)\n"
+        "    @classmethod\n"
+        "    def decode_fields(cls, reader):\n"
+        "        return cls(reader.u32())\n"
+        "registry.register(9, Wrapper, Wrapper.decode_fields)\n"
+    )
+    assert rules_of(source) == []
+
+
+# -- W304: everything registered -------------------------------------------
+
+
+def test_w304_flags_unregistered_codec():
+    source = CLEAN_CODEC.replace(
+        "registry.register(_TAG_PING, Ping, Ping.decode_fields)\n", ""
+    )
+    assert rules_of(source) == ["W304"]
+
+
+# -- the shipped fixture exercises all four at once -------------------------
+
+
+def test_bad_wire_fixture_trips_every_w_rule():
+    result = run_lint([FIXTURES / "bad_wire.py"])
+    found = {v.rule for v in result.violations}
+    assert {"W301", "W302", "W303", "W304"} <= found

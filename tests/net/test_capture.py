@@ -8,7 +8,7 @@ from repro.core.config import UrcgcConfig
 from repro.core.message import DecisionMessage, RequestMessage, UserMessage
 from repro.errors import WireFormatError
 from repro.harness.cluster import SimCluster
-from repro.net.capture import CaptureRecord, Direction, PacketCapture
+from repro.net.capture import Direction, PacketCapture
 from repro.types import ProcessId
 from repro.workloads.generators import FixedBudgetWorkload
 

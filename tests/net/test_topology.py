@@ -6,7 +6,7 @@ from repro.core.config import UrcgcConfig
 from repro.errors import ConfigError
 from repro.net.addressing import UnicastAddress
 from repro.net.network import DatagramNetwork
-from repro.net.packet import HEADER_OVERHEAD_BYTES, Packet
+from repro.net.packet import Packet
 from repro.net.topology import EthernetBus, FixedDelay
 from repro.sim.kernel import Kernel
 from repro.types import ProcessId

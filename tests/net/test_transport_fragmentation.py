@@ -1,6 +1,5 @@
 """Tests for transport-level fragmentation (Section 5's sublayer)."""
 
-import pytest
 
 from repro.core.config import UrcgcConfig
 from repro.harness.cluster import SimCluster

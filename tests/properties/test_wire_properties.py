@@ -199,8 +199,6 @@ from repro.errors import WireFormatError
 @given(st.binary(max_size=400))
 @settings(max_examples=300)
 def test_decode_untrusted_bytes_is_total(data):
-    import pytest
-
     try:
         decode_message(data)
     except WireFormatError:

@@ -138,7 +138,11 @@ def test_coordinator_crash_then_recover():
             victim = await group.crash_coordinator_at_subrun(subrun, timeout=20)
             assert victim is not None
             await group.run_workload(
-                [(pid, b"go") for pid in [ProcessId(0), ProcessId(1), ProcessId(2), ProcessId(3)] if pid != victim],
+                [
+                    (pid, b"go")
+                    for pid in [ProcessId(i) for i in range(4)]
+                    if pid != victim
+                ],
                 timeout=20,
             )
             node = group.recover(victim)

@@ -7,7 +7,7 @@ import pytest
 from repro.core.config import UrcgcConfig
 from repro.errors import ConfigError
 from repro.runtime.lan import AsyncLan
-from repro.runtime.node import AsyncGroup, AsyncNode
+from repro.runtime.node import AsyncNode
 from repro.runtime.rtt import AdaptiveRoundTimer, RttEstimator
 from repro.types import ProcessId
 

@@ -155,7 +155,7 @@ def test_runt_datagram_counted_and_dropped():
 
 def test_icmp_error_counted_per_endpoint():
     async def main():
-        from repro.runtime.udp import _Protocol, UdpEndpoint
+        from repro.runtime.udp import UdpEndpoint, _Protocol
 
         endpoint = UdpEndpoint(ProcessId(0))
         protocol = _Protocol(endpoint)

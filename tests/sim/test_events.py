@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ScheduleInPastError
-from repro.sim.events import EventQueue, PRIORITY_NETWORK, PRIORITY_ROUND
+from repro.sim.events import PRIORITY_NETWORK, PRIORITY_ROUND, EventQueue
 
 
 def test_pop_orders_by_time():

@@ -2,10 +2,10 @@
 
 import pytest
 
-from repro.core.message import UserMessage
-from repro.core.mid import Mid
 from repro.core.config import UrcgcConfig
 from repro.core.member import Member
+from repro.core.message import UserMessage
+from repro.core.mid import Mid
 from repro.storage import (
     GroupStorage,
     MemoryBackend,

@@ -7,7 +7,7 @@ from repro.core.message import DecisionMessage, UserMessage
 from repro.core.mid import Mid
 from repro.core.rejoin import RECORD_DECISION, RECORD_GENERATED, RECORD_PROCESSED
 from repro.storage.backend import MemoryBackend
-from repro.storage.wal import WalRecord, WriteAheadLog, encode_record
+from repro.storage.wal import WriteAheadLog, encode_record
 from repro.types import ProcessId, SeqNo
 
 

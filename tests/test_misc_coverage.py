@@ -2,9 +2,9 @@
 
 from repro.core.config import UrcgcConfig
 from repro.core.member import Member
-from repro.core.service import RequestHandle, UrcgcService
-from repro.net.packet import Packet
+from repro.core.service import RequestHandle
 from repro.net.addressing import UnicastAddress
+from repro.net.packet import Packet
 from repro.net.stats import NetworkStats
 from repro.sim.rng import RngRegistry
 from repro.types import ProcessId
