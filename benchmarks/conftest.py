@@ -8,12 +8,51 @@ simulator, not the authors' testbed).
 
 Run with ``pytest benchmarks/ --benchmark-only`` (add ``-s`` to see the
 rendered tables; EXPERIMENTS.md quotes them).
+
+Every run also exports one ``BENCH_<module>.json`` per benchmark
+module through :func:`repro.obs.write_bench_json` (timing stats plus
+each test's ``extra_info``), into ``$REPRO_BENCH_DIR`` (default: the
+working directory).  CI uploads these as the perf trajectory.
 """
 
 from __future__ import annotations
+
+import os
 
 
 def run_once(benchmark, fn):
     """Benchmark a long-running experiment exactly once and return its
     result object."""
-    return benchmark.pedantic(fn, rounds=1, iterations=1)
+    result = benchmark.pedantic(fn, rounds=1, iterations=1)
+    as_dict = getattr(result, "as_dict", None)
+    if as_dict is not None:
+        try:
+            benchmark.extra_info["result"] = as_dict()
+        except Exception:
+            pass  # a result that can't serialize shouldn't fail the bench
+    return result
+
+
+def _bench_rows(session_benchmarks) -> dict[str, list[dict]]:
+    """Group pytest-benchmark Metadata by module stem."""
+    by_module: dict[str, list[dict]] = {}
+    for bench in session_benchmarks:
+        module_path = bench.fullname.split("::", 1)[0]
+        stem = os.path.splitext(os.path.basename(module_path))[0]
+        row = bench.as_dict(include_data=False)
+        by_module.setdefault(stem, []).append(row)
+    return by_module
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write one ``BENCH_<module>.json`` per benchmark module run."""
+    benchmarksession = getattr(session.config, "_benchmarksession", None)
+    if benchmarksession is None or not benchmarksession.benchmarks:
+        return
+    from repro.obs import write_bench_json
+
+    out_dir = os.environ.get("REPRO_BENCH_DIR", ".")
+    os.makedirs(out_dir, exist_ok=True)
+    for stem, rows in _bench_rows(benchmarksession.benchmarks).items():
+        path = os.path.join(out_dir, f"BENCH_{stem}.json")
+        write_bench_json(path, stem, rows)

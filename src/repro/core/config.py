@@ -96,6 +96,13 @@ class UrcgcConfig:
         so that a quick rejoin can still state-transfer the interval.
         Bounds the space a dead slot can hold hostage (the
         bounded-space catch-up concern of Nédelec et al.).
+    observability:
+        When True the driver (``SimCluster`` or ``AsyncGroup``) records
+        structured span events (subrun / request / decision / generated
+        / processed) into a :class:`repro.obs.Recorder`, from which a
+        JSONL trace and registry report can be exported (see
+        ``docs/OBSERVABILITY.md``).  Off by default: the disabled path
+        is a no-op recorder, so timing-sensitive runs pay nothing.
     """
 
     n: int
@@ -108,6 +115,7 @@ class UrcgcConfig:
     auto_significant: bool = True
     enable_rejoin: bool = False
     recovery_grace: int = 8
+    observability: bool = False
     #: Resilience degree: computed, not settable.
     t: int = field(init=False)
 

@@ -22,13 +22,14 @@ from ..core.effects import (
     Left,
 )
 from ..core.member import Member
-from ..core.message import DecisionMessage, UserMessage
+from ..core.message import DecisionMessage, RequestMessage, UserMessage
 from ..core.service import UrcgcService
 from ..net.addressing import BROADCAST_GROUP
 from ..net.faults import FaultPlan
 from ..net.network import DatagramNetwork
 from ..net.transport import MulticastTransport
 from ..net.wire import decode_message, encode_message
+from ..obs import NULL_RECORDER, Recorder, write_jsonl
 from ..sim.kernel import Kernel
 from ..sim.rounds import RoundScheduler
 from ..storage import GroupStorage, NodeStorage, snapshot_of
@@ -83,9 +84,24 @@ class SimCluster:
     ) -> None:
         self.config = config
         self.kernel = Kernel(seed=seed, trace=trace)
+        #: Span recorder (no-op unless ``config.observability``); it
+        #: shares the kernel's registry, so `history.*` series and the
+        #: network counters land in the same exported state.
+        self.recorder: Recorder = (
+            Recorder(
+                clock=lambda: float(self.kernel.now),
+                clock_kind="sim",
+                registry=self.kernel.metrics,
+            )
+            if config.observability
+            else NULL_RECORDER
+        )
+        self._obs = self.recorder.enabled
         self.network = DatagramNetwork(
             self.kernel, faults=faults, one_way_delay=one_way_delay, medium=medium
         )
+        if self._obs:
+            self.network.stats.bind(self.kernel.metrics)
         self.workload: Workload = workload or NullWorkload()
         self.scheduler = RoundScheduler(self.kernel, max_rounds=max_rounds)
         self.delivery_log = DeliveryLog()
@@ -210,8 +226,19 @@ class SimCluster:
     # internals
     # ------------------------------------------------------------------
 
+    def write_trace(self, path: str, **meta: object) -> None:
+        """Export the run's JSONL trace (requires observability on)."""
+        if not self._obs:
+            raise RuntimeError(
+                "observability is disabled; construct the cluster with "
+                "UrcgcConfig(observability=True)"
+            )
+        write_jsonl(path, self.recorder, runner="sim", n=self.config.n, **meta)
+
     def _on_round(self, round_no: int) -> None:
         now = self.kernel.now
+        if self._obs and round_no % 2 == 0:
+            self.recorder.subrun(round_no // 2, time=now)
         for pid, payload in self.workload.submissions(round_no):
             if self.is_active(pid):
                 self.services[pid].data_rq(payload)
@@ -253,7 +280,12 @@ class SimCluster:
         self._execute(pid, effects)
 
     def _node_storage(self, pid: ProcessId) -> "NodeStorage | None":
-        return self.storage.node(pid) if self.storage is not None else None
+        if self.storage is None:
+            return None
+        node_storage = self.storage.node(pid)
+        if self._obs and node_storage._registry is None:
+            node_storage.bind_registry(self.kernel.metrics)
+        return node_storage
 
     def _execute(self, pid: ProcessId, effects: list[Effect]) -> None:
         now = self.kernel.now
@@ -262,6 +294,8 @@ class SimCluster:
         for effect in effects:
             if isinstance(effect, Deliver):
                 self.delivery_log.on_processed(effect.message.mid, pid, now)
+                if self._obs:
+                    self.recorder.processed(effect.message.mid, node=pid, time=now)
                 if self.delivered is not None:
                     self.delivered[pid].append(effect.message)
                 if (
@@ -270,12 +304,20 @@ class SimCluster:
                 ):
                     node_storage.log_processed(effect.message)
             elif isinstance(effect, DecisionApplied):
+                if self._obs:
+                    self.recorder.decision(
+                        int(effect.decision.number), node=pid, applied=True, time=now
+                    )
                 if node_storage is not None:
                     node_storage.log_decision(effect.decision)
             elif isinstance(effect, Discarded):
                 # The lost message is destroyed along with its
                 # dependents: the "or none of them" branch of atomicity.
                 self.delivery_log.on_discarded((effect.lost, *effect.discarded))
+                if self._obs:
+                    self.recorder.discarded(
+                        effect.lost, node=pid, count=1 + len(effect.discarded), time=now
+                    )
                 self.kernel.trace.emit(
                     now, "member.discarded", pid,
                     lost=effect.lost, count=len(effect.discarded),
@@ -288,11 +330,20 @@ class SimCluster:
             message = send.message
             if isinstance(message, UserMessage) and message.mid.origin == pid:
                 self.delivery_log.on_generated(message.mid, now)
+                if self._obs:
+                    self.recorder.generated(
+                        message.mid, message.deps, node=pid, time=now
+                    )
                 if node_storage is not None:
                     # Log-before-send, as in the live runtime.
                     node_storage.log_generated(message)
+            elif isinstance(message, RequestMessage):
+                if self._obs:
+                    self.recorder.request(int(message.subrun), node=pid, time=now)
             elif isinstance(message, DecisionMessage):
                 decision = message.decision
+                if self._obs:
+                    self.recorder.decision(int(decision.number), node=pid, time=now)
                 self.kernel.trace.emit(
                     now,
                     "decision.broadcast",

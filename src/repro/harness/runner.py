@@ -108,6 +108,51 @@ def run_experiment(name: str, *, as_json: bool = False) -> str:
     return result.render()  # type: ignore[attr-defined]
 
 
+def _report_command(trace: str | None, *, mid: str | None, demo: bool) -> int:
+    """The ``report`` subcommand: parse (or demo-produce) a JSONL trace
+    and print its rendering."""
+    from ..obs import read_jsonl, render_trace_report
+
+    if demo:
+        from ..core.config import UrcgcConfig
+        from ..types import ProcessId
+        from ..workloads.generators import FixedBudgetWorkload
+        from .cluster import SimCluster
+
+        config = UrcgcConfig(n=4, observability=True)
+        pids = [ProcessId(0), ProcessId(1)]
+        cluster = SimCluster(config, workload=FixedBudgetWorkload(pids, 6))
+        cluster.run_until_quiescent(drain_subruns=2)
+        if trace is not None:
+            cluster.write_trace(trace, experiment="demo")
+            records = read_jsonl(trace)
+        else:
+            from ..obs import events_as_dicts, registry_records
+
+            records = [{"ev": "meta", "runner": "sim", "clock": "sim"}]
+            records += events_as_dicts(cluster.recorder.events)
+            for metric in registry_records(cluster.recorder.registry):
+                record: dict = {"ev": "metric", "name": metric.name,
+                               "family": metric.family, "labels": metric.labels}
+                if metric.value is not None:
+                    record["value"] = metric.value
+                if metric.summary is not None:
+                    record["summary"] = metric.summary
+                records.append(record)
+        print(render_trace_report(records, mid=mid))
+        return 0
+    if trace is None:
+        print("report: a TRACE path is required (or pass --demo)", file=sys.stderr)
+        return 2
+    try:
+        records = read_jsonl(trace)
+    except OSError as exc:
+        print(f"report: cannot read {trace}: {exc}", file=sys.stderr)
+        return 2
+    print(render_trace_report(records, mid=mid))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -183,7 +228,31 @@ def main(argv: list[str] | None = None) -> int:
         "wire-schema, hygiene rules)",
         add_help=False,
     )
+    report_parser = sub.add_parser(
+        "report",
+        help="render a JSONL observability trace: span counts, registry "
+        "state, and one message's causal timeline",
+    )
+    report_parser.add_argument(
+        "trace",
+        nargs="?",
+        default=None,
+        help="path to a trace written by SimCluster/AsyncGroup.write_trace",
+    )
+    report_parser.add_argument(
+        "--mid",
+        default=None,
+        help="message id to reconstruct (e.g. 'p0:1'); default: first generated",
+    )
+    report_parser.add_argument(
+        "--demo",
+        action="store_true",
+        help="run a small observed simulation first and report on it; "
+        "with a TRACE argument the demo trace is also written there",
+    )
     args = parser.parse_args(argv)
+    if args.command == "report":
+        return _report_command(args.trace, mid=args.mid, demo=args.demo)
     if args.command == "recover":
         from .recover_torture import recover_torture, results_as_json
 
@@ -262,6 +331,7 @@ def main(argv: list[str] | None = None) -> int:
             "chaos": "live fault-injected asyncio runs (Definition 3.2 audit)",
             "recover": "crash-and-recover runs: WAL/snapshot restore + rejoin",
             "lint": "protocol-aware static analysis (D/A/W/H rule families)",
+            "report": "render a JSONL observability trace (--demo to produce one)",
         }
         sub_width = max(len(name) for name in subcommands)
         for name, description in subcommands.items():

@@ -13,7 +13,11 @@ decode — these rules check them at review time instead:
   peers silently disagree on state the sender thought it shipped —
   W303;
 * a codec that is never ``register()``-ed can be encoded but never
-  decoded by a receiver — W304.
+  decoded by a receiver — W304;
+* the observability event/metric records (``repro.obs`` dataclasses
+  named ``*Event`` / ``*Record``) must keep every field JSON-encodable,
+  or the JSONL trace writer dies at export time, long after the run
+  that produced the data — W305.
 """
 
 from __future__ import annotations
@@ -178,6 +182,92 @@ def check_dead_fields(module: Module) -> Iterator[Violation]:
                     f"field {cls.name}.{name} is declared but never "
                     "serialized by encode_fields; receivers will "
                     "reconstruct it from defaults",
+                )
+
+
+#: Annotation atoms that json.dumps can always take (plus containers).
+_JSON_ATOMS = {"str", "int", "float", "bool", "None", "dict", "list", "object"}
+_JSON_CONTAINERS = {"dict", "list", "Mapping", "Sequence"}
+
+
+def _json_encodable_annotation(node: ast.expr) -> bool:
+    """Conservative check that an annotation only names JSON types.
+
+    Accepts unions (``str | None``), string annotations, and
+    ``dict[...]`` / ``list[...]`` with JSON-encodable parameters;
+    anything it cannot positively recognize is rejected.
+    """
+    if isinstance(node, ast.Constant):
+        if node.value is None:
+            return True
+        if isinstance(node.value, str):
+            try:
+                return _json_encodable_annotation(
+                    ast.parse(node.value, mode="eval").body
+                )
+            except SyntaxError:
+                return False
+        return False
+    if isinstance(node, ast.Name):
+        return node.id in _JSON_ATOMS
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        return _json_encodable_annotation(node.left) and _json_encodable_annotation(
+            node.right
+        )
+    if isinstance(node, ast.Subscript):
+        if not (
+            isinstance(node.value, ast.Name) and node.value.id in _JSON_CONTAINERS
+        ):
+            return False
+        params = (
+            node.slice.elts if isinstance(node.slice, ast.Tuple) else [node.slice]
+        )
+        return all(_json_encodable_annotation(param) for param in params)
+    return False
+
+
+def _is_dataclass(cls: ast.ClassDef) -> bool:
+    for deco in cls.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        name = (
+            target.attr
+            if isinstance(target, ast.Attribute)
+            else getattr(target, "id", "")
+        )
+        if name == "dataclass":
+            return True
+    return False
+
+
+@rule(
+    "W305",
+    "non-json-event-field",
+    "observability event/record dataclass field is not JSON-encodable",
+    scopes=("repro.obs",),
+)
+def check_event_record_fields(module: Module) -> Iterator[Violation]:
+    for cls in ast.walk(module.tree):
+        if not isinstance(cls, ast.ClassDef) or _is_protocol(cls):
+            continue
+        if not (cls.name.endswith("Event") or cls.name.endswith("Record")):
+            continue
+        if not _is_dataclass(cls):
+            continue
+        for stmt in cls.body:
+            if not isinstance(stmt, ast.AnnAssign) or not isinstance(
+                stmt.target, ast.Name
+            ):
+                continue
+            name = stmt.target.id
+            if name.startswith("_") or "ClassVar" in ast.dump(stmt.annotation):
+                continue
+            if not _json_encodable_annotation(stmt.annotation):
+                yield Violation(
+                    module.path, stmt.lineno, stmt.col_offset, "W305",
+                    f"field {cls.name}.{name} has a non-JSON-encodable "
+                    "annotation; the JSONL trace writer would fail at "
+                    "export time (allowed: str/int/float/bool/None and "
+                    "dict/list of those)",
                 )
 
 

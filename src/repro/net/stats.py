@@ -10,10 +10,23 @@ packet counts, byte volumes, and size extrema, measured at send time
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Protocol
 
 from .packet import Packet
 
-__all__ = ["KindStats", "NetworkStats"]
+__all__ = ["MetricSink", "KindStats", "NetworkStats"]
+
+
+class MetricSink(Protocol):
+    """The slice of :class:`repro.obs.Registry` this layer records into.
+
+    A structural protocol (not an import) so the net layer stays free
+    of an obs dependency cycle; any registry-shaped object qualifies.
+    """
+
+    def count(self, name: str, amount: int = 1, **labels: object) -> None:
+        """Increment counter ``name`` for the given label set."""
+        ...
 
 
 @dataclass
@@ -59,6 +72,19 @@ class NetworkStats:
         self._kinds: dict[str, KindStats] = {}
         #: Drop cause -> count (empty string groups unattributed drops).
         self.drop_reasons: dict[str, int] = {}
+        self._registry: MetricSink | None = None
+        self._prefix = "net"
+
+    def bind(self, registry: MetricSink, *, prefix: str = "net") -> None:
+        """Mirror every count into a shared observability registry.
+
+        Packet counts and byte volumes then appear as labelled
+        ``<prefix>.sent`` / ``.delivered`` / ``.dropped`` (+ ``_bytes``)
+        counter families next to the rest of the run's metrics, so one
+        exporter covers the Table 1 accounting too.
+        """
+        self._registry = registry
+        self._prefix = prefix
 
     def _kind(self, kind: str) -> KindStats:
         stats = self._kinds.get(kind)
@@ -68,13 +94,27 @@ class NetworkStats:
 
     def on_sent(self, packet: Packet) -> None:
         self._kind(packet.kind).record_sent(packet.wire_size)
+        if self._registry is not None:
+            self._registry.count(f"{self._prefix}.sent", kind=packet.kind)
+            self._registry.count(
+                f"{self._prefix}.sent_bytes", packet.wire_size, kind=packet.kind
+            )
 
     def on_delivered(self, packet: Packet) -> None:
         self._kind(packet.kind).record_delivered(packet.wire_size)
+        if self._registry is not None:
+            self._registry.count(f"{self._prefix}.delivered", kind=packet.kind)
+            self._registry.count(
+                f"{self._prefix}.delivered_bytes", packet.wire_size, kind=packet.kind
+            )
 
     def on_dropped(self, packet: Packet, reason: str = "") -> None:
         self._kind(packet.kind).record_dropped()
         self.drop_reasons[reason] = self.drop_reasons.get(reason, 0) + 1
+        if self._registry is not None:
+            self._registry.count(
+                f"{self._prefix}.dropped", kind=packet.kind, reason=reason
+            )
 
     def dropped_for(self, reason: str) -> int:
         """Drops attributed to ``reason`` (0 if never seen)."""

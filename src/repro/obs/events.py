@@ -1,0 +1,254 @@
+"""Structured span events and the recorder that collects them.
+
+A *span event* marks one step of the protocol's causal pipeline —
+``subrun(k)`` opening, a ``request`` to the coordinator, a
+``decision`` broadcast or adoption, a message being ``generated`` with
+its declared dependencies, and each ``processed`` (delivered)
+indication — stamped with either the simulated clock or the wall
+clock.  A run's event list is enough to reconstruct any message's full
+generated → requested → decided → processed timeline (see
+:func:`repro.obs.report.message_timeline`).
+
+:class:`Recorder` is the live sink: an event log plus a
+:class:`~repro.obs.metrics.Registry`.  :data:`NULL_RECORDER` is the
+disabled instance — every emit is a no-op and its registry swallows
+writes — so instrumented code paths cost one attribute check when
+observability is off (``UrcgcConfig(observability=False)``, the
+default).
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .metrics import Registry
+
+__all__ = [
+    "ObsEvent",
+    "MetricRecord",
+    "Recorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "mid_label",
+    "SPAN_SUBRUN",
+    "SPAN_REQUEST",
+    "SPAN_DECISION",
+    "SPAN_GENERATED",
+    "SPAN_PROCESSED",
+    "SPAN_DISCARDED",
+]
+
+# The span taxonomy (docs/OBSERVABILITY.md documents the schema).
+SPAN_SUBRUN = "subrun"
+SPAN_REQUEST = "request"
+SPAN_DECISION = "decision"
+SPAN_GENERATED = "generated"
+SPAN_PROCESSED = "processed"
+SPAN_DISCARDED = "discarded"
+
+
+def mid_label(mid: object) -> str:
+    """Canonical JSON-friendly mid label, e.g. ``"p0:3"``."""
+    origin = getattr(mid, "origin", None)
+    seq = getattr(mid, "seq", None)
+    if origin is None or seq is None:
+        return str(mid)
+    return f"p{int(origin)}:{int(seq)}"
+
+
+@dataclass(frozen=True)
+class ObsEvent:
+    """One span event: what happened, when, and to whom.
+
+    ``extra`` holds span-specific fields (subrun number, decision
+    number, dependency list, …) and must stay JSON-encodable — the
+    W305 lint rule enforces that on this dataclass.
+    """
+
+    time: float
+    kind: str
+    node: int | None = None
+    mid: str | None = None
+    extra: dict[str, str | int | float | bool | None | list[str]] = field(
+        default_factory=dict
+    )
+
+
+@dataclass(frozen=True)
+class MetricRecord:
+    """One exported metric state (a registry row, flushed at dump time)."""
+
+    name: str
+    family: str
+    labels: dict[str, str]
+    value: float | None = None
+    summary: dict[str, float] | None = None
+
+
+class Recorder:
+    """Span log + metrics registry behind one clock.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument callable returning the current time.  The
+        simulator passes its kernel clock; the runtime defaults to the
+        monotonic wall clock.
+    clock_kind:
+        ``"sim"`` or ``"wall"`` — recorded in the trace metadata so a
+        reader knows the unit (rtd vs seconds).
+    registry:
+        Share an existing :class:`Registry` (the simulator shares the
+        kernel's); a fresh one is created otherwise.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        *,
+        clock: Callable[[], float] | None = None,
+        clock_kind: str = "wall",
+        registry: Registry | None = None,
+    ) -> None:
+        if clock_kind not in ("sim", "wall"):
+            raise ValueError(f"clock_kind must be 'sim' or 'wall', got {clock_kind!r}")
+        self._clock = clock if clock is not None else _time.monotonic
+        self.clock_kind = clock_kind
+        self.registry = registry if registry is not None else Registry()
+        self.events: list[ObsEvent] = []
+
+    def now(self) -> float:
+        return float(self._clock())
+
+    # -- generic emission ----------------------------------------------
+
+    def emit(
+        self,
+        kind: str,
+        *,
+        node: int | None = None,
+        mid: str | None = None,
+        time: float | None = None,
+        **extra: str | int | float | bool | None | list[str],
+    ) -> None:
+        """Append one span event (stamped now unless ``time`` given)."""
+        self.events.append(
+            ObsEvent(
+                time=self.now() if time is None else float(time),
+                kind=kind,
+                node=node,
+                mid=mid,
+                extra=dict(extra),
+            )
+        )
+
+    # -- span helpers (the taxonomy) -----------------------------------
+
+    def subrun(self, k: int, *, node: int | None = None, time: float | None = None) -> None:
+        """Subrun ``k`` opened (at ``node``, or group-wide if None)."""
+        self.emit(SPAN_SUBRUN, node=node, time=time, k=int(k))
+
+    def request(self, subrun: int, *, node: int, time: float | None = None) -> None:
+        """``node`` sent its per-subrun REQUEST to the coordinator."""
+        self.emit(SPAN_REQUEST, node=node, time=time, subrun=int(subrun))
+
+    def decision(
+        self,
+        number: int,
+        *,
+        node: int,
+        subrun: int | None = None,
+        applied: bool = False,
+        time: float | None = None,
+    ) -> None:
+        """Decision ``number`` broadcast by (or ``applied`` at) ``node``."""
+        self.emit(
+            SPAN_DECISION,
+            node=node,
+            time=time,
+            number=int(number),
+            subrun=None if subrun is None else int(subrun),
+            applied=applied,
+        )
+
+    def generated(
+        self,
+        mid: object,
+        deps: tuple[object, ...] = (),
+        *,
+        node: int,
+        time: float | None = None,
+    ) -> None:
+        """``node`` generated message ``mid`` with declared ``deps``."""
+        self.emit(
+            SPAN_GENERATED,
+            node=node,
+            mid=mid_label(mid),
+            time=time,
+            deps=[mid_label(dep) for dep in deps],
+        )
+
+    def processed(self, mid: object, *, node: int, time: float | None = None) -> None:
+        """``node`` processed (delivered) message ``mid``."""
+        self.emit(SPAN_PROCESSED, node=node, mid=mid_label(mid), time=time)
+
+    def discarded(
+        self, mid: object, *, node: int, count: int = 1, time: float | None = None
+    ) -> None:
+        """The orphan rule destroyed ``mid`` (and ``count-1`` dependents)."""
+        self.emit(
+            SPAN_DISCARDED, node=node, mid=mid_label(mid), time=time, count=int(count)
+        )
+
+    def clear(self) -> None:
+        self.events.clear()
+
+
+class _NullRegistry(Registry):
+    """A registry that swallows writes (reads return inert metrics)."""
+
+    __slots__ = ()
+
+    def count(self, name: str, amount: int = 1, **labels: object) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: float, **labels: object) -> None:
+        pass
+
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        pass
+
+    def sample(self, name: str, time: float, value: float, **labels: object) -> None:
+        pass
+
+
+class NullRecorder(Recorder):
+    """The disabled recorder: every write is a no-op.
+
+    Instrumented code can hold one unconditionally; hot paths should
+    still guard span blocks with ``recorder.enabled`` so argument
+    construction is skipped too.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(clock=lambda: 0.0, clock_kind="wall", registry=_NullRegistry())
+
+    def emit(
+        self,
+        kind: str,
+        *,
+        node: int | None = None,
+        mid: str | None = None,
+        time: float | None = None,
+        **extra: str | int | float | bool | None | list[str],
+    ) -> None:
+        pass
+
+
+#: Shared disabled instance (safe: it holds no state).
+NULL_RECORDER = NullRecorder()

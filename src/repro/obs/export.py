@@ -1,0 +1,229 @@
+"""Exporters: JSONL traces, Prometheus text, bench JSON.
+
+Three consumers, three formats:
+
+* **JSONL trace** — one JSON object per line; the first line is a
+  ``meta`` record (clock kind, schema version, free-form run info),
+  span events follow in emission order, and the registry state is
+  flushed at the end as ``metric`` records.  ``python -m repro
+  report`` renders these back into tables.
+* **Prometheus text** — ``name{label="v"} value`` lines for counters
+  and gauges, plus quantile rows for histograms, for scraping or
+  diffing.
+* **Bench JSON** — the ``BENCH_<name>.json`` artifact every benchmark
+  module emits (via ``benchmarks/conftest.py``), seeding the perf
+  trajectory CI uploads.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable
+
+from .events import MetricRecord, ObsEvent, Recorder
+from .metrics import Counter, Gauge, Histogram, Registry, Series
+
+__all__ = [
+    "events_as_dicts",
+    "registry_records",
+    "write_jsonl",
+    "dump_jsonl",
+    "read_jsonl",
+    "prometheus_text",
+    "bench_payload",
+    "write_bench_json",
+]
+
+#: Bumped when the JSONL record layout changes incompatibly.
+TRACE_SCHEMA_VERSION = 1
+
+
+def events_as_dicts(events: Iterable[ObsEvent]) -> list[dict]:
+    """Span events as JSON-ready dicts (``ev`` discriminates kinds)."""
+    out = []
+    for event in events:
+        record: dict = {"ev": event.kind, "t": event.time}
+        if event.node is not None:
+            record["node"] = event.node
+        if event.mid is not None:
+            record["mid"] = event.mid
+        for key, value in event.extra.items():
+            if value is not None:
+                record[key] = value
+        out.append(record)
+    return out
+
+
+def registry_records(registry: Registry) -> list[MetricRecord]:
+    """Flush a registry's current state to :class:`MetricRecord` rows."""
+    records = []
+    for family, name, labels, metric in registry.walk():
+        label_map = dict(labels)
+        if isinstance(metric, Counter):
+            records.append(
+                MetricRecord(name, family, label_map, value=float(metric.value))
+            )
+        elif isinstance(metric, Gauge):
+            records.append(MetricRecord(name, family, label_map, value=metric.value))
+        elif isinstance(metric, (Histogram, Series)):
+            summary = metric.summary()
+            records.append(
+                MetricRecord(name, family, label_map, summary=summary.as_dict())
+            )
+    return records
+
+
+def _metric_record_dict(record: MetricRecord) -> dict:
+    out: dict = {
+        "ev": "metric",
+        "name": record.name,
+        "family": record.family,
+        "labels": record.labels,
+    }
+    if record.value is not None:
+        out["value"] = record.value
+    if record.summary is not None:
+        out["summary"] = record.summary
+    return out
+
+
+def dump_jsonl(recorder: Recorder, **meta: object) -> str:
+    """Serialize a recorder's run to JSONL text (meta, events, metrics)."""
+    header = {
+        "ev": "meta",
+        "version": TRACE_SCHEMA_VERSION,
+        "clock": recorder.clock_kind,
+        **meta,
+    }
+    lines = [json.dumps(header, sort_keys=True)]
+    lines.extend(json.dumps(rec, sort_keys=True) for rec in events_as_dicts(recorder.events))
+    lines.extend(
+        json.dumps(_metric_record_dict(rec), sort_keys=True)
+        for rec in registry_records(recorder.registry)
+    )
+    return "\n".join(lines) + "\n"
+
+
+def write_jsonl(path: str, recorder: Recorder, **meta: object) -> None:
+    """Write the run's JSONL trace to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(dump_jsonl(recorder, **meta))
+
+
+def read_jsonl(source: str | IO[str]) -> list[dict]:
+    """Parse a JSONL trace back into record dicts (blank lines skipped)."""
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as fh:
+            text = fh.read()
+    else:
+        text = source.read()
+    records = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"trace line {lineno} is not valid JSON: {exc}") from exc
+    return records
+
+
+# ----------------------------------------------------------------------
+# Prometheus-style text dump
+# ----------------------------------------------------------------------
+
+
+def _prom_name(name: str) -> str:
+    return "repro_" + "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+
+
+def _prom_labels(labels: tuple[tuple[str, str], ...], extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = [*labels, *extra]
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def _prom_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_text(registry: Registry) -> str:
+    """Prometheus exposition-format dump of the registry state.
+
+    Counters and gauges are single samples; histograms and series
+    render as summary metrics (``_count``, ``_sum``, and exact
+    ``quantile`` rows for p50/p95/p99).
+    """
+    lines: list[str] = []
+    typed: set[str] = set()
+    for family, name, labels, metric in registry.walk():
+        prom = _prom_name(name)
+        if isinstance(metric, Counter):
+            if prom not in typed:
+                typed.add(prom)
+                lines.append(f"# TYPE {prom} counter")
+            lines.append(f"{prom}{_prom_labels(labels)} {metric.value}")
+        elif isinstance(metric, Gauge):
+            if prom not in typed:
+                typed.add(prom)
+                lines.append(f"# TYPE {prom} gauge")
+            lines.append(f"{prom}{_prom_labels(labels)} {_prom_value(metric.value)}")
+        elif isinstance(metric, (Histogram, Series)):
+            if isinstance(metric, Series):
+                samples = metric.values
+                histogram = Histogram()
+                for value in samples:
+                    histogram.observe(value)
+            else:
+                histogram = metric
+            if prom not in typed:
+                typed.add(prom)
+                lines.append(f"# TYPE {prom} summary")
+            for q in (0.5, 0.95, 0.99):
+                lines.append(
+                    f"{prom}{_prom_labels(labels, (('quantile', str(q)),))} "
+                    f"{_prom_value(histogram.percentile(q))}"
+                )
+            lines.append(f"{prom}_count{_prom_labels(labels)} {histogram.count}")
+            lines.append(f"{prom}_sum{_prom_labels(labels)} {_prom_value(histogram.sum)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+# Bench exporter
+# ----------------------------------------------------------------------
+
+
+def bench_payload(name: str, results: list[dict]) -> dict:
+    """The ``BENCH_<name>.json`` schema: summary stats keyed by test.
+
+    ``results`` rows come from pytest-benchmark's ``Metadata.as_dict``
+    (data excluded); each carries the timing stats plus whatever
+    ``extra_info`` the benchmark attached (scenario tables, figure
+    rows), so the perf trajectory keeps the qualitative context too.
+    """
+    return {
+        "bench": name,
+        "schema": 1,
+        "results": {
+            row.get("name", f"result-{i}"): {
+                "stats": row.get("stats", {}),
+                "extra_info": row.get("extra_info", {}),
+                "group": row.get("group"),
+            }
+            for i, row in enumerate(results)
+        },
+    }
+
+
+def write_bench_json(path: str, name: str, results: list[dict]) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(bench_payload(name, results), fh, indent=2, sort_keys=True)
+        fh.write("\n")

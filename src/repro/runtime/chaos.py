@@ -36,7 +36,7 @@ from ..errors import RuntimeTransportError, UnknownAddressError
 from ..net.addressing import Address, GroupAddress, UnicastAddress
 from ..net.faults import FaultPlan
 from ..net.packet import Packet
-from ..net.stats import NetworkStats
+from ..net.stats import MetricSink, NetworkStats
 from ..types import ProcessId
 
 __all__ = ["ChaosFabric"]
@@ -96,6 +96,17 @@ class ChaosFabric:
         self.dropped_count = 0
         self.delivered_count = 0
         self.duplicated_count = 0
+        self._registry: MetricSink | None = None
+
+    def bind_registry(self, registry: MetricSink) -> None:
+        """Mirror traffic accounting into a shared observability
+        registry: the per-kind send/deliver/drop counters (via
+        :meth:`NetworkStats.bind`, prefix ``chaos``) plus a
+        ``chaos.duplicated`` counter for the fabric's own duplication
+        fault.  :class:`~repro.runtime.node.AsyncGroup` calls this when
+        observability is enabled."""
+        self.stats.bind(registry, prefix="chaos")
+        self._registry = registry
 
     # -- fabric surface --------------------------------------------------
 
@@ -168,6 +179,8 @@ class ChaosFabric:
             self._deliver_copy(src, target, data, kind, packet)
             if self.duplication and self._rng.random() < self.duplication:
                 self.duplicated_count += 1
+                if self._registry is not None:
+                    self._registry.count("chaos.duplicated", kind=kind)
                 self._deliver_copy(src, target, data, kind, packet)
 
     # -- lifecycle helpers -----------------------------------------------

@@ -30,6 +30,7 @@ from ..core.message import DecisionMessage, RequestMessage, UserMessage
 from ..core.mid import Mid
 from ..net.addressing import BROADCAST_GROUP
 from ..net.wire import decode_message, encode_message
+from ..obs import NULL_RECORDER, Recorder, write_jsonl
 from ..storage import GroupStorage, NodeStorage, restore_member, snapshot_of
 from ..types import ProcessId, SubrunNo
 from .lan import AsyncLan
@@ -62,6 +63,10 @@ class AsyncNode:
         processed peer message, and every adopted decision, snapshots on
         the storage's cadence, and supports :meth:`recover` after a
         :meth:`crash`.
+    recorder:
+        Span recorder shared across the group (wall clock).  Defaults
+        to the no-op recorder; :class:`AsyncGroup` wires a live one
+        when ``config.observability`` is set.
     """
 
     def __init__(
@@ -74,10 +79,15 @@ class AsyncNode:
         adaptive_timer: AdaptiveRoundTimer | None = None,
         on_indication: IndicationCallback | None = None,
         storage: NodeStorage | None = None,
+        recorder: Recorder | None = None,
     ) -> None:
         self.pid = pid
         self.config = config
         self.storage = storage
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        self._obs = self.recorder.enabled
+        if self._obs and storage is not None:
+            storage.bind_registry(self.recorder.registry)
         self.member = Member(pid, config)
         self._lan = lan
         self._endpoint = lan.attach(pid)
@@ -194,6 +204,8 @@ class AsyncNode:
 
     async def _ticker(self) -> None:
         while not self._stopped.is_set() and not self.member.has_left:
+            if self._obs and self._round % 2 == 0:
+                self.recorder.subrun(self._round // 2, node=int(self.pid))
             self._execute(self.member.on_round(self._round))
             self._round += 1
             interval = (
@@ -219,28 +231,46 @@ class AsyncNode:
                     int(message.decision.number), None
                 )
                 if sent is not None:
-                    self.adaptive_timer.observe(loop.time() - sent)
+                    rtt = loop.time() - sent
+                    self.adaptive_timer.observe(rtt)
+                    if self._obs:
+                        self.recorder.registry.observe(
+                            "runtime.rtt", rtt, node=int(self.pid)
+                        )
             self._execute(self.member.on_message(message))
 
     def _execute(self, effects: list[Effect]) -> None:
         for effect in effects:
             if isinstance(effect, Send):
-                if (
-                    self.adaptive_timer is not None
-                    and isinstance(effect.message, RequestMessage)
-                ):
-                    self._request_sent_at[int(effect.message.subrun)] = (
-                        asyncio.get_running_loop().time()
-                    )
-                    # Bound the table: forget ancient unanswered probes.
-                    if len(self._request_sent_at) > 64:
-                        oldest = min(self._request_sent_at)
-                        del self._request_sent_at[oldest]
-                if (
+                if isinstance(effect.message, RequestMessage):
+                    if self.adaptive_timer is not None:
+                        self._request_sent_at[int(effect.message.subrun)] = (
+                            asyncio.get_running_loop().time()
+                        )
+                        # Bound the table: forget ancient unanswered probes.
+                        if len(self._request_sent_at) > 64:
+                            oldest = min(self._request_sent_at)
+                            del self._request_sent_at[oldest]
+                    if self._obs:
+                        self.recorder.request(
+                            int(effect.message.subrun), node=int(self.pid)
+                        )
+                elif isinstance(effect.message, DecisionMessage):
+                    if self._obs:
+                        self.recorder.decision(
+                            int(effect.message.decision.number), node=int(self.pid)
+                        )
+                elif (
                     isinstance(effect.message, UserMessage)
                     and effect.message.mid.origin == self.pid
                 ):
                     self.generated_mids.append(effect.message.mid)
+                    if self._obs:
+                        self.recorder.generated(
+                            effect.message.mid,
+                            effect.message.deps,
+                            node=int(self.pid),
+                        )
                     if self.storage is not None:
                         # Log-before-send: a sent message is always in
                         # the WAL, so recovery never reuses its seq.
@@ -250,6 +280,8 @@ class AsyncNode:
                 )
             elif isinstance(effect, Deliver):
                 self.delivered.append(effect.message)
+                if self._obs:
+                    self.recorder.processed(effect.message.mid, node=int(self.pid))
                 if (
                     self.storage is not None
                     and effect.message.mid.origin != self.pid
@@ -262,7 +294,19 @@ class AsyncNode:
                 self.confirmed_mids.append(effect.mid)
             elif isinstance(effect, Discarded):
                 self.discarded_mids.extend((effect.lost, *effect.discarded))
+                if self._obs:
+                    self.recorder.discarded(
+                        effect.lost,
+                        node=int(self.pid),
+                        count=1 + len(effect.discarded),
+                    )
             elif isinstance(effect, DecisionApplied):
+                if self._obs:
+                    self.recorder.decision(
+                        int(effect.decision.number),
+                        node=int(self.pid),
+                        applied=True,
+                    )
                 if self.storage is not None:
                     self.storage.log_decision(effect.decision)
             elif isinstance(effect, Rejoined):
@@ -294,6 +338,15 @@ class AsyncGroup:
         self.config = config
         self.lan = lan or AsyncLan()
         self.storage = storage
+        #: Span recorder shared by every node (no-op unless
+        #: ``config.observability``); wall-clock timestamps.
+        self.recorder: Recorder = (
+            Recorder(clock_kind="wall") if config.observability else NULL_RECORDER
+        )
+        if self.recorder.enabled:
+            bind = getattr(self.lan, "bind_registry", None)
+            if bind is not None:
+                bind(self.recorder.registry)
         self.nodes = [
             AsyncNode(
                 ProcessId(i),
@@ -302,9 +355,19 @@ class AsyncGroup:
                 round_interval=round_interval,
                 on_indication=on_indication,
                 storage=storage.node(ProcessId(i)) if storage is not None else None,
+                recorder=self.recorder,
             )
             for i in range(config.n)
         ]
+
+    def write_trace(self, path: str, **meta: object) -> None:
+        """Export the run's JSONL trace (requires observability on)."""
+        if not self.recorder.enabled:
+            raise RuntimeError(
+                "observability is disabled; construct the group with "
+                "UrcgcConfig(observability=True)"
+            )
+        write_jsonl(path, self.recorder, runner="live", n=self.config.n, **meta)
 
     def start(self) -> None:
         for node in self.nodes:

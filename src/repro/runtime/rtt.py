@@ -20,13 +20,33 @@ __all__ = ["RttEstimator", "AdaptiveRoundTimer"]
 
 
 class RttEstimator:
-    """Smoothed RTT with mean deviation (RFC 6298-style)."""
+    """Smoothed RTT with mean deviation (RFC 6298-style).
 
-    def __init__(self, *, alpha: float = 0.125, beta: float = 0.25) -> None:
+    ``initial_timeout`` is the pre-sample retransmission timeout (RFC
+    6298 §2.1 mandates a conservative initial RTO — 1 second here):
+    before the first sample, :meth:`timeout` has no estimate to bound,
+    and returning a zero deadline would make a retransmit/suspicion
+    caller spin.  Pass ``initial_timeout=None`` to opt out, in which
+    case every pre-sample :meth:`timeout` call must supply a positive
+    ``floor``.
+    """
+
+    def __init__(
+        self,
+        *,
+        alpha: float = 0.125,
+        beta: float = 0.25,
+        initial_timeout: float | None = 1.0,
+    ) -> None:
         if not 0 < alpha < 1 or not 0 < beta < 1:
             raise ConfigError("alpha and beta must be in (0, 1)")
+        if initial_timeout is not None and initial_timeout <= 0:
+            raise ConfigError(
+                f"initial_timeout must be > 0 (or None), got {initial_timeout}"
+            )
         self.alpha = alpha
         self.beta = beta
+        self.initial_timeout = initial_timeout
         self._srtt: float | None = None
         self._rttvar: float = 0.0
         self.samples = 0
@@ -55,9 +75,23 @@ class RttEstimator:
         self._srtt = (1 - self.alpha) * self._srtt + self.alpha * rtt
 
     def timeout(self, *, k: float = 4.0, floor: float = 0.0) -> float:
-        """A conservative bound: ``srtt + k * rttvar`` (>= floor)."""
+        """A conservative bound: ``srtt + k * rttvar`` (>= floor).
+
+        Before the first sample there is no estimate; the result is
+        then ``max(initial_timeout, floor)`` — never the bare (default
+        0.0) floor, which would spin a retransmit or suspicion loop.
+        With ``initial_timeout=None`` a positive ``floor`` is required
+        pre-sample.
+        """
         if self._srtt is None:
-            return floor
+            if self.initial_timeout is None:
+                if floor <= 0:
+                    raise ConfigError(
+                        "no RTT sample yet: timeout() needs a positive floor "
+                        "when initial_timeout is None"
+                    )
+                return floor
+            return max(self.initial_timeout, floor)
         return max(self._srtt + k * self._rttvar, floor)
 
 
@@ -86,7 +120,9 @@ class AdaptiveRoundTimer:
         self.initial = initial
         self.min_interval = min_interval
         self.max_interval = max_interval
-        self.estimator = estimator or RttEstimator()
+        # One round is half an rtd, so the pre-sample rtd guess that is
+        # consistent with `initial` is twice it.
+        self.estimator = estimator or RttEstimator(initial_timeout=2 * initial)
 
     def observe(self, rtt: float) -> None:
         self.estimator.observe(rtt)

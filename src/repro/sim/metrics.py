@@ -1,155 +1,34 @@
-"""Lightweight metrics: counters, time series, and summary statistics.
+"""Simulation metrics — now a façade over :mod:`repro.obs.metrics`.
 
-The experiment harness aggregates everything the paper's evaluation
-reports — mean end-to-end delay, control-message counts and byte
-volumes, history occupancy over time — from these primitives.
+The seed-era ``MetricSet`` bag grew into the unified observability
+registry (:class:`repro.obs.Registry`): counters, gauges, time series
+and exact-percentile histograms, shared by the simulator kernel, the
+asyncio runtime, the fault fabrics and the storage layer.  This module
+re-exports the primitives under their historical names so existing
+imports (``from repro.sim.metrics import ...``) keep working;
+``MetricSet`` is an alias of ``Registry``.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from ..obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricSet,
+    Registry,
+    Series,
+    Summary,
+    summarize,
+)
 
-from ..types import Time
-
-__all__ = ["Counter", "Series", "Summary", "summarize", "MetricSet"]
-
-
-class Counter:
-    """A monotonic named counter."""
-
-    def __init__(self) -> None:
-        self.value = 0
-
-    def add(self, amount: int = 1) -> None:
-        if amount < 0:
-            raise ValueError("counters are monotonic; use a Series for gauges")
-        self.value += amount
-
-    def __int__(self) -> int:
-        return self.value
-
-    def __repr__(self) -> str:
-        return f"Counter({self.value})"
-
-
-class Series:
-    """A time series of ``(time, value)`` samples."""
-
-    def __init__(self) -> None:
-        self._samples: list[tuple[Time, float]] = []
-
-    def record(self, time: Time, value: float) -> None:
-        self._samples.append((time, value))
-
-    def __len__(self) -> int:
-        return len(self._samples)
-
-    def __iter__(self) -> Iterator[tuple[Time, float]]:
-        return iter(self._samples)
-
-    @property
-    def times(self) -> list[Time]:
-        return [t for t, _ in self._samples]
-
-    @property
-    def values(self) -> list[float]:
-        return [v for _, v in self._samples]
-
-    def max(self) -> float:
-        """Largest sampled value (0.0 for an empty series)."""
-        return max((v for _, v in self._samples), default=0.0)
-
-    def last(self) -> float | None:
-        return self._samples[-1][1] if self._samples else None
-
-    def at_or_before(self, time: Time) -> float | None:
-        """Value of the latest sample with timestamp <= ``time``."""
-        best = None
-        for t, v in self._samples:
-            if t <= time:
-                best = v
-            else:
-                break
-        return best
-
-
-@dataclass(frozen=True)
-class Summary:
-    """Summary statistics of a sample set."""
-
-    count: int
-    mean: float
-    stdev: float
-    minimum: float
-    maximum: float
-    p50: float
-    p95: float
-
-    def __str__(self) -> str:  # human-readable one-liner for reports
-        return (
-            f"n={self.count} mean={self.mean:.3f} sd={self.stdev:.3f} "
-            f"min={self.minimum:.3f} p50={self.p50:.3f} p95={self.p95:.3f} "
-            f"max={self.maximum:.3f}"
-        )
-
-
-def _percentile(ordered: list[float], q: float) -> float:
-    """Linear-interpolation percentile of a pre-sorted sample."""
-    if not ordered:
-        raise ValueError("empty sample")
-    if len(ordered) == 1:
-        return ordered[0]
-    pos = q * (len(ordered) - 1)
-    lo = math.floor(pos)
-    hi = math.ceil(pos)
-    frac = pos - lo
-    return ordered[lo] * (1 - frac) + ordered[hi] * frac
-
-
-def summarize(samples: Iterable[float]) -> Summary:
-    """Compute :class:`Summary` statistics over ``samples``."""
-    data = sorted(samples)
-    if not data:
-        return Summary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
-    n = len(data)
-    mean = sum(data) / n
-    var = sum((x - mean) ** 2 for x in data) / n
-    return Summary(
-        count=n,
-        mean=mean,
-        stdev=math.sqrt(var),
-        minimum=data[0],
-        maximum=data[-1],
-        p50=_percentile(data, 0.50),
-        p95=_percentile(data, 0.95),
-    )
-
-
-@dataclass
-class MetricSet:
-    """A named bag of counters and series, shared by one simulation."""
-
-    counters: dict[str, Counter] = field(default_factory=dict)
-    series: dict[str, Series] = field(default_factory=dict)
-
-    def counter(self, name: str) -> Counter:
-        """Return (creating if needed) the counter ``name``."""
-        ctr = self.counters.get(name)
-        if ctr is None:
-            ctr = self.counters[name] = Counter()
-        return ctr
-
-    def series_for(self, name: str) -> Series:
-        """Return (creating if needed) the series ``name``."""
-        ser = self.series.get(name)
-        if ser is None:
-            ser = self.series[name] = Series()
-        return ser
-
-    def count(self, name: str, amount: int = 1) -> None:
-        self.counter(name).add(amount)
-
-    def sample(self, name: str, time: Time, value: float) -> None:
-        self.series_for(name).record(time, value)
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Series",
+    "Summary",
+    "summarize",
+    "MetricSet",
+    "Registry",
+]

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from ..core.decision import Decision
 from ..core.message import UserMessage
+from ..net.stats import MetricSink
 from ..types import ProcessId
 from .backend import MemoryBackend, StorageBackend
 from .snapshot import MemberSnapshot, decode_snapshot, encode_snapshot
@@ -49,20 +50,34 @@ class NodeStorage:
         self.records_since_snapshot = 0
         #: Snapshots taken over this instance's lifetime.
         self.snapshots_taken = 0
+        self._registry: MetricSink | None = None
+
+    def bind_registry(self, registry: MetricSink) -> None:
+        """Mirror WAL/snapshot activity into a shared observability
+        registry as ``storage.wal_records`` (labelled by record kind)
+        and ``storage.snapshots`` counters."""
+        self._registry = registry
+
+    def _count_record(self, kind: str) -> None:
+        self.records_since_snapshot += 1
+        if self._registry is not None:
+            self._registry.count(
+                "storage.wal_records", kind=kind, node=int(self.pid)
+            )
 
     # -- logging -------------------------------------------------------
 
     def log_generated(self, message: UserMessage) -> None:
         self.wal.append_generated(message)
-        self.records_since_snapshot += 1
+        self._count_record("generated")
 
     def log_processed(self, message: UserMessage) -> None:
         self.wal.append_processed(message)
-        self.records_since_snapshot += 1
+        self._count_record("processed")
 
     def log_decision(self, decision: Decision) -> None:
         self.wal.append_decision(decision)
-        self.records_since_snapshot += 1
+        self._count_record("decision")
 
     # -- snapshots -----------------------------------------------------
 
@@ -75,6 +90,8 @@ class NodeStorage:
         self.wal.reset()
         self.records_since_snapshot = 0
         self.snapshots_taken += 1
+        if self._registry is not None:
+            self._registry.count("storage.snapshots", node=int(self.pid))
 
     # -- recovery ------------------------------------------------------
 

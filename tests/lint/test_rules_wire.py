@@ -148,3 +148,71 @@ def test_bad_wire_fixture_trips_every_w_rule():
     result = run_lint([FIXTURES / "bad_wire.py"])
     found = {v.rule for v in result.violations}
     assert {"W301", "W302", "W303", "W304"} <= found
+
+
+# -- W305: JSON-encodable event/record fields -------------------------------
+
+GOOD_EVENT = """
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    time: float
+    kind: str
+    node: int | None = None
+    extra: dict[str, str | int | float | bool | None | list[str]] = field(
+        default_factory=dict
+    )
+
+
+@dataclass(frozen=True)
+class MetricRecord:
+    name: str
+    labels: dict[str, str]
+    value: float | None = None
+"""
+
+
+def test_w305_json_fields_are_quiet():
+    assert rules_of(GOOD_EVENT, module="repro.obs.fixture") == []
+
+
+def test_w305_flags_non_json_field():
+    source = GOOD_EVENT.replace("time: float", "time: bytes")
+    assert rules_of(source, module="repro.obs.fixture") == ["W305"]
+
+
+def test_w305_flags_arbitrary_class_annotation():
+    source = GOOD_EVENT.replace("kind: str", "kind: Mid")
+    assert rules_of(source, module="repro.obs.fixture") == ["W305"]
+
+
+def test_w305_string_annotations_resolve():
+    source = GOOD_EVENT.replace("node: int | None = None", 'node: "int | None" = None')
+    assert rules_of(source, module="repro.obs.fixture") == []
+
+
+def test_w305_scoped_to_obs():
+    source = GOOD_EVENT.replace("time: float", "time: bytes")
+    assert rules_of(source, module="repro.core.fixture") == []
+
+
+def test_w305_ignores_non_dataclass_and_other_names():
+    source = """
+class PlainEvent:
+    time: bytes
+
+from dataclasses import dataclass
+
+@dataclass
+class Helper:
+    blob: bytes
+"""
+    assert rules_of(source, module="repro.obs.fixture") == []
+
+
+def test_w305_real_obs_records_are_clean():
+    events = Path(__file__).parents[2] / "src" / "repro" / "obs" / "events.py"
+    result = run_lint([events])
+    assert not [v for v in result.violations if v.rule == "W305"]

@@ -1,0 +1,115 @@
+"""Tests for the JSONL, Prometheus, and bench exporters."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    Recorder,
+    Registry,
+    bench_payload,
+    events_as_dicts,
+    prometheus_text,
+    read_jsonl,
+    registry_records,
+    write_bench_json,
+    write_jsonl,
+)
+
+
+def _recorder() -> Recorder:
+    ticks = iter(float(i) for i in range(100))
+    recorder = Recorder(clock=lambda: next(ticks), clock_kind="sim")
+    recorder.subrun(0)
+    recorder.generated("p0:1", node=0)
+    recorder.processed("p0:1", node=1)
+    recorder.registry.count("net.sent", 3, kind="data")
+    recorder.registry.observe("rtt", 0.25, node=1)
+    recorder.registry.set_gauge("depth", 2.0)
+    return recorder
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        recorder = _recorder()
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(str(path), recorder, runner="test", n=2)
+        records = read_jsonl(str(path))
+        meta = records[0]
+        assert meta["ev"] == "meta"
+        assert meta["clock"] == "sim"
+        assert meta["runner"] == "test"
+        assert meta["version"] == 1
+        kinds = [r["ev"] for r in records[1:]]
+        assert kinds[:3] == ["subrun", "generated", "processed"]
+        assert all(kind == "metric" for kind in kinds[3:])
+        assert len([k for k in kinds if k == "metric"]) == 3
+
+    def test_every_line_is_json(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(str(path), _recorder())
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+    def test_read_reports_bad_line(self):
+        stream = io.StringIO('{"ev": "meta"}\nnot json\n')
+        with pytest.raises(ValueError, match="line 2"):
+            read_jsonl(stream)
+
+    def test_none_extras_dropped(self):
+        recorder = Recorder(clock=lambda: 0.0)
+        recorder.decision(4, node=0)  # subrun=None stays out of the record
+        (record,) = events_as_dicts(recorder.events)
+        assert "subrun" not in record
+        assert record["number"] == 4
+
+    def test_registry_records_split_value_vs_summary(self):
+        records = {r.name: r for r in registry_records(_recorder().registry)}
+        assert records["net.sent"].value == 3.0
+        assert records["net.sent"].summary is None
+        assert records["rtt"].value is None
+        assert records["rtt"].summary["count"] == 1
+        assert records["depth"].value == 2.0
+
+
+class TestPrometheus:
+    def test_exposition_shape(self):
+        text = prometheus_text(_recorder().registry)
+        assert '# TYPE repro_net_sent counter' in text
+        assert 'repro_net_sent{kind="data"} 3' in text
+        assert '# TYPE repro_rtt summary' in text
+        assert 'repro_rtt{node="1",quantile="0.5"} 0.25' in text
+        assert 'repro_rtt_count{node="1"} 1' in text
+        assert '# TYPE repro_depth gauge' in text
+
+    def test_empty_registry(self):
+        assert prometheus_text(Registry()) == ""
+
+    def test_series_render_as_summary(self):
+        registry = Registry()
+        for t, v in enumerate([1.0, 2.0, 3.0]):
+            registry.sample("hist", float(t), v)
+        text = prometheus_text(registry)
+        assert 'repro_hist{quantile="0.5"} 2' in text
+        assert "repro_hist_count 3" in text
+
+
+class TestBenchExport:
+    ROWS = [
+        {"name": "test_a", "stats": {"mean": 0.5}, "extra_info": {"n": 8}},
+        {"name": "test_b", "stats": {"mean": 1.5}, "extra_info": {}, "group": "g"},
+    ]
+
+    def test_payload_schema(self):
+        payload = bench_payload("test_module", self.ROWS)
+        assert payload["bench"] == "test_module"
+        assert payload["schema"] == 1
+        assert payload["results"]["test_a"]["stats"]["mean"] == 0.5
+        assert payload["results"]["test_b"]["group"] == "g"
+
+    def test_write(self, tmp_path):
+        path = tmp_path / "BENCH_test_module.json"
+        write_bench_json(str(path), "test_module", self.ROWS)
+        payload = json.loads(path.read_text())
+        assert set(payload["results"]) == {"test_a", "test_b"}

@@ -1,0 +1,95 @@
+"""Tests for the span recorder and the disabled (null) path."""
+
+import pytest
+
+from repro.core.mid import Mid
+from repro.obs import NULL_RECORDER, NullRecorder, Recorder, mid_label
+from repro.types import ProcessId, SeqNo
+
+
+def _mid(origin: int, seq: int) -> Mid:
+    return Mid(ProcessId(origin), SeqNo(seq))
+
+
+class TestRecorder:
+    def test_clock_stamps_events(self):
+        ticks = iter([1.5, 2.5])
+        recorder = Recorder(clock=lambda: next(ticks), clock_kind="sim")
+        recorder.subrun(0)
+        recorder.subrun(1)
+        assert [event.time for event in recorder.events] == [1.5, 2.5]
+
+    def test_explicit_time_wins(self):
+        recorder = Recorder(clock=lambda: 99.0, clock_kind="sim")
+        recorder.processed(_mid(0, 1), node=0, time=3.0)
+        assert recorder.events[0].time == 3.0
+
+    def test_span_taxonomy(self):
+        recorder = Recorder(clock=lambda: 0.0, clock_kind="sim")
+        recorder.subrun(2)
+        recorder.generated(_mid(1, 1), (_mid(0, 1),), node=1)
+        recorder.request(2, node=1)
+        recorder.decision(2, node=0)
+        recorder.decision(2, node=1, applied=True)
+        recorder.processed(_mid(1, 1), node=0)
+        recorder.discarded(_mid(2, 1), node=0, count=3)
+        kinds = [event.kind for event in recorder.events]
+        assert kinds == [
+            "subrun",
+            "generated",
+            "request",
+            "decision",
+            "decision",
+            "processed",
+            "discarded",
+        ]
+        generated = recorder.events[1]
+        assert generated.mid == "p1:1"
+        assert generated.extra["deps"] == ["p0:1"]
+        assert recorder.events[3].extra["applied"] is False
+        assert recorder.events[4].extra["applied"] is True
+        assert recorder.events[6].extra["count"] == 3
+
+    def test_clear(self):
+        recorder = Recorder(clock=lambda: 0.0)
+        recorder.subrun(0)
+        recorder.clear()
+        assert recorder.events == []
+
+    def test_clock_kind_validated(self):
+        with pytest.raises(ValueError):
+            Recorder(clock_kind="lamport")
+
+    def test_shares_registry(self):
+        from repro.obs import Registry
+
+        registry = Registry()
+        recorder = Recorder(registry=registry)
+        recorder.registry.count("x")
+        assert registry.counter("x").value == 1
+
+
+class TestMidLabel:
+    def test_mid(self):
+        assert mid_label(_mid(3, 7)) == "p3:7"
+
+    def test_fallback_str(self):
+        assert mid_label("already-a-label") == "already-a-label"
+
+
+class TestNullRecorder:
+    def test_disabled_and_shared(self):
+        assert NULL_RECORDER.enabled is False
+        assert isinstance(NULL_RECORDER, NullRecorder)
+
+    def test_emit_is_noop(self):
+        NULL_RECORDER.subrun(0)
+        NULL_RECORDER.generated(_mid(0, 1), node=0)
+        assert NULL_RECORDER.events == []
+
+    def test_registry_swallows_writes(self):
+        NULL_RECORDER.registry.count("x", kind="data")
+        NULL_RECORDER.registry.observe("h", 1.0)
+        NULL_RECORDER.registry.set_gauge("g", 1.0)
+        NULL_RECORDER.registry.sample("s", 0.0, 1.0)
+        assert list(NULL_RECORDER.registry.walk()) == []

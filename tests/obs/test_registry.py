@@ -1,0 +1,101 @@
+"""Unit tests for the labelled metric registry and its primitives."""
+
+import math
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricSet, Registry, Series
+
+
+class TestLabels:
+    def test_same_name_different_labels_are_distinct(self):
+        registry = Registry()
+        registry.count("net.sent", kind="data")
+        registry.count("net.sent", kind="ctrl-request")
+        registry.count("net.sent", kind="data")
+        assert registry.counter("net.sent", kind="data").value == 2
+        assert registry.counter("net.sent", kind="ctrl-request").value == 1
+
+    def test_label_order_is_canonical(self):
+        registry = Registry()
+        registry.count("x", node=1, kind="data")
+        registry.count("x", kind="data", node=1)
+        assert registry.counter("x", node=1, kind="data").value == 2
+
+    def test_label_values_stringified(self):
+        registry = Registry()
+        registry.count("x", node=3)
+        assert registry.counter("x", node="3").value == 1
+
+
+class TestFamilies:
+    def test_gauge(self):
+        registry = Registry()
+        registry.set_gauge("depth", 4.0, node=0)
+        registry.gauge("depth", node=0).add(1.0)
+        assert registry.gauge("depth", node=0).value == 5.0
+        assert float(Gauge()) == 0.0
+
+    def test_histogram_exact_percentiles(self):
+        registry = Registry()
+        for value in range(101):
+            registry.observe("rtt", float(value))
+        histogram = registry.histogram("rtt")
+        assert histogram.count == 101
+        assert histogram.percentile(0.5) == 50.0
+        assert histogram.percentile(0.95) == 95.0
+        assert histogram.percentile(0.99) == 99.0
+        assert histogram.sum == sum(range(101))
+
+    def test_histogram_empty_percentile_is_nan(self):
+        assert math.isnan(Histogram().percentile(0.5))
+
+    def test_histogram_out_of_order_observations(self):
+        histogram = Histogram()
+        for value in (5.0, 1.0, 3.0):
+            histogram.observe(value)
+        assert histogram.percentile(0.5) == 3.0
+
+    def test_series_time_indexed(self):
+        registry = Registry()
+        registry.sample("hist", 0.0, 1.0, node=2)
+        registry.sample("hist", 1.0, 4.0, node=2)
+        assert registry.series_for("hist", node=2).at_or_before(0.5) == 1.0
+
+    def test_walk_is_sorted_and_complete(self):
+        registry = Registry()
+        registry.count("b")
+        registry.count("a", kind="x")
+        registry.set_gauge("g", 1.0)
+        registry.observe("h", 2.0)
+        registry.sample("s", 0.0, 3.0)
+        rows = list(registry.walk())
+        families = [row[0] for row in rows]
+        assert families == ["counter", "counter", "gauge", "histogram", "series"]
+        counter_names = [row[1] for row in rows if row[0] == "counter"]
+        assert counter_names == ["a", "b"]
+
+
+class TestMetricSetCompatibility:
+    def test_metricset_is_registry(self):
+        assert MetricSet is Registry
+
+    def test_unlabelled_views(self):
+        registry = Registry()
+        registry.count("plain")
+        registry.count("labelled", kind="data")
+        registry.sample("s", 0.0, 1.0)
+        assert set(registry.counters) == {"plain"}
+        assert set(registry.series) == {"s"}
+
+    def test_counter_monotonic(self):
+        with pytest.raises(ValueError):
+            Counter().add(-1)
+
+    def test_series_max_and_len(self):
+        series = Series()
+        assert series.max() == 0.0
+        series.record(0.0, 2.0)
+        series.record(1.0, 7.0)
+        assert series.max() == 7.0
+        assert len(series) == 2

@@ -1,0 +1,115 @@
+"""Tests for timeline reconstruction and the report CLI."""
+
+import pytest
+
+from repro.harness.runner import main as repro_main
+from repro.obs import message_timeline, render_trace_report
+
+TRACE = [
+    {"ev": "meta", "version": 1, "clock": "sim", "runner": "sim", "n": 3},
+    {"ev": "subrun", "t": 0.0, "k": 0},
+    {"ev": "generated", "t": 0.0, "node": 0, "mid": "p0:1", "deps": []},
+    {"ev": "request", "t": 0.0, "node": 0, "subrun": 0},
+    {"ev": "generated", "t": 0.5, "node": 1, "mid": "p1:1", "deps": ["p0:1"]},
+    {"ev": "decision", "t": 0.5, "node": 2, "number": 0, "applied": False},
+    {"ev": "processed", "t": 0.5, "node": 0, "mid": "p0:1"},
+    {"ev": "processed", "t": 0.5, "node": 1, "mid": "p0:1"},
+    {"ev": "processed", "t": 1.0, "node": 2, "mid": "p0:1"},
+    {
+        "ev": "metric", "name": "net.sent", "family": "counter",
+        "labels": {"kind": "data"}, "value": 2.0,
+    },
+    {
+        "ev": "metric", "name": "rtt", "family": "histogram", "labels": {},
+        "summary": {"count": 2, "mean": 0.5, "p50": 0.5, "p95": 0.5,
+                    "p99": 0.5, "maximum": 0.5},
+    },
+]
+
+
+class TestMessageTimeline:
+    def test_default_is_first_generated(self):
+        timeline = message_timeline(TRACE)
+        assert timeline["mid"] == "p0:1"
+        assert timeline["origin"] == 0
+
+    def test_full_pipeline_stages(self):
+        timeline = message_timeline(TRACE, "p0:1")
+        stages = [stage for stage, _, _ in timeline["stages"]]
+        assert stages == [
+            "generated",
+            "requested",
+            "decided",
+            "processed@p0",
+            "processed@p1",
+            "processed@p2",
+        ]
+        assert timeline["group_processed"] == 1.0
+
+    def test_deps_preserved(self):
+        timeline = message_timeline(TRACE, "p1:1")
+        assert timeline["deps"] == ["p0:1"]
+        # p1:1 was never processed anywhere in this trace
+        assert timeline["group_processed"] is None
+
+    def test_unknown_mid_raises(self):
+        with pytest.raises(KeyError):
+            message_timeline(TRACE, "p9:9")
+
+    def test_empty_trace_raises(self):
+        with pytest.raises(KeyError):
+            message_timeline([{"ev": "meta"}])
+
+
+class TestRenderTraceReport:
+    def test_sections_present(self):
+        text = render_trace_report(TRACE)
+        assert "trace: " in text
+        assert "Span events" in text
+        assert "Counters and gauges" in text
+        assert "Histograms and series" in text
+        assert "Timeline of p0:1" in text
+
+    def test_mid_selection(self):
+        text = render_trace_report(TRACE, mid="p1:1")
+        assert "Timeline of p1:1" in text
+        assert "declared deps: p0:1" in text
+
+    def test_no_generated_messages_degrades_gracefully(self):
+        text = render_trace_report([{"ev": "meta"}, {"ev": "subrun", "t": 0.0}])
+        assert "no generated message" in text
+
+
+class TestReportCli:
+    def test_report_renders_file(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "trace.jsonl"
+        path.write_text("\n".join(json.dumps(r) for r in TRACE) + "\n")
+        assert repro_main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Timeline of p0:1" in out
+
+    def test_report_missing_file_errors(self, tmp_path, capsys):
+        assert repro_main(["report", str(tmp_path / "absent.jsonl")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_report_requires_trace_or_demo(self, capsys):
+        assert repro_main(["report"]) == 2
+        assert "TRACE path" in capsys.readouterr().err
+
+    def test_report_demo_writes_trace(self, tmp_path, capsys):
+        path = tmp_path / "demo.jsonl"
+        assert repro_main(["report", "--demo", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Timeline of" in out
+        assert path.exists()
+        from repro.obs import read_jsonl
+
+        records = read_jsonl(str(path))
+        assert records[0]["ev"] == "meta"
+        assert records[0]["runner"] == "sim"
+
+    def test_report_demo_without_path(self, capsys):
+        assert repro_main(["report", "--demo"]) == 0
+        assert "Span events" in capsys.readouterr().out

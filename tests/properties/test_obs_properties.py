@@ -1,0 +1,77 @@
+"""Property tests for the observability metric primitives.
+
+The registry's histograms and ``summarize`` must agree — they are two
+paths to the same statistics (one incremental, one batch) — and the
+time-series index must behave like the obvious linear scan regardless
+of recording order.
+"""
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs import Histogram, Series, summarize
+
+finite_floats = st.floats(-1e6, 1e6, allow_nan=False)
+
+
+@given(st.lists(finite_floats, min_size=1, max_size=200))
+def test_histogram_percentiles_agree_with_summarize(samples):
+    histogram = Histogram()
+    for value in samples:
+        histogram.observe(value)
+    summary = summarize(samples)
+    assert histogram.count == summary.count
+    for q, expected in ((0.5, summary.p50), (0.95, summary.p95), (0.99, summary.p99)):
+        assert math.isclose(histogram.percentile(q), expected, rel_tol=1e-12, abs_tol=1e-12)
+    assert math.isclose(
+        histogram.summary().mean, summary.mean, rel_tol=1e-9, abs_tol=1e-9
+    )
+
+
+@given(st.lists(finite_floats, max_size=100))
+def test_histogram_summary_matches_batch_summarize(samples):
+    histogram = Histogram()
+    for value in samples:
+        histogram.observe(value)
+    assert histogram.summary() == summarize(samples)
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(0, 100, allow_nan=False), finite_floats),
+        min_size=1,
+        max_size=100,
+    ),
+    st.floats(-1, 101, allow_nan=False),
+)
+def test_series_at_or_before_matches_linear_scan(samples, query):
+    series = Series()
+    for time, value in samples:
+        series.record(time, value)
+    # Reference: last (by time, stable on ties) sample with t <= query.
+    eligible = [
+        (time, order, value)
+        for order, (time, value) in enumerate(samples)
+        if time <= query
+    ]
+    expected = max(eligible)[2] if eligible else None
+    assert series.at_or_before(query) == expected
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(0, 100, allow_nan=False), finite_floats), max_size=100
+    )
+)
+def test_series_readers_are_chronological(samples):
+    series = Series()
+    for time, value in samples:
+        series.record(time, value)
+    assert series.times == sorted(series.times)
+    assert list(series) == [
+        (t, v) for t, v in zip(series.times, series.values)
+    ]
+    if samples:
+        assert series.max() == max(v for _, v in samples)

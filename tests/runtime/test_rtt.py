@@ -37,15 +37,37 @@ class TestRttEstimator:
 
     def test_timeout_bound(self):
         estimator = RttEstimator()
-        assert estimator.timeout(floor=0.3) == 0.3  # no samples yet
         estimator.observe(0.1)
         assert estimator.timeout() >= 0.1
+
+    def test_pre_sample_timeout_is_conservative(self):
+        # Regression: timeout() before any sample used to return the
+        # bare floor — 0.0 by default — which spins a retransmit loop.
+        estimator = RttEstimator()
+        assert estimator.timeout() == 1.0  # RFC 6298 initial RTO
+        assert estimator.timeout(floor=0.3) == 1.0  # initial dominates
+        assert estimator.timeout(floor=2.5) == 2.5  # larger floor wins
+
+    def test_pre_sample_timeout_opt_out_requires_floor(self):
+        estimator = RttEstimator(initial_timeout=None)
+        assert estimator.timeout(floor=0.3) == 0.3
+        with pytest.raises(ConfigError):
+            estimator.timeout()  # no sample, no initial, no floor
+
+    def test_first_sample_supersedes_initial(self):
+        estimator = RttEstimator()
+        estimator.observe(0.1)
+        assert estimator.timeout() == pytest.approx(0.1 + 4 * 0.05)
 
     def test_validation(self):
         with pytest.raises(ConfigError):
             RttEstimator(alpha=0)
         with pytest.raises(ConfigError):
             RttEstimator().observe(-1)
+        with pytest.raises(ConfigError):
+            RttEstimator(initial_timeout=0.0)
+        with pytest.raises(ConfigError):
+            RttEstimator(initial_timeout=-1.0)
 
 
 class TestAdaptiveRoundTimer:

@@ -54,12 +54,52 @@ class TestSeries:
         assert series.at_or_before(1.5) == 10.0
         assert series.at_or_before(5.0) == 20.0
 
+    def test_at_or_before_out_of_order_samples(self):
+        # Regression: the scan used to break at the first timestamp
+        # above the query, returning the pre-gap value even when an
+        # out-of-order sample further down the list was the answer.
+        series = Series()
+        series.record(1.0, 10.0)
+        series.record(5.0, 50.0)
+        series.record(2.0, 20.0)  # recorded late, belongs at t=2
+        assert series.at_or_before(2.5) == 20.0
+        assert series.at_or_before(4.9) == 20.0
+        assert series.at_or_before(5.0) == 50.0
+
+    def test_out_of_order_reads_are_chronological(self):
+        series = Series()
+        series.record(3.0, 30.0)
+        series.record(1.0, 10.0)
+        series.record(2.0, 20.0)
+        assert series.times == [1.0, 2.0, 3.0]
+        assert series.values == [10.0, 20.0, 30.0]
+        assert series.last() == 30.0
+
+    def test_at_or_before_tie_keeps_latest_recorded(self):
+        series = Series()
+        series.record(1.0, 10.0)
+        series.record(1.0, 11.0)
+        assert series.at_or_before(1.0) == 11.0
+
 
 class TestSummarize:
-    def test_empty(self):
+    def test_empty_is_explicit(self):
         summary = summarize([])
         assert summary.count == 0
-        assert summary.mean == 0.0
+        assert summary.is_empty
+        assert math.isnan(summary.mean)
+        assert math.isnan(summary.p50)
+        assert math.isnan(summary.p95)
+        assert math.isnan(summary.minimum)
+        assert math.isnan(summary.maximum)
+        assert "no samples" in str(summary)
+        assert summary.as_dict() == {"count": 0}
+
+    def test_empty_is_not_all_zero_samples(self):
+        # Regression: summarize([]) used to fabricate min=max=p50=0.0,
+        # indistinguishable from a genuine all-zero sample set.
+        assert summarize([]) != summarize([0.0, 0.0])
+        assert summarize([]) == summarize([])
 
     def test_single(self):
         summary = summarize([3.0])
