@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Compare fresh ``BENCH_*.json`` exports against committed baselines.
+
+Stdlib-only (CI runs it without installing the package)::
+
+    python benchmarks/compare_bench.py \
+        --baseline-dir benchmarks/baselines --current-dir perf-artifacts
+
+For every baseline file, every test in it must exist in the current
+export, and two families of metrics are gated:
+
+* **Ratio metrics** — numeric ``extra_info`` keys containing
+  ``speedup``.  These are host-independent (both sides of the ratio ran
+  on the same machine), so the gate is tight: the current ratio may
+  fall at most ``--ratio-tolerance`` (default 35%) below the baseline.
+* **Timings** — ``stats.mean``.  Absolute times track the runner, so
+  the gate is deliberately loose: the current mean may be at most
+  ``--time-factor`` (default 6x) the baseline mean, catching
+  order-of-magnitude regressions without flaking on runner noise.
+
+After an intentional performance change, regenerate the baselines (see
+docs/PERFORMANCE.md) and commit them with the change.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def _load(path: pathlib.Path) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if payload.get("schema") != 1 or "results" not in payload:
+        raise SystemExit(f"{path}: not a schema-1 BENCH export")
+    return payload
+
+
+def compare(
+    baseline_dir: pathlib.Path,
+    current_dir: pathlib.Path,
+    *,
+    ratio_tolerance: float,
+    time_factor: float,
+) -> list[str]:
+    failures: list[str] = []
+    baselines = sorted(baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        return [f"no BENCH_*.json baselines under {baseline_dir}"]
+    for baseline_path in baselines:
+        current_path = current_dir / baseline_path.name
+        if not current_path.is_file():
+            failures.append(f"{baseline_path.name}: no current export")
+            continue
+        baseline = _load(baseline_path)["results"]
+        current = _load(current_path)["results"]
+        for test, base_row in sorted(baseline.items()):
+            cur_row = current.get(test)
+            if cur_row is None:
+                failures.append(f"{test}: missing from current export")
+                continue
+            for key, base_val in sorted(base_row.get("extra_info", {}).items()):
+                if "speedup" not in key or not isinstance(base_val, (int, float)):
+                    continue
+                cur_val = cur_row.get("extra_info", {}).get(key)
+                floor = base_val * (1.0 - ratio_tolerance)
+                if not isinstance(cur_val, (int, float)):
+                    failures.append(f"{test}: ratio metric {key} missing")
+                    continue
+                verdict = "ok" if cur_val >= floor else "REGRESSED"
+                print(
+                    f"{test} :: {key}: baseline {base_val:.2f}, "
+                    f"current {cur_val:.2f}, floor {floor:.2f} [{verdict}]"
+                )
+                if cur_val < floor:
+                    failures.append(
+                        f"{test}: {key} {cur_val:.2f} below floor {floor:.2f} "
+                        f"(baseline {base_val:.2f})"
+                    )
+            base_mean = base_row.get("stats", {}).get("mean")
+            cur_mean = cur_row.get("stats", {}).get("mean")
+            if isinstance(base_mean, (int, float)) and isinstance(
+                cur_mean, (int, float)
+            ):
+                ceiling = base_mean * time_factor
+                verdict = "ok" if cur_mean <= ceiling else "REGRESSED"
+                print(
+                    f"{test} :: mean: baseline {base_mean:.6f}s, "
+                    f"current {cur_mean:.6f}s, ceiling {ceiling:.6f}s [{verdict}]"
+                )
+                if cur_mean > ceiling:
+                    failures.append(
+                        f"{test}: mean {cur_mean:.6f}s over ceiling "
+                        f"{ceiling:.6f}s (baseline {base_mean:.6f}s)"
+                    )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline-dir", type=pathlib.Path, required=True)
+    parser.add_argument("--current-dir", type=pathlib.Path, required=True)
+    parser.add_argument("--ratio-tolerance", type=float, default=0.35)
+    parser.add_argument("--time-factor", type=float, default=6.0)
+    args = parser.parse_args(argv)
+    failures = compare(
+        args.baseline_dir,
+        args.current_dir,
+        ratio_tolerance=args.ratio_tolerance,
+        time_factor=args.time_factor,
+    )
+    for failure in failures:
+        print(f"::error::perf regression: {failure}")
+    if failures:
+        return 1
+    print("perf comparison passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,102 @@
+"""Throughput gate for the batching fast path (ISSUE 5).
+
+Same offered load — a 64-message burst per member at n=8 — driven
+through the full simulated stack twice: once with the plain wire
+(one GENERATE per round per member, every PDU its own datagram) and
+once with the throughput layer on (``generate_burst`` + wire batching).
+The gate is the ratio of messages processed per wall-clock second:
+batched must be at least 2x the unbatched stack.
+
+The ratio, not the absolute rate, is asserted and exported — absolute
+numbers track the host, the ratio tracks the code.
+"""
+
+import time
+
+from conftest import run_once
+
+from repro.core.config import BatchingConfig, UrcgcConfig
+from repro.harness.cluster import SimCluster
+from repro.net.wire import BatchFrame, decode_message, encode_message
+from repro.types import ProcessId
+from repro.workloads.generators import ScriptedWorkload
+
+N = 8
+BURST = 64  # messages submitted per member, all at round 0
+
+
+def _run(*, batched: bool) -> dict:
+    """Drive one burst to quiescence; returns the throughput observed."""
+    config = UrcgcConfig(
+        n=N,
+        K=3,
+        flow_threshold=0,
+        generate_burst=16 if batched else 1,
+        batching=BatchingConfig() if batched else None,
+    )
+    schedule = {
+        0: [
+            (ProcessId(pid), f"p{pid}-m{i:03d}".encode())
+            for pid in range(N)
+            for i in range(BURST)
+        ]
+    }
+    cluster = SimCluster(
+        config,
+        workload=ScriptedWorkload(schedule),
+        max_rounds=4000,
+        trace=False,
+    )
+    start = time.perf_counter()
+    quiescent_at = cluster.run_until_quiescent(drain_subruns=2)
+    elapsed = time.perf_counter() - start
+    assert quiescent_at is not None, "burst did not reach quiescence"
+    processed = sum(member.processed_count for member in cluster.members)
+    # Every member processes every member's full burst.
+    assert processed == N * N * BURST
+    return {
+        "elapsed_seconds": elapsed,
+        "rounds": cluster.scheduler.current_round,
+        "processed": processed,
+        "msgs_per_sec": processed / elapsed,
+    }
+
+
+def test_bench_throughput_batching(benchmark):
+    unbatched = _run(batched=False)
+    batched = run_once(benchmark, lambda: _run(batched=True))
+    speedup = batched["msgs_per_sec"] / unbatched["msgs_per_sec"]
+    benchmark.extra_info["n"] = N
+    benchmark.extra_info["burst"] = BURST
+    benchmark.extra_info["unbatched_msgs_per_sec"] = unbatched["msgs_per_sec"]
+    benchmark.extra_info["batched_msgs_per_sec"] = batched["msgs_per_sec"]
+    benchmark.extra_info["unbatched_rounds"] = unbatched["rounds"]
+    benchmark.extra_info["batched_rounds"] = batched["rounds"]
+    benchmark.extra_info["speedup"] = speedup
+    print(
+        f"\nthroughput n={N} burst={BURST}: "
+        f"unbatched {unbatched['msgs_per_sec']:,.0f} msg/s "
+        f"({unbatched['rounds']} rounds), "
+        f"batched {batched['msgs_per_sec']:,.0f} msg/s "
+        f"({batched['rounds']} rounds), speedup {speedup:.1f}x"
+    )
+    assert speedup >= 2.0, f"batching speedup {speedup:.2f}x below the 2x gate"
+
+
+def test_bench_batch_frame_codec(benchmark):
+    """Encode+decode cost of one 16-message BatchFrame envelope."""
+    from repro.core.message import UserMessage
+    from repro.core.mid import Mid
+    from repro.types import SeqNo
+
+    sub_frames = tuple(
+        encode_message(UserMessage(Mid(ProcessId(1), SeqNo(seq)), (), b"x" * 64))
+        for seq in range(1, 17)
+    )
+    frame = BatchFrame(sub_frames)
+
+    def roundtrip():
+        return decode_message(encode_message(frame))
+
+    result = benchmark(roundtrip)
+    assert result == frame

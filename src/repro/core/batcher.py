@@ -1,0 +1,283 @@
+"""Control-message batching — the throughput layer's send-side half.
+
+The urcgc wire path is one PDU per datagram.  Under bursty load that
+wastes the natural batching seam the protocol already has: everything a
+member emits inside one round is produced back to back and mostly goes
+to the same destination.  :class:`Batcher` exploits exactly that,
+without changing protocol semantics:
+
+* A run of consecutive own-sequence :class:`~repro.core.message.UserMessage`
+  broadcasts collapses into one
+  :class:`~repro.core.message.GenerateBatch` — the shared external
+  dependency vector is encoded once instead of per message (the
+  amortization Nédelec et al. and Almeida identify as where
+  causal-broadcast throughput is won).
+* Whatever consecutive same-destination sends remain are wrapped into a
+  :class:`~repro.net.wire.BatchFrame` envelope of length-prefixed
+  sub-messages, one datagram instead of many.
+
+Both transforms are loss-free: :func:`expand_message` at the receiver
+reproduces the identical PDU sequence, in order, so a batched and an
+unbatched run process the same messages everywhere (the Hypothesis
+equivalence property in ``tests/properties`` pins this down).
+
+Only the *drivers* (``harness/cluster.py``, ``runtime/node.py``) call
+this module; the :class:`~repro.core.member.Member` engine stays
+batching-blind.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterator
+
+from ..errors import WireFormatError
+from ..net.wire import BatchFrame, decode_message, encode_message
+from .config import BatchingConfig
+from .effects import Send
+from .message import KIND_BATCH, KIND_DATA, GenerateBatch, UserMessage
+from .mid import Mid
+
+if TYPE_CHECKING:  # avoid a core -> obs import at runtime
+    from ..obs.metrics import Registry
+
+__all__ = ["Batcher", "expand_message"]
+
+#: bytes_field limit for a BatchFrame sub-message / batch payload.
+_MAX_SUB_BYTES = 0xFFFF
+#: UserMessage dependency-count limit (u8 on the wire).
+_MAX_SHARED_DEPS = 0xFF
+
+Clock = Callable[[], float]
+
+
+def _split_deps(message: UserMessage) -> tuple[Mid, ...] | None:
+    """The external (non-predecessor) dependencies, or ``None`` when
+    the list is not in the canonical ``(predecessor, *external)`` shape
+    the batch codec can reconstruct."""
+    predecessor = message.mid.predecessor
+    deps = message.deps
+    if predecessor is None:
+        return deps
+    if not deps or deps[0] != predecessor:
+        return None
+    return deps[1:]
+
+
+class Batcher:
+    """Coalesces one engine's outgoing sends into batch frames.
+
+    Parameters
+    ----------
+    config:
+        The :class:`~repro.core.config.BatchingConfig` knobs.
+    registry:
+        Optional :class:`repro.obs.Registry`; batch sizes and frame
+        bytes are recorded under ``batch.*``.
+    clock:
+        Optional monotonic clock (seconds); when both a registry and a
+        clock are supplied, per-:meth:`pack` encode latency lands in
+        the ``batch.encode_seconds`` histogram.  Injected by the driver
+        so this module stays free of wall-clock reads.
+    """
+
+    def __init__(
+        self,
+        config: BatchingConfig,
+        *,
+        registry: "Registry | None" = None,
+        clock: Clock | None = None,
+    ) -> None:
+        self.config = config
+        self._registry = registry
+        self._clock = clock
+        #: Frames emitted that coalesce >= 2 sub-messages.
+        self.frames_packed = 0
+        #: Original sends absorbed into those frames.
+        self.messages_batched = 0
+
+    # ------------------------------------------------------------------
+
+    def pack(self, sends: list[Send]) -> list[Send]:
+        """Rewrite ``sends`` for the wire.
+
+        Consecutive same-destination sends are coalesced; everything
+        else passes through untouched, in its original position.  The
+        receiver-side inverse is :func:`expand_message`.
+        """
+        if len(sends) < 2:
+            return sends
+        started = self._clock() if self._clock is not None else None
+        out: list[Send] = []
+        run: list[Send] = []
+        for send in sends:
+            if run and send.dst == run[0].dst:
+                run.append(send)
+            else:
+                self._flush_run(run, out)
+                run = [send]
+        self._flush_run(run, out)
+        if started is not None and self._registry is not None:
+            self._registry.observe(
+                "batch.encode_seconds", self._clock() - started  # type: ignore[misc]
+            )
+        return out
+
+    # ------------------------------------------------------------------
+
+    def _flush_run(self, run: list[Send], out: list[Send]) -> None:
+        if not run:
+            return
+        if len(run) == 1:
+            out.append(run[0])
+            return
+        out.extend(self._envelope(self._compact_generates(run)))
+
+    def _batchable(self, send: Send) -> bool:
+        message = send.message
+        return (
+            send.kind == KIND_DATA
+            and isinstance(message, UserMessage)
+            and len(message.payload) <= _MAX_SUB_BYTES
+        )
+
+    def _compact_generates(self, run: list[Send]) -> list[Send]:
+        """Collapse contiguous-sequence data subruns into GenerateBatches."""
+        out: list[Send] = []
+        group: list[Send] = []
+        shared: tuple[Mid, ...] = ()
+        flags: list[bool] = []
+        total_bytes = 0
+
+        def flush_group() -> None:
+            nonlocal group, flags, total_bytes
+            if len(group) < 2:
+                out.extend(group)
+            else:
+                first = group[0].message
+                assert isinstance(first, UserMessage)
+                batch = GenerateBatch(
+                    origin=first.mid.origin,
+                    first_seq=first.mid.seq,
+                    shared_deps=shared,
+                    ext_flags=tuple(flags),
+                    payloads=tuple(
+                        send.message.payload  # type: ignore[union-attr]
+                        for send in group
+                    ),
+                )
+                out.append(Send(group[0].dst, batch, KIND_DATA))
+                self.frames_packed += 1
+                self.messages_batched += len(group)
+                if self._registry is not None:
+                    self._registry.count("batch.frames", 1, layer="generate")
+                    self._registry.count("batch.messages", len(group), layer="generate")
+                    self._registry.observe("batch.size", len(group), layer="generate")
+            group = []
+            flags = []
+            total_bytes = 0
+
+        for send in run:
+            if not self._batchable(send):
+                flush_group()
+                out.append(send)
+                continue
+            message = send.message
+            assert isinstance(message, UserMessage)
+            ext = _split_deps(message)
+            if ext is None or len(ext) > _MAX_SHARED_DEPS:
+                flush_group()
+                out.append(send)
+                continue
+            if group:
+                previous = group[-1].message
+                assert isinstance(previous, UserMessage)
+                flag = ext == shared or (not ext and not shared)
+                contiguous = (
+                    message.mid.origin == previous.mid.origin
+                    and message.mid.seq == previous.mid.seq + 1
+                )
+                fits = (
+                    len(group) < self.config.max_batch
+                    and total_bytes + len(message.payload) <= self.config.max_bytes
+                )
+                if contiguous and fits and (flag or not ext):
+                    group.append(send)
+                    flags.append(bool(ext))
+                    total_bytes += len(message.payload)
+                    continue
+                flush_group()
+            shared = ext
+            group = [send]
+            flags = [True]
+            total_bytes = len(message.payload)
+        flush_group()
+        return out
+
+    def _envelope(self, run: list[Send]) -> list[Send]:
+        """Wrap remaining consecutive sends into BatchFrame envelopes."""
+        if len(run) < 2:
+            return run
+        out: list[Send] = []
+        chunk: list[Send] = []
+        encoded: list[bytes] = []
+        total_bytes = 0
+
+        def flush_chunk() -> None:
+            nonlocal chunk, encoded, total_bytes
+            if len(chunk) < 2:
+                out.extend(chunk)
+            else:
+                kinds = {send.kind for send in chunk}
+                kind = kinds.pop() if len(kinds) == 1 else KIND_BATCH
+                out.append(Send(chunk[0].dst, BatchFrame(tuple(encoded)), kind))
+                self.frames_packed += 1
+                self.messages_batched += len(chunk)
+                if self._registry is not None:
+                    self._registry.count("batch.frames", 1, layer="frame")
+                    self._registry.count("batch.messages", len(chunk), layer="frame")
+                    self._registry.observe("batch.size", len(chunk), layer="frame")
+                    self._registry.observe("batch.bytes", total_bytes, layer="frame")
+            chunk = []
+            encoded = []
+            total_bytes = 0
+
+        for send in run:
+            try:
+                data = encode_message(send.message)  # type: ignore[arg-type]
+            except WireFormatError:
+                flush_chunk()
+                out.append(send)
+                continue
+            if len(data) > _MAX_SUB_BYTES:
+                flush_chunk()
+                out.append(send)
+                continue
+            if chunk and (
+                len(chunk) >= self.config.max_batch
+                or total_bytes + len(data) > self.config.max_bytes
+            ):
+                flush_chunk()
+            chunk.append(send)
+            encoded.append(data)
+            total_bytes += len(data)
+        flush_chunk()
+        return out
+
+
+def expand_message(message: object, *, _depth: int = 0) -> Iterator[object]:
+    """Receiver-side inverse of :meth:`Batcher.pack`.
+
+    Yields the original PDU sequence of a decoded wire message: a
+    :class:`BatchFrame` is opened and each sub-message decoded, a
+    :class:`GenerateBatch` expands into its user messages, and any
+    other message passes through as itself.
+    """
+    if isinstance(message, BatchFrame):
+        if _depth >= 4:
+            raise WireFormatError("BatchFrame nested too deep")
+        for frame in message.frames:
+            yield from expand_message(decode_message(frame), _depth=_depth + 1)
+    elif isinstance(message, GenerateBatch):
+        yield from message.expand()
+    else:
+        yield message

@@ -221,11 +221,17 @@ class ContiguousDependencyTracker:
     def __init__(self) -> None:
         self._last: dict[ProcessId, SeqNo] = {}
         self._gaps: dict[ProcessId, list[tuple[SeqNo, SeqNo]]] = {}
+        #: Bumped on every mutation; lets callers cache derived views
+        #: (the member's last-processed vector) and invalidate exactly
+        #: when the tracker changed — including out-of-band mutation by
+        #: the storage layer's ``restore``.
+        self.version = 0
 
     def add_gap(self, origin: ProcessId, first: SeqNo, last: SeqNo) -> None:
         """Declare ``[first, last]`` of ``origin`` void (never arriving)."""
         if last < first:
             return
+        self.version += 1
         gaps = self._gaps.setdefault(origin, [])
         merged = (first, last)
         kept: list[tuple[SeqNo, SeqNo]] = []
@@ -261,6 +267,7 @@ class ContiguousDependencyTracker:
                 f"{self._last.get(mid.origin, NO_MESSAGE)} of origin {mid.origin}"
             )
         self._last[mid.origin] = mid.seq
+        self.version += 1
 
     def restore(
         self,
@@ -268,6 +275,7 @@ class ContiguousDependencyTracker:
         gaps: dict[ProcessId, tuple[tuple[SeqNo, SeqNo], ...]] | None = None,
     ) -> None:
         """Rebuild tracker state from a snapshot."""
+        self.version += 1
         self._last = {o: s for o, s in last.items() if s > NO_MESSAGE}
         self._gaps = {}
         if gaps:

@@ -15,7 +15,42 @@ from enum import Enum
 
 from ..errors import ConfigError
 
-__all__ = ["LeaveRule", "UrcgcConfig"]
+__all__ = ["LeaveRule", "BatchingConfig", "UrcgcConfig"]
+
+
+@dataclass(frozen=True)
+class BatchingConfig:
+    """Wire-level coalescing knobs (the throughput layer).
+
+    With batching enabled the driver routes every engine's outgoing
+    sends through a :class:`~repro.core.batcher.Batcher`: runs of
+    contiguous own-sequence data messages collapse into one GENERATE
+    carrying the shared dependency vector
+    (:class:`~repro.core.message.GenerateBatch`), and any remaining
+    consecutive same-destination messages ride one
+    :class:`~repro.net.wire.BatchFrame` envelope.  Batching is purely a
+    wire transform — the receiver expands each frame back into the
+    identical PDU sequence, so processing order is unchanged (the
+    equivalence property in ``tests/properties`` checks exactly this).
+
+    Parameters
+    ----------
+    max_batch:
+        Maximum sub-messages coalesced into one frame.
+    max_bytes:
+        Soft ceiling on a frame's payload bytes; a run is split when
+        adding the next sub-message would cross it.  Keep it below the
+        transport MTU (or the 64 KiB UDP datagram limit) minus headers.
+    """
+
+    max_batch: int = 16
+    max_bytes: int = 48 * 1024
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 2:
+            raise ConfigError(f"max_batch must be >= 2, got {self.max_batch}")
+        if self.max_bytes < 64:
+            raise ConfigError(f"max_bytes must be >= 64, got {self.max_bytes}")
 
 
 class LeaveRule(Enum):
@@ -96,6 +131,18 @@ class UrcgcConfig:
         so that a quick rejoin can still state-transfer the interval.
         Bounds the space a dead slot can hold hostage (the
         bounded-space catch-up concern of Nédelec et al.).
+    generate_burst:
+        Maximum application messages a member generates in one (first)
+        round.  The paper's base service rate is one per round; a burst
+        above 1 drains the outbox faster, with flow control re-checked
+        per message.  Messages generated back to back in a round share
+        their external dependency vector, which is what lets the
+        batching layer coalesce them into a single GENERATE.
+    batching:
+        Optional :class:`BatchingConfig`: the sim harness and the live
+        runtime then coalesce consecutive same-destination sends into
+        batch frames (see ``docs/PERFORMANCE.md``).  ``None`` (default)
+        keeps the one-PDU-per-datagram wire behaviour.
     observability:
         When True the driver (``SimCluster`` or ``AsyncGroup``) records
         structured span events (subrun / request / decision / generated
@@ -115,6 +162,8 @@ class UrcgcConfig:
     auto_significant: bool = True
     enable_rejoin: bool = False
     recovery_grace: int = 8
+    generate_burst: int = 1
+    batching: BatchingConfig | None = None
     observability: bool = False
     #: Resilience degree: computed, not settable.
     t: int = field(init=False)
@@ -134,6 +183,10 @@ class UrcgcConfig:
             raise ConfigError(f"max_history must be >= 1, got {self.max_history}")
         if self.recovery_grace < 1:
             raise ConfigError(f"recovery_grace must be >= 1, got {self.recovery_grace}")
+        if self.generate_burst < 1:
+            raise ConfigError(
+                f"generate_burst must be >= 1, got {self.generate_burst}"
+            )
         object.__setattr__(self, "t", (self.n - 1) // 2)
 
     @property

@@ -62,6 +62,7 @@ from .message import (
     KIND_RECOVERY_RSP,
     KIND_REQUEST,
     DecisionMessage,
+    GenerateBatch,
     RecoveryRequest,
     RecoveryResponse,
     RequestMessage,
@@ -125,6 +126,12 @@ class Member:
         # everything at or above the mark is presumed lost).
         self._discarded_from: dict[ProcessId, SeqNo] = {}
 
+        # Cached last-processed vector, invalidated by the tracker's
+        # version counter (the vector is rebuilt at most once per
+        # processing step instead of once per request/round).
+        self._lpv_cache: tuple[SeqNo, ...] | None = None
+        self._lpv_version = -1
+
         # Rejoin extension (PROTOCOL §12).
         #: Incarnation number of this engine instance (0 = original).
         self.incarnation = 0
@@ -173,9 +180,14 @@ class Member:
 
     def last_processed_vector(self) -> tuple[SeqNo, ...]:
         """``last_processed[j]`` for every ``j`` (Section 4's request field)."""
-        return tuple(
-            self.tracker.last_processed(ProcessId(k)) for k in range(self.config.n)
-        )
+        version = self.tracker.version
+        if self._lpv_cache is None or self._lpv_version != version:
+            self._lpv_cache = tuple(
+                self.tracker.last_processed(ProcessId(k))
+                for k in range(self.config.n)
+            )
+            self._lpv_version = version
+        return self._lpv_cache
 
     # ------------------------------------------------------------------
     # application interface (used by the service layer)
@@ -256,6 +268,14 @@ class Member:
         effects: list[Effect] = []
         if isinstance(message, UserMessage):
             self._handle_user_message(message, effects)
+        elif isinstance(message, GenerateBatch):
+            # Drivers normally expand batches before dispatch (see
+            # repro.core.batcher.expand_message); accept one directly
+            # so the engine stays correct behind any driver.
+            for user_message in message.expand():
+                if self.has_left:
+                    break
+                self._handle_user_message(user_message, effects)
         elif isinstance(message, RequestMessage):
             self._handle_request(message, effects)
         elif isinstance(message, DecisionMessage):
@@ -349,23 +369,29 @@ class Member:
         self._apply_decision(decision, effects)
 
     def _maybe_generate(self, effects: list[Effect]) -> None:
-        if not self._outbox:
-            return
-        if (
-            self.config.flow_control_enabled
-            and len(self.history) >= self.config.effective_flow_threshold
-        ):
-            # Distributed flow control (Section 6): refrain from
-            # generating until the history drains below the threshold.
-            self.flow_blocked_rounds += 1
-            return
-        payload = self._outbox.popleft()
-        mid, deps = self.context.next_message()
-        message = UserMessage(mid, deps, payload)
-        self.generated_count += 1
-        effects.append(Send(self.group, message, KIND_DATA))
-        self._process(message, effects)
-        effects.append(Confirm(mid))
+        # Up to ``generate_burst`` messages per round (the paper's base
+        # service rate is 1); flow control is re-checked per message.
+        # Burst messages are emitted back to back, so their Sends form
+        # one contiguous run the batching layer can coalesce into a
+        # single GENERATE.
+        for _ in range(self.config.generate_burst):
+            if not self._outbox:
+                return
+            if (
+                self.config.flow_control_enabled
+                and len(self.history) >= self.config.effective_flow_threshold
+            ):
+                # Distributed flow control (Section 6): refrain from
+                # generating until the history drains below the threshold.
+                self.flow_blocked_rounds += 1
+                return
+            payload = self._outbox.popleft()
+            mid, deps = self.context.next_message()
+            message = UserMessage(mid, deps, payload)
+            self.generated_count += 1
+            effects.append(Send(self.group, message, KIND_DATA))
+            self._process(message, effects)
+            effects.append(Confirm(mid))
 
     # ------------------------------------------------------------------
     # message processing (GMT sublayer: process / wait / history)

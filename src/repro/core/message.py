@@ -29,11 +29,13 @@ from .mid import Mid
 
 __all__ = [
     "UserMessage",
+    "GenerateBatch",
     "RequestMessage",
     "DecisionMessage",
     "RecoveryRequest",
     "RecoveryResponse",
     "KIND_DATA",
+    "KIND_BATCH",
     "KIND_REQUEST",
     "KIND_DECISION",
     "KIND_RECOVERY_RQ",
@@ -43,6 +45,7 @@ __all__ = [
 #: Packet-kind labels used for traffic accounting (Table 1 separates
 #: data traffic from control traffic).
 KIND_DATA = "data"
+KIND_BATCH = "batch"
 KIND_REQUEST = "ctrl-request"
 KIND_DECISION = "ctrl-decision"
 KIND_RECOVERY_RQ = "ctrl-recovery-rq"
@@ -53,6 +56,7 @@ _TAG_REQUEST = 11
 _TAG_DECISION = 12
 _TAG_RECOVERY_RQ = 13
 _TAG_RECOVERY_RSP = 14
+_TAG_GENERATE_BATCH = 17
 
 
 def _write_mid(writer: Writer, mid: Mid) -> None:
@@ -116,6 +120,82 @@ class UserMessage:
         deps = tuple(_read_mid(reader) for _ in range(reader.u8()))
         payload = reader.bytes_field()
         return cls(mid, deps, payload)
+
+
+@dataclass(frozen=True)
+class GenerateBatch:
+    """Several consecutive own-sequence messages in one GENERATE.
+
+    Messages a member generates back to back within one round share
+    their external dependencies (its own processing between them adds
+    none), so a burst encodes as: the origin, the first seq, the shared
+    external dependency vector once, a per-message flag saying whether
+    the message carries it, and the payloads.  :meth:`expand`
+    reconstructs the exact :class:`UserMessage` tuple — each message's
+    dependency list is its predecessor (seq contiguity) plus the shared
+    vector when flagged — so batching is invisible above the wire.
+    """
+
+    origin: ProcessId
+    first_seq: SeqNo
+    shared_deps: tuple[Mid, ...]
+    ext_flags: tuple[bool, ...]
+    payloads: tuple[bytes, ...]
+
+    def __post_init__(self) -> None:
+        if not self.payloads:
+            raise WireFormatError("empty GenerateBatch")
+        if len(self.ext_flags) != len(self.payloads):
+            raise WireFormatError(
+                f"GenerateBatch flag/payload mismatch: "
+                f"{len(self.ext_flags)} != {len(self.payloads)}"
+            )
+        if self.first_seq < 1:
+            raise WireFormatError(f"bad first_seq {self.first_seq}")
+        for dep in self.shared_deps:
+            if dep.origin == self.origin:
+                raise WireFormatError(
+                    f"shared dependency {dep} names the batch origin "
+                    f"{self.origin} (predecessors are implicit)"
+                )
+
+    def __len__(self) -> int:
+        return len(self.payloads)
+
+    def expand(self) -> tuple[UserMessage, ...]:
+        """The batched messages, exactly as generated."""
+        messages = []
+        for index, payload in enumerate(self.payloads):
+            mid = Mid(self.origin, SeqNo(self.first_seq + index))
+            predecessor = mid.predecessor
+            deps: tuple[Mid, ...] = () if predecessor is None else (predecessor,)
+            if self.ext_flags[index]:
+                deps += self.shared_deps
+            messages.append(UserMessage(mid, deps, payload))
+        return tuple(messages)
+
+    def encode_fields(self, writer: Writer) -> None:
+        writer.u16(self.origin)
+        writer.u32(self.first_seq)
+        if len(self.shared_deps) > 0xFF:
+            raise WireFormatError(
+                f"GenerateBatch has {len(self.shared_deps)} shared deps (max 255)"
+            )
+        writer.u8(len(self.shared_deps))
+        for dep in self.shared_deps:
+            _write_mid(writer, dep)
+        _write_bitmask(writer, self.ext_flags)
+        for payload in self.payloads:
+            writer.bytes_field(payload)
+
+    @classmethod
+    def decode_fields(cls, reader: Reader) -> "GenerateBatch":
+        origin = ProcessId(reader.u16())
+        first_seq = SeqNo(reader.u32())
+        shared_deps = tuple(_read_mid(reader) for _ in range(reader.u8()))
+        ext_flags = _read_bitmask(reader)
+        payloads = tuple(reader.bytes_field() for _ in range(len(ext_flags)))
+        return cls(origin, first_seq, shared_deps, ext_flags, payloads)
 
 
 def _write_seq_vector(writer: Writer, values: tuple[SeqNo, ...]) -> None:
@@ -288,6 +368,9 @@ class RecoveryResponse:
 
 
 global_registry.register(_TAG_USER, UserMessage, UserMessage.decode_fields)
+global_registry.register(
+    _TAG_GENERATE_BATCH, GenerateBatch, GenerateBatch.decode_fields
+)
 global_registry.register(_TAG_REQUEST, RequestMessage, RequestMessage.decode_fields)
 global_registry.register(_TAG_DECISION, DecisionMessage, DecisionMessage.decode_fields)
 global_registry.register(_TAG_RECOVERY_RQ, RecoveryRequest, RecoveryRequest.decode_fields)

@@ -28,6 +28,7 @@ ABCAST-vs-CBCAST trade the paper sketches in Section 2.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Any, Callable, Sequence
 
 from ..types import ProcessId, SeqNo
@@ -64,7 +65,11 @@ class TotalOrderView:
         self._released_stable = [0] * member.config.n
         #: Mids sequenced (batch boundaries fixed) but not yet released
         #: because their causal delivery has not happened here yet.
-        self._release_queue: list[Mid] = []
+        #: A deque: release pops from the head every drain, and a list's
+        #: ``pop(0)`` made long stability batches quadratic.
+        self._release_queue: deque[Mid] = deque()
+        #: mid -> position in ``ordered`` (O(1) ``order_rank``).
+        self._rank: dict[Mid, int] = {}
         self._last_decision_number = -1
         self._last_full_group_count = 0
         #: True once a stabilization batch was provably missed: ranks
@@ -130,17 +135,15 @@ class TotalOrderView:
             message = self._pending.pop(head, None)
             if message is None:
                 return  # causal delivery of the head hasn't happened yet
-            self._release_queue.pop(0)
+            self._release_queue.popleft()
+            self._rank[message.mid] = len(self.ordered)
             self.ordered.append(message)
             if self._on_total_order is not None:
                 self._on_total_order(message)
 
     def order_rank(self, mid: Mid) -> int | None:
         """Position of ``mid`` in the released total order, if any."""
-        for index, message in enumerate(self.ordered):
-            if message.mid == mid:
-                return index
-        return None
+        return self._rank.get(mid)
 
 
 def attach_total_order(

@@ -11,7 +11,10 @@ delays, control traffic, history and waiting-list occupancy.
 
 from __future__ import annotations
 
+import time
+
 from ..analysis.delay import DeliveryLog
+from ..core.batcher import Batcher, expand_message
 from ..core.config import UrcgcConfig
 from ..core.effects import (
     Confirm,
@@ -132,6 +135,22 @@ class SimCluster:
             self.members.append(member)
             self.services.append(service)
             self.transports.append(transport)
+
+        #: Per-member wire batchers (None when batching is off): the
+        #: bookkeeping in ``_execute`` always sees the original sends;
+        #: only the transmission path goes through ``pack``.
+        self._batchers: list[Batcher] | None = (
+            [
+                Batcher(
+                    config.batching,
+                    registry=self.kernel.metrics if self._obs else None,
+                    clock=time.perf_counter if self._obs else None,
+                )
+                for _ in range(config.n)
+            ]
+            if config.batching is not None
+            else None
+        )
 
         self.scheduler.subscribe(self._on_round)
         self.scheduler.start()
@@ -275,9 +294,12 @@ class SimCluster:
     def _on_data(self, pid: ProcessId, src: ProcessId, data: bytes) -> None:
         if not self.is_active(pid):
             return
-        message = decode_message(data)
-        effects = self.members[pid].on_message(message)
-        self._execute(pid, effects)
+        for message in expand_message(decode_message(data)):
+            member = self.members[pid]
+            if member.has_left:
+                break
+            effects = member.on_message(message)
+            self._execute(pid, effects)
 
     def _node_storage(self, pid: ProcessId) -> "NodeStorage | None":
         if self.storage is None:
@@ -353,8 +375,12 @@ class SimCluster:
                     full_group=decision.full_group,
                     alive=sum(decision.alive),
                 )
+        wire_sends = (
+            self._batchers[pid].pack(sends) if self._batchers is not None else sends
+        )
+        for send in wire_sends:
             self.transports[pid].t_data_rq(
-                send.dst, encode_message(message), kind=send.kind
+                send.dst, encode_message(send.message), kind=send.kind
             )
         if node_storage is not None and node_storage.should_snapshot():
             node_storage.save_snapshot(

@@ -15,15 +15,19 @@ garbage-collects incomplete PDUs once newer ones complete.
 
 from __future__ import annotations
 
+import struct
 from itertools import count
 
 from ..errors import ConfigError, WireFormatError
-from .wire import Reader, Writer
 
 __all__ = ["FRAGMENT_HEADER_BYTES", "Fragmenter", "Reassembler"]
 
 #: u32 message id + u16 index + u16 total.
 FRAGMENT_HEADER_BYTES = 8
+
+#: Preallocated header codec (hot when every batched frame fragments).
+_FRAG_HDR = struct.Struct("!IHH")
+assert _FRAG_HDR.size == FRAGMENT_HEADER_BYTES
 
 _message_ids = count(1)
 
@@ -48,15 +52,11 @@ class Fragmenter:
         ] or [b""]
         if len(chunks) > 0xFFFF:
             raise WireFormatError(f"PDU of {len(pdu)} bytes needs too many fragments")
-        fragments = []
-        for index, chunk in enumerate(chunks):
-            writer = Writer()
-            writer.u32(message_id)
-            writer.u16(index)
-            writer.u16(len(chunks))
-            writer.raw(chunk)
-            fragments.append(writer.getvalue())
-        return fragments
+        total = len(chunks)
+        return [
+            _FRAG_HDR.pack(message_id, index, total) + chunk
+            for index, chunk in enumerate(chunks)
+        ]
 
 
 class Reassembler:
@@ -82,10 +82,12 @@ class Reassembler:
 
     def accept(self, source: object, fragment: bytes) -> bytes | None:
         """Feed one fragment; returns the full PDU when complete."""
-        reader = Reader(fragment)
-        message_id = reader.u32()
-        index = reader.u16()
-        total = reader.u16()
+        if len(fragment) < FRAGMENT_HEADER_BYTES:
+            raise WireFormatError(
+                f"truncated fragment: {len(fragment)} bytes, "
+                f"need {FRAGMENT_HEADER_BYTES}"
+            )
+        message_id, index, total = _FRAG_HDR.unpack_from(fragment)
         chunk = fragment[FRAGMENT_HEADER_BYTES:]
         if total == 0 or index >= total:
             raise WireFormatError(

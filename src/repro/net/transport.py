@@ -28,6 +28,7 @@ tag   meaning
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field
 from itertools import count
 from typing import Callable
@@ -38,7 +39,6 @@ from ..types import ProcessId, Time
 from .addressing import Address, UnicastAddress
 from .network import DatagramNetwork
 from .packet import Packet
-from .wire import Reader, Writer
 
 __all__ = ["TransferStatus", "Transfer", "MulticastTransport"]
 
@@ -46,6 +46,10 @@ _FRAME_DATA = 0
 _FRAME_DATA_ACKED = 1
 _FRAME_ACK = 2
 _FRAME_FRAGMENT = 3
+
+#: Preallocated codec for the frame header: u8 tag + u32 transfer id.
+_FRAME_HDR = struct.Struct("!BI")
+_FRAGMENT_PREFIX = bytes([_FRAME_FRAGMENT])
 
 _transfer_ids = count(1)
 
@@ -199,11 +203,7 @@ class MulticastTransport:
 
     @staticmethod
     def _frame(tag: int, transfer_id: int, data: bytes = b"") -> bytes:
-        writer = Writer()
-        writer.u8(tag)
-        writer.u32(transfer_id)
-        writer.raw(data)
-        return writer.getvalue()
+        return _FRAME_HDR.pack(tag, transfer_id) + data
 
     def _send_frame(self, dst: Address, frame: bytes, kind: str) -> None:
         """Put one transport frame on the wire, fragmenting if needed."""
@@ -211,10 +211,9 @@ class MulticastTransport:
             self._network.send(Packet(self.pid, dst, frame, kind=kind))
             return
         for fragment in self._fragmenter.fragment(frame):
-            writer = Writer()
-            writer.u8(_FRAME_FRAGMENT)
-            writer.raw(fragment)
-            self._network.send(Packet(self.pid, dst, writer.getvalue(), kind=kind))
+            self._network.send(
+                Packet(self.pid, dst, _FRAGMENT_PREFIX + fragment, kind=kind)
+            )
 
     def _transmit(self, transfer: Transfer) -> None:
         payload = self._frame(_FRAME_DATA_ACKED, transfer.status.transfer_id, transfer.payload)
@@ -248,8 +247,9 @@ class MulticastTransport:
         self._on_frame(packet.src, packet.payload)
 
     def _on_frame(self, src: ProcessId, frame: bytes) -> None:
-        reader = Reader(frame)
-        tag = reader.u8()
+        if not frame:
+            raise WireFormatError("empty transport frame")
+        tag = frame[0]
         if tag == _FRAME_FRAGMENT:
             if self._reassembler is None:
                 raise WireFormatError("fragment received but no MTU configured")
@@ -257,7 +257,11 @@ class MulticastTransport:
             if whole is not None:
                 self._on_frame(src, whole)
             return
-        transfer_id = reader.u32()
+        if len(frame) < _FRAME_HDR.size:
+            raise WireFormatError(
+                f"truncated transport frame: {len(frame)} bytes"
+            )
+        transfer_id = _FRAME_HDR.unpack_from(frame)[1]
         packet_src = src
         if tag == _FRAME_DATA:
             self._on_data(packet_src, frame[5:])

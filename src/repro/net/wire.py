@@ -15,6 +15,7 @@ tag, then type-specific fields.  It is a faithful stand-in for the
 from __future__ import annotations
 
 import struct
+from dataclasses import dataclass
 from typing import Callable, Iterable, Protocol, Type, TypeVar
 
 from ..errors import WireFormatError
@@ -23,6 +24,7 @@ __all__ = [
     "Reader",
     "Writer",
     "WireMessage",
+    "BatchFrame",
     "CodecRegistry",
     "encode_message",
     "decode_message",
@@ -33,39 +35,63 @@ _U8 = struct.Struct("!B")
 _U16 = struct.Struct("!H")
 _U32 = struct.Struct("!I")
 _U64 = struct.Struct("!Q")
+_F64 = struct.Struct("!d")
+
+#: Memoized row codecs for the hot fixed-width vectors (the REQUEST /
+#: DECISION ``last_processed`` / ``stable`` / … vectors are all u32
+#: rows of length n, so one preallocated Struct per n covers them).
+_VECTOR_STRUCTS: dict[int, struct.Struct] = {}
+
+
+def _vector_struct(n: int) -> struct.Struct:
+    codec = _VECTOR_STRUCTS.get(n)
+    if codec is None:
+        codec = _VECTOR_STRUCTS[n] = struct.Struct(f"!{n}I")
+    return codec
 
 
 class Writer:
-    """Accumulates encoded fields into a byte string."""
+    """Accumulates encoded fields into a byte string.
+
+    Backed by a single growable :class:`bytearray` (not a part list),
+    so hot-path encodes do one allocation per message; :meth:`reset`
+    lets a codec reuse the buffer across messages.
+    """
+
+    __slots__ = ("_buf",)
 
     def __init__(self) -> None:
-        self._parts: list[bytes] = []
+        self._buf = bytearray()
+
+    def reset(self) -> None:
+        """Drop accumulated bytes so the buffer can be reused."""
+        del self._buf[:]
 
     def u8(self, value: int) -> "Writer":
-        self._parts.append(_U8.pack(value))
+        self._buf += _U8.pack(value)
         return self
 
     def u16(self, value: int) -> "Writer":
-        self._parts.append(_U16.pack(value))
+        self._buf += _U16.pack(value)
         return self
 
     def u32(self, value: int) -> "Writer":
-        self._parts.append(_U32.pack(value))
+        self._buf += _U32.pack(value)
         return self
 
     def u64(self, value: int) -> "Writer":
-        self._parts.append(_U64.pack(value))
+        self._buf += _U64.pack(value)
         return self
 
     def f64(self, value: float) -> "Writer":
-        self._parts.append(struct.pack("!d", value))
+        self._buf += _F64.pack(value)
         return self
 
     def boolean(self, value: bool) -> "Writer":
         return self.u8(1 if value else 0)
 
     def raw(self, data: bytes) -> "Writer":
-        self._parts.append(data)
+        self._buf += data
         return self
 
     def bytes_field(self, data: bytes) -> "Writer":
@@ -76,20 +102,25 @@ class Writer:
         return self.raw(data)
 
     def u32_list(self, values: Iterable[int]) -> "Writer":
-        """Length-prefixed (u16) list of u32."""
-        vals = list(values)
-        if len(vals) > 0xFFFF:
-            raise WireFormatError(f"list too long: {len(vals)}")
-        self.u16(len(vals))
-        for v in vals:
-            self.u32(v)
+        """Length-prefixed (u16) list of u32.
+
+        Encoded in one preallocated-Struct pack call — the wire bytes
+        are identical to the per-element encoding.
+        """
+        vals = values if isinstance(values, (list, tuple)) else list(values)
+        n = len(vals)
+        if n > 0xFFFF:
+            raise WireFormatError(f"list too long: {n}")
+        self._buf += _U16.pack(n)
+        if n:
+            self._buf += _vector_struct(n).pack(*vals)
         return self
 
     def getvalue(self) -> bytes:
-        return b"".join(self._parts)
+        return bytes(self._buf)
 
     def __len__(self) -> int:
-        return sum(len(p) for p in self._parts)
+        return len(self._buf)
 
 
 class Reader:
@@ -132,7 +163,10 @@ class Reader:
         return self._take(self.u16())
 
     def u32_list(self) -> list[int]:
-        return [self.u32() for _ in range(self.u16())]
+        n = self.u16()
+        if n == 0:
+            return []
+        return list(_vector_struct(n).unpack(self._take(4 * n)))
 
     def expect_end(self) -> None:
         """Raise unless the whole buffer has been consumed."""
@@ -157,6 +191,10 @@ class CodecRegistry:
     def __init__(self) -> None:
         self._by_tag: dict[int, tuple[type, Callable[[Reader], object]]] = {}
         self._by_type: dict[type, int] = {}
+        # Encode-buffer reuse: one scratch Writer serves the non-nested
+        # (hot) encode path; a nested encode falls back to a fresh one.
+        self._scratch = Writer()
+        self._scratch_busy = False
 
     def register(
         self, tag: int, cls: Type[M], decoder: Callable[[Reader], M]
@@ -175,11 +213,24 @@ class CodecRegistry:
         except KeyError:
             raise WireFormatError(f"{cls} is not a registered wire message") from None
 
+    def registered(self) -> dict[int, type]:
+        """Snapshot of tag -> message class (golden-vector tests)."""
+        return {tag: entry[0] for tag, entry in self._by_tag.items()}
+
     def encode(self, message: WireMessage) -> bytes:
-        writer = Writer()
-        writer.u8(self.tag_of(type(message)))
-        message.encode_fields(writer)
-        return writer.getvalue()
+        if self._scratch_busy:
+            writer = Writer()
+        else:
+            self._scratch_busy = True
+            writer = self._scratch
+            writer.reset()
+        try:
+            writer.u8(self.tag_of(type(message)))
+            message.encode_fields(writer)
+            return writer.getvalue()
+        finally:
+            if writer is self._scratch:
+                self._scratch_busy = False
 
     def decode(self, data: bytes) -> object:
         """Decode untrusted bytes.
@@ -206,8 +257,50 @@ class CodecRegistry:
         return message
 
 
+_TAG_BATCH_FRAME = 16
+
+
+@dataclass(frozen=True)
+class BatchFrame:
+    """Wire envelope carrying several already-encoded messages.
+
+    The throughput layer (:mod:`repro.core.batcher`) coalesces
+    consecutive same-destination sends into one frame: a u16 count
+    followed by length-prefixed sub-messages, each a complete
+    tag-prefixed encoding.  The envelope is deliberately opaque — it
+    lives at the wire layer and never interprets its payload, so the
+    codec registry stays free of protocol dependencies.
+    """
+
+    frames: tuple[bytes, ...]
+
+    def __post_init__(self) -> None:
+        if not self.frames:
+            raise WireFormatError("BatchFrame needs at least one sub-message")
+        if len(self.frames) > 0xFFFF:
+            raise WireFormatError(f"BatchFrame of {len(self.frames)} sub-messages")
+        for frame in self.frames:
+            if not frame:
+                raise WireFormatError("BatchFrame sub-message is empty")
+            if len(frame) > 0xFFFF:
+                raise WireFormatError(
+                    f"BatchFrame sub-message too long: {len(frame)}"
+                )
+
+    def encode_fields(self, writer: Writer) -> None:
+        writer.u16(len(self.frames))
+        for frame in self.frames:
+            writer.bytes_field(frame)
+
+    @classmethod
+    def decode_fields(cls, reader: Reader) -> "BatchFrame":
+        count = reader.u16()
+        return cls(tuple(reader.bytes_field() for _ in range(count)))
+
+
 #: Registry shared by the urcgc core and the baselines (distinct tags).
 global_registry = CodecRegistry()
+global_registry.register(_TAG_BATCH_FRAME, BatchFrame, BatchFrame.decode_fields)
 
 
 def encode_message(message: WireMessage) -> bytes:

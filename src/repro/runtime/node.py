@@ -12,8 +12,10 @@ Use :class:`AsyncGroup` to spin up a whole group at once.
 from __future__ import annotations
 
 import asyncio
+import time
 from typing import Callable
 
+from ..core.batcher import Batcher, expand_message
 from ..core.config import UrcgcConfig
 from ..core.effects import (
     Confirm,
@@ -89,6 +91,18 @@ class AsyncNode:
         if self._obs and storage is not None:
             storage.bind_registry(self.recorder.registry)
         self.member = Member(pid, config)
+        #: Wire batcher (None when batching is off).  Effect
+        #: bookkeeping always sees the original sends; only the
+        #: transmission path goes through ``pack``.
+        self._batcher: Batcher | None = (
+            Batcher(
+                config.batching,
+                registry=self.recorder.registry if self._obs else None,
+                clock=time.perf_counter if self._obs else None,
+            )
+            if config.batching is not None
+            else None
+        )
         self._lan = lan
         self._endpoint = lan.attach(pid)
         lan.join(BROADCAST_GROUP, pid)
@@ -221,27 +235,31 @@ class AsyncNode:
             datagram = await self._endpoint.recv()
             if self.member.has_left:
                 continue
-            message = decode_message(datagram.data)
-            if (
-                self.adaptive_timer is not None
-                and isinstance(message, DecisionMessage)
-            ):
-                # One request->decision echo = one rtd sample.
-                sent = self._request_sent_at.pop(
-                    int(message.decision.number), None
-                )
-                if sent is not None:
-                    rtt = loop.time() - sent
-                    self.adaptive_timer.observe(rtt)
-                    if self._obs:
-                        self.recorder.registry.observe(
-                            "runtime.rtt", rtt, node=int(self.pid)
-                        )
-            self._execute(self.member.on_message(message))
+            for message in expand_message(decode_message(datagram.data)):
+                if self.member.has_left:
+                    break
+                if (
+                    self.adaptive_timer is not None
+                    and isinstance(message, DecisionMessage)
+                ):
+                    # One request->decision echo = one rtd sample.
+                    sent = self._request_sent_at.pop(
+                        int(message.decision.number), None
+                    )
+                    if sent is not None:
+                        rtt = loop.time() - sent
+                        self.adaptive_timer.observe(rtt)
+                        if self._obs:
+                            self.recorder.registry.observe(
+                                "runtime.rtt", rtt, node=int(self.pid)
+                            )
+                self._execute(self.member.on_message(message))
 
     def _execute(self, effects: list[Effect]) -> None:
+        sends: list[Send] = []
         for effect in effects:
             if isinstance(effect, Send):
+                sends.append(effect)
                 if isinstance(effect.message, RequestMessage):
                     if self.adaptive_timer is not None:
                         self._request_sent_at[int(effect.message.subrun)] = (
@@ -275,9 +293,6 @@ class AsyncNode:
                         # Log-before-send: a sent message is always in
                         # the WAL, so recovery never reuses its seq.
                         self.storage.log_generated(effect.message)
-                self._lan.sendto(
-                    self.pid, effect.dst, encode_message(effect.message), kind=effect.kind
-                )
             elif isinstance(effect, Deliver):
                 self.delivered.append(effect.message)
                 if self._obs:
@@ -313,6 +328,11 @@ class AsyncNode:
                 pass  # observable via member state / group view
             elif isinstance(effect, Left):
                 pass  # observable via member state
+        wire_sends = self._batcher.pack(sends) if self._batcher is not None else sends
+        for send in wire_sends:
+            self._lan.sendto(
+                self.pid, send.dst, encode_message(send.message), kind=send.kind
+            )
         realign = self.member.consume_realignment()
         if realign is not None and realign > self._round:
             # Rejoin completed: fall in step with the group's clock.

@@ -28,6 +28,11 @@ __all__ = ["UdpEndpoint", "UdpFabric"]
 #: One byte of pid prefix identifies the sender on the wire.
 _PID_HEADER_BYTES = 2
 
+#: Largest payload one IPv4 UDP datagram can carry (65535 minus IP and
+#: UDP headers).  An over-MTU frame (e.g. an oversized batch) is
+#: dropped and counted instead of raising EMSGSIZE out of asyncio.
+_MAX_DATAGRAM_BYTES = 65507
+
 
 class _Protocol(asyncio.DatagramProtocol):
     """Feeds received datagrams into the endpoint queue."""
@@ -107,6 +112,7 @@ class UdpFabric:
         self._closed = False
         self.sent_count = 0
         self.dropped_count = 0
+        self.oversize_count = 0
 
     @classmethod
     async def create(
@@ -191,6 +197,12 @@ class UdpFabric:
             raise UnknownAddressError(str(dst))
         self.sent_count += 1
         wire = int(src).to_bytes(_PID_HEADER_BYTES, "big") + data
+        if len(wire) > _MAX_DATAGRAM_BYTES:
+            # To every receiver this is one datagram loss; urcgc's
+            # history recovery re-fetches the contents unbatched.
+            self.oversize_count += 1
+            self.dropped_count += len(targets)
+            return
         source = self._endpoints.get(src)
         if source is None or source.transport is None:
             raise RuntimeTransportError(f"p{src} has no bound socket")

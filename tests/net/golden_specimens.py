@@ -1,0 +1,118 @@
+"""Canonical specimen messages for the golden wire-format vectors.
+
+One representative instance per registered wire tag, with every
+optional field exercised (rejoin vectors, retransmission flags,
+non-empty dependency lists).  ``tests/net/vectors/regenerate.py``
+serializes these to ``.bin`` files; ``test_golden_vectors.py`` checks
+the committed bytes still decode to exactly these objects — a change
+in either direction is a wire-format break.
+"""
+
+from repro.baselines.cbcast.messages import (
+    CbcastData,
+    Flush,
+    StabilityGossip,
+    VectorClock,
+    ViewChange,
+)
+from repro.baselines.psync.protocol import PsyncData
+from repro.core.decision import Decision, RequestInfo
+from repro.core.message import (
+    DecisionMessage,
+    GenerateBatch,
+    RecoveryRequest,
+    RecoveryResponse,
+    RequestMessage,
+    UserMessage,
+)
+from repro.core.mid import Mid
+from repro.core.rejoin import JoinRequest
+from repro.net.wire import BatchFrame, encode_message, global_registry
+from repro.types import ProcessId, SeqNo, SubrunNo
+
+
+def _mid(origin: int, seq: int) -> Mid:
+    return Mid(ProcessId(origin), SeqNo(seq))
+
+
+_DECISION = Decision(
+    number=SubrunNo(7),
+    chain=9,
+    coordinator=ProcessId(1),
+    alive=(True, True, False, True),
+    attempts=(0, 1, 3, 0),
+    stable=(SeqNo(4), SeqNo(5), SeqNo(0), SeqNo(2)),
+    contributors=(True, True, False, True),
+    full_group=True,
+    max_processed=(SeqNo(6), SeqNo(5), SeqNo(4), SeqNo(3)),
+    most_updated=(ProcessId(0), ProcessId(1), ProcessId(1), ProcessId(3)),
+    min_waiting=(SeqNo(0), SeqNo(2), SeqNo(0), SeqNo(1)),
+    full_group_count=3,
+    joiners=(ProcessId(2),),
+    void_from=(SeqNo(0), SeqNo(0), SeqNo(3), SeqNo(0)),
+    join_boundary=(SeqNo(0), SeqNo(0), SeqNo(5), SeqNo(0)),
+)
+
+_USER = UserMessage(_mid(1, 3), (_mid(1, 2), _mid(0, 5)), b"golden payload")
+
+
+def specimens() -> dict[int, object]:
+    """tag -> canonical instance, for every registered wire message."""
+    return {
+        10: _USER,
+        11: RequestMessage(
+            ProcessId(2),
+            SubrunNo(8),
+            RequestInfo(
+                (SeqNo(6), SeqNo(5), SeqNo(4), SeqNo(3)),
+                (SeqNo(0), SeqNo(0), SeqNo(7), SeqNo(0)),
+            ),
+            _DECISION,
+        ),
+        12: DecisionMessage(_DECISION),
+        13: RecoveryRequest(
+            ProcessId(3),
+            ((ProcessId(1), SeqNo(2), SeqNo(5)), (ProcessId(0), SeqNo(1), SeqNo(1))),
+        ),
+        14: RecoveryResponse(
+            ProcessId(0),
+            (UserMessage(_mid(0, 1), (), b"r1"), UserMessage(_mid(0, 2), (_mid(0, 1),), b"r2")),
+        ),
+        15: JoinRequest(
+            ProcessId(2), 3, (SeqNo(4), SeqNo(5), SeqNo(6), SeqNo(7))
+        ),
+        16: BatchFrame(
+            (
+                encode_message(UserMessage(_mid(2, 1), (), b"f1")),
+                encode_message(UserMessage(_mid(2, 2), (_mid(2, 1),), b"f2")),
+            )
+        ),
+        17: GenerateBatch(
+            origin=ProcessId(1),
+            first_seq=SeqNo(3),
+            shared_deps=(_mid(0, 2), _mid(2, 1)),
+            ext_flags=(True, False, True),
+            payloads=(b"b1", b"b2", b"b3"),
+        ),
+        30: CbcastData(
+            ProcessId(1),
+            VectorClock((1, 2, 3)),
+            VectorClock((0, 1, 2)),
+            b"cbcast payload",
+            retransmission=True,
+        ),
+        31: StabilityGossip(ProcessId(0), VectorClock((3, 1, 4))),
+        32: ViewChange(ProcessId(2), 5, (True, False, True), commit=True),
+        33: Flush(ProcessId(1), 5, VectorClock((2, 2, 2))),
+        40: PsyncData(
+            ProcessId(0),
+            4,
+            ((ProcessId(1), SeqNo(3)), (ProcessId(2), SeqNo(1))),
+            b"psync payload",
+        ),
+    }
+
+
+def registered_tags() -> set[int]:
+    """Every tag the importing of the specimen modules registered."""
+    return set(global_registry.registered())

@@ -1,0 +1,112 @@
+"""Degenerate-shape regressions for the wire codec.
+
+The vectorized u32-row fast path must keep the legacy behavior at the
+empty end: zero-length lists, empty payloads and dependency sets, and
+a 0-member group view (all decision vectors empty) must round-trip
+rather than crash in ``struct`` packing.
+"""
+
+import pytest
+
+from repro.core.decision import Decision, RequestInfo
+from repro.core.message import (
+    DecisionMessage,
+    GenerateBatch,
+    RecoveryRequest,
+    RecoveryResponse,
+    RequestMessage,
+    UserMessage,
+)
+from repro.core.mid import Mid
+from repro.core.rejoin import JoinRequest
+from repro.errors import WireFormatError
+from repro.net.wire import BatchFrame, Reader, Writer, decode_message, encode_message
+from repro.types import ProcessId, SeqNo, SubrunNo
+
+ZERO_MEMBER_DECISION = Decision(
+    number=SubrunNo(0),
+    chain=1,
+    coordinator=ProcessId(0),
+    alive=(),
+    attempts=(),
+    stable=(),
+    contributors=(),
+    full_group=True,
+    max_processed=(),
+    most_updated=(),
+    min_waiting=(),
+    full_group_count=1,
+)
+
+
+def test_empty_u32_list_roundtrip():
+    writer = Writer()
+    writer.u32_list([])
+    data = writer.getvalue()
+    assert data == b"\x00\x00"  # just the u16 count
+    reader = Reader(data)
+    assert reader.u32_list() == []
+    reader.expect_end()
+
+
+def test_empty_u32_list_from_generator():
+    writer = Writer()
+    writer.u32_list(x for x in ())
+    assert Reader(writer.getvalue()).u32_list() == []
+
+
+@pytest.mark.parametrize(
+    "message",
+    [
+        UserMessage(Mid(ProcessId(0), SeqNo(1)), (), b""),
+        DecisionMessage(ZERO_MEMBER_DECISION),
+        RequestMessage(
+            ProcessId(0), SubrunNo(0), RequestInfo((), ()), ZERO_MEMBER_DECISION
+        ),
+        RecoveryRequest(ProcessId(0), ()),
+        RecoveryResponse(ProcessId(0), ()),
+        JoinRequest(ProcessId(0), 1, ()),
+        GenerateBatch(
+            origin=ProcessId(0),
+            first_seq=SeqNo(1),
+            shared_deps=(),
+            ext_flags=(True, True),
+            payloads=(b"", b""),
+        ),
+    ],
+    ids=lambda m: type(m).__name__,
+)
+def test_degenerate_messages_roundtrip(message):
+    assert decode_message(encode_message(message)) == message
+
+
+def test_generate_batch_with_empty_payloads_expands():
+    batch = GenerateBatch(
+        origin=ProcessId(2),
+        first_seq=SeqNo(1),
+        shared_deps=(),
+        ext_flags=(True, False),
+        payloads=(b"", b""),
+    )
+    expanded = list(batch.expand())
+    assert [m.mid for m in expanded] == [
+        Mid(ProcessId(2), SeqNo(1)),
+        Mid(ProcessId(2), SeqNo(2)),
+    ]
+    assert all(m.payload == b"" for m in expanded)
+
+
+def test_batch_frame_rejects_degenerate_shapes():
+    with pytest.raises(WireFormatError):
+        BatchFrame(())  # an empty envelope is a codec bug, not a message
+    with pytest.raises(WireFormatError):
+        BatchFrame((b"",))  # as is an empty sub-message
+
+
+def test_batch_frame_of_empty_payload_messages_roundtrips():
+    frames = tuple(
+        encode_message(UserMessage(Mid(ProcessId(0), SeqNo(s)), (), b""))
+        for s in (1, 2)
+    )
+    frame = BatchFrame(frames)
+    assert decode_message(encode_message(frame)) == frame

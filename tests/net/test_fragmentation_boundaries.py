@@ -1,0 +1,122 @@
+"""Boundary cases of the fragmentation sublayer.
+
+Exactly-at-MTU frames must not fragment, one byte over must, exact
+chunk multiples must not grow a trailing empty fragment, and fragments
+interleaved from two senders — even sharing a message id — must
+reassemble per source.
+"""
+
+import struct
+
+from repro.net.addressing import UnicastAddress
+from repro.net.fragmentation import (
+    FRAGMENT_HEADER_BYTES,
+    Fragmenter,
+    Reassembler,
+)
+from repro.net.network import DatagramNetwork
+from repro.net.transport import MulticastTransport
+from repro.sim.kernel import Kernel
+from repro.types import ProcessId
+
+#: u8 frame tag + u32 transfer id preceding the application bytes.
+_FRAME_OVERHEAD = 5
+
+_HDR = struct.Struct("!IHH")
+
+
+def _pair(mtu):
+    kernel = Kernel()
+    network = DatagramNetwork(kernel)
+    received = {0: [], 1: []}
+    transports = [
+        MulticastTransport(
+            kernel,
+            network,
+            ProcessId(i),
+            on_data=lambda src, data, i=i: received[i].append((src, data)),
+            mtu=mtu,
+        )
+        for i in range(2)
+    ]
+    return kernel, network, transports, received
+
+
+def test_frame_exactly_at_mtu_is_not_fragmented():
+    mtu = 128
+    kernel, network, transports, received = _pair(mtu)
+    payload = b"x" * (mtu - _FRAME_OVERHEAD)  # frame == MTU exactly
+    transports[0].t_data_rq(UnicastAddress(ProcessId(1)), payload)
+    kernel.run()
+    assert received[1] == [(ProcessId(0), payload)]
+    assert network.stats.kind("data").sent == 1
+
+
+def test_frame_one_byte_over_mtu_fragments():
+    mtu = 128
+    kernel, network, transports, received = _pair(mtu)
+    payload = b"x" * (mtu - _FRAME_OVERHEAD + 1)  # frame == MTU + 1
+    transports[0].t_data_rq(UnicastAddress(ProcessId(1)), payload)
+    kernel.run()
+    assert received[1] == [(ProcessId(0), payload)]
+    assert network.stats.kind("data").sent == 2
+
+
+def test_pdu_at_exact_chunk_multiple_has_no_empty_tail_fragment():
+    fragmenter = Fragmenter(FRAGMENT_HEADER_BYTES + 16)  # chunk size 16
+    for chunks in (1, 2, 5):
+        pdu = bytes(range(16)) * chunks
+        fragments = fragmenter.fragment(pdu)
+        assert len(fragments) == chunks
+        assert all(
+            len(f) == FRAGMENT_HEADER_BYTES + 16 for f in fragments
+        )
+        one_over = fragmenter.fragment(pdu + b"!")
+        assert len(one_over) == chunks + 1
+        assert len(one_over[-1]) == FRAGMENT_HEADER_BYTES + 1
+
+
+def test_interleaved_fragments_from_two_senders_reassemble_per_source():
+    reassembler = Reassembler()
+
+    def frag(message_id, index, total, chunk):
+        return _HDR.pack(message_id, index, total) + chunk
+
+    # Both senders use the same message id: only the source keys the
+    # partial state apart.
+    assert reassembler.accept("A", frag(7, 0, 3, b"a0")) is None
+    assert reassembler.accept("B", frag(7, 0, 2, b"b0")) is None
+    assert reassembler.accept("A", frag(7, 2, 3, b"a2")) is None
+    assert reassembler.accept("B", frag(7, 1, 2, b"b1")) == b"b0b1"
+    assert reassembler.accept("A", frag(7, 1, 3, b"a1")) == b"a0a1a2"
+    assert reassembler.pending_count == 0
+
+
+def test_interleaved_transport_frames_from_two_senders():
+    kernel = Kernel()
+    network = DatagramNetwork(kernel)
+    received = []
+    receiver = ProcessId(2)
+    MulticastTransport(
+        kernel,
+        network,
+        receiver,
+        on_data=lambda src, data: received.append((src, data)),
+        mtu=48,
+    )
+    senders = [
+        MulticastTransport(
+            kernel, network, ProcessId(i), on_data=lambda src, data: None, mtu=48
+        )
+        for i in range(2)
+    ]
+    payloads = [bytes([i]) * 300 for i in range(2)]
+    # Both multi-fragment transfers are queued before anything is
+    # delivered, so their fragments interleave on the receiver.
+    senders[0].t_data_rq(UnicastAddress(receiver), payloads[0])
+    senders[1].t_data_rq(UnicastAddress(receiver), payloads[1])
+    kernel.run()
+    assert sorted(received) == [
+        (ProcessId(0), payloads[0]),
+        (ProcessId(1), payloads[1]),
+    ]

@@ -1,0 +1,57 @@
+"""Golden wire-format vectors: the committed bytes are the contract.
+
+Every registered wire message has one canonical ``.bin`` under
+``tests/net/vectors/`` (written by ``vectors/regenerate.py``).  These
+tests fail on any accidental wire-format change — decode of the
+committed bytes must yield the canonical specimen, and re-encoding the
+specimen must reproduce the committed bytes exactly.  An *intentional*
+format change reruns the regeneration script and commits the new
+vectors alongside the codec.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.net.wire import decode_message, encode_message, global_registry
+
+from .golden_specimens import registered_tags, specimens
+
+VECTORS = pathlib.Path(__file__).parent / "vectors"
+
+SPECIMENS = specimens()
+
+
+def _vector_path(tag: int) -> pathlib.Path:
+    cls = global_registry.registered()[tag]
+    return VECTORS / f"{tag:02d}_{cls.__name__}.bin"
+
+
+def test_every_registered_tag_has_a_specimen_and_a_vector():
+    tags = registered_tags()
+    assert tags == set(SPECIMENS), (
+        "specimen set out of sync with the wire registry; update "
+        "tests/net/golden_specimens.py"
+    )
+    missing = [tag for tag in tags if not _vector_path(tag).exists()]
+    assert not missing, (
+        f"no committed vector for tag(s) {missing}; run "
+        "PYTHONPATH=src python tests/net/vectors/regenerate.py"
+    )
+
+
+def test_no_orphan_vector_files():
+    expected = {_vector_path(tag).name for tag in registered_tags()}
+    on_disk = {path.name for path in VECTORS.glob("*.bin")}
+    assert on_disk == expected
+
+
+@pytest.mark.parametrize("tag", sorted(SPECIMENS), ids=lambda t: f"tag{t:02d}")
+def test_golden_vector_decodes_to_specimen(tag):
+    data = _vector_path(tag).read_bytes()
+    assert decode_message(data) == SPECIMENS[tag]
+
+
+@pytest.mark.parametrize("tag", sorted(SPECIMENS), ids=lambda t: f"tag{t:02d}")
+def test_specimen_reencodes_to_golden_bytes(tag):
+    assert encode_message(SPECIMENS[tag]) == _vector_path(tag).read_bytes()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Regenerate the golden wire vectors from the canonical specimens.
+
+Run from the repository root after an *intentional* wire-format change::
+
+    PYTHONPATH=src python tests/net/vectors/regenerate.py
+
+and commit the rewritten ``.bin`` files together with the codec change.
+``test_golden_vectors.py`` fails until the two agree.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+_VECTORS = pathlib.Path(__file__).resolve().parent
+sys.path.insert(0, str(_VECTORS.parents[2]))  # repo root: makes `tests` importable
+
+from tests.net.golden_specimens import registered_tags, specimens  # noqa: E402
+
+from repro.net.wire import encode_message, global_registry  # noqa: E402
+
+
+def main() -> None:
+    known = specimens()
+    missing = registered_tags() - set(known)
+    if missing:
+        raise SystemExit(
+            f"no specimen for registered wire tag(s) {sorted(missing)}; "
+            "add them to tests/net/golden_specimens.py first"
+        )
+    registry = global_registry.registered()
+    for old in _VECTORS.glob("*.bin"):
+        old.unlink()
+    for tag, message in sorted(known.items()):
+        name = f"{tag:02d}_{registry[tag].__name__}.bin"
+        (_VECTORS / name).write_bytes(encode_message(message))
+        print(f"wrote {name}")
+
+
+if __name__ == "__main__":
+    main()

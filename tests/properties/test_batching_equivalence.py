@@ -1,0 +1,304 @@
+"""The throughput layer is observationally transparent.
+
+Three properties pin down ISSUE 5's correctness claims:
+
+* **Run equivalence** — the same scenario driven through the full
+  simulated stack with wire batching on and off processes the *same*
+  message sequence at every member, and both runs satisfy Definition
+  3.2 (Uniform Atomicity + Uniform Ordering) plus the site-local
+  causal-order invariant.  Only deterministic faults (scheduled
+  crashes) are used: a probabilistic omission model draws from the
+  fault rng per datagram, and batching changes the datagram count, so
+  the two runs would diverge for reasons unrelated to batching.
+* **Pack/expand round-trip** — any canonical burst of user messages
+  survives ``Batcher.pack`` → wire → ``expand_message`` byte-for-byte,
+  in order, however the batcher decides to group it.
+* **Decision-fold refactor** — the single-pass ``compute_decision``
+  fold equals a straightforward reference implementation of the
+  original three-pass fold on arbitrary inputs.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.checkers import (
+    check_local_causal_order,
+    check_uniform_atomicity,
+    check_uniform_ordering,
+)
+from repro.core.batcher import Batcher, expand_message
+from repro.core.config import BatchingConfig, UrcgcConfig
+from repro.core.decision import (
+    Decision,
+    RequestInfo,
+    _merge_min_waiting,
+    compute_decision,
+)
+from repro.core.effects import Send
+from repro.core.message import KIND_DATA, UserMessage
+from repro.core.mid import NO_MESSAGE, Mid
+from repro.harness.cluster import SimCluster
+from repro.net.addressing import BROADCAST_GROUP
+from repro.net.faults import CrashSchedule, FaultPlan
+from repro.net.wire import decode_message, encode_message
+from repro.types import ProcessId, SeqNo, SubrunNo
+from repro.workloads.generators import BernoulliWorkload
+
+# ---------------------------------------------------------------------------
+# Property 1: batched == unbatched, end to end.
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def scenarios(draw):
+    n = draw(st.integers(3, 6))
+    K = draw(st.integers(1, 2))
+    seed = draw(st.integers(0, 10_000))
+    load = draw(st.floats(0.2, 1.0))
+    burst = draw(st.integers(1, 4))
+    crash_count = draw(st.integers(0, max(0, n - 3)))
+    crash_times = [draw(st.floats(1.0, 8.0)) for _ in range(crash_count)]
+    return n, K, seed, load, burst, crash_times
+
+
+def _run(scenario, batching: BatchingConfig | None):
+    n, K, seed, load, burst, crash_times = scenario
+    pids = [ProcessId(i) for i in range(n)]
+    schedule = CrashSchedule()
+    for i, time in enumerate(crash_times):
+        schedule.crash(ProcessId(n - 1 - i), time)
+    cluster = SimCluster(
+        UrcgcConfig(n=n, K=K, R=2 * K + 4, generate_burst=burst, batching=batching),
+        workload=BernoulliWorkload(
+            pids, load, rng=random.Random(seed), stop_after_round=10
+        ),
+        faults=FaultPlan(crashes=schedule, rng=random.Random(seed)),
+        max_rounds=300,
+        seed=seed,
+        trace=False,
+    )
+    quiesced = cluster.run_until_quiescent(drain_subruns=2 * K + 2)
+    return cluster, quiesced
+
+
+@given(scenarios())
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_batched_run_processes_identically_to_unbatched(scenario):
+    plain, plain_quiesced = _run(scenario, None)
+    batched, batched_quiesced = _run(scenario, BatchingConfig())
+
+    # Same fault schedule, same kernel seed: the runs must agree on who
+    # survived before their logs are comparable at all.
+    assert plain.active_pids() == batched.active_pids()
+    assert (plain_quiesced is None) == (batched_quiesced is None)
+
+    n = scenario[0]
+    for pid in range(n):
+        plain_log = [
+            (m.mid, m.deps, m.payload) for m in plain.services[pid].delivered
+        ]
+        batched_log = [
+            (m.mid, m.deps, m.payload) for m in batched.services[pid].delivered
+        ]
+        assert plain_log == batched_log, f"p{pid} diverged"
+
+    # Both runs independently satisfy Definition 3.2.
+    for cluster, quiesced in ((plain, plain_quiesced), (batched, batched_quiesced)):
+        active = set(cluster.active_pids())
+        streams = {pid: cluster.services[pid].delivered for pid in active}
+        for pid, stream in streams.items():
+            check_local_causal_order(pid, stream).raise_if_failed()
+        if active:
+            check_uniform_ordering(
+                streams, converged=quiesced is not None
+            ).raise_if_failed()
+        if quiesced is not None and active:
+            log = cluster.delivery_log
+            check_uniform_atomicity(
+                log.generated_at,
+                {mid: set(by) for mid, by in log.processed_at.items()},
+                active,
+                discarded=log.discarded,
+            ).raise_if_failed()
+
+
+# ---------------------------------------------------------------------------
+# Property 2: pack -> wire -> expand is the identity on the PDU stream.
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def canonical_bursts(draw):
+    """A burst of user messages in the engine's canonical dep shape:
+    ``(predecessor, *external)`` with the external set frozen for the
+    whole burst (what ``_maybe_generate`` emits within one round)."""
+    origin = ProcessId(draw(st.integers(0, 5)))
+    first_seq = draw(st.integers(1, 200))
+    count = draw(st.integers(1, 12))
+    others = [p for p in range(6) if p != origin]
+    ext = tuple(
+        Mid(ProcessId(p), SeqNo(draw(st.integers(1, 50))))
+        for p in draw(st.lists(st.sampled_from(others), max_size=3, unique=True))
+    )
+    messages = []
+    for i in range(count):
+        seq = SeqNo(first_seq + i)
+        predecessor = (Mid(origin, SeqNo(seq - 1)),) if seq > 1 else ()
+        with_ext = draw(st.booleans())
+        payload = draw(st.binary(max_size=32))
+        messages.append(
+            UserMessage(
+                Mid(origin, seq),
+                predecessor + (ext if with_ext else ()),
+                payload,
+            )
+        )
+    max_batch = draw(st.integers(2, 16))
+    return messages, max_batch
+
+
+@given(canonical_bursts())
+@settings(max_examples=200, deadline=None)
+def test_pack_then_expand_is_identity(case):
+    messages, max_batch = case
+    batcher = Batcher(BatchingConfig(max_batch=max_batch))
+    sends = [Send(BROADCAST_GROUP, m, KIND_DATA) for m in messages]
+    packed = batcher.pack(sends)
+    expanded = [
+        sub
+        for send in packed
+        for sub in expand_message(decode_message(encode_message(send.message)))
+    ]
+    assert expanded == messages
+    assert all(send.dst == BROADCAST_GROUP for send in packed)
+
+
+# ---------------------------------------------------------------------------
+# Property 3: the optimized decision fold equals the original.
+# ---------------------------------------------------------------------------
+
+
+def _reference_compute_decision(subrun, coordinator, prev, requests, K):
+    """The pre-optimization three-pass fold, kept verbatim as the
+    semantic reference for ``compute_decision``."""
+    n = prev.n
+    alive = list(prev.alive)
+    attempts = list(prev.attempts)
+    for pid in range(n):
+        if not alive[pid]:
+            attempts[pid] = K
+            continue
+        if ProcessId(pid) in requests:
+            attempts[pid] = 0
+        else:
+            attempts[pid] += 1
+            if attempts[pid] >= K:
+                alive[pid] = False
+    contacted = {pid for pid in requests if alive[pid]}
+    if prev.full_group:
+        contributors = set(contacted)
+        stable = [NO_MESSAGE for _ in range(n)]
+        min_waiting = [NO_MESSAGE for _ in range(n)]
+        have_prev_minima = False
+    else:
+        contributors = {
+            ProcessId(i) for i, c in enumerate(prev.contributors) if c and alive[i]
+        } | contacted
+        stable = list(prev.stable)
+        min_waiting = list(prev.min_waiting)
+        have_prev_minima = True
+    max_processed = [NO_MESSAGE for _ in range(n)]
+    most_updated = [ProcessId(k) for k in range(n)]
+    for k in range(n):
+        fresh_values = [requests[pid].last_processed[k] for pid in sorted(contacted)]
+        if fresh_values:
+            fresh_min = min(fresh_values)
+            stable[k] = min(stable[k], fresh_min) if have_prev_minima else fresh_min
+        elif not have_prev_minima:
+            stable[k] = NO_MESSAGE
+        best_val = NO_MESSAGE
+        best_pid = ProcessId(k)
+        for pid in sorted(contacted):
+            val = requests[pid].last_processed[k]
+            if val > best_val or (val == best_val and pid == k):
+                best_val = val
+                best_pid = pid
+        if alive[prev.most_updated[k]] and prev.max_processed[k] > best_val:
+            best_val = prev.max_processed[k]
+            best_pid = prev.most_updated[k]
+        max_processed[k] = best_val
+        most_updated[k] = best_pid
+        for pid in sorted(contacted):
+            min_waiting[k] = _merge_min_waiting(
+                min_waiting[k], requests[pid].waiting[k]
+            )
+    alive_set = {ProcessId(i) for i in range(n) if alive[i]}
+    full_group = alive_set <= contributors
+    return Decision(
+        number=subrun,
+        chain=prev.chain + 1,
+        coordinator=coordinator,
+        alive=tuple(alive),
+        attempts=tuple(attempts),
+        stable=tuple(stable),
+        contributors=tuple(ProcessId(i) in contributors for i in range(n)),
+        full_group=full_group,
+        max_processed=tuple(max_processed),
+        most_updated=tuple(most_updated),
+        min_waiting=tuple(min_waiting),
+        full_group_count=prev.full_group_count + (1 if full_group else 0),
+    )
+
+
+@st.composite
+def decision_cases(draw):
+    n = draw(st.integers(1, 6))
+    K = draw(st.integers(1, 4))
+    seq = st.integers(0, 40)
+    alive = [draw(st.booleans()) for _ in range(n)]
+    prev = Decision(
+        number=SubrunNo(draw(st.integers(0, 50))),
+        chain=draw(st.integers(1, 60)),
+        coordinator=ProcessId(draw(st.integers(0, n - 1))),
+        alive=tuple(alive),
+        attempts=tuple(
+            draw(st.integers(0, K)) if alive[i] else K for i in range(n)
+        ),
+        stable=tuple(SeqNo(draw(seq)) for _ in range(n)),
+        contributors=tuple(draw(st.booleans()) for _ in range(n)),
+        full_group=draw(st.booleans()),
+        max_processed=tuple(SeqNo(draw(seq)) for _ in range(n)),
+        most_updated=tuple(
+            ProcessId(draw(st.integers(0, n - 1))) for _ in range(n)
+        ),
+        min_waiting=tuple(SeqNo(draw(seq)) for _ in range(n)),
+        full_group_count=draw(st.integers(0, 30)),
+    )
+    contacting = draw(
+        st.lists(st.integers(0, n - 1), max_size=n, unique=True)
+    )
+    requests = {
+        ProcessId(pid): RequestInfo(
+            tuple(SeqNo(draw(seq)) for _ in range(n)),
+            tuple(SeqNo(draw(seq)) for _ in range(n)),
+        )
+        for pid in contacting
+    }
+    subrun = SubrunNo(int(prev.number) + 1)
+    coordinator = ProcessId(draw(st.integers(0, n - 1)))
+    return subrun, coordinator, prev, requests, K
+
+
+@given(decision_cases())
+@settings(max_examples=300, deadline=None)
+def test_decision_fold_matches_reference(case):
+    subrun, coordinator, prev, requests, K = case
+    assert compute_decision(
+        subrun, coordinator, prev, requests, K
+    ) == _reference_compute_decision(subrun, coordinator, prev, requests, K)
