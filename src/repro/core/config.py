@@ -15,7 +15,70 @@ from enum import Enum
 
 from ..errors import ConfigError
 
-__all__ = ["LeaveRule", "BatchingConfig", "UrcgcConfig"]
+__all__ = ["LeaveRule", "BatchingConfig", "FailureDetectorConfig", "UrcgcConfig"]
+
+#: Detector kinds :func:`repro.detect.make_detector` understands.
+DETECTOR_KINDS = ("k-consecutive", "heartbeat", "oracle")
+
+
+@dataclass(frozen=True)
+class FailureDetectorConfig:
+    """Selects and tunes the failure-detection subsystem.
+
+    Lives here (not in :mod:`repro.detect`) so ``core`` never imports
+    the detector package at module level; the factory in
+    :mod:`repro.detect` interprets it.
+
+    Parameters
+    ----------
+    kind:
+        ``"k-consecutive"`` — the paper's rule, extracted verbatim from
+        the member (the default when ``failure_detector`` is unset);
+        ``"heartbeat"`` — eventually-perfect timeout-with-backoff over
+        HEARTBEAT PDUs and an RTT-style gap estimator;
+        ``"oracle"`` — a test-only perfect detector whose suspect set
+        is driven directly by the harness.
+    heartbeat_every:
+        Subruns between HEARTBEAT broadcasts (heartbeat kind only).
+    timeout_floor:
+        Minimum silence, in *rounds*, before a peer may be suspected.
+    timeout_k:
+        Deviation multiplier of the gap estimator's timeout bound
+        (RFC 6298's ``k``).
+    backoff:
+        Factor the per-peer timeout scale grows by on each false
+        suspicion; this is what makes the detector eventually perfect
+        in a partially synchronous run.
+    max_timeout:
+        Hard cap, in rounds, on the per-peer suspicion timeout.
+    """
+
+    kind: str = "heartbeat"
+    heartbeat_every: int = 1
+    timeout_floor: float = 6.0
+    timeout_k: float = 4.0
+    backoff: float = 2.0
+    max_timeout: float = 512.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in DETECTOR_KINDS:
+            raise ConfigError(
+                f"unknown detector kind {self.kind!r}; expected one of {DETECTOR_KINDS}"
+            )
+        if self.heartbeat_every < 1:
+            raise ConfigError(
+                f"heartbeat_every must be >= 1, got {self.heartbeat_every}"
+            )
+        if self.timeout_floor <= 0:
+            raise ConfigError(f"timeout_floor must be > 0, got {self.timeout_floor}")
+        if self.timeout_k < 0:
+            raise ConfigError(f"timeout_k must be >= 0, got {self.timeout_k}")
+        if self.backoff < 1.0:
+            raise ConfigError(f"backoff must be >= 1, got {self.backoff}")
+        if self.max_timeout < self.timeout_floor:
+            raise ConfigError(
+                f"max_timeout must be >= timeout_floor, got {self.max_timeout}"
+            )
 
 
 @dataclass(frozen=True)
@@ -150,6 +213,14 @@ class UrcgcConfig:
         JSONL trace and registry report can be exported (see
         ``docs/OBSERVABILITY.md``).  Off by default: the disabled path
         is a no-op recorder, so timing-sensitive runs pay nothing.
+    failure_detector:
+        Optional :class:`FailureDetectorConfig` selecting the failure
+        detection subsystem (PROTOCOL §13, :mod:`repro.detect`).
+        ``None`` (default) uses the paper's K-consecutive rule with
+        behaviour bit-identical to the pre-detector engine; the
+        ``"heartbeat"`` kind adds HEARTBEAT traffic and a suspicion set
+        that excuses suspected coordinators under the STRICT leave rule
+        and feeds the coordinator's removal accounting.
     """
 
     n: int
@@ -165,6 +236,7 @@ class UrcgcConfig:
     generate_burst: int = 1
     batching: BatchingConfig | None = None
     observability: bool = False
+    failure_detector: FailureDetectorConfig | None = None
     #: Resilience degree: computed, not settable.
     t: int = field(init=False)
 

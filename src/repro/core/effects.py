@@ -27,6 +27,7 @@ __all__ = [
     "MembershipChange",
     "DecisionApplied",
     "Rejoined",
+    "SuspicionChange",
 ]
 
 
@@ -104,6 +105,20 @@ class Rejoined(Effect):
 
     pid: int
     boundary: int
+
+
+@dataclass(frozen=True)
+class SuspicionChange(Effect):
+    """The failure detector suspected (or cleared) a peer.
+
+    Advisory, not a membership change: removal still goes through a
+    coordinator's decision.  Drivers mirror it into ``fd.*`` metrics
+    and suspect spans (see docs/OBSERVABILITY.md).
+    """
+
+    pid: int
+    suspected: bool
+    reason: str
 
 
 @dataclass(frozen=True)

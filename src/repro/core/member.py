@@ -36,6 +36,7 @@ from __future__ import annotations
 
 from collections import deque
 
+from ..detect import make_detector
 from ..errors import ConfigError, MemberLeftError, NotInGroupError
 from ..net.addressing import BROADCAST_GROUP, GroupAddress, UnicastAddress
 from ..types import ProcessId, SeqNo, SubrunNo
@@ -52,27 +53,35 @@ from .effects import (
     MembershipChange,
     Rejoined,
     Send,
+    SuspicionChange,
 )
 from .group_view import GroupView
 from .history import History
 from .message import (
     KIND_DATA,
     KIND_DECISION,
+    KIND_HEARTBEAT,
     KIND_RECOVERY_RQ,
     KIND_RECOVERY_RSP,
     KIND_REQUEST,
     DecisionMessage,
     GenerateBatch,
+    HeartbeatMessage,
     RecoveryRequest,
     RecoveryResponse,
     RequestMessage,
     UserMessage,
 )
 from .mid import NO_MESSAGE, Mid
-from .rejoin import KIND_JOIN, JoinRequest
+from .rejoin import KIND_JOIN, IncarnationFence, JoinRequest
 from .waiting import WaitingList
 
 __all__ = ["Member"]
+
+#: Bound on the decision cross-check log used for equivocation
+#: detection (PROTOCOL §13): old entries can no longer conflict with
+#: anything adoptable, so the window stays small.
+_DECISION_LOG_LIMIT = 64
 
 
 class Member:
@@ -113,9 +122,16 @@ class Member:
         self._requests_subrun: SubrunNo = SubrunNo(-1)
         self._left_reason: str | None = None
 
-        # Leave-rule state.
-        self._strict_misses = 0
-        self._decision_seen_for: SubrunNo = SubrunNo(-1)
+        # Failure detection (PROTOCOL §13): the paper's K-consecutive
+        # leave rule — and optionally a suspicion-tracking detector —
+        # behind the pluggable repro.detect interface.
+        self.detector = make_detector(pid, config)
+
+        # Decision cross-check log for equivocation detection: subrun
+        # number -> first decision seen for it.
+        self._decision_log: dict[SubrunNo, Decision] = {}
+        # Zombie fence: per-slot admitted-incarnation floor.
+        self._fence = IncarnationFence()
 
         # Recovery state: per-origin attempt counters and the
         # last_processed value observed when the last attempt was made.
@@ -138,8 +154,11 @@ class Member:
         #: True while this member is circulating JoinRequests.
         self.rejoining = False
         self._realign_round: int | None = None
-        #: joiner -> (reported last_processed, full_group_count at stash).
-        self._pending_joins: dict[ProcessId, tuple[tuple[SeqNo, ...], int]] = {}
+        #: joiner -> (reported last_processed, full_group_count at
+        #: stash, incarnation from the JoinRequest).
+        self._pending_joins: dict[
+            ProcessId, tuple[tuple[SeqNo, ...], int, int]
+        ] = {}
         #: Closed void ranges per origin: [first, last] lost forever.
         self._void_ranges: dict[ProcessId, list[tuple[SeqNo, SeqNo]]] = {}
         #: Crash-grace history pins: removed pid -> full_group_count at removal.
@@ -153,6 +172,8 @@ class Member:
         self.forked_decisions_rejected = 0
         self.full_group_decisions_seen = 0
         self.rejoins_observed = 0
+        self.equivocations_detected = 0
+        self.stale_joins_fenced = 0
 
     # ------------------------------------------------------------------
     # public state
@@ -177,6 +198,21 @@ class Member:
     @property
     def pending_submissions(self) -> int:
         return len(self._outbox)
+
+    @property
+    def _decision_seen_for(self) -> SubrunNo:
+        """Leave-rule frontier, now owned by the detector (kept as a
+        property because snapshot restore assigns it directly)."""
+        return self.detector.decision_seen_for
+
+    @_decision_seen_for.setter
+    def _decision_seen_for(self, value: SubrunNo) -> None:
+        self.detector.decision_seen_for = value
+
+    def already_seen(self, mid: Mid) -> bool:
+        """Would receiving ``mid`` again be a duplicate (processed or
+        waiting)?  Drivers use this to dedupe batch expansions."""
+        return self.tracker.is_processed(mid) or mid in self.waiting
 
     def last_processed_vector(self) -> tuple[SeqNo, ...]:
         """``last_processed[j]`` for every ``j`` (Section 4's request field)."""
@@ -255,10 +291,14 @@ class Member:
                 )
                 effects.append(Send(self.group, join, KIND_JOIN))
             return effects
+        if self.detector.tracks_suspicion:
+            self.detector.advance(round_no)
         if round_no % 2 == 0:
             self._first_round(subrun, effects)
         else:
             self._second_round(subrun, effects)
+        if self.detector.tracks_suspicion:
+            self._drain_suspicions(effects)
         return effects
 
     def on_message(self, message: object) -> list[Effect]:
@@ -266,6 +306,8 @@ class Member:
         if self.has_left:
             return []
         effects: list[Effect] = []
+        if self.detector.tracks_suspicion:
+            self._observe_evidence(message)
         if isinstance(message, UserMessage):
             self._handle_user_message(message, effects)
         elif isinstance(message, GenerateBatch):
@@ -289,9 +331,35 @@ class Member:
                 self._handle_user_message(user_message, effects)
         elif isinstance(message, JoinRequest):
             self._handle_join_request(message, effects)
+        elif isinstance(message, HeartbeatMessage):
+            pass  # pure liveness evidence, consumed above
         else:
             raise TypeError(f"unexpected message type {type(message).__name__}")
+        if self.detector.tracks_suspicion:
+            self._drain_suspicions(effects)
         return effects
+
+    def _observe_evidence(self, message: object) -> None:
+        """Feed the suspicion-tracking detector the PDU's liveness
+        evidence (which peer process just proved it is running)."""
+        if isinstance(message, HeartbeatMessage):
+            self.detector.observe_heartbeat(message.sender, message.incarnation)
+        elif isinstance(message, UserMessage):
+            self.detector.observe_alive(message.mid.origin)
+        elif isinstance(message, GenerateBatch):
+            self.detector.observe_alive(message.origin)
+        elif isinstance(message, (RequestMessage, RecoveryRequest, RecoveryResponse)):
+            self.detector.observe_alive(message.sender)
+        elif isinstance(message, DecisionMessage):
+            self.detector.observe_alive(message.decision.coordinator)
+        elif isinstance(message, JoinRequest):
+            self.detector.observe_alive(ProcessId(message.sender))
+
+    def _drain_suspicions(self, effects: list[Effect]) -> None:
+        for event in self.detector.poll_events():
+            effects.append(
+                SuspicionChange(int(event.pid), event.suspected, event.reason)
+            )
 
     def replay_generated(self, message: UserMessage) -> list[Effect]:
         """Re-apply an own message from the WAL during crash recovery.
@@ -313,6 +381,9 @@ class Member:
     # ------------------------------------------------------------------
 
     def _first_round(self, subrun: SubrunNo, effects: list[Effect]) -> None:
+        if self.detector.wants_heartbeats and self.detector.heartbeat_due(subrun):
+            beat = HeartbeatMessage(self.pid, self.incarnation, 2 * int(subrun))
+            effects.append(Send(self.group, beat, KIND_HEARTBEAT))
         self._account_missed_decision(subrun, effects)
         if self.has_left:
             return
@@ -345,7 +416,7 @@ class Member:
         void_from: tuple[SeqNo, ...] = ()
         join_boundary: tuple[SeqNo, ...] = ()
         if self.config.enable_rejoin:
-            for j, (reported, _) in self._pending_joins.items():
+            for j, (reported, _, _) in self._pending_joins.items():
                 if not self.view.is_alive(j):
                     # Boundary: the joiner's own frontier, raised to the
                     # group's knowledge of its sequence (defensive for a
@@ -354,6 +425,11 @@ class Member:
                         max(reported[j], self.latest_decision.max_processed[j])
                     )
             void_from, join_boundary = self._render_void_vectors(joiners)
+        suspected = (
+            self.detector.suspects()
+            if self.detector.tracks_suspicion
+            else frozenset()
+        )
         decision = compute_decision(
             subrun,
             self.pid,
@@ -363,6 +439,7 @@ class Member:
             joiners=joiners or None,
             void_from=void_from,
             join_boundary=join_boundary,
+            suspected=suspected,
         )
         self._requests = {}
         effects.append(Send(self.group, DecisionMessage(decision), KIND_DECISION))
@@ -401,7 +478,7 @@ class Member:
         mid = message.mid
         if self._is_discarded(mid) or any(self._dep_lost(d) for d in message.deps):
             return
-        if self.tracker.is_processed(mid) or mid in self.waiting:
+        if self.already_seen(mid):
             self.duplicate_count += 1
             return
         missing = {dep for dep in message.deps if not self.tracker.is_processed(dep)}
@@ -489,9 +566,36 @@ class Member:
             return  # stale request from a past subrun
         self._stash_request(request.subrun, request.sender, request.info)
 
+    def _is_equivocation(self, decision: Decision) -> bool:
+        """Cross-check ``decision`` against the decision log.
+
+        An equivocating coordinator sends *different* decisions for the
+        same subrun to different members; circulation then confronts
+        each member with both variants.  Two decisions with the same
+        number and the same coordinator but different content prove the
+        equivocation, and the later-seen variant is rejected (the
+        defense is detection + first-seen-wins — tolerating the fork
+        outright would need authenticated consensus, see PROTOCOL §13).
+        Same-number decisions from *different* coordinators are the
+        benign dual-coordinator race under view divergence and pass
+        through to the ordinary chain discipline.
+        """
+        seen = self._decision_log.get(decision.number)
+        if seen is None:
+            self._decision_log[decision.number] = decision
+            if len(self._decision_log) > _DECISION_LOG_LIMIT:
+                del self._decision_log[min(self._decision_log)]
+            return False
+        if seen.coordinator == decision.coordinator and seen != decision:
+            self.equivocations_detected += 1
+            return True
+        return False
+
     def _apply_decision(self, decision: Decision, effects: list[Effect]) -> None:
         if self.rejoining:
             self._apply_decision_rejoining(decision, effects)
+            return
+        if self._is_equivocation(decision):
             return
         if not decision.is_newer_than(self.latest_decision):
             return
@@ -506,17 +610,14 @@ class Member:
             self.forked_decisions_rejected += 1
             return
         chain_gap = decision.chain - self.latest_decision.chain - 1
-        if (
-            self.config.leave_rule is LeaveRule.CONFIRMED
-            and chain_gap >= self.config.K
-        ):
-            # We provably failed to receive from K consecutive
-            # (decision-producing) coordinators.
-            self._leave(f"missed {chain_gap} consecutive decisions", effects)
+        # The CONFIRMED rule: a chain gap proves we failed to receive
+        # from that many consecutive (decision-producing) coordinators.
+        leave_reason = self.detector.observe_chain_gap(chain_gap)
+        if leave_reason is not None:
+            self._leave(leave_reason, effects)
             return
         self.latest_decision = decision
-        self._decision_seen_for = max(self._decision_seen_for, decision.number)
-        self._strict_misses = 0
+        self.detector.decision_adopted(decision.number)
         effects.append(DecisionApplied(decision))
 
         if self.config.enable_rejoin:
@@ -605,9 +706,17 @@ class Member:
         sender = ProcessId(join.sender)
         if sender == self.pid or len(join.last_processed) != self.config.n:
             return
+        if self._fence.is_stale(sender, join.incarnation):
+            # Incarnation fence (PROTOCOL §13): a replayed JoinRequest
+            # from an incarnation this member already saw admitted is a
+            # zombie — it must not re-pin histories or be folded into
+            # another decision.
+            self.stale_joins_fenced += 1
+            return
         self._pending_joins[sender] = (
             join.last_processed,
             self.latest_decision.full_group_count,
+            join.incarnation,
         )
         self.history.set_recovery_floor(
             ("join", int(sender)),
@@ -652,6 +761,10 @@ class Member:
             if decision.alive[k] and not self.view.is_alive(origin):
                 self.view.restore(origin)
                 self.rejoins_observed += 1
+                pending = self._pending_joins.get(origin)
+                self._fence.admit(
+                    origin, pending[2] if pending is not None else None
+                )
                 boundary = (
                     decision.join_boundary[k]
                     if decision.join_boundary
@@ -668,6 +781,7 @@ class Member:
                 self._pending_joins[ProcessId(j)] = (
                     pending[0],
                     decision.full_group_count,
+                    pending[2],
                 )
 
     def _adopt_mark(self, origin: ProcessId, mark: SeqNo, effects: list[Effect]) -> None:
@@ -764,7 +878,7 @@ class Member:
             ):
                 self.history.clear_recovery_floor(("crash", int(gone)))
                 del self._crash_pins[gone]
-        for j, (_, at) in list(self._pending_joins.items()):
+        for j, (_, at, _) in list(self._pending_joins.items()):
             admitted = self.view.is_alive(j)
             if admitted and decision.contributors[j]:
                 self.history.clear_recovery_floor(("join", int(j)))
@@ -787,13 +901,17 @@ class Member:
         and without coordinator duties.  Seeing ourselves alive in a
         decision completes the rejoin.
         """
+        if self._is_equivocation(decision):
+            return
         if not decision.is_newer_than(self.latest_decision):
             return
         if decision.chain <= self.latest_decision.chain:
             self.forked_decisions_rejected += 1
             return
         self.latest_decision = decision
-        self._decision_seen_for = max(self._decision_seen_for, decision.number)
+        # Rejoin path: update the seen-frontier but accrue/reset no
+        # misses (a rejoining member missed decisions by definition).
+        self.detector.decision_adopted(decision.number, reset_misses=False)
         effects.append(DecisionApplied(decision))
         self._sync_rejoin_state(decision, effects)
         removed: list[ProcessId] = []
@@ -815,7 +933,8 @@ class Member:
     def _complete_rejoin(self, decision: Decision, effects: list[Effect]) -> None:
         self.rejoining = False
         self.view.restore(self.pid)
-        self._strict_misses = 0
+        self.detector.reset()
+        self._fence.admit(self.pid, self.incarnation)
         # Resume the subrun clock right after the admitting decision.
         self._realign_round = 2 * (int(decision.number) + 1)
         boundary = (
@@ -891,24 +1010,31 @@ class Member:
 
     def _account_missed_decision(self, subrun: SubrunNo, effects: list[Effect]) -> None:
         """At the start of subrun ``s`` check whether subrun ``s-1``
-        produced a decision we received (STRICT rule only)."""
+        produced a decision we received (STRICT rule only).
+
+        The counting itself lives in the detector; the member supplies
+        the *excusal* evidence — no coordinator exists for the subrun,
+        the local view already marks it crashed, or the suspicion
+        surface suspects it (a suspected-silent coordinator is the
+        detector's failure to observe, not ours).
+        """
         if self.config.leave_rule is not LeaveRule.STRICT or subrun == 0:
             return
         previous = SubrunNo(subrun - 1)
-        if self._decision_seen_for >= previous:
-            return
         try:
             coordinator = self.view.coordinator_of(previous)
         except NotInGroupError:
-            return
-        if not self.view.is_alive(coordinator):
-            return  # excused: the local view already knows it crashed
-        self._strict_misses += 1
-        if self._strict_misses >= self.config.K:
-            self._leave(
-                f"missed decisions from {self._strict_misses} consecutive coordinators",
-                effects,
+            excused = True
+        else:
+            excused = (
+                not self.view.is_alive(coordinator)
+                or coordinator in self.detector.suspects()
             )
+        leave_reason = self.detector.account_missed_decision(
+            previous, excused=excused
+        )
+        if leave_reason is not None:
+            self._leave(leave_reason, effects)
 
     def _leave(self, reason: str, effects: list[Effect]) -> None:
         if self.has_left:

@@ -34,12 +34,14 @@ __all__ = [
     "DecisionMessage",
     "RecoveryRequest",
     "RecoveryResponse",
+    "HeartbeatMessage",
     "KIND_DATA",
     "KIND_BATCH",
     "KIND_REQUEST",
     "KIND_DECISION",
     "KIND_RECOVERY_RQ",
     "KIND_RECOVERY_RSP",
+    "KIND_HEARTBEAT",
 ]
 
 #: Packet-kind labels used for traffic accounting (Table 1 separates
@@ -50,6 +52,7 @@ KIND_REQUEST = "ctrl-request"
 KIND_DECISION = "ctrl-decision"
 KIND_RECOVERY_RQ = "ctrl-recovery-rq"
 KIND_RECOVERY_RSP = "ctrl-recovery-rsp"
+KIND_HEARTBEAT = "ctrl-heartbeat"
 
 _TAG_USER = 10
 _TAG_REQUEST = 11
@@ -57,6 +60,7 @@ _TAG_DECISION = 12
 _TAG_RECOVERY_RQ = 13
 _TAG_RECOVERY_RSP = 14
 _TAG_GENERATE_BATCH = 17
+_TAG_HEARTBEAT = 18
 
 
 def _write_mid(writer: Writer, mid: Mid) -> None:
@@ -367,6 +371,40 @@ class RecoveryResponse:
         return cls(sender, tuple(messages))
 
 
+@dataclass(frozen=True)
+class HeartbeatMessage:
+    """A liveness beacon for the heartbeat failure detector.
+
+    Broadcast once per ``heartbeat_every`` subruns when
+    ``UrcgcConfig.failure_detector`` selects the heartbeat kind
+    (PROTOCOL §13).  Carries the sender's incarnation so a detector can
+    tell a rejoined slot's beacons from its previous life's stragglers,
+    and the sender's round number for diagnostics.
+    """
+
+    sender: ProcessId
+    incarnation: int
+    round_no: int
+
+    def __post_init__(self) -> None:
+        if self.sender < 0 or self.incarnation < 0 or self.round_no < 0:
+            raise WireFormatError(
+                f"bad heartbeat ({self.sender}, {self.incarnation}, {self.round_no})"
+            )
+
+    def encode_fields(self, writer: Writer) -> None:
+        writer.u16(self.sender)
+        writer.u32(self.incarnation)
+        writer.u32(self.round_no)
+
+    @classmethod
+    def decode_fields(cls, reader: Reader) -> "HeartbeatMessage":
+        sender = ProcessId(reader.u16())
+        incarnation = reader.u32()
+        round_no = reader.u32()
+        return cls(sender, incarnation, round_no)
+
+
 global_registry.register(_TAG_USER, UserMessage, UserMessage.decode_fields)
 global_registry.register(
     _TAG_GENERATE_BATCH, GenerateBatch, GenerateBatch.decode_fields
@@ -376,4 +414,7 @@ global_registry.register(_TAG_DECISION, DecisionMessage, DecisionMessage.decode_
 global_registry.register(_TAG_RECOVERY_RQ, RecoveryRequest, RecoveryRequest.decode_fields)
 global_registry.register(
     _TAG_RECOVERY_RSP, RecoveryResponse, RecoveryResponse.decode_fields
+)
+global_registry.register(
+    _TAG_HEARTBEAT, HeartbeatMessage, HeartbeatMessage.decode_fields
 )

@@ -45,6 +45,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 __all__ = [
     "KIND_JOIN",
     "JoinRequest",
+    "IncarnationFence",
     "MemberState",
     "RECORD_GENERATED",
     "RECORD_PROCESSED",
@@ -94,6 +95,49 @@ class JoinRequest:
 
 
 global_registry.register(_TAG_JOIN, JoinRequest, JoinRequest.decode_fields)
+
+
+class IncarnationFence:
+    """Per-slot floor of *admitted* incarnations (PROTOCOL §13).
+
+    Mids are incarnation-blind, so a replayed JoinRequest from an
+    incarnation the group already admitted — a "zombie rejoin" — would
+    re-pin every member's history and could be folded into a fresh
+    decision for a slot that is alive and well.  The fence drops it:
+    each member records, *at admission time*, the incarnation a slot
+    was admitted with (or bumps the floor by one when the admission
+    arrived via a decision without the JoinRequest detail), and any
+    later JoinRequest at or below that floor is stale.
+
+    Recording at admission — not at JoinRequest receipt — is what lets
+    a genuine joiner rebroadcast its request every subrun until a
+    coordinator picks it up.
+    """
+
+    __slots__ = ("_admitted",)
+
+    def __init__(self) -> None:
+        self._admitted: dict[ProcessId, int] = {}
+
+    def floor(self, pid: ProcessId) -> int:
+        """Highest incarnation of ``pid`` known admitted (0 = original
+        incarnation only)."""
+        return self._admitted.get(pid, 0)
+
+    def is_stale(self, pid: ProcessId, incarnation: int) -> bool:
+        """Is a JoinRequest at ``incarnation`` a zombie replay?"""
+        return incarnation <= self.floor(pid)
+
+    def admit(self, pid: ProcessId, incarnation: int | None = None) -> None:
+        """Record an admission.  ``incarnation=None`` means the slot
+        was restored by a decision whose JoinRequest this member never
+        saw; incarnations advance by one per rejoin, so the floor bumps
+        by one."""
+        current = self.floor(pid)
+        if incarnation is None:
+            self._admitted[pid] = current + 1
+        elif incarnation > current:
+            self._admitted[pid] = incarnation
 
 
 @dataclass

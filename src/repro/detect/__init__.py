@@ -1,0 +1,56 @@
+"""Pluggable failure detection (PROTOCOL §13).
+
+The member engine consults a :class:`~repro.detect.base.FailureDetector`
+for both of the paper's detection questions — "should I leave?" and
+"whom do I suspect?" — selected by
+``UrcgcConfig(failure_detector=FailureDetectorConfig(kind=...))``:
+
+* ``"k-consecutive"`` (and ``failure_detector=None``) — the paper's
+  rule, extracted verbatim from the member; bit-identical behaviour.
+* ``"heartbeat"`` — eventually-perfect timeout-with-backoff over
+  HEARTBEAT PDUs (:mod:`repro.detect.heartbeat`).
+* ``"oracle"`` — a test-driven perfect detector
+  (:mod:`repro.detect.oracle`).
+
+``HeartbeatDetector`` is imported lazily (it pulls in
+:mod:`repro.runtime`, which imports :mod:`repro.core` back); import it
+from :mod:`repro.detect.heartbeat` directly when needed eagerly.
+"""
+
+from __future__ import annotations
+
+from ..core.config import UrcgcConfig
+from ..errors import ConfigError
+from ..types import ProcessId
+from .base import FailureDetector, SuspicionEvent
+from .kconsecutive import KConsecutiveDetector
+from .oracle import OracleDetector
+
+__all__ = [
+    "FailureDetector",
+    "SuspicionEvent",
+    "KConsecutiveDetector",
+    "OracleDetector",
+    "make_detector",
+]
+
+
+def make_detector(pid: ProcessId, config: UrcgcConfig) -> FailureDetector:
+    """Build the detector ``config.failure_detector`` selects.
+
+    ``None`` means the paper's K-consecutive rule (the engine's
+    historical inline behaviour, bit for bit).
+    """
+    spec = config.failure_detector
+    if spec is None or spec.kind == "k-consecutive":
+        return KConsecutiveDetector(config)
+    if spec.kind == "heartbeat":
+        # Lazy: repro.runtime imports repro.core.member at package
+        # import time, so pulling it in here (call time) avoids a
+        # circular import while core.member itself is loading.
+        from .heartbeat import HeartbeatDetector
+
+        return HeartbeatDetector(pid, config)
+    if spec.kind == "oracle":
+        return OracleDetector(config)
+    raise ConfigError(f"unknown detector kind {spec.kind!r}")

@@ -1,0 +1,120 @@
+"""The failure-detector interface the member engine consults.
+
+The paper hardwires one detection heuristic — leave after missing
+decisions from K consecutive coordinators — into the member.  This
+module abstracts it into a pluggable subsystem: a
+:class:`FailureDetector` observes the evidence the engine already has
+(adopted decisions, chain gaps, per-subrun silence) plus, for richer
+detectors, liveness evidence (any PDU from a peer, explicit HEARTBEAT
+messages, the advancing round clock), and answers two questions:
+
+* *Should this member leave?* — the leave-rule surface
+  (:meth:`~FailureDetector.account_missed_decision`,
+  :meth:`~FailureDetector.observe_chain_gap`) returns a leave reason
+  or ``None``; the member executes the leave.
+* *Whom do we suspect?* — the suspicion surface
+  (:meth:`~FailureDetector.suspects`,
+  :meth:`~FailureDetector.poll_events`) feeds the STRICT rule's
+  coordinator excusal, the coordinator's removal accounting, and the
+  driver's ``fd.*`` metrics.
+
+Implementations: :class:`~repro.detect.kconsecutive.KConsecutiveDetector`
+(the paper's rule, extracted verbatim),
+:class:`~repro.detect.heartbeat.HeartbeatDetector` (eventually perfect,
+timeout-with-backoff), and :class:`~repro.detect.oracle.OracleDetector`
+(test-only perfect detector).  See PROTOCOL §13.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..types import ProcessId, SubrunNo
+
+__all__ = ["SuspicionEvent", "FailureDetector"]
+
+
+@dataclass(frozen=True)
+class SuspicionEvent:
+    """One suspect/unsuspect transition, drained via ``poll_events``."""
+
+    pid: ProcessId
+    suspected: bool
+    reason: str
+
+
+class FailureDetector:
+    """Base detector: every hook is a no-op and nobody is suspected.
+
+    Subclasses override the subset of hooks their evidence needs.  All
+    hooks are synchronous and side-effect-free outside the detector —
+    the member translates their answers into effects.
+    """
+
+    #: Short name used in reports and metrics labels.
+    name = "none"
+    #: True when the driver should broadcast/consume HEARTBEAT PDUs.
+    wants_heartbeats = False
+    #: True when the detector maintains a suspect set worth polling.
+    tracks_suspicion = False
+    #: Highest subrun number whose decision has been adopted — the
+    #: leave-rule frontier (restored from snapshots on recovery).
+    decision_seen_for: SubrunNo = SubrunNo(-1)
+
+    # -- leave-rule surface (the paper's K-consecutive semantics) -----
+
+    def account_missed_decision(
+        self, previous: SubrunNo, *, excused: bool
+    ) -> str | None:
+        """Subrun ``previous`` produced no decision we received.
+
+        ``excused`` is True when the member cannot hold the silence
+        against the coordinator (no coordinator exists, the view
+        already marks it crashed, or the suspicion surface suspects
+        it).  Returns a leave reason when the rule trips.
+        """
+        return None
+
+    def observe_chain_gap(self, chain_gap: int) -> str | None:
+        """An adopted decision skipped ``chain_gap`` chain entries.
+
+        Returns a leave reason when the gap proves K missed decisions
+        (the CONFIRMED rule).
+        """
+        return None
+
+    def decision_adopted(
+        self, number: SubrunNo, *, reset_misses: bool = True
+    ) -> None:
+        """A decision for subrun ``number`` was adopted.
+
+        ``reset_misses=False`` is the rejoin path: the decision updates
+        the seen-frontier but a rejoining member accrues no misses to
+        reset.
+        """
+
+    def reset(self) -> None:
+        """Clear accumulated miss state (called when a rejoin completes)."""
+
+    # -- suspicion surface --------------------------------------------
+
+    def advance(self, round_no: int) -> None:
+        """The round clock ticked; re-evaluate timeouts."""
+
+    def observe_alive(self, pid: ProcessId) -> None:
+        """Any PDU from ``pid`` arrived — evidence it is alive."""
+
+    def observe_heartbeat(self, pid: ProcessId, incarnation: int) -> None:
+        """An explicit HEARTBEAT from ``pid`` arrived."""
+
+    def heartbeat_due(self, subrun: SubrunNo) -> bool:
+        """Should the member broadcast a HEARTBEAT this subrun?"""
+        return False
+
+    def suspects(self) -> frozenset[ProcessId]:
+        """The current suspect set (empty for evidence-free detectors)."""
+        return frozenset()
+
+    def poll_events(self) -> list[SuspicionEvent]:
+        """Drain suspect/unsuspect transitions since the last poll."""
+        return []

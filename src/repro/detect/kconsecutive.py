@@ -1,0 +1,76 @@
+"""The paper's K-consecutive detection rule, extracted from the member.
+
+This is the exact leave-rule logic that used to live inline in
+``Member._account_missed_decision`` and ``Member._apply_decision``
+(the ``_strict_misses`` / ``_decision_seen_for`` / ``chain_gap``
+state), moved behind the :class:`~repro.detect.base.FailureDetector`
+interface.  Behaviour is bit-identical — the equivalence property test
+in ``tests/properties/test_detector_properties.py`` replays arbitrary
+decision/miss traces against a reimplementation of the pre-refactor
+inline logic and asserts identical leave decisions.
+
+The rule has two readings, selected by ``config.leave_rule``:
+
+* **CONFIRMED** — count only decisions *proven* missed by a gap in the
+  decision chain counter; K or more at once forces a leave.
+* **STRICT** — count every subrun whose decision never arrived,
+  excusing coordinators the local view (or the suspicion surface)
+  already holds crashed; K consecutive misses force a leave.
+
+It produces no suspicions: the paper's detection is purely
+leave-oriented (a member infers *its own* receive-omission failure).
+"""
+
+from __future__ import annotations
+
+from ..core.config import LeaveRule, UrcgcConfig
+from ..types import SubrunNo
+from .base import FailureDetector
+
+__all__ = ["KConsecutiveDetector"]
+
+
+class KConsecutiveDetector(FailureDetector):
+    """Leave after missing decisions from K consecutive coordinators."""
+
+    name = "k-consecutive"
+
+    def __init__(self, config: UrcgcConfig) -> None:
+        self._K = config.K
+        self._rule = config.leave_rule
+        #: Consecutive subruns without a decision (STRICT rule).
+        self.strict_misses = 0
+        #: Highest subrun number whose decision we have adopted.
+        self.decision_seen_for: SubrunNo = SubrunNo(-1)
+
+    def account_missed_decision(
+        self, previous: SubrunNo, *, excused: bool
+    ) -> str | None:
+        if self._rule is not LeaveRule.STRICT:
+            return None
+        if self.decision_seen_for >= previous:
+            return None
+        if excused:
+            return None
+        self.strict_misses += 1
+        if self.strict_misses >= self._K:
+            return (
+                f"missed decisions from {self.strict_misses} consecutive coordinators"
+            )
+        return None
+
+    def observe_chain_gap(self, chain_gap: int) -> str | None:
+        if self._rule is LeaveRule.CONFIRMED and chain_gap >= self._K:
+            return f"missed {chain_gap} consecutive decisions"
+        return None
+
+    def decision_adopted(
+        self, number: SubrunNo, *, reset_misses: bool = True
+    ) -> None:
+        if number > self.decision_seen_for:
+            self.decision_seen_for = number
+        if reset_misses:
+            self.strict_misses = 0
+
+    def reset(self) -> None:
+        self.strict_misses = 0

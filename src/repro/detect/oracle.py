@@ -1,0 +1,51 @@
+"""A configurable perfect failure detector for tests.
+
+The oracle suspects exactly the set the harness tells it to
+(:meth:`OracleDetector.set_crashed`): no false suspicions, no
+detection latency.  It exists so scenarios and unit tests can separate
+"what does the protocol do *given* correct suspicion" from "how fast
+does suspicion converge" — the classic P-detector baseline the
+eventually-perfect heartbeat detector is measured against.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..core.config import UrcgcConfig
+from ..types import ProcessId
+from .base import SuspicionEvent
+from .kconsecutive import KConsecutiveDetector
+
+__all__ = ["OracleDetector"]
+
+
+class OracleDetector(KConsecutiveDetector):
+    """Suspects exactly the processes the test declares crashed."""
+
+    name = "oracle"
+    tracks_suspicion = True
+
+    def __init__(self, config: UrcgcConfig) -> None:
+        super().__init__(config)
+        self._crashed: set[ProcessId] = set()
+        self._events: list[SuspicionEvent] = []
+        self.suspicions_total = 0
+
+    def set_crashed(self, pids: Iterable[ProcessId]) -> None:
+        """Replace the suspect set; transitions are reported as events."""
+        target = set(pids)
+        for pid in sorted(target - self._crashed):
+            self.suspicions_total += 1
+            self._events.append(SuspicionEvent(pid, True, "oracle: crashed"))
+        for pid in sorted(self._crashed - target):
+            self._events.append(SuspicionEvent(pid, False, "oracle: recovered"))
+        self._crashed = target
+
+    def suspects(self) -> frozenset[ProcessId]:
+        return frozenset(self._crashed)
+
+    def poll_events(self) -> list[SuspicionEvent]:
+        events = self._events
+        self._events = []
+        return events

@@ -1,0 +1,157 @@
+"""Adversarial packet mutators for the chaos harness (PROTOCOL §13).
+
+Omission-model chaos (crash, loss, partition) exercises the paper's
+*assumed* fault envelope.  This module steps outside it: each mutator
+is a :data:`~repro.net.faults.PacketMutator` that rewrites datagrams
+in flight the way a buggy or Byzantine peer would, so the receive-path
+defenses (decode hardening, semantic validation, equivocation
+detection, incarnation fencing) can be demonstrated end to end by
+:mod:`repro.harness.adversarial`.
+
+Three families:
+
+* :class:`DepVectorForger` — corrupts the causal metadata of DATA
+  messages: out-of-range dependency origins or plain truncation.  The
+  receiver's decode/validation layer must drop these as losses.
+* :class:`Equivocator` — rewrites a coordinator's DECISION *per
+  destination*, so different members observe conflicting decisions
+  with the same number and coordinator.  The engines' decision-log
+  cross-check must reject the conflicting copy.
+* :class:`JoinReplayTap` — records JOIN request datagrams so a
+  scenario can later replay a stale incarnation's join (a "zombie"):
+  incarnation fencing must refuse it.
+
+Mutators select their victims by ``packet.kind`` and source pid and
+return ``None`` (no rewrite) for everything else, so they compose with
+any other traffic on the fabric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..core.message import (
+    KIND_DATA,
+    KIND_DECISION,
+    DecisionMessage,
+    UserMessage,
+)
+from ..core.mid import Mid
+from ..core.rejoin import KIND_JOIN
+from ..errors import WireFormatError
+from ..net.packet import Packet
+from ..net.wire import decode_message, encode_message
+from ..types import ProcessId, SeqNo, Time
+
+__all__ = ["DepVectorForger", "Equivocator", "JoinReplayTap", "FORGED_ORIGIN"]
+
+#: Dependency origin no real group can contain (u16 max): semantic
+#: validation rejects any member index >= n.
+FORGED_ORIGIN = ProcessId(0xFFFF)
+
+
+class DepVectorForger:
+    """Forge the dependency vector of DATA messages from ``victim``.
+
+    Every ``stride``-th DATA datagram from the victim is rewritten for
+    each destination: either its dependency list gains a mid with an
+    impossible origin (``mode="out-of-range"``) or the datagram is cut
+    short mid-vector (``mode="truncate"``).  Both must be dropped by
+    the receiver — the first by semantic validation, the second by the
+    structural decoder — and recovered like an ordinary omission.
+    """
+
+    def __init__(self, victim: ProcessId, *, mode: str = "out-of-range", stride: int = 2) -> None:
+        if mode not in ("out-of-range", "truncate"):
+            raise ValueError(f"unknown forge mode {mode!r}")
+        if stride < 1:
+            raise ValueError(f"stride must be >= 1, got {stride}")
+        self.victim = victim
+        self.mode = mode
+        self.stride = stride
+        #: Datagram copies this forger rewrote.
+        self.forged = 0
+        self._seen = 0
+
+    def __call__(self, packet: Packet, dst: ProcessId, now: Time) -> bytes | None:
+        if packet.kind != KIND_DATA or packet.src != self.victim:
+            return None
+        self._seen += 1
+        if self._seen % self.stride:
+            return None
+        if self.mode == "truncate":
+            if len(packet.payload) < 4:
+                return None
+            self.forged += 1
+            return packet.payload[: len(packet.payload) - 3]
+        try:
+            message = decode_message(packet.payload)
+        except WireFormatError:
+            return None
+        if not isinstance(message, UserMessage):
+            return None
+        forged = replace(
+            message,
+            deps=(*message.deps, Mid(FORGED_ORIGIN, SeqNo(1))),
+        )
+        self.forged += 1
+        return encode_message(forged)
+
+
+class Equivocator:
+    """Make coordinator ``victim`` appear to equivocate its DECISIONs.
+
+    Destination copies with odd pids receive a *different* decision
+    under the same number and coordinator: the stability vector is
+    inflated by one for the coordinator's own slot (a lie about what
+    is safe to clean).  The copy is wire-valid and semantically in
+    range, so only the per-number decision-log cross-check in the
+    engine can catch the conflict.
+    """
+
+    def __init__(self, victim: ProcessId) -> None:
+        self.victim = victim
+        #: DECISION copies rewritten into the conflicting variant.
+        self.equivocated = 0
+
+    def __call__(self, packet: Packet, dst: ProcessId, now: Time) -> bytes | None:
+        if packet.kind != KIND_DECISION or packet.src != self.victim:
+            return None
+        if int(dst) % 2 == 0:
+            return None  # even pids see the honest decision
+        try:
+            message = decode_message(packet.payload)
+        except WireFormatError:
+            return None
+        if not isinstance(message, DecisionMessage):
+            return None
+        decision = message.decision
+        stable = list(decision.stable)
+        slot = int(decision.coordinator) % len(stable)
+        stable[slot] = SeqNo(int(stable[slot]) + 1)
+        self.equivocated += 1
+        return encode_message(
+            DecisionMessage(replace(decision, stable=tuple(stable)))
+        )
+
+
+class JoinReplayTap:
+    """Record JOIN datagrams for later zombie replay.
+
+    A passive tap: it never rewrites anything (always returns
+    ``None``), but keeps the raw bytes of every JOIN request ``victim``
+    broadcasts.  A scenario replays :attr:`captured` onto the fabric
+    after the victim has been re-admitted under a newer incarnation —
+    the replayed join carries the stale incarnation and must be fenced.
+    """
+
+    def __init__(self, victim: ProcessId) -> None:
+        self.victim = victim
+        #: Raw JOIN payloads in capture order (deduplicated).
+        self.captured: list[bytes] = []
+
+    def __call__(self, packet: Packet, dst: ProcessId, now: Time) -> bytes | None:
+        if packet.kind == KIND_JOIN and packet.src == self.victim:
+            if packet.payload not in self.captured:
+                self.captured.append(packet.payload)
+        return None

@@ -23,15 +23,23 @@ from ..core.effects import (
     Discarded,
     Effect,
     Left,
+    SuspicionChange,
 )
 from ..core.member import Member
-from ..core.message import DecisionMessage, RequestMessage, UserMessage
+from ..core.message import (
+    DecisionMessage,
+    GenerateBatch,
+    RequestMessage,
+    UserMessage,
+)
 from ..core.service import UrcgcService
+from ..core.validate import validate_message
+from ..errors import WireFormatError
 from ..net.addressing import BROADCAST_GROUP
 from ..net.faults import FaultPlan
 from ..net.network import DatagramNetwork
 from ..net.transport import MulticastTransport
-from ..net.wire import decode_message, encode_message
+from ..net.wire import BatchFrame, decode_message, encode_message
 from ..obs import NULL_RECORDER, Recorder, write_jsonl
 from ..sim.kernel import Kernel
 from ..sim.rounds import RoundScheduler
@@ -113,6 +121,14 @@ class SimCluster:
         self.transports: list[MulticastTransport] = []
         self._quiescent_at: Time | None = None
         self.storage = storage
+        #: Datagrams dropped by the hardened decode path (malformed or
+        #: semantically out-of-range PDUs), cluster-wide.
+        self.decode_errors = 0
+        #: Batch-expanded duplicates suppressed before the engine.
+        self.dup_suppressed = 0
+        #: Suspicion transitions reported by members' failure
+        #: detectors, as (pid, effect) pairs in occurrence order.
+        self.suspicion_events: list[tuple[ProcessId, SuspicionChange]] = []
         #: Per-member delivery logs, kept only when storage is enabled
         #: (snapshots serialize them).
         self.delivered: list[list[UserMessage]] | None = (
@@ -294,12 +310,46 @@ class SimCluster:
     def _on_data(self, pid: ProcessId, src: ProcessId, data: bytes) -> None:
         if not self.is_active(pid):
             return
-        for message in expand_message(decode_message(data)):
-            member = self.members[pid]
+        try:
+            decoded = decode_message(data)
+            expanded = list(expand_message(decoded))
+        except WireFormatError:
+            # Malformed bytes (bad tag, truncated vector, garbage) are
+            # a loss at this endpoint, never a crash of the simulation.
+            self._count_decode_error(pid, "parse")
+            return
+        batched = isinstance(decoded, (BatchFrame, GenerateBatch))
+        member = self.members[pid]
+        for message in expanded:
             if member.has_left:
                 break
+            problem = validate_message(message, self.config.n)
+            if problem is not None:
+                # Structurally valid but semantically out of range
+                # (forged vector, member index >= n): drop the PDU.
+                self._count_decode_error(pid, "range")
+                continue
+            if (
+                batched
+                and isinstance(message, UserMessage)
+                and member.already_seen(message.mid)
+            ):
+                # A duplicated batch frame re-expands every sub-message;
+                # suppress the copies once here so duplication x
+                # batching is not multiply-counted by the engine.
+                self.dup_suppressed += 1
+                if self._obs:
+                    self.kernel.metrics.count("batch.dup_suppressed", node=int(pid))
+                continue
             effects = member.on_message(message)
             self._execute(pid, effects)
+
+    def _count_decode_error(self, pid: ProcessId, reason: str) -> None:
+        self.decode_errors += 1
+        if self._obs:
+            self.kernel.metrics.count(
+                "net.decode_error", node=int(pid), reason=reason
+            )
 
     def _node_storage(self, pid: ProcessId) -> "NodeStorage | None":
         if self.storage is None:
@@ -343,6 +393,24 @@ class SimCluster:
                 self.kernel.trace.emit(
                     now, "member.discarded", pid,
                     lost=effect.lost, count=len(effect.discarded),
+                )
+            elif isinstance(effect, SuspicionChange):
+                self.suspicion_events.append((pid, effect))
+                if self._obs:
+                    self.recorder.suspect(
+                        effect.pid,
+                        suspected=effect.suspected,
+                        node=int(pid),
+                        reason=effect.reason,
+                        time=now,
+                    )
+                    self.kernel.metrics.count(
+                        "fd.suspect" if effect.suspected else "fd.unsuspect",
+                        node=int(pid),
+                    )
+                self.kernel.trace.emit(
+                    now, "member.suspect", pid,
+                    target=int(effect.pid), suspected=effect.suspected,
                 )
             elif isinstance(effect, Left):
                 self.kernel.trace.emit(now, "member.left", pid, reason=effect.reason)

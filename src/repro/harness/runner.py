@@ -200,6 +200,14 @@ def main(argv: list[str] | None = None) -> int:
     chaos_parser.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON"
     )
+    chaos_parser.add_argument(
+        "--scenario",
+        default=None,
+        metavar="NAME|all",
+        help="run a named adversarial scenario (or 'all') with "
+        "per-guarantee survival verdicts instead of randomized runs; "
+        "--seed picks the base seed and -n the seeds per scenario",
+    )
     recover_parser = sub.add_parser(
         "recover",
         help="crash-and-recover torture: WAL + snapshot restore, rejoin "
@@ -279,6 +287,34 @@ def main(argv: list[str] | None = None) -> int:
             clean = sum(1 for r in results if r.ok)
             print(f"{clean}/{args.iterations} scenarios clean")
         return 1 if any(not r.ok for r in results) else 0
+    if args.command == "chaos" and args.scenario is not None:
+        from .adversarial import SCENARIOS, run_scenarios, scenarios_as_json
+
+        if args.scenario != "all" and args.scenario not in SCENARIOS:
+            known = ", ".join(sorted(SCENARIOS))
+            parser.error(f"unknown scenario {args.scenario!r} (known: {known}, all)")
+        names = None if args.scenario == "all" else [args.scenario]
+        results = run_scenarios(
+            names,
+            seeds=range(args.seed, args.seed + max(1, args.iterations)),
+            budget=args.budget,
+            round_interval=args.round_interval,
+        )
+        if args.json:
+            import json
+
+            print(json.dumps(scenarios_as_json(results), indent=2))
+        else:
+            for result in results:
+                print(result.describe())
+                if not result.ok:
+                    print(
+                        f"    reproduce: python -m repro chaos "
+                        f"--scenario {result.scenario} -n 1 --seed {result.seed}"
+                    )
+            clean = sum(1 for r in results if r.ok)
+            print(f"{clean}/{len(results)} scenario runs clean")
+        return 1 if any(not r.ok for r in results) else 0
     if args.command == "chaos":
         from .live_torture import live_torture, results_as_json
 
@@ -328,7 +364,8 @@ def main(argv: list[str] | None = None) -> int:
             "run": "run one experiment (or 'all'); --json for machine output",
             "torture": "randomized simulator scenarios audited against the "
             "URCGC theorems",
-            "chaos": "live fault-injected asyncio runs (Definition 3.2 audit)",
+            "chaos": "live fault-injected asyncio runs (Definition 3.2 audit); "
+            "--scenario NAME|all for adversarial per-guarantee verdicts",
             "recover": "crash-and-recover runs: WAL/snapshot restore + rejoin",
             "lint": "protocol-aware static analysis (D/A/W/H rule families)",
             "report": "render a JSONL observability trace (--demo to produce one)",

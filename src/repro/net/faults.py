@@ -46,6 +46,7 @@ __all__ = [
     "PartitionMap",
     "FaultPlan",
     "DropDecision",
+    "PacketMutator",
 ]
 
 
@@ -218,6 +219,16 @@ SendFilter = Callable[[Packet, Time], bool]
 #: (True drops the copy bound for ``dst`` only).
 ReceiveFilter = Callable[[Packet, ProcessId, Time], bool]
 
+#: Adversarial per-destination payload rewrite: ``f(packet, dst, now)``
+#: returns replacement payload bytes for the copy bound for ``dst``, or
+#: None to leave it untouched.  Unlike :meth:`FaultPlan.maybe_corrupt`
+#: (random bit flips, usually caught at decode) a mutator crafts
+#: *structurally valid* adversarial bytes — forged dependency vectors,
+#: equivocating decisions — that exercise the semantic defenses
+#: (PROTOCOL §13).  Because the rewrite is per destination, the same
+#: multicast can say different things to different members.
+PacketMutator = Callable[[Packet, ProcessId, Time], Optional[bytes]]
+
 
 class FaultPlan:
     """Everything that can go wrong, queried per packet.
@@ -264,6 +275,42 @@ class FaultPlan:
         #: injection in tests; see the class docstring for signatures.
         self.custom_send_filter: Optional[SendFilter] = None
         self.custom_receive_filter: Optional[ReceiveFilter] = None
+        #: Adversarial per-destination payload rewriters, applied in
+        #: registration order at delivery time (see :data:`PacketMutator`).
+        self._mutators: list[PacketMutator] = []
+        #: ``(src, kind)`` pairs whose sends are silently suppressed —
+        #: the alive-but-suspected fault (e.g. heartbeat suppression).
+        self._suppressed_kinds: set[tuple[ProcessId, str]] = set()
+
+    def add_mutator(self, mutator: PacketMutator) -> None:
+        """Register an adversarial payload rewriter (PROTOCOL §13)."""
+        self._mutators.append(mutator)
+
+    def suppress_kind(self, src: ProcessId, kind: str) -> None:
+        """Silently drop every ``kind`` packet ``src`` sends, leaving
+        all its other traffic intact — the surgical fault that makes a
+        live process look dead to one detector channel."""
+        self._suppressed_kinds.add((src, kind))
+
+    def unsuppress_kind(self, src: ProcessId, kind: str) -> None:
+        self._suppressed_kinds.discard((src, kind))
+
+    def mutate(self, packet: Packet, dst: ProcessId, now: Time) -> bytes | None:
+        """Run the mutator chain for ``dst``'s copy of ``packet``.
+
+        Returns the rewritten payload, or None when every mutator left
+        it alone.  Mutators compose: each sees the previous rewrite.
+        """
+        if not self._mutators:
+            return None
+        payload: bytes | None = None
+        current = packet
+        for mutator in self._mutators:
+            replacement = mutator(current, dst, now)
+            if replacement is not None:
+                payload = replacement
+                current = Packet(packet.src, packet.dst, payload, packet.kind)
+        return payload
 
     def set_send_omission(self, pid: ProcessId, model: OmissionModel) -> None:
         self._send_omission[pid] = model
@@ -312,6 +359,8 @@ class FaultPlan:
         wall clock where the crash-instant equality above cannot fire —
         call this directly."""
         src = packet.src
+        if (src, packet.kind) in self._suppressed_kinds:
+            return DropDecision(True, "kind-suppressed")
         if self.custom_send_filter is not None and self.custom_send_filter(packet, now):
             return DropDecision(True, "custom-send")
         model = self._send_omission.get(src)

@@ -191,6 +191,12 @@ class DatagramNetwork:
                 now, "net.drop", dst, reason="corrupt", uid=packet.uid
             )
             return
+        mutated = self.faults.mutate(packet, dst, now)
+        if mutated is not None:
+            # An adversarial rewrite of this destination's copy
+            # (PROTOCOL §13): delivered as-is — surviving it is the
+            # receiver's decode/validation layer's job.
+            packet = Packet(packet.src, packet.dst, mutated, packet.kind)
         self.stats.on_delivered(packet)
         try:
             handler(packet)

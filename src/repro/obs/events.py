@@ -38,6 +38,7 @@ __all__ = [
     "SPAN_GENERATED",
     "SPAN_PROCESSED",
     "SPAN_DISCARDED",
+    "SPAN_SUSPECT",
 ]
 
 # The span taxonomy (docs/OBSERVABILITY.md documents the schema).
@@ -47,6 +48,7 @@ SPAN_DECISION = "decision"
 SPAN_GENERATED = "generated"
 SPAN_PROCESSED = "processed"
 SPAN_DISCARDED = "discarded"
+SPAN_SUSPECT = "suspect"
 
 
 def mid_label(mid: object) -> str:
@@ -201,6 +203,25 @@ class Recorder:
         """The orphan rule destroyed ``mid`` (and ``count-1`` dependents)."""
         self.emit(
             SPAN_DISCARDED, node=node, mid=mid_label(mid), time=time, count=int(count)
+        )
+
+    def suspect(
+        self,
+        pid: object,
+        *,
+        suspected: bool,
+        node: int,
+        reason: str = "",
+        time: float | None = None,
+    ) -> None:
+        """``node``'s failure detector changed its mind about ``pid``."""
+        self.emit(
+            SPAN_SUSPECT,
+            node=node,
+            time=time,
+            pid=int(pid),  # type: ignore[call-overload]
+            suspected=bool(suspected),
+            reason=reason,
         )
 
     def clear(self) -> None:

@@ -96,6 +96,7 @@ class ChaosFabric:
         self.dropped_count = 0
         self.delivered_count = 0
         self.duplicated_count = 0
+        self.mutated_count = 0
         self._registry: MetricSink | None = None
 
     def bind_registry(self, registry: MetricSink) -> None:
@@ -176,12 +177,22 @@ class ChaosFabric:
             if decision.dropped:
                 self._drop(packet, decision.reason)
                 continue
-            self._deliver_copy(src, target, data, kind, packet)
+            mutated = self.faults.mutate(packet, target, now)
+            copy = data
+            if mutated is not None:
+                # Adversarial per-destination rewrite (PROTOCOL §13):
+                # carried verbatim; the receiver's decode/validation
+                # layer is what is under test.
+                copy = mutated
+                self.mutated_count += 1
+                if self._registry is not None:
+                    self._registry.count("chaos.mutated", kind=kind)
+            self._deliver_copy(src, target, copy, kind, packet)
             if self.duplication and self._rng.random() < self.duplication:
                 self.duplicated_count += 1
                 if self._registry is not None:
                     self._registry.count("chaos.duplicated", kind=kind)
-                self._deliver_copy(src, target, data, kind, packet)
+                self._deliver_copy(src, target, copy, kind, packet)
 
     # -- lifecycle helpers -----------------------------------------------
 

@@ -26,12 +26,20 @@ from ..core.effects import (
     Left,
     Rejoined,
     Send,
+    SuspicionChange,
 )
 from ..core.member import Member
-from ..core.message import DecisionMessage, RequestMessage, UserMessage
+from ..core.message import (
+    DecisionMessage,
+    GenerateBatch,
+    RequestMessage,
+    UserMessage,
+)
 from ..core.mid import Mid
+from ..core.validate import validate_message
+from ..errors import WireFormatError
 from ..net.addressing import BROADCAST_GROUP
-from ..net.wire import decode_message, encode_message
+from ..net.wire import BatchFrame, decode_message, encode_message
 from ..obs import NULL_RECORDER, Recorder, write_jsonl
 from ..storage import GroupStorage, NodeStorage, restore_member, snapshot_of
 from ..types import ProcessId, SubrunNo
@@ -119,6 +127,14 @@ class AsyncNode:
         #: the chaos harness to audit Uniform Atomicity.
         self.generated_mids: list[Mid] = []
         self.discarded_mids: list[Mid] = []
+        #: Datagrams dropped by the hardened decode path: structurally
+        #: malformed bytes or semantically out-of-range PDUs.
+        self.decode_errors = 0
+        #: Batch-expanded sub-messages suppressed as duplicates before
+        #: reaching the engine (fabric duplication x batching).
+        self.dup_suppressed = 0
+        #: Suspicion transitions the failure detector reported.
+        self.suspicion_events: list[SuspicionChange] = []
         self.crashed = False
         self._stopped = asyncio.Event()
 
@@ -229,15 +245,52 @@ class AsyncNode:
             )
             await asyncio.sleep(interval)
 
+    def _count_decode_error(self, reason: str) -> None:
+        self.decode_errors += 1
+        if self._obs:
+            self.recorder.registry.count(
+                "net.decode_error", node=int(self.pid), reason=reason
+            )
+
     async def _receiver(self) -> None:
         loop = asyncio.get_running_loop()
         while not self._stopped.is_set():
             datagram = await self._endpoint.recv()
             if self.member.has_left:
                 continue
-            for message in expand_message(decode_message(datagram.data)):
+            try:
+                decoded = decode_message(datagram.data)
+                expanded = list(expand_message(decoded))
+            except WireFormatError:
+                # Malformed datagram (bad tag, truncation, garbage):
+                # a loss, never a crash of the receive loop.
+                self._count_decode_error("parse")
+                continue
+            batched = isinstance(decoded, (BatchFrame, GenerateBatch))
+            for message in expanded:
                 if self.member.has_left:
                     break
+                problem = validate_message(message, self.config.n)
+                if problem is not None:
+                    # Structurally valid but semantically out of range
+                    # (forged vector, member index >= n): drop it.
+                    self._count_decode_error("range")
+                    continue
+                if (
+                    batched
+                    and isinstance(message, UserMessage)
+                    and self.member.already_seen(message.mid)
+                ):
+                    # A duplicated batch frame re-expands every sub-
+                    # message; suppress the copies here so duplication
+                    # x batching does not multiply-count in the
+                    # engine's duplicate accounting.
+                    self.dup_suppressed += 1
+                    if self._obs:
+                        self.recorder.registry.count(
+                            "batch.dup_suppressed", node=int(self.pid)
+                        )
+                    continue
                 if (
                     self.adaptive_timer is not None
                     and isinstance(message, DecisionMessage)
@@ -324,6 +377,19 @@ class AsyncNode:
                     )
                 if self.storage is not None:
                     self.storage.log_decision(effect.decision)
+            elif isinstance(effect, SuspicionChange):
+                self.suspicion_events.append(effect)
+                if self._obs:
+                    self.recorder.suspect(
+                        effect.pid,
+                        suspected=effect.suspected,
+                        node=int(self.pid),
+                        reason=effect.reason,
+                    )
+                    self.recorder.registry.count(
+                        "fd.suspect" if effect.suspected else "fd.unsuspect",
+                        node=int(self.pid),
+                    )
             elif isinstance(effect, Rejoined):
                 pass  # observable via member state / group view
             elif isinstance(effect, Left):

@@ -1,0 +1,94 @@
+"""Semantic bounds validation of decoded PDUs (PROTOCOL §13)."""
+
+from dataclasses import replace
+
+from repro.core.decision import initial_decision
+from repro.core.message import (
+    DecisionMessage,
+    GenerateBatch,
+    HeartbeatMessage,
+    RecoveryRequest,
+    RecoveryResponse,
+    UserMessage,
+)
+from repro.core.mid import Mid
+from repro.core.rejoin import JoinRequest
+from repro.core.validate import validate_message
+from repro.types import ProcessId, SeqNo
+
+N = 4
+
+
+def _mid(origin: int, seq: int = 1) -> Mid:
+    return Mid(ProcessId(origin), SeqNo(seq))
+
+
+def test_valid_messages_pass():
+    assert validate_message(UserMessage(_mid(1), (_mid(0, 2),)), N) is None
+    assert validate_message(DecisionMessage(initial_decision(N)), N) is None
+    assert (
+        validate_message(HeartbeatMessage(ProcessId(3), 0, 2), N) is None
+    )
+    assert (
+        validate_message(
+            JoinRequest(ProcessId(2), 1, tuple(SeqNo(0) for _ in range(N))), N
+        )
+        is None
+    )
+
+
+def test_out_of_range_mid_origin_rejected():
+    assert validate_message(UserMessage(_mid(N), ()), N) is not None
+    assert validate_message(UserMessage(_mid(0xFFFF), ()), N) is not None
+
+
+def test_forged_dependency_origin_rejected():
+    message = UserMessage(_mid(1), (_mid(0xFFFF),))
+    problem = validate_message(message, N)
+    assert problem is not None and "dep" in problem
+
+
+def test_decision_vector_length_mismatch_rejected():
+    shorter = initial_decision(N - 1)  # wrong group size on the wire
+    assert validate_message(DecisionMessage(shorter), N) is not None
+
+
+def test_decision_out_of_range_coordinator_rejected():
+    forged = replace(initial_decision(N), coordinator=ProcessId(N))
+    assert validate_message(DecisionMessage(forged), N) is not None
+
+
+def test_decision_out_of_range_joiner_rejected():
+    forged = replace(initial_decision(N), joiners=(ProcessId(N + 3),))
+    assert validate_message(DecisionMessage(forged), N) is not None
+
+
+def test_batch_and_recovery_bounds():
+    batch = GenerateBatch(
+        origin=ProcessId(N), first_seq=SeqNo(1), shared_deps=(),
+        ext_flags=(False,), payloads=(b"x",),
+    )
+    assert validate_message(batch, N) is not None
+    assert (
+        validate_message(RecoveryRequest(ProcessId(N), ()), N) is not None
+    )
+    bad_range = RecoveryRequest(
+        ProcessId(0), ((ProcessId(N), SeqNo(1), SeqNo(2)),)
+    )
+    assert validate_message(bad_range, N) is not None
+    nested = RecoveryResponse(ProcessId(0), (UserMessage(_mid(N), ()),))
+    assert validate_message(nested, N) is not None
+
+
+def test_join_request_vector_length_rejected():
+    join = JoinRequest(ProcessId(1), 1, (SeqNo(0),))
+    assert validate_message(join, N) is not None
+
+
+def test_heartbeat_out_of_range_sender_rejected():
+    assert validate_message(HeartbeatMessage(ProcessId(N), 0, 0), N) is not None
+
+
+def test_unknown_message_type_rejected():
+    problem = validate_message(object(), N)
+    assert problem is not None and "unexpected" in problem

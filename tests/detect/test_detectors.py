@@ -1,0 +1,203 @@
+"""Unit tests for the pluggable failure detectors (PROTOCOL §13)."""
+
+import pytest
+
+from repro.core.config import (
+    DETECTOR_KINDS,
+    FailureDetectorConfig,
+    LeaveRule,
+    UrcgcConfig,
+)
+from repro.detect import (
+    FailureDetector,
+    KConsecutiveDetector,
+    OracleDetector,
+    make_detector,
+)
+from repro.detect.heartbeat import HeartbeatDetector
+from repro.errors import ConfigError
+from repro.types import ProcessId, SubrunNo
+
+P0 = ProcessId(0)
+
+
+def _config(**kwargs) -> UrcgcConfig:
+    kwargs.setdefault("n", 4)
+    kwargs.setdefault("K", 2)
+    return UrcgcConfig(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# configuration + factory
+# ----------------------------------------------------------------------
+
+
+def test_make_detector_dispatches_every_kind():
+    assert isinstance(make_detector(P0, _config()), KConsecutiveDetector)
+    by_kind = {
+        kind: make_detector(
+            P0, _config(failure_detector=FailureDetectorConfig(kind=kind))
+        )
+        for kind in DETECTOR_KINDS
+    }
+    assert type(by_kind["k-consecutive"]) is KConsecutiveDetector
+    assert type(by_kind["heartbeat"]) is HeartbeatDetector
+    assert type(by_kind["oracle"]) is OracleDetector
+    for kind, detector in by_kind.items():
+        assert detector.name == kind
+
+
+def test_failure_detector_config_validates():
+    with pytest.raises(ConfigError):
+        FailureDetectorConfig(kind="psychic")
+    with pytest.raises(ConfigError):
+        FailureDetectorConfig(heartbeat_every=0)
+    with pytest.raises(ConfigError):
+        FailureDetectorConfig(timeout_floor=0.0)
+    with pytest.raises(ConfigError):
+        FailureDetectorConfig(backoff=0.5)
+    with pytest.raises(ConfigError):
+        FailureDetectorConfig(timeout_floor=100.0, max_timeout=50.0)
+
+
+def test_base_detector_is_inert():
+    detector = FailureDetector()
+    assert detector.account_missed_decision(SubrunNo(3), excused=False) is None
+    assert detector.observe_chain_gap(99) is None
+    detector.decision_adopted(SubrunNo(1))
+    detector.advance(7)
+    detector.observe_alive(ProcessId(1))
+    detector.observe_heartbeat(ProcessId(1), 0)
+    detector.reset()
+    assert detector.heartbeat_due(SubrunNo(0)) is False
+    assert detector.suspects() == frozenset()
+    assert detector.poll_events() == []
+
+
+# ----------------------------------------------------------------------
+# K-consecutive rule
+# ----------------------------------------------------------------------
+
+
+def test_strict_rule_counts_to_k_and_excuses():
+    detector = KConsecutiveDetector(_config(K=3, leave_rule=LeaveRule.STRICT))
+    assert detector.account_missed_decision(SubrunNo(0), excused=False) is None
+    assert detector.account_missed_decision(SubrunNo(1), excused=True) is None
+    assert detector.strict_misses == 1  # excusal does not count
+    assert detector.account_missed_decision(SubrunNo(2), excused=False) is None
+    reason = detector.account_missed_decision(SubrunNo(3), excused=False)
+    assert reason is not None and "3 consecutive" in reason
+
+
+def test_strict_rule_frontier_skips_already_seen_subruns():
+    detector = KConsecutiveDetector(_config(K=2, leave_rule=LeaveRule.STRICT))
+    detector.decision_adopted(SubrunNo(5))
+    assert detector.account_missed_decision(SubrunNo(4), excused=False) is None
+    assert detector.strict_misses == 0
+    assert detector.account_missed_decision(SubrunNo(6), excused=False) is None
+    assert detector.strict_misses == 1
+    detector.decision_adopted(SubrunNo(7))
+    assert detector.strict_misses == 0  # adoption resets the count
+
+
+def test_confirmed_rule_uses_chain_gap_only():
+    detector = KConsecutiveDetector(_config(K=2, leave_rule=LeaveRule.CONFIRMED))
+    assert detector.account_missed_decision(SubrunNo(0), excused=False) is None
+    assert detector.strict_misses == 0
+    assert detector.observe_chain_gap(1) is None
+    assert detector.observe_chain_gap(2) is not None
+
+
+def test_rejoin_reset_clears_misses_not_frontier():
+    detector = KConsecutiveDetector(_config(K=3, leave_rule=LeaveRule.STRICT))
+    detector.account_missed_decision(SubrunNo(0), excused=False)
+    detector.decision_adopted(SubrunNo(4), reset_misses=False)
+    assert detector.strict_misses == 1
+    detector.reset()
+    assert detector.strict_misses == 0
+    assert detector.decision_seen_for == SubrunNo(4)
+
+
+# ----------------------------------------------------------------------
+# oracle
+# ----------------------------------------------------------------------
+
+
+def test_oracle_reports_transitions_as_events():
+    detector = OracleDetector(
+        _config(failure_detector=FailureDetectorConfig(kind="oracle"))
+    )
+    assert detector.tracks_suspicion
+    detector.set_crashed([ProcessId(1), ProcessId(2)])
+    assert detector.suspects() == frozenset({ProcessId(1), ProcessId(2)})
+    events = detector.poll_events()
+    assert [(e.pid, e.suspected) for e in events] == [
+        (ProcessId(1), True),
+        (ProcessId(2), True),
+    ]
+    detector.set_crashed([ProcessId(2)])
+    events = detector.poll_events()
+    assert [(e.pid, e.suspected) for e in events] == [(ProcessId(1), False)]
+    assert detector.poll_events() == []  # drained
+    assert detector.suspicions_total == 2
+
+
+# ----------------------------------------------------------------------
+# heartbeat
+# ----------------------------------------------------------------------
+
+
+def _heartbeat(**overrides) -> HeartbeatDetector:
+    spec = FailureDetectorConfig(kind="heartbeat", **overrides)
+    return HeartbeatDetector(
+        P0, _config(failure_detector=spec, leave_rule=LeaveRule.STRICT)
+    )
+
+
+def test_heartbeat_first_tick_grants_grace():
+    detector = _heartbeat(timeout_floor=4.0)
+    detector.advance(0)
+    assert detector.suspects() == frozenset()
+    detector.advance(4)  # silence == floor: not yet over the bound
+    assert detector.suspects() == frozenset()
+    detector.advance(5)
+    assert detector.suspects() == frozenset({ProcessId(1), ProcessId(2), ProcessId(3)})
+
+
+def test_heartbeat_false_suspicion_backs_off():
+    detector = _heartbeat(timeout_floor=4.0, backoff=2.0)
+    peer = ProcessId(1)
+    detector.advance(0)
+    detector.advance(5)
+    assert peer in detector.suspects()
+    detector.observe_alive(peer)  # it was alive all along
+    assert peer not in detector.suspects()
+    assert detector.false_suspicions_total >= 1
+    assert detector._scale[peer] == 2.0
+    events = detector.poll_events()
+    assert any(e.pid == peer and e.suspected for e in events)
+    assert any(e.pid == peer and not e.suspected for e in events)
+
+
+def test_heartbeat_ignores_self_and_out_of_range_peers():
+    detector = _heartbeat()
+    detector.advance(0)
+    detector.observe_alive(P0)
+    detector.observe_alive(ProcessId(99))
+    assert P0 not in detector._last_seen
+    assert ProcessId(99) not in detector._last_seen
+
+
+def test_heartbeat_due_follows_cadence():
+    detector = _heartbeat(heartbeat_every=3)
+    assert detector.wants_heartbeats
+    assert detector.heartbeat_due(SubrunNo(0))
+    assert not detector.heartbeat_due(SubrunNo(1))
+    assert detector.heartbeat_due(SubrunNo(3))
+
+
+def test_heartbeat_inherits_leave_rule():
+    detector = _heartbeat()
+    assert isinstance(detector, KConsecutiveDetector)
+    assert detector.account_missed_decision(SubrunNo(0), excused=False) is None
+    assert detector.strict_misses == 1

@@ -20,6 +20,7 @@ from repro.core.decision import Decision, RequestInfo
 from repro.core.message import (
     DecisionMessage,
     GenerateBatch,
+    HeartbeatMessage,
     RecoveryRequest,
     RecoveryResponse,
     RequestMessage,
@@ -94,6 +95,7 @@ def specimens() -> dict[int, object]:
             ext_flags=(True, False, True),
             payloads=(b"b1", b"b2", b"b3"),
         ),
+        18: HeartbeatMessage(ProcessId(2), 1, 14),
         30: CbcastData(
             ProcessId(1),
             VectorClock((1, 2, 3)),

@@ -1,0 +1,216 @@
+"""Property tests for the pluggable failure detectors.
+
+Two families:
+
+* **Extraction equivalence** — the K-consecutive rule now lives in
+  :class:`repro.detect.KConsecutiveDetector`; these properties replay
+  arbitrary decision/miss traces against a reimplementation of the
+  pre-refactor inline ``Member`` logic (``_strict_misses`` /
+  ``_decision_seen_for`` / chain-gap) and require identical leave
+  decisions and identical state at every step, for both leave rules.
+* **Eventual perfection** — the heartbeat detector must eventually
+  suspect a peer that falls permanently silent (strong completeness)
+  and must stop falsely suspecting a peer whose evidence keeps
+  arriving with a bounded period (eventual strong accuracy via the
+  timeout backoff).
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import FailureDetectorConfig, LeaveRule, UrcgcConfig
+from repro.detect import KConsecutiveDetector, make_detector
+from repro.detect.heartbeat import HeartbeatDetector
+from repro.types import ProcessId, SubrunNo
+
+
+# ----------------------------------------------------------------------
+# extraction equivalence: detector == pre-refactor inline logic
+# ----------------------------------------------------------------------
+
+
+class InlineLeaveRule:
+    """The exact leave-rule bookkeeping ``Member`` used to inline.
+
+    Transcribed from the pre-refactor ``_account_missed_decision`` /
+    ``_apply_decision`` bodies: a strict-rule miss counter with
+    coordinator excusal and a seen-decision frontier, plus the
+    CONFIRMED-rule chain-gap check.
+    """
+
+    def __init__(self, K: int, rule: LeaveRule) -> None:
+        self._K = K
+        self._rule = rule
+        self._strict_misses = 0
+        self._decision_seen_for = SubrunNo(-1)
+
+    def account_missed_decision(self, previous: SubrunNo, excused: bool) -> str | None:
+        if self._rule is not LeaveRule.STRICT:
+            return None
+        if self._decision_seen_for >= previous:
+            return None
+        if excused:
+            return None
+        self._strict_misses += 1
+        if self._strict_misses >= self._K:
+            return (
+                f"missed decisions from {self._strict_misses} "
+                "consecutive coordinators"
+            )
+        return None
+
+    def observe_chain_gap(self, chain_gap: int) -> str | None:
+        if self._rule is LeaveRule.CONFIRMED and chain_gap >= self._K:
+            return f"missed {chain_gap} consecutive decisions"
+        return None
+
+    def decision_adopted(self, number: SubrunNo, reset_misses: bool) -> None:
+        if number > self._decision_seen_for:
+            self._decision_seen_for = number
+        if reset_misses:
+            self._strict_misses = 0
+
+    def reset(self) -> None:
+        self._strict_misses = 0
+
+
+@st.composite
+def leave_traces(draw):
+    """An arbitrary interleaving of the leave-rule surface's calls."""
+    ops = []
+    for _ in range(draw(st.integers(0, 40))):
+        kind = draw(st.sampled_from(["miss", "gap", "adopt", "reset"]))
+        if kind == "miss":
+            ops.append(("miss", draw(st.integers(0, 20)), draw(st.booleans())))
+        elif kind == "gap":
+            ops.append(("gap", draw(st.integers(0, 8))))
+        elif kind == "adopt":
+            ops.append(("adopt", draw(st.integers(0, 20)), draw(st.booleans())))
+        else:
+            ops.append(("reset",))
+    return ops
+
+
+@given(
+    trace=leave_traces(),
+    K=st.integers(2, 5),
+    rule=st.sampled_from([LeaveRule.STRICT, LeaveRule.CONFIRMED]),
+)
+@settings(max_examples=120, deadline=None)
+def test_kconsecutive_matches_pre_refactor_inline_logic(trace, K, rule):
+    config = UrcgcConfig(n=6, K=K, leave_rule=rule)
+    detector = KConsecutiveDetector(config)
+    inline = InlineLeaveRule(K, rule)
+    for op in trace:
+        if op[0] == "miss":
+            _, previous, excused = op
+            got = detector.account_missed_decision(
+                SubrunNo(previous), excused=excused
+            )
+            want = inline.account_missed_decision(SubrunNo(previous), excused)
+        elif op[0] == "gap":
+            got = detector.observe_chain_gap(op[1])
+            want = inline.observe_chain_gap(op[1])
+        elif op[0] == "adopt":
+            _, number, reset = op
+            detector.decision_adopted(SubrunNo(number), reset_misses=reset)
+            inline.decision_adopted(SubrunNo(number), reset)
+            got = want = None
+        else:
+            detector.reset()
+            inline.reset()
+            got = want = None
+        assert got == want
+        assert detector.strict_misses == inline._strict_misses
+        assert detector.decision_seen_for == inline._decision_seen_for
+
+
+@given(
+    trace=leave_traces(),
+    K=st.integers(2, 5),
+    rule=st.sampled_from([LeaveRule.STRICT, LeaveRule.CONFIRMED]),
+)
+@settings(max_examples=60, deadline=None)
+def test_unset_failure_detector_config_resolves_to_kconsecutive(trace, K, rule):
+    """``failure_detector=None`` must route through the same extracted
+    rule object — the bit-identical default path."""
+    config = UrcgcConfig(n=6, K=K, leave_rule=rule)
+    assert config.failure_detector is None
+    detector = make_detector(ProcessId(0), config)
+    assert type(detector) is KConsecutiveDetector
+    assert not detector.wants_heartbeats
+    assert not detector.tracks_suspicion
+    assert detector.suspects() == frozenset()
+
+
+# ----------------------------------------------------------------------
+# heartbeat detector: eventual perfection
+# ----------------------------------------------------------------------
+
+
+def _heartbeat_detector(n: int, **overrides) -> HeartbeatDetector:
+    spec = FailureDetectorConfig(kind="heartbeat", **overrides)
+    config = UrcgcConfig(n=n, K=2, failure_detector=spec)
+    return HeartbeatDetector(ProcessId(0), config)
+
+
+@given(
+    evidence_rounds=st.lists(st.integers(1, 5), min_size=0, max_size=20),
+    max_timeout=st.sampled_from([16.0, 64.0]),
+)
+@settings(max_examples=60, deadline=None)
+def test_heartbeat_eventually_suspects_a_silent_peer(
+    evidence_rounds, max_timeout
+):
+    """Strong completeness: once a peer falls silent for good, it is
+    suspected within ``max_timeout`` rounds of its last evidence —
+    regardless of the evidence pattern that preceded the silence."""
+    detector = _heartbeat_detector(3, max_timeout=max_timeout)
+    peer = ProcessId(1)
+    now = 0
+    detector.advance(now)
+    for gap in evidence_rounds:
+        for _ in range(gap):
+            now += 1
+            detector.advance(now)
+        detector.observe_alive(peer)
+    silent_since = now
+    while now - silent_since <= max_timeout + 1:
+        now += 1
+        detector.advance(now)
+    assert peer in detector.suspects()
+    events = detector.poll_events()
+    assert any(e.pid == peer and e.suspected for e in events)
+
+
+@given(
+    period=st.integers(1, 24),
+    backoff=st.sampled_from([2.0, 4.0]),
+)
+@settings(max_examples=40, deadline=None)
+def test_heartbeat_no_false_suspicion_after_stabilization(period, backoff):
+    """Eventual strong accuracy: a peer whose evidence arrives every
+    ``period`` rounds forever is eventually never suspected again —
+    each false suspicion backs the timeout off multiplicatively, so
+    only finitely many can occur."""
+    detector = _heartbeat_detector(
+        3, backoff=backoff, timeout_floor=2.0, max_timeout=4096.0
+    )
+    peer = ProcessId(1)
+    horizon = 400 * max(1, period // 4)
+    false_before_tail = None
+    for now in range(1, horizon):
+        detector.advance(now)
+        if now % period == 0:
+            detector.observe_alive(peer)
+        if now == horizon - 10 * period:
+            false_before_tail = detector.false_suspicions_total
+    # The backoff caps the total number of false suspicions...
+    bound = math.ceil(math.log(period + 1, backoff)) + 2
+    assert detector.false_suspicions_total <= bound
+    # ...and the tail of the run is suspicion-free.
+    assert false_before_tail is not None
+    assert detector.false_suspicions_total == false_before_tail
+    assert peer not in detector.suspects()
