@@ -14,7 +14,7 @@ Run:  python examples/replicated_kv_store.py
 """
 
 from repro import SimCluster, UrcgcConfig
-from repro.core.groups import ClientServerGroup, Role, majority_vote
+from repro.svc import ClientServerGroup, Role, majority_vote
 from repro.types import ProcessId
 
 

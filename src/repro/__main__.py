@@ -7,6 +7,7 @@ Delegates to :mod:`repro.harness.runner`:
     python -m repro torture         # randomized simulator audits
     python -m repro chaos           # live fault-injected runs
     python -m repro recover         # crash-and-recover torture
+    python -m repro serve           # client tier over sharded groups
     python -m repro lint            # protocol-aware static analysis
     python -m repro report x.jsonl  # render an observability trace
 """

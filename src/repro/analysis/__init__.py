@@ -5,6 +5,7 @@ from .causal_graph import CausalGraph, build_causal_graph
 from .checkers import (
     CheckResult,
     Violation,
+    check_bridge_ordering,
     check_local_causal_order,
     check_uniform_atomicity,
     check_uniform_ordering,
@@ -26,6 +27,7 @@ __all__ = [
     "build_causal_graph",
     "CheckResult",
     "Violation",
+    "check_bridge_ordering",
     "check_local_causal_order",
     "check_uniform_atomicity",
     "check_uniform_ordering",

@@ -28,14 +28,6 @@ from .effects import (
     Send,
 )
 from .group_view import GroupView
-from .groups import (
-    CallHandle,
-    ClientServerGroup,
-    DiffusionGroup,
-    Role,
-    first_reply,
-    majority_vote,
-)
 from .history import History
 from .member import Member
 from .message import (
@@ -85,12 +77,6 @@ __all__ = [
     "Rejoined",
     "Send",
     "GroupView",
-    "CallHandle",
-    "ClientServerGroup",
-    "DiffusionGroup",
-    "Role",
-    "first_reply",
-    "majority_vote",
     "History",
     "Member",
     "KIND_DATA",

@@ -21,7 +21,7 @@ GC sublayer; the GMT sublayer (history, recovery) lives inside
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable
+from typing import Callable, Iterable
 
 from ..errors import FlowControlBlocked
 
@@ -76,6 +76,7 @@ class UrcgcService:
     ) -> None:
         self.member = member
         self._on_indication = on_indication
+        self._extra_indications: list[IndicationHandler] = []
         self._on_confirm = on_confirm
         self._on_leave = on_leave
         self._on_membership = on_membership
@@ -87,8 +88,23 @@ class UrcgcService:
         self.membership_changes: list[MembershipChange] = []
 
     def set_indication_handler(self, handler: IndicationHandler | None) -> None:
-        """Install (or clear) the urcgc.data.Ind callback."""
+        """Install (or clear) the *primary* urcgc.data.Ind callback."""
         self._on_indication = handler
+
+    def add_indication_handler(self, handler: IndicationHandler) -> None:
+        """Register an *additional* urcgc.data.Ind callback.
+
+        The service fans every indication out to the primary handler
+        and then to each added handler, in registration order — this is
+        what lets several consumers (a client-tier frontend, a
+        request/reply adapter, application code) share one member
+        without clobbering each other's subscriptions.
+        """
+        self._extra_indications.append(handler)
+
+    def remove_indication_handler(self, handler: IndicationHandler) -> None:
+        """Unregister a handler added with :meth:`add_indication_handler`."""
+        self._extra_indications.remove(handler)
 
     def set_confirm_handler(self, handler: ConfirmHandler | None) -> None:
         """Install (or clear) the urcgc.data.Conf callback."""
@@ -104,6 +120,17 @@ class UrcgcService:
         self.member.submit(payload)
         self._pending.append(handle)
         return handle
+
+    def data_rq_many(self, payloads: Iterable[bytes]) -> list[RequestHandle]:
+        """Fan-in variant of :meth:`data_rq`: queue a whole batch of
+        payloads in one call.
+
+        The client tier uses this to pour many client publishes into
+        one member; each payload still confirms individually, in FIFO
+        order, as the member generates it (one or ``generate_burst``
+        per round).
+        """
+        return [self.data_rq(payload) for payload in payloads]
 
     def try_data_rq(self, payload: bytes) -> RequestHandle:
         """Non-queueing variant of :meth:`data_rq`.
@@ -139,6 +166,8 @@ class UrcgcService:
                 self.delivered.append(effect.message)
                 if self._on_indication is not None:
                     self._on_indication(effect.message)
+                for handler in self._extra_indications:
+                    handler(effect.message)
             elif isinstance(effect, Confirm):
                 # Submissions confirm in FIFO order (one queue, one
                 # generation per round), so the oldest pending handle

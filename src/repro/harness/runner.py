@@ -230,6 +230,43 @@ def main(argv: list[str] | None = None) -> int:
     recover_parser.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON"
     )
+    serve_parser = sub.add_parser(
+        "serve",
+        help="service-tier demo: simulated chat clients over sharded "
+        "URCGC groups, audited per shard (Definition 3.2) and across "
+        "shards (bridge ordering)",
+    )
+    serve_parser.add_argument("--shards", type=int, default=4)
+    serve_parser.add_argument("--members", type=int, default=3)
+    serve_parser.add_argument(
+        "--clients",
+        type=int,
+        default=1_000_000,
+        help="client id space (sessions are sampled from it)",
+    )
+    serve_parser.add_argument(
+        "--sessions", type=int, default=48, help="concurrently active sessions"
+    )
+    serve_parser.add_argument(
+        "--messages", type=int, default=160, help="total publishes"
+    )
+    serve_parser.add_argument("--topics", type=int, default=64)
+    serve_parser.add_argument(
+        "--zipf-s", type=float, default=1.1, help="topic popularity exponent"
+    )
+    serve_parser.add_argument(
+        "--multi-ratio",
+        type=float,
+        default=0.2,
+        help="fraction of multi-topic (bridge-eligible) publishes",
+    )
+    serve_parser.add_argument("--seed", type=int, default=0)
+    serve_parser.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="also write the obs registry report to PATH",
+    )
     sub.add_parser(
         "lint",
         help="protocol-aware static analysis (determinism, async-safety, "
@@ -261,6 +298,29 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "report":
         return _report_command(args.trace, mid=args.mid, demo=args.demo)
+    if args.command == "serve":
+        from ..svc.serve import registry_report, serve
+
+        result = serve(
+            shards=args.shards,
+            members=args.members,
+            clients=args.clients,
+            sessions=args.sessions,
+            messages=args.messages,
+            topics=args.topics,
+            zipf_s=args.zipf_s,
+            multi_ratio=args.multi_ratio,
+            seed=args.seed,
+        )
+        print(result.describe())
+        for violation in result.violations[:10]:
+            print(f"    {violation}")
+        report = registry_report(result.registry)
+        print(report)
+        if args.report is not None:
+            with open(args.report, "w", encoding="utf-8") as fh:
+                fh.write(result.describe() + "\n\n" + report + "\n")
+        return 0 if result.ok else 1
     if args.command == "recover":
         from .recover_torture import recover_torture, results_as_json
 
@@ -367,6 +427,8 @@ def main(argv: list[str] | None = None) -> int:
             "chaos": "live fault-injected asyncio runs (Definition 3.2 audit); "
             "--scenario NAME|all for adversarial per-guarantee verdicts",
             "recover": "crash-and-recover runs: WAL/snapshot restore + rejoin",
+            "serve": "service-tier demo: chat clients over sharded groups "
+            "(per-shard Definition 3.2 + cross-shard bridge audit)",
             "lint": "protocol-aware static analysis (D/A/W/H rule families)",
             "report": "render a JSONL observability trace (--demo to produce one)",
         }

@@ -94,6 +94,13 @@ class Writer:
         self._buf += data
         return self
 
+    def pack(self, codec: struct.Struct, *values: object) -> "Writer":
+        """Append several fixed-width fields in one preallocated-Struct
+        pack call (the struct fast path; wire bytes are identical to
+        the per-field encoding)."""
+        self._buf += codec.pack(*values)
+        return self
+
     def bytes_field(self, data: bytes) -> "Writer":
         """Length-prefixed (u16) byte string."""
         if len(data) > 0xFFFF:
@@ -167,6 +174,11 @@ class Reader:
         if n == 0:
             return []
         return list(_vector_struct(n).unpack(self._take(4 * n)))
+
+    def unpack(self, codec: struct.Struct) -> tuple:
+        """Decode several fixed-width fields in one preallocated-Struct
+        unpack call (the struct fast path mirroring :meth:`Writer.pack`)."""
+        return codec.unpack(self._take(codec.size))
 
     def expect_end(self) -> None:
         """Raise unless the whole buffer has been consumed."""

@@ -1,0 +1,72 @@
+"""Cross-shard causal bridge: the Generic-Multicast intersection rule.
+
+A publish whose topics map to several shards must be ordered
+consistently *at the shards it targets* — and only there.  The bridge
+realizes the Generic Multicast semantics (PAPERS.md): timestamps are
+exchanged exclusively among the destination shards of a message, no
+global sequencer ever runs, and disjoint-destination messages pay
+nothing for each other.
+
+The algorithm is the classic two-phase timestamp agreement (Skeen),
+collapsed to its synchronous core since the tier stamps before
+injection:
+
+1. *Propose* — every destination shard advances its logical clock and
+   proposes the new value.
+2. *Decide* — the final timestamp is the maximum proposal; every
+   destination clock is raised to it.
+
+Two bridged messages sharing at least one destination shard therefore
+receive strictly ordered timestamps, and the tier injects bridged
+messages into each destination group through that shard's *bridge
+agent* (member 0) in timestamp order.  Injection through a single
+member makes all of a shard's bridged traffic one causal chain, so
+URCGC's Uniform Ordering delivers it identically at every member —
+the property :func:`repro.analysis.checkers.check_bridge_ordering`
+audits across shards.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError, ProtocolError
+
+__all__ = ["CausalBridge"]
+
+
+class CausalBridge:
+    """Per-shard logical clocks implementing the intersection rule."""
+
+    def __init__(self, shards: int) -> None:
+        if shards < 1:
+            raise ConfigError(f"need at least one shard, got {shards}")
+        self._clocks = [0] * shards
+        #: Stamps handed out, for audits: ``(stamp, dests)`` per call.
+        self.stamped: list[tuple[int, tuple[int, ...]]] = []
+
+    def clock(self, shard: int) -> int:
+        """The shard's current logical clock (bridged traffic only)."""
+        return self._clocks[shard]
+
+    def stamp(self, dests: tuple[int, ...]) -> int:
+        """Timestamp one multi-shard message over its destination set.
+
+        Returns the decided (maximum-proposal) timestamp; every
+        destination clock is raised to it, so any later message
+        sharing a destination gets a strictly larger stamp.
+        """
+        if len(dests) < 2:
+            raise ProtocolError(
+                f"bridge stamps multi-shard messages only, got dests {dests}"
+            )
+        if len(set(dests)) != len(dests):
+            raise ProtocolError(f"duplicate destination shards: {dests}")
+        proposals = []
+        for shard in dests:
+            self._clocks[shard] += 1
+            proposals.append(self._clocks[shard])
+        decided = max(proposals)
+        for shard in dests:
+            if self._clocks[shard] < decided:
+                self._clocks[shard] = decided
+        self.stamped.append((decided, tuple(dests)))
+        return decided

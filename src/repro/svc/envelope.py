@@ -1,0 +1,106 @@
+"""The service-tier envelope riding inside ``UserMessage.payload``.
+
+A client publish, once accepted by its home frontend, is wrapped into
+an :class:`Envelope` and submitted to each destination shard's URCGC
+group as an ordinary application payload — the group protocol never
+learns about clients, topics or shards.  The envelope is therefore
+*not* a registered wire PDU: it is interpreted by frontends after
+causal processing, and identified by a magic first byte so frontends
+can coexist with non-service traffic on the same member.
+
+For multi-shard publishes the envelope additionally carries the
+bridge timestamp and the full destination-shard set (PROTOCOL §14.3):
+the destinations make every bridged message self-describing, which is
+what the cross-shard ordering checker audits against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import WireFormatError
+from ..net.wire import Reader, Writer
+
+__all__ = ["ENVELOPE_MAGIC", "Envelope"]
+
+#: First payload byte of every service-tier envelope.
+ENVELOPE_MAGIC = 0xE5
+
+_FLAG_BRIDGED = 0x01
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """One client publish as seen by the group layer.
+
+    ``(origin, origin_seq)`` — the publishing session and its sequence
+    number — globally identify the publish across every shard that
+    carries it.
+    """
+
+    origin: int
+    origin_seq: int
+    topics: tuple[bytes, ...]
+    payload: bytes = b""
+    #: Bridge fields; ``stamp`` is the Generic-Multicast timestamp and
+    #: ``dests`` the destination shard set (empty for single-shard).
+    stamp: int = 0
+    dests: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.bridged and len(self.dests) < 2:
+            raise WireFormatError(
+                f"bridged envelope must name >= 2 destination shards, got {self.dests}"
+            )
+
+    @property
+    def bridged(self) -> bool:
+        return self.stamp > 0
+
+    @property
+    def msg_id(self) -> tuple[int, int]:
+        """The globally unique publish identity ``(origin, origin_seq)``."""
+        return (self.origin, self.origin_seq)
+
+    def with_bridge(self, stamp: int, dests: tuple[int, ...]) -> "Envelope":
+        """A copy stamped by the cross-shard bridge."""
+        return Envelope(
+            self.origin, self.origin_seq, self.topics, self.payload, stamp, dests
+        )
+
+    def to_bytes(self) -> bytes:
+        writer = Writer()
+        writer.u8(ENVELOPE_MAGIC)
+        writer.u64(self.origin)
+        writer.u32(self.origin_seq)
+        writer.u8(_FLAG_BRIDGED if self.bridged else 0)
+        if self.bridged:
+            writer.u32(self.stamp)
+            writer.u8(len(self.dests))
+            for shard in self.dests:
+                writer.u16(shard)
+        writer.u8(len(self.topics))
+        for topic in self.topics:
+            writer.bytes_field(topic)
+        writer.bytes_field(self.payload)
+        return writer.getvalue()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Envelope | None":
+        """Decode a payload, or None when it is not a service envelope."""
+        if not data or data[0] != ENVELOPE_MAGIC:
+            return None
+        reader = Reader(data)
+        reader.u8()  # magic
+        origin = reader.u64()
+        origin_seq = reader.u32()
+        flags = reader.u8()
+        stamp = 0
+        dests: tuple[int, ...] = ()
+        if flags & _FLAG_BRIDGED:
+            stamp = reader.u32()
+            dests = tuple(reader.u16() for _ in range(reader.u8()))
+        topics = tuple(reader.bytes_field() for _ in range(reader.u8()))
+        payload = reader.bytes_field()
+        reader.expect_end()
+        return cls(origin, origin_seq, topics, payload, stamp, dests)

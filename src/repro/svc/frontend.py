@@ -1,0 +1,292 @@
+"""The server-side frontend: one URCGC member serving many clients.
+
+Every member of every shard group runs a :class:`Frontend` wrapped
+around its :class:`~repro.core.service.UrcgcService`.  A frontend
+plays two roles:
+
+* **Home** for the sessions hashed to it: it validates HELLOs and
+  sequence-numbered publishes, enforces the per-session publish
+  window, wraps accepted publishes into
+  :class:`~repro.svc.envelope.Envelope` payloads for the tier to
+  route, and emits cumulative publish-acks as the group processes
+  them (contiguity tracked across shards, since one session's
+  publishes may fan out to many).
+* **Delivery agent** for the subscription streams assigned to it: on
+  every causal indication whose envelope matches a stream's topics it
+  emits a :class:`~repro.svc.wire.ClientDeliver`, flow-controlled by
+  the per-stream delivery window (over-window deliveries park until
+  the client's cumulative delivery ack).
+
+Frontends are sans-IO like the engine underneath: outbound PDUs
+accumulate in :attr:`Frontend.outbox` for the driver (the sharded
+tier, a test, a socket loop) to encode and carry.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from ..core.message import UserMessage
+from ..core.service import UrcgcService
+from ..errors import FlowControlBlocked, ProtocolError
+from ..obs import Registry
+from .envelope import Envelope
+from .wire import (
+    ACK_DELIVER,
+    ACK_PUBLISH,
+    ClientAck,
+    ClientDeliver,
+    ClientHello,
+    ClientPublish,
+)
+
+__all__ = ["HomeSession", "DeliveryStream", "Frontend"]
+
+
+class HomeSession:
+    """Server-side state of one session homed at this frontend."""
+
+    __slots__ = ("client_id", "credit", "last_seq", "acked", "processed")
+
+    def __init__(self, client_id: int, credit: int, resume_seq: int) -> None:
+        self.client_id = client_id
+        self.credit = credit
+        #: Highest publish sequence accepted (contiguous).
+        self.last_seq = resume_seq
+        #: Highest cumulative ack sent to the client.
+        self.acked = resume_seq
+        #: Processed-but-not-yet-contiguous publish seqs (multi-shard
+        #: fan-out completes out of seq order).
+        self.processed: set[int] = set()
+
+    @property
+    def outstanding(self) -> int:
+        return self.last_seq - self.acked
+
+
+class DeliveryStream:
+    """One (session, shard) fan-out stream handled by this frontend."""
+
+    __slots__ = ("client_id", "topics", "deliver_seq", "acked", "window", "parked")
+
+    def __init__(self, client_id: int, topics: set[bytes], window: int) -> None:
+        self.client_id = client_id
+        self.topics = topics
+        #: Last delivery sequence emitted.
+        self.deliver_seq = 0
+        #: Last delivery sequence the client cumulatively acked.
+        self.acked = 0
+        self.window = window
+        #: Deliveries withheld while the window is full.
+        self.parked: deque[tuple[Envelope, bytes]] = deque()
+
+    @property
+    def unacked(self) -> int:
+        return self.deliver_seq - self.acked
+
+
+class Frontend:
+    """Client tier of one URCGC member (see module docstring)."""
+
+    def __init__(
+        self,
+        shard: int,
+        member: int,
+        service: UrcgcService,
+        *,
+        grant_credit: int = 32,
+        deliver_window: int = 256,
+        registry: Registry | None = None,
+        clock: Callable[[], float] | None = None,
+        on_processed: Callable[[Envelope], None] | None = None,
+    ) -> None:
+        self.shard = shard
+        self.member = member
+        self.service = service
+        self.grant_credit = grant_credit
+        self.deliver_window = deliver_window
+        self._registry = registry
+        self._clock = clock
+        #: Tier hook fired once per envelope this frontend *injected*,
+        #: when the local member processes it (= globally ordered).
+        self._on_processed = on_processed
+        self.homed: dict[int, HomeSession] = {}
+        self.streams: dict[int, DeliveryStream] = {}
+        #: Outbound PDUs for the driver: ``(client_id, pdu)`` pairs.
+        self.outbox: list[tuple[int, object]] = []
+        #: Envelope ids this frontend injected and still awaits.
+        self._pending: dict[tuple[int, int], float] = {}
+        #: Bridged envelopes processed here, in processing order — the
+        #: cross-shard ordering checker's input.
+        self.bridge_log: list[Envelope] = []
+        service.add_indication_handler(self._on_indication)
+
+    # ------------------------------------------------------------------
+    # home role: hello / publish / ack
+    # ------------------------------------------------------------------
+
+    def on_hello(self, hello: ClientHello) -> ClientAck:
+        """Open or resume a session; returns the hello-ack."""
+        existing = self.homed.get(hello.client_id)
+        if existing is not None and hello.resume_seq != existing.last_seq:
+            raise ProtocolError(
+                f"c{hello.client_id} resume_seq {hello.resume_seq} != "
+                f"accepted {existing.last_seq}"
+            )
+        if existing is None:
+            self.homed[hello.client_id] = HomeSession(
+                hello.client_id, min(hello.credit, self.grant_credit), hello.resume_seq
+            )
+            self._count("svc.sessions.opened")
+        session = self.homed[hello.client_id]
+        return ClientAck(ACK_PUBLISH, session.client_id, 0, session.acked, session.credit)
+
+    def on_publish(self, pub: ClientPublish) -> Envelope:
+        """Validate one publish; returns the envelope for the tier to
+        route.  Raises on unknown sessions, sequence gaps/duplicates
+        and window overruns (a correct client never sends these)."""
+        session = self.homed.get(pub.client_id)
+        if session is None:
+            raise ProtocolError(f"publish from unknown session c{pub.client_id}")
+        if pub.client_seq != session.last_seq + 1:
+            raise ProtocolError(
+                f"c{pub.client_id} publish seq {pub.client_seq}, expected "
+                f"{session.last_seq + 1}"
+            )
+        if session.outstanding >= session.credit:
+            raise FlowControlBlocked(
+                f"c{pub.client_id} exceeded its window: "
+                f"{session.outstanding}/{session.credit} outstanding"
+            )
+        session.last_seq = pub.client_seq
+        self._count("svc.publish", shard=self.shard)
+        return Envelope(pub.client_id, pub.client_seq, pub.topics, pub.payload)
+
+    def inject(self, envelope: Envelope) -> None:
+        """Submit a routed envelope to this member's group (fan-in).
+
+        The frontend remembers the id; when the envelope comes back as
+        a causal indication the publish counts as processed and the
+        origin's home frontend acks it (via the tier's
+        ``on_processed`` hook).
+        """
+        self._pending[envelope.msg_id] = self._now()
+        self.service.data_rq(envelope.to_bytes())
+        self._count("svc.injected", shard=self.shard)
+
+    def on_processed_elsewhere(self, envelope: Envelope) -> None:
+        """Tier relay: one of this home's publishes was processed in
+        some destination shard; advance the cumulative ack frontier."""
+        session = self.homed.get(envelope.origin)
+        if session is None:
+            return
+        session.processed.add(envelope.origin_seq)
+        advanced = False
+        while session.acked + 1 in session.processed:
+            session.processed.remove(session.acked + 1)
+            session.acked += 1
+            advanced = True
+        if advanced:
+            self.outbox.append(
+                (
+                    session.client_id,
+                    ClientAck(
+                        ACK_PUBLISH, session.client_id, 0, session.acked, session.credit
+                    ),
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # delivery role: subscriptions / fan-out / delivery acks
+    # ------------------------------------------------------------------
+
+    def subscribe(self, client_id: int, topics: set[bytes], *, window: int | None = None) -> None:
+        """Attach (or widen) the client's delivery stream on this shard."""
+        stream = self.streams.get(client_id)
+        if stream is None:
+            self.streams[client_id] = DeliveryStream(
+                client_id, set(topics), window or self.deliver_window
+            )
+            self._count("svc.streams.opened", shard=self.shard)
+        else:
+            stream.topics |= topics
+
+    def on_deliver_ack(self, ack: ClientAck) -> None:
+        """Absorb a client's cumulative delivery ack; un-park fan-out."""
+        if ack.kind != ACK_DELIVER:
+            raise ProtocolError(f"frontend received ack kind {ack.kind}")
+        stream = self.streams.get(ack.client_id)
+        if stream is None:
+            raise ProtocolError(f"delivery ack for unknown stream c{ack.client_id}")
+        if ack.ack_seq > stream.deliver_seq:
+            raise ProtocolError(
+                f"c{ack.client_id} acked delivery {ack.ack_seq} beyond "
+                f"emitted {stream.deliver_seq}"
+            )
+        stream.acked = max(stream.acked, ack.ack_seq)
+        while stream.parked and stream.unacked < stream.window:
+            envelope, topic = stream.parked.popleft()
+            self._emit_deliver(stream, envelope, topic)
+
+    # ------------------------------------------------------------------
+    # the causal indication path
+    # ------------------------------------------------------------------
+
+    def _on_indication(self, message: UserMessage) -> None:
+        envelope = Envelope.from_bytes(message.payload)
+        if envelope is None:
+            return
+        if envelope.bridged:
+            self.bridge_log.append(envelope)
+        injected_at = self._pending.pop(envelope.msg_id, None)
+        if injected_at is not None:
+            if self._registry is not None and self._clock is not None:
+                name = "svc.bridge.latency" if envelope.bridged else "svc.publish.latency"
+                self._registry.observe(
+                    name, self._now() - injected_at, shard=self.shard
+                )
+            if self._on_processed is not None:
+                self._on_processed(envelope)
+        for stream in self.streams.values():
+            matched = next((t for t in envelope.topics if t in stream.topics), None)
+            if matched is None:
+                continue
+            if stream.unacked >= stream.window:
+                stream.parked.append((envelope, matched))
+                self._count("svc.deliver.parked", shard=self.shard)
+            else:
+                self._emit_deliver(stream, envelope, matched)
+
+    def _emit_deliver(self, stream: DeliveryStream, envelope: Envelope, topic: bytes) -> None:
+        stream.deliver_seq += 1
+        self.outbox.append(
+            (
+                stream.client_id,
+                ClientDeliver(
+                    stream.client_id,
+                    self.shard,
+                    stream.deliver_seq,
+                    envelope.origin,
+                    envelope.origin_seq,
+                    topic,
+                    envelope.payload,
+                ),
+            )
+        )
+        self._count("svc.deliver", shard=self.shard)
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+
+    def drain_outbox(self) -> list[tuple[int, object]]:
+        out, self.outbox = self.outbox, []
+        return out
+
+    def _now(self) -> float:
+        return self._clock() if self._clock is not None else 0.0
+
+    def _count(self, name: str, **labels: object) -> None:
+        if self._registry is not None:
+            self._registry.count(name, **labels)

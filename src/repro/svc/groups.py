@@ -1,22 +1,25 @@
-"""Group structures (Section 3 of the paper).
+"""Call-style group structures (Section 3 of the paper), service tier.
 
 "According to the group structures introduced by Birman, the algorithm
 we present may apply to client server groups, through a proper
 management of the reply messages, and to diffusion groups, by
 multicasting messages to the full set of server and client processes."
 
-Both adapters layer on :class:`~repro.core.service.UrcgcService`
-without touching the protocol: every request, reply, and publication
-is a urcgc message, so they all inherit uniform atomicity and causal
-ordering (a reply is causally after its request at every member).
+:class:`ClientServerGroup` is the request/reply structure, promoted
+from the pre-tier sketch in ``repro.core``: clients issue calls, every
+server processes each call in the same causal order and replies, and
+the caller resolves after ``h`` replies through a voting function
+``v`` (the (h, v) pair of the Section 5 transport tuple, lifted to the
+service level).  It layers on :class:`~repro.core.service.UrcgcService`
+without touching the protocol, and registers via
+``add_indication_handler`` so it composes with other consumers of the
+same member — including a :class:`~repro.svc.frontend.Frontend`.
 
-* :class:`ClientServerGroup` — clients issue calls; every server
-  processes each call in the same causal order and replies; the caller
-  resolves after ``h`` replies through a voting function ``v`` (the
-  (h, v) pair of the Section 5 transport tuple, lifted to the service
-  level).
-* :class:`DiffusionGroup` — servers publish to the full set of server
-  and client processes; clients are read-only members.
+The old ``DiffusionGroup`` sketch is gone: diffusion — servers publish
+to the full set of server and client processes — is the degenerate
+single-topic, everyone-subscribed case of the sharded service tier
+(:class:`~repro.svc.tier.ShardedService`), which additionally serves
+*non-member* clients.
 """
 
 from __future__ import annotations
@@ -29,19 +32,17 @@ from typing import Callable
 from ..errors import ConfigError, ProtocolError
 from ..net.wire import Reader, Writer
 from ..types import ProcessId
-from .message import UserMessage
-from .service import UrcgcService
+from ..core.message import UserMessage
+from ..core.service import UrcgcService
 
 __all__ = [
     "Role",
     "CallHandle",
     "ClientServerGroup",
-    "DiffusionGroup",
     "majority_vote",
     "first_reply",
 ]
 
-_TAG_APP = 1
 _TAG_REQUEST = 2
 _TAG_REPLY = 3
 
@@ -88,6 +89,18 @@ class CallHandle:
     @property
     def resolved(self) -> bool:
         return self.result is not None
+
+    def on_reply(self, sender: ProcessId, body: bytes) -> bool:
+        """Absorb one reply; returns True when this reply resolved the
+        call (late replies after resolution are ignored)."""
+        if self.resolved:
+            return False
+        self.replies.append(body)
+        self.responders.append(sender)
+        if len(self.replies) >= self.required_replies:
+            self.result = self.voting(self.replies)
+            return True
+        return False
 
 
 def _encode(tag: int, call_id: int, sender: int, body: bytes) -> bytes:
@@ -146,7 +159,7 @@ class ClientServerGroup:
         self._handler = handler
         self._calls: dict[int, CallHandle] = {}
         self.served_count = 0
-        service.set_indication_handler(self._on_indication)
+        service.add_indication_handler(self._on_indication)
 
     def call(
         self,
@@ -174,6 +187,8 @@ class ClientServerGroup:
         return handle
 
     def _on_indication(self, message: UserMessage) -> None:
+        if not message.payload or message.payload[0] not in (_TAG_REQUEST, _TAG_REPLY):
+            return  # other traffic on this member (handlers compose now)
         tag, call_id, sender, body = _decode(message.payload)
         if tag == _TAG_REQUEST:
             if self.role is Role.SERVER and sender != self.pid:
@@ -185,43 +200,5 @@ class ClientServerGroup:
                 )
         elif tag == _TAG_REPLY:
             handle = self._calls.get(call_id)
-            if handle is None or handle.resolved:
-                return
-            handle.replies.append(body)
-            handle.responders.append(ProcessId(sender))
-            if len(handle.replies) >= handle.required_replies:
-                handle.result = handle.voting(handle.replies)
-        else:
-            raise ProtocolError(f"unexpected client-server tag {tag}")
-
-
-class DiffusionGroup:
-    """Server-publishes, everyone-receives structure."""
-
-    def __init__(
-        self,
-        service: UrcgcService,
-        role: Role,
-        *,
-        on_publication: Callable[[ProcessId, bytes], None] | None = None,
-    ) -> None:
-        self.service = service
-        self.role = role
-        self.pid = service.member.pid
-        self._on_publication = on_publication
-        self.received: list[tuple[ProcessId, bytes]] = []
-        service.set_indication_handler(self._on_indication)
-
-    def publish(self, body: bytes) -> None:
-        """Multicast ``body`` to the full set of servers and clients."""
-        if self.role is not Role.SERVER:
-            raise ProtocolError("clients of a diffusion group are read-only")
-        self.service.data_rq(_encode(_TAG_APP, 0, self.pid, body))
-
-    def _on_indication(self, message: UserMessage) -> None:
-        tag, _, sender, body = _decode(message.payload)
-        if tag != _TAG_APP:
-            raise ProtocolError(f"unexpected diffusion tag {tag}")
-        self.received.append((ProcessId(sender), body))
-        if self._on_publication is not None:
-            self._on_publication(ProcessId(sender), body)
+            if handle is not None:
+                handle.on_reply(ProcessId(sender), body)

@@ -1,0 +1,125 @@
+"""Consistent-hash shard routing with health tracking (PROTOCOL §14.3).
+
+Topics are partitioned across many independent URCGC groups by a
+consistent-hash ring: each shard owns ``replicas`` virtual points on a
+64-bit circle, a topic maps to the first healthy shard clockwise of
+its hash.  Adding/removing a shard, or routing around an unhealthy
+one, therefore moves only ``~1/S`` of the topic space — the property
+that makes dozens-of-shards deployments operable.
+
+Health is fed from :mod:`repro.detect`: the tier summarizes each
+shard's failure-detector state (suspected + crashed members) into
+:meth:`ShardRouter.observe_health`; a shard without a live majority is
+taken out of rotation until the detector clears.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import Iterable, Sequence
+
+from ..errors import ConfigError, ProtocolError
+
+__all__ = ["ShardRouter"]
+
+
+def _point(key: bytes) -> int:
+    """A stable 64-bit ring position (first 8 bytes of SHA-1)."""
+    return int.from_bytes(hashlib.sha1(key).digest()[:8], "big")
+
+
+class ShardRouter:
+    """Maps topics (and client homes) onto shards.
+
+    Parameters
+    ----------
+    shards:
+        Number of independent URCGC groups.
+    replicas:
+        Virtual ring points per shard; more points, smoother balance.
+    """
+
+    def __init__(self, shards: int, *, replicas: int = 64) -> None:
+        if shards < 1:
+            raise ConfigError(f"need at least one shard, got {shards}")
+        if replicas < 1:
+            raise ConfigError(f"need at least one replica, got {replicas}")
+        self.shards = shards
+        self._healthy = [True] * shards
+        ring: list[tuple[int, int]] = []
+        for shard in range(shards):
+            for replica in range(replicas):
+                ring.append((_point(b"shard:%d#%d" % (shard, replica)), shard))
+        ring.sort()
+        self._ring_points = [point for point, _ in ring]
+        self._ring_shards = [shard for _, shard in ring]
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+
+    def shard_for(self, topic: bytes) -> int:
+        """The healthy shard owning ``topic``."""
+        start = bisect_right(self._ring_points, _point(b"topic:" + topic))
+        size = len(self._ring_points)
+        for step in range(size):
+            shard = self._ring_shards[(start + step) % size]
+            if self._healthy[shard]:
+                return shard
+        raise ProtocolError("no healthy shard available")
+
+    def shards_for(self, topics: Iterable[bytes]) -> tuple[int, ...]:
+        """The sorted destination-shard set of a (multi-topic) publish."""
+        return tuple(sorted({self.shard_for(topic) for topic in topics}))
+
+    def home_for(self, client_id: int, members: int) -> tuple[int, int]:
+        """The ``(shard, member)`` frontend a client session homes at.
+
+        Client homes hash over *all* shards (healthy or not is a
+        routing concern for topics, not for session placement: the
+        session's home shard group still runs even when the router
+        stopped sending new topics its way).
+        """
+        point = _point(b"client:%d" % client_id)
+        return (point % self.shards, (point >> 32) % members)
+
+    def ingress_member(self, client_id: int, members: int) -> int:
+        """The member a client's single-shard publishes enter through.
+
+        Sticky per client: one origin chain per (client, shard), so a
+        client's publishes into one shard are causally chained and
+        never reorder (PROTOCOL §14.3).
+        """
+        return (_point(b"ingress:%d" % client_id) % (members - 1)) + 1 if members > 1 else 0
+
+    # ------------------------------------------------------------------
+    # health
+    # ------------------------------------------------------------------
+
+    def observe_health(
+        self, shard: int, *, members: int, suspected: Sequence[int] | int
+    ) -> bool:
+        """Feed one shard's failure-detector summary.
+
+        ``suspected`` is the count (or collection) of members the
+        shard's detectors currently consider failed.  A shard keeps
+        routing while a live majority remains; otherwise it leaves the
+        ring until the detector clears.  Returns the new health bit.
+        """
+        down = suspected if isinstance(suspected, int) else len(set(suspected))
+        healthy = (members - down) * 2 > members
+        self._healthy[shard] = healthy
+        return healthy
+
+    def mark_unhealthy(self, shard: int) -> None:
+        self._healthy[shard] = False
+
+    def mark_healthy(self, shard: int) -> None:
+        self._healthy[shard] = True
+
+    def healthy_shards(self) -> tuple[int, ...]:
+        return tuple(s for s in range(self.shards) if self._healthy[s])
+
+    def is_healthy(self, shard: int) -> bool:
+        return self._healthy[shard]

@@ -1,0 +1,218 @@
+"""The client-side session state machine (PROTOCOL §14.2).
+
+A :class:`ClientSession` is everything a *non-member* user holds: a
+64-bit identity, a publish window, per-shard delivery cursors — all
+constant-size, independent of group cardinality and client count (the
+scalability point of the client tier: n-sized state stays inside the
+server group).
+
+Lifecycle::
+
+    IDLE --hello()--> CONNECTING --publish-ack--> ACTIVE --close()--> CLOSED
+
+The session *produces and consumes wire PDUs* and never touches the
+group protocol: drivers (the sharded tier, tests, a real socket loop)
+shuttle the encoded bytes between the session and its frontend.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from enum import Enum
+
+from ..errors import FlowControlBlocked, ProtocolError
+from .wire import ACK_DELIVER, ACK_PUBLISH, ClientAck, ClientDeliver, ClientHello, ClientPublish
+
+__all__ = ["SessionState", "ClientSession"]
+
+
+class SessionState(Enum):
+    IDLE = "idle"
+    CONNECTING = "connecting"
+    ACTIVE = "active"
+    CLOSED = "closed"
+
+
+class ClientSession:
+    """Client-side state machine for one session to one frontend.
+
+    Parameters
+    ----------
+    client_id:
+        The 64-bit client identity (the id space is the whole point:
+        it is unrelated to group cardinality).
+    credit:
+        Publish window to request in the HELLO; the frontend's grant
+        (carried in every publish-ack) is what actually binds.
+    auto_ack:
+        When True (default) :meth:`on_deliver` returns a cumulative
+        delivery ack for the stream, ready to send; set False to ack
+        manually via :meth:`ack_delivers` (batch acking).
+    """
+
+    __slots__ = (
+        "client_id",
+        "state",
+        "requested_credit",
+        "window",
+        "next_seq",
+        "acked",
+        "auto_ack",
+        "_queue",
+        "delivered",
+        "_deliver_cursor",
+    )
+
+    def __init__(self, client_id: int, *, credit: int = 32, auto_ack: bool = True) -> None:
+        self.client_id = client_id
+        self.state = SessionState.IDLE
+        self.requested_credit = credit
+        #: Granted publish window (0 until the hello-ack arrives).
+        self.window = 0
+        self.next_seq = 1
+        #: Highest cumulative publish-ack received.
+        self.acked = 0
+        self.auto_ack = auto_ack
+        self._queue: deque[tuple[tuple[bytes, ...], bytes]] = deque()
+        #: Every delivery accepted, in arrival order (all streams).
+        self.delivered: list[ClientDeliver] = []
+        self._deliver_cursor: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def outstanding(self) -> int:
+        """Publishes sent but not yet cumulatively acked."""
+        return (self.next_seq - 1) - self.acked
+
+    @property
+    def queued(self) -> int:
+        """Publishes waiting locally for window."""
+        return len(self._queue)
+
+    def deliver_cursor(self, shard: int) -> int:
+        """Last delivery sequence accepted on ``shard``'s stream."""
+        return self._deliver_cursor.get(shard, 0)
+
+    def __repr__(self) -> str:
+        return (
+            f"ClientSession(c{self.client_id}, {self.state.value}, "
+            f"seq={self.next_seq - 1}, acked={self.acked}, "
+            f"outstanding={self.outstanding}, queued={self.queued})"
+        )
+
+    # ------------------------------------------------------------------
+    # connection
+    # ------------------------------------------------------------------
+
+    def hello(self) -> ClientHello:
+        """IDLE → CONNECTING; returns the HELLO to send."""
+        if self.state is not SessionState.IDLE:
+            raise ProtocolError(f"hello from state {self.state.value}")
+        self.state = SessionState.CONNECTING
+        return ClientHello(
+            self.client_id, credit=self.requested_credit, resume_seq=self.next_seq - 1
+        )
+
+    def close(self) -> None:
+        self.state = SessionState.CLOSED
+
+    # ------------------------------------------------------------------
+    # publishing (flow-controlled)
+    # ------------------------------------------------------------------
+
+    def publish(self, topics: tuple[bytes, ...], payload: bytes) -> ClientPublish | None:
+        """Queue-behind-window publish.
+
+        Returns the PDU to send now, or None when the window is full —
+        the publish is then queued locally and released by a later
+        :meth:`on_ack` (mirroring ``UrcgcService.data_rq``).
+        """
+        if self.state is not SessionState.ACTIVE:
+            raise ProtocolError(f"publish from state {self.state.value}")
+        if self.outstanding < self.window and not self._queue:
+            return self._next_publish(topics, payload)
+        self._queue.append((tuple(topics), payload))
+        return None
+
+    def try_publish(self, topics: tuple[bytes, ...], payload: bytes) -> ClientPublish:
+        """Non-queueing variant: raises :class:`FlowControlBlocked`
+        instead of building a backlog (mirrors ``try_data_rq``)."""
+        if self.state is not SessionState.ACTIVE:
+            raise ProtocolError(f"publish from state {self.state.value}")
+        if self.outstanding >= self.window or self._queue:
+            raise FlowControlBlocked(
+                f"c{self.client_id} window full: {self.outstanding}/{self.window} "
+                f"outstanding, {self.queued} queued"
+            )
+        return self._next_publish(topics, payload)
+
+    def _next_publish(self, topics: tuple[bytes, ...], payload: bytes) -> ClientPublish:
+        pub = ClientPublish(self.client_id, self.next_seq, tuple(topics), payload)
+        self.next_seq += 1
+        return pub
+
+    # ------------------------------------------------------------------
+    # inbound PDUs
+    # ------------------------------------------------------------------
+
+    def on_ack(self, ack: ClientAck) -> list[ClientPublish]:
+        """Absorb a publish-ack; returns queued publishes the restored
+        window now admits (send them)."""
+        self._check_inbound(ack.client_id)
+        if ack.kind != ACK_PUBLISH:
+            raise ProtocolError(f"client received ack kind {ack.kind}")
+        if self.state is SessionState.CONNECTING:
+            self.state = SessionState.ACTIVE
+        elif self.state is not SessionState.ACTIVE:
+            raise ProtocolError(f"ack in state {self.state.value}")
+        if ack.ack_seq > self.next_seq - 1:
+            raise ProtocolError(
+                f"c{self.client_id} acked up to {ack.ack_seq} but only "
+                f"{self.next_seq - 1} were sent"
+            )
+        self.acked = max(self.acked, ack.ack_seq)
+        self.window = ack.credit
+        released = []
+        while self._queue and self.outstanding < self.window:
+            topics, payload = self._queue.popleft()
+            released.append(self._next_publish(topics, payload))
+        return released
+
+    def on_deliver(self, deliver: ClientDeliver) -> ClientAck | None:
+        """Absorb one delivery; enforces per-stream contiguity.
+
+        Returns the cumulative delivery ack when ``auto_ack`` is set.
+        """
+        self._check_inbound(deliver.client_id)
+        if self.state is not SessionState.ACTIVE:
+            raise ProtocolError(f"deliver in state {self.state.value}")
+        expected = self._deliver_cursor.get(deliver.shard, 0) + 1
+        if deliver.deliver_seq != expected:
+            raise ProtocolError(
+                f"c{self.client_id} stream s{deliver.shard}: got deliver_seq "
+                f"{deliver.deliver_seq}, expected {expected}"
+            )
+        self._deliver_cursor[deliver.shard] = deliver.deliver_seq
+        self.delivered.append(deliver)
+        if self.auto_ack:
+            return self.ack_delivers(deliver.shard)
+        return None
+
+    def ack_delivers(self, shard: int) -> ClientAck:
+        """Cumulative delivery ack for one shard stream."""
+        return ClientAck(
+            ACK_DELIVER,
+            self.client_id,
+            shard,
+            self._deliver_cursor.get(shard, 0),
+            0,
+        )
+
+    def _check_inbound(self, client_id: int) -> None:
+        if client_id != self.client_id:
+            raise ProtocolError(
+                f"session c{self.client_id} received a PDU for c{client_id}"
+            )

@@ -1,0 +1,351 @@
+"""The sharded service: one publish/subscribe surface over many groups.
+
+:class:`ShardedService` is the tentpole assembly (PROTOCOL §14): it
+owns ``S`` independent URCGC groups (one :class:`SimCluster` each), a
+:class:`Frontend` per member, a consistent-hash
+:class:`~repro.svc.router.ShardRouter`, and the cross-shard
+:class:`~repro.svc.bridge.CausalBridge`.  Clients connect through it
+and never learn any of this — they see ``connect`` / ``subscribe`` /
+``publish`` and a stream of deliveries.
+
+Routing invariants the tier maintains:
+
+* A session homes at one frontend (hash of the client id) — the only
+  place its publish sequence is validated and acked.
+* A client's single-shard publishes enter each shard through one
+  *sticky ingress member* — one origin chain per (client, shard), so
+  URCGC's per-origin ordering preserves client publish order.
+* Multi-shard publishes are stamped by the bridge and injected through
+  every destination shard's *bridge agent* (member 0) in stamp order —
+  one origin chain for all bridged traffic per shard, so every member
+  of every destination shard agrees with the bridge order.
+
+All client PDUs cross the tier through the real wire codecs
+(:data:`repro.net.wire.global_registry`) — the simulated transport is
+in-process, the bytes are not.
+"""
+
+from __future__ import annotations
+
+from ..core.config import UrcgcConfig
+from ..errors import ConfigError, ProtocolError
+from ..harness.cluster import SimCluster
+from ..net.wire import global_registry
+from ..obs import Registry
+from ..types import ProcessId, Time
+from .bridge import CausalBridge
+from .envelope import Envelope
+from .frontend import Frontend
+from .router import ShardRouter
+from .session import ClientSession
+from .wire import ACK_DELIVER, ACK_PUBLISH, ClientAck, ClientDeliver, ClientPublish
+
+__all__ = ["ShardedService"]
+
+#: One subrun of simulated time (2 rounds x 0.5).
+_SUBRUN = 1.0
+
+
+class ShardedService:
+    """``S`` URCGC groups behind one client-facing API.
+
+    Parameters
+    ----------
+    shards, members:
+        Topology: ``shards`` independent groups of ``members`` each.
+    config:
+        Per-shard group configuration (``n`` must equal ``members``);
+        defaults to a plain ``UrcgcConfig(n=members)``.
+    seed:
+        Base determinism seed; shard ``s`` runs under ``seed + s``.
+    registry:
+        Service-tier metric surface (client/session/delivery counters,
+        latency histograms).  Defaults to a fresh :class:`Registry`.
+    grant_credit, deliver_window:
+        Frontend flow-control defaults (see :class:`Frontend`).
+    max_rounds:
+        Per-shard round budget — generous, serve runs are long.
+    """
+
+    def __init__(
+        self,
+        shards: int,
+        members: int = 3,
+        *,
+        config: UrcgcConfig | None = None,
+        seed: int = 0,
+        replicas: int = 64,
+        registry: Registry | None = None,
+        grant_credit: int = 32,
+        deliver_window: int = 256,
+        max_rounds: int = 20_000,
+    ) -> None:
+        if config is None:
+            config = UrcgcConfig(n=members)
+        if config.n != members:
+            raise ConfigError(
+                f"config.n={config.n} does not match members={members}"
+            )
+        self.shards = shards
+        self.members = members
+        self.config = config
+        self.registry = registry if registry is not None else Registry()
+        self.router = ShardRouter(shards, replicas=replicas)
+        self.bridge = CausalBridge(shards)
+        self.clusters: list[SimCluster] = [
+            SimCluster(config, seed=seed + shard, max_rounds=max_rounds)
+            for shard in range(shards)
+        ]
+        self.frontends: list[list[Frontend]] = [
+            [
+                Frontend(
+                    shard,
+                    member,
+                    self.clusters[shard].services[member],
+                    grant_credit=grant_credit,
+                    deliver_window=deliver_window,
+                    registry=self.registry,
+                    clock=lambda shard=shard: float(self.clusters[shard].now),
+                    on_processed=self._on_processed,
+                )
+                for member in range(members)
+            ]
+            for shard in range(shards)
+        ]
+        self.sessions: dict[int, ClientSession] = {}
+        #: Home frontend of each connected session.
+        self._home: dict[int, tuple[int, int]] = {}
+        #: Delivery-agent member per (client, shard) stream.
+        self._stream_member: dict[tuple[int, int], int] = {}
+        #: Bridged publishes awaiting processing at every destination.
+        self._multi_pending: dict[tuple[int, int], int] = {}
+        #: Client PDUs shuttled through the wire codecs, both ways.
+        self.pdus_moved = 0
+        self._horizon: Time = Time(0.0)
+        self.registry.set_gauge("svc.shards", shards)
+        self.registry.set_gauge("svc.members_per_shard", members)
+
+    # ------------------------------------------------------------------
+    # client API
+    # ------------------------------------------------------------------
+
+    def connect(self, client_id: int, *, credit: int = 32) -> ClientSession:
+        """Open a session: HELLO to the home frontend, absorb its ack."""
+        if client_id in self.sessions:
+            raise ProtocolError(f"c{client_id} is already connected")
+        session = ClientSession(client_id, credit=credit)
+        home = self.router.home_for(client_id, self.members)
+        self._home[client_id] = home
+        self.sessions[client_id] = session
+        frontend = self.frontends[home[0]][home[1]]
+        hello = self._wire(session.hello())
+        ack = self._wire(frontend.on_hello(hello))
+        session.on_ack(ack)
+        self.registry.set_gauge("svc.sessions.active", len(self.sessions))
+        return session
+
+    def subscribe(self, client_id: int, topics: tuple[bytes, ...]) -> tuple[int, ...]:
+        """Subscribe the session to ``topics``; returns the shards its
+        delivery streams now span."""
+        self._session(client_id)
+        by_shard: dict[int, set[bytes]] = {}
+        for topic in topics:
+            by_shard.setdefault(self.router.shard_for(topic), set()).add(topic)
+        for shard, shard_topics in by_shard.items():
+            member = self.router.ingress_member(client_id, self.members)
+            self._stream_member[(client_id, shard)] = member
+            self.frontends[shard][member].subscribe(client_id, shard_topics)
+        return tuple(sorted(by_shard))
+
+    def publish(self, client_id: int, topics: tuple[bytes, ...], payload: bytes = b"") -> bool:
+        """Publish on behalf of a session.
+
+        Returns True when the publish entered the group tier now, False
+        when the session queued it behind its window (a later ack
+        releases and routes it automatically).
+        """
+        session = self._session(client_id)
+        pdu = session.publish(topics, payload)
+        if pdu is None:
+            return False
+        self._ingress(self._wire(pdu))
+        return True
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+
+    def _ingress(self, pub: ClientPublish) -> None:
+        """Home-validate one publish and inject it into its shards."""
+        shard, member = self._home[pub.client_id]
+        envelope = self.frontends[shard][member].on_publish(pub)
+        dests = self.router.shards_for(envelope.topics)
+        if len(dests) == 1:
+            ingress = self.router.ingress_member(pub.client_id, self.members)
+            self.frontends[dests[0]][ingress].inject(envelope)
+            return
+        # Multi-shard: bridge-stamp, then inject through every
+        # destination's bridge agent (member 0).  Stamping and
+        # injecting atomically here IS the stamp-order injection rule:
+        # each shard's bridged chain grows in stamp order.
+        stamp = self.bridge.stamp(dests)
+        bridged = envelope.with_bridge(stamp, dests)
+        self._multi_pending[bridged.msg_id] = len(dests)
+        for dest in dests:
+            self.frontends[dest][0].inject(bridged)
+        self.registry.count("svc.bridge.stamped")
+
+    def _on_processed(self, envelope: Envelope) -> None:
+        """A frontend saw one of its injected envelopes processed.
+
+        Bridged envelopes ack only once *every* destination shard has
+        processed its copy (publish-level uniformity for the client).
+        """
+        if envelope.bridged:
+            remaining = self._multi_pending.get(envelope.msg_id, 0) - 1
+            if remaining > 0:
+                self._multi_pending[envelope.msg_id] = remaining
+                return
+            self._multi_pending.pop(envelope.msg_id, None)
+        shard, member = self._home[envelope.origin]
+        self.frontends[shard][member].on_processed_elsewhere(envelope)
+
+    # ------------------------------------------------------------------
+    # the shuttle: frontends <-> sessions over real wire bytes
+    # ------------------------------------------------------------------
+
+    def pump(self) -> int:
+        """Shuttle pending client PDUs until none remain.
+
+        Every PDU is encoded and re-decoded through the global wire
+        registry, so the client tier exercises the same codecs a socket
+        deployment would.  Returns the number of PDUs moved.
+        """
+        moved = 0
+        progress = True
+        while progress:
+            progress = False
+            for shard_frontends in self.frontends:
+                for frontend in shard_frontends:
+                    for client_id, pdu in frontend.drain_outbox():
+                        self._to_client(client_id, self._wire(pdu))
+                        moved += 1
+                        progress = True
+        self.pdus_moved += moved
+        return moved
+
+    def _to_client(self, client_id: int, pdu: object) -> None:
+        session = self.sessions.get(client_id)
+        if session is None:
+            return  # session closed while deliveries were in flight
+        if isinstance(pdu, ClientDeliver):
+            ack = session.on_deliver(pdu)
+            if ack is not None:
+                member = self._stream_member[(client_id, pdu.shard)]
+                self.frontends[pdu.shard][member].on_deliver_ack(self._wire(ack))
+        elif isinstance(pdu, ClientAck) and pdu.kind == ACK_PUBLISH:
+            for released in session.on_ack(pdu):
+                self._ingress(self._wire(released))
+        elif isinstance(pdu, ClientAck) and pdu.kind == ACK_DELIVER:
+            raise ProtocolError("delivery ack addressed to a client")
+        else:
+            raise ProtocolError(f"unroutable client PDU {pdu!r}")
+
+    def _wire(self, pdu: object) -> object:
+        """One wire round-trip (encode + decode) through the registry."""
+        return global_registry.decode(global_registry.encode(pdu))
+
+    # ------------------------------------------------------------------
+    # driving the simulations
+    # ------------------------------------------------------------------
+
+    def step(self, dt: float = _SUBRUN) -> int:
+        """Advance every shard's simulation by ``dt`` and shuttle PDUs."""
+        self._horizon = Time(float(self._horizon) + dt)
+        for cluster in self.clusters:
+            cluster.kernel.run(until=self._horizon)
+        return self.pump()
+
+    def settled(self) -> bool:
+        """No client-tier work in flight anywhere."""
+        if self._multi_pending:
+            return False
+        if any(f._pending for row in self.frontends for f in row):
+            return False
+        return all(
+            s.outstanding == 0 and s.queued == 0 for s in self.sessions.values()
+        )
+
+    def run(self, *, max_steps: int = 10_000, drain_subruns: int = 2) -> None:
+        """Drive all shards until the client tier settles, then drain.
+
+        Raises :class:`ProtocolError` if the tier cannot settle within
+        ``max_steps`` subruns (wedged flow control, exhausted round
+        budget).
+        """
+        for _ in range(max_steps):
+            if self.settled() and all(c.quiescent() for c in self.clusters):
+                break
+            self.step()
+        else:
+            raise ProtocolError(f"service tier did not settle in {max_steps} subruns")
+        for cluster in self.clusters:
+            cluster.run_until_quiescent(drain_subruns=drain_subruns)
+        self.pump()
+
+    def refresh_health(self) -> tuple[int, ...]:
+        """Fold every shard's failure-detector state into the router.
+
+        A shard's ``suspected`` set is the union of what its live
+        members' detectors report (:mod:`repro.detect`) plus members
+        already crashed/left; the router drops shards without a live
+        majority.  Returns the currently healthy shards.
+        """
+        for shard, cluster in enumerate(self.clusters):
+            active = set(cluster.active_pids())
+            down: set[ProcessId] = {
+                ProcessId(i) for i in range(self.members) if ProcessId(i) not in active
+            }
+            for pid in active:
+                detector = cluster.members[pid].detector
+                if detector.tracks_suspicion:
+                    down |= set(detector.suspects())
+            self.router.observe_health(
+                shard, members=self.members, suspected=len(down)
+            )
+            self.registry.set_gauge(
+                "svc.shard.healthy", 1.0 if self.router.is_healthy(shard) else 0.0,
+                shard=shard,
+            )
+        return self.router.healthy_shards()
+
+    # ------------------------------------------------------------------
+    # auditing
+    # ------------------------------------------------------------------
+
+    def shard_streams(self, shard: int) -> dict[ProcessId, list]:
+        """Per-member processed streams of one shard (checker input)."""
+        cluster = self.clusters[shard]
+        return {
+            pid: cluster.services[pid].delivered for pid in cluster.active_pids()
+        }
+
+    def bridge_logs(self) -> dict[int, dict[ProcessId, list[tuple[tuple[int, int], int, tuple[int, ...]]]]]:
+        """Bridged-traffic logs, ``shard -> member -> [(msg_id, stamp,
+        dests)]`` — the input of ``check_bridge_ordering``."""
+        logs: dict[int, dict[ProcessId, list[tuple[tuple[int, int], int, tuple[int, ...]]]]] = {}
+        for shard, cluster in enumerate(self.clusters):
+            logs[shard] = {
+                pid: [
+                    (env.msg_id, env.stamp, env.dests)
+                    for env in self.frontends[shard][pid].bridge_log
+                ]
+                for pid in cluster.active_pids()
+            }
+        return logs
+
+    def _session(self, client_id: int) -> ClientSession:
+        session = self.sessions.get(client_id)
+        if session is None:
+            raise ProtocolError(f"c{client_id} is not connected")
+        return session

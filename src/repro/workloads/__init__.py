@@ -8,6 +8,7 @@ from .generators import (
     PoissonWorkload,
     ScriptedWorkload,
     Workload,
+    ZipfTopics,
     payload_for,
 )
 from .replay import ReplayWorkload
@@ -27,6 +28,7 @@ __all__ = [
     "NullWorkload",
     "ScriptedWorkload",
     "Workload",
+    "ZipfTopics",
     "ReplayWorkload",
     "payload_for",
     "consecutive_coordinator_crashes",

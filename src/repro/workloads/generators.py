@@ -28,6 +28,7 @@ __all__ = [
     "ScriptedWorkload",
     "BurstWorkload",
     "PoissonWorkload",
+    "ZipfTopics",
     "payload_for",
 ]
 
@@ -254,3 +255,72 @@ class PoissonWorkload:
         if self.rate <= 0.0:
             return True
         return self._stop_after is not None and round_no > self._stop_after
+
+
+class ZipfTopics:
+    """Zipf-distributed topic popularity for the service tier.
+
+    Real pub/sub topic popularity is heavy-tailed: a few channels see
+    most of the traffic, a long tail sees almost none.  This generator
+    draws topics from a Zipf law, ``P(rank k) ~ 1 / k**s``, over a
+    fixed universe of ``topics`` names — the shape the ``repro serve``
+    demo publishes into its sharded groups.
+
+    Not a round-driven :class:`Workload`: the service tier is client-
+    driven, so this is a plain sampler (``draw()`` one topic,
+    ``draw_set(k)`` for a multi-topic publish) plus ``subscription(k)``
+    for a client's interest set — all off one seeded RNG, so demo runs
+    are reproducible.
+    """
+
+    def __init__(
+        self,
+        topics: int,
+        *,
+        s: float = 1.1,
+        prefix: bytes = b"topic-",
+        rng: random.Random | None = None,
+    ) -> None:
+        if topics < 1:
+            raise ConfigError(f"need at least one topic, got {topics}")
+        if s <= 0:
+            raise ConfigError(f"Zipf exponent must be > 0, got {s}")
+        self.s = s
+        self._names = [prefix + b"%d" % rank for rank in range(1, topics + 1)]
+        self._rng = rng or random.Random(0)
+        # Cumulative Zipf mass over ranks 1..topics, for bisection.
+        weights = [1.0 / (rank ** s) for rank in range(1, topics + 1)]
+        total = sum(weights)
+        acc = 0.0
+        self._cdf = []
+        for weight in weights:
+            acc += weight / total
+            self._cdf.append(acc)
+        self._cdf[-1] = 1.0  # guard against float undershoot
+
+    @property
+    def names(self) -> list[bytes]:
+        """The topic universe, most popular first."""
+        return list(self._names)
+
+    def draw(self) -> bytes:
+        """One topic, Zipf-distributed by rank."""
+        from bisect import bisect_left
+
+        return self._names[bisect_left(self._cdf, self._rng.random())]
+
+    def draw_set(self, k: int) -> tuple[bytes, ...]:
+        """``k`` *distinct* topics for a multi-topic publish."""
+        if not 1 <= k <= len(self._names):
+            raise ConfigError(
+                f"k must be in [1, {len(self._names)}], got {k}"
+            )
+        picked: dict[bytes, None] = {}
+        while len(picked) < k:
+            picked.setdefault(self.draw(), None)
+        return tuple(picked)
+
+    def subscription(self, k: int) -> tuple[bytes, ...]:
+        """A client's interest set: ``k`` distinct topics, Zipf-biased
+        (popular channels attract subscribers as well as traffic)."""
+        return self.draw_set(k)

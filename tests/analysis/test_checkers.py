@@ -3,6 +3,7 @@
 import pytest
 
 from repro.analysis.checkers import (
+    check_bridge_ordering,
     check_local_causal_order,
     check_uniform_atomicity,
     check_uniform_ordering,
@@ -109,3 +110,63 @@ class TestUniformOrderingConvergence:
         }
         # Different origins entirely: each is a (trivial) prefix.
         assert check_uniform_ordering(streams, converged=False).ok
+
+
+class TestBridgeOrdering:
+    """The cross-shard intersection-rule checker."""
+
+    @staticmethod
+    def record(origin, seq, stamp, dests):
+        return ((origin, seq), stamp, tuple(dests))
+
+    def test_clean_logs_pass(self):
+        r1 = self.record(1, 1, 1, (0, 1))
+        r2 = self.record(2, 1, 2, (0, 1))
+        logs = {
+            0: {ProcessId(0): [r1, r2], ProcessId(1): [r1, r2]},
+            1: {ProcessId(0): [r1, r2]},
+        }
+        assert check_bridge_ordering(logs).ok
+
+    def test_intra_shard_disagreement(self):
+        r1 = self.record(1, 1, 1, (0, 1))
+        r2 = self.record(2, 1, 2, (0, 1))
+        logs = {0: {ProcessId(0): [r1, r2], ProcessId(1): [r2, r1]}}
+        result = check_bridge_ordering(logs)
+        assert any("disagrees" in str(v) for v in result.violations)
+
+    def test_cross_shard_inversion(self):
+        r1 = self.record(1, 1, 1, (0, 1))
+        r2 = self.record(2, 1, 2, (0, 1))
+        logs = {
+            0: {ProcessId(0): [r1, r2]},
+            1: {ProcessId(0): [r2, r1]},
+        }
+        result = check_bridge_ordering(logs)
+        assert any("shared-destination" in str(v) for v in result.violations)
+
+    def test_disjoint_destinations_unconstrained(self):
+        """Messages never sharing a shard may order freely (the
+        Generic-Multicast freedom a global sequencer would forbid)."""
+        a = self.record(1, 1, 1, (0, 1))
+        b = self.record(2, 1, 1, (2, 3))
+        logs = {
+            0: {ProcessId(0): [a]},
+            1: {ProcessId(0): [a]},
+            2: {ProcessId(0): [b]},
+            3: {ProcessId(0): [b]},
+        }
+        assert check_bridge_ordering(logs).ok
+
+    def test_wrong_destination_flagged(self):
+        stray = self.record(1, 1, 1, (1, 2))
+        logs = {0: {ProcessId(0): [stray]}}
+        result = check_bridge_ordering(logs)
+        assert any("destined only" in str(v) for v in result.violations)
+
+    def test_non_monotone_stamps_flagged(self):
+        r1 = self.record(1, 1, 5, (0, 1))
+        r2 = self.record(2, 1, 3, (0, 1))
+        logs = {0: {ProcessId(0): [r1, r2]}, 1: {ProcessId(0): [r1, r2]}}
+        result = check_bridge_ordering(logs)
+        assert any("strictly increasing" in str(v) for v in result.violations)

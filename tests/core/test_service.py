@@ -139,3 +139,33 @@ def test_try_data_rq_refuses_under_flow_control():
 
     with _pytest.raises(FlowControlBlocked, match="flow control"):
         service.try_data_rq(b"x")
+
+
+def test_extra_indication_handlers_compose():
+    service, member = make_service()
+    primary, extra = [], []
+    service.set_indication_handler(lambda msg: primary.append(msg.payload))
+    service.add_indication_handler(lambda msg: extra.append(msg.payload))
+    service.dispatch(member.on_message(UserMessage(m(1, 1), (), b"both")))
+    assert primary == [b"both"]
+    assert extra == [b"both"]
+
+
+def test_remove_indication_handler():
+    service, member = make_service()
+    seen = []
+    handler = lambda msg: seen.append(msg.payload)  # noqa: E731
+    service.add_indication_handler(handler)
+    service.dispatch(member.on_message(UserMessage(m(1, 1), (), b"a")))
+    service.remove_indication_handler(handler)
+    service.dispatch(member.on_message(UserMessage(m(1, 2), (m(1, 1),), b"b")))
+    assert seen == [b"a"]
+
+
+def test_data_rq_many_queues_in_order():
+    service, member = make_service()
+    handles = service.data_rq_many([b"x", b"y", b"z"])
+    assert len(handles) == 3
+    for _ in range(6):
+        service.dispatch(member.on_round(_))
+    assert all(h.confirmed for h in handles)

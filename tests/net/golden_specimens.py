@@ -29,6 +29,13 @@ from repro.core.message import (
 from repro.core.mid import Mid
 from repro.core.rejoin import JoinRequest
 from repro.net.wire import BatchFrame, encode_message, global_registry
+from repro.svc.wire import (
+    ACK_DELIVER,
+    ClientAck,
+    ClientDeliver,
+    ClientHello,
+    ClientPublish,
+)
 from repro.types import ProcessId, SeqNo, SubrunNo
 
 
@@ -96,6 +103,23 @@ def specimens() -> dict[int, object]:
             payloads=(b"b1", b"b2", b"b3"),
         ),
         18: HeartbeatMessage(ProcessId(2), 1, 14),
+        19: ClientHello(987_654_321_012, credit=64, resume_seq=17),
+        20: ClientPublish(
+            987_654_321_012,
+            18,
+            (b"chat/lobby", b"chat/ops"),
+            b"client publish payload",
+        ),
+        21: ClientDeliver(
+            987_654_321_012,
+            5,
+            42,
+            123_456_789,
+            9,
+            b"chat/lobby",
+            b"delivered payload",
+        ),
+        22: ClientAck(ACK_DELIVER, 987_654_321_012, 5, 42, 16),
         30: CbcastData(
             ProcessId(1),
             VectorClock((1, 2, 3)),

@@ -1,0 +1,141 @@
+"""Service-tier properties: single-shard equivalence and bridge order.
+
+Two properties anchor the tier to the protocol underneath:
+
+* **Single-shard equivalence** — a one-shard service is just a group
+  with extra bookkeeping: what every member processes through the tier
+  (client ingress, envelopes, frontends) must equal what the same
+  member of a plain group processes when the same payloads are
+  submitted through the same ingress pids in the same order.
+* **Bridge non-inversion** — however publishes scatter over topics and
+  shards, two cross-shard messages sharing a destination shard must
+  never appear in opposite orders at two shards (and every shard's
+  members must agree internally) — audited by
+  :func:`~repro.analysis.checkers.check_bridge_ordering`.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.checkers import check_bridge_ordering, check_uniform_ordering
+from repro.core.config import UrcgcConfig
+from repro.harness.cluster import SimCluster
+from repro.svc.bridge import CausalBridge
+from repro.svc.envelope import Envelope
+from repro.svc.tier import ShardedService
+
+_SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def chat_scripts(draw):
+    """(seed, [(client, n_topics)]) publish scripts over a small tier."""
+    seed = draw(st.integers(0, 1000))
+    clients = draw(st.lists(st.integers(0, 2**48), min_size=1, max_size=4, unique=True))
+    script = draw(
+        st.lists(
+            st.tuples(st.sampled_from(clients), st.integers(1, 3)),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    return seed, clients, script
+
+
+@given(chat_scripts())
+@_SETTINGS
+def test_single_shard_tier_equals_plain_group(case):
+    """Per-member processed payload sequences through a 1-shard tier
+    match a plain SimCluster fed the same payloads at the same pids."""
+    seed, clients, script = case
+    members = 3
+    tier = ShardedService(1, members, seed=seed)
+    for client in clients:
+        tier.connect(client)
+    payloads = []
+    for i, (client, _) in enumerate(script):
+        payload = b"m%d:c%d" % (i, client)
+        payloads.append((tier.router.ingress_member(client, members), payload))
+        tier.publish(client, (b"the-topic",), payload)
+    tier.run()
+
+    plain = SimCluster(UrcgcConfig(n=members), seed=seed, max_rounds=20_000)
+    for pid, payload in payloads:
+        # Same ingress pid, same submission order, envelope-wrapped so
+        # the only difference is the tier machinery around the group.
+        origin = next(
+            (c for c in clients
+             if tier.router.ingress_member(c, members) == pid), 0
+        )
+        plain.services[pid].data_rq(
+            Envelope(origin, 1, (b"the-topic",), payload).to_bytes()
+        )
+    plain.run_until_quiescent(drain_subruns=2)
+
+    for pid in range(members):
+        via_tier = [
+            Envelope.from_bytes(m.payload).payload
+            for m in tier.clusters[0].services[pid].delivered
+        ]
+        via_plain = [
+            Envelope.from_bytes(m.payload).payload
+            for m in plain.services[pid].delivered
+        ]
+        assert via_tier == via_plain
+
+
+@given(chat_scripts())
+@_SETTINGS
+def test_bridge_never_inverts_cross_shard_messages(case):
+    seed, clients, script = case
+    shards = 3
+    tier = ShardedService(shards, 3, seed=seed)
+    # Topics engineered to span all shards so multi-topic publishes
+    # regularly cross the bridge.
+    spread: dict[int, bytes] = {}
+    i = 0
+    while len(spread) < shards:
+        topic = b"spread-%d" % i
+        spread.setdefault(tier.router.shard_for(topic), topic)
+        i += 1
+    topics = list(spread.values())
+    for client in clients:
+        tier.connect(client)
+    for i, (client, n_topics) in enumerate(script):
+        tier.publish(client, tuple(topics[:n_topics]), b"m%d" % i)
+        if i % 5 == 4:
+            tier.step()
+    tier.run()
+
+    assert check_bridge_ordering(tier.bridge_logs()).ok
+    for shard in range(shards):
+        assert check_uniform_ordering(tier.shard_streams(shard)).ok
+    # Every session's publishes fully acknowledged: client-level
+    # uniformity of the bridged path.
+    for session in tier.sessions.values():
+        assert session.outstanding == 0 and session.queued == 0
+
+
+@given(
+    st.lists(
+        st.sets(st.integers(0, 4), min_size=2, max_size=4).map(
+            lambda s: tuple(sorted(s))
+        ),
+        min_size=1,
+        max_size=50,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_bridge_stamps_order_every_intersecting_pair(dest_sets):
+    """Pure bridge property: any two stamps whose destination sets
+    intersect are strictly ordered (Generic-Multicast agreement)."""
+    bridge = CausalBridge(5)
+    stamps = [bridge.stamp(dests) for dests in dest_sets]
+    for i in range(len(dest_sets)):
+        for j in range(i + 1, len(dest_sets)):
+            if set(dest_sets[i]) & set(dest_sets[j]):
+                assert stamps[i] < stamps[j]

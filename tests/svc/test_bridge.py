@@ -1,0 +1,54 @@
+"""The cross-shard bridge: intersection-rule timestamp agreement."""
+
+import pytest
+
+from repro.errors import ConfigError, ProtocolError
+from repro.svc.bridge import CausalBridge
+
+
+class TestStamping:
+    def test_stamps_strictly_increase_on_shared_destinations(self):
+        bridge = CausalBridge(4)
+        s1 = bridge.stamp((0, 1))
+        s2 = bridge.stamp((1, 2))
+        s3 = bridge.stamp((0, 2))
+        assert s1 < s2 < s3  # every pair shares a destination
+
+    def test_disjoint_destinations_may_tie(self):
+        """The Generic-Multicast point: messages with disjoint
+        destination sets exchange nothing, so their stamps may
+        collide — no global sequencer."""
+        bridge = CausalBridge(4)
+        s1 = bridge.stamp((0, 1))
+        s2 = bridge.stamp((2, 3))
+        assert s1 == s2 == 1
+
+    def test_decided_stamp_raises_all_destination_clocks(self):
+        bridge = CausalBridge(3)
+        bridge.stamp((0, 1))
+        bridge.stamp((0, 1))  # clock[0] = clock[1] = 2
+        decided = bridge.stamp((1, 2))  # proposals 3 and 1 -> max 3
+        assert decided == 3
+        assert bridge.clock(1) == 3
+        assert bridge.clock(2) == 3
+        assert bridge.clock(0) == 2  # not a destination: untouched
+
+    def test_audit_log(self):
+        bridge = CausalBridge(3)
+        bridge.stamp((0, 2))
+        bridge.stamp((1, 2))
+        assert bridge.stamped == [(1, (0, 2)), (2, (1, 2))]
+
+
+class TestValidation:
+    def test_needs_at_least_one_shard(self):
+        with pytest.raises(ConfigError):
+            CausalBridge(0)
+
+    def test_single_destination_rejected(self):
+        with pytest.raises(ProtocolError):
+            CausalBridge(2).stamp((0,))
+
+    def test_duplicate_destinations_rejected(self):
+        with pytest.raises(ProtocolError):
+            CausalBridge(3).stamp((1, 1))

@@ -1,0 +1,35 @@
+"""Envelope byte format: round-trips, magic, bridge fields."""
+
+import pytest
+
+from repro.errors import WireFormatError
+from repro.svc.envelope import ENVELOPE_MAGIC, Envelope
+
+
+class TestRoundtrip:
+    def test_plain(self):
+        env = Envelope(7, 3, (b"a", b"b"), b"payload")
+        assert Envelope.from_bytes(env.to_bytes()) == env
+        assert not env.bridged
+
+    def test_bridged(self):
+        env = Envelope(2**60, 2**30, (b"t",), b"x").with_bridge(9, (0, 5))
+        decoded = Envelope.from_bytes(env.to_bytes())
+        assert decoded == env
+        assert decoded.bridged and decoded.stamp == 9 and decoded.dests == (0, 5)
+
+    def test_magic_first_byte(self):
+        assert Envelope(1, 1, (b"t",)).to_bytes()[0] == ENVELOPE_MAGIC
+
+    def test_msg_id(self):
+        assert Envelope(4, 9, (b"t",)).msg_id == (4, 9)
+
+
+class TestNonEnvelopes:
+    def test_other_payloads_return_none(self):
+        assert Envelope.from_bytes(b"") is None
+        assert Envelope.from_bytes(b"\x01not an envelope") is None
+
+    def test_bridged_needs_two_dests(self):
+        with pytest.raises(WireFormatError):
+            Envelope(1, 1, (b"t",), stamp=3, dests=(0,))

@@ -1,0 +1,171 @@
+"""Frontend state machine tests against a stub service (no cluster)."""
+
+import pytest
+
+from repro.core.message import UserMessage
+from repro.core.mid import Mid
+from repro.errors import FlowControlBlocked, ProtocolError
+from repro.svc.envelope import Envelope
+from repro.svc.frontend import Frontend
+from repro.svc.wire import (
+    ACK_DELIVER,
+    ACK_PUBLISH,
+    ClientAck,
+    ClientDeliver,
+    ClientHello,
+    ClientPublish,
+)
+from repro.types import ProcessId, SeqNo
+
+
+class _StubService:
+    class _Member:
+        def __init__(self, pid):
+            self.pid = pid
+
+    def __init__(self, pid=0):
+        self.member = self._Member(ProcessId(pid))
+        self.submitted = []
+        self.handlers = []
+
+    def data_rq(self, payload):
+        self.submitted.append(payload)
+
+    def add_indication_handler(self, handler):
+        self.handlers.append(handler)
+
+    def indicate(self, payload, origin=0, seq=1):
+        """Simulate a causal indication reaching the member."""
+        message = UserMessage(Mid(ProcessId(origin), SeqNo(seq)), (), payload)
+        for handler in self.handlers:
+            handler(message)
+
+
+def build(member=1, **kw):
+    service = _StubService(pid=member)
+    return Frontend(0, member, service, **kw), service
+
+
+class TestHomeRole:
+    def test_hello_then_contiguous_publishes(self):
+        frontend, _ = build()
+        ack = frontend.on_hello(ClientHello(9, credit=8))
+        assert ack.kind == ACK_PUBLISH and ack.ack_seq == 0
+        env = frontend.on_publish(ClientPublish(9, 1, (b"t",), b"x"))
+        assert env.msg_id == (9, 1)
+        frontend.on_publish(ClientPublish(9, 2, (b"t",), b"y"))
+
+    def test_grant_is_capped(self):
+        frontend, _ = build(grant_credit=4)
+        ack = frontend.on_hello(ClientHello(9, credit=1000))
+        assert ack.credit == 4
+
+    def test_resume_must_match(self):
+        frontend, _ = build()
+        frontend.on_hello(ClientHello(9, credit=8))
+        frontend.on_publish(ClientPublish(9, 1, (b"t",)))
+        with pytest.raises(ProtocolError):
+            frontend.on_hello(ClientHello(9, credit=8, resume_seq=5))
+        # matching resume re-acks the frontier
+        ack = frontend.on_hello(ClientHello(9, credit=8, resume_seq=1))
+        assert ack.ack_seq == 0  # nothing processed yet
+
+    def test_gap_and_unknown_session_rejected(self):
+        frontend, _ = build()
+        with pytest.raises(ProtocolError):
+            frontend.on_publish(ClientPublish(9, 1, (b"t",)))
+        frontend.on_hello(ClientHello(9, credit=8))
+        with pytest.raises(ProtocolError):
+            frontend.on_publish(ClientPublish(9, 2, (b"t",)))
+
+    def test_window_overrun_blocked(self):
+        frontend, _ = build(grant_credit=2)
+        frontend.on_hello(ClientHello(9, credit=2))
+        frontend.on_publish(ClientPublish(9, 1, (b"t",)))
+        frontend.on_publish(ClientPublish(9, 2, (b"t",)))
+        with pytest.raises(FlowControlBlocked):
+            frontend.on_publish(ClientPublish(9, 3, (b"t",)))
+
+    def test_cumulative_ack_waits_for_contiguity(self):
+        frontend, _ = build()
+        frontend.on_hello(ClientHello(9, credit=8))
+        for seq in (1, 2, 3):
+            frontend.on_publish(ClientPublish(9, seq, (b"t",)))
+        # seq 2 processed before seq 1: no ack yet
+        frontend.on_processed_elsewhere(Envelope(9, 2, (b"t",)))
+        assert frontend.drain_outbox() == []
+        frontend.on_processed_elsewhere(Envelope(9, 1, (b"t",)))
+        out = frontend.drain_outbox()
+        assert len(out) == 1
+        _, ack = out[0]
+        assert ack.ack_seq == 2  # frontier jumped over the gap
+
+
+class TestInjection:
+    def test_inject_submits_envelope_bytes(self):
+        frontend, service = build()
+        env = Envelope(9, 1, (b"t",), b"x")
+        frontend.inject(env)
+        assert service.submitted == [env.to_bytes()]
+
+    def test_processed_hook_fires_once(self):
+        seen = []
+        service = _StubService(pid=1)
+        frontend = Frontend(0, 1, service, on_processed=seen.append)
+        env = Envelope(9, 1, (b"t",), b"x")
+        frontend.inject(env)
+        service.indicate(env.to_bytes())
+        service.indicate(env.to_bytes())  # not pending anymore
+        assert seen == [env]
+
+    def test_non_envelope_payloads_ignored(self):
+        frontend, service = build()
+        service.indicate(b"\x01ordinary traffic")
+        assert frontend.drain_outbox() == []
+
+    def test_bridged_envelopes_logged(self):
+        frontend, service = build()
+        env = Envelope(9, 1, (b"t",), b"x").with_bridge(3, (0, 1))
+        service.indicate(env.to_bytes())
+        assert frontend.bridge_log == [env]
+
+
+class TestDeliveryRole:
+    def test_fanout_to_matching_streams(self):
+        frontend, service = build()
+        frontend.subscribe(5, {b"a"})
+        frontend.subscribe(6, {b"a", b"b"})
+        service.indicate(Envelope(9, 1, (b"a",), b"x").to_bytes())
+        out = frontend.drain_outbox()
+        assert {cid for cid, _ in out} == {5, 6}
+        for _, deliver in out:
+            assert isinstance(deliver, ClientDeliver)
+            assert deliver.deliver_seq == 1 and deliver.topic == b"a"
+
+    def test_window_parks_and_ack_unparks(self):
+        frontend, service = build(deliver_window=2)
+        frontend.subscribe(5, {b"t"})
+        for seq in range(1, 5):
+            service.indicate(Envelope(9, seq, (b"t",), b"%d" % seq).to_bytes(), seq=seq)
+        out = frontend.drain_outbox()
+        assert [d.deliver_seq for _, d in out] == [1, 2]  # window = 2
+        frontend.on_deliver_ack(ClientAck(ACK_DELIVER, 5, 0, 2, 0))
+        out = frontend.drain_outbox()
+        assert [d.deliver_seq for _, d in out] == [3, 4]
+
+    def test_deliver_ack_validation(self):
+        frontend, _ = build()
+        frontend.subscribe(5, {b"t"})
+        with pytest.raises(ProtocolError):
+            frontend.on_deliver_ack(ClientAck(ACK_PUBLISH, 5, 0, 0, 8))
+        with pytest.raises(ProtocolError):
+            frontend.on_deliver_ack(ClientAck(ACK_DELIVER, 6, 0, 0, 0))
+        with pytest.raises(ProtocolError):
+            frontend.on_deliver_ack(ClientAck(ACK_DELIVER, 5, 0, 3, 0))
+
+    def test_subscribe_widens_topics(self):
+        frontend, service = build()
+        frontend.subscribe(5, {b"a"})
+        frontend.subscribe(5, {b"b"})
+        service.indicate(Envelope(9, 1, (b"b",), b"x").to_bytes())
+        assert len(frontend.drain_outbox()) == 1

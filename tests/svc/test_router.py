@@ -1,0 +1,97 @@
+"""Consistent-hash shard routing: stability, balance, health."""
+
+import pytest
+
+from repro.errors import ConfigError, ProtocolError
+from repro.svc.router import ShardRouter
+
+
+class TestRouting:
+    def test_deterministic(self):
+        a, b = ShardRouter(8), ShardRouter(8)
+        for i in range(200):
+            topic = b"topic-%d" % i
+            assert a.shard_for(topic) == b.shard_for(topic)
+
+    def test_all_shards_receive_some_topics(self):
+        router = ShardRouter(8)
+        owners = {router.shard_for(b"t%d" % i) for i in range(2000)}
+        assert owners == set(range(8))
+
+    def test_balance_roughly_uniform(self):
+        router = ShardRouter(4, replicas=128)
+        counts = [0] * 4
+        for i in range(4000):
+            counts[router.shard_for(b"topic-%d" % i)] += 1
+        assert min(counts) > 400  # each shard gets a real share of 4000
+
+    def test_adding_a_shard_moves_a_minority(self):
+        """The consistent-hashing property: growing S by one remaps
+        roughly 1/S of the topic space, not all of it."""
+        before, after = ShardRouter(8), ShardRouter(9)
+        moved = sum(
+            1
+            for i in range(4000)
+            if before.shard_for(b"t%d" % i) != after.shard_for(b"t%d" % i)
+        )
+        assert moved < 4000 * 0.35
+
+    def test_shards_for_sorted_unique(self):
+        router = ShardRouter(4)
+        dests = router.shards_for([b"a", b"b", b"c", b"a"])
+        assert dests == tuple(sorted(set(dests)))
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            ShardRouter(0)
+        with pytest.raises(ConfigError):
+            ShardRouter(1, replicas=0)
+
+
+class TestPlacement:
+    def test_home_stable_and_in_range(self):
+        router = ShardRouter(16)
+        for client in (0, 1, 2**40, 2**63):
+            shard, member = router.home_for(client, 5)
+            assert 0 <= shard < 16 and 0 <= member < 5
+            assert router.home_for(client, 5) == (shard, member)
+
+    def test_ingress_member_avoids_bridge_agent(self):
+        router = ShardRouter(4)
+        members = {router.ingress_member(c, 5) for c in range(500)}
+        assert 0 not in members
+        assert members <= {1, 2, 3, 4}
+
+    def test_ingress_single_member_group(self):
+        assert ShardRouter(2).ingress_member(42, 1) == 0
+
+
+class TestHealth:
+    def test_unhealthy_shard_skipped(self):
+        router = ShardRouter(4)
+        topic = b"some-topic"
+        owner = router.shard_for(topic)
+        router.mark_unhealthy(owner)
+        rerouted = router.shard_for(topic)
+        assert rerouted != owner
+        router.mark_healthy(owner)
+        assert router.shard_for(topic) == owner
+
+    def test_no_healthy_shard_raises(self):
+        router = ShardRouter(2)
+        router.mark_unhealthy(0)
+        router.mark_unhealthy(1)
+        with pytest.raises(ProtocolError):
+            router.shard_for(b"t")
+
+    def test_observe_health_majority_rule(self):
+        router = ShardRouter(3)
+        assert router.observe_health(0, members=3, suspected=1)
+        assert not router.observe_health(0, members=3, suspected=2)
+        assert router.healthy_shards() == (1, 2)
+        assert router.observe_health(0, members=3, suspected=[])
+        assert router.is_healthy(0)
+
+    def test_observe_health_accepts_collections(self):
+        router = ShardRouter(2)
+        assert not router.observe_health(1, members=4, suspected=[0, 1, 1, 2])

@@ -1,0 +1,124 @@
+"""Client session state machine: lifecycle, windows, stream cursors."""
+
+import pytest
+
+from repro.errors import FlowControlBlocked, ProtocolError
+from repro.svc.session import ClientSession, SessionState
+from repro.svc.wire import ACK_DELIVER, ACK_PUBLISH, ClientAck, ClientDeliver
+
+
+def active_session(client_id=7, credit=4):
+    session = ClientSession(client_id, credit=credit)
+    hello = session.hello()
+    session.on_ack(ClientAck(ACK_PUBLISH, client_id, 0, hello.resume_seq, credit))
+    assert session.state is SessionState.ACTIVE
+    return session
+
+
+class TestLifecycle:
+    def test_hello_moves_to_connecting(self):
+        session = ClientSession(1)
+        hello = session.hello()
+        assert session.state is SessionState.CONNECTING
+        assert hello.client_id == 1
+        assert hello.resume_seq == 0
+
+    def test_hello_twice_rejected(self):
+        session = ClientSession(1)
+        session.hello()
+        with pytest.raises(ProtocolError):
+            session.hello()
+
+    def test_publish_before_active_rejected(self):
+        session = ClientSession(1)
+        with pytest.raises(ProtocolError):
+            session.publish((b"t",), b"x")
+
+    def test_first_ack_activates(self):
+        session = ClientSession(1)
+        session.hello()
+        session.on_ack(ClientAck(ACK_PUBLISH, 1, 0, 0, 8))
+        assert session.state is SessionState.ACTIVE
+        assert session.window == 8
+
+    def test_close(self):
+        session = active_session()
+        session.close()
+        assert session.state is SessionState.CLOSED
+
+
+class TestPublishWindow:
+    def test_sequences_are_contiguous(self):
+        session = active_session()
+        pubs = [session.publish((b"t",), b"%d" % i) for i in range(3)]
+        assert [p.client_seq for p in pubs] == [1, 2, 3]
+
+    def test_window_full_queues(self):
+        session = active_session(credit=2)
+        assert session.publish((b"t",), b"1") is not None
+        assert session.publish((b"t",), b"2") is not None
+        assert session.publish((b"t",), b"3") is None  # queued
+        assert session.queued == 1
+        assert session.outstanding == 2
+
+    def test_try_publish_raises_when_blocked(self):
+        session = active_session(credit=1)
+        session.try_publish((b"t",), b"1")
+        with pytest.raises(FlowControlBlocked):
+            session.try_publish((b"t",), b"2")
+
+    def test_ack_releases_queued_in_order(self):
+        session = active_session(credit=1)
+        session.publish((b"t",), b"1")
+        session.publish((b"t",), b"2")
+        session.publish((b"t",), b"3")
+        released = session.on_ack(ClientAck(ACK_PUBLISH, 7, 0, 1, 1))
+        assert [p.payload for p in released] == [b"2"]
+        released = session.on_ack(ClientAck(ACK_PUBLISH, 7, 0, 2, 1))
+        assert [p.payload for p in released] == [b"3"]
+
+    def test_ack_beyond_sent_rejected(self):
+        session = active_session()
+        with pytest.raises(ProtocolError):
+            session.on_ack(ClientAck(ACK_PUBLISH, 7, 0, 5, 4))
+
+    def test_queue_preserves_fifo_even_with_window_room(self):
+        """A queued backlog keeps new publishes behind it (client FIFO)."""
+        session = active_session(credit=1)
+        session.publish((b"t",), b"1")
+        assert session.publish((b"t",), b"2") is None
+        assert session.publish((b"t",), b"3") is None
+        assert session.queued == 2
+
+
+class TestDeliveryStreams:
+    def test_contiguous_per_shard_cursors(self):
+        session = active_session()
+        ack = session.on_deliver(ClientDeliver(7, 3, 1, 9, 1, b"t", b"a"))
+        assert ack is not None and ack.kind == ACK_DELIVER and ack.ack_seq == 1
+        session.on_deliver(ClientDeliver(7, 3, 2, 9, 2, b"t", b"b"))
+        session.on_deliver(ClientDeliver(7, 8, 1, 9, 3, b"t", b"c"))
+        assert session.deliver_cursor(3) == 2
+        assert session.deliver_cursor(8) == 1
+        assert [d.payload for d in session.delivered] == [b"a", b"b", b"c"]
+
+    def test_gap_rejected(self):
+        session = active_session()
+        session.on_deliver(ClientDeliver(7, 3, 1, 9, 1, b"t"))
+        with pytest.raises(ProtocolError):
+            session.on_deliver(ClientDeliver(7, 3, 3, 9, 2, b"t"))
+
+    def test_manual_ack_mode(self):
+        session = ClientSession(7, auto_ack=False)
+        session.hello()
+        session.on_ack(ClientAck(ACK_PUBLISH, 7, 0, 0, 4))
+        assert session.on_deliver(ClientDeliver(7, 3, 1, 9, 1, b"t")) is None
+        ack = session.ack_delivers(3)
+        assert ack.ack_seq == 1 and ack.shard == 3
+
+    def test_foreign_pdu_rejected(self):
+        session = active_session()
+        with pytest.raises(ProtocolError):
+            session.on_deliver(ClientDeliver(8, 3, 1, 9, 1, b"t"))
+        with pytest.raises(ProtocolError):
+            session.on_ack(ClientAck(ACK_PUBLISH, 8, 0, 0, 4))

@@ -141,3 +141,41 @@ class TestPoisson:
 
         with pytest.raises(ConfigError):
             PoissonWorkload(PIDS, -1)
+
+
+class TestZipfTopics:
+    def test_popularity_is_rank_ordered(self):
+        from repro.workloads.generators import ZipfTopics
+
+        zipf = ZipfTopics(50, s=1.2, rng=random.Random(4))
+        counts = {}
+        for _ in range(20000):
+            topic = zipf.draw()
+            counts[topic] = counts.get(topic, 0) + 1
+        names = zipf.names
+        assert counts[names[0]] > counts[names[4]] > counts.get(names[30], 0)
+
+    def test_deterministic_under_seed(self):
+        from repro.workloads.generators import ZipfTopics
+
+        a = ZipfTopics(20, rng=random.Random(9))
+        b = ZipfTopics(20, rng=random.Random(9))
+        assert [a.draw() for _ in range(50)] == [b.draw() for _ in range(50)]
+
+    def test_draw_set_distinct(self):
+        from repro.workloads.generators import ZipfTopics
+
+        zipf = ZipfTopics(10, rng=random.Random(1))
+        for _ in range(20):
+            picked = zipf.draw_set(4)
+            assert len(picked) == len(set(picked)) == 4
+
+    def test_validation(self):
+        from repro.workloads.generators import ZipfTopics
+
+        with pytest.raises(ConfigError):
+            ZipfTopics(0)
+        with pytest.raises(ConfigError):
+            ZipfTopics(5, s=0.0)
+        with pytest.raises(ConfigError):
+            ZipfTopics(5, rng=random.Random(0)).draw_set(6)
