@@ -1,6 +1,6 @@
 """Protocol-aware static analysis for the urcgc reproduction.
 
-Four rule families, each tied to an invariant the protocol stack
+Six rule families, each tied to an invariant the protocol stack
 depends on but Python never enforces (docs/ANALYSIS.md catalogues
 them):
 
@@ -13,11 +13,27 @@ them):
   unique tree-wide, every declared field is serialized.
 * **H-rules** — hygiene: float equality, mutable defaults, silently
   swallowed exceptions.
+* **I-rules** — interleaving: read-modify-write across ``await``
+  suspension points, blocking helpers reached transitively from
+  coroutines (interprocedural A2xx), shared-container iteration
+  across suspensions.
+* **T-rules** — wire-taint typestate: decoded values must cross a
+  validation boundary before reaching protocol state or storage, and
+  every registered tag needs exactly one engine-side handler.
 
-Run it with ``python -m repro lint [--json] [--rules D101,...]``; use
-``# lint: disable=RULE`` pragmas for documented false positives.
+Run it with ``python -m repro lint [--json] [--rules I,T601,...]``;
+use ``# lint: disable=RULE`` pragmas for documented false positives
+and ``--baseline lint-baseline.json`` for triaged pre-existing
+findings.
 """
 
+from .baseline import (
+    Baseline,
+    BaselineEntry,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
 from .engine import (
     RULES,
     LintResult,
@@ -35,9 +51,26 @@ __all__ = [
     "Module",
     "Rule",
     "Violation",
+    "Baseline",
+    "BaselineEntry",
+    "apply_baseline",
+    "load_baseline",
+    "write_baseline",
     "check_source",
     "run_lint",
     "render_json",
     "render_text",
     "result_as_dict",
 ]
+
+# Rule registration is import-time: every rules_* module self-registers
+# into RULES when imported, so ``--list-rules`` (and any API user) sees
+# the full registry without running a lint pass first.
+from . import (  # noqa: E402,F401  (registration side effect)
+    rules_async,
+    rules_determinism,
+    rules_hygiene,
+    rules_interleaving,
+    rules_taint,
+    rules_wire,
+)

@@ -1,0 +1,158 @@
+"""Finding baselines: triage pre-existing violations without hiding new ones.
+
+A baseline file (``lint-baseline.json``) records accepted findings as
+``(rule, path, message, count)`` fingerprints — deliberately *without*
+line numbers, so ordinary edits above a finding don't invalidate the
+entry.  Paths are stored relative to the baseline file's directory and
+both sides are normalized at match time, so ``python -m repro lint``
+(absolute default target) and CI (repo-relative paths) agree.
+
+Semantics:
+
+* a finding matching an entry is suppressed, up to ``count`` times;
+* an entry with unmatched capacity is **stale** and is reported (text,
+  JSON, and a non-zero count in the artifact) rather than silently
+  kept — ``--update-baseline`` rewrites the file to reality;
+* anything not in the baseline fails the run exactly as before.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from .engine import LintResult, Violation
+
+__all__ = [
+    "BaselineEntry",
+    "Baseline",
+    "load_baseline",
+    "apply_baseline",
+    "baseline_payload",
+    "write_baseline",
+]
+
+_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted finding fingerprint."""
+
+    rule: str
+    path: str  # normalized, relative to the baseline file's directory
+    message: str
+    count: int = 1
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.message)
+
+
+@dataclass
+class Baseline:
+    """A loaded baseline file."""
+
+    path: Path
+    entries: list[BaselineEntry]
+
+    def normalize(self, violation_path: str) -> str:
+        """Express a finding's path relative to the baseline file."""
+        root = self.path.resolve().parent
+        try:
+            rel = os.path.relpath(Path(violation_path).resolve(), root)
+        except ValueError:  # different drive (windows)
+            return violation_path.replace(os.sep, "/")
+        return rel.replace(os.sep, "/")
+
+
+def load_baseline(path: str | Path) -> Baseline:
+    """Parse a baseline file; raises ValueError on a malformed one."""
+    file = Path(path)
+    payload = json.loads(file.read_text(encoding="utf-8"))
+    if not isinstance(payload, dict) or payload.get("version") != _VERSION:
+        raise ValueError(f"{file}: not a version-{_VERSION} lint baseline")
+    entries = []
+    for raw in payload.get("entries", []):
+        if not isinstance(raw, dict):
+            raise ValueError(f"{file}: malformed baseline entry {raw!r}")
+        try:
+            entries.append(
+                BaselineEntry(
+                    rule=str(raw["rule"]),
+                    path=str(raw["path"]),
+                    message=str(raw["message"]),
+                    count=int(raw.get("count", 1)),
+                )
+            )
+        except KeyError as exc:
+            raise ValueError(
+                f"{file}: baseline entry missing {exc.args[0]!r}"
+            ) from None
+    return Baseline(file, entries)
+
+
+@dataclass
+class BaselineOutcome:
+    """What applying a baseline did to one lint result."""
+
+    remaining: list[Violation]
+    suppressed: int
+    stale: list[BaselineEntry]  # entries with leftover (unmatched) count
+
+
+def apply_baseline(result: LintResult, baseline: Baseline) -> BaselineOutcome:
+    capacity: dict[tuple[str, str, str], int] = {}
+    for entry in baseline.entries:
+        capacity[entry.key] = capacity.get(entry.key, 0) + entry.count
+    remaining: list[Violation] = []
+    suppressed = 0
+    for violation in result.violations:
+        key = (
+            violation.rule,
+            baseline.normalize(violation.path),
+            violation.message,
+        )
+        if capacity.get(key, 0) > 0:
+            capacity[key] -= 1
+            suppressed += 1
+        else:
+            remaining.append(violation)
+    stale = [
+        BaselineEntry(rule, path, message, leftover)
+        for (rule, path, message), leftover in sorted(capacity.items())
+        if leftover > 0
+    ]
+    return BaselineOutcome(remaining, suppressed, stale)
+
+
+def baseline_payload(result: LintResult, baseline_path: str | Path) -> dict:
+    """The file content acknowledging every current finding."""
+    marker = Baseline(Path(baseline_path), [])
+    counts: dict[tuple[str, str, str], int] = {}
+    for violation in result.violations:
+        key = (
+            violation.rule,
+            marker.normalize(violation.path),
+            violation.message,
+        )
+        counts[key] = counts.get(key, 0) + 1
+    return {
+        "version": _VERSION,
+        "entries": [
+            {"rule": rule, "path": path, "message": message, "count": count}
+            for (rule, path, message), count in sorted(counts.items())
+        ],
+    }
+
+
+def write_baseline(result: LintResult, baseline_path: str | Path) -> int:
+    """Rewrite the baseline to the current findings; returns the entry
+    count."""
+    payload = baseline_payload(result, baseline_path)
+    Path(baseline_path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return len(payload["entries"])

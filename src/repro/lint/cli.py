@@ -1,7 +1,10 @@
 """``python -m repro lint`` — run the protocol-aware static analysis.
 
 Exit codes: 0 clean, 1 violations (or unparsable files), 2 usage
-errors.  ``--json`` emits the artifact schema CI archives.
+errors.  ``--json`` emits the artifact schema CI archives;
+``--baseline FILE`` filters triaged findings (stale entries are
+reported, never silently kept) and ``--update-baseline`` rewrites the
+file to the current findings.
 """
 
 from __future__ import annotations
@@ -10,6 +13,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from .baseline import apply_baseline, load_baseline, write_baseline
 from .engine import RULES, run_lint
 from .report import render_json, render_rule_list, render_text
 
@@ -25,7 +29,8 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro lint",
         description="Protocol-aware static analysis: determinism (D), "
-        "async-safety (A), wire-schema (W), hygiene (H) rules.",
+        "async-safety (A), wire-schema (W), hygiene (H), interleaving "
+        "(I), and wire-taint (T) rules.",
     )
     parser.add_argument(
         "paths",
@@ -37,7 +42,18 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--rules",
-        help="comma-separated rule ids to run (default: all)",
+        help="comma-separated rule ids or family prefixes to run "
+        "(e.g. I501 or I,T; default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="suppress findings fingerprinted in FILE (lint-baseline.json)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite --baseline FILE to the current findings and exit 0",
     )
     parser.add_argument(
         "--list-rules", action="store_true", help="list rules and exit"
@@ -45,14 +61,20 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        # Load registrations before rendering.
-        run_lint([], rules=None)
+        # Registration is import-time (repro.lint.__init__ imports the
+        # rules modules), so the registry is already complete here.
         print(render_rule_list())
         return 0
 
     rules = None
     if args.rules:
         rules = [token.strip() for token in args.rules.split(",") if token.strip()]
+    if args.update_baseline and not args.baseline:
+        print(
+            "repro lint: --update-baseline requires --baseline FILE",
+            file=sys.stderr,
+        )
+        return 2
     paths = args.paths or [str(default_target())]
     missing = [p for p in paths if not Path(p).exists()]
     if missing:
@@ -64,8 +86,37 @@ def main(argv: list[str] | None = None) -> int:
         known = ", ".join(sorted(RULES))
         print(f"repro lint: {exc.args[0]} (known: {known})", file=sys.stderr)
         return 2
-    print(render_json(result) if args.json else render_text(result))
-    return 0 if result.ok else 1
+
+    if args.update_baseline:
+        count = write_baseline(result, args.baseline)
+        print(
+            f"baseline updated: {count} entry(ies) covering "
+            f"{len(result.violations)} finding(s) -> {args.baseline}"
+        )
+        return 0
+
+    outcome = None
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except FileNotFoundError:
+            print(
+                f"repro lint: no such baseline: {args.baseline}",
+                file=sys.stderr,
+            )
+            return 2
+        except ValueError as exc:
+            print(f"repro lint: {exc}", file=sys.stderr)
+            return 2
+        outcome = apply_baseline(result, baseline)
+
+    print(
+        render_json(result, outcome)
+        if args.json
+        else render_text(result, outcome)
+    )
+    effective = result.violations if outcome is None else outcome.remaining
+    return 0 if not effective else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,485 @@
+"""Intra-function dataflow walks for the I5xx / T6xx rule families.
+
+Two analyses over one linearization of a function body:
+
+* :func:`iter_flow` — an execution-ordered event stream of shared-state
+  reads/writes and coroutine suspension points, used by the
+  interleaving rules to find read-modify-write windows that span an
+  ``await``;
+* :class:`TaintWalker` — a forward taint walk from wire-decode sources
+  toward state-mutation sinks, used by the typestate rules.
+
+The linearization is deliberately simple (and documented in
+docs/ANALYSIS.md): statements are visited in source order, *all*
+branches of an ``if``/``try`` are visited sequentially, and loop bodies
+are visited exactly once — cross-iteration windows are out of scope.
+That trades a little soundness for the precision a gating linter needs;
+``# lint: disable=...`` pragmas cover the residue.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = [
+    "FlowEvent",
+    "iter_flow",
+    "iter_own_nodes",
+    "suspension_points",
+    "self_attr",
+    "TaintWalker",
+    "TaintFinding",
+]
+
+
+def iter_own_nodes(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> Iterator[ast.AST]:
+    """Every node executed by the function itself.
+
+    Nested ``def``/``async def`` bodies are skipped: a closure runs only
+    when called, typically on an executor thread or as its own task.
+    """
+    stack: list[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def self_attr(node: ast.AST) -> str | None:
+    """``self.X`` -> ``"X"`` (any context), else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def suspension_points(func: ast.AsyncFunctionDef) -> list[ast.AST]:
+    """Every node at which the coroutine may yield the event loop."""
+    return [
+        node
+        for node in iter_own_nodes(func)
+        if isinstance(node, (ast.Await, ast.AsyncFor, ast.AsyncWith))
+    ]
+
+
+# ----------------------------------------------------------------------
+# Execution-ordered read/write/suspend stream.
+
+
+@dataclass(frozen=True)
+class FlowEvent:
+    """One step of the linearized execution: kind is ``read``/``write``
+    (of ``self.<attr>``) or ``suspend`` (attr is None)."""
+
+    kind: str
+    attr: str | None
+    line: int
+
+
+def _expr_events(node: ast.AST) -> Iterator[FlowEvent]:
+    """Events of evaluating an expression, left to right."""
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+        return
+    if isinstance(node, ast.Await):
+        yield from _expr_events(node.value)
+        yield FlowEvent("suspend", None, node.lineno)
+        return
+    attr = self_attr(node)
+    if attr is not None and isinstance(node.ctx, ast.Load):
+        yield FlowEvent("read", attr, node.lineno)
+        return  # self.X.Y reads X; no deeper structure to visit
+    for child in ast.iter_child_nodes(node):
+        yield from _expr_events(child)
+
+
+def _target_events(target: ast.expr) -> Iterator[FlowEvent]:
+    """Write events of one assignment target."""
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _target_events(element)
+        return
+    attr = self_attr(target)
+    if attr is not None:
+        yield FlowEvent("write", attr, target.lineno)
+        return
+    if isinstance(target, ast.Subscript):
+        # self.X[k] = v mutates the shared container X in place.
+        attr = self_attr(target.value)
+        if attr is not None:
+            yield from _expr_events(target.slice)
+            yield FlowEvent("write", attr, target.lineno)
+            return
+    yield from _expr_events(target)
+
+
+def _stmt_events(stmt: ast.stmt) -> Iterator[FlowEvent]:
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return
+    if isinstance(stmt, ast.Assign):
+        yield from _expr_events(stmt.value)
+        for target in stmt.targets:
+            yield from _target_events(target)
+    elif isinstance(stmt, ast.AnnAssign):
+        if stmt.value is not None:
+            yield from _expr_events(stmt.value)
+            yield from _target_events(stmt.target)
+    elif isinstance(stmt, ast.AugAssign):
+        # x += 1 reads and writes atomically within one statement: the
+        # read cannot go stale across a suspension inside the same
+        # statement, but an *earlier* read of the attribute can.
+        yield from _expr_events(stmt.value)
+        yield from _target_events(stmt.target)
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        yield from _expr_events(stmt.iter)
+        if isinstance(stmt, ast.AsyncFor):
+            yield FlowEvent("suspend", None, stmt.lineno)
+        yield from _target_events(stmt.target)
+        yield from _body_events(stmt.body)
+        yield from _body_events(stmt.orelse)
+    elif isinstance(stmt, ast.While):
+        yield from _expr_events(stmt.test)
+        yield from _body_events(stmt.body)
+        yield from _body_events(stmt.orelse)
+    elif isinstance(stmt, ast.If):
+        yield from _expr_events(stmt.test)
+        yield from _body_events(stmt.body)
+        yield from _body_events(stmt.orelse)
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            yield from _expr_events(item.context_expr)
+        if isinstance(stmt, ast.AsyncWith):
+            yield FlowEvent("suspend", None, stmt.lineno)
+        yield from _body_events(stmt.body)
+    elif isinstance(stmt, ast.Try):
+        yield from _body_events(stmt.body)
+        for handler in stmt.handlers:
+            yield from _body_events(handler.body)
+        yield from _body_events(stmt.orelse)
+        yield from _body_events(stmt.finalbody)
+    elif isinstance(stmt, (ast.Return, ast.Expr)):
+        if stmt.value is not None:
+            yield from _expr_events(stmt.value)
+    elif isinstance(stmt, ast.Raise):
+        if stmt.exc is not None:
+            yield from _expr_events(stmt.exc)
+    elif isinstance(stmt, ast.Assert):
+        yield from _expr_events(stmt.test)
+    elif isinstance(stmt, ast.Delete):
+        for target in stmt.targets:
+            yield from _expr_events(target)
+    # pass/break/continue/import/global contribute nothing
+
+
+def _body_events(body: list[ast.stmt]) -> Iterator[FlowEvent]:
+    for stmt in body:
+        yield from _stmt_events(stmt)
+
+
+def iter_flow(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> Iterator[FlowEvent]:
+    """Linearized read/write/suspend stream of the function body."""
+    yield from _body_events(func.body)
+
+
+# ----------------------------------------------------------------------
+# Wire-taint walk.
+
+
+@dataclass(frozen=True)
+class TaintFinding:
+    """A tainted value reaching a state-mutation sink."""
+
+    line: int
+    col: int
+    sink: str  # rendered sink, e.g. "self.window"
+    source: str  # rendered origin, e.g. "parameter 'ack' (ClientAck)"
+
+
+#: Pure pass-through callables: taint flows through their result.
+_TRANSPARENT_CALLS = frozenset(
+    {"list", "tuple", "sorted", "reversed", "iter", "next", "bytes",
+     "expand_message"}
+)
+
+#: Callables that *establish* a value: range-check / clamp / canonical
+#: validation.  A tainted argument comes out clean.
+_SANITIZING_CALLS = frozenset({"validate_message", "min", "max", "len", "abs"})
+
+#: The subset that validates an entire PDU, vouching for every field —
+#: ``min(x.credit, cap)`` clamps one value, it does not bless ``x``.
+_OBJECT_SANITIZERS = frozenset({"validate_message"})
+
+#: Storage mutations: a tainted argument here is a durable-state sink.
+_STORAGE_SINKS = frozenset(
+    {"log_generated", "log_processed", "log_decision", "save_snapshot",
+     "append_generated", "append_processed", "append_decision"}
+)
+
+
+def _dotted(node: ast.expr) -> str | None:
+    """``a.b.c`` -> "a.b.c" for Name/Attribute chains, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+class TaintWalker:
+    """Forward taint walk over one function body.
+
+    Sources: results of ``decode_message`` / ``*registry.decode`` /
+    ``*.from_bytes`` calls, plus parameters annotated with a wire PDU
+    class (``wire_classes``).  Guarding a tainted expression in an
+    ``if``/``while``/``assert`` test, or passing it through a
+    sanitizing call, marks that exact dotted expression clean.  Sinks:
+    attribute stores (``self.x = tainted``, ``obj.x = tainted``,
+    ``self.x[k] = tainted``) and storage-write calls.
+    """
+
+    def __init__(
+        self,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        wire_classes: frozenset[str],
+    ) -> None:
+        self.func = func
+        self.wire_classes = wire_classes
+        self.tainted: dict[str, str] = {}  # name -> source description
+        self.sanitized: set[str] = set()  # dotted exprs proven in-range
+        self.findings: list[TaintFinding] = []
+
+    # -- taint queries -------------------------------------------------
+
+    def _annotation_class(self, annotation: ast.expr | None) -> str | None:
+        if isinstance(annotation, ast.Name):
+            return annotation.id
+        if isinstance(annotation, ast.Attribute):
+            return annotation.attr
+        if isinstance(annotation, ast.Constant) and isinstance(
+            annotation.value, str
+        ):
+            return annotation.value.rsplit(".", 1)[-1]
+        return None
+
+    def _is_source_call(self, call: ast.Call) -> str | None:
+        func = call.func
+        if isinstance(func, ast.Name) and func.id == "decode_message":
+            return "decode_message(...)"
+        if isinstance(func, ast.Attribute):
+            if func.attr == "from_bytes":
+                base = _dotted(func.value) or "?"
+                return f"{base}.from_bytes(...)"
+            if func.attr == "decode":
+                base = _dotted(func.value) or ""
+                if "registry" in base:
+                    return f"{base}.decode(...)"
+        return None
+
+    def _call_name(self, call: ast.Call) -> str | None:
+        if isinstance(call.func, ast.Name):
+            return call.func.id
+        if isinstance(call.func, ast.Attribute):
+            return call.func.attr
+        return None
+
+    def _expr_taint(self, node: ast.expr) -> str | None:
+        """Source description if evaluating ``node`` yields taint."""
+        if isinstance(node, ast.Call):
+            source = self._is_source_call(node)
+            if source is not None:
+                return source
+            name = self._call_name(node)
+            if name in _SANITIZING_CALLS:
+                return None
+            if name in _TRANSPARENT_CALLS:
+                for arg in node.args:
+                    inner = self._expr_taint(arg)
+                    if inner is not None:
+                        return inner
+            return None  # constructors/helpers absorb taint (documented)
+        dotted = _dotted(node)
+        if dotted is not None:
+            if dotted in self.sanitized:
+                return None
+            root = dotted.split(".", 1)[0]
+            if root in self.sanitized:
+                return None
+            if root in self.tainted:
+                return self.tainted[root]
+            return None
+        if isinstance(node, (ast.BinOp, ast.BoolOp, ast.Compare)):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    inner = self._expr_taint(child)
+                    if inner is not None:
+                        return inner
+            return None
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            for element in node.elts:
+                inner = self._expr_taint(element)
+                if inner is not None:
+                    return inner
+            return None
+        if isinstance(node, (ast.Subscript, ast.Starred, ast.IfExp)):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    inner = self._expr_taint(child)
+                    if inner is not None:
+                        return inner
+        return None
+
+    # -- sanitization --------------------------------------------------
+
+    def _sanitize_test(self, test: ast.expr) -> None:
+        """A guard mentioning a tainted expression vouches for it.
+
+        Only *maximal* dotted expressions count: ``if ack.kind != X``
+        vouches for ``ack.kind``, not for the whole ``ack`` object —
+        a bare ``if ack is None`` does vouch for ``ack``.
+        """
+
+        def visit(node: ast.AST) -> None:
+            if isinstance(node, (ast.Attribute, ast.Name)):
+                dotted = _dotted(node)
+                if dotted is not None:
+                    if dotted.split(".", 1)[0] in self.tainted:
+                        self.sanitized.add(dotted)
+                    return  # do not descend into the chain's base name
+            for child in ast.iter_child_nodes(node):
+                visit(child)
+
+        visit(test)
+
+    def _sanitize_call(self, call: ast.Call) -> None:
+        name = self._call_name(call)
+        if name not in _SANITIZING_CALLS:
+            return
+        for arg in call.args:
+            dotted = _dotted(arg)
+            if dotted is None or dotted.split(".", 1)[0] not in self.tainted:
+                continue
+            self.sanitized.add(dotted)
+            if name in _OBJECT_SANITIZERS:
+                # validate_message(pdu, n) vouches for the whole
+                # object, so sanitize the root name too.
+                self.sanitized.add(dotted.split(".", 1)[0])
+
+    # -- sinks ---------------------------------------------------------
+
+    def _check_store(self, target: ast.expr, value: ast.expr) -> None:
+        source = self._expr_taint(value)
+        if source is None:
+            return
+        sink: str | None = None
+        if isinstance(target, ast.Attribute):
+            sink = _dotted(target)
+        elif isinstance(target, ast.Subscript):
+            base = _dotted(target.value)
+            if base is not None:
+                sink = f"{base}[...]"
+        if sink is None or "." not in sink:
+            return  # plain locals are not shared state
+        self.findings.append(
+            TaintFinding(target.lineno, target.col_offset, sink, source)
+        )
+
+    def _check_call_sinks(self, call: ast.Call) -> None:
+        name = self._call_name(call)
+        if name not in _STORAGE_SINKS and name != "on_message":
+            return
+        for arg in call.args:
+            source = self._expr_taint(arg)
+            if source is not None:
+                self.findings.append(
+                    TaintFinding(
+                        call.lineno,
+                        call.col_offset,
+                        f"{name}(...)",
+                        source,
+                    )
+                )
+                return
+
+    # -- the walk ------------------------------------------------------
+
+    def run(self) -> list[TaintFinding]:
+        args = self.func.args
+        for arg in [
+            *args.posonlyargs, *args.args, *args.kwonlyargs,
+            *filter(None, (args.vararg, args.kwarg)),
+        ]:
+            cls = self._annotation_class(arg.annotation)
+            if cls is not None and cls in self.wire_classes:
+                self.tainted[arg.arg] = f"parameter {arg.arg!r} ({cls})"
+        self._walk_body(self.func.body)
+        return self.findings
+
+    def _walk_body(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            self._walk_stmt(stmt)
+
+    def _walk_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            return
+        # Every call anywhere in the statement can sanitize or sink.
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call):
+                self._sanitize_call(node)
+                self._check_call_sinks(node)
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                self._assign(target, stmt.value)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._assign(stmt.target, stmt.value)
+        elif isinstance(stmt, ast.AugAssign):
+            self._check_store(stmt.target, stmt.value)
+        elif isinstance(stmt, (ast.If, ast.While)):
+            self._sanitize_test(stmt.test)
+            self._walk_body(stmt.body)
+            self._walk_body(stmt.orelse)
+        elif isinstance(stmt, ast.Assert):
+            self._sanitize_test(stmt.test)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            source = self._expr_taint(stmt.iter)
+            if source is not None and isinstance(stmt.target, ast.Name):
+                self.tainted[stmt.target.id] = source
+            self._walk_body(stmt.body)
+            self._walk_body(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._walk_body(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self._walk_body(stmt.body)
+            for handler in stmt.handlers:
+                self._walk_body(handler.body)
+            self._walk_body(stmt.orelse)
+            self._walk_body(stmt.finalbody)
+
+    def _assign(self, target: ast.expr, value: ast.expr) -> None:
+        source = self._expr_taint(value)
+        if isinstance(target, ast.Name):
+            if source is not None:
+                self.tainted[target.id] = source
+            else:
+                self.tainted.pop(target.id, None)
+                self.sanitized.discard(target.id)
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._assign(element, value)
+            return
+        self._check_store(target, value)

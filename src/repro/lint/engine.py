@@ -307,19 +307,26 @@ def _collect_files(paths: Sequence[str | Path]) -> list[Path]:
 
 
 def _select_rules(only: Sequence[str] | None) -> list[Rule]:
-    _ensure_rules_loaded()
+    # Rules register at import time: importing any repro.lint module
+    # runs the package __init__, which imports every rules_* module.
     if only is None:
         return list(RULES.values())
-    unknown = [rid for rid in only if rid not in RULES]
+    selected: dict[str, Rule] = {}
+    unknown: list[str] = []
+    for token in only:
+        if token in RULES:
+            selected[token] = RULES[token]
+            continue
+        # A family prefix selects every rule it matches: I -> I501...,
+        # W3 -> W301..W305.
+        matches = [r for rid, r in sorted(RULES.items()) if rid.startswith(token)]
+        if matches:
+            selected.update((r.id, r) for r in matches)
+        else:
+            unknown.append(token)
     if unknown:
         raise KeyError(f"unknown rule ids: {', '.join(sorted(unknown))}")
-    return [RULES[rid] for rid in only]
-
-
-def _ensure_rules_loaded() -> None:
-    # The rules_* modules self-register on import; importing them here
-    # (not at engine import) avoids a circular import.
-    from . import rules_async, rules_determinism, rules_hygiene, rules_wire  # noqa: F401
+    return list(selected.values())
 
 
 def _run_rules(modules: list[Module], rules: list[Rule]) -> list[Violation]:

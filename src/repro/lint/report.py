@@ -2,7 +2,8 @@
 
 The JSON shape is stable (``version`` guards it) because CI uploads it
 as an artifact next to the torture reports and downstream tooling
-diffs it across runs.
+diffs it across runs.  Version 2 added the baseline accounting keys
+(``baselined``, ``stale_baseline``).
 """
 
 from __future__ import annotations
@@ -10,19 +11,27 @@ from __future__ import annotations
 import json
 from collections import Counter
 
+from .baseline import BaselineOutcome
 from .engine import RULES, LintResult
 
 __all__ = ["render_text", "render_json", "result_as_dict"]
 
 
-def render_text(result: LintResult) -> str:
+def _effective_violations(result: LintResult, baseline: BaselineOutcome | None):
+    return result.violations if baseline is None else baseline.remaining
+
+
+def render_text(
+    result: LintResult, baseline: BaselineOutcome | None = None
+) -> str:
     """One ``path:line:col: RULE message`` line per finding + summary."""
-    lines = [v.render() for v in result.violations]
-    if result.violations:
-        by_rule = Counter(v.rule for v in result.violations)
+    violations = _effective_violations(result, baseline)
+    lines = [v.render() for v in violations]
+    if violations:
+        by_rule = Counter(v.rule for v in violations)
         breakdown = ", ".join(f"{rule} x{n}" for rule, n in sorted(by_rule.items()))
         lines.append(
-            f"{len(result.violations)} violation(s) in "
+            f"{len(violations)} violation(s) in "
             f"{result.files_checked} file(s): {breakdown}"
         )
     else:
@@ -30,17 +39,29 @@ def render_text(result: LintResult) -> str:
             f"clean: {result.files_checked} file(s), "
             f"{len(result.rules_run)} rule(s)"
         )
+    if baseline is not None:
+        if baseline.suppressed:
+            lines.append(f"{baseline.suppressed} finding(s) baselined")
+        for entry in baseline.stale:
+            lines.append(
+                f"stale baseline entry ({entry.count} unmatched): "
+                f"{entry.path}: {entry.rule} {entry.message} "
+                "— run --update-baseline to drop it"
+            )
     return "\n".join(lines)
 
 
-def result_as_dict(result: LintResult) -> dict:
+def result_as_dict(
+    result: LintResult, baseline: BaselineOutcome | None = None
+) -> dict:
     """The artifact schema CI archives (see docs/ANALYSIS.md)."""
+    violations = _effective_violations(result, baseline)
     return {
-        "version": 1,
-        "ok": result.ok,
+        "version": 2,
+        "ok": not violations,
         "files_checked": result.files_checked,
         "rules_run": list(result.rules_run),
-        "counts": dict(Counter(v.rule for v in result.violations)),
+        "counts": dict(Counter(v.rule for v in violations)),
         "violations": [
             {
                 "rule": v.rule,
@@ -49,13 +70,27 @@ def result_as_dict(result: LintResult) -> dict:
                 "col": v.col,
                 "message": v.message,
             }
-            for v in result.violations
+            for v in violations
+        ],
+        "baselined": 0 if baseline is None else baseline.suppressed,
+        "stale_baseline": [
+            {
+                "rule": entry.rule,
+                "path": entry.path,
+                "message": entry.message,
+                "count": entry.count,
+            }
+            for entry in ([] if baseline is None else baseline.stale)
         ],
     }
 
 
-def render_json(result: LintResult) -> str:
-    return json.dumps(result_as_dict(result), indent=2, sort_keys=True)
+def render_json(
+    result: LintResult, baseline: BaselineOutcome | None = None
+) -> str:
+    return json.dumps(
+        result_as_dict(result, baseline), indent=2, sort_keys=True
+    )
 
 
 def render_rule_list() -> str:

@@ -41,7 +41,13 @@ from ..errors import WireFormatError
 from ..net.addressing import BROADCAST_GROUP
 from ..net.wire import BatchFrame, decode_message, encode_message
 from ..obs import NULL_RECORDER, Recorder, write_jsonl
-from ..storage import GroupStorage, NodeStorage, restore_member, snapshot_of
+from ..storage import (
+    GroupStorage,
+    NodeStorage,
+    SnapshotJob,
+    restore_member,
+    snapshot_of,
+)
 from ..types import ProcessId, SubrunNo
 from .lan import AsyncLan
 from .rtt import AdaptiveRoundTimer
@@ -119,6 +125,8 @@ class AsyncNode:
         self._request_sent_at: dict[int, float] = {}
         self._on_indication = on_indication
         self._tasks: list[asyncio.Task] = []
+        #: In-flight snapshot persistence (runs on the default executor).
+        self._snapshot_task: asyncio.Task | None = None
         self._round = 0
         self.delivered: list[UserMessage] = []
         self.confirmed_mids: list = []
@@ -173,10 +181,18 @@ class AsyncNode:
     async def stop(self) -> None:
         """Cancel the node's tasks and wait for them to finish."""
         self._stopped.set()
-        for task in self._tasks:
+        # Detach the task list *before* the await below: anything that
+        # observes the node mid-gather (a concurrent start/stop) must
+        # see it already stopped, not a half-cancelled intermediate.
+        tasks, self._tasks = self._tasks, []
+        for task in tasks:
             task.cancel()
-        await asyncio.gather(*self._tasks, return_exceptions=True)
-        self._tasks = []
+        await asyncio.gather(*tasks, return_exceptions=True)
+        flush, self._snapshot_task = self._snapshot_task, None
+        if flush is not None:
+            # Drain the in-flight snapshot so durable state is settled
+            # before crash()/recover() read it back.
+            await flush
 
     async def crash(self) -> None:
         """Fail-stop this node: halt the ticker and receiver immediately.
@@ -345,7 +361,9 @@ class AsyncNode:
                     if self.storage is not None:
                         # Log-before-send: a sent message is always in
                         # the WAL, so recovery never reuses its seq.
-                        self.storage.log_generated(effect.message)
+                        # That ordering is why the append stays inline
+                        # (small buffered write, see docs/ANALYSIS.md).
+                        self.storage.log_generated(effect.message)  # lint: disable=I502
             elif isinstance(effect, Deliver):
                 self.delivered.append(effect.message)
                 if self._obs:
@@ -355,7 +373,10 @@ class AsyncNode:
                     and effect.message.mid.origin != self.pid
                 ):
                     # Own messages were logged at generation time.
-                    self.storage.log_processed(effect.message)
+                    # Inline by design: the record must be durable
+                    # before the indication callback fires below
+                    # (log-before-indicate, see docs/ANALYSIS.md).
+                    self.storage.log_processed(effect.message)  # lint: disable=I502
                 if self._on_indication is not None:
                     self._on_indication(self.pid, effect.message)
             elif isinstance(effect, Confirm):
@@ -376,7 +397,10 @@ class AsyncNode:
                         applied=True,
                     )
                 if self.storage is not None:
-                    self.storage.log_decision(effect.decision)
+                    # Inline by design: the decision must hit the WAL
+                    # before any send it unblocks leaves this effect
+                    # batch (log-before-send, see docs/ANALYSIS.md).
+                    self.storage.log_decision(effect.decision)  # lint: disable=I502
             elif isinstance(effect, SuspicionChange):
                 self.suspicion_events.append(effect)
                 if self._obs:
@@ -404,9 +428,29 @@ class AsyncNode:
             # Rejoin completed: fall in step with the group's clock.
             self._round = realign
         if self.storage is not None and self.storage.should_snapshot():
-            self.storage.save_snapshot(
-                snapshot_of(self.member, self.delivered, round_no=self._round)
-            )
+            self._start_snapshot()
+
+    def _start_snapshot(self) -> None:
+        """Capture a snapshot now; persist it off the event loop.
+
+        The capture (state encode + WAL tail handoff) is pure CPU and
+        happens synchronously here, so the snapshot is a consistent cut
+        of the engine.  The blocking backend write (fsync + rename on
+        ``FileBackend``) runs on the default executor so the loop —
+        shared by every node in the group — keeps ticking.
+        """
+        assert self.storage is not None
+        job = self.storage.begin_snapshot(
+            snapshot_of(self.member, self.delivered, round_no=self._round)
+        )
+        self._snapshot_task = asyncio.create_task(
+            self._persist_snapshot(job), name=f"urcgc-snap-p{self.pid}"
+        )
+
+    async def _persist_snapshot(self, job: SnapshotJob) -> None:
+        await asyncio.get_running_loop().run_in_executor(None, job.persist)
+        if self.storage is not None:
+            self.storage.finish_snapshot()
 
 
 class AsyncGroup:
@@ -460,7 +504,10 @@ class AsyncGroup:
             node.start()
 
     async def stop(self) -> None:
-        for node in self.nodes:
+        # Snapshot the membership: stop() suspends per node, and the
+        # list must not shift under the iteration if a callback adds or
+        # removes a node mid-shutdown.
+        for node in list(self.nodes):
             await node.stop()
         self.lan.close()
 

@@ -23,7 +23,7 @@ owns bytes and files.
 
 from .backend import FileBackend, MemoryBackend, StorageBackend
 from .snapshot import MemberSnapshot, decode_snapshot, encode_snapshot, restore_member, snapshot_of
-from .store import GroupStorage, NodeStorage
+from .store import GroupStorage, NodeStorage, SnapshotJob
 from .wal import WalRecord, WriteAheadLog
 
 __all__ = [
@@ -39,4 +39,5 @@ __all__ = [
     "restore_member",
     "NodeStorage",
     "GroupStorage",
+    "SnapshotJob",
 ]

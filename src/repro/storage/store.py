@@ -22,11 +22,31 @@ from .backend import MemoryBackend, StorageBackend
 from .snapshot import MemberSnapshot, decode_snapshot, encode_snapshot
 from .wal import WalRecord, WriteAheadLog
 
-__all__ = ["NodeStorage", "GroupStorage"]
+__all__ = ["NodeStorage", "GroupStorage", "SnapshotJob"]
 
 #: Default records-between-snapshots (tuned low enough that tests and
 #: torture runs actually exercise the compaction path).
 DEFAULT_SNAPSHOT_INTERVAL = 64
+
+
+class SnapshotJob:
+    """A captured snapshot awaiting persistence.
+
+    Produced by :meth:`NodeStorage.begin_snapshot`.  :meth:`persist` is
+    the only blocking step and is safe to run on an executor thread: it
+    writes the snapshot blob only and never touches the WAL, which the
+    owning thread keeps appending to (and buffering) meanwhile.
+    """
+
+    __slots__ = ("_storage", "_blob")
+
+    def __init__(self, storage: "NodeStorage", blob: bytes) -> None:
+        self._storage = storage
+        self._blob = blob
+
+    def persist(self) -> None:
+        """Write the captured snapshot blob (blocking; any thread)."""
+        self._storage.backend.write(self._storage._snapshot_name, self._blob)
 
 
 class NodeStorage:
@@ -50,6 +70,9 @@ class NodeStorage:
         self.records_since_snapshot = 0
         #: Snapshots taken over this instance's lifetime.
         self.snapshots_taken = 0
+        #: Framed WAL records appended while a snapshot persists
+        #: asynchronously (None when no snapshot is in flight).
+        self._flight_tail: list[bytes] | None = None
         self._registry: MetricSink | None = None
 
     def bind_registry(self, registry: MetricSink) -> None:
@@ -67,28 +90,73 @@ class NodeStorage:
 
     # -- logging -------------------------------------------------------
 
+    def _absorb(self, record: bytes, kind: str) -> None:
+        if self._flight_tail is not None:
+            self._flight_tail.append(record)
+        self._count_record(kind)
+
     def log_generated(self, message: UserMessage) -> None:
-        self.wal.append_generated(message)
-        self._count_record("generated")
+        self._absorb(self.wal.append_generated(message), "generated")
 
     def log_processed(self, message: UserMessage) -> None:
-        self.wal.append_processed(message)
-        self._count_record("processed")
+        self._absorb(self.wal.append_processed(message), "processed")
 
     def log_decision(self, decision: Decision) -> None:
-        self.wal.append_decision(decision)
-        self._count_record("decision")
+        self._absorb(self.wal.append_decision(decision), "decision")
 
     # -- snapshots -----------------------------------------------------
 
     def should_snapshot(self) -> bool:
-        return self.records_since_snapshot >= self.snapshot_interval
+        return (
+            self._flight_tail is None
+            and self.records_since_snapshot >= self.snapshot_interval
+        )
 
     def save_snapshot(self, snapshot: MemberSnapshot) -> None:
-        """Persist ``snapshot`` and truncate the WAL behind it."""
+        """Persist ``snapshot`` and truncate the WAL behind it.
+
+        The synchronous path (the simulator's, where blocking is the
+        point).  Drivers on an event loop use :meth:`begin_snapshot` /
+        :meth:`finish_snapshot` instead.
+        """
+        if self._flight_tail is not None:
+            raise RuntimeError("a snapshot is already in flight")
         self.backend.write(self._snapshot_name, encode_snapshot(snapshot))
         self.wal.reset()
         self.records_since_snapshot = 0
+        self.snapshots_taken += 1
+        if self._registry is not None:
+            self._registry.count("storage.snapshots", node=int(self.pid))
+
+    def begin_snapshot(self, snapshot: MemberSnapshot) -> SnapshotJob:
+        """Capture ``snapshot`` for asynchronous persistence.
+
+        Pure CPU: encodes the blob and starts buffering every WAL
+        record appended while the write is in flight.  Run the returned
+        job's :meth:`SnapshotJob.persist` on any thread, then call
+        :meth:`finish_snapshot` from the owning thread to compact the
+        WAL.  While a snapshot is in flight :meth:`should_snapshot` is
+        False, so the cadence cannot start a second one.
+        """
+        if self._flight_tail is not None:
+            raise RuntimeError("a snapshot is already in flight")
+        blob = encode_snapshot(snapshot)
+        self._flight_tail = []
+        return SnapshotJob(self, blob)
+
+    def finish_snapshot(self) -> None:
+        """Compact the WAL behind a persisted snapshot.
+
+        The log becomes exactly the records appended while the write
+        was in flight — one atomic rewrite, so no record is ever
+        dropped before a durable snapshot covers it.
+        """
+        tail = self._flight_tail
+        if tail is None:
+            raise RuntimeError("no snapshot in flight")
+        self._flight_tail = None
+        self.wal.rewrite(tail)
+        self.records_since_snapshot = len(tail)
         self.snapshots_taken += 1
         if self._registry is not None:
             self._registry.count("storage.snapshots", node=int(self.pid))

@@ -66,21 +66,41 @@ class WriteAheadLog:
         self.truncated_bytes = 0
 
     # -- append side ---------------------------------------------------
+    #
+    # Every append returns the framed bytes it wrote, so a caller that
+    # is buffering the log tail during an in-flight snapshot
+    # (``NodeStorage.begin_snapshot``) can keep the exact on-disk
+    # framing without re-encoding.
 
-    def append_generated(self, message: UserMessage) -> None:
-        self.backend.append(self.name, encode_record(RECORD_GENERATED, message))
+    def append_generated(self, message: UserMessage) -> bytes:
+        record = encode_record(RECORD_GENERATED, message)
+        self.backend.append(self.name, record)
+        return record
 
-    def append_processed(self, message: UserMessage) -> None:
-        self.backend.append(self.name, encode_record(RECORD_PROCESSED, message))
+    def append_processed(self, message: UserMessage) -> bytes:
+        record = encode_record(RECORD_PROCESSED, message)
+        self.backend.append(self.name, record)
+        return record
 
-    def append_decision(self, decision: Decision) -> None:
-        self.backend.append(
-            self.name, encode_record(RECORD_DECISION, DecisionMessage(decision))
-        )
+    def append_decision(self, decision: Decision) -> bytes:
+        record = encode_record(RECORD_DECISION, DecisionMessage(decision))
+        self.backend.append(self.name, record)
+        return record
 
     def reset(self) -> None:
         """Truncate the log (called after a snapshot covers it)."""
         self.backend.write(self.name, b"")
+        self.truncated_bytes = 0
+
+    def rewrite(self, records: list[bytes]) -> None:
+        """Atomically replace the log with the given framed records.
+
+        Snapshot compaction: the log becomes exactly the tail appended
+        while the snapshot was persisting.  One backend write, so a
+        crash leaves either the old log or the new one — never a
+        truncated-but-not-yet-rewritten window.
+        """
+        self.backend.write(self.name, b"".join(records))
         self.truncated_bytes = 0
 
     # -- recovery side -------------------------------------------------

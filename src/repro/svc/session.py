@@ -174,6 +174,14 @@ class ClientSession:
                 f"{self.next_seq - 1} were sent"
             )
         self.acked = max(self.acked, ack.ack_seq)
+        if ack.credit > self.requested_credit:
+            # A frontend never grants more than the HELLO asked for
+            # (min(hello.credit, grant_credit)); a larger value is a
+            # forged or corrupted ack and must not widen the window.
+            raise ProtocolError(
+                f"c{self.client_id} granted credit {ack.credit} exceeds "
+                f"requested {self.requested_credit}"
+            )
         self.window = ack.credit
         released = []
         while self._queue and self.outstanding < self.window:

@@ -1,0 +1,60 @@
+"""Interleaving-hazard fixtures for the I5xx rules.
+
+Inert when linted under its own stem name (the I-rules are scoped to
+``repro.runtime`` / ``repro.svc``); tests/lint/test_rules_interleaving
+re-lints this source under an in-scope module name, expecting exactly
+one finding per rule: each true positive has a pragma'd twin standing
+in for a documented false positive.
+"""
+
+import time
+
+
+class Window:
+    async def widen(self):
+        # I501 true positive: the read goes stale across the await.
+        credit = self._credit
+        await self.flush()
+        self._credit = credit + 1
+
+    async def widen_guarded(self):
+        # Documented false positive: _credit has a single writer (this
+        # coroutine), so nothing can interleave an update.
+        credit = self._credit
+        await self.flush()
+        self._credit = credit + 1  # lint: disable=I501
+
+    async def flush(self):
+        pass
+
+
+def settle():
+    # I502 true positive: blocks, and runner() below reaches it.
+    time.sleep(0.01)
+
+
+def settle_documented():
+    # Documented false positive: bounded shutdown spin, accepted.
+    time.sleep(0.01)  # lint: disable=I502
+
+
+async def runner():
+    settle()
+    settle_documented()
+
+
+class Fleet:
+    async def drain(self):
+        # I503 true positive: _nodes can shrink while we are suspended.
+        for node in self._nodes:
+            await node.halt()
+
+    async def drain_snapshot(self):
+        for node in list(self._nodes):  # private copy: clean
+            await node.halt()
+
+    async def drain_exclusive(self):
+        # Documented false positive: every mutator holds self._lock,
+        # so the container cannot change mid-iteration.
+        for node in self._nodes:  # lint: disable=I503
+            await node.halt()

@@ -1,0 +1,57 @@
+"""Wire-taint fixtures for the T6xx rules.
+
+The ``register()`` calls give T602 a tag space even under this file's
+own stem name: ``Ping`` has exactly one handler (this file's family),
+``Orphan`` has none (true positive), and ``Beacon`` carries the
+documented-false-positive pragma.  The T601 cases only fire when
+tests/lint/test_rules_taint re-lints the source under a ``repro.svc``
+module name (the rule's scope).
+"""
+
+from .wire import ClientNote
+
+TAG_PING = 90
+TAG_ORPHAN = 91
+TAG_BEACON = 92
+
+
+class Ping:
+    pass
+
+
+class Orphan:
+    pass
+
+
+class Beacon:
+    pass
+
+
+def install(registry):
+    registry.register(TAG_PING, Ping, None)
+    registry.register(TAG_ORPHAN, Orphan, None)
+    # Documented false positive: Beacon frames are dispatched through
+    # a reflective tooling path the analyzer cannot see.
+    registry.register(TAG_BEACON, Beacon, None)  # lint: disable=T602
+
+
+def on_frame(frame):
+    if isinstance(frame, Ping):
+        return b"pong"
+    return None
+
+
+class Session:
+    def on_note(self, note: ClientNote):
+        # T601 true positive: a wire field stored unvalidated.
+        self.window = note.credit
+
+    def on_note_guarded(self, note: ClientNote):
+        if note.credit > self.requested:
+            raise ValueError("forged credit")
+        self.window = note.credit
+
+    def on_note_documented(self, note: ClientNote):
+        # Documented false positive: the frontend re-clamps credit on
+        # the next ack, so the transient store cannot over-publish.
+        self.window = note.credit  # lint: disable=T601

@@ -1,5 +1,9 @@
 """Violation fixture: every W-rule fires here.  Never imported."""
 
+# The fake registrations below have no handlers on purpose — that is
+# bad_taint.py's subject, not this file's.
+# lint: disable-file=T602
+
 from dataclasses import dataclass
 
 _TAG_A = 200

@@ -31,12 +31,15 @@ def test_violation_fixtures_exit_nonzero(capsys):
 def test_json_report_schema(capsys):
     assert main(["--json", str(FIXTURES / "bad_hygiene.py")]) == 1
     payload = json.loads(capsys.readouterr().out)
-    assert payload["version"] == 1
+    assert payload["version"] == 2
     assert payload["ok"] is False
     assert payload["files_checked"] == 1
     assert set(payload["counts"]) == {"H401", "H402", "H403"}
     first = payload["violations"][0]
     assert set(first) == {"rule", "path", "line", "col", "message"}
+    # v2 baseline-accounting keys are present even without --baseline.
+    assert payload["baselined"] == 0
+    assert payload["stale_baseline"] == []
 
 
 def test_json_report_clean_tree(capsys):

@@ -1,0 +1,179 @@
+"""Linearized flow events and the wire-taint walker."""
+
+import ast
+
+from repro.lint.dataflow import TaintWalker, iter_flow, iter_own_nodes
+
+
+def func_of(source, name=None):
+    tree = ast.parse(source)
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if name is None or node.name == name:
+                return node
+    raise AssertionError("no function in source")
+
+
+def events(source):
+    return [(e.kind, e.attr) for e in iter_flow(func_of(source))]
+
+
+def taints(source, wire_classes=("ClientNote",), name=None):
+    walker = TaintWalker(func_of(source, name), frozenset(wire_classes))
+    return [(f.sink, f.source) for f in walker.run()]
+
+
+# -- iter_flow --------------------------------------------------------------
+
+
+def test_flow_read_suspend_write_order():
+    source = (
+        "async def f(self):\n"
+        "    x = self._n\n"
+        "    await self.flush()\n"
+        "    self._n = x + 1\n"
+    )
+    assert events(source) == [
+        ("read", "_n"),
+        ("read", "flush"),
+        ("suspend", None),
+        ("write", "_n"),
+    ]
+
+
+def test_flow_augassign_is_write_only():
+    # x += 1 is atomic within its statement: only an *earlier* read can
+    # be stale, so no read event is emitted for the target itself.
+    source = "async def f(self):\n    self._n += 1\n"
+    assert events(source) == [("write", "_n")]
+
+
+def test_flow_async_for_suspends_at_header():
+    source = (
+        "async def f(self):\n"
+        "    async for item in self._queue:\n"
+        "        self._last = item\n"
+    )
+    assert events(source) == [
+        ("read", "_queue"),
+        ("suspend", None),
+        ("write", "_last"),
+    ]
+
+
+def test_flow_subscript_store_writes_container():
+    source = "async def f(self, k):\n    self._table[k] = 1\n"
+    assert events(source) == [("write", "_table")]
+
+
+def test_iter_own_nodes_skips_nested_defs():
+    func = func_of(
+        "async def outer(self):\n"
+        "    def inner():\n"
+        "        return self._hidden\n"
+        "    return inner\n",
+        "outer",
+    )
+    reads = [
+        node.attr
+        for node in iter_own_nodes(func)
+        if isinstance(node, ast.Attribute)
+    ]
+    assert "_hidden" not in reads
+
+
+# -- TaintWalker ------------------------------------------------------------
+
+
+def test_param_annotation_seeds_taint():
+    source = (
+        "def on_note(self, note: ClientNote):\n"
+        "    self.window = note.credit\n"
+    )
+    assert taints(source) == [
+        ("self.window", "parameter 'note' (ClientNote)")
+    ]
+
+
+def test_decode_call_is_a_source():
+    source = (
+        "def handle(self, data):\n"
+        "    msg = decode_message(data)\n"
+        "    self.last = msg\n"
+    )
+    assert taints(source) == [("self.last", "decode_message(...)")]
+
+
+def test_reassignment_clears_taint():
+    source = (
+        "def handle(self, data):\n"
+        "    msg = decode_message(data)\n"
+        "    msg = 0\n"
+        "    self.last = msg\n"
+    )
+    assert taints(source) == []
+
+
+def test_guard_vouches_for_maximal_dotted_expression_only():
+    # `if note.credit > cap` sanitizes note.credit, NOT the bare note:
+    # the walker must not let a field guard bless the whole object.
+    source = (
+        "def handle(self, note: ClientNote, cap):\n"
+        "    if note.credit > cap:\n"
+        "        return\n"
+        "    self.window = note.credit\n"
+        "    self.raw = note.payload\n"
+    )
+    assert taints(source) == [
+        ("self.raw", "parameter 'note' (ClientNote)")
+    ]
+
+
+def test_bare_identity_guard_vouches_for_the_object():
+    source = (
+        "def handle(self, note: ClientNote):\n"
+        "    if note is None:\n"
+        "        return\n"
+        "    self.last = note\n"
+    )
+    assert taints(source) == []
+
+
+def test_object_sanitizer_blesses_root_but_clamp_does_not():
+    blessed = (
+        "def handle(self, note: ClientNote):\n"
+        "    problem = validate_message(note, 4)\n"
+        "    if problem is not None:\n"
+        "        return\n"
+        "    self.last = note\n"
+    )
+    assert taints(blessed) == []
+    clamped = (
+        "def handle(self, note: ClientNote, cap):\n"
+        "    self.window = min(note.credit, cap)\n"
+        "    self.raw = note\n"
+    )
+    # min() clamps one value; the object itself stays tainted.
+    assert taints(clamped) == [
+        ("self.raw", "parameter 'note' (ClientNote)")
+    ]
+
+
+def test_storage_sink_call_flagged():
+    source = (
+        "def handle(self, data):\n"
+        "    msg = decode_message(data)\n"
+        "    self.storage.log_generated(msg)\n"
+    )
+    assert taints(source) == [
+        ("log_generated(...)", "decode_message(...)")
+    ]
+
+
+def test_transparent_call_passes_taint():
+    source = (
+        "def handle(self, data):\n"
+        "    msgs = list(expand_message(decode_message(data)))\n"
+        "    self.batch = msgs\n"
+    )
+    assert taints(source) == [("self.batch", "decode_message(...)")]

@@ -1,0 +1,187 @@
+"""I-rules: interleaving hazards across suspension points."""
+
+from pathlib import Path
+
+from repro.lint import check_source
+
+FIXTURE = (Path(__file__).parent / "fixtures" / "bad_interleaving.py").read_text()
+RUNTIME = "repro.runtime.fixture"
+
+
+def findings(source, module=RUNTIME, rules=None):
+    return check_source(source, module, rules=rules)
+
+
+# -- I501 -------------------------------------------------------------------
+
+
+def test_i501_fixture_true_positive_and_pragmad_twin():
+    # The fixture pairs every hazard with a pragma'd duplicate: exactly
+    # one finding per rule survives.
+    found = findings(FIXTURE, rules=["I501"])
+    assert [v.rule for v in found] == ["I501"]
+    assert "self._credit" in found[0].message
+    assert "widen" in found[0].message
+
+
+def test_i501_fresh_reread_after_suspension_is_clean():
+    source = (
+        "async def f(self):\n"
+        "    x = self._n\n"
+        "    await self.flush()\n"
+        "    x = self._n\n"
+        "    self._n = x + 1\n"
+    )
+    assert findings(source, rules=["I501"]) == []
+
+
+def test_i501_write_before_suspension_is_clean():
+    source = (
+        "async def f(self):\n"
+        "    self._n = self._n + 1\n"
+        "    await self.flush()\n"
+    )
+    assert findings(source, rules=["I501"]) == []
+
+
+def test_i501_augassign_after_await_without_prior_read_is_clean():
+    source = (
+        "async def f(self):\n"
+        "    await self.flush()\n"
+        "    self._n += 1\n"
+    )
+    assert findings(source, rules=["I501"]) == []
+
+
+def test_i501_only_private_attributes():
+    source = (
+        "async def f(self):\n"
+        "    x = self.count\n"
+        "    await self.flush()\n"
+        "    self.count = x + 1\n"
+    )
+    assert findings(source, rules=["I501"]) == []
+
+
+def test_i501_scoped_to_runtime_and_svc():
+    hazard = (
+        "async def f(self):\n"
+        "    x = self._n\n"
+        "    await self.flush()\n"
+        "    self._n = x + 1\n"
+    )
+    assert findings(hazard, module="repro.svc.fixture", rules=["I501"]) != []
+    assert findings(hazard, module="repro.core.fixture", rules=["I501"]) == []
+
+
+# -- I502 -------------------------------------------------------------------
+
+
+def test_i502_fixture_true_positive_and_pragmad_twin():
+    found = findings(FIXTURE, rules=["I502"])
+    assert [v.rule for v in found] == ["I502"]
+    assert "time.sleep()" in found[0].message
+    assert "runner" in found[0].message
+
+
+def test_i502_chains_through_intermediate_sync_helpers():
+    source = (
+        "import time\n"
+        "def leaf():\n"
+        "    time.sleep(1)\n"
+        "def middle():\n"
+        "    leaf()\n"
+        "async def ticker():\n"
+        "    middle()\n"
+    )
+    found = findings(source, rules=["I502"])
+    assert [v.rule for v in found] == ["I502"]
+    assert "ticker" in found[0].message
+
+
+def test_i502_silent_without_an_async_root():
+    source = (
+        "import time\n"
+        "def leaf():\n"
+        "    time.sleep(1)\n"
+        "def middle():\n"
+        "    leaf()\n"
+    )
+    assert findings(source, rules=["I502"]) == []
+
+
+def test_i502_out_of_scope_coroutine_does_not_root():
+    source = (
+        "import time\n"
+        "def leaf():\n"
+        "    time.sleep(1)\n"
+        "async def ticker():\n"
+        "    leaf()\n"
+    )
+    assert findings(source, module="repro.harness.fixture", rules=["I502"]) == []
+
+
+def test_i502_storage_ops_are_blocking_leaves():
+    source = (
+        "def persist(self):\n"
+        "    self.storage.save_snapshot(None)\n"
+        "async def ticker(self):\n"
+        "    self.persist()\n"
+    )
+    # Needs the class context for self-resolution.
+    wrapped = (
+        "class Node:\n"
+        + "".join(f"    {line}\n" for line in source.splitlines())
+    )
+    found = findings(wrapped, rules=["I502"])
+    assert [v.rule for v in found] == ["I502"]
+    assert ".save_snapshot()" in found[0].message
+
+
+# -- I503 -------------------------------------------------------------------
+
+
+def test_i503_fixture_true_positive_and_pragmad_twin():
+    # drain() fires; drain_snapshot (list copy) and drain_exclusive
+    # (pragma) stay quiet.
+    found = findings(FIXTURE, rules=["I503"])
+    assert [v.rule for v in found] == ["I503"]
+    assert "self._nodes" in found[0].message
+    assert "drain" in found[0].message
+
+
+def test_i503_dict_view_iteration_flagged():
+    source = (
+        "async def f(self):\n"
+        "    for k, v in self._table.items():\n"
+        "        await self.push(k, v)\n"
+    )
+    found = findings(source, rules=["I503"])
+    assert [v.rule for v in found] == ["I503"]
+
+
+def test_i503_async_for_over_shared_attr_flagged():
+    source = (
+        "async def f(self):\n"
+        "    async for item in self._queue:\n"
+        "        pass\n"
+    )
+    assert [v.rule for v in findings(source, rules=["I503"])] == ["I503"]
+
+
+def test_i503_loop_without_suspension_is_clean():
+    source = (
+        "async def f(self):\n"
+        "    for node in self._nodes:\n"
+        "        node.halt()\n"
+    )
+    assert findings(source, rules=["I503"]) == []
+
+
+def test_i503_local_iterable_is_clean():
+    source = (
+        "async def f(self, nodes):\n"
+        "    for node in nodes:\n"
+        "        await node.halt()\n"
+    )
+    assert findings(source, rules=["I503"]) == []

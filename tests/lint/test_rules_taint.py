@@ -1,0 +1,122 @@
+"""T-rules: wire-taint typestate and handler completeness."""
+
+from pathlib import Path
+
+from repro.lint import check_source, run_lint
+
+FIXTURES = Path(__file__).parent / "fixtures"
+FIXTURE = (FIXTURES / "bad_taint.py").read_text()
+SVC = "repro.svc.fixture"
+
+
+def findings(source, module=SVC, rules=None):
+    return check_source(source, module, rules=rules)
+
+
+# -- T601 -------------------------------------------------------------------
+
+
+def test_t601_fixture_true_positive_and_pragmad_twin():
+    # on_note fires; on_note_guarded (range guard) and
+    # on_note_documented (pragma) stay quiet.
+    found = findings(FIXTURE, rules=["T601"])
+    assert [v.rule for v in found] == ["T601"]
+    assert "self.window" in found[0].message
+    assert "on_note" in found[0].message
+
+
+def test_t601_validate_message_blesses_the_object():
+    source = (
+        "def handle(self, data, n):\n"
+        "    msg = decode_message(data)\n"
+        "    problem = validate_message(msg, n)\n"
+        "    if problem is not None:\n"
+        "        return\n"
+        "    self.last = msg\n"
+    )
+    assert findings(source, rules=["T601"]) == []
+
+
+def test_t601_unvalidated_decode_to_storage_flagged():
+    source = (
+        "def handle(self, data):\n"
+        "    msg = decode_message(data)\n"
+        "    self.storage.log_processed(msg)\n"
+    )
+    found = findings(source, rules=["T601"])
+    assert [v.rule for v in found] == ["T601"]
+    assert "log_processed" in found[0].message
+
+
+def test_t601_out_of_scope_module_is_skipped():
+    source = (
+        "def handle(self, data):\n"
+        "    self.last = decode_message(data)\n"
+    )
+    assert findings(source, module="repro.core.fixture", rules=["T601"]) == []
+
+
+def test_t601_wire_import_marks_parameter_classes():
+    # `from .wire import X` makes X a taint-seeding annotation even
+    # when no register() call names it.
+    source = (
+        "from .wire import ClientNudge\n"
+        "def on_nudge(self, nudge: ClientNudge):\n"
+        "    self.level = nudge.level\n"
+    )
+    found = findings(source, rules=["T601"])
+    assert [v.rule for v in found] == ["T601"]
+    assert "ClientNudge" in found[0].message
+
+
+# -- T602 -------------------------------------------------------------------
+
+
+def test_t602_fixture_unhandled_tag_and_pragmad_twin():
+    # Orphan (no handler) fires; Ping (handled here) and Beacon
+    # (pragma'd) stay quiet — even under the fixture's own stem name.
+    result = run_lint([FIXTURES / "bad_taint.py"], rules=["T602"])
+    assert [v.rule for v in result.violations] == ["T602"]
+    assert "Orphan" in result.violations[0].message
+    assert "tag 91" in result.violations[0].message
+
+
+def test_t602_handler_in_on_method_annotation_counts(tmp_path):
+    (tmp_path / "proto.py").write_text(
+        "TAG = 70\n"
+        "class Frame:\n"
+        "    pass\n"
+        "registry.register(TAG, Frame, None)\n"
+        "class Engine:\n"
+        "    def on_frame(self, frame: Frame):\n"
+        "        pass\n"
+    )
+    assert run_lint([tmp_path], rules=["T602"]).violations == []
+
+
+def test_t602_two_families_dispatching_one_tag(tmp_path):
+    (tmp_path / "alpha.py").write_text(
+        "TAG = 71\n"
+        "class Frame:\n"
+        "    pass\n"
+        "registry.register(TAG, Frame, None)\n"
+        "def on_frame(frame):\n"
+        "    if isinstance(frame, Frame):\n"
+        "        pass\n"
+    )
+    (tmp_path / "beta.py").write_text(
+        "def on_frame(frame):\n"
+        "    if isinstance(frame, Frame):\n"
+        "        pass\n"
+    )
+    result = run_lint([tmp_path], rules=["T602"])
+    assert [v.rule for v in result.violations] == ["T602"]
+    message = result.violations[0].message
+    assert "more than one" in message
+    assert "alpha" in message and "beta" in message
+
+
+def test_t602_shipped_tree_is_complete():
+    # The real tag space: every registered PDU has exactly one family.
+    src = Path(__file__).parents[2] / "src" / "repro"
+    assert run_lint([src], rules=["T602"]).violations == []

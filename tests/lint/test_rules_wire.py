@@ -8,7 +8,9 @@ FIXTURES = Path(__file__).parent / "fixtures"
 
 
 def rules_of(source, module="repro.net.fixture"):
-    return [v.rule for v in check_source(source, module)]
+    # W-family only: a lone registered codec with no dispatch arm is a
+    # legitimate T602 elsewhere, but noise for these schema checks.
+    return [v.rule for v in check_source(source, module, rules=["W"])]
 
 
 CLEAN_CODEC = """
@@ -87,11 +89,68 @@ def test_w302_resolves_named_constants():
 
 
 def test_w302_distinct_tags_quiet_across_real_tree():
-    # The real tree (urcgc core 10..15, CBCAST 30..33, Psync 40) must
-    # keep its tag space collision-free.
+    # The real tree (urcgc 10..18, client tier 19..22, CBCAST 30..33,
+    # Psync 40) must keep its tag space collision-free.
     src = Path(__file__).parents[2] / "src" / "repro"
     result = run_lint([src], rules=["W302"])
     assert result.violations == []
+
+
+#: The committed wire-tag census.  A new registration must extend this
+#: literal (and ship a golden vector) in the same change.
+TAG_CENSUS = {
+    10: "UserMessage",
+    11: "RequestMessage",
+    12: "DecisionMessage",
+    13: "RecoveryRequest",
+    14: "RecoveryResponse",
+    15: "JoinRequest",
+    16: "BatchFrame",
+    17: "GenerateBatch",
+    18: "HeartbeatMessage",
+    19: "ClientHello",
+    20: "ClientPublish",
+    21: "ClientDeliver",
+    22: "ClientAck",
+    30: "CbcastData",
+    31: "StabilityGossip",
+    32: "ViewChange",
+    33: "Flush",
+    40: "PsyncData",
+}
+
+
+def test_static_tag_census_matches_live_registry():
+    # The analyzer's static view of register() calls must agree with
+    # both the committed census above and the imported registry — this
+    # is what keeps rules_wire/T602 honest as the tag space grows
+    # (the client tier added 19..22 after the original audit).
+    import repro.baselines.cbcast.messages  # noqa: F401
+    import repro.baselines.psync.protocol  # noqa: F401
+    import repro.core.message  # noqa: F401
+    import repro.core.rejoin  # noqa: F401
+    import repro.svc.wire  # noqa: F401
+    from repro.lint.engine import Violation, load_module
+    from repro.lint.rules_wire import _register_calls
+    from repro.net.wire import global_registry
+
+    src = Path(__file__).parents[2] / "src" / "repro"
+    static: dict[int, str] = {}
+    for path in sorted(src.rglob("*.py")):
+        module = load_module(path)
+        if isinstance(module, Violation):
+            continue
+        for _call, tag, cls_name in _register_calls(module):
+            assert tag is not None and cls_name is not None, (
+                f"{path}: register() call the analyzer cannot resolve "
+                "statically; use a literal/module-constant tag and a "
+                "plain class name"
+            )
+            assert tag not in static
+            static[tag] = cls_name
+    assert static == TAG_CENSUS
+    live = {t: cls.__name__ for t, cls in global_registry.registered().items()}
+    assert live == TAG_CENSUS
 
 
 # -- W303: every field serialized ------------------------------------------

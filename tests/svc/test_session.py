@@ -82,6 +82,22 @@ class TestPublishWindow:
         with pytest.raises(ProtocolError):
             session.on_ack(ClientAck(ACK_PUBLISH, 7, 0, 5, 4))
 
+    def test_forged_oversized_credit_rejected(self):
+        # T601 regression: the wire-decoded credit used to flow into
+        # self.window unvalidated, so a forged ack could widen the
+        # window beyond what the HELLO requested and let the client
+        # over-publish past the frontend's admission bound.
+        session = active_session(credit=4)
+        with pytest.raises(ProtocolError, match="exceeds requested"):
+            session.on_ack(ClientAck(ACK_PUBLISH, 7, 0, 0, 4096))
+        assert session.window == 4  # the forged grant did not bind
+
+    def test_credit_shrink_honored(self):
+        # The frontend may legitimately grant less than requested.
+        session = active_session(credit=4)
+        session.on_ack(ClientAck(ACK_PUBLISH, 7, 0, 0, 2))
+        assert session.window == 2
+
     def test_queue_preserves_fifo_even_with_window_room(self):
         """A queued backlog keeps new publishes behind it (client FIFO)."""
         session = active_session(credit=1)
