@@ -7,10 +7,17 @@ the mids they block on, so processing one message releases exactly the
 messages it unblocks; it also answers the two queries the protocol
 needs: the oldest waiting mid per sequence (sent to the coordinator in
 requests) and transitive discard of messages depending on a lost one.
+
+Both queries are index-backed rather than scans: a discard cascade
+after a loss declaration touches only the actual dependents (via the
+missing-mid index, a full-dependency index and a per-origin ordered
+index), not the whole list — under heavy loss the naive scan is
+quadratic in the waiting population and dominated recovery time.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right, insort
 from typing import TYPE_CHECKING
 
 from ..errors import DuplicateMidError
@@ -31,6 +38,16 @@ class WaitingList:
         self._waiting: dict[Mid, tuple["UserMessage", set[Mid]]] = {}
         #: missing mid -> set of waiting mids blocked on it
         self._blocked_on: dict[Mid, set[Mid]] = {}
+        #: declared dependency -> set of waiting mids naming it in
+        #: ``deps`` (a superset of :attr:`_blocked_on`'s edges: a dep
+        #: may already be processed yet still matter to the discard
+        #: rule, because atomicity destroys dependents of a lost
+        #: message even when the dependency itself was satisfied here).
+        self._by_dep: dict[Mid, set[Mid]] = {}
+        #: origin -> waiting mids of that origin in seq order (mids of
+        #: one origin order by seq), for the same-origin-later-seq arm
+        #: of the discard rule and the oldest-waiting query.
+        self._by_origin: dict[ProcessId, list[Mid]] = {}
 
     def __len__(self) -> int:
         return len(self._waiting)
@@ -47,6 +64,9 @@ class WaitingList:
         self._waiting[message.mid] = (message, set(missing))
         for blocker in missing:
             self._blocked_on.setdefault(blocker, set()).add(message.mid)
+        for dep in message.deps:
+            self._by_dep.setdefault(dep, set()).add(message.mid)
+        insort(self._by_origin.setdefault(message.mid.origin, []), message.mid)
 
     def get(self, mid: Mid) -> "UserMessage | None":
         entry = self._waiting.get(mid)
@@ -63,18 +83,13 @@ class WaitingList:
             message, missing = self._waiting[waiting_mid]
             missing.discard(mid)
             if not missing:
-                del self._waiting[waiting_mid]
+                self._detach(waiting_mid)
                 released.append(message)
         return released
 
     def oldest_waiting(self) -> dict[ProcessId, SeqNo]:
         """Oldest waiting seq per origin (the request's ``waiting`` field)."""
-        oldest: dict[ProcessId, SeqNo] = {}
-        for mid in self._waiting:
-            current = oldest.get(mid.origin)
-            if current is None or mid.seq < current:
-                oldest[mid.origin] = mid.seq
-        return oldest
+        return {origin: mids[0].seq for origin, mids in self._by_origin.items()}
 
     def missing_for(self, mid: Mid) -> set[Mid]:
         """The mids ``mid`` is still blocked on (empty if not waiting)."""
@@ -90,34 +105,47 @@ class WaitingList:
         ``lost`` (the orphan-discard rule) and return their mids.
 
         A waiting message depends on ``lost`` if ``lost`` is among its
-        missing mids, if it belongs to the same origin with a later
-        seq (sequence contiguity), or if it depends on another
-        discarded message.
+        missing mids or declared deps, if it belongs to the same origin
+        with a later seq (sequence contiguity), or if it depends on
+        another discarded message.  Each cascade step reads the victims
+        straight off the indexes, so the cost is proportional to the
+        dependency edges actually discarded.
         """
         discarded: list[Mid] = []
         frontier = {lost}
         while frontier:
             target = frontier.pop()
-            victims = set()
-            for waiting_mid, (message, missing) in self._waiting.items():
-                if target in missing or target in message.deps:
-                    victims.add(waiting_mid)
-                elif waiting_mid.origin == target.origin and waiting_mid.seq > target.seq:
-                    victims.add(waiting_mid)
+            victims = set(self._blocked_on.get(target, ()))
+            victims |= self._by_dep.get(target, set())
+            same_origin = self._by_origin.get(target.origin)
+            if same_origin:
+                victims.update(same_origin[bisect_right(same_origin, target):])
             for victim in victims:
-                self._remove(victim)
-                discarded.append(victim)
-                frontier.add(victim)
+                if victim in self._waiting:
+                    self._detach(victim)
+                    discarded.append(victim)
+                    frontier.add(victim)
         return sorted(discarded)
 
-    def _remove(self, mid: Mid) -> None:
-        _, missing = self._waiting.pop(mid)
+    def _detach(self, mid: Mid) -> None:
+        """Remove one waiting entry and unwind every index edge."""
+        message, missing = self._waiting.pop(mid)
         for blocker in missing:
             parked = self._blocked_on.get(blocker)
             if parked is not None:
                 parked.discard(mid)
                 if not parked:
                     del self._blocked_on[blocker]
+        for dep in message.deps:
+            named = self._by_dep.get(dep)
+            if named is not None:
+                named.discard(mid)
+                if not named:
+                    del self._by_dep[dep]
+        same_origin = self._by_origin[mid.origin]
+        del same_origin[bisect_left(same_origin, mid)]
+        if not same_origin:
+            del self._by_origin[mid.origin]
 
     def messages(self) -> list["UserMessage"]:
         """All waiting messages, in mid order."""

@@ -538,6 +538,28 @@ async def _heartbeat_suppression(
 
 ScenarioFn = Callable[..., Awaitable[ScenarioResult]]
 
+
+def _svc_scenario(name: str) -> ScenarioFn:
+    """Adapt a service-tier chaos scenario (:mod:`repro.svc.chaos`) to
+    this registry's async signature.
+
+    The tier scenarios are simulation-driven and fully deterministic in
+    the seed; ``budget``/``round_interval`` govern the live asyncio
+    runtime and do not apply (the sim's round budget bounds them).
+    Imported lazily to keep :mod:`repro.svc` out of this module's
+    import graph.
+    """
+
+    async def run(
+        seed: int, *, budget: float, round_interval: float
+    ) -> ScenarioResult:
+        from ..svc.chaos import run_svc_scenario
+
+        return run_svc_scenario(name, seed=seed)
+
+    return run
+
+
 #: name -> coroutine factory, the ``--scenario`` registry.
 SCENARIOS: dict[str, ScenarioFn] = {
     "coordinator-crash": _coordinator_crash,
@@ -545,6 +567,10 @@ SCENARIOS: dict[str, ScenarioFn] = {
     "forged-deps": _forged_deps,
     "equivocation": _equivocation,
     "heartbeat-suppression": _heartbeat_suppression,
+    # Service-tier failover/rebalance family (PROTOCOL §14.7-14.8).
+    "frontend-failover": _svc_scenario("frontend-failover"),
+    "shard-rebalance": _svc_scenario("shard-rebalance"),
+    "failover-storm": _svc_scenario("failover-storm"),
 }
 
 

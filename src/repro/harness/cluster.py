@@ -230,6 +230,27 @@ class SimCluster:
         """Run to completion (queue drained or max_rounds reached)."""
         self.kernel.run(max_events=max_events)
 
+    def resume_rounds(self) -> None:
+        """Un-stop the round scheduler (see
+        :meth:`~repro.sim.rounds.RoundScheduler.resume`): the service
+        tier keeps a cluster alive across quiescent phases and re-runs
+        it for failover salvage and topic handoff."""
+        self._quiescent_at = None
+        self.scheduler.resume()
+
+    def crash(self, pid: ProcessId, *, partial_deliveries: int | None = None) -> None:
+        """Crash ``pid`` *now* (mid-run fault injection).
+
+        Unlike a pre-declared :class:`FaultPlan` crash this needs no
+        schedule: the member stops sending and receiving from the
+        current instant, and the survivors' loss-declaration machinery
+        (K missed turns, orphan discard, eviction) takes over.  The
+        service-tier failover path drives this.
+        """
+        self.network.faults.crashes.crash(
+            pid, self.kernel.now, partial_deliveries=partial_deliveries
+        )
+
     def run_until_quiescent(self, *, drain_subruns: int = 0) -> Time | None:
         """Run until the group goes *stably* quiescent, then optionally
         keep running ``drain_subruns`` more subruns (history cleaning

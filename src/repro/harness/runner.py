@@ -262,6 +262,22 @@ def main(argv: list[str] | None = None) -> int:
     )
     serve_parser.add_argument("--seed", type=int, default=0)
     serve_parser.add_argument(
+        "--kill-frontends",
+        type=int,
+        default=0,
+        metavar="N",
+        help="kill N frontends spread across the run (client failover; "
+        "kills that would cost a shard its majority are skipped)",
+    )
+    serve_parser.add_argument(
+        "--ring-changes",
+        type=int,
+        default=0,
+        metavar="N",
+        help="add N shards spread across the run (topic handoff through "
+        "the causal bridge)",
+    )
+    serve_parser.add_argument(
         "--report",
         default=None,
         metavar="PATH",
@@ -311,6 +327,8 @@ def main(argv: list[str] | None = None) -> int:
             zipf_s=args.zipf_s,
             multi_ratio=args.multi_ratio,
             seed=args.seed,
+            kill_frontends=args.kill_frontends,
+            ring_changes=args.ring_changes,
         )
         print(result.describe())
         for violation in result.violations[:10]:

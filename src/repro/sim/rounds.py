@@ -37,6 +37,9 @@ class RoundScheduler:
         self._stopped = False
         self._max_rounds = max_rounds
         self._started = False
+        #: A tick is sitting in the kernel's queue (guards resume()
+        #: against double-scheduling the tick chain).
+        self._pending = False
 
     @property
     def current_round(self) -> int:
@@ -56,6 +59,7 @@ class RoundScheduler:
         if self._started:
             raise RuntimeError("RoundScheduler already started")
         self._started = True
+        self._pending = True
         self._kernel.schedule_at(
             self._kernel.now, self._tick, priority=PRIORITY_ROUND, label="round-0"
         )
@@ -64,7 +68,37 @@ class RoundScheduler:
         """Stop scheduling further rounds after the current one."""
         self._stopped = True
 
+    def resume(self) -> None:
+        """Restart round scheduling after a :meth:`stop`.
+
+        Long-lived drivers (the sharded service tier) reuse a cluster
+        across quiescent phases: a run stops the rounds, later work —
+        failover salvage, topic handoff — needs them ticking again.
+        No-op while a tick is already queued, so calling it every
+        driver step is safe; a ``max_rounds``-exhausted scheduler stays
+        stopped (the budget is a hard cap, not a pause).
+        """
+        self._stopped = False
+        if not self._started:
+            self.start()
+            return
+        if self._pending:
+            return
+        if self._max_rounds is not None and self._round >= self._max_rounds:
+            return
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        self._pending = True
+        self._kernel.schedule(
+            self.round_duration,
+            self._tick,
+            priority=PRIORITY_ROUND,
+            label=f"round-{self._round}",
+        )
+
     def _tick(self) -> None:
+        self._pending = False
         round_no = self._round
         for handler in list(self._handlers):
             handler(round_no)
@@ -73,9 +107,4 @@ class RoundScheduler:
             return
         if self._max_rounds is not None and self._round >= self._max_rounds:
             return
-        self._kernel.schedule(
-            self.round_duration,
-            self._tick,
-            priority=PRIORITY_ROUND,
-            label=f"round-{self._round}",
-        )
+        self._schedule_next()

@@ -22,9 +22,12 @@ Layers, bottom-up:
 * :mod:`repro.svc.groups` — call-style client/server roles layered on
   a single group (promoted from the pre-tier sketch).
 * :mod:`repro.svc.serve` — the ``python -m repro serve`` demo harness.
+* :mod:`repro.svc.chaos` — the failover/rebalance scenario family
+  (frontend kills, ring changes) graded per guarantee (§14.7-14.8).
 """
 
 from .bridge import CausalBridge
+from .chaos import SVC_SCENARIOS, run_svc_scenario
 from .envelope import ENVELOPE_MAGIC, Envelope
 from .frontend import DeliveryStream, Frontend, HomeSession
 from .groups import CallHandle, ClientServerGroup, Role, first_reply, majority_vote
@@ -61,9 +64,11 @@ __all__ = [
     "MAX_TOPICS",
     "MAX_TOPIC_LEN",
     "Role",
+    "SVC_SCENARIOS",
     "SessionState",
     "ShardRouter",
     "ShardedService",
     "first_reply",
     "majority_vote",
+    "run_svc_scenario",
 ]

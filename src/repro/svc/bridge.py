@@ -47,6 +47,15 @@ class CausalBridge:
         """The shard's current logical clock (bridged traffic only)."""
         return self._clocks[shard]
 
+    def grow(self, count: int = 1) -> None:
+        """Add ``count`` shards (ring growth).  A new shard's clock
+        starts at zero; its first shared-destination stamp raises it
+        past every established clock, so per-shard monotonicity is
+        unaffected by growth."""
+        if count < 1:
+            raise ConfigError(f"can only grow by a positive count, got {count}")
+        self._clocks.extend([0] * count)
+
     def stamp(self, dests: tuple[int, ...]) -> int:
         """Timestamp one multi-shard message over its destination set.
 

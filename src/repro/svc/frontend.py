@@ -17,6 +17,17 @@ plays two roles:
   the per-stream delivery window (over-window deliveries park until
   the client's cumulative delivery ack).
 
+Failover makes both roles transferable (PROTOCOL §14.7): the home
+role re-opens at a successor via the *negotiated resume handshake* —
+a frontend that has no record of a session adopts the client's acked
+frontier (durable by construction: clients only ack what a frontend
+reported group-processed) and answers with it, never the client's
+claimed ``resume_seq`` — and the delivery role re-anchors via
+epoch-tagged streams replayed from the member's processed-envelope
+log.  Because failover can re-inject an envelope the group already
+carried, every frontend dedupes indications by publish identity: the
+group may process a copy twice, the fan-out never does.
+
 Frontends are sans-IO like the engine underneath: outbound PDUs
 accumulate in :attr:`Frontend.outbox` for the driver (the sharded
 tier, a test, a socket loop) to encode and carry.
@@ -49,13 +60,13 @@ class HomeSession:
 
     __slots__ = ("client_id", "credit", "last_seq", "acked", "processed")
 
-    def __init__(self, client_id: int, credit: int, resume_seq: int) -> None:
+    def __init__(self, client_id: int, credit: int, frontier: int) -> None:
         self.client_id = client_id
         self.credit = credit
         #: Highest publish sequence accepted (contiguous).
-        self.last_seq = resume_seq
+        self.last_seq = frontier
         #: Highest cumulative ack sent to the client.
-        self.acked = resume_seq
+        self.acked = frontier
         #: Processed-but-not-yet-contiguous publish seqs (multi-shard
         #: fan-out completes out of seq order).
         self.processed: set[int] = set()
@@ -68,9 +79,11 @@ class HomeSession:
 class DeliveryStream:
     """One (session, shard) fan-out stream handled by this frontend."""
 
-    __slots__ = ("client_id", "topics", "deliver_seq", "acked", "window", "parked")
+    __slots__ = ("client_id", "topics", "deliver_seq", "acked", "window", "parked", "epoch")
 
-    def __init__(self, client_id: int, topics: set[bytes], window: int) -> None:
+    def __init__(
+        self, client_id: int, topics: set[bytes], window: int, epoch: int = 0
+    ) -> None:
         self.client_id = client_id
         self.topics = topics
         #: Last delivery sequence emitted.
@@ -80,6 +93,8 @@ class DeliveryStream:
         self.window = window
         #: Deliveries withheld while the window is full.
         self.parked: deque[tuple[Envelope, bytes]] = deque()
+        #: Stream generation; bumps when the stream re-anchors here.
+        self.epoch = epoch
 
     @property
     def unacked(self) -> int:
@@ -99,7 +114,7 @@ class Frontend:
         deliver_window: int = 256,
         registry: Registry | None = None,
         clock: Callable[[], float] | None = None,
-        on_processed: Callable[[Envelope], None] | None = None,
+        on_processed: Callable[[Envelope, int], None] | None = None,
     ) -> None:
         self.shard = shard
         self.member = member
@@ -108,15 +123,24 @@ class Frontend:
         self.deliver_window = deliver_window
         self._registry = registry
         self._clock = clock
-        #: Tier hook fired once per envelope this frontend *injected*,
-        #: when the local member processes it (= globally ordered).
+        #: Tier hook fired once per envelope copy this frontend
+        #: *injected*, when the local member processes it (= globally
+        #: ordered in this shard); receives ``(envelope, shard)``.
         self._on_processed = on_processed
         self.homed: dict[int, HomeSession] = {}
         self.streams: dict[int, DeliveryStream] = {}
         #: Outbound PDUs for the driver: ``(client_id, pdu)`` pairs.
         self.outbox: list[tuple[int, object]] = []
-        #: Envelope ids this frontend injected and still awaits.
-        self._pending: dict[tuple[int, int], float] = {}
+        #: Envelopes this frontend injected and still awaits, by
+        #: publish identity, in injection order (= stamp order for
+        #: bridged traffic) — the salvage set if this member dies.
+        self._pending: dict[tuple[int, int], tuple[float, Envelope]] = {}
+        #: Publish identities already processed at this member (the
+        #: fan-out dedupe against failover re-injection).
+        self.seen: set[tuple[int, int]] = set()
+        #: Unique envelopes in processing order — replayed into
+        #: re-anchored streams on stream failover.
+        self.processed_log: list[Envelope] = []
         #: Bridged envelopes processed here, in processing order — the
         #: cross-shard ordering checker's input.
         self.bridge_log: list[Envelope] = []
@@ -127,20 +151,47 @@ class Frontend:
     # ------------------------------------------------------------------
 
     def on_hello(self, hello: ClientHello) -> ClientAck:
-        """Open or resume a session; returns the hello-ack."""
+        """Open or resume a session; returns the hello-ack.
+
+        The negotiated resume handshake: the client's ``resume_seq``
+        (its sent frontier) is *never* adopted.  For a session this
+        frontend has no record of, the acked frontier the client
+        presents is adopted instead — a client only acks what some
+        frontend reported group-processed, so everything past it is
+        legitimately in doubt and gets replayed.  Either way the ack's
+        ``resume_seq`` answers with the frontier this frontend
+        accepts, and the client replays the difference.
+        """
         existing = self.homed.get(hello.client_id)
-        if existing is not None and hello.resume_seq != existing.last_seq:
-            raise ProtocolError(
-                f"c{hello.client_id} resume_seq {hello.resume_seq} != "
-                f"accepted {existing.last_seq}"
-            )
         if existing is None:
-            self.homed[hello.client_id] = HomeSession(
-                hello.client_id, min(hello.credit, self.grant_credit), hello.resume_seq
+            session = HomeSession(
+                hello.client_id,
+                min(hello.credit, self.grant_credit),
+                hello.acked_seq,
             )
+            self.homed[hello.client_id] = session
             self._count("svc.sessions.opened")
-        session = self.homed[hello.client_id]
-        return ClientAck(ACK_PUBLISH, session.client_id, 0, session.acked, session.credit)
+        else:
+            if hello.resume_seq < existing.last_seq:
+                raise ProtocolError(
+                    f"c{hello.client_id} resumes at {hello.resume_seq} but "
+                    f"{existing.last_seq} publishes were already accepted "
+                    "(client lost state it cannot replay)"
+                )
+            if hello.acked_seq > existing.acked:
+                raise ProtocolError(
+                    f"c{hello.client_id} claims acked {hello.acked_seq} beyond "
+                    f"granted {existing.acked}"
+                )
+            session = existing
+        return ClientAck(
+            ACK_PUBLISH,
+            session.client_id,
+            0,
+            session.acked,
+            session.credit,
+            resume_seq=session.last_seq,
+        )
 
     def on_publish(self, pub: ClientPublish) -> Envelope:
         """Validate one publish; returns the envelope for the tier to
@@ -166,20 +217,30 @@ class Frontend:
     def inject(self, envelope: Envelope) -> None:
         """Submit a routed envelope to this member's group (fan-in).
 
-        The frontend remembers the id; when the envelope comes back as
-        a causal indication the publish counts as processed and the
-        origin's home frontend acks it (via the tier's
-        ``on_processed`` hook).
+        The frontend remembers the envelope; when it comes back as a
+        causal indication the publish counts as processed in this
+        shard and the origin's home frontend acks it (via the tier's
+        ``on_processed`` hook).  If this member dies first, the
+        retained envelopes are the tier's salvage set.
         """
-        self._pending[envelope.msg_id] = self._now()
+        self._pending[envelope.msg_id] = (self._now(), envelope)
         self.service.data_rq(envelope.to_bytes())
         self._count("svc.injected", shard=self.shard)
 
+    def doubted(self) -> list[Envelope]:
+        """Injected-but-unresolved envelopes, in injection order."""
+        return [envelope for _, envelope in self._pending.values()]
+
+    def forget_pending(self) -> None:
+        """Drop the pending set (the tier salvaged it elsewhere)."""
+        self._pending.clear()
+
     def on_processed_elsewhere(self, envelope: Envelope) -> None:
         """Tier relay: one of this home's publishes was processed in
-        some destination shard; advance the cumulative ack frontier."""
+        every destination shard; advance the cumulative ack frontier.
+        Idempotent — failover replay can re-announce old publishes."""
         session = self.homed.get(envelope.origin)
-        if session is None:
+        if session is None or envelope.origin_seq <= session.acked:
             return
         session.processed.add(envelope.origin_seq)
         advanced = False
@@ -192,7 +253,12 @@ class Frontend:
                 (
                     session.client_id,
                     ClientAck(
-                        ACK_PUBLISH, session.client_id, 0, session.acked, session.credit
+                        ACK_PUBLISH,
+                        session.client_id,
+                        0,
+                        session.acked,
+                        session.credit,
+                        resume_seq=session.last_seq,
                     ),
                 )
             )
@@ -201,24 +267,67 @@ class Frontend:
     # delivery role: subscriptions / fan-out / delivery acks
     # ------------------------------------------------------------------
 
-    def subscribe(self, client_id: int, topics: set[bytes], *, window: int | None = None) -> None:
-        """Attach (or widen) the client's delivery stream on this shard."""
+    def subscribe(
+        self,
+        client_id: int,
+        topics: set[bytes],
+        *,
+        window: int | None = None,
+        epoch: int = 0,
+        replay: bool = False,
+    ) -> None:
+        """Attach (or widen) the client's delivery stream on this shard.
+
+        With ``replay=True`` the stream re-anchors here at generation
+        ``epoch``: a fresh stream is built and the member's whole
+        processed-envelope log is replayed through it (window rules
+        included), so nothing a dead predecessor delivered — or was
+        about to deliver — is lost.  The client's per-shard dedupe
+        drops what it already has; gap-freedom comes from replaying
+        from the start of the log (PROTOCOL §14.7 documents the
+        stable-subscription assumption this rests on).
+        """
         stream = self.streams.get(client_id)
-        if stream is None:
-            self.streams[client_id] = DeliveryStream(
-                client_id, set(topics), window or self.deliver_window
+        if stream is None or replay:
+            stream = DeliveryStream(
+                client_id, set(topics), window or self.deliver_window, epoch
             )
+            self.streams[client_id] = stream
             self._count("svc.streams.opened", shard=self.shard)
+            if replay:
+                self._count("svc.streams.reanchored", shard=self.shard)
+                for envelope in self.processed_log:
+                    self._fan_out(stream, envelope)
         else:
             stream.topics |= topics
+            if window is not None:
+                stream.window = window
+
+    def unsubscribe_topics(self, client_id: int, topics: set[bytes]) -> None:
+        """Narrow a stream (topic handoff moved these topics away)."""
+        stream = self.streams.get(client_id)
+        if stream is not None:
+            stream.topics -= topics
 
     def on_deliver_ack(self, ack: ClientAck) -> None:
-        """Absorb a client's cumulative delivery ack; un-park fan-out."""
+        """Absorb a client's cumulative delivery ack; un-park fan-out.
+
+        Acks from an older stream epoch (in flight when the stream
+        re-anchored) are ignored rather than corrupting the new
+        stream's window accounting.
+        """
         if ack.kind != ACK_DELIVER:
             raise ProtocolError(f"frontend received ack kind {ack.kind}")
         stream = self.streams.get(ack.client_id)
         if stream is None:
             raise ProtocolError(f"delivery ack for unknown stream c{ack.client_id}")
+        if ack.epoch != stream.epoch:
+            if ack.epoch < stream.epoch:
+                return  # straggler from a previous stream life
+            raise ProtocolError(
+                f"c{ack.client_id} delivery ack from future epoch {ack.epoch} "
+                f"(stream at {stream.epoch})"
+            )
         if ack.ack_seq > stream.deliver_seq:
             raise ProtocolError(
                 f"c{ack.client_id} acked delivery {ack.ack_seq} beyond "
@@ -237,26 +346,38 @@ class Frontend:
         envelope = Envelope.from_bytes(message.payload)
         if envelope is None:
             return
-        if envelope.bridged:
-            self.bridge_log.append(envelope)
-        injected_at = self._pending.pop(envelope.msg_id, None)
-        if injected_at is not None:
+        entry = self._pending.pop(envelope.msg_id, None)
+        if entry is not None:
+            injected_at, _ = entry
             if self._registry is not None and self._clock is not None:
                 name = "svc.bridge.latency" if envelope.bridged else "svc.publish.latency"
                 self._registry.observe(
                     name, self._now() - injected_at, shard=self.shard
                 )
             if self._on_processed is not None:
-                self._on_processed(envelope)
+                self._on_processed(envelope, self.shard)
+        if envelope.msg_id in self.seen:
+            # A failover re-injection of a copy the group already
+            # carried: the processing fact above still counts, the
+            # fan-out must not repeat.
+            self._count("svc.dedup", shard=self.shard)
+            return
+        self.seen.add(envelope.msg_id)
+        self.processed_log.append(envelope)
+        if envelope.bridged:
+            self.bridge_log.append(envelope)
         for stream in self.streams.values():
-            matched = next((t for t in envelope.topics if t in stream.topics), None)
-            if matched is None:
-                continue
-            if stream.unacked >= stream.window:
-                stream.parked.append((envelope, matched))
-                self._count("svc.deliver.parked", shard=self.shard)
-            else:
-                self._emit_deliver(stream, envelope, matched)
+            self._fan_out(stream, envelope)
+
+    def _fan_out(self, stream: DeliveryStream, envelope: Envelope) -> None:
+        matched = next((t for t in envelope.topics if t in stream.topics), None)
+        if matched is None:
+            return
+        if stream.unacked >= stream.window:
+            stream.parked.append((envelope, matched))
+            self._count("svc.deliver.parked", shard=self.shard)
+        else:
+            self._emit_deliver(stream, envelope, matched)
 
     def _emit_deliver(self, stream: DeliveryStream, envelope: Envelope, topic: bytes) -> None:
         stream.deliver_seq += 1
@@ -271,6 +392,7 @@ class Frontend:
                     envelope.origin_seq,
                     topic,
                     envelope.payload,
+                    epoch=stream.epoch,
                 ),
             )
         )

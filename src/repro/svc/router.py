@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import hashlib
 from bisect import bisect_right
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 from ..errors import ConfigError, ProtocolError
 
@@ -46,7 +46,9 @@ class ShardRouter:
         if replicas < 1:
             raise ConfigError(f"need at least one replica, got {replicas}")
         self.shards = shards
+        self.replicas = replicas
         self._healthy = [True] * shards
+        self._removed: set[int] = set()
         ring: list[tuple[int, int]] = []
         for shard in range(shards):
             for replica in range(replicas):
@@ -54,6 +56,80 @@ class ShardRouter:
         ring.sort()
         self._ring_points = [point for point, _ in ring]
         self._ring_shards = [shard for _, shard in ring]
+
+    # ------------------------------------------------------------------
+    # ring changes
+    # ------------------------------------------------------------------
+
+    def add_shard(self) -> int:
+        """Grow the ring by one shard; returns its index.
+
+        Consistent hashing localizes the change: only topics whose
+        clockwise-first point now lands on the new shard move (~1/S of
+        the space); everything else keeps its owner.
+        """
+        shard = self.shards
+        self.shards += 1
+        self._healthy.append(True)
+        for replica in range(self.replicas):
+            point = _point(b"shard:%d#%d" % (shard, replica))
+            index = bisect_right(self._ring_points, point)
+            self._ring_points.insert(index, point)
+            self._ring_shards.insert(index, shard)
+        return shard
+
+    def remove_shard(self, shard: int) -> None:
+        """Retire a shard from the ring (decommission).
+
+        Its virtual points leave the ring, so only the topics it owned
+        move — each to the next shard clockwise.  Distinct from
+        :meth:`mark_unhealthy` (transient): a removed shard never
+        returns.
+        """
+        if not 0 <= shard < self.shards:
+            raise ConfigError(f"no shard {shard} to remove")
+        if shard in self._removed:
+            raise ProtocolError(f"shard {shard} already removed")
+        survivors = [
+            s
+            for s in range(self.shards)
+            if s != shard and s not in self._removed and self._healthy[s]
+        ]
+        if not survivors:
+            raise ProtocolError(f"removing shard {shard} would empty the ring")
+        self._removed.add(shard)
+        points = []
+        shards_kept = []
+        for point, owner in zip(self._ring_points, self._ring_shards):
+            if owner != shard:
+                points.append(point)
+                shards_kept.append(owner)
+        self._ring_points = points
+        self._ring_shards = shards_kept
+
+    def is_removed(self, shard: int) -> bool:
+        return shard in self._removed
+
+    # ------------------------------------------------------------------
+    # ownership snapshots (the topic-handoff surface)
+    # ------------------------------------------------------------------
+
+    def assignment(self, topics: Iterable[bytes]) -> dict[bytes, int]:
+        """Snapshot which shard owns each topic right now."""
+        return {topic: self.shard_for(topic) for topic in topics}
+
+    @staticmethod
+    def ownership_delta(
+        before: Mapping[bytes, int], after: Mapping[bytes, int]
+    ) -> dict[bytes, tuple[int, int]]:
+        """``topic -> (old, new)`` for every topic that changed owner
+        between two :meth:`assignment` snapshots — the tier's handoff
+        work list."""
+        return {
+            topic: (before[topic], after[topic])
+            for topic in before
+            if topic in after and after[topic] != before[topic]
+        }
 
     # ------------------------------------------------------------------
     # routing
@@ -82,16 +158,35 @@ class ShardRouter:
         stopped sending new topics its way).
         """
         point = _point(b"client:%d" % client_id)
-        return (point % self.shards, (point >> 32) % members)
+        candidates = [s for s in range(self.shards) if s not in self._removed]
+        return (candidates[point % len(candidates)], (point >> 32) % members)
 
-    def ingress_member(self, client_id: int, members: int) -> int:
+    def ingress_member(
+        self, client_id: int, members: int, *, alive: Sequence[int] | None = None
+    ) -> int:
         """The member a client's single-shard publishes enter through.
 
         Sticky per client: one origin chain per (client, shard), so a
         client's publishes into one shard are causally chained and
-        never reorder (PROTOCOL §14.3).
+        never reorder (PROTOCOL §14.3).  With ``alive`` the pick is
+        restricted to the live members, still avoiding the bridge
+        agent (the lowest live member) when others remain — failover
+        moves the chain deterministically to a survivor.
         """
-        return (_point(b"ingress:%d" % client_id) % (members - 1)) + 1 if members > 1 else 0
+        pool: Sequence[int] = range(members) if alive is None else sorted(alive)
+        if not pool:
+            raise ProtocolError("no live member to ingress through")
+        candidates = [m for m in pool if m != min(pool)] or list(pool)
+        return candidates[_point(b"ingress:%d" % client_id) % len(candidates)]
+
+    def successor_member(self, client_id: int, alive: Sequence[int]) -> int:
+        """The live member a client's *home* fails over to (sticky
+        hash over the survivors, same point as :meth:`home_for`)."""
+        if not alive:
+            raise ProtocolError("no live member to fail over to")
+        pool = sorted(alive)
+        point = _point(b"client:%d" % client_id)
+        return pool[(point >> 32) % len(pool)]
 
     # ------------------------------------------------------------------
     # health
@@ -119,7 +214,11 @@ class ShardRouter:
         self._healthy[shard] = True
 
     def healthy_shards(self) -> tuple[int, ...]:
-        return tuple(s for s in range(self.shards) if self._healthy[s])
+        return tuple(
+            s
+            for s in range(self.shards)
+            if self._healthy[s] and s not in self._removed
+        )
 
     def is_healthy(self, shard: int) -> bool:
-        return self._healthy[shard]
+        return self._healthy[shard] and shard not in self._removed

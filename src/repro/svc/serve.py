@@ -31,7 +31,7 @@ from ..obs import Registry
 from ..workloads.generators import ZipfTopics
 from .tier import ShardedService
 
-__all__ = ["ServeResult", "serve", "registry_report"]
+__all__ = ["ServeResult", "audit_tier", "serve", "registry_report"]
 
 
 @dataclass
@@ -48,6 +48,8 @@ class ServeResult:
     pdus_moved: int
     quiesced: bool
     violations: tuple[str, ...] = ()
+    failovers: int = 0
+    moved_topics: int = 0
     registry: Registry = field(default_factory=Registry, repr=False)
 
     @property
@@ -56,12 +58,68 @@ class ServeResult:
 
     def describe(self) -> str:
         verdict = "OK" if self.ok else "FAIL"
+        chaos = (
+            f" failovers={self.failovers} moved_topics={self.moved_topics}"
+            if self.failovers or self.moved_topics
+            else ""
+        )
         return (
             f"serve[{verdict}] shards={self.shards} clients={self.clients} "
             f"sessions={self.sessions} publishes={self.publishes} "
-            f"(bridged={self.bridged}) deliveries={self.deliveries} "
+            f"(bridged={self.bridged}) deliveries={self.deliveries}{chaos} "
             f"violations={len(self.violations)}"
         )
+
+
+def audit_tier(
+    tier: ShardedService, *, quiesced: bool, include_bridge: bool = True
+) -> list[str]:
+    """Audit every shard with the Definition 3.2 checkers plus the
+    cross-shard bridge-ordering checker; returns violation strings.
+
+    Shared by :func:`serve` and the failover chaos scenarios
+    (:mod:`repro.svc.chaos`, which grade the bridge as its own
+    guarantee and pass ``include_bridge=False`` here).  Iterates
+    ``tier.shards`` — the *current* count, so shards added by a
+    mid-run rebalance are audited too.  Crashed members are excluded
+    (their logs legitimately stop early); the converged-only checks
+    (uniform ordering's completeness arm, uniform atomicity) apply
+    only to quiesced runs.
+    """
+    violations: list[str] = []
+    for shard in range(tier.shards):
+        cluster = tier.clusters[shard]
+        active = set(cluster.active_pids())
+        streams = tier.shard_streams(shard)
+        for pid, stream in streams.items():
+            violations.extend(
+                f"s{shard}: {v}"
+                for v in check_local_causal_order(pid, stream).violations
+            )
+        if active:
+            violations.extend(
+                f"s{shard}: {v}"
+                for v in check_uniform_ordering(streams, converged=quiesced).violations
+            )
+        if quiesced and active:
+            log = cluster.delivery_log
+            violations.extend(
+                f"s{shard}: {v}"
+                for v in check_uniform_atomicity(
+                    log.generated_at,
+                    {mid: set(by) for mid, by in log.processed_at.items()},
+                    active,
+                    discarded=log.discarded,
+                ).violations
+            )
+        tier.registry.set_gauge(
+            "svc.shard.processed", len(cluster.delivery_log.generated_at), shard=shard
+        )
+    if include_bridge:
+        violations.extend(
+            str(v) for v in check_bridge_ordering(tier.bridge_logs()).violations
+        )
+    return violations
 
 
 def serve(
@@ -76,6 +134,8 @@ def serve(
     multi_ratio: float = 0.2,
     subscriptions: int = 3,
     seed: int = 0,
+    kill_frontends: int = 0,
+    ring_changes: int = 0,
     registry: Registry | None = None,
 ) -> ServeResult:
     """Run the sharded-chat demo and audit it.
@@ -102,6 +162,16 @@ def serve(
         Topics per client's interest set.
     seed:
         Determinism: the same arguments reproduce the same run.
+    kill_frontends:
+        Frontends to kill spread across the run (PROTOCOL §14.7): each
+        kill crashes the victim's group member mid-run and drives the
+        full failover path — salvage, session re-homing, stream
+        re-anchoring.  Kills that would cost a shard its live majority
+        are skipped (and not counted).
+    ring_changes:
+        Shards to *add* spread across the run (PROTOCOL §14.8); each
+        addition migrates the moved slice of the topic space through
+        the causal-bridge handoff fence.
     """
     if clients < 1:
         raise ConfigError(f"need a positive client id space, got {clients}")
@@ -130,6 +200,15 @@ def serve(
         tier.connect(client_id)
         tier.subscribe(client_id, zipf.subscription(min(subscriptions, topics)))
 
+    # Spread the chaos events (frontend kills, ring growth) evenly
+    # across the publish schedule so failover and handoff run against
+    # live traffic, not a quiet tier.
+    chaos_at: dict[int, list[str]] = {}
+    events = ["kill"] * kill_frontends + ["grow"] * ring_changes
+    for j, event in enumerate(events):
+        index = (j + 1) * messages // (len(events) + 1)
+        chaos_at.setdefault(index, []).append(event)
+
     bridged = 0
     for i in range(messages):
         client_id = client_ids[i % len(client_ids)]
@@ -142,6 +221,13 @@ def serve(
         tier.publish(
             client_id, publish_topics, b"m%d from c%d" % (i, client_id)
         )
+        for event in chaos_at.get(i, ()):
+            if event == "kill":
+                victim = _pick_victim(tier)
+                if victim is not None:
+                    tier.fail_frontend(*victim)
+            else:
+                tier.add_shard()
         # Interleave simulation progress with traffic so publish windows
         # recycle and deliveries stream out while the run is still hot.
         if (i + 1) % max(1, len(client_ids) // 2) == 0:
@@ -154,42 +240,13 @@ def serve(
     except ProtocolError:  # budget exhausted: report as non-quiescent, audit anyway
         quiesced = False
 
-    violations: list[str] = []
-    for shard in range(shards):
-        cluster = tier.clusters[shard]
-        active = set(cluster.active_pids())
-        streams = tier.shard_streams(shard)
-        for pid, stream in streams.items():
-            violations.extend(
-                f"s{shard}: {v}"
-                for v in check_local_causal_order(pid, stream).violations
-            )
-        if active:
-            violations.extend(
-                f"s{shard}: {v}"
-                for v in check_uniform_ordering(streams, converged=quiesced).violations
-            )
-        if quiesced and active:
-            log = cluster.delivery_log
-            violations.extend(
-                f"s{shard}: {v}"
-                for v in check_uniform_atomicity(
-                    log.generated_at,
-                    {mid: set(by) for mid, by in log.processed_at.items()},
-                    active,
-                    discarded=log.discarded,
-                ).violations
-            )
-        registry.set_gauge(
-            "svc.shard.processed", len(cluster.delivery_log.generated_at), shard=shard
-        )
-    violations.extend(str(v) for v in check_bridge_ordering(tier.bridge_logs()).violations)
+    violations = audit_tier(tier, quiesced=quiesced)
 
     deliveries = sum(len(s.delivered) for s in tier.sessions.values())
     registry.set_gauge("svc.deliveries.total", deliveries)
     registry.set_gauge("svc.pdus.moved", tier.pdus_moved)
     return ServeResult(
-        shards=shards,
+        shards=tier.shards,
         members=members,
         clients=clients,
         sessions=len(client_ids),
@@ -199,8 +256,28 @@ def serve(
         pdus_moved=tier.pdus_moved,
         quiesced=quiesced,
         violations=tuple(violations),
+        failovers=tier.failovers,
+        moved_topics=tier.moved_topics,
         registry=registry,
     )
+
+
+def _pick_victim(tier: ShardedService) -> tuple[int, int] | None:
+    """The most-homed frontend that can die without costing its shard
+    a live majority (None when no kill is safe)."""
+    homes: dict[tuple[int, int], int] = {}
+    for home in tier._home.values():
+        homes[home] = homes.get(home, 0) + 1
+    candidates = sorted(
+        (
+            (shard, member)
+            for shard in range(tier.shards)
+            for member in tier.live_members(shard)
+            if (len(tier.live_members(shard)) - 1) * 2 > tier.members
+        ),
+        key=lambda fm: (-homes.get(fm, 0), fm),
+    )
+    return candidates[0] if candidates else None
 
 
 def registry_report(registry: Registry) -> str:

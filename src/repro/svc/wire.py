@@ -59,10 +59,12 @@ MAX_TOPIC_LEN = 128
 ACK_PUBLISH = 0
 ACK_DELIVER = 1
 
-_HELLO_HEAD = struct.Struct("!QHI")  # client_id, credit, resume_seq
+_HELLO_HEAD = struct.Struct("!QHII")  # client_id, credit, resume_seq, acked_seq
 _PUB_HEAD = struct.Struct("!QI")  # client_id, client_seq
-_DELIVER_HEAD = struct.Struct("!QHIQI")  # client_id, shard, deliver_seq, origin, origin_seq
-_ACK_HEAD = struct.Struct("!BQHIH")  # kind, client_id, shard, ack_seq, credit
+# client_id, shard, deliver_seq, origin, origin_seq, epoch
+_DELIVER_HEAD = struct.Struct("!QHIQIH")
+# kind, client_id, shard, ack_seq, credit, resume_seq, epoch
+_ACK_HEAD = struct.Struct("!BQHIHIH")
 
 _U64_MAX = 0xFFFF_FFFF_FFFF_FFFF
 _U32_MAX = 0xFFFF_FFFF
@@ -81,13 +83,18 @@ class ClientHello:
     ``credit`` is the publish window the client *requests*; the
     frontend grants its own value in the hello-ack.  ``resume_seq`` is
     the last publish sequence number the client used in a previous
-    life of this session (0 for a fresh session), letting a frontend
-    realign its contiguity check on resume.
+    life of this session (0 for a fresh session) and ``acked_seq`` the
+    highest cumulative publish-ack it received.  A frontend never
+    trusts ``resume_seq`` for a session it has no record of — it
+    answers with its own accepted frontier in the hello-ack's
+    ``resume_seq`` (the negotiated resume handshake, PROTOCOL §14.7),
+    and the client replays everything past that offer.
     """
 
     client_id: int
     credit: int = 32
     resume_seq: int = 0
+    acked_seq: int = 0
 
     def __post_init__(self) -> None:
         _check_client_id(self.client_id)
@@ -95,14 +102,20 @@ class ClientHello:
             raise WireFormatError(f"hello credit {self.credit} outside [1, 65535]")
         if not 0 <= self.resume_seq <= _U32_MAX:
             raise WireFormatError(f"resume_seq {self.resume_seq} outside u32")
+        if not 0 <= self.acked_seq <= self.resume_seq:
+            raise WireFormatError(
+                f"acked_seq {self.acked_seq} outside [0, resume_seq={self.resume_seq}]"
+            )
 
     def encode_fields(self, writer: Writer) -> None:
-        writer.pack(_HELLO_HEAD, self.client_id, self.credit, self.resume_seq)
+        writer.pack(
+            _HELLO_HEAD, self.client_id, self.credit, self.resume_seq, self.acked_seq
+        )
 
     @classmethod
     def decode_fields(cls, reader: Reader) -> "ClientHello":
-        client_id, credit, resume_seq = reader.unpack(_HELLO_HEAD)
-        return cls(client_id, credit, resume_seq)
+        client_id, credit, resume_seq, acked_seq = reader.unpack(_HELLO_HEAD)
+        return cls(client_id, credit, resume_seq, acked_seq)
 
 
 @dataclass(frozen=True)
@@ -156,7 +169,10 @@ class ClientDeliver:
     is contiguous within the stream, so the client state machine can
     detect fan-out loss without any n-sized metadata.  ``origin`` /
     ``origin_seq`` identify the publish (globally unique), and
-    ``topic`` is the subscribed topic that matched.
+    ``topic`` is the subscribed topic that matched.  ``epoch`` is the
+    stream's re-anchor generation: it bumps when the stream fails over
+    to a successor frontend, so stragglers from a previous life are
+    recognized and dropped instead of corrupting the new cursor.
     """
 
     client_id: int
@@ -166,6 +182,7 @@ class ClientDeliver:
     origin_seq: int
     topic: bytes
     payload: bytes = b""
+    epoch: int = 0
 
     def __post_init__(self) -> None:
         _check_client_id(self.client_id)
@@ -178,6 +195,8 @@ class ClientDeliver:
             raise WireFormatError(f"origin_seq {self.origin_seq} outside [1, u32]")
         if not 1 <= len(self.topic) <= MAX_TOPIC_LEN:
             raise WireFormatError(f"topic of {len(self.topic)} bytes outside [1, {MAX_TOPIC_LEN}]")
+        if not 0 <= self.epoch <= _U16_MAX:
+            raise WireFormatError(f"epoch {self.epoch} outside u16")
 
     def encode_fields(self, writer: Writer) -> None:
         writer.pack(
@@ -187,16 +206,21 @@ class ClientDeliver:
             self.deliver_seq,
             self.origin,
             self.origin_seq,
+            self.epoch,
         )
         writer.bytes_field(self.topic)
         writer.bytes_field(self.payload)
 
     @classmethod
     def decode_fields(cls, reader: Reader) -> "ClientDeliver":
-        client_id, shard, deliver_seq, origin, origin_seq = reader.unpack(_DELIVER_HEAD)
+        client_id, shard, deliver_seq, origin, origin_seq, epoch = reader.unpack(
+            _DELIVER_HEAD
+        )
         topic = reader.bytes_field()
         payload = reader.bytes_field()
-        return cls(client_id, shard, deliver_seq, origin, origin_seq, topic, payload)
+        return cls(
+            client_id, shard, deliver_seq, origin, origin_seq, topic, payload, epoch
+        )
 
 
 @dataclass(frozen=True)
@@ -206,10 +230,14 @@ class ClientAck:
     * ``ACK_PUBLISH`` (frontend → client): every publish with
       ``client_seq <= ack_seq`` was processed by the group, and the
       client may keep up to ``credit`` publishes outstanding.  The
-      hello-ack is this kind with ``ack_seq = resume_seq``.
+      hello-ack is this kind; its ``resume_seq`` carries the
+      frontend's *accepted frontier* — the resume offer of the
+      negotiated handshake: a resuming client replays every retained
+      publish with ``client_seq > resume_seq``.
     * ``ACK_DELIVER`` (client → frontend): every delivery on stream
-      ``shard`` with ``deliver_seq <= ack_seq`` reached the client;
-      the frontend un-parks further fan-out for the stream.
+      ``shard`` with ``deliver_seq <= ack_seq`` reached the client in
+      stream generation ``epoch``; the frontend un-parks further
+      fan-out for the stream (acks from older epochs are ignored).
     """
 
     kind: int
@@ -217,6 +245,8 @@ class ClientAck:
     shard: int
     ack_seq: int
     credit: int
+    resume_seq: int = 0
+    epoch: int = 0
 
     def __post_init__(self) -> None:
         if self.kind not in (ACK_PUBLISH, ACK_DELIVER):
@@ -228,16 +258,29 @@ class ClientAck:
             raise WireFormatError(f"ack_seq {self.ack_seq} outside u32")
         if not 0 <= self.credit <= _U16_MAX:
             raise WireFormatError(f"credit {self.credit} outside u16")
+        if not 0 <= self.resume_seq <= _U32_MAX:
+            raise WireFormatError(f"resume_seq {self.resume_seq} outside u32")
+        if not 0 <= self.epoch <= _U16_MAX:
+            raise WireFormatError(f"epoch {self.epoch} outside u16")
 
     def encode_fields(self, writer: Writer) -> None:
         writer.pack(
-            _ACK_HEAD, self.kind, self.client_id, self.shard, self.ack_seq, self.credit
+            _ACK_HEAD,
+            self.kind,
+            self.client_id,
+            self.shard,
+            self.ack_seq,
+            self.credit,
+            self.resume_seq,
+            self.epoch,
         )
 
     @classmethod
     def decode_fields(cls, reader: Reader) -> "ClientAck":
-        kind, client_id, shard, ack_seq, credit = reader.unpack(_ACK_HEAD)
-        return cls(kind, client_id, shard, ack_seq, credit)
+        kind, client_id, shard, ack_seq, credit, resume_seq, epoch = reader.unpack(
+            _ACK_HEAD
+        )
+        return cls(kind, client_id, shard, ack_seq, credit, resume_seq, epoch)
 
 
 global_registry.register(_TAG_CLIENT_HELLO, ClientHello, ClientHello.decode_fields)

@@ -133,3 +133,121 @@ def test_messages_listing():
     waiting.add(b, {m(1, 1)})
     waiting.add(a, {m(0, 1)})
     assert waiting.messages() == [a, b]
+
+
+def test_discard_after_partial_release_keeps_dep_arm():
+    # A dependency that was *satisfied* (processed) and later declared
+    # lost must still discard the dependents that named it in deps:
+    # the discard rule reads declared dependencies, not just missing.
+    waiting = WaitingList()
+    waiting.add(msg(1, 1, [m(0, 1), m(2, 1)]), {m(0, 1), m(2, 1)})
+    waiting.notify_processed(m(0, 1))  # still blocked on (2,1)
+    discarded = waiting.discard_dependent(m(0, 1))
+    assert discarded == [m(1, 1)]
+    assert len(waiting) == 0
+
+
+def test_oldest_waiting_tracks_removals():
+    waiting = WaitingList()
+    waiting.add(msg(1, 3, [m(0, 9)]), {m(0, 9)})
+    waiting.add(msg(1, 5, [m(0, 9)]), {m(0, 9)})
+    waiting.add(msg(2, 4, [m(0, 9)]), {m(0, 9)})
+    assert waiting.oldest_waiting() == {ProcessId(1): SeqNo(3), ProcessId(2): SeqNo(4)}
+    # Declaring (1,2) lost discards both origin-1 entries (later seqs
+    # of the lost origin); the per-origin index must follow.
+    assert waiting.discard_dependent(m(1, 2)) == [m(1, 3), m(1, 5)]
+    assert waiting.oldest_waiting() == {ProcessId(2): SeqNo(4)}
+    waiting.notify_processed(m(0, 9))
+    assert waiting.oldest_waiting() == {}
+
+
+class _ReferenceWaitingList:
+    """The pre-index semantics: full scans (kept as the oracle)."""
+
+    def __init__(self):
+        self.waiting = {}
+
+    def add(self, message, missing):
+        self.waiting[message.mid] = (message, set(missing))
+
+    def notify_processed(self, mid):
+        released = []
+        for wmid in sorted(self.waiting):
+            message, missing = self.waiting[wmid]
+            missing.discard(mid)
+            if not missing:
+                released.append(message)
+        for message in released:
+            del self.waiting[message.mid]
+        return released
+
+    def discard_dependent(self, lost):
+        discarded = []
+        frontier = {lost}
+        while frontier:
+            target = frontier.pop()
+            victims = set()
+            for wmid, (message, missing) in self.waiting.items():
+                if target in missing or target in message.deps:
+                    victims.add(wmid)
+                elif wmid.origin == target.origin and wmid.seq > target.seq:
+                    victims.add(wmid)
+            for victim in victims:
+                del self.waiting[victim]
+                discarded.append(victim)
+                frontier.add(victim)
+        return sorted(discarded)
+
+
+def test_indexed_discard_matches_reference_scan():
+    # Drive the indexed implementation and the O(n*m) reference through
+    # the same randomized op sequence; every observable must agree.
+    import random
+
+    rng = random.Random(42)
+    for trial in range(30):
+        indexed, reference = WaitingList(), _ReferenceWaitingList()
+        live = []
+        for step in range(40):
+            op = rng.random()
+            if op < 0.55 or not live:
+                origin, seq = rng.randrange(4), rng.randrange(1, 30)
+                mid = m(origin, seq)
+                if mid in indexed._waiting:
+                    continue
+                # Respect Definition 3.1's structural rules: one dep
+                # per origin, own-origin deps strictly earlier.
+                by_origin = {}
+                for _ in range(rng.randrange(1, 4)):
+                    dep_origin = rng.randrange(4)
+                    dep_seq = (
+                        rng.randrange(1, seq) if dep_origin == origin else rng.randrange(1, 30)
+                    ) if (dep_origin != origin or seq > 1) else None
+                    if dep_seq is None:
+                        continue
+                    by_origin[dep_origin] = m(dep_origin, dep_seq)
+                deps = set(by_origin.values()) - {mid}
+                if not deps:
+                    continue
+                missing = set(rng.sample(sorted(deps), rng.randrange(1, len(deps) + 1)))
+                message = msg(origin, seq, sorted(deps))
+                indexed.add(message, missing)
+                reference.add(message, missing)
+                live.append(mid)
+            elif op < 0.8:
+                target = m(rng.randrange(4), rng.randrange(1, 30))
+                got = [x.mid for x in indexed.notify_processed(target)]
+                want = [x.mid for x in reference.notify_processed(target)]
+                assert got == want
+            else:
+                target = m(rng.randrange(4), rng.randrange(1, 30))
+                assert indexed.discard_dependent(target) == reference.discard_dependent(
+                    target
+                )
+            assert sorted(indexed._waiting) == sorted(reference.waiting)
+            assert indexed.oldest_waiting() == {
+                mid.origin: min(
+                    x.seq for x in reference.waiting if x.origin == mid.origin
+                )
+                for mid in reference.waiting
+            }

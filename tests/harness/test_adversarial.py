@@ -83,11 +83,16 @@ def test_scenarios_as_json_rollup():
 
 def test_registry_names_are_the_documented_fault_family():
     assert set(SCENARIOS) == {
+        # §13.2 adversarial faults
         "coordinator-crash",
         "zombie-rejoin",
         "forged-deps",
         "equivocation",
         "heartbeat-suppression",
+        # §14.7-14.8 service-tier failover/rebalance
+        "frontend-failover",
+        "shard-rebalance",
+        "failover-storm",
     }
 
 

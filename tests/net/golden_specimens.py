@@ -103,7 +103,7 @@ def specimens() -> dict[int, object]:
             payloads=(b"b1", b"b2", b"b3"),
         ),
         18: HeartbeatMessage(ProcessId(2), 1, 14),
-        19: ClientHello(987_654_321_012, credit=64, resume_seq=17),
+        19: ClientHello(987_654_321_012, credit=64, resume_seq=17, acked_seq=11),
         20: ClientPublish(
             987_654_321_012,
             18,
@@ -118,8 +118,11 @@ def specimens() -> dict[int, object]:
             9,
             b"chat/lobby",
             b"delivered payload",
+            epoch=3,
         ),
-        22: ClientAck(ACK_DELIVER, 987_654_321_012, 5, 42, 16),
+        22: ClientAck(
+            ACK_DELIVER, 987_654_321_012, 5, 42, 16, resume_seq=17, epoch=3
+        ),
         30: CbcastData(
             ProcessId(1),
             VectorClock((1, 2, 3)),

@@ -1,0 +1,231 @@
+"""Service-tier failover and topic handoff (PROTOCOL §14.7-14.8).
+
+End-to-end tests over real simulated clusters: frontends die mid-run
+with envelopes in flight, sessions re-home through the negotiated
+resume handshake, delivery streams re-anchor with bumped epochs, and
+ring changes hand topics over through the causal-bridge fence.
+"""
+
+import pytest
+
+from repro.analysis.checkers import check_bridge_ordering
+from repro.errors import ProtocolError
+from repro.svc.serve import audit_tier
+from repro.svc.tier import HANDOFF_ORIGIN, ShardedService
+
+
+def topics_for_shard(tier, shard, count=2, universe=200):
+    found = []
+    for i in range(universe):
+        topic = b"topic/%d" % i
+        if tier.router.shard_for(topic) == shard:
+            found.append(topic)
+            if len(found) == count:
+                return found
+    raise AssertionError(f"no {count} topics landed on shard {shard}")
+
+
+def client_homed_at_shard(tier, shard, exclude=(), universe=500):
+    for cid in range(1, universe):
+        if cid in exclude:
+            continue
+        if tier.router.home_for(cid, tier.members)[0] == shard:
+            return cid
+    raise AssertionError(f"no client homes at shard {shard}")
+
+
+def build(shards=2, members=5, seed=7):
+    return ShardedService(shards, members=members, seed=seed)
+
+
+class TestFrontendFailover:
+    def test_kill_home_frontend_mid_run_loses_nothing(self):
+        tier = build()
+        t0 = topics_for_shard(tier, 0, 1)[0]
+        t1 = topics_for_shard(tier, 1, 1)[0]
+        publisher = client_homed_at_shard(tier, 0, exclude=(100,))
+        tier.connect(100)
+        tier.subscribe(100, (t0, t1))
+        tier.connect(publisher)
+        for i in range(4):
+            tier.publish(publisher, (t0,), b"single-%d" % i)
+            tier.publish(publisher, (t0, t1), b"multi-%d" % i)
+        tier.step()
+        home = tier._home[publisher]
+        assert tier.sessions[publisher].retained > 0  # in-flight at the kill
+        tier.fail_frontend(*home)
+        assert tier._home[publisher] != home  # re-homed at a survivor
+        for i in range(4, 6):
+            tier.publish(publisher, (t0,), b"single-%d" % i)
+            tier.publish(publisher, (t0, t1), b"multi-%d" % i)
+        tier.run()
+        session = tier.sessions[publisher]
+        assert session.acked == session.next_seq - 1  # every publish acked
+        assert session.retained == 0
+        subscriber = tier.sessions[100]
+        got = {d.payload for d in subscriber.delivered}
+        expected = {b"single-%d" % i for i in range(6)} | {
+            b"multi-%d" % i for i in range(6)
+        }
+        assert expected <= got  # nothing lost
+        per_shard = {}
+        for d in subscriber.delivered:
+            per_shard.setdefault(d.shard, []).append((d.origin, d.origin_seq))
+        for ids in per_shard.values():
+            assert len(ids) == len(set(ids))  # no duplicates per stream
+        assert audit_tier(tier, quiesced=True) == []
+
+    def test_kill_delivery_agent_reanchors_stream(self):
+        tier = build()
+        t0 = topics_for_shard(tier, 0, 1)[0]
+        publisher = client_homed_at_shard(tier, 1, exclude=(100,))
+        tier.connect(100)
+        tier.subscribe(100, (t0,))
+        tier.connect(publisher)
+        for i in range(3):
+            tier.publish(publisher, (t0,), b"pre-%d" % i)
+        tier.run()
+        agent = tier._stream_member[(100, 0)]
+        tier.fail_frontend(0, agent)
+        session = tier.sessions[100]
+        assert session.stream_epoch(0) == 1  # stream re-anchored
+        assert tier._stream_member[(100, 0)] != agent
+        for i in range(3):
+            tier.publish(publisher, (t0,), b"post-%d" % i)
+        tier.run()
+        got = [d.payload for d in session.delivered]
+        assert set(got) == {b"pre-%d" % i for i in range(3)} | {
+            b"post-%d" % i for i in range(3)
+        }
+        assert len(got) == 6  # replayed history deduped, not repeated
+
+    def test_majority_guard_refuses_fatal_kill(self):
+        tier = build(members=3)
+        tier.fail_frontend(0, 0)  # 2/3 left: still a majority
+        with pytest.raises(ProtocolError):
+            tier.fail_frontend(0, 1)  # 1/3 left would lose the quorum
+
+    def test_double_kill_rejected(self):
+        tier = build()
+        tier.fail_frontend(0, 1)
+        with pytest.raises(ProtocolError):
+            tier.fail_frontend(0, 1)
+
+    def test_failover_excludes_dead_members_from_roles(self):
+        tier = build()
+        tier.fail_frontend(0, 1)
+        assert 1 not in tier.live_members(0)
+        assert tier._bridge_agent(0) == min(tier.live_members(0))
+
+    def test_reconnect_voluntary_rehello(self):
+        tier = build()
+        t0 = topics_for_shard(tier, 0, 1)[0]
+        tier.connect(42)
+        tier.publish(42, (t0,), b"before")
+        tier.run()
+        tier.reconnect(42)
+        tier.publish(42, (t0,), b"after")
+        tier.run()
+        session = tier.sessions[42]
+        assert session.acked == 2 and session.retained == 0
+
+    def test_connect_avoids_dead_home(self):
+        tier = build()
+        victim_client = client_homed_at_shard(tier, 0)
+        shard, member = tier.router.home_for(victim_client, tier.members)
+        tier.fail_frontend(shard, member)
+        tier.connect(victim_client)  # must not home at the corpse
+        assert tier._home[victim_client][1] in tier.live_members(shard)
+
+
+class TestTopicHandoff:
+    def test_add_shard_moves_minority_and_loses_nothing(self):
+        tier = ShardedService(4, members=3, seed=3)
+        topics = [b"topic/%d" % i for i in range(32)]
+        tier.connect(100)
+        tier.subscribe(100, tuple(topics))
+        tier.connect(7)
+        for i, t in enumerate(topics):
+            tier.publish(7, (t,), b"pre-%d" % i)
+        tier.run()
+        before = tier.router.assignment(topics)
+        tier.add_shard()
+        after = tier.router.assignment(topics)
+        moved = [t for t in topics if before[t] != after[t]]
+        # Consistent hashing: roughly 1/S of the topic space moves.
+        assert 0 < len(moved) <= len(topics) // 2
+        assert tier.moved_topics == len(moved)
+        for i, t in enumerate(topics):
+            tier.publish(7, (t,), b"post-%d" % i)
+        tier.run()
+        session = tier.sessions[100]
+        got = {d.payload for d in session.delivered}
+        assert {b"pre-%d" % i for i in range(32)} <= got
+        assert {b"post-%d" % i for i in range(32)} <= got
+        assert audit_tier(tier, quiesced=True) == []
+
+    def test_remove_shard_hands_all_its_topics_over(self):
+        tier = ShardedService(3, members=3, seed=5)
+        topics = [b"topic/%d" % i for i in range(24)]
+        tier.connect(100)
+        tier.subscribe(100, tuple(topics))
+        tier.connect(7)
+        for i, t in enumerate(topics):
+            tier.publish(7, (t,), b"a-%d" % i)
+        tier.run()
+        owned = [t for t in topics if tier.router.shard_for(t) == 1]
+        tier.remove_shard(1)
+        assert all(tier.router.shard_for(t) != 1 for t in topics)
+        assert tier.moved_topics == len(owned)
+        for i, t in enumerate(topics):
+            tier.publish(7, (t,), b"b-%d" % i)
+        tier.run()
+        got = {d.payload for d in tier.sessions[100].delivered}
+        assert {b"a-%d" % i for i in range(24)} <= got
+        assert {b"b-%d" % i for i in range(24)} <= got
+
+    def test_handoff_fences_cross_the_bridge(self):
+        tier = ShardedService(2, members=3, seed=3)
+        topics = [b"topic/%d" % i for i in range(16)]
+        tier.connect(100)
+        tier.subscribe(100, tuple(topics))
+        tier.run()
+        tier.add_shard()
+        # Every (old, new) move pair pushed one marker through the
+        # bridge; markers appear in the bridge logs as an auditable
+        # causal fence under the reserved origin.
+        fence_origins = {
+            entry[0][0]
+            for shard_logs in tier.bridge_logs().values()
+            for log in shard_logs.values()
+            for entry in log
+        }
+        assert HANDOFF_ORIGIN in fence_origins
+        assert check_bridge_ordering(tier.bridge_logs()).violations == []
+
+    def test_bridged_traffic_survives_kill_then_rebalance(self):
+        tier = build(shards=2, members=5, seed=11)
+        t0 = topics_for_shard(tier, 0, 1)[0]
+        t1 = topics_for_shard(tier, 1, 1)[0]
+        publisher = client_homed_at_shard(tier, 0, exclude=(100,))
+        tier.connect(100)
+        tier.subscribe(100, (t0, t1))
+        tier.connect(publisher)
+        for i in range(3):
+            tier.publish(publisher, (t0, t1), b"m-%d" % i)
+        tier.step()
+        tier.fail_frontend(*tier._home[publisher])
+        tier.add_shard()
+        for i in range(3, 6):
+            tier.publish(publisher, (t0, t1), b"m-%d" % i)
+        tier.run()
+        session = tier.sessions[publisher]
+        assert session.acked == session.next_seq - 1
+        assert check_bridge_ordering(tier.bridge_logs()).violations == []
+        assert audit_tier(tier, quiesced=True) == []
+
+    def test_remove_last_routable_shard_rejected(self):
+        tier = ShardedService(2, members=3, seed=1)
+        tier.remove_shard(0)
+        with pytest.raises(ProtocolError):
+            tier.remove_shard(1)

@@ -60,15 +60,37 @@ class TestHomeRole:
         ack = frontend.on_hello(ClientHello(9, credit=1000))
         assert ack.credit == 4
 
-    def test_resume_must_match(self):
+    def test_resume_is_negotiated(self):
         frontend, _ = build()
         frontend.on_hello(ClientHello(9, credit=8))
         frontend.on_publish(ClientPublish(9, 1, (b"t",)))
+        # A client that lost accepted state cannot resume (it can never
+        # replay publishes it no longer remembers sending).
         with pytest.raises(ProtocolError):
-            frontend.on_hello(ClientHello(9, credit=8, resume_seq=5))
-        # matching resume re-acks the frontier
+            frontend.on_hello(ClientHello(9, credit=8, resume_seq=0))
+        # Claiming acks beyond what was granted is a forgery.
+        with pytest.raises(ProtocolError):
+            frontend.on_hello(ClientHello(9, credit=8, resume_seq=5, acked_seq=2))
+        # A client ahead of the frontend (publishes lost on the wire)
+        # is legal: the ack answers with the accepted frontier and the
+        # client replays the difference.
+        ack = frontend.on_hello(ClientHello(9, credit=8, resume_seq=5))
+        assert ack.resume_seq == 1 and ack.ack_seq == 0
+        # Matching resume re-acks the frontier.
         ack = frontend.on_hello(ClientHello(9, credit=8, resume_seq=1))
-        assert ack.ack_seq == 0  # nothing processed yet
+        assert ack.resume_seq == 1 and ack.ack_seq == 0
+
+    def test_unknown_session_resume_adopts_acked_not_claimed(self):
+        # A successor frontend with no record of the session must not
+        # trust the client's sent frontier: it adopts the *acked*
+        # frontier (durable by construction) and asks for a replay of
+        # everything past it.
+        frontend, _ = build()
+        ack = frontend.on_hello(ClientHello(9, credit=8, resume_seq=7, acked_seq=3))
+        assert ack.resume_seq == 3 and ack.ack_seq == 3
+        # The replayed publishes then continue the accepted chain.
+        env = frontend.on_publish(ClientPublish(9, 4, (b"t",), b"x"))
+        assert env.msg_id == (9, 4)
 
     def test_gap_and_unknown_session_rejected(self):
         frontend, _ = build()
@@ -111,12 +133,32 @@ class TestInjection:
     def test_processed_hook_fires_once(self):
         seen = []
         service = _StubService(pid=1)
-        frontend = Frontend(0, 1, service, on_processed=seen.append)
+        frontend = Frontend(
+            0, 1, service, on_processed=lambda env, shard: seen.append((env, shard))
+        )
         env = Envelope(9, 1, (b"t",), b"x")
         frontend.inject(env)
         service.indicate(env.to_bytes())
         service.indicate(env.to_bytes())  # not pending anymore
-        assert seen == [env]
+        assert seen == [(env, 0)]
+
+    def test_duplicate_indication_deduped_but_counted_processed(self):
+        # A failover re-injection: the pending copy still resolves (the
+        # hook fires) but the fan-out must not repeat the delivery.
+        seen = []
+        service = _StubService(pid=1)
+        frontend = Frontend(
+            0, 1, service, on_processed=lambda env, shard: seen.append(env)
+        )
+        frontend.subscribe(5, {b"t"})
+        env = Envelope(9, 1, (b"t",), b"x")
+        service.indicate(env.to_bytes(), seq=1)  # original copy, not pending here
+        frontend.inject(env)  # salvaged re-injection
+        service.indicate(env.to_bytes(), seq=2)
+        assert seen == [env]  # the re-injection resolved
+        out = [d for _, d in frontend.drain_outbox()]
+        assert len(out) == 1  # but only one delivery went out
+        assert frontend.processed_log == [env]
 
     def test_non_envelope_payloads_ignored(self):
         frontend, service = build()
@@ -169,3 +211,70 @@ class TestDeliveryRole:
         frontend.subscribe(5, {b"b"})
         service.indicate(Envelope(9, 1, (b"b",), b"x").to_bytes())
         assert len(frontend.drain_outbox()) == 1
+
+
+class TestFailoverSurface:
+    def test_subscribe_widen_applies_window(self):
+        # Regression: widening an existing stream used to ignore the
+        # window argument entirely.
+        frontend, _ = build(deliver_window=8)
+        frontend.subscribe(5, {b"a"})
+        frontend.subscribe(5, {b"b"}, window=2)
+        assert frontend.streams[5].window == 2
+        assert frontend.streams[5].topics == {b"a", b"b"}
+
+    def test_subscribe_replay_reanchors_from_processed_log(self):
+        frontend, service = build()
+        for seq in range(1, 4):
+            service.indicate(
+                Envelope(9, seq, (b"t",), b"p%d" % seq).to_bytes(), seq=seq
+            )
+        # A successor re-anchors the stream at epoch 1: the whole log
+        # replays through the fresh stream in processing order.
+        frontend.subscribe(5, {b"t"}, epoch=1, replay=True)
+        out = [d for _, d in frontend.drain_outbox()]
+        assert [d.deliver_seq for d in out] == [1, 2, 3]
+        assert [d.origin_seq for d in out] == [1, 2, 3]
+        assert all(d.epoch == 1 for d in out)
+
+    def test_deliver_ack_epoch_guard(self):
+        frontend, service = build()
+        frontend.subscribe(5, {b"t"}, epoch=2, replay=True)
+        service.indicate(Envelope(9, 1, (b"t",), b"x").to_bytes())
+        # A straggler ack from the pre-failover stream is ignored...
+        frontend.on_deliver_ack(ClientAck(ACK_DELIVER, 5, 0, 1, 0, epoch=1))
+        assert frontend.streams[5].acked == 0
+        # ...the current epoch's ack lands...
+        frontend.on_deliver_ack(ClientAck(ACK_DELIVER, 5, 0, 1, 0, epoch=2))
+        assert frontend.streams[5].acked == 1
+        # ...and a future epoch is a protocol error.
+        with pytest.raises(ProtocolError):
+            frontend.on_deliver_ack(ClientAck(ACK_DELIVER, 5, 0, 1, 0, epoch=3))
+
+    def test_unsubscribe_topics_narrows_stream(self):
+        frontend, service = build()
+        frontend.subscribe(5, {b"a", b"b"})
+        frontend.unsubscribe_topics(5, {b"a"})
+        service.indicate(Envelope(9, 1, (b"a",), b"x").to_bytes(), seq=1)
+        assert frontend.drain_outbox() == []
+        service.indicate(Envelope(9, 2, (b"b",), b"y").to_bytes(), seq=2)
+        assert len(frontend.drain_outbox()) == 1
+
+    def test_doubted_returns_injection_order_and_forget_clears(self):
+        frontend, _ = build()
+        envs = [Envelope(9, seq, (b"t",), b"%d" % seq) for seq in (1, 2, 3)]
+        for env in envs:
+            frontend.inject(env)
+        assert frontend.doubted() == envs
+        frontend.forget_pending()
+        assert frontend.doubted() == []
+
+    def test_processed_elsewhere_idempotent(self):
+        frontend, _ = build()
+        frontend.on_hello(ClientHello(9, credit=8))
+        frontend.on_publish(ClientPublish(9, 1, (b"t",)))
+        frontend.on_processed_elsewhere(Envelope(9, 1, (b"t",)))
+        assert len(frontend.drain_outbox()) == 1
+        # Failover replay can re-announce an already-acked publish.
+        frontend.on_processed_elsewhere(Envelope(9, 1, (b"t",)))
+        assert frontend.drain_outbox() == []

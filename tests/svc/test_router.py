@@ -66,6 +66,92 @@ class TestPlacement:
         assert ShardRouter(2).ingress_member(42, 1) == 0
 
 
+class TestRingChanges:
+    def test_add_shard_matches_fresh_router(self):
+        grown = ShardRouter(8)
+        assert grown.add_shard() == 8
+        fresh = ShardRouter(9)
+        for i in range(500):
+            topic = b"t%d" % i
+            assert grown.shard_for(topic) == fresh.shard_for(topic)
+
+    def test_add_shard_delta_targets_only_new_shard(self):
+        router = ShardRouter(4)
+        topics = [b"t%d" % i for i in range(1000)]
+        before = router.assignment(topics)
+        new = router.add_shard()
+        delta = router.ownership_delta(before, router.assignment(topics))
+        assert delta  # growth must claim something at this scale
+        assert all(dst == new for _, dst in delta.values())
+        assert len(delta) < len(topics) * 0.5
+
+    def test_remove_shard_delta_sources_only_removed_shard(self):
+        router = ShardRouter(4)
+        topics = [b"t%d" % i for i in range(1000)]
+        before = router.assignment(topics)
+        router.remove_shard(2)
+        after = router.assignment(topics)
+        delta = router.ownership_delta(before, after)
+        assert all(src == 2 for src, _ in delta.values())
+        assert set(delta) == {t for t in topics if before[t] == 2}
+        assert 2 not in after.values()
+
+    def test_remove_shard_is_permanent(self):
+        router = ShardRouter(3)
+        router.remove_shard(1)
+        assert router.is_removed(1)
+        with pytest.raises(ProtocolError):
+            router.remove_shard(1)
+        router.mark_healthy(1)  # health bits cannot resurrect it
+        assert not router.is_healthy(1)
+        assert 1 not in router.healthy_shards()
+
+    def test_remove_validation(self):
+        router = ShardRouter(2)
+        with pytest.raises(ConfigError):
+            router.remove_shard(5)
+        router.remove_shard(0)
+        with pytest.raises(ProtocolError):
+            router.remove_shard(1)  # would empty the ring
+
+    def test_home_for_skips_removed_shards(self):
+        router = ShardRouter(4)
+        router.remove_shard(0)
+        homes = {router.home_for(c, 3)[0] for c in range(300)}
+        assert 0 not in homes and homes <= {1, 2, 3}
+
+    def test_ownership_delta_ignores_unchanged_and_unknown(self):
+        delta = ShardRouter.ownership_delta(
+            {b"a": 0, b"b": 1, b"c": 2}, {b"a": 0, b"b": 2}
+        )
+        assert delta == {b"b": (1, 2)}
+
+
+class TestFailoverPlacement:
+    def test_successor_member_sticky_over_survivors(self):
+        router = ShardRouter(2)
+        alive = [0, 2, 3, 4]
+        pick = router.successor_member(42, alive)
+        assert pick in alive
+        assert router.successor_member(42, list(reversed(alive))) == pick
+        with pytest.raises(ProtocolError):
+            router.successor_member(42, [])
+
+    def test_ingress_member_alive_aware(self):
+        router = ShardRouter(2)
+        # Full pool behaves exactly like the default overload.
+        for client in range(100):
+            assert router.ingress_member(
+                client, 5, alive=[0, 1, 2, 3, 4]
+            ) == router.ingress_member(client, 5)
+        # A shrunken pool still avoids its own (lowest-live) bridge agent.
+        picks = {router.ingress_member(c, 5, alive=[1, 3, 4]) for c in range(300)}
+        assert picks <= {3, 4}
+        assert router.ingress_member(7, 5, alive=[2]) == 2
+        with pytest.raises(ProtocolError):
+            router.ingress_member(7, 5, alive=[])
+
+
 class TestHealth:
     def test_unhealthy_shard_skipped(self):
         router = ShardRouter(4)

@@ -138,3 +138,144 @@ class TestDeliveryStreams:
             session.on_deliver(ClientDeliver(8, 3, 1, 9, 1, b"t"))
         with pytest.raises(ProtocolError):
             session.on_ack(ClientAck(ACK_PUBLISH, 8, 0, 0, 4))
+
+
+class TestReopenAndFailover:
+    def test_reopen_from_active(self):
+        # Regression: hello() used to raise from any non-IDLE state,
+        # making a dead frontend unrecoverable; only a HELLO already in
+        # flight (CONNECTING) is invalid now.
+        session = active_session()
+        hello = session.hello()
+        assert session.state is SessionState.CONNECTING
+        assert hello.resume_seq == 0 and hello.acked_seq == 0
+
+    def test_reopen_from_closed(self):
+        session = active_session()
+        session.close()
+        session.hello()
+        assert session.state is SessionState.CONNECTING
+
+    def test_hello_carries_both_frontiers(self):
+        session = active_session(credit=8)
+        for i in range(3):
+            session.publish((b"t",), b"%d" % i)
+        session.on_ack(ClientAck(ACK_PUBLISH, 7, 0, 1, 8))
+        hello = session.hello()
+        assert hello.resume_seq == 3  # sent frontier
+        assert hello.acked_seq == 1  # durable frontier
+
+    def test_resume_replays_unacked_past_offer(self):
+        session = active_session(credit=8)
+        sent = [session.publish((b"t",), b"%d" % i) for i in range(4)]
+        session.on_ack(ClientAck(ACK_PUBLISH, 7, 0, 1, 8))
+        session.hello()
+        # The frontend's offer says it accepted up to seq 1: replay 2-4.
+        replay = session.on_ack(ClientAck(ACK_PUBLISH, 7, 0, 1, 8, resume_seq=1))
+        assert [p.client_seq for p in replay] == [2, 3, 4]
+        assert replay == sent[1:]
+        assert session.state is SessionState.ACTIVE
+
+    def test_acked_publishes_are_pruned_from_replay_buffer(self):
+        session = active_session(credit=8)
+        for i in range(3):
+            session.publish((b"t",), b"%d" % i)
+        assert session.retained == 3
+        session.on_ack(ClientAck(ACK_PUBLISH, 7, 0, 3, 8))
+        assert session.retained == 0
+
+    def test_resume_offer_beyond_sent_rejected(self):
+        session = active_session(credit=8)
+        session.publish((b"t",), b"x")
+        session.hello()
+        with pytest.raises(ProtocolError):
+            session.on_ack(ClientAck(ACK_PUBLISH, 7, 0, 0, 8, resume_seq=5))
+
+
+class TestConnectingDelivers:
+    def test_deliver_during_connecting_accepted(self):
+        # Regression: a fan-out deliver racing the hello-ack used to
+        # raise and kill the session; it is a legitimate interleaving
+        # over any real transport.
+        session = ClientSession(7, credit=4)
+        session.hello()
+        ack = session.on_deliver(ClientDeliver(7, 0, 1, 9, 1, b"t", b"x"))
+        assert ack is not None and ack.kind == ACK_DELIVER
+        assert len(session.delivered) == 1
+        assert session.state is SessionState.CONNECTING
+
+    def test_deliver_in_idle_still_rejected(self):
+        session = ClientSession(7, credit=4)
+        with pytest.raises(ProtocolError):
+            session.on_deliver(ClientDeliver(7, 0, 1, 9, 1, b"t", b"x"))
+
+
+class TestStaleAckWindow:
+    def test_stale_ack_does_not_shrink_window(self):
+        # Regression: a reordered stale ack (lower ack_seq, older credit
+        # snapshot) used to unconditionally rebind the window.
+        session = active_session(credit=8)
+        for i in range(4):
+            session.publish((b"t",), b"%d" % i)
+        session.on_ack(ClientAck(ACK_PUBLISH, 7, 0, 3, 8))
+        assert session.window == 8
+        session.on_ack(ClientAck(ACK_PUBLISH, 7, 0, 1, 2))  # stale + tiny credit
+        assert session.window == 8  # not rebound
+        assert session.acked == 3  # cumulative frontier kept
+
+    def test_fresh_ack_still_rebinds_window(self):
+        session = active_session(credit=8)
+        session.publish((b"t",), b"x")
+        session.on_ack(ClientAck(ACK_PUBLISH, 7, 0, 1, 4))
+        assert session.window == 4
+
+
+class TestStreamEpochs:
+    def deliver(self, session, seq, *, shard=0, origin=9, origin_seq=None, epoch=0):
+        return session.on_deliver(
+            ClientDeliver(
+                session.client_id, shard, seq, origin,
+                origin_seq if origin_seq is not None else seq, b"t", b"p%d" % seq,
+                epoch=epoch,
+            )
+        )
+
+    def test_reanchor_bumps_epoch_and_resets_cursor(self):
+        session = active_session()
+        self.deliver(session, 1)
+        self.deliver(session, 2)
+        epoch = session.reanchor(0)
+        assert epoch == 1 and session.stream_epoch(0) == 1
+        assert session.deliver_cursor(0) == 0
+
+    def test_stale_epoch_straggler_dropped(self):
+        session = active_session()
+        self.deliver(session, 1)
+        session.reanchor(0)
+        # A dead frontend's straggler from epoch 0 arrives late.
+        assert self.deliver(session, 2, epoch=0) is None
+        assert len(session.delivered) == 1
+
+    def test_future_epoch_rejected(self):
+        session = active_session()
+        with pytest.raises(ProtocolError):
+            self.deliver(session, 1, epoch=3)
+
+    def test_replayed_history_deduped_by_content(self):
+        session = active_session()
+        self.deliver(session, 1, origin_seq=1)
+        self.deliver(session, 2, origin_seq=2)
+        epoch = session.reanchor(0)
+        # The successor replays its whole log: seqs restart at 1, the
+        # first two are content the client already has.
+        self.deliver(session, 1, origin_seq=1, epoch=epoch)
+        self.deliver(session, 2, origin_seq=2, epoch=epoch)
+        self.deliver(session, 3, origin_seq=3, epoch=epoch)
+        assert session.dup_filtered == 2
+        assert [d.origin_seq for d in session.delivered] == [1, 2, 3]
+
+    def test_deliver_ack_carries_epoch(self):
+        session = active_session()
+        epoch = session.reanchor(0)
+        ack = self.deliver(session, 1, epoch=epoch)
+        assert ack.epoch == epoch
